@@ -1,0 +1,59 @@
+// Figure 1: vertices per CH level.
+//
+// Paper claims (Europe, travel times): ~140 levels; half of all vertices in
+// level 0; the lowest 20 levels hold all but ~100k vertices; all but ~1000
+// vertices sit in the lowest 66 levels. We print the histogram plus the
+// paper's three summary statistics for the synthetic country.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace phast;
+using namespace phast::bench;
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+
+  std::printf("=== Figure 1: vertices per level ===\n");
+  const Instance instance = MakeCountryInstance(
+      "country-time", config.width, config.height, Metric::kTravelTime,
+      config.seed);
+
+  const std::vector<uint64_t> histogram = instance.ch.LevelHistogram();
+  const uint64_t n = instance.graph.NumVertices();
+
+  std::printf("\n%-8s%-12s%-12s%s\n", "level", "vertices", "cumulative",
+              "bar (log scale)");
+  uint64_t cumulative = 0;
+  for (size_t level = 0; level < histogram.size(); ++level) {
+    cumulative += histogram[level];
+    int bar = 0;
+    for (uint64_t x = histogram[level]; x > 0; x /= 4) ++bar;
+    std::string bars(static_cast<size_t>(bar), '#');
+    std::printf("%-8zu%-12llu%-12llu%s\n", level,
+                static_cast<unsigned long long>(histogram[level]),
+                static_cast<unsigned long long>(cumulative), bars.c_str());
+  }
+
+  // The paper's three summary claims, restated for this instance.
+  std::printf("\nsummary:\n");
+  std::printf("  levels:               %zu (paper: ~140 on Europe)\n",
+              histogram.size());
+  std::printf("  level-0 share:        %.1f%% (paper: ~50%%)\n",
+              100.0 * static_cast<double>(histogram[0]) /
+                  static_cast<double>(n));
+
+  uint64_t below = 0;
+  size_t levels_for_99 = 0;
+  for (size_t level = 0; level < histogram.size(); ++level) {
+    below += histogram[level];
+    if (static_cast<double>(below) >= 0.99 * static_cast<double>(n)) {
+      levels_for_99 = level + 1;
+      break;
+    }
+  }
+  std::printf("  levels holding 99%%:   %zu of %zu\n", levels_for_99,
+              histogram.size());
+  return 0;
+}

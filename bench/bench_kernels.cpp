@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark): sweep kernels across k and SIMD
+// modes, priority queues under a Dijkstra-like load, and the upward CH
+// search. These support the table drivers by isolating the primitives.
+#include <benchmark/benchmark.h>
+
+#include "ch/contraction.h"
+#include "common.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "pq/dial_buckets.h"
+#include "pq/multilevel_buckets.h"
+#include "pq/radix_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+/// Shared mid-size instance (built once per binary run).
+const bench::Instance& SharedInstance() {
+  static const bench::Instance instance = bench::MakeCountryInstance(
+      "kernels", 96, 96, Metric::kTravelTime, 1);
+  return instance;
+}
+
+void BM_SweepKernel(benchmark::State& state, SimdMode mode) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  if (!SimdModeAvailable(mode)) {
+    state.SkipWithError("SIMD mode unavailable");
+    return;
+  }
+  Phast::Options options;
+  options.simd = mode;
+  const Phast engine(SharedInstance().ch, options);
+  Phast::Workspace ws = engine.MakeWorkspace(k);
+  const std::vector<VertexId> sources =
+      bench::SampleSources(engine.NumVertices(), k, 3);
+  for (auto _ : state) {
+    engine.ComputeTrees(sources, ws);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * k);
+  state.SetLabel(engine.KernelNameFor(k));
+}
+
+BENCHMARK_CAPTURE(BM_SweepKernel, scalar, SimdMode::kScalar)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16);
+BENCHMARK_CAPTURE(BM_SweepKernel, sse, SimdMode::kSse)->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_SweepKernel, avx2, SimdMode::kAvx2)->Arg(8)->Arg(16);
+
+template <typename Queue, typename... Args>
+void BM_DijkstraQueue(benchmark::State& state, Args... args) {
+  const Graph& g = SharedInstance().graph;
+  Queue queue(g.NumVertices(), args...);
+  std::vector<Weight> dist(g.NumVertices());
+  Rng rng(7);
+  for (auto _ : state) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    DijkstraInto(g, s, queue, dist, {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.NumVertices());
+}
+
+void BM_DijkstraBinaryHeap(benchmark::State& state) {
+  BM_DijkstraQueue<BinaryHeap>(state);
+}
+void BM_DijkstraFourHeap(benchmark::State& state) {
+  BM_DijkstraQueue<FourHeap>(state);
+}
+void BM_DijkstraDial(benchmark::State& state) {
+  BM_DijkstraQueue<DialBuckets>(state, MaxArcWeight(SharedInstance().graph));
+}
+void BM_DijkstraRadix(benchmark::State& state) {
+  BM_DijkstraQueue<RadixHeap>(state);
+}
+void BM_DijkstraSmartQueue(benchmark::State& state) {
+  BM_DijkstraQueue<MultiLevelBuckets>(state);
+}
+BENCHMARK(BM_DijkstraBinaryHeap);
+BENCHMARK(BM_DijkstraFourHeap);
+BENCHMARK(BM_DijkstraDial);
+BENCHMARK(BM_DijkstraRadix);
+BENCHMARK(BM_DijkstraSmartQueue);
+
+void BM_UpwardSearch(benchmark::State& state) {
+  const Phast engine(SharedInstance().ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Rng rng(9);
+  for (auto _ : state) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(engine.NumVertices()));
+    engine.RunUpwardPhase({&s, 1}, ws);
+    engine.FinishExternalSweep(ws);
+    benchmark::DoNotOptimize(ws.UpwardSearchSpace());
+  }
+}
+BENCHMARK(BM_UpwardSearch);
+
+void BM_ChPreprocessing(benchmark::State& state) {
+  const uint32_t side = static_cast<uint32_t>(state.range(0));
+  CountryParams params;
+  params.width = side;
+  params.height = side;
+  const GeneratedGraph raw = GenerateCountry(params);
+  const Graph g = Graph::FromEdgeList(
+      LargestStronglyConnectedComponent(raw.edges).edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildContractionHierarchy(g));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          g.NumVertices());
+}
+BENCHMARK(BM_ChPreprocessing)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace phast
+
+BENCHMARK_MAIN();

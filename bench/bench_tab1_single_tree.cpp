@@ -1,0 +1,165 @@
+// Table I: single-tree performance of Dijkstra (binary heap / Dial / smart
+// queue), BFS, and PHAST (original rank order / reordered by level /
+// reordered + all cores), each under three vertex layouts (random, input,
+// DFS).
+//
+// Paper shape to preserve (Europe, travel times): layouts matter for every
+// algorithm; DFS is the best layout; level reordering is PHAST's biggest
+// single win (1286 ms -> 172 ms on DFS layout); reordered PHAST beats the
+// best Dijkstra by >10x on one core.
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common.h"
+#include "dijkstra/bfs.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "pq/dial_buckets.h"
+#include "pq/multilevel_buckets.h"
+#include "pq/radix_heap.h"
+#include "util/omp_env.h"
+#include "util/timer.h"
+
+using namespace phast;
+using namespace phast::bench;
+
+namespace {
+
+double MsPerTree(const std::function<void(VertexId)>& run,
+                 const std::vector<VertexId>& sources) {
+  Timer timer;
+  for (const VertexId s : sources) run(s);
+  return timer.ElapsedMs() / static_cast<double>(sources.size());
+}
+
+struct LayoutResults {
+  double dijkstra_binary, dijkstra_dial, dijkstra_smart, dijkstra_radix, bfs;
+  double phast_rank, phast_reordered, phast_parallel;
+};
+
+LayoutResults RunLayout(const EdgeList& edges,
+                        const std::vector<VertexId>& sources) {
+  const Graph graph = Graph::FromEdgeList(edges);
+  const VertexId n = graph.NumVertices();
+  const Weight c = MaxArcWeight(graph);
+  LayoutResults r{};
+
+  {
+    BinaryHeap queue(n);
+    std::vector<Weight> dist(n);
+    r.dijkstra_binary = MsPerTree(
+        [&](VertexId s) { DijkstraInto(graph, s, queue, dist, {}); }, sources);
+  }
+  {
+    DialBuckets queue(n, c);
+    std::vector<Weight> dist(n);
+    r.dijkstra_dial = MsPerTree(
+        [&](VertexId s) { DijkstraInto(graph, s, queue, dist, {}); }, sources);
+  }
+  {
+    SmartQueue queue(n);
+    std::vector<Weight> dist(n);
+    r.dijkstra_smart = MsPerTree(
+        [&](VertexId s) { DijkstraInto(graph, s, queue, dist, {}); }, sources);
+  }
+  {
+    RadixHeap queue(n);
+    std::vector<Weight> dist(n);
+    r.dijkstra_radix = MsPerTree(
+        [&](VertexId s) { DijkstraInto(graph, s, queue, dist, {}); }, sources);
+  }
+  r.bfs = MsPerTree([&](VertexId s) { (void)Bfs(graph, s); }, sources);
+
+  const CHData ch = BuildContractionHierarchy(graph);
+  {
+    Phast::Options options;
+    options.order = SweepOrder::kRankDescending;
+    const Phast engine(ch, options);
+    Phast::Workspace ws = engine.MakeWorkspace();
+    r.phast_rank =
+        MsPerTree([&](VertexId s) { engine.ComputeTree(s, ws); }, sources);
+  }
+  {
+    const Phast engine(ch);  // kLevelReordered
+    Phast::Workspace ws = engine.MakeWorkspace();
+    r.phast_reordered =
+        MsPerTree([&](VertexId s) { engine.ComputeTree(s, ws); }, sources);
+    r.phast_parallel = MsPerTree(
+        [&](VertexId s) { engine.ComputeTreesParallel({&s, 1}, ws); },
+        sources);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+
+  std::printf("=== Table I: single-tree, by algorithm and layout ===\n");
+
+  // Build the raw instance once; the three layouts are relabelings of it.
+  CountryParams params;
+  params.width = config.width;
+  params.height = config.height;
+  params.seed = config.seed;
+  const GeneratedGraph raw = GenerateCountry(params);
+  const SubgraphResult scc = LargestStronglyConnectedComponent(raw.edges);
+  const VertexId n = scc.edges.NumVertices();
+  std::printf("instance: synthetic country, n=%u m=%zu, %d thread(s)\n\n", n,
+              scc.edges.NumArcs(), MaxThreads());
+
+  const std::vector<VertexId> sources =
+      SampleSources(n, config.num_sources, config.seed + 7);
+
+  const EdgeList input_layout = scc.edges;
+  const EdgeList random_layout =
+      ApplyPermutation(scc.edges, RandomPermutation(n, config.seed + 1));
+  const Graph for_dfs = Graph::FromEdgeList(scc.edges);
+  const EdgeList dfs_layout =
+      ApplyPermutation(scc.edges, DfsPermutation(for_dfs, 0));
+
+  // Sources must denote the same physical vertices across layouts for a
+  // fair comparison; since we sample uniformly, resampling per layout is
+  // equivalent — we keep the same indices for simplicity.
+  const LayoutResults random_r = RunLayout(random_layout, sources);
+  const LayoutResults input_r = RunLayout(input_layout, sources);
+  const LayoutResults dfs_r = RunLayout(dfs_layout, sources);
+
+  const std::vector<int> widths = {26, 12, 12, 12};
+  std::printf("time per tree [ms]\n");
+  PrintRow({"algorithm", "random", "input", "DFS"}, widths);
+  const auto row = [&](const char* name, double a, double b, double c) {
+    char x[32], y[32], z[32];
+    std::snprintf(x, sizeof(x), "%.2f", a);
+    std::snprintf(y, sizeof(y), "%.2f", b);
+    std::snprintf(z, sizeof(z), "%.2f", c);
+    PrintRow({name, x, y, z}, widths);
+  };
+  row("Dijkstra (binary heap)", random_r.dijkstra_binary,
+      input_r.dijkstra_binary, dfs_r.dijkstra_binary);
+  row("Dijkstra (Dial)", random_r.dijkstra_dial, input_r.dijkstra_dial,
+      dfs_r.dijkstra_dial);
+  row("Dijkstra (smart queue)", random_r.dijkstra_smart,
+      input_r.dijkstra_smart, dfs_r.dijkstra_smart);
+  row("Dijkstra (radix heap)", random_r.dijkstra_radix,
+      input_r.dijkstra_radix, dfs_r.dijkstra_radix);
+  row("BFS", random_r.bfs, input_r.bfs, dfs_r.bfs);
+  row("PHAST (rank order)", random_r.phast_rank, input_r.phast_rank,
+      dfs_r.phast_rank);
+  row("PHAST (level reordered)", random_r.phast_reordered,
+      input_r.phast_reordered, dfs_r.phast_reordered);
+  row("PHAST (reordered+cores)", random_r.phast_parallel,
+      input_r.phast_parallel, dfs_r.phast_parallel);
+
+  std::printf(
+      "\nspeedup, reordered PHAST vs best Dijkstra (DFS layout): %.1fx\n",
+      std::min({dfs_r.dijkstra_binary, dfs_r.dijkstra_dial,
+                dfs_r.dijkstra_smart}) /
+          dfs_r.phast_reordered);
+  return 0;
+}

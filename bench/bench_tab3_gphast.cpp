@@ -1,0 +1,68 @@
+// Table III: GPHAST performance and GPU memory utilization per k (trees per
+// sweep).
+//
+// The GPU is the modeled GTX 580 of src/gpusim (no physical GPU in this
+// environment — see DESIGN.md substitutions). Functional results are
+// checked against CPU PHAST by the test suite; here we report the modeled
+// per-tree time and the device memory footprint, expecting the paper's
+// trend: memory grows linearly with k while ms/tree shrinks (5.53 ms at
+// k=1 down to 2.21 ms at k=16 on Europe).
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "gpusim/gphast.h"
+#include "util/timer.h"
+
+using namespace phast;
+using namespace phast::bench;
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+
+  std::printf("=== Table III: GPHAST (modeled %s) ===\n",
+              DeviceSpec::Gtx580().name.c_str());
+  const Instance instance = MakeCountryInstance(
+      "country-time", config.width, config.height, Metric::kTravelTime,
+      config.seed);
+  const Phast engine(instance.ch);
+  Gphast gpu(engine);
+
+  const std::vector<uint32_t> ks = {1, 2, 4, 8, 16};
+  std::printf("\n%-14s%-14s%-16s%-16s%s\n", "trees/sweep", "memory [MB]",
+              "device [ms]", "host CH [ms]", "kernels");
+
+  for (const uint32_t k : ks) {
+    const size_t batches = std::max<size_t>(1, config.num_sources / k + 1);
+    Phast::Workspace ws = engine.MakeWorkspace(k);
+    const std::vector<VertexId> sources = SampleSources(
+        engine.NumVertices(), batches * k, config.seed + k);
+
+    double device_seconds = 0.0;
+    double host_seconds = 0.0;
+    uint64_t kernels = 0;
+    for (size_t b = 0; b < batches; ++b) {
+      const Gphast::Result r = gpu.ComputeTrees(
+          {sources.data() + b * k, k}, ws);
+      device_seconds += r.modeled_device_seconds;
+      host_seconds += r.host_seconds;
+      kernels = r.kernels_launched;
+    }
+    const double trees = static_cast<double>(batches * k);
+    std::printf("%-14u%-14.1f%-16.3f%-16.3f%llu\n", k,
+                static_cast<double>(gpu.DeviceMemoryBytes(k)) / (1 << 20),
+                device_seconds * 1e3 / trees, host_seconds * 1e3 / trees,
+                static_cast<unsigned long long>(kernels));
+  }
+
+  const SimtDevice::Stats& stats = gpu.Device().TotalStats();
+  std::printf(
+      "\ndevice totals: %llu kernels, %llu DRAM transactions, %.1f MB "
+      "traffic, %.1f KB copied\n",
+      static_cast<unsigned long long>(stats.kernels),
+      static_cast<unsigned long long>(stats.dram_transactions),
+      static_cast<double>(stats.dram_bytes) / (1 << 20),
+      static_cast<double>(stats.copied_bytes) / 1024.0);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Table VI: Dijkstra vs PHAST vs GPHAST — best configuration of each, with
+// the time and energy to solve all-pairs shortest paths (n trees).
+//
+// Energy uses the paper's wall-power constants (M1-4 alone: 163 W; with a
+// GTX 580: 375 W; with a GTX 480: 390 W) times measured/modeled time — the
+// same methodology, not the same absolute joules. Expected shape: PHAST is
+// 1-2 orders over Dijkstra; GPHAST (modeled) adds another order and wins
+// on energy per tree.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "dijkstra/dijkstra.h"
+#include "gpusim/gphast.h"
+#include "phast/batch.h"
+#include "phast/phast.h"
+#include "pq/dial_buckets.h"
+#include "util/omp_env.h"
+#include "util/timer.h"
+
+using namespace phast;
+using namespace phast::bench;
+
+namespace {
+
+struct Row {
+  const char* algorithm;
+  const char* device;
+  double ms_per_tree;
+  double watts;
+};
+
+void PrintRow(const Row& row, uint64_t n) {
+  const double joules_per_tree = row.watts * row.ms_per_tree / 1e3;
+  const double apsp_seconds = row.ms_per_tree * static_cast<double>(n) / 1e3;
+  // Paper-scale column: n trees on the 18M-vertex Europe instance, assuming
+  // ms/tree scales linearly with n (the sweep is linear in n + m).
+  constexpr double kEuropeVertices = 18e6;
+  const double europe_ms_per_tree =
+      row.ms_per_tree * kEuropeVertices / static_cast<double>(n);
+  const double europe_apsp_seconds =
+      europe_ms_per_tree * kEuropeVertices / 1e3;
+  std::printf("%-10s%-22s%12.3f%12.2f%15s%17s\n", row.algorithm, row.device,
+              row.ms_per_tree, joules_per_tree,
+              FormatDaysHoursMinutes(apsp_seconds).c_str(),
+              FormatDaysHoursMinutes(europe_apsp_seconds).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+
+  std::printf("=== Table VI: Dijkstra vs PHAST vs GPHAST ===\n");
+  const Instance instance = MakeCountryInstance(
+      "country-time", config.width, config.height, Metric::kTravelTime,
+      config.seed);
+  const Graph& g = instance.graph;
+  const VertexId n = g.NumVertices();
+  const std::vector<VertexId> sources =
+      SampleSources(n, config.num_sources, config.seed + 11);
+
+  // Dijkstra, best config: Dial's buckets, all cores (trees per core).
+  double dijkstra_ms;
+  {
+    Timer timer;
+#pragma omp parallel
+    {
+      DialBuckets queue(n, MaxArcWeight(g));
+      std::vector<Weight> dist(n);
+#pragma omp for schedule(dynamic, 1)
+      for (int64_t i = 0; i < static_cast<int64_t>(sources.size()); ++i) {
+        DijkstraInto(g, sources[static_cast<size_t>(i)], queue, dist, {});
+      }
+    }
+    dijkstra_ms = timer.ElapsedMs() / static_cast<double>(sources.size());
+  }
+
+  // PHAST, best config: k=16, SIMD, all cores.
+  const Phast engine(instance.ch);
+  double phast_ms;
+  {
+    BatchOptions options;
+    options.trees_per_sweep = 16;
+    const std::vector<VertexId> batch_sources =
+        SampleSources(n, std::max<size_t>(16, config.num_sources), 99);
+    Timer timer;
+    ComputeManyTrees(engine, batch_sources, options,
+                     [](size_t, const Phast::Workspace&, uint32_t) {});
+    phast_ms = timer.ElapsedMs() / static_cast<double>(batch_sources.size());
+  }
+
+  // GPHAST on both modeled Fermi cards, k=16.
+  const auto gphast_ms = [&](const DeviceSpec& spec) {
+    const Phast::Options options;  // level-reordered
+    Gphast gpu(engine, spec);
+    constexpr uint32_t k = 16;
+    Phast::Workspace ws = engine.MakeWorkspace(k);
+    const std::vector<VertexId> batch = SampleSources(n, k, 7);
+    const Gphast::Result r = gpu.ComputeTrees(batch, ws);
+    return (r.modeled_device_seconds + r.host_seconds) * 1e3 / k;
+  };
+
+  std::printf("\n%-10s%-22s%12s%12s%15s%17s\n", "algorithm", "device",
+              "ms/tree", "J/tree", "n trees", "@Europe scale");
+  std::printf("%-44s%12s%12s%15s%17s\n", "", "", "", "(d:hh:mm:ss)",
+              "(projected)");
+  PrintRow({"Dijkstra", "host (all cores)", dijkstra_ms, 163.0}, n);
+  PrintRow({"PHAST", "host (k=16, SIMD)", phast_ms, 163.0}, n);
+  PrintRow({"GPHAST", "sim-GTX480 (k=16)", gphast_ms(DeviceSpec::Gtx480()),
+            390.0},
+           n);
+  PrintRow({"GPHAST", "sim-GTX580 (k=16)", gphast_ms(DeviceSpec::Gtx580()),
+            375.0},
+           n);
+
+  std::printf(
+      "\nprojection note: linear scaling flatters Dijkstra — at 18M vertices"
+      " it pays cache misses our L3-resident instance never sees, which is"
+      " where the paper's larger gaps come from (see bench_scaling).\n");
+  std::printf("\nPHAST vs Dijkstra:  %.1fx\n", dijkstra_ms / phast_ms);
+  std::printf("GPHAST vs Dijkstra: %.0fx (modeled; paper: ~1280x)\n",
+              dijkstra_ms / gphast_ms(DeviceSpec::Gtx580()));
+
+  // CH preprocessing amortization (paper: 319 trees vs 4-core Dijkstra).
+  const double prep_ms = instance.ch_stats.seconds * 1e3;
+  const double g580 = gphast_ms(DeviceSpec::Gtx580());
+  if (dijkstra_ms > g580) {
+    std::printf("preprocessing amortized after %.0f trees (paper: 319)\n",
+                prep_ms / (dijkstra_ms - g580));
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "common.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "graph/connectivity.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace phast::bench {
+
+Instance MakeCountryInstance(const std::string& name, uint32_t width,
+                             uint32_t height, Metric metric, uint64_t seed) {
+  CountryParams params;
+  params.width = width;
+  params.height = height;
+  params.metric = metric;
+  params.seed = seed;
+
+  const GeneratedGraph raw = GenerateCountry(params);
+  const SubgraphResult scc = LargestStronglyConnectedComponent(raw.edges);
+
+  // DFS layout from a fixed root — the paper's default vertex order (§II-A).
+  const Graph unordered = Graph::FromEdgeList(scc.edges);
+  const Permutation dfs = DfsPermutation(unordered, 0);
+
+  Instance instance;
+  instance.name = name;
+  instance.metric = metric;
+  instance.edges = ApplyPermutation(scc.edges, dfs);
+  instance.graph = Graph::FromEdgeList(instance.edges);
+  instance.ch =
+      BuildContractionHierarchy(instance.graph, CHParams{}, &instance.ch_stats);
+
+  std::printf(
+      "instance %-12s  n=%u  m=%zu  metric=%s  ch: %zu shortcuts, %u levels, "
+      "%.2fs preprocessing\n",
+      name.c_str(), instance.graph.NumVertices(), instance.graph.NumArcs(),
+      metric == Metric::kTravelTime ? "time" : "distance",
+      instance.ch.num_shortcuts, instance.ch.NumLevels(),
+      instance.ch_stats.seconds);
+  return instance;
+}
+
+std::vector<VertexId> SampleSources(VertexId n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> sources(count);
+  for (auto& s : sources) s = static_cast<VertexId>(rng.NextBounded(n));
+  return sources;
+}
+
+BenchConfig BenchConfig::FromCommandLine(const CommandLine& cli) {
+  BenchConfig config;
+  config.width = static_cast<uint32_t>(cli.GetInt("width", config.width));
+  config.height = static_cast<uint32_t>(cli.GetInt("height", config.height));
+  config.num_sources =
+      static_cast<size_t>(cli.GetInt("sources", config.num_sources));
+  config.seed = static_cast<uint64_t>(cli.GetInt("seed", config.seed));
+  return config;
+}
+
+std::string FormatDaysHoursMinutes(double seconds) {
+  const int64_t total_seconds = static_cast<int64_t>(std::llround(seconds));
+  const int64_t days = total_seconds / (24 * 3600);
+  const int64_t hours = total_seconds / 3600 % 24;
+  const int64_t minutes = total_seconds / 60 % 60;
+  const int64_t secs = total_seconds % 60;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "%" PRId64 ":%02" PRId64 ":%02" PRId64 ":%02" PRId64, days,
+                hours, minutes, secs);
+  return buffer;
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace phast::bench

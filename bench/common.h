@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared workload setup for the per-table benchmark drivers. Every bench
+// binary reproduces one table or figure of the paper (see DESIGN.md §4 and
+// EXPERIMENTS.md); they all run on the same synthetic instances built here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/contraction.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "util/cli.h"
+
+namespace phast::bench {
+
+/// A fully prepared benchmark instance: the largest SCC of a generated
+/// road network, DFS-relabeled (the paper's default layout), plus its
+/// contraction hierarchy.
+struct Instance {
+  std::string name;
+  Graph graph;        // DFS layout
+  EdgeList edges;     // same graph as edge list (for relabeling studies)
+  CHData ch;          // hierarchy of `graph`
+  CHStats ch_stats;
+  Metric metric = Metric::kTravelTime;
+};
+
+/// Builds the standard instance: synthetic country of width x height cells.
+/// The default 160x160 (~25k vertices after SCC extraction) keeps every
+/// bench under a minute on a laptop; pass --width/--height to scale up.
+Instance MakeCountryInstance(const std::string& name, uint32_t width,
+                             uint32_t height, Metric metric, uint64_t seed);
+
+/// Standard source sample for per-tree timing averages.
+std::vector<VertexId> SampleSources(VertexId n, size_t count, uint64_t seed);
+
+/// Reads the common --width/--height/--sources/--seed flags.
+struct BenchConfig {
+  uint32_t width = 160;
+  uint32_t height = 160;
+  size_t num_sources = 8;
+  uint64_t seed = 1;
+
+  static BenchConfig FromCommandLine(const CommandLine& cli);
+};
+
+/// Formats "d:hh:mm" like the paper's Table VI n-trees column.
+std::string FormatDaysHoursMinutes(double seconds);
+
+/// Prints an aligned row of columns (simple fixed-width table output).
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+}  // namespace phast::bench

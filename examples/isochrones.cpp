@@ -1,0 +1,74 @@
+// Isochrones: the classic one-to-all application behind "how far can I get
+// in X minutes?" maps. PHAST computes the full distance tree from a depot;
+// we bucket vertices into travel-time bands and report how the reachable
+// set grows — for several depots, reusing one workspace.
+//
+// Run:  ./isochrones [--width=96 --height=96 --depots=4 --bands=8]
+#include <cstdio>
+#include <vector>
+
+#include "ch/contraction.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "phast/phast.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace phast;
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  CountryParams params;
+  params.width = static_cast<uint32_t>(cli.GetInt("width", 96));
+  params.height = static_cast<uint32_t>(cli.GetInt("height", 96));
+  const size_t depots = static_cast<size_t>(cli.GetInt("depots", 4));
+  const size_t bands = static_cast<size_t>(cli.GetInt("bands", 8));
+
+  const GeneratedGraph generated = GenerateCountry(params);
+  const SubgraphResult scc =
+      LargestStronglyConnectedComponent(generated.edges);
+  const Graph graph = Graph::FromEdgeList(scc.edges);
+  const VertexId n = graph.NumVertices();
+  std::printf("network: %u vertices, %zu arcs\n", n, graph.NumArcs());
+
+  const CHData ch = BuildContractionHierarchy(graph);
+  const Phast engine(ch);
+  Phast::Workspace workspace = engine.MakeWorkspace();
+
+  Rng rng(42);
+  for (size_t d = 0; d < depots; ++d) {
+    const VertexId depot = static_cast<VertexId>(rng.NextBounded(n));
+    Timer timer;
+    engine.ComputeTree(depot, workspace);
+    const double tree_ms = timer.ElapsedMs();
+
+    // Band width: max finite distance divided into `bands` rings.
+    Weight max_dist = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const Weight dist = engine.Distance(workspace, v);
+      if (dist != kInfWeight) max_dist = std::max(max_dist, dist);
+    }
+    const Weight band_width = std::max<Weight>(1, max_dist / static_cast<Weight>(bands));
+
+    std::vector<uint64_t> ring(bands, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const Weight dist = engine.Distance(workspace, v);
+      if (dist == kInfWeight) continue;
+      ring[std::min(bands - 1, static_cast<size_t>(dist / band_width))]++;
+    }
+
+    std::printf("\ndepot %u (tree in %.2f ms), ring width %u:\n", depot,
+                tree_ms, band_width);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < bands; ++b) {
+      cumulative += ring[b];
+      std::printf("  <= %8u: %7llu vertices (%5.1f%% cumulative)\n",
+                  static_cast<Weight>((b + 1) * band_width),
+                  static_cast<unsigned long long>(ring[b]),
+                  100.0 * static_cast<double>(cumulative) /
+                      static_cast<double>(n));
+    }
+  }
+  return 0;
+}

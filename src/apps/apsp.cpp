@@ -1,0 +1,67 @@
+#include "apps/apsp.h"
+
+#include "phast/batch.h"
+#include "phast/rphast.h"
+#include "util/error.h"
+
+namespace phast {
+namespace {
+
+DistanceTable FullSweepTable(const Phast& engine,
+                             std::span<const VertexId> sources,
+                             std::span<const VertexId> targets,
+                             uint32_t trees_per_sweep) {
+  DistanceTable table(sources.size(), targets.size());
+  BatchOptions options;
+  options.trees_per_sweep = trees_per_sweep;
+  ComputeManyTrees(engine, sources, options,
+                   [&](size_t source_index, const Phast::Workspace& ws,
+                       uint32_t slot) {
+                     // Rows are disjoint, so no synchronization needed.
+                     for (size_t t = 0; t < targets.size(); ++t) {
+                       table.Set(source_index, t,
+                                 engine.Distance(ws, targets[t], slot));
+                     }
+                   });
+  return table;
+}
+
+DistanceTable RestrictedSweepTable(const Phast& engine,
+                                   std::span<const VertexId> sources,
+                                   std::span<const VertexId> targets) {
+  DistanceTable table(sources.size(), targets.size());
+  const RPhast rphast(engine, targets);
+  RPhast::Workspace ws = rphast.MakeWorkspace();
+  for (size_t s = 0; s < sources.size(); ++s) {
+    rphast.ComputeTree(sources[s], ws);
+    for (size_t t = 0; t < targets.size(); ++t) {
+      table.Set(s, t, rphast.DistanceToTarget(ws, t));
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+DistanceTable ComputeDistanceTable(const Phast& engine,
+                                   std::span<const VertexId> sources,
+                                   std::span<const VertexId> targets,
+                                   const TableOptions& options) {
+  Require(!sources.empty() && !targets.empty(),
+          "distance table needs sources and targets");
+
+  TableStrategy strategy = options.strategy;
+  if (strategy == TableStrategy::kAuto) {
+    // Restriction pays off when the targets (and therefore the restricted
+    // subgraph) are a small slice of the network.
+    strategy = targets.size() * 20 < engine.NumVertices()
+                   ? TableStrategy::kRestrictedSweep
+                   : TableStrategy::kFullSweep;
+  }
+  return strategy == TableStrategy::kRestrictedSweep
+             ? RestrictedSweepTable(engine, sources, targets)
+             : FullSweepTable(engine, sources, targets,
+                              options.trees_per_sweep);
+}
+
+}  // namespace phast

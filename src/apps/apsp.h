@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// A sources x targets distance table, row-major. The workload the paper's
+/// introduction motivates: "applications based on all-pairs shortest-paths
+/// [become] practical for continental-sized road networks" — logistics
+/// distance tables, OD matrices, and full APSP are all instances.
+class DistanceTable {
+ public:
+  DistanceTable() = default;
+  DistanceTable(size_t num_sources, size_t num_targets)
+      : num_sources_(num_sources),
+        num_targets_(num_targets),
+        values_(num_sources * num_targets, kInfWeight) {}
+
+  [[nodiscard]] Weight At(size_t source_index, size_t target_index) const {
+    return values_[source_index * num_targets_ + target_index];
+  }
+  void Set(size_t source_index, size_t target_index, Weight value) {
+    values_[source_index * num_targets_ + target_index] = value;
+  }
+
+  [[nodiscard]] size_t NumSources() const { return num_sources_; }
+  [[nodiscard]] size_t NumTargets() const { return num_targets_; }
+  [[nodiscard]] size_t SizeBytes() const {
+    return values_.size() * sizeof(Weight);
+  }
+
+  friend bool operator==(const DistanceTable&, const DistanceTable&) = default;
+
+ private:
+  size_t num_sources_ = 0;
+  size_t num_targets_ = 0;
+  std::vector<Weight> values_;
+};
+
+/// How ComputeDistanceTable runs its sweeps.
+enum class TableStrategy {
+  /// One full PHAST sweep per source batch (k trees per sweep); best when
+  /// targets cover much of the graph.
+  kFullSweep,
+  /// RPHAST: restrict the downward graph to the targets once, then sweep
+  /// only the restricted arrays per source; best for small target sets.
+  kRestrictedSweep,
+  /// Picks restricted sweeps when the target count is below ~5% of n.
+  kAuto,
+};
+
+struct TableOptions {
+  TableStrategy strategy = TableStrategy::kAuto;
+  /// Trees per sweep for the full-sweep strategy (§IV-B).
+  uint32_t trees_per_sweep = 16;
+};
+
+/// Computes the sources x targets table with PHAST/RPHAST. Both strategies
+/// produce identical values; see TableStrategy for the trade-off.
+[[nodiscard]] DistanceTable ComputeDistanceTable(
+    const Phast& engine, std::span<const VertexId> sources,
+    std::span<const VertexId> targets, const TableOptions& options = {});
+
+}  // namespace phast

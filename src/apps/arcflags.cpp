@@ -1,0 +1,314 @@
+#include "apps/arcflags.h"
+
+#include <algorithm>
+
+#include "dijkstra/dijkstra.h"
+#include "phast/batch.h"
+#include "pq/dary_heap.h"
+#include "util/error.h"
+
+namespace phast {
+
+ArcFlags::ArcFlags(const Graph& forward, PartitionResult partition)
+    : forward_(forward),
+      reverse_(forward.Reversed()),
+      partition_(std::move(partition)) {
+  Require(partition_.cell.size() == forward_.NumVertices(),
+          "partition does not match graph");
+  Require(partition_.num_cells >= 1, "partition has no cells");
+  boundary_ = BoundaryVertices(forward_, partition_);
+  words_per_arc_ = (partition_.num_cells + 63) / 64;
+  flags_.assign(forward_.NumArcs() * static_cast<size_t>(words_per_arc_), 0);
+}
+
+void ArcFlags::ResetFlags() {
+  std::fill(flags_.begin(), flags_.end(), uint64_t{0});
+  // Arcs inside a cell carry that cell's flag so queries can finish at
+  // non-boundary targets.
+  ArcId arc = 0;
+  for (VertexId u = 0; u < forward_.NumVertices(); ++u) {
+    for (const Arc& a : forward_.ArcsOf(u)) {
+      if (partition_.cell[u] == partition_.cell[a.other]) {
+        SetFlag(arc, partition_.cell[u]);
+      }
+      ++arc;
+    }
+  }
+}
+
+void ArcFlags::AbsorbTree(VertexId b, const std::vector<Weight>& dist_to_b) {
+  const uint32_t cell = partition_.cell[b];
+  ArcId arc = 0;
+  for (VertexId u = 0; u < forward_.NumVertices(); ++u) {
+    const Weight du = dist_to_b[u];
+    for (const Arc& a : forward_.ArcsOf(u)) {
+      // (u, v) starts a shortest u -> b path iff l(u,v) + d(v -> b) equals
+      // d(u -> b).
+      if (du != kInfWeight && dist_to_b[a.other] != kInfWeight &&
+          du == SaturatingAdd(a.weight, dist_to_b[a.other])) {
+        SetFlag(arc, cell);
+      }
+      ++arc;
+    }
+  }
+}
+
+void ArcFlags::PreprocessWithDijkstra() {
+  ResetFlags();
+  const VertexId n = forward_.NumVertices();
+  BinaryHeap queue(n);
+  std::vector<Weight> dist(n);
+  for (const VertexId b : boundary_) {
+    // Distances *to* b in the original graph are distances *from* b in the
+    // reverse graph.
+    DijkstraInto(reverse_, b, queue, dist, {});
+    AbsorbTree(b, dist);
+  }
+  preprocessed_ = true;
+}
+
+void ArcFlags::PreprocessWithPhast(const Phast& reverse_engine,
+                                   uint32_t trees_per_sweep) {
+  Require(reverse_engine.NumVertices() == forward_.NumVertices(),
+          "reverse engine does not match graph");
+  ResetFlags();
+  const VertexId n = forward_.NumVertices();
+
+  // AbsorbTree writes shared flag words, so serialize it; the tree
+  // computations themselves parallelize across threads.
+  BatchOptions options;
+  options.trees_per_sweep = trees_per_sweep;
+  ComputeManyTrees(reverse_engine, boundary_, options,
+                   [&](size_t source_index, const Phast::Workspace& ws,
+                       uint32_t slot) {
+                     std::vector<Weight> local(n);
+                     for (VertexId v = 0; v < n; ++v) {
+                       local[v] = reverse_engine.Distance(ws, v, slot);
+                     }
+#pragma omp critical(phast_arcflags_absorb)
+                     AbsorbTree(boundary_[source_index], local);
+                   });
+  preprocessed_ = true;
+}
+
+PointToPointResult ArcFlags::Query(VertexId s, VertexId t) const {
+  Require(preprocessed_, "arc flags not preprocessed yet");
+  const VertexId n = forward_.NumVertices();
+  Require(s < n && t < n, "query endpoint out of range");
+  const uint32_t target_cell = partition_.cell[t];
+
+  PointToPointResult result;
+  std::vector<Weight> dist(n, kInfWeight);
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  BinaryHeap queue(n);
+  dist[s] = 0;
+  queue.Update(s, 0);
+  while (!queue.Empty()) {
+    const auto [v, key] = queue.ExtractMin();
+    ++result.scanned;
+    if (v == t) break;
+    ArcId arc = forward_.FirstArray()[v];
+    for (const Arc& a : forward_.ArcsOf(v)) {
+      if (GetFlag(arc, target_cell)) {
+        const Weight candidate = SaturatingAdd(key, a.weight);
+        if (candidate < dist[a.other]) {
+          dist[a.other] = candidate;
+          parent[a.other] = v;
+          queue.Update(a.other, candidate);
+        }
+      }
+      ++arc;
+    }
+  }
+
+  result.dist = dist[t];
+  if (result.dist != kInfWeight) {
+    for (VertexId v = t; v != kInvalidVertex; v = parent[v]) {
+      result.path.push_back(v);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+  }
+  return result;
+}
+
+void ArcFlags::ResetSourceFlags() {
+  source_flags_.assign(forward_.NumArcs() * static_cast<size_t>(words_per_arc_),
+                       0);
+  ArcId arc = 0;
+  for (VertexId u = 0; u < forward_.NumVertices(); ++u) {
+    for (const Arc& a : forward_.ArcsOf(u)) {
+      if (partition_.cell[u] == partition_.cell[a.other]) {
+        SetSourceFlag(arc, partition_.cell[u]);
+      }
+      ++arc;
+    }
+  }
+  if (reverse_to_forward_arc_.empty()) {
+    // Align reverse arcs with their forward twins once: reverse_.ArcsOf(v)
+    // lists incoming arcs (u, v); find each one's index in forward_.
+    reverse_to_forward_arc_.resize(forward_.NumArcs());
+    size_t rev_index = 0;
+    for (VertexId v = 0; v < forward_.NumVertices(); ++v) {
+      for (const Arc& incoming : reverse_.ArcsOf(v)) {
+        const VertexId u = incoming.other;
+        ArcId fwd = forward_.FirstArray()[u];
+        for (const Arc& a : forward_.ArcsOf(u)) {
+          if (a.other == v && a.weight == incoming.weight) break;
+          ++fwd;
+        }
+        reverse_to_forward_arc_[rev_index++] = fwd;
+      }
+    }
+  }
+}
+
+void ArcFlags::AbsorbSourceTree(VertexId b,
+                                const std::vector<Weight>& dist_from_b) {
+  const uint32_t cell = partition_.cell[b];
+  ArcId arc = 0;
+  for (VertexId u = 0; u < forward_.NumVertices(); ++u) {
+    const Weight du = dist_from_b[u];
+    for (const Arc& a : forward_.ArcsOf(u)) {
+      // (u, v) continues a shortest b -> v path iff d(b -> u) + l(u,v)
+      // equals d(b -> v).
+      if (du != kInfWeight && dist_from_b[a.other] != kInfWeight &&
+          dist_from_b[a.other] == SaturatingAdd(du, a.weight)) {
+        SetSourceFlag(arc, cell);
+      }
+      ++arc;
+    }
+  }
+}
+
+void ArcFlags::PreprocessSourceFlagsWithDijkstra() {
+  ResetSourceFlags();
+  const VertexId n = forward_.NumVertices();
+  BinaryHeap queue(n);
+  std::vector<Weight> dist(n);
+  for (const VertexId b : boundary_) {
+    DijkstraInto(forward_, b, queue, dist, {});
+    AbsorbSourceTree(b, dist);
+  }
+  source_preprocessed_ = true;
+}
+
+void ArcFlags::PreprocessSourceFlagsWithPhast(const Phast& forward_engine,
+                                              uint32_t trees_per_sweep) {
+  Require(forward_engine.NumVertices() == forward_.NumVertices(),
+          "forward engine does not match graph");
+  ResetSourceFlags();
+  const VertexId n = forward_.NumVertices();
+  BatchOptions options;
+  options.trees_per_sweep = trees_per_sweep;
+  ComputeManyTrees(forward_engine, boundary_, options,
+                   [&](size_t source_index, const Phast::Workspace& ws,
+                       uint32_t slot) {
+                     std::vector<Weight> local(n);
+                     for (VertexId v = 0; v < n; ++v) {
+                       local[v] = forward_engine.Distance(ws, v, slot);
+                     }
+#pragma omp critical(phast_arcflags_absorb_src)
+                     AbsorbSourceTree(boundary_[source_index], local);
+                   });
+  source_preprocessed_ = true;
+}
+
+PointToPointResult ArcFlags::QueryBidirectional(VertexId s, VertexId t) const {
+  Require(preprocessed_ && source_preprocessed_,
+          "bidirectional queries need both flag sets preprocessed");
+  const VertexId n = forward_.NumVertices();
+  Require(s < n && t < n, "query endpoint out of range");
+
+  PointToPointResult result;
+  if (s == t) {
+    result.dist = 0;
+    result.path = {s};
+    return result;
+  }
+  const uint32_t target_cell = partition_.cell[t];
+  const uint32_t source_cell = partition_.cell[s];
+
+  std::vector<Weight> dist_f(n, kInfWeight), dist_b(n, kInfWeight);
+  std::vector<VertexId> par_f(n, kInvalidVertex), par_b(n, kInvalidVertex);
+  BinaryHeap queue_f(n), queue_b(n);
+  dist_f[s] = 0;
+  queue_f.Update(s, 0);
+  dist_b[t] = 0;
+  queue_b.Update(t, 0);
+
+  Weight best = kInfWeight;
+  VertexId meet = kInvalidVertex;
+
+  const auto consider_meeting = [&](VertexId v) {
+    if (dist_f[v] != kInfWeight && dist_b[v] != kInfWeight) {
+      const Weight through = SaturatingAdd(dist_f[v], dist_b[v]);
+      if (through < best) {
+        best = through;
+        meet = v;
+      }
+    }
+  };
+
+  while (true) {
+    const Weight min_f = queue_f.Empty() ? kInfWeight : queue_f.MinKey();
+    const Weight min_b = queue_b.Empty() ? kInfWeight : queue_b.MinKey();
+    if (SaturatingAdd(min_f, min_b) >= best) break;
+    if (min_f <= min_b) {
+      const auto [v, key] = queue_f.ExtractMin();
+      ++result.scanned;
+      ArcId arc = forward_.FirstArray()[v];
+      for (const Arc& a : forward_.ArcsOf(v)) {
+        if (GetFlag(arc, target_cell)) {
+          const Weight cand = SaturatingAdd(key, a.weight);
+          if (cand < dist_f[a.other]) {
+            dist_f[a.other] = cand;
+            par_f[a.other] = v;
+            queue_f.Update(a.other, cand);
+            consider_meeting(a.other);
+          }
+        }
+        ++arc;
+      }
+    } else {
+      const auto [v, key] = queue_b.ExtractMin();
+      ++result.scanned;
+      size_t rev_index = reverse_.FirstArray()[v];
+      for (const Arc& a : reverse_.ArcsOf(v)) {
+        // Traversing (u, v) backward: prune by the source cell's flags.
+        if (GetSourceFlag(reverse_to_forward_arc_[rev_index], source_cell)) {
+          const Weight cand = SaturatingAdd(key, a.weight);
+          if (cand < dist_b[a.other]) {
+            dist_b[a.other] = cand;
+            par_b[a.other] = v;
+            queue_b.Update(a.other, cand);
+            consider_meeting(a.other);
+          }
+        }
+        ++rev_index;
+      }
+    }
+  }
+
+  result.dist = best;
+  if (best == kInfWeight) return result;
+  std::vector<VertexId> half;
+  for (VertexId v = meet; v != kInvalidVertex; v = par_f[v]) half.push_back(v);
+  result.path.assign(half.rbegin(), half.rend());
+  for (VertexId v = par_b[meet]; v != kInvalidVertex; v = par_b[v]) {
+    result.path.push_back(v);
+  }
+  return result;
+}
+
+double ArcFlags::FlagDensity() const {
+  size_t set_bits = 0;
+  for (const uint64_t w : flags_) {
+    set_bits += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  const size_t total =
+      forward_.NumArcs() * static_cast<size_t>(partition_.num_cells);
+  return total == 0 ? 0.0 : static_cast<double>(set_bits) /
+                                static_cast<double>(total);
+}
+
+}  // namespace phast

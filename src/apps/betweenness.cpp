@@ -1,0 +1,111 @@
+#include "apps/betweenness.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dijkstra/dijkstra.h"
+#include "phast/batch.h"
+#include "pq/dary_heap.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast {
+
+void AccumulateBrandes(const Graph& graph, VertexId source,
+                       const std::vector<Weight>& dist,
+                       std::vector<double>* centrality) {
+  const VertexId n = graph.NumVertices();
+
+  // Vertices reachable from source, by non-decreasing distance: a
+  // topological order of the shortest-path DAG.
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] != kInfWeight) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&dist](VertexId a, VertexId b) { return dist[a] < dist[b]; });
+
+  // Pass 1 (forward): σ(v) = number of shortest source-v paths.
+  std::vector<double> sigma(n, 0.0);
+  sigma[source] = 1.0;
+  for (const VertexId u : order) {
+    if (sigma[u] == 0.0) continue;
+    for (const Arc& arc : graph.ArcsOf(u)) {
+      if (SaturatingAdd(dist[u], arc.weight) == dist[arc.other] &&
+          dist[arc.other] != kInfWeight) {
+        sigma[arc.other] += sigma[u];
+      }
+    }
+  }
+
+  // Pass 2 (backward): δ(u) = Σ_{(u,v) in DAG} σ(u)/σ(v) · (1 + δ(v)).
+  std::vector<double> delta(n, 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId u = *it;
+    if (sigma[u] == 0.0) continue;
+    for (const Arc& arc : graph.ArcsOf(u)) {
+      const VertexId v = arc.other;
+      if (SaturatingAdd(dist[u], arc.weight) == dist[v] &&
+          dist[v] != kInfWeight && sigma[v] > 0.0) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+    if (u != source) (*centrality)[u] += delta[u];
+  }
+}
+
+std::vector<double> ComputeBetweenness(const Graph& graph, const Phast& engine,
+                                       std::span<const VertexId> sources,
+                                       uint32_t trees_per_sweep) {
+  const VertexId n = graph.NumVertices();
+  Require(engine.NumVertices() == n, "engine does not match graph");
+  std::vector<double> centrality(n, 0.0);
+
+  BatchOptions options;
+  options.trees_per_sweep = trees_per_sweep;
+  ComputeManyTrees(
+      engine, sources, options,
+      [&](size_t source_index, const Phast::Workspace& ws, uint32_t slot) {
+        std::vector<Weight> dist(n);
+        for (VertexId v = 0; v < n; ++v) {
+          dist[v] = engine.Distance(ws, v, slot);
+        }
+#pragma omp critical(phast_betweenness_reduce)
+        AccumulateBrandes(graph, sources[source_index], dist, &centrality);
+      });
+  return centrality;
+}
+
+std::vector<double> EstimateBetweenness(const Graph& graph,
+                                        const Phast& engine,
+                                        size_t num_samples, uint64_t seed,
+                                        uint32_t trees_per_sweep) {
+  const VertexId n = graph.NumVertices();
+  Require(num_samples > 0, "need at least one sample pivot");
+  Rng rng(seed);
+  std::vector<VertexId> pivots(num_samples);
+  for (auto& p : pivots) p = static_cast<VertexId>(rng.NextBounded(n));
+
+  std::vector<double> centrality =
+      ComputeBetweenness(graph, engine, pivots, trees_per_sweep);
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(num_samples);
+  for (double& c : centrality) c *= scale;
+  return centrality;
+}
+
+std::vector<double> ComputeBetweennessDijkstra(
+    const Graph& graph, std::span<const VertexId> sources) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  BinaryHeap queue(n);
+  std::vector<Weight> dist(n);
+  for (const VertexId s : sources) {
+    DijkstraInto(graph, s, queue, dist, {});
+    AccumulateBrandes(graph, s, dist, &centrality);
+  }
+  return centrality;
+}
+
+}  // namespace phast

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// Exact betweenness centrality (§VII-B.c, [15], [16], [28]):
+/// c_B(v) = Σ_{s≠v≠t} σ_st(v) / σ_st, with σ_st the number of shortest s-t
+/// paths. Brandes' algorithm needs one shortest path *DAG* per source; with
+/// exact distances in hand (from PHAST), path counting and dependency
+/// accumulation are two linear passes over the arc list in distance order —
+/// no priority queue.
+///
+/// Contributions are summed over the given sources only (pass all vertices
+/// for exact betweenness; a uniform sample gives the standard estimator,
+/// scaled by n/|sources| by the caller).
+[[nodiscard]] std::vector<double> ComputeBetweenness(
+    const Graph& graph, const Phast& engine,
+    std::span<const VertexId> sources, uint32_t trees_per_sweep = 1);
+
+/// Reference implementation with Dijkstra providing the distances
+/// (identical accumulation passes) — the baseline PHAST replaces.
+[[nodiscard]] std::vector<double> ComputeBetweennessDijkstra(
+    const Graph& graph, std::span<const VertexId> sources);
+
+/// The shared accumulation core: given exact distances from `source`, adds
+/// this source's dependency contributions to `centrality` (Brandes' inner
+/// loop over the DAG induced by d(u) + l(u,v) == d(v)).
+void AccumulateBrandes(const Graph& graph, VertexId source,
+                       const std::vector<Weight>& dist,
+                       std::vector<double>* centrality);
+
+/// Sampled betweenness (the approximation techniques of [28], [29] the
+/// paper says PHAST can accelerate): contributions from `num_samples`
+/// uniformly random pivots, scaled by n / num_samples — an unbiased
+/// estimator of exact betweenness. The estimator's per-pivot work is one
+/// PHAST tree plus two linear passes, so accuracy/cost is a dial.
+[[nodiscard]] std::vector<double> EstimateBetweenness(
+    const Graph& graph, const Phast& engine, size_t num_samples,
+    uint64_t seed, uint32_t trees_per_sweep = 1);
+
+}  // namespace phast

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+struct DiameterResult {
+  Weight diameter = 0;
+  VertexId source = kInvalidVertex;  // endpoint pair realizing the diameter
+  VertexId target = kInvalidVertex;
+  size_t trees_built = 0;
+};
+
+/// Exact diameter over the given sources (pass all vertices for the true
+/// diameter): builds one PHAST tree per source, each thread tracking the
+/// maximum finite label it sees (§VII-B.a). Unreachable pairs are skipped,
+/// matching the convention for strongly connected road networks.
+[[nodiscard]] DiameterResult ComputeDiameter(const Phast& engine,
+                                             std::span<const VertexId> sources,
+                                             uint32_t trees_per_sweep = 1);
+
+/// The GPHAST-oriented variant (§VII-B.a): keeps a per-vertex running
+/// maximum over all trees (one extra n-sized array, warp-friendly writes)
+/// and collects the final maximum in one sweep. Returns the same diameter;
+/// exists as an ablation of the two bookkeeping strategies.
+[[nodiscard]] DiameterResult ComputeDiameterMaxArray(
+    const Phast& engine, std::span<const VertexId> sources,
+    uint32_t trees_per_sweep = 1);
+
+}  // namespace phast

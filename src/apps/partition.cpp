@@ -1,0 +1,63 @@
+#include "apps/partition.h"
+
+#include "util/error.h"
+
+namespace phast {
+
+PartitionResult PartitionBfs(const Graph& forward, const Graph& reverse,
+                             uint32_t max_cell_size) {
+  const VertexId n = forward.NumVertices();
+  Require(reverse.NumVertices() == n, "graph/reverse size mismatch");
+  Require(max_cell_size >= 1, "cells must allow at least one vertex");
+
+  constexpr uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+  PartitionResult result;
+  result.cell.assign(n, kUnassigned);
+
+  std::vector<VertexId> queue;
+  queue.reserve(max_cell_size);
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (result.cell[seed] != kUnassigned) continue;
+    const uint32_t cell = result.num_cells++;
+    queue.clear();
+    queue.push_back(seed);
+    result.cell[seed] = cell;
+    uint32_t size = 1;
+    for (size_t head = 0; head < queue.size() && size < max_cell_size;
+         ++head) {
+      const VertexId v = queue[head];
+      const auto grow = [&](const Arc& arc) {
+        if (size < max_cell_size && result.cell[arc.other] == kUnassigned) {
+          result.cell[arc.other] = cell;
+          queue.push_back(arc.other);
+          ++size;
+        }
+      };
+      for (const Arc& arc : forward.ArcsOf(v)) grow(arc);
+      for (const Arc& arc : reverse.ArcsOf(v)) grow(arc);
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> BoundaryVertices(const Graph& forward,
+                                       const PartitionResult& partition) {
+  const VertexId n = forward.NumVertices();
+  Require(partition.cell.size() == n, "partition size mismatch");
+  std::vector<bool> is_boundary(n, false);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Arc& arc : forward.ArcsOf(u)) {
+      if (partition.cell[u] != partition.cell[arc.other]) {
+        is_boundary[u] = true;
+        is_boundary[arc.other] = true;
+      }
+    }
+  }
+  std::vector<VertexId> boundary;
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_boundary[v]) boundary.push_back(v);
+  }
+  return boundary;
+}
+
+}  // namespace phast

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// A partition of the vertices into cells, the input arc flags need
+/// (§VII-B.b). cell[v] is a dense id in [0, num_cells).
+struct PartitionResult {
+  std::vector<uint32_t> cell;
+  uint32_t num_cells = 0;
+};
+
+/// BFS-grow partitioner: repeatedly seeds an unassigned vertex and grows a
+/// cell breadth-first (over the union of out- and in-arcs) until it reaches
+/// `max_cell_size`. Simple stand-in for the graph-partitioning packages the
+/// paper cites ([24]–[27]); produces connected, roughly equal-sized cells
+/// with small boundaries on road-like graphs.
+[[nodiscard]] PartitionResult PartitionBfs(const Graph& forward,
+                                           const Graph& reverse,
+                                           uint32_t max_cell_size);
+
+/// Vertices with an incident arc from/to another cell. Arc-flag
+/// preprocessing builds one (reverse) shortest path tree per boundary
+/// vertex — the count here determines its cost.
+[[nodiscard]] std::vector<VertexId> BoundaryVertices(
+    const Graph& forward, const PartitionResult& partition);
+
+}  // namespace phast

@@ -1,0 +1,96 @@
+#include "apps/reach.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dijkstra/dijkstra.h"
+#include "phast/batch.h"
+#include "phast/tree.h"
+#include "pq/dary_heap.h"
+#include "util/error.h"
+
+namespace phast {
+namespace {
+
+/// Folds one shortest path tree into the running reach values:
+/// reach(v) = max(reach(v), min(depth(v), height(v))).
+void AccumulateTreeReach(const std::vector<Weight>& dist,
+                         const std::vector<VertexId>& parent,
+                         std::vector<Weight>* reach) {
+  const VertexId n = static_cast<VertexId>(dist.size());
+
+  // Process leaves-to-root: descending distance is a reverse topological
+  // order of the tree because arc weights are strictly positive.
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (dist[v] != kInfWeight) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&dist](VertexId a, VertexId b) { return dist[a] > dist[b]; });
+
+  std::vector<Weight> height(n, 0);
+  for (const VertexId v : order) {
+    const VertexId p = parent[v];
+    if (p != kInvalidVertex) {
+      height[p] = std::max(height[p],
+                           static_cast<Weight>(height[v] + dist[v] - dist[p]));
+    }
+    (*reach)[v] = std::max((*reach)[v], std::min(dist[v], height[v]));
+  }
+}
+
+}  // namespace
+
+std::vector<Weight> ComputeReaches(const Graph& graph, const Phast& engine,
+                                   std::span<const VertexId> sources,
+                                   uint32_t trees_per_sweep) {
+  const VertexId n = graph.NumVertices();
+  Require(engine.NumVertices() == n, "engine does not match graph");
+  std::vector<Weight> reach(n, 0);
+
+  BatchOptions options;
+  options.trees_per_sweep = trees_per_sweep;
+  ComputeManyTrees(
+      engine, sources, options,
+      [&](size_t, const Phast::Workspace& ws, uint32_t slot) {
+        std::vector<Weight> dist(n);
+        for (VertexId v = 0; v < n; ++v) {
+          dist[v] = engine.Distance(ws, v, slot);
+        }
+        const std::vector<VertexId> parent =
+            BuildTreeInOriginalGraph(graph, engine, ws, slot);
+#pragma omp critical(phast_reach_reduce)
+        AccumulateTreeReach(dist, parent, &reach);
+      });
+  return reach;
+}
+
+std::vector<Weight> ComputeReachesDijkstra(const Graph& graph,
+                                           std::span<const VertexId> sources) {
+  const VertexId n = graph.NumVertices();
+  std::vector<Weight> reach(n, 0);
+  BinaryHeap queue(n);
+  std::vector<Weight> dist(n);
+  std::vector<VertexId> parent(n);
+  for (const VertexId s : sources) {
+    DijkstraInto(graph, s, queue, dist, {});
+    // Tree reach depends on which shortest path tree is chosen when ties
+    // exist; derive the parents with the same canonical rule as the PHAST
+    // path (first witness in ascending tail order) so both implementations
+    // compute the same trees.
+    std::fill(parent.begin(), parent.end(), kInvalidVertex);
+    for (VertexId u = 0; u < n; ++u) {
+      if (dist[u] == kInfWeight) continue;
+      for (const Arc& arc : graph.ArcsOf(u)) {
+        const VertexId v = arc.other;
+        if (parent[v] != kInvalidVertex || v == s) continue;
+        if (dist[v] == SaturatingAdd(dist[u], arc.weight)) parent[v] = u;
+      }
+    }
+    AccumulateTreeReach(dist, parent, &reach);
+  }
+  return reach;
+}
+
+}  // namespace phast

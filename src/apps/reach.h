@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// Exact vertex reaches (§VII-B.c, [13]): reach(v) is the maximum over all
+/// shortest s-t paths through v of min(dist(s,v), dist(v,t)). Computed the
+/// canonical way — one shortest path tree per source; within the tree of s,
+/// v's contribution is min(depth(v), height(v)) where height is the longest
+/// tree distance from v down to a descendant.
+///
+/// Builds one tree per vertex in `sources` (pass all vertices for exact
+/// reaches); requires strictly positive arc weights (tree extraction).
+/// The `engine` must be built over `graph`'s hierarchy.
+///
+/// When shortest paths are not unique, tree reach depends on the chosen
+/// tree; both implementations here build the *canonical* tree (first
+/// witness arc in ascending tail order), so their results are identical
+/// and deterministic.
+[[nodiscard]] std::vector<Weight> ComputeReaches(
+    const Graph& graph, const Phast& engine,
+    std::span<const VertexId> sources, uint32_t trees_per_sweep = 1);
+
+/// Reference implementation via Dijkstra trees — used by tests and as the
+/// paper's baseline ("the best known method ... requires computing all n
+/// shortest path trees").
+[[nodiscard]] std::vector<Weight> ComputeReachesDijkstra(
+    const Graph& graph, std::span<const VertexId> sources);
+
+}  // namespace phast

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// One arc of the contraction hierarchy: an original arc or a shortcut.
+/// Shortcuts remember the contracted vertex they bypass (`via`) so paths in
+/// G+ can be expanded into paths in G (§VII-A).
+struct CHArc {
+  VertexId tail = 0;
+  VertexId head = 0;
+  Weight weight = 0;
+  VertexId via = kInvalidVertex;  // kInvalidVertex for original arcs
+
+  [[nodiscard]] bool IsShortcut() const { return via != kInvalidVertex; }
+
+  friend bool operator==(const CHArc&, const CHArc&) = default;
+};
+
+/// Output of CH preprocessing (§II-B): the contraction order, vertex levels
+/// (§IV-A), and the arcs of G+ = (V, A ∪ A+) split into the upward set
+/// A↑ = {(u,v) : rank(u) < rank(v)} and downward set A↓ = {(u,v) :
+/// rank(u) > rank(v)}.
+struct CHData {
+  VertexId num_vertices = 0;
+
+  /// rank[v] = position of v in the contraction order (0 = contracted
+  /// first = least important).
+  std::vector<uint32_t> rank;
+
+  /// level[v] as defined in §IV-A: 0 initially; contracting u sets
+  /// L(v) = max(L(v), L(u)+1) for every current neighbor v. Guarantees
+  /// (v,w) ∈ A↓ ⇒ L(v) > L(w) (Lemma 4.1).
+  std::vector<uint32_t> level;
+
+  std::vector<CHArc> up_arcs;    // rank(tail) < rank(head)
+  std::vector<CHArc> down_arcs;  // rank(tail) > rank(head)
+
+  size_t num_shortcuts = 0;  // across both direction sets
+
+  [[nodiscard]] uint32_t NumLevels() const {
+    uint32_t max_level = 0;
+    for (const uint32_t l : level) max_level = std::max(max_level, l);
+    return level.empty() ? 0 : max_level + 1;
+  }
+
+  /// Histogram of vertices per level (Figure 1 of the paper).
+  [[nodiscard]] std::vector<uint64_t> LevelHistogram() const {
+    std::vector<uint64_t> histogram(NumLevels(), 0);
+    for (const uint32_t l : level) ++histogram[l];
+    return histogram;
+  }
+
+  /// Forward CSR over the upward arcs (the graph of the CH forward search).
+  [[nodiscard]] Graph BuildUpGraph() const {
+    EdgeList edges(num_vertices);
+    for (const CHArc& a : up_arcs) edges.AddArc(a.tail, a.head, a.weight);
+    return Graph::FromEdgeList(edges);
+  }
+
+  /// Reverse CSR over the downward arcs: arcs of v are its *incoming*
+  /// downward arcs (u, v) with rank(u) > rank(v) — exactly what the PHAST
+  /// sweep scans (§III).
+  [[nodiscard]] Graph BuildDownGraphIncoming() const {
+    EdgeList edges(num_vertices);
+    for (const CHArc& a : down_arcs) edges.AddArc(a.tail, a.head, a.weight);
+    return Graph::ReverseFromEdgeList(edges);
+  }
+};
+
+}  // namespace phast

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ch/ch_data.h"
+
+namespace phast {
+
+/// Binary serialization of a contraction hierarchy, so the minutes-long
+/// preprocessing runs once and queries/PHAST restart instantly (the paper
+/// amortizes preprocessing over many trees; persisting it amortizes across
+/// process lifetimes too).
+///
+/// Format: little-endian, versioned header ("PHASTCH1"), then the rank and
+/// level arrays and both arc sets. Not portable to big-endian hosts.
+
+void WriteCH(const CHData& ch, std::ostream& out);
+void WriteCHFile(const CHData& ch, const std::string& path);
+
+/// Throws InputError on malformed or truncated input.
+[[nodiscard]] CHData ReadCH(std::istream& in);
+[[nodiscard]] CHData ReadCHFile(const std::string& path);
+
+}  // namespace phast

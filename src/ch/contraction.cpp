@@ -1,0 +1,427 @@
+#include "ch/contraction.h"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "util/error.h"
+#include "util/omp_env.h"
+#include "util/timer.h"
+
+namespace phast {
+namespace {
+
+/// Arc of the dynamic graph maintained during contraction. `hops` is the
+/// number of original arcs the arc represents (1 for original arcs), used
+/// by the H(u) priority term.
+struct DynArc {
+  VertexId other;
+  Weight weight;
+  VertexId via;
+  uint32_t hops;
+};
+
+/// A witness-checked shortcut found by simulation, applied only if the
+/// simulated vertex actually gets contracted.
+struct PendingShortcut {
+  VertexId tail;
+  VertexId head;
+  Weight weight;
+  uint32_t hops;
+};
+
+/// Outcome of simulating the contraction of one vertex.
+struct Simulation {
+  std::vector<PendingShortcut> shortcuts;
+  uint32_t arcs_removed = 0;
+  uint32_t hop_sum = 0;  // H(u) term, per-arc capped
+
+  [[nodiscard]] int64_t EdgeDifference() const {
+    return static_cast<int64_t>(shortcuts.size()) -
+           static_cast<int64_t>(arcs_removed);
+  }
+};
+
+/// Scratch space for witness searches. Versioned distance labels avoid an
+/// O(n) reset per search, and the small binary heap reuses its backing
+/// vector across the millions of searches one preprocessing run performs;
+/// each thread computing initial priorities owns one workspace.
+struct WitnessWorkspace {
+  struct HeapEntry {
+    Weight dist;
+    uint32_t hops;
+    VertexId vertex;
+  };
+
+  std::vector<Weight> dist;
+  std::vector<uint32_t> version;
+  uint32_t current_version = 0;
+  std::vector<HeapEntry> heap;
+  // Version-stamped target marks: the search stops early once every target
+  // of the current shortcut test has been settled.
+  std::vector<uint32_t> target_version;
+
+  void Init(VertexId n) {
+    dist.assign(n, kInfWeight);
+    version.assign(n, 0);
+    current_version = 0;
+    heap.clear();
+    heap.reserve(64);
+    target_version.assign(n, 0);
+  }
+
+  void Push(Weight d, uint32_t hops, VertexId v) {
+    heap.push_back(HeapEntry{d, hops, v});
+    size_t i = heap.size() - 1;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (heap[parent].dist <= heap[i].dist) break;
+      std::swap(heap[parent], heap[i]);
+      i = parent;
+    }
+  }
+
+  HeapEntry Pop() {
+    const HeapEntry top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    size_t i = 0;
+    while (true) {
+      const size_t left = 2 * i + 1;
+      if (left >= heap.size()) break;
+      size_t best = left;
+      if (left + 1 < heap.size() && heap[left + 1].dist < heap[left].dist) {
+        best = left + 1;
+      }
+      if (heap[i].dist <= heap[best].dist) break;
+      std::swap(heap[i], heap[best]);
+      i = best;
+    }
+    return top;
+  }
+};
+
+class Contractor {
+ public:
+  Contractor(const Graph& graph, const CHParams& params)
+      : params_(params), n_(graph.NumVertices()) {
+    out_.resize(n_);
+    in_.resize(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      for (const Arc& a : graph.ArcsOf(v)) {
+        out_[v].push_back(DynArc{a.other, a.weight, kInvalidVertex, 1});
+        in_[a.other].push_back(DynArc{v, a.weight, kInvalidVertex, 1});
+      }
+    }
+    contracted_.assign(n_, false);
+    cn_.assign(n_, 0);
+    level_.assign(n_, 0);
+    cached_ed_.assign(n_, 0);
+    cached_h_.assign(n_, 0);
+    remaining_arcs_ = graph.NumArcs();
+    remaining_vertices_ = n_;
+  }
+
+  CHData Run(CHStats* stats) {
+    Timer timer;
+    CHData ch;
+    ch.num_vertices = n_;
+    ch.rank.assign(n_, 0);
+    ch.level.assign(n_, 0);
+
+    // Initial priorities, computed in parallel with per-thread workspaces
+    // (the paper parallelizes priority updates the same way, §VIII-A).
+    {
+      std::vector<WitnessWorkspace> pool(
+          static_cast<size_t>(std::max(1, MaxThreads())));
+#pragma omp parallel
+      {
+        WitnessWorkspace& ws = pool[static_cast<size_t>(CurrentThread())];
+        ws.Init(n_);
+#pragma omp for schedule(dynamic, 64)
+        for (int64_t v = 0; v < static_cast<int64_t>(n_); ++v) {
+          const Simulation sim = Simulate(static_cast<VertexId>(v), ws);
+          cached_ed_[v] = sim.EdgeDifference();
+          cached_h_[v] = sim.hop_sum;
+        }
+      }
+    }
+    workspace_.Init(n_);
+
+    // Min-heap of (priority, vertex) with lazy re-evaluation at pop:
+    // contracting a vertex only pushes cheap cache-based refreshes for its
+    // neighbors; the full (witness-search) recomputation happens once, at
+    // pop time, and doubles as the contraction's shortcut discovery.
+    using HeapEntry = std::pair<int64_t, VertexId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    for (VertexId v = 0; v < n_; ++v) heap.push({CachedPriority(v), v});
+
+    uint32_t next_rank = 0;
+    while (!heap.empty()) {
+      const auto [stale_priority, v] = heap.top();
+      heap.pop();
+      if (contracted_[v]) continue;
+      // Cheap staleness filter before the expensive simulation.
+      if (stale_priority < CachedPriority(v)) {
+        heap.push({CachedPriority(v), v});
+        continue;
+      }
+
+      const Simulation sim = Simulate(v, workspace_);
+      cached_ed_[v] = sim.EdgeDifference();
+      cached_h_[v] = sim.hop_sum;
+      const int64_t fresh_priority = CachedPriority(v);
+      if (!heap.empty() && fresh_priority > heap.top().first) {
+        heap.push({fresh_priority, v});
+        continue;
+      }
+
+      Apply(v, sim, &ch);
+      contracted_[v] = true;
+      ch.rank[v] = next_rank++;
+      ch.level[v] = level_[v];
+
+      remaining_arcs_ += sim.shortcuts.size();
+      remaining_arcs_ -= sim.arcs_removed;
+      --remaining_vertices_;
+
+      // Refresh the neighbors' priorities. CN and level always update;
+      // eager mode also re-runs their simulations (the paper's policy),
+      // lazy mode defers ED/H to their own pops.
+      for (const VertexId u : UncontractedNeighbors(v)) {
+        ++cn_[u];
+        level_[u] = std::max(level_[u], level_[v] + 1);
+        if (params_.eager_neighbor_updates) {
+          const Simulation neighbor_sim = Simulate(u, workspace_);
+          cached_ed_[u] = neighbor_sim.EdgeDifference();
+          cached_h_[u] = neighbor_sim.hop_sum;
+        }
+        heap.push({CachedPriority(u), u});
+      }
+    }
+
+    ch.num_shortcuts = total_shortcuts_;
+    if (stats != nullptr) {
+      stats->shortcuts_added = total_shortcuts_;
+      stats->witness_searches = witness_searches_;
+      stats->num_levels = ch.NumLevels();
+      stats->seconds = timer.ElapsedSec();
+    }
+    return ch;
+  }
+
+ private:
+  /// Current witness-search hop limit, from the average degree of the
+  /// uncontracted graph (schedule of §VIII-A). 0 means unlimited.
+  [[nodiscard]] uint32_t CurrentHopLimit() const {
+    if (remaining_vertices_ == 0) return 0;
+    const double avg_degree = static_cast<double>(remaining_arcs_) /
+                              static_cast<double>(remaining_vertices_);
+    if (avg_degree <= params_.degree_threshold_low) {
+      return params_.hop_limit_low;
+    }
+    if (avg_degree <= params_.degree_threshold_mid) {
+      return params_.hop_limit_mid;
+    }
+    return 0;
+  }
+
+  /// Priority 2·ED + CN + H + 5·L with ED and H from the latest simulation
+  /// of v (exact at pop time, possibly stale in between).
+  [[nodiscard]] int64_t CachedPriority(VertexId v) const {
+    return params_.ed_coefficient * cached_ed_[v] +
+           params_.cn_coefficient * static_cast<int64_t>(cn_[v]) +
+           params_.h_coefficient * static_cast<int64_t>(cached_h_[v]) +
+           params_.level_coefficient * static_cast<int64_t>(level_[v]);
+  }
+
+  /// Distinct uncontracted neighbors of v (in- and out-, deduplicated).
+  [[nodiscard]] std::vector<VertexId> UncontractedNeighbors(VertexId v) const {
+    std::vector<VertexId> neighbors;
+    for (const DynArc& a : out_[v]) {
+      if (!contracted_[a.other]) neighbors.push_back(a.other);
+    }
+    for (const DynArc& a : in_[v]) {
+      if (!contracted_[a.other]) neighbors.push_back(a.other);
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    return neighbors;
+  }
+
+  /// Witness search: Dijkstra from `source` in the uncontracted graph with
+  /// `excluded` removed, pruned at `bound`, `hop_limit` (0 = none), the
+  /// configured settle cap, and early exit once all `num_targets` vertices
+  /// pre-marked in ws.target_version are settled. Results are in ws.dist
+  /// for ws.current_version.
+  void RunWitnessSearch(VertexId source, VertexId excluded, Weight bound,
+                        uint32_t hop_limit, std::span<const VertexId> targets,
+                        WitnessWorkspace& ws) {
+    witness_searches_.fetch_add(1, std::memory_order_relaxed);
+    ++ws.current_version;
+    for (const VertexId t : targets) ws.target_version[t] = ws.current_version;
+    ws.heap.clear();
+    ws.dist[source] = 0;
+    ws.version[source] = ws.current_version;
+    ws.Push(0, 0, source);
+    uint32_t settled = 0;
+    uint32_t targets_left = static_cast<uint32_t>(targets.size());
+    while (!ws.heap.empty()) {
+      const auto [d, hops, v] = ws.Pop();
+      if (d > bound) break;
+      if (d > ws.dist[v]) continue;  // lazy duplicate
+      if (ws.target_version[v] == ws.current_version) {
+        ws.target_version[v] = 0;  // count each target once
+        if (--targets_left == 0) break;
+      }
+      if (params_.max_witness_settled != 0 &&
+          ++settled > params_.max_witness_settled) {
+        break;
+      }
+      if (hop_limit != 0 && hops >= hop_limit) continue;
+      for (const DynArc& a : out_[v]) {
+        if (contracted_[a.other] || a.other == excluded) continue;
+        const Weight candidate = SaturatingAdd(d, a.weight);
+        if (candidate > bound) continue;  // can never refute a shortcut
+        if (ws.version[a.other] != ws.current_version ||
+            candidate < ws.dist[a.other]) {
+          ws.dist[a.other] = candidate;
+          ws.version[a.other] = ws.current_version;
+          ws.Push(candidate, hops + 1, a.other);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] Weight WitnessDistance(VertexId v,
+                                       const WitnessWorkspace& ws) const {
+    return ws.version[v] == ws.current_version ? ws.dist[v] : kInfWeight;
+  }
+
+  /// Simulates the contraction of v: counts removable arcs and collects the
+  /// witness-checked shortcuts it would create. Pure (no graph mutation);
+  /// thread-safe given a private workspace, which is what lets the initial
+  /// priority pass run under OpenMP.
+  Simulation Simulate(VertexId v, WitnessWorkspace& ws) {
+    Simulation sim;
+    const uint32_t hop_limit = CurrentHopLimit();
+
+    for (const DynArc& in_arc : in_[v]) {
+      if (!contracted_[in_arc.other]) ++sim.arcs_removed;
+    }
+    for (const DynArc& out_arc : out_[v]) {
+      if (!contracted_[out_arc.other]) ++sim.arcs_removed;
+    }
+
+    std::vector<VertexId> targets;
+    for (const DynArc& in_arc : in_[v]) {
+      const VertexId u = in_arc.other;
+      if (contracted_[u]) continue;
+
+      // The witness bound covers the most expensive u -> v -> w pair.
+      Weight bound = 0;
+      targets.clear();
+      for (const DynArc& out_arc : out_[v]) {
+        if (contracted_[out_arc.other] || out_arc.other == u) continue;
+        bound = std::max(bound, SaturatingAdd(in_arc.weight, out_arc.weight));
+        targets.push_back(out_arc.other);
+      }
+      if (targets.empty()) continue;
+
+      RunWitnessSearch(u, v, bound, hop_limit, targets, ws);
+
+      for (const DynArc& out_arc : out_[v]) {
+        const VertexId w = out_arc.other;
+        if (contracted_[w] || w == u) continue;
+        const Weight through_v = SaturatingAdd(in_arc.weight, out_arc.weight);
+        if (WitnessDistance(w, ws) <= through_v) continue;  // witness found
+
+        sim.shortcuts.push_back(PendingShortcut{
+            u, w, through_v, in_arc.hops + out_arc.hops});
+        sim.hop_sum += std::min(in_arc.hops, params_.h_per_arc_cap) +
+                       std::min(out_arc.hops, params_.h_per_arc_cap);
+      }
+    }
+    return sim;
+  }
+
+  /// Contracts v using the shortcut list its simulation discovered (the
+  /// graph has not changed in between), then emits v's incident arcs: v
+  /// gets the lowest remaining rank, so (u, v) with u uncontracted is a
+  /// downward arc of the final hierarchy and (v, w) an upward arc.
+  void Apply(VertexId v, const Simulation& sim, CHData* ch) {
+    for (const PendingShortcut& s : sim.shortcuts) {
+      AddOrImproveArc(s.tail, s.head, s.weight, v, s.hops);
+      ++total_shortcuts_;
+    }
+    for (const DynArc& in_arc : in_[v]) {
+      if (contracted_[in_arc.other]) continue;
+      ch->down_arcs.push_back(
+          CHArc{in_arc.other, v, in_arc.weight, in_arc.via});
+    }
+    for (const DynArc& out_arc : out_[v]) {
+      if (contracted_[out_arc.other]) continue;
+      ch->up_arcs.push_back(
+          CHArc{v, out_arc.other, out_arc.weight, out_arc.via});
+    }
+  }
+
+  /// Inserts arc (u, w) or lowers the weight of the existing one. The
+  /// dynamic graph never holds parallel arcs, so linear scans stay cheap.
+  void AddOrImproveArc(VertexId u, VertexId w, Weight weight, VertexId via,
+                       uint32_t hops) {
+    for (DynArc& a : out_[u]) {
+      if (a.other == w) {
+        if (weight < a.weight) {
+          a.weight = weight;
+          a.via = via;
+          a.hops = hops;
+          for (DynArc& b : in_[w]) {
+            if (b.other == u) {
+              b.weight = weight;
+              b.via = via;
+              b.hops = hops;
+              break;
+            }
+          }
+        }
+        return;
+      }
+    }
+    out_[u].push_back(DynArc{w, weight, via, hops});
+    in_[w].push_back(DynArc{u, weight, via, hops});
+  }
+
+  CHParams params_;
+  VertexId n_;
+  std::vector<std::vector<DynArc>> out_;
+  std::vector<std::vector<DynArc>> in_;
+  std::vector<bool> contracted_;
+  std::vector<uint32_t> cn_;     // contracted-neighbors count
+  std::vector<uint32_t> level_;  // tentative level during contraction
+  std::vector<int64_t> cached_ed_;   // ED(u) from the latest simulation
+  std::vector<uint32_t> cached_h_;   // H(u) from the latest simulation
+  uint64_t remaining_arcs_ = 0;
+  VertexId remaining_vertices_ = 0;
+  WitnessWorkspace workspace_;
+  size_t total_shortcuts_ = 0;
+  // Atomic: the initial priority pass simulates vertices in parallel.
+  std::atomic<size_t> witness_searches_{0};
+};
+
+}  // namespace
+
+CHData BuildContractionHierarchy(const Graph& graph, const CHParams& params,
+                                 CHStats* stats) {
+  Require(graph.NumVertices() > 0, "cannot contract an empty graph");
+  Contractor contractor(graph, params);
+  return contractor.Run(stats);
+}
+
+}  // namespace phast

@@ -1,0 +1,161 @@
+#include "ch/query.h"
+
+#include <algorithm>
+
+#include "pq/dary_heap.h"
+#include "util/error.h"
+
+namespace phast {
+
+CHQuery::CHQuery(const CHData& ch)
+    : n_(ch.num_vertices),
+      rank_(ch.rank),
+      up_(SearchGraph::Forward(ch.num_vertices, ch.up_arcs)),
+      down_reverse_(SearchGraph::Reverse(ch.num_vertices, ch.down_arcs)),
+      down_forward_(SearchGraph::Forward(ch.num_vertices, ch.down_arcs)) {
+  forward_.Init(n_);
+  backward_.Init(n_);
+}
+
+Weight CHQuery::Distance(VertexId s, VertexId t) {
+  return Query(s, t, /*want_path=*/false).dist;
+}
+
+PointToPointResult CHQuery::Query(VertexId s, VertexId t, bool want_path) {
+  Require(s < n_ && t < n_, "CH query endpoint out of range");
+  PointToPointResult result;
+  if (s == t) {
+    result.dist = 0;
+    if (want_path) result.path = {s};
+    return result;
+  }
+
+  forward_.NewSearch();
+  backward_.NewSearch();
+  BinaryHeap queue_f(n_), queue_b(n_);
+  forward_.Set(s, 0, kInvalidVertex);
+  queue_f.Update(s, 0);
+  backward_.Set(t, 0, kInvalidVertex);
+  queue_b.Update(t, 0);
+
+  Weight mu = kInfWeight;
+  VertexId meet = kInvalidVertex;
+
+  // Each search stops independently once its queue minimum reaches µ
+  // (§II-B); unlike plain bidirectional Dijkstra, both searches must run
+  // that far because the meeting vertex is the *highest-ranked* vertex of
+  // the shortest path, not the midpoint.
+  const auto scan = [&](BinaryHeap& queue, SearchState& mine,
+                        const SearchState& theirs, const SearchGraph& graph) {
+    const auto [v, key] = queue.ExtractMin();
+    ++result.scanned;
+    if (key > mine.Dist(v)) return;  // stale after re-labeling
+    if (theirs.Dist(v) != kInfWeight) {
+      const Weight through = SaturatingAdd(key, theirs.Dist(v));
+      if (through < mu) {
+        mu = through;
+        meet = v;
+      }
+    }
+    for (const Arc& arc : graph.ArcsOf(v)) {
+      const Weight candidate = SaturatingAdd(key, arc.weight);
+      if (candidate < mine.Dist(arc.other)) {
+        mine.Set(arc.other, candidate, v);
+        queue.Update(arc.other, candidate);
+      }
+    }
+  };
+
+  while (true) {
+    const bool forward_active = !queue_f.Empty() && queue_f.MinKey() < mu;
+    const bool backward_active = !queue_b.Empty() && queue_b.MinKey() < mu;
+    if (!forward_active && !backward_active) break;
+    if (forward_active &&
+        (!backward_active || queue_f.MinKey() <= queue_b.MinKey())) {
+      scan(queue_f, forward_, backward_, up_);
+    } else {
+      scan(queue_b, backward_, forward_, down_reverse_);
+    }
+  }
+
+  result.dist = mu;
+  if (mu == kInfWeight || !want_path) return result;
+
+  // Path in G+: s -> ... -> meet (upward), then meet -> ... -> t (downward,
+  // recorded by the backward search in reverse).
+  std::vector<VertexId> gplus_path;
+  for (VertexId v = meet; v != kInvalidVertex; v = forward_.parent[v]) {
+    gplus_path.push_back(v);
+    if (v == s) break;
+  }
+  std::reverse(gplus_path.begin(), gplus_path.end());
+  for (VertexId v = backward_.parent[meet]; v != kInvalidVertex;
+       v = backward_.parent[v]) {
+    gplus_path.push_back(v);
+    if (v == t) break;
+  }
+
+  // Expand shortcuts into the original graph (§VII-A): time proportional
+  // to the number of original arcs on the path.
+  result.path = {gplus_path.front()};
+  for (size_t i = 0; i + 1 < gplus_path.size(); ++i) {
+    UnpackArc(gplus_path[i], gplus_path[i + 1], &result.path);
+  }
+  return result;
+}
+
+void CHQuery::UpwardSearch(
+    VertexId s, std::vector<std::pair<VertexId, Weight>>* search_space) {
+  Require(s < n_, "upward-search source out of range");
+  forward_.NewSearch();
+  BinaryHeap queue(n_);
+  forward_.Set(s, 0, kInvalidVertex);
+  queue.Update(s, 0);
+  while (!queue.Empty()) {
+    const auto [v, key] = queue.ExtractMin();
+    search_space->emplace_back(v, key);
+    for (const Arc& arc : up_.ArcsOf(v)) {
+      const Weight candidate = SaturatingAdd(key, arc.weight);
+      if (candidate < forward_.Dist(arc.other)) {
+        forward_.Set(arc.other, candidate, v);
+        queue.Update(arc.other, candidate);
+      }
+    }
+  }
+}
+
+double CHQuery::AverageUpwardSearchSpace(const std::vector<VertexId>& sources) {
+  Require(!sources.empty(), "need at least one source");
+  size_t total = 0;
+  std::vector<std::pair<VertexId, Weight>> space;
+  for (const VertexId s : sources) {
+    space.clear();
+    UpwardSearch(s, &space);
+    total += space.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(sources.size());
+}
+
+bool CHQuery::LookupArc(VertexId a, VertexId b, Weight* weight,
+                        VertexId* via) const {
+  // Shortcut middle vertices have lower rank than both endpoints, so the
+  // direction set of (a, b) is determined by the rank comparison.
+  if (rank_[a] < rank_[b]) return up_.FindArc(a, b, weight, via);
+  return down_forward_.FindArc(a, b, weight, via);
+}
+
+void CHQuery::UnpackArc(VertexId a, VertexId b,
+                        std::vector<VertexId>* out) const {
+  Weight weight = 0;
+  VertexId via = kInvalidVertex;
+  const bool found = LookupArc(a, b, &weight, &via);
+  Require(found, "G+ path refers to a missing CH arc");
+  if (via == kInvalidVertex) {
+    out->push_back(b);  // original arc
+    return;
+  }
+  UnpackArc(a, via, out);
+  UnpackArc(via, b, out);
+}
+
+}  // namespace phast

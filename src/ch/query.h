@@ -1,0 +1,91 @@
+#pragma once
+
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/search_graph.h"
+#include "dijkstra/bidirectional.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// Point-to-point queries on a contraction hierarchy (§II-B): bidirectional
+/// Dijkstra where the forward search uses only upward arcs and the backward
+/// search only downward arcs, both stopping once their queue minimum
+/// reaches the best meeting value µ.
+///
+/// Also exposes the target-independent upward search (forward CH search run
+/// until the queue empties) that forms phase one of every PHAST query.
+///
+/// Query methods use internal versioned workspaces, so a CHQuery instance
+/// is cheap to reuse across queries but is not thread-safe; use one
+/// instance per thread.
+class CHQuery {
+ public:
+  explicit CHQuery(const CHData& ch);
+
+  /// Shortest-path distance s -> t in the original graph (kInfWeight if
+  /// unreachable).
+  [[nodiscard]] Weight Distance(VertexId s, VertexId t);
+
+  /// Distance plus the fully unpacked path in the original graph.
+  [[nodiscard]] PointToPointResult Query(VertexId s, VertexId t,
+                                         bool want_path = true);
+
+  /// Phase one of PHAST (§III): Dijkstra from s restricted to upward arcs,
+  /// run until the queue is empty. Appends (vertex, label) pairs of every
+  /// visited vertex to `search_space`; labels are upper bounds on the true
+  /// distances (exact for the topmost vertex of each shortest path).
+  void UpwardSearch(VertexId s,
+                    std::vector<std::pair<VertexId, Weight>>* search_space);
+
+  [[nodiscard]] const SearchGraph& UpGraph() const { return up_; }
+  [[nodiscard]] const std::vector<uint32_t>& Ranks() const { return rank_; }
+
+  /// Average number of vertices visited by UpwardSearch over the given
+  /// sources — the paper quotes ~500 for Europe (§II-B).
+  [[nodiscard]] double AverageUpwardSearchSpace(
+      const std::vector<VertexId>& sources);
+
+ private:
+  struct SearchState {
+    std::vector<Weight> dist;
+    std::vector<VertexId> parent;
+    std::vector<uint32_t> version;
+    uint32_t current = 0;
+
+    void Init(VertexId n) {
+      dist.assign(n, kInfWeight);
+      parent.assign(n, kInvalidVertex);
+      version.assign(n, 0);
+      current = 0;
+    }
+    void NewSearch() { ++current; }
+    [[nodiscard]] Weight Dist(VertexId v) const {
+      return version[v] == current ? dist[v] : kInfWeight;
+    }
+    void Set(VertexId v, Weight d, VertexId p) {
+      dist[v] = d;
+      parent[v] = p;
+      version[v] = current;
+    }
+  };
+
+  /// Expands one G+ arc (a, b) into original-graph vertices, appending all
+  /// vertices strictly after `a` up to and including `b`.
+  void UnpackArc(VertexId a, VertexId b, std::vector<VertexId>* out) const;
+
+  /// Looks up the cheapest CH arc a -> b regardless of direction set.
+  [[nodiscard]] bool LookupArc(VertexId a, VertexId b, Weight* weight,
+                               VertexId* via) const;
+
+  VertexId n_;
+  std::vector<uint32_t> rank_;
+  SearchGraph up_;            // forward search graph
+  SearchGraph down_reverse_;  // backward search graph (A↓ reversed)
+  SearchGraph down_forward_;  // A↓ keyed by tail, for unpacking lookups
+  SearchState forward_;
+  SearchState backward_;
+};
+
+}  // namespace phast

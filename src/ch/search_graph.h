@@ -1,0 +1,119 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// CSR over CH arcs that keeps the shortcut middle vertex (`via`) alongside
+/// each arc, so queries can unpack shortcuts into original-graph paths.
+///
+/// Forward orientation keys arcs by tail (Arc::other = head); reverse
+/// orientation keys by head (Arc::other = tail). Arcs of a vertex are
+/// sorted by `other`, enabling binary-searched arc lookup.
+class SearchGraph {
+ public:
+  SearchGraph() { first_.push_back(0); }
+
+  static SearchGraph Forward(VertexId n, const std::vector<CHArc>& arcs) {
+    return Build(n, arcs, /*reverse=*/false);
+  }
+
+  static SearchGraph Reverse(VertexId n, const std::vector<CHArc>& arcs) {
+    return Build(n, arcs, /*reverse=*/true);
+  }
+
+  [[nodiscard]] VertexId NumVertices() const {
+    return static_cast<VertexId>(first_.size() - 1);
+  }
+  [[nodiscard]] size_t NumArcs() const { return arcs_.size(); }
+
+  [[nodiscard]] std::span<const Arc> ArcsOf(VertexId v) const {
+    return {arcs_.data() + first_[v], arcs_.data() + first_[v + 1]};
+  }
+
+  /// The shortcut middle vertex of the arc at absolute index `arc_index`
+  /// (kInvalidVertex for original arcs).
+  [[nodiscard]] VertexId ViaOf(ArcId arc_index) const {
+    return via_[arc_index];
+  }
+
+  [[nodiscard]] ArcId FirstOf(VertexId v) const { return first_[v]; }
+
+  /// Cheapest arc keyed_vertex -> other (or reverse); returns false if
+  /// absent. Used by shortcut unpacking.
+  [[nodiscard]] bool FindArc(VertexId keyed, VertexId other, Weight* weight,
+                             VertexId* via) const {
+    ArcId lo = first_[keyed];
+    ArcId hi = first_[keyed + 1];
+    while (lo < hi) {  // lower_bound over the sorted arc slice
+      const ArcId mid = lo + (hi - lo) / 2;
+      if (arcs_[mid].other < other) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == first_[keyed + 1] || arcs_[lo].other != other) return false;
+    *weight = arcs_[lo].weight;
+    *via = via_[lo];
+    return true;
+  }
+
+ private:
+  static SearchGraph Build(VertexId n, const std::vector<CHArc>& arcs,
+                           bool reverse) {
+    SearchGraph g;
+    g.first_.assign(static_cast<size_t>(n) + 1, 0);
+    g.arcs_.resize(arcs.size());
+    g.via_.resize(arcs.size());
+    for (const CHArc& a : arcs) {
+      ++g.first_[(reverse ? a.head : a.tail) + 1];
+    }
+    for (size_t v = 1; v <= n; ++v) g.first_[v] += g.first_[v - 1];
+    std::vector<ArcId> cursor(g.first_.begin(), g.first_.end() - 1);
+    // Two passes keep weight/via parallel; insertion order within a vertex
+    // is fixed up by the sort below.
+    for (const CHArc& a : arcs) {
+      const VertexId key = reverse ? a.head : a.tail;
+      const VertexId other = reverse ? a.tail : a.head;
+      const ArcId slot = cursor[key]++;
+      g.arcs_[slot] = Arc{other, a.weight};
+      g.via_[slot] = a.via;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      // Sort each slice by (other, weight), carrying via along.
+      const ArcId begin = g.first_[v];
+      const ArcId end = g.first_[v + 1];
+      std::vector<std::pair<Arc, VertexId>> slice;
+      slice.reserve(end - begin);
+      for (ArcId i = begin; i < end; ++i) {
+        slice.emplace_back(g.arcs_[i], g.via_[i]);
+      }
+      std::sort(slice.begin(), slice.end(),
+                [](const auto& x, const auto& y) {
+                  if (x.first.other != y.first.other) {
+                    return x.first.other < y.first.other;
+                  }
+                  return x.first.weight < y.first.weight;
+                });
+      for (ArcId i = begin; i < end; ++i) {
+        g.arcs_[i] = slice[i - begin].first;
+        g.via_[i] = slice[i - begin].second;
+      }
+    }
+    return g;
+  }
+
+  std::vector<ArcId> first_;
+  std::vector<Arc> arcs_;
+  std::vector<VertexId> via_;
+};
+
+}  // namespace phast

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/error.h"
+
+namespace phast {
+
+/// Hop counts and parents from a breadth-first search. BFS is the paper's
+/// linear-time yardstick: "any significant practical improvements must take
+/// advantage of better locality and parallelism" (§I), and basic PHAST runs
+/// at BFS speed (§III).
+struct BfsResult {
+  std::vector<uint32_t> hops;  // kUnreachedHops if unreached
+  std::vector<VertexId> parent;
+  size_t visited = 0;
+
+  static constexpr uint32_t kUnreachedHops =
+      std::numeric_limits<uint32_t>::max();
+};
+
+[[nodiscard]] inline BfsResult Bfs(const Graph& graph, VertexId source) {
+  const VertexId n = graph.NumVertices();
+  Require(source < n, "BFS source out of range");
+  BfsResult result;
+  result.hops.assign(n, BfsResult::kUnreachedHops);
+  result.parent.assign(n, kInvalidVertex);
+
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  queue.push_back(source);
+  result.hops[source] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (const Arc& arc : graph.ArcsOf(v)) {
+      if (result.hops[arc.other] == BfsResult::kUnreachedHops) {
+        result.hops[arc.other] = result.hops[v] + 1;
+        result.parent[arc.other] = v;
+        queue.push_back(arc.other);
+      }
+    }
+  }
+  result.visited = queue.size();
+  return result;
+}
+
+}  // namespace phast

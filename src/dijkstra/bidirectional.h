@@ -1,0 +1,98 @@
+#pragma once
+
+#include <vector>
+
+#include "dijkstra/dijkstra.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "pq/dary_heap.h"
+
+namespace phast {
+
+/// A point-to-point answer: distance plus the s-t path (empty when
+/// unreachable or when path reconstruction was not requested).
+struct PointToPointResult {
+  Weight dist = kInfWeight;
+  std::vector<VertexId> path;  // s ... t inclusive when found
+  size_t scanned = 0;
+};
+
+/// Bidirectional Dijkstra: a forward search from s on `forward` and a
+/// backward search from t on `reverse` (the reversed graph), expanding the
+/// side with the smaller queue minimum. Stops once min_f + min_b can no
+/// longer beat the best meeting candidate. This is the query baseline the
+/// arc-flags experiment (§VII-B.b) accelerates.
+[[nodiscard]] inline PointToPointResult BidirectionalDijkstra(
+    const Graph& forward, const Graph& reverse, VertexId s, VertexId t,
+    bool want_path = true) {
+  const VertexId n = forward.NumVertices();
+  Require(reverse.NumVertices() == n, "graph/reverse size mismatch");
+  Require(s < n && t < n, "endpoint out of range");
+
+  PointToPointResult result;
+  if (s == t) {
+    result.dist = 0;
+    if (want_path) result.path = {s};
+    return result;
+  }
+
+  std::vector<Weight> dist_f(n, kInfWeight), dist_b(n, kInfWeight);
+  std::vector<VertexId> par_f(n, kInvalidVertex), par_b(n, kInvalidVertex);
+  BinaryHeap queue_f(n), queue_b(n);
+
+  dist_f[s] = 0;
+  queue_f.Update(s, 0);
+  dist_b[t] = 0;
+  queue_b.Update(t, 0);
+
+  Weight best = kInfWeight;
+  VertexId meet = kInvalidVertex;
+
+  const auto scan_one = [&](const Graph& g, BinaryHeap& q,
+                            std::vector<Weight>& dist_here,
+                            std::vector<VertexId>& par_here,
+                            const std::vector<Weight>& dist_there) {
+    const auto [v, key] = q.ExtractMin();
+    ++result.scanned;
+    for (const Arc& arc : g.ArcsOf(v)) {
+      const Weight cand = SaturatingAdd(key, arc.weight);
+      if (cand < dist_here[arc.other]) {
+        dist_here[arc.other] = cand;
+        par_here[arc.other] = v;
+        q.Update(arc.other, cand);
+        if (dist_there[arc.other] != kInfWeight) {
+          const Weight through = SaturatingAdd(cand, dist_there[arc.other]);
+          if (through < best) {
+            best = through;
+            meet = arc.other;
+          }
+        }
+      }
+    }
+  };
+
+  while (!queue_f.Empty() || !queue_b.Empty()) {
+    const Weight min_f = queue_f.Empty() ? kInfWeight : queue_f.MinKey();
+    const Weight min_b = queue_b.Empty() ? kInfWeight : queue_b.MinKey();
+    if (SaturatingAdd(min_f, min_b) >= best) break;
+    if (min_f <= min_b) {
+      scan_one(forward, queue_f, dist_f, par_f, dist_b);
+    } else {
+      scan_one(reverse, queue_b, dist_b, par_b, dist_f);
+    }
+  }
+
+  result.dist = best;
+  if (best == kInfWeight || !want_path) return result;
+
+  // Stitch the two half-paths at the meeting vertex.
+  std::vector<VertexId> half;
+  for (VertexId v = meet; v != kInvalidVertex; v = par_f[v]) half.push_back(v);
+  result.path.assign(half.rbegin(), half.rend());
+  for (VertexId v = par_b[meet]; v != kInvalidVertex; v = par_b[v]) {
+    result.path.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace phast

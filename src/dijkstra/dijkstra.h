@@ -1,0 +1,95 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/error.h"
+
+namespace phast {
+
+/// Distances and parent pointers of one shortest path tree, plus scan
+/// statistics for the instrumentation the paper reports (queue pops).
+struct SsspResult {
+  std::vector<Weight> dist;
+  std::vector<VertexId> parent;
+  size_t scanned = 0;
+};
+
+/// Largest arc weight in the graph; the C parameter of bucket queues.
+[[nodiscard]] inline Weight MaxArcWeight(const Graph& graph) {
+  Weight c = 0;
+  for (const Arc& a : graph.ArcArray()) c = std::max(c, a.weight);
+  return c;
+}
+
+/// Dijkstra's algorithm from `source` over a forward graph, writing into
+/// caller-provided arrays (size n, pre-filled by this function). The queue
+/// is passed in so benchmark loops can reuse its storage across trees.
+///
+/// Queue is any type following the pq/ interface; decrease-key queues are
+/// updated in place, monotone bucket queues get lazy duplicates that are
+/// skipped when stale.
+template <typename Queue>
+void DijkstraInto(const Graph& graph, VertexId source, Queue& queue,
+                  std::span<Weight> dist, std::span<VertexId> parent,
+                  size_t* scanned = nullptr) {
+  const VertexId n = graph.NumVertices();
+  Require(source < n, "Dijkstra source out of range");
+  Require(dist.size() == n, "distance array has wrong size");
+  const bool want_parents = !parent.empty();
+  Require(!want_parents || parent.size() == n, "parent array has wrong size");
+
+  std::fill(dist.begin(), dist.end(), kInfWeight);
+  if (want_parents) {
+    std::fill(parent.begin(), parent.end(), kInvalidVertex);
+  }
+  queue.Clear();
+
+  dist[source] = 0;
+  if constexpr (Queue::kSupportsDecreaseKey) {
+    queue.Update(source, 0);
+  } else {
+    queue.Insert(source, 0);
+  }
+
+  size_t scans = 0;
+  while (!queue.Empty()) {
+    const auto [v, key] = queue.ExtractMin();
+    if constexpr (!Queue::kSupportsDecreaseKey) {
+      if (key != dist[v]) continue;  // stale duplicate
+    }
+    ++scans;
+    for (const Arc& arc : graph.ArcsOf(v)) {
+      const Weight candidate = SaturatingAdd(key, arc.weight);
+      if (candidate < dist[arc.other]) {
+        dist[arc.other] = candidate;
+        if (want_parents) parent[arc.other] = v;
+        if constexpr (Queue::kSupportsDecreaseKey) {
+          queue.Update(arc.other, candidate);
+        } else {
+          queue.Insert(arc.other, candidate);
+        }
+      }
+    }
+  }
+  if (scanned != nullptr) *scanned = scans;
+}
+
+/// Convenience wrapper allocating the result arrays. QueueArgs are forwarded
+/// to the queue constructor after the vertex count (e.g. the max arc weight
+/// for DialBuckets).
+template <typename Queue, typename... QueueArgs>
+[[nodiscard]] SsspResult Dijkstra(const Graph& graph, VertexId source,
+                                  QueueArgs&&... queue_args) {
+  Queue queue(graph.NumVertices(), std::forward<QueueArgs>(queue_args)...);
+  SsspResult result;
+  result.dist.resize(graph.NumVertices());
+  result.parent.resize(graph.NumVertices());
+  DijkstraInto(graph, source, queue, result.dist, result.parent,
+               &result.scanned);
+  return result;
+}
+
+}  // namespace phast

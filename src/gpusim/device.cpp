@@ -1,0 +1,75 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace phast {
+
+DeviceSpec DeviceSpec::Gtx580() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::Gtx480() {
+  DeviceSpec spec;
+  spec.name = "sim-gtx480";
+  spec.num_sms = 15;
+  spec.core_clock_ghz = 0.701;
+  // 1848 MHz DDR5 vs the 580's 2004 MHz: scale bandwidth accordingly.
+  spec.mem_bandwidth_gb_per_s = 192.4 * 1848.0 / 2004.0;
+  return spec;
+}
+
+void SimtDevice::WarpMemoryAccess(std::span<const uint64_t> addresses,
+                                  uint32_t bytes) {
+  Require(pending_kernels_ > 0, "memory access outside a kernel");
+  // Coalescing: distinct DRAM segments across the warp's lanes, assuming
+  // each lane access fits one segment (true for the 4- and 8-byte accesses
+  // PHAST performs; segment size is 128 bytes).
+  uint64_t segments[64];
+  size_t count = 0;
+  for (const uint64_t addr : addresses) {
+    const uint64_t seg = addr / spec_.dram_segment_bytes;
+    bool seen = false;
+    for (size_t i = 0; i < count; ++i) {
+      if (segments[i] == seg) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && count < 64) segments[count++] = seg;
+  }
+  dram_transactions_ += count;
+  warp_instructions_ += 1;
+  (void)bytes;
+}
+
+void SimtDevice::HostToDeviceCopy(uint64_t bytes) {
+  stats_.copied_bytes += bytes;
+  stats_.modeled_seconds += spec_.pcie_latency_us * 1e-6 +
+                            static_cast<double>(bytes) /
+                                (spec_.pcie_bandwidth_gb_per_s * 1e9);
+}
+
+void SimtDevice::EndKernel() {
+  Require(pending_kernels_ > 0, "EndKernel without BeginKernel");
+  --pending_kernels_;
+
+  const uint64_t bytes = dram_transactions_ * spec_.dram_segment_bytes;
+  const double dram_seconds =
+      static_cast<double>(bytes) / (spec_.mem_bandwidth_gb_per_s * 1e9);
+  // One warp instruction step retires per SM cycle; the SMs share the work.
+  const double compute_seconds =
+      static_cast<double>(warp_instructions_) /
+      (static_cast<double>(spec_.num_sms) * spec_.core_clock_ghz * 1e9);
+
+  stats_.kernels += 1;
+  stats_.dram_transactions += dram_transactions_;
+  stats_.dram_bytes += bytes;
+  stats_.warp_instructions += warp_instructions_;
+  stats_.modeled_seconds += std::max(dram_seconds, compute_seconds) +
+                            spec_.kernel_launch_overhead_us * 1e-6;
+
+  dram_transactions_ = 0;
+  warp_instructions_ = 0;
+}
+
+}  // namespace phast

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace phast {
+
+/// Parameters of the modeled GPU. Defaults approximate the NVIDIA GTX 580
+/// (Fermi) the paper benchmarks (§VI, §VIII-D): 16 SMs x 32-lane warps,
+/// 772 MHz cores, 192.4 GB/s DRAM. No GPU is present in this environment,
+/// so GPHAST runs against this analytic device model while computing
+/// functionally correct results on the host (see DESIGN.md substitutions).
+struct DeviceSpec {
+  std::string name = "sim-gtx580";
+  uint32_t num_sms = 16;
+  uint32_t warp_size = 32;
+  double core_clock_ghz = 0.772;
+  double mem_bandwidth_gb_per_s = 192.4;
+  /// DRAM coalescing granularity: accesses of a warp falling into the same
+  /// segment merge into one transaction.
+  uint32_t dram_segment_bytes = 128;
+  double kernel_launch_overhead_us = 5.0;
+  /// Host-to-device copy channel (PCIe 2.0 x16-ish).
+  double pcie_bandwidth_gb_per_s = 6.0;
+  double pcie_latency_us = 10.0;
+  uint64_t device_memory_bytes = 1536ull << 20;  // 1.5 GB
+
+  [[nodiscard]] static DeviceSpec Gtx580();
+  [[nodiscard]] static DeviceSpec Gtx480();
+};
+
+/// Accounting core of the SIMT model. Kernels report, warp by warp and
+/// instruction step by instruction step, the addresses their active lanes
+/// touch; the device coalesces them into DRAM segment transactions and
+/// converts totals into modeled time:
+///
+///   kernel time = max(compute term, DRAM term) + launch overhead
+///
+/// where the DRAM term is bytes/bandwidth and the compute term counts one
+/// cycle per warp instruction step spread over the SMs. PHAST's sweep is
+/// strongly bandwidth-bound (§VI), so the DRAM term dominates.
+class SimtDevice {
+ public:
+  explicit SimtDevice(const DeviceSpec& spec) : spec_(spec) {}
+
+  [[nodiscard]] const DeviceSpec& Spec() const { return spec_; }
+
+  void BeginKernel() {
+    ++pending_kernels_;
+  }
+
+  /// One warp-wide memory instruction: every element of `addresses` is the
+  /// byte address touched by one active lane (inactive lanes are simply
+  /// omitted). `bytes` is the access width per lane.
+  void WarpMemoryAccess(std::span<const uint64_t> addresses, uint32_t bytes);
+
+  /// `count` warp-wide ALU instruction steps (predicated execution: a
+  /// diverged warp still spends a step for every lane path).
+  void WarpCompute(uint64_t count) { warp_instructions_ += count; }
+
+  /// Host-to-device copy of `bytes` over PCIe.
+  void HostToDeviceCopy(uint64_t bytes);
+
+  void EndKernel();
+
+  struct Stats {
+    uint64_t kernels = 0;
+    uint64_t dram_transactions = 0;
+    uint64_t dram_bytes = 0;
+    uint64_t warp_instructions = 0;
+    uint64_t copied_bytes = 0;
+    double modeled_seconds = 0.0;
+  };
+
+  [[nodiscard]] const Stats& TotalStats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  DeviceSpec spec_;
+  Stats stats_;
+
+  // Per-kernel accumulators, folded into stats_ at EndKernel().
+  uint32_t pending_kernels_ = 0;
+  uint64_t dram_transactions_ = 0;
+  uint64_t warp_instructions_ = 0;
+};
+
+}  // namespace phast

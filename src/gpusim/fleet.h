@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/gphast.h"
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// Multi-GPU GPHAST (§VIII-F: "With two cards, GPHAST would be twice as
+/// fast, computing all-pairs shortest paths in roughly 5.5 hours ... we can
+/// safely assume that the all-pairs computation scales perfectly with the
+/// number of GPUs").
+///
+/// The fleet calibrates a per-tree time on every modeled device from one
+/// sample batch, then distributes a tree workload proportionally to device
+/// speed; the modeled wall-clock is the slowest device's share. Trees are
+/// independent, so this matches the paper's perfect-scaling assumption
+/// while still accounting for heterogeneous cards (e.g. one GTX 580 plus
+/// one GTX 480).
+class GphastFleet {
+ public:
+  GphastFleet(const Phast& engine, std::vector<DeviceSpec> specs);
+
+  struct Estimate {
+    /// Modeled device wall-clock: the busiest card's share. Deterministic.
+    double wall_seconds = 0.0;
+    /// Trees assigned and modeled busy time per device.
+    std::vector<uint64_t> trees_per_device;
+    std::vector<double> seconds_per_device;
+    double ms_per_tree_aggregate = 0.0;
+    /// Measured CPU time for the upward searches of the whole workload.
+    /// The CPU is shared by all cards; a pipelined deployment overlaps it
+    /// with device sweeps, so the end-to-end estimate is
+    /// max(wall_seconds, host_seconds_total).
+    double host_seconds_total = 0.0;
+  };
+
+  /// Calibrates each device with one k-tree sample batch and projects the
+  /// time to compute `num_trees` trees with k trees per sweep.
+  [[nodiscard]] Estimate EstimateWorkload(uint64_t num_trees, uint32_t k);
+
+  [[nodiscard]] size_t NumDevices() const { return devices_.size(); }
+
+ private:
+  const Phast& engine_;
+  std::vector<Gphast> devices_;
+};
+
+}  // namespace phast

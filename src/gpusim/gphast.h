@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+
+#include "gpusim/device.h"
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// GPHAST (§VI): PHAST with the linear sweep outsourced to the GPU. The
+/// CPU runs the upward CH searches, copies the (tiny) search spaces to the
+/// device, and launches one kernel per level; each kernel thread computes
+/// the distance label of exactly one (vertex, tree) pair, and threads of a
+/// warp are assigned so that they work on the same vertices (§VI "Multiple
+/// Trees": k = 32 would put a whole warp on one vertex).
+///
+/// Because no GPU is present, the kernels execute *functionally* on the
+/// host — lane by lane, with the exact SIMT predication and warp-level
+/// memory-coalescing behavior traced through SimtDevice — and report
+/// *modeled* GPU time. Labels produced are bit-identical to CPU PHAST
+/// (tests enforce this).
+class Gphast {
+ public:
+  Gphast(const Phast& engine, const DeviceSpec& spec = DeviceSpec::Gtx580());
+
+  struct Result {
+    /// Modeled device time for the batch: level kernels + search-space
+    /// copies (graph upload is a one-time cost, excluded as in the paper).
+    double modeled_device_seconds = 0.0;
+    /// Measured host time for phase one (upward CH searches).
+    double host_seconds = 0.0;
+    uint64_t kernels_launched = 0;
+  };
+
+  /// Computes ws.NumTrees() trees, one per source. Labels land in `ws`
+  /// exactly as with Phast::ComputeTrees.
+  Result ComputeTrees(std::span<const VertexId> sources,
+                      Phast::Workspace& ws);
+
+  /// Device memory footprint for k simultaneous trees (Table III column
+  /// "memory [MB]"): sweep topology + labels + marks.
+  [[nodiscard]] uint64_t DeviceMemoryBytes(uint32_t k) const;
+
+  /// True when k trees fit into the modeled device memory.
+  [[nodiscard]] bool FitsInDeviceMemory(uint32_t k) const {
+    return DeviceMemoryBytes(k) <= device_.Spec().device_memory_bytes;
+  }
+
+  [[nodiscard]] const SimtDevice& Device() const { return device_; }
+  void ResetDeviceStats() { device_.ResetStats(); }
+
+ private:
+  void SimulateLevelKernel(const SweepArgs& args, VertexId begin,
+                           VertexId end);
+
+  const Phast& engine_;
+  SimtDevice device_;
+};
+
+}  // namespace phast

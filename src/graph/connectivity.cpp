@@ -1,0 +1,119 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace phast {
+
+SccResult StronglyConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> scc_stack;
+  uint32_t next_index = 0;
+
+  // Explicit DFS frame: vertex plus the position of the next arc to explore.
+  struct Frame {
+    VertexId v;
+    uint32_t arc_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const VertexId v = frame.v;
+      if (frame.arc_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto arcs = graph.ArcsOf(v);
+      bool descended = false;
+      while (frame.arc_pos < arcs.size()) {
+        const VertexId w = arcs[frame.arc_pos++].other;
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      // v is finished: pop an SCC if v is a root, then propagate lowlink.
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const VertexId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.num_components;
+          if (w == v) break;
+        }
+        ++result.num_components;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+SubgraphResult LargestStronglyConnectedComponent(const EdgeList& edges) {
+  const Graph graph = Graph::FromEdgeList(edges);
+  const SccResult scc = StronglyConnectedComponents(graph);
+  const VertexId n = graph.NumVertices();
+
+  SubgraphResult out;
+  if (n == 0) return out;
+
+  std::vector<uint64_t> size(scc.num_components, 0);
+  for (VertexId v = 0; v < n; ++v) ++size[scc.component[v]];
+  const uint32_t largest = static_cast<uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+
+  out.old_to_new.assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (scc.component[v] == largest) {
+      out.old_to_new[v] = static_cast<VertexId>(out.new_to_old.size());
+      out.new_to_old.push_back(v);
+    }
+  }
+  out.edges.EnsureVertices(static_cast<VertexId>(out.new_to_old.size()));
+  for (const Edge& e : edges.Edges()) {
+    const VertexId u = out.old_to_new[e.tail];
+    const VertexId v = out.old_to_new[e.head];
+    if (u != kInvalidVertex && v != kInvalidVertex) {
+      out.edges.AddArc(u, v, e.weight);
+    }
+  }
+  return out;
+}
+
+Coordinates RestrictCoordinates(const Coordinates& coords,
+                                const SubgraphResult& sub) {
+  Require(coords.Size() == sub.old_to_new.size(),
+          "coordinate count does not match subgraph mapping");
+  Coordinates out;
+  out.x.reserve(sub.new_to_old.size());
+  out.y.reserve(sub.new_to_old.size());
+  for (const VertexId old_id : sub.new_to_old) {
+    out.x.push_back(coords.x[old_id]);
+    out.y.push_back(coords.y[old_id]);
+  }
+  return out;
+}
+
+}  // namespace phast

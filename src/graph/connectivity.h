@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/dimacs.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// Strongly connected components: component[v] is a dense id in
+/// [0, num_components); ids are assigned in (reverse) topological order of
+/// the component DAG by Tarjan's algorithm, but callers should not rely on
+/// that.
+struct SccResult {
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+};
+
+/// Iterative Tarjan SCC (no recursion — road networks would overflow the
+/// stack).
+[[nodiscard]] SccResult StronglyConnectedComponents(const Graph& graph);
+
+/// Result of restricting a graph to a vertex subset.
+struct SubgraphResult {
+  EdgeList edges;
+  /// old vertex id -> new id, or kInvalidVertex if dropped.
+  std::vector<VertexId> old_to_new;
+  /// new vertex id -> old id.
+  std::vector<VertexId> new_to_old;
+};
+
+/// Keeps only vertices of the largest SCC (ties broken by smallest
+/// component id) and the arcs among them, relabeling vertices densely.
+/// Generators produce graphs with dead ends; PHAST/CH assume strong
+/// connectivity for meaningful all-pairs work, so drivers run this first.
+[[nodiscard]] SubgraphResult LargestStronglyConnectedComponent(
+    const EdgeList& edges);
+
+/// Projects coordinates through a SubgraphResult mapping.
+[[nodiscard]] Coordinates RestrictCoordinates(const Coordinates& coords,
+                                              const SubgraphResult& sub);
+
+}  // namespace phast

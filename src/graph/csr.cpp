@@ -1,0 +1,65 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace phast {
+
+Graph Graph::Build(VertexId n, const std::vector<Edge>& edges, bool reverse) {
+  Graph g;
+  g.first_.assign(static_cast<size_t>(n) + 1, 0);
+  g.arcs_.resize(edges.size());
+
+  // Counting sort by the keying endpoint keeps construction O(n + m).
+  for (const Edge& e : edges) {
+    const VertexId key = reverse ? e.head : e.tail;
+    ++g.first_[key + 1];
+  }
+  for (size_t v = 1; v <= n; ++v) g.first_[v] += g.first_[v - 1];
+
+  std::vector<ArcId> cursor(g.first_.begin(), g.first_.end() - 1);
+  for (const Edge& e : edges) {
+    const VertexId key = reverse ? e.head : e.tail;
+    const VertexId other = reverse ? e.tail : e.head;
+    g.arcs_[cursor[key]++] = Arc{other, e.weight};
+  }
+
+  // Deterministic arc order within each vertex regardless of input order.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(g.arcs_.begin() + g.first_[v], g.arcs_.begin() + g.first_[v + 1],
+              [](const Arc& a, const Arc& b) {
+                return a.other != b.other ? a.other < b.other
+                                          : a.weight < b.weight;
+              });
+  }
+  return g;
+}
+
+Graph Graph::FromEdgeList(const EdgeList& edges) {
+  return Build(edges.NumVertices(), edges.Edges(), /*reverse=*/false);
+}
+
+Graph Graph::ReverseFromEdgeList(const EdgeList& edges) {
+  return Build(edges.NumVertices(), edges.Edges(), /*reverse=*/true);
+}
+
+Graph Graph::Reversed() const {
+  EdgeList reversed(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (const Arc& a : ArcsOf(v)) {
+      reversed.AddArc(a.other, v, a.weight);
+    }
+  }
+  return FromEdgeList(reversed);
+}
+
+EdgeList Graph::ToEdgeList() const {
+  EdgeList out(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (const Arc& a : ArcsOf(v)) {
+      out.AddArc(v, a.other, a.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace phast

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// One entry of the packed arc list: the endpoint on the far side of the arc
+/// and the arc length. For a forward graph `other` is the head; for a
+/// reverse graph it is the tail (paper §IV-A).
+struct Arc {
+  VertexId other = 0;
+  Weight weight = 0;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// Static directed graph in the cache-efficient `first`/`arclist`
+/// representation of paper §IV-A.
+///
+/// `first[v]` is the index of v's first arc in `arcs`; v's arcs occupy
+/// `arcs[first[v] .. first[v+1])`. A sentinel entry `first[n] == m` avoids
+/// special cases. Whether `arcs` holds outgoing or incoming arcs is decided
+/// at construction (FromEdgeList vs Reversed); the traversal code is
+/// identical either way.
+class Graph {
+ public:
+  Graph() { first_.push_back(0); }
+
+  /// Builds a forward graph: arcs of v are its outgoing arcs, `Arc::other`
+  /// is the head.
+  static Graph FromEdgeList(const EdgeList& edges);
+
+  /// Builds the reverse adjacency of `edges`: arcs of v are its *incoming*
+  /// arcs, `Arc::other` is the tail.
+  static Graph ReverseFromEdgeList(const EdgeList& edges);
+
+  /// Reverse view of this graph (incoming becomes outgoing).
+  [[nodiscard]] Graph Reversed() const;
+
+  [[nodiscard]] VertexId NumVertices() const {
+    return static_cast<VertexId>(first_.size() - 1);
+  }
+  [[nodiscard]] size_t NumArcs() const { return arcs_.size(); }
+
+  [[nodiscard]] std::span<const Arc> ArcsOf(VertexId v) const {
+    return {arcs_.data() + first_[v], arcs_.data() + first_[v + 1]};
+  }
+
+  [[nodiscard]] uint32_t Degree(VertexId v) const {
+    return first_[v + 1] - first_[v];
+  }
+
+  [[nodiscard]] const std::vector<ArcId>& FirstArray() const { return first_; }
+  [[nodiscard]] const std::vector<Arc>& ArcArray() const { return arcs_; }
+
+  /// Converts back to an edge list (forward interpretation: Arc::other is
+  /// the head).
+  [[nodiscard]] EdgeList ToEdgeList() const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  static Graph Build(VertexId n, const std::vector<Edge>& edges, bool reverse);
+
+  std::vector<ArcId> first_;  // size n+1, sentinel at the end
+  std::vector<Arc> arcs_;     // size m, grouped by vertex
+};
+
+}  // namespace phast

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// Vertex coordinates from a DIMACS .co file (or a generator). Units are
+/// arbitrary; generators use integer micro-degrees like the challenge data.
+struct Coordinates {
+  std::vector<int64_t> x;
+  std::vector<int64_t> y;
+
+  [[nodiscard]] size_t Size() const { return x.size(); }
+};
+
+/// Reader/writer for the 9th DIMACS Implementation Challenge graph format —
+/// the format of the Europe (PTV) and USA (TIGER/Line) road networks the
+/// paper benchmarks on. Vertex IDs are 1-based in the file, 0-based in
+/// memory.
+///
+/// .gr:  c <comment> | p sp <n> <m> | a <tail> <head> <weight>
+/// .co:  c <comment> | p aux sp co <n> | v <id> <x> <y>
+
+EdgeList ReadDimacsGraph(std::istream& in);
+EdgeList ReadDimacsGraphFile(const std::string& path);
+
+void WriteDimacsGraph(const EdgeList& graph, std::ostream& out);
+void WriteDimacsGraphFile(const EdgeList& graph, const std::string& path);
+
+Coordinates ReadDimacsCoordinates(std::istream& in);
+Coordinates ReadDimacsCoordinatesFile(const std::string& path);
+
+void WriteDimacsCoordinates(const Coordinates& coords, std::ostream& out);
+void WriteDimacsCoordinatesFile(const Coordinates& coords,
+                                const std::string& path);
+
+}  // namespace phast

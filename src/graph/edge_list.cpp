@@ -1,0 +1,36 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace phast {
+
+void EdgeList::AddArc(VertexId tail, VertexId head, Weight weight) {
+  edges_.push_back(Edge{tail, head, weight});
+  EnsureVertices(std::max(tail, head) + 1);
+}
+
+void EdgeList::AddBidirectional(VertexId u, VertexId v, Weight weight) {
+  AddArc(u, v, weight);
+  AddArc(v, u, weight);
+}
+
+void EdgeList::Normalize() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.tail != b.tail) return a.tail < b.tail;
+    if (a.head != b.head) return a.head < b.head;
+    return a.weight < b.weight;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.tail == e.head) continue;  // self-loop
+    if (out > 0 && edges_[out - 1].tail == e.tail &&
+        edges_[out - 1].head == e.head) {
+      continue;  // parallel arc; the first (cheapest) one was kept
+    }
+    edges_[out++] = e;
+  }
+  edges_.resize(out);
+}
+
+}  // namespace phast

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace phast {
+
+/// A single directed arc with its length.
+struct Edge {
+  VertexId tail = 0;
+  VertexId head = 0;
+  Weight weight = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Mutable arc soup used while constructing or transforming graphs.
+///
+/// Graph construction pipeline: generators and file readers emit an
+/// EdgeList; Normalize() canonicalizes it; Graph (CSR) is built from it.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Adds a directed arc. Grows the vertex count if needed.
+  void AddArc(VertexId tail, VertexId head, Weight weight);
+
+  /// Adds both directions with the same weight.
+  void AddBidirectional(VertexId u, VertexId v, Weight weight);
+
+  /// Sorts by (tail, head, weight), removes self-loops, and keeps only the
+  /// minimum-weight arc among parallel arcs. Self-loops can never lie on a
+  /// shortest path with non-negative weights; parallel arcs other than the
+  /// cheapest are redundant.
+  void Normalize();
+
+  /// Grows (never shrinks) the declared vertex count.
+  void EnsureVertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  [[nodiscard]] VertexId NumVertices() const { return num_vertices_; }
+  [[nodiscard]] size_t NumArcs() const { return edges_.size(); }
+
+  [[nodiscard]] const std::vector<Edge>& Edges() const { return edges_; }
+  [[nodiscard]] std::vector<Edge>& MutableEdges() { return edges_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace phast

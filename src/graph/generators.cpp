@@ -1,0 +1,229 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+// Converts a Euclidean length (in abstract position units) and a speed
+// multiplier into an integer arc weight for the requested metric. Weights
+// are scaled so that typical local arcs are a few hundred units, which keeps
+// path lengths well below the 32-bit saturation point for the graph sizes we
+// generate.
+Weight ArcWeight(double euclid, double speed, Metric metric) {
+  const double scaled = metric == Metric::kTravelTime ? euclid / speed : euclid;
+  return static_cast<Weight>(
+      std::max<int64_t>(1, std::llround(scaled * 100.0)));
+}
+
+double Euclid(const Coordinates& coords, VertexId u, VertexId v) {
+  const double dx = static_cast<double>(coords.x[u] - coords.x[v]);
+  const double dy = static_cast<double>(coords.y[u] - coords.y[v]);
+  return std::sqrt(dx * dx + dy * dy) / 1000.0;
+}
+
+}  // namespace
+
+GeneratedGraph GenerateCountry(const CountryParams& params) {
+  Require(params.width >= 2 && params.height >= 2,
+          "country grid must be at least 2x2");
+  Require(params.highway_stride >= 2, "highway stride must be >= 2");
+  const uint32_t w = params.width;
+  const uint32_t h = params.height;
+  const VertexId n = w * h;
+  Rng rng(params.seed);
+
+  GeneratedGraph out;
+  out.edges.EnsureVertices(n);
+  out.coords.x.resize(n);
+  out.coords.y.resize(n);
+
+  const auto vertex = [w](uint32_t x, uint32_t y) -> VertexId {
+    return y * w + x;
+  };
+
+  // Vertex positions: grid cell centers with jitter, in milli-units.
+  for (uint32_t y = 0; y < h; ++y) {
+    for (uint32_t x = 0; x < w; ++x) {
+      const double jx = (rng.NextDouble() - 0.5) * params.jitter;
+      const double jy = (rng.NextDouble() - 0.5) * params.jitter;
+      out.coords.x[vertex(x, y)] =
+          static_cast<int64_t>(std::llround((x + jx) * 1000.0));
+      out.coords.y[vertex(x, y)] =
+          static_cast<int64_t>(std::llround((y + jy) * 1000.0));
+    }
+  }
+
+  const auto add_road = [&](VertexId u, VertexId v, double speed) {
+    const Weight wgt =
+        ArcWeight(Euclid(out.coords, u, v), speed, params.metric);
+    out.edges.AddBidirectional(u, v, wgt);
+  };
+
+  // Local roads: 4-neighborhood with random deletions plus occasional
+  // diagonals.
+  for (uint32_t y = 0; y < h; ++y) {
+    for (uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w && !rng.NextBool(params.deletion_prob)) {
+        add_road(vertex(x, y), vertex(x + 1, y), 1.0);
+      }
+      if (y + 1 < h && !rng.NextBool(params.deletion_prob)) {
+        add_road(vertex(x, y), vertex(x, y + 1), 1.0);
+      }
+      if (x + 1 < w && y + 1 < h && rng.NextBool(params.diagonal_prob)) {
+        add_road(vertex(x, y), vertex(x + 1, y + 1), 1.0);
+      }
+    }
+  }
+
+  // Highway hierarchy: level-i roads connect every stride^i-th grid point
+  // along rows and columns at compounded speed. This produces the small set
+  // of "important" vertices hitting all long shortest paths that low highway
+  // dimension requires (paper §II-B).
+  double speed = 1.0;
+  for (uint64_t stride = params.highway_stride;
+       stride < std::max(w, h); stride *= params.highway_stride) {
+    speed *= params.highway_speedup;
+    for (uint64_t y = 0; y < h; y += stride) {
+      for (uint64_t x = 0; x + stride < w; x += stride) {
+        add_road(vertex(static_cast<uint32_t>(x), static_cast<uint32_t>(y)),
+                 vertex(static_cast<uint32_t>(x + stride),
+                        static_cast<uint32_t>(y)),
+                 speed);
+      }
+    }
+    for (uint64_t x = 0; x < w; x += stride) {
+      for (uint64_t y = 0; y + stride < h; y += stride) {
+        add_road(vertex(static_cast<uint32_t>(x), static_cast<uint32_t>(y)),
+                 vertex(static_cast<uint32_t>(x),
+                        static_cast<uint32_t>(y + stride)),
+                 speed);
+      }
+    }
+  }
+
+  out.edges.Normalize();
+  return out;
+}
+
+GeneratedGraph GenerateRandomGeometric(uint32_t n, double radius,
+                                       uint64_t seed) {
+  Require(n >= 1, "need at least one vertex");
+  Require(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+  Rng rng(seed);
+
+  GeneratedGraph out;
+  out.edges.EnsureVertices(n);
+  out.coords.x.resize(n);
+  out.coords.y.resize(n);
+  std::vector<double> px(n), py(n);
+  for (VertexId v = 0; v < n; ++v) {
+    px[v] = rng.NextDouble();
+    py[v] = rng.NextDouble();
+    out.coords.x[v] = static_cast<int64_t>(std::llround(px[v] * 1e6));
+    out.coords.y[v] = static_cast<int64_t>(std::llround(py[v] * 1e6));
+  }
+
+  // Spatial hashing: only compare points in neighboring buckets.
+  const uint32_t buckets = std::max(1u, static_cast<uint32_t>(1.0 / radius));
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<size_t>(buckets) * buckets);
+  const auto bucket_of = [&](double p) {
+    return std::min(buckets - 1, static_cast<uint32_t>(p * buckets));
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    grid[static_cast<size_t>(bucket_of(py[v])) * buckets + bucket_of(px[v])]
+        .push_back(v);
+  }
+
+  for (VertexId u = 0; u < n; ++u) {
+    const uint32_t bx = bucket_of(px[u]);
+    const uint32_t by = bucket_of(py[u]);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int64_t nx = static_cast<int64_t>(bx) + dx;
+        const int64_t ny = static_cast<int64_t>(by) + dy;
+        if (nx < 0 || ny < 0 || nx >= buckets || ny >= buckets) continue;
+        for (VertexId v :
+             grid[static_cast<size_t>(ny) * buckets + static_cast<size_t>(nx)]) {
+          if (v <= u) continue;  // add each pair once
+          const double dxp = px[u] - px[v];
+          const double dyp = py[u] - py[v];
+          const double dist = std::sqrt(dxp * dxp + dyp * dyp);
+          if (dist <= radius) {
+            const Weight wgt = static_cast<Weight>(
+                std::max<int64_t>(1, std::llround(dist * 1e5)));
+            out.edges.AddBidirectional(u, v, wgt);
+          }
+        }
+      }
+    }
+  }
+  out.edges.Normalize();
+  return out;
+}
+
+EdgeList GenerateGnm(uint32_t n, uint64_t m, Weight max_weight, uint64_t seed) {
+  Require(n >= 2, "G(n,m) needs at least two vertices");
+  Require(max_weight >= 1, "max_weight must be >= 1");
+  Rng rng(seed);
+  EdgeList edges(n);
+  for (uint64_t i = 0; i < m; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n - 1));
+    if (v >= u) ++v;  // avoid self-loops without rejection sampling
+    edges.AddArc(u, v, static_cast<Weight>(1 + rng.NextBounded(max_weight)));
+  }
+  edges.Normalize();
+  return edges;
+}
+
+EdgeList GeneratePath(uint32_t n, Weight step) {
+  EdgeList edges(n);
+  for (VertexId v = 0; v + 1 < n; ++v) edges.AddBidirectional(v, v + 1, step);
+  return edges;
+}
+
+EdgeList GenerateCycle(uint32_t n, Weight step) {
+  Require(n >= 3, "cycle needs at least three vertices");
+  EdgeList edges = GeneratePath(n, step);
+  edges.AddBidirectional(n - 1, 0, step);
+  return edges;
+}
+
+EdgeList GenerateStar(uint32_t leaves, Weight spoke) {
+  EdgeList edges(leaves + 1);
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    edges.AddBidirectional(0, leaf, spoke);
+  }
+  return edges;
+}
+
+EdgeList GenerateGrid(uint32_t width, uint32_t height, Weight step) {
+  EdgeList edges(width * height);
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      const VertexId v = y * width + x;
+      if (x + 1 < width) edges.AddBidirectional(v, v + 1, step);
+      if (y + 1 < height) edges.AddBidirectional(v, v + width, step);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateComplete(uint32_t n, Weight weight) {
+  EdgeList edges(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) edges.AddArc(u, v, weight);
+    }
+  }
+  return edges;
+}
+
+}  // namespace phast

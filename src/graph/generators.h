@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dimacs.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// Arc-length semantics, mirroring the two DIMACS weightings the paper
+/// evaluates (§VIII-G): travel time (strong road hierarchy — highways are
+/// much "shorter") and travel distance (weak hierarchy — CH produces more
+/// levels and shortcuts, PHAST gets slower).
+enum class Metric {
+  kTravelTime,
+  kTravelDistance,
+};
+
+/// A generated network: directed arcs plus planar vertex coordinates.
+struct GeneratedGraph {
+  EdgeList edges;
+  Coordinates coords;
+};
+
+/// Parameters for the synthetic-country generator (see GenerateCountry).
+struct CountryParams {
+  /// Grid dimensions; the graph has width*height vertices.
+  uint32_t width = 64;
+  uint32_t height = 64;
+  /// Probability that a local grid edge is deleted (creates dead ends and
+  /// irregular local topology, as in real road networks).
+  double deletion_prob = 0.05;
+  /// Probability of adding a diagonal local edge in a cell.
+  double diagonal_prob = 0.10;
+  /// Cell spacing between consecutive vertices of a level-i highway is
+  /// highway_stride^i; levels are added while the stride fits the grid.
+  uint32_t highway_stride = 4;
+  /// Speed of a level-i road relative to a local road (compounded per
+  /// level). Only affects Metric::kTravelTime.
+  double highway_speedup = 2.0;
+  /// Relative jitter applied to vertex positions within their grid cell.
+  double jitter = 0.3;
+  Metric metric = Metric::kTravelTime;
+  uint64_t seed = 1;
+};
+
+/// Synthetic road network with the structural properties PHAST exploits:
+/// near-planar local grid plus a nested highway hierarchy (low highway
+/// dimension). All arcs are bidirectional with symmetric weights; the graph
+/// may have dead ends after deletions, so callers normally extract the
+/// largest strongly connected component.
+GeneratedGraph GenerateCountry(const CountryParams& params);
+
+/// Random geometric graph: n points uniform in the unit square, arcs between
+/// all pairs within the given radius, weight = Euclidean distance (scaled to
+/// integers). Bidirectional.
+GeneratedGraph GenerateRandomGeometric(uint32_t n, double radius,
+                                       uint64_t seed);
+
+/// Erdős–Rényi style G(n, m) with uniform weights in [1, max_weight].
+/// No structure for CH to exploit — used as an adversarial input in tests.
+EdgeList GenerateGnm(uint32_t n, uint64_t m, Weight max_weight, uint64_t seed);
+
+/// Deterministic small graphs for unit tests.
+EdgeList GeneratePath(uint32_t n, Weight step = 1);
+EdgeList GenerateCycle(uint32_t n, Weight step = 1);
+EdgeList GenerateStar(uint32_t leaves, Weight spoke = 1);
+EdgeList GenerateGrid(uint32_t width, uint32_t height, Weight step = 1);
+EdgeList GenerateComplete(uint32_t n, Weight weight = 1);
+
+}  // namespace phast

@@ -1,0 +1,88 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast {
+
+bool IsPermutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const VertexId v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Permutation InvertPermutation(const Permutation& perm) {
+  Permutation inverse(perm.size());
+  for (VertexId old_id = 0; old_id < perm.size(); ++old_id) {
+    inverse[perm[old_id]] = old_id;
+  }
+  return inverse;
+}
+
+Permutation IdentityPermutation(VertexId n) {
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  return perm;
+}
+
+Permutation RandomPermutation(VertexId n, uint64_t seed) {
+  Permutation perm = IdentityPermutation(n);
+  Rng rng(seed);
+  Shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+Permutation DfsPermutation(const Graph& graph, VertexId root) {
+  const VertexId n = graph.NumVertices();
+  Require(n == 0 || root < n, "DFS root out of range");
+  Permutation perm(n, kInvalidVertex);
+  VertexId next_id = 0;
+  std::vector<VertexId> stack;
+  for (VertexId r = 0; r < n; ++r) {
+    // First pass starts at the requested root; restarts sweep in ID order.
+    const VertexId start = r == 0 ? root : (r <= root ? r - 1 : r);
+    if (perm[start] != kInvalidVertex) continue;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      if (perm[v] != kInvalidVertex) continue;
+      perm[v] = next_id++;  // DFS preorder: number at first visit
+      const auto arcs = graph.ArcsOf(v);
+      for (auto it = arcs.rbegin(); it != arcs.rend(); ++it) {
+        if (perm[it->other] == kInvalidVertex) stack.push_back(it->other);
+      }
+    }
+  }
+  return perm;
+}
+
+Permutation LevelPermutation(const std::vector<uint32_t>& levels) {
+  const VertexId n = static_cast<VertexId>(levels.size());
+  Permutation by_level = IdentityPermutation(n);
+  // Stable sort keeps ascending-ID order within each level.
+  std::stable_sort(by_level.begin(), by_level.end(),
+                   [&levels](VertexId a, VertexId b) {
+                     return levels[a] > levels[b];
+                   });
+  // by_level[pos] is the old ID at sweep position pos; we need old -> new.
+  return InvertPermutation(by_level);
+}
+
+EdgeList ApplyPermutation(const EdgeList& edges, const Permutation& perm) {
+  Require(perm.size() == edges.NumVertices(),
+          "permutation size does not match vertex count");
+  EdgeList out(edges.NumVertices());
+  for (const Edge& e : edges.Edges()) {
+    out.AddArc(perm[e.tail], perm[e.head], e.weight);
+  }
+  return out;
+}
+
+}  // namespace phast

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// A vertex relabeling: perm[old_id] == new_id. All entries distinct, in
+/// [0, n). The paper's Table I compares three layouts (random, input-order,
+/// DFS); §IV-A introduces the level layout that makes the PHAST sweep
+/// sequential.
+using Permutation = std::vector<VertexId>;
+
+/// True iff perm is a bijection on [0, perm.size()).
+[[nodiscard]] bool IsPermutation(const Permutation& perm);
+
+/// inverse[new_id] == old_id.
+[[nodiscard]] Permutation InvertPermutation(const Permutation& perm);
+
+/// Identity relabeling ("input" layout).
+[[nodiscard]] Permutation IdentityPermutation(VertexId n);
+
+/// Uniformly random relabeling ("random" layout of Table I).
+[[nodiscard]] Permutation RandomPermutation(VertexId n, uint64_t seed);
+
+/// DFS discovery order from the given root ("DFS" layout of Table I and
+/// §II-A); unreached vertices are appended via restarts in ID order.
+/// Treats arcs as directed.
+[[nodiscard]] Permutation DfsPermutation(const Graph& graph, VertexId root = 0);
+
+/// The PHAST layout of §IV-A: vertices sorted by *descending* CH level;
+/// within a level, ascending current ID (callers pass a DFS-relabeled graph
+/// to get the paper's "DFS order within levels" tie-break). The resulting
+/// new IDs make the downward sweep a forward scan over memory.
+[[nodiscard]] Permutation LevelPermutation(const std::vector<uint32_t>& levels);
+
+/// Relabels all endpoints: vertex v becomes perm[v].
+[[nodiscard]] EdgeList ApplyPermutation(const EdgeList& edges,
+                                        const Permutation& perm);
+
+/// Reorders a per-vertex attribute array: out[perm[v]] = in[v].
+template <typename T>
+[[nodiscard]] std::vector<T> ApplyPermutationToValues(
+    const std::vector<T>& values, const Permutation& perm) {
+  std::vector<T> out(values.size());
+  for (size_t v = 0; v < values.size(); ++v) out[perm[v]] = values[v];
+  return out;
+}
+
+}  // namespace phast

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace phast {
+
+/// Vertex identifier. Road networks of interest have < 2^32 vertices.
+using VertexId = uint32_t;
+
+/// Arc index into a CSR arc list.
+using ArcId = uint32_t;
+
+/// Arc length / distance label. The paper uses 32-bit labels so that four of
+/// them fit into a 128-bit SSE register (§IV-B).
+using Weight = uint32_t;
+
+/// Sentinel for "no vertex" (parents of roots, unreached vertices).
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Distance label of an unreached vertex. All arithmetic in the sweep
+/// saturates at this value.
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::max();
+
+/// Saturating addition of distance labels: inf + x == inf, and partial sums
+/// never wrap around. Valid whenever both operands are <= kInfWeight.
+inline Weight SaturatingAdd(Weight a, Weight b) {
+  const uint64_t s = static_cast<uint64_t>(a) + static_cast<uint64_t>(b);
+  return s >= kInfWeight ? kInfWeight : static_cast<Weight>(s);
+}
+
+}  // namespace phast

@@ -1,0 +1,63 @@
+#include "graph/validation.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace phast {
+
+GraphDiagnostics DiagnoseGraph(const EdgeList& edges) {
+  GraphDiagnostics d;
+  d.num_vertices = edges.NumVertices();
+  d.num_arcs = edges.NumArcs();
+
+  // Work on a sorted copy so parallels and reverses are found by search.
+  std::vector<Edge> sorted = edges.Edges();
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    if (a.tail != b.tail) return a.tail < b.tail;
+    if (a.head != b.head) return a.head < b.head;
+    return a.weight < b.weight;
+  });
+
+  std::vector<uint32_t> out_degree(d.num_vertices, 0);
+  std::vector<bool> touched(d.num_vertices, false);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const Edge& e = sorted[i];
+    if (e.tail == e.head) ++d.self_loops;
+    if (e.weight == 0) ++d.zero_weight_arcs;
+    d.max_weight = std::max(d.max_weight, e.weight);
+    ++out_degree[e.tail];
+    touched[e.tail] = touched[e.head] = true;
+    if (i > 0 && sorted[i - 1].tail == e.tail && sorted[i - 1].head == e.head) {
+      ++d.parallel_arcs;
+    }
+    // Reverse arc with identical weight present?
+    const Edge reverse{e.head, e.tail, e.weight};
+    if (!std::binary_search(
+            sorted.begin(), sorted.end(), reverse,
+            [](const Edge& a, const Edge& b) {
+              if (a.tail != b.tail) return a.tail < b.tail;
+              if (a.head != b.head) return a.head < b.head;
+              return a.weight < b.weight;
+            })) {
+      ++d.asymmetric_arcs;
+    }
+  }
+  for (VertexId v = 0; v < d.num_vertices; ++v) {
+    d.max_out_degree = std::max(d.max_out_degree, out_degree[v]);
+    if (!touched[v]) ++d.isolated_vertices;
+  }
+  return d;
+}
+
+std::string GraphDiagnostics::Summary() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "n=%u m=%zu maxw=%u maxdeg=%u loops=%zu parallel=%zu "
+                "zero=%zu asym=%zu isolated=%zu%s",
+                num_vertices, num_arcs, max_weight, max_out_degree,
+                self_loops, parallel_arcs, zero_weight_arcs, asymmetric_arcs,
+                isolated_vertices, CleanForPipeline() ? " [clean]" : "");
+  return buffer;
+}
+
+}  // namespace phast

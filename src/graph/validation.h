@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// Structural diagnostics for an input network, for tools that ingest
+/// third-party DIMACS files before handing them to PHAST.
+struct GraphDiagnostics {
+  VertexId num_vertices = 0;
+  size_t num_arcs = 0;
+  size_t self_loops = 0;
+  size_t parallel_arcs = 0;
+  size_t zero_weight_arcs = 0;
+  size_t asymmetric_arcs = 0;  // arcs whose reverse (same weight) is absent
+  Weight max_weight = 0;
+  uint32_t max_out_degree = 0;
+  size_t isolated_vertices = 0;
+
+  /// True when the graph is ready for the full pipeline without caveats:
+  /// no self-loops or parallels (Normalize() removes them) and strictly
+  /// positive weights (required by tree extraction and reach).
+  [[nodiscard]] bool CleanForPipeline() const {
+    return self_loops == 0 && parallel_arcs == 0 && zero_weight_arcs == 0;
+  }
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+[[nodiscard]] GraphDiagnostics DiagnoseGraph(const EdgeList& edges);
+
+}  // namespace phast

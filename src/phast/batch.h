@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+#include "util/omp_env.h"
+
+namespace phast {
+
+/// How a many-tree computation is spread over the machine.
+struct BatchOptions {
+  /// Trees per linear sweep (the k of §IV-B). 1 disables multi-tree mode.
+  uint32_t trees_per_sweep = 1;
+  /// Parents in G+ tracked per tree (needed by arc flags, reach, ...).
+  bool want_parents = false;
+};
+
+/// Computes one tree from every source, assigning batches of k sources to
+/// OpenMP threads ("one tree per core", §V). The visitor runs in the owning
+/// thread right after its batch's sweep:
+///
+///   visit(source_index, workspace, slot)
+///
+/// where sources[source_index] occupies tree `slot` of `workspace`. Visitors
+/// must not touch other threads' state; aggregate afterwards.
+///
+/// When the source count is not a multiple of k, the final short batch is
+/// padded by repeating its last source; the visitor never sees the padding.
+template <typename Visitor>
+void ComputeManyTrees(const Phast& engine, std::span<const VertexId> sources,
+                      const BatchOptions& options, Visitor&& visit) {
+  const uint32_t k = options.trees_per_sweep;
+  const int64_t num_batches =
+      static_cast<int64_t>((sources.size() + k - 1) / k);
+
+#pragma omp parallel
+  {
+    Phast::Workspace ws = engine.MakeWorkspace(k, options.want_parents);
+    std::vector<VertexId> batch(k);
+#pragma omp for schedule(dynamic, 1)
+    for (int64_t b = 0; b < num_batches; ++b) {
+      const size_t begin = static_cast<size_t>(b) * k;
+      const size_t live = std::min<size_t>(k, sources.size() - begin);
+      for (uint32_t i = 0; i < k; ++i) {
+        batch[i] = sources[begin + std::min<size_t>(i, live - 1)];
+      }
+      engine.ComputeTrees(batch, ws);
+      for (uint32_t i = 0; i < live; ++i) {
+        visit(begin + i, ws, i);
+      }
+    }
+  }
+}
+
+}  // namespace phast

@@ -1,0 +1,255 @@
+#include "phast/kernels.h"
+
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace phast {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernel. Template parameters peel the per-vertex mark test and the
+// per-label parent tracking out of the inner loop.
+// ---------------------------------------------------------------------------
+
+template <bool kUseMarks, bool kParents>
+void ScalarSweep(const SweepArgs& a, VertexId begin, VertexId end) {
+  const uint32_t k = a.k;
+  for (VertexId pos = begin; pos < end; ++pos) {
+    const VertexId v = a.order != nullptr ? a.order[pos] : pos;
+    Weight* dv = a.labels + static_cast<size_t>(v) * k;
+    if constexpr (kUseMarks) {
+      // Unmarked vertices were untouched by the upward search: their labels
+      // are stale, so treat them as +infinity (§IV-C).
+      if (!a.Marked(v)) {
+        for (uint32_t i = 0; i < k; ++i) dv[i] = kInfWeight;
+      }
+    }
+    const ArcId arc_end = a.down_first[pos + 1];
+    for (ArcId arc = a.down_first[pos]; arc < arc_end; ++arc) {
+      const VertexId u = a.down_arcs[arc].tail;
+      const Weight w = a.down_arcs[arc].weight;
+      const Weight* du = a.labels + static_cast<size_t>(u) * k;
+      for (uint32_t i = 0; i < k; ++i) {
+        const Weight candidate = SaturatingAdd(du[i], w);
+        if (candidate < dv[i]) {
+          dv[i] = candidate;
+          if constexpr (kParents) {
+            a.parents[static_cast<size_t>(v) * k + i] = u;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE4.1 kernel: four trees per 128-bit lane (§IV-B). Additions saturate at
+// kInfWeight so "infinity plus arc weight" stays infinity even for graphs
+// whose distances approach 2^32.
+// ---------------------------------------------------------------------------
+
+#if defined(__SSE4_1__)
+
+inline __m128i SaturatingAddEpu32(__m128i a, __m128i b) {
+  const __m128i sign = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i sum = _mm_add_epi32(a, b);
+  // Unsigned a > sum detects wrap-around; flooding those lanes with ones
+  // saturates them at kInfWeight.
+  const __m128i overflow =
+      _mm_cmpgt_epi32(_mm_xor_si128(a, sign), _mm_xor_si128(sum, sign));
+  return _mm_or_si128(sum, overflow);
+}
+
+template <bool kUseMarks, bool kParents>
+void SseSweep(const SweepArgs& a, VertexId begin, VertexId end) {
+  const uint32_t k = a.k;
+  const __m128i inf = _mm_set1_epi32(-1);
+  const __m128i sign = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  for (VertexId pos = begin; pos < end; ++pos) {
+    const VertexId v = a.order != nullptr ? a.order[pos] : pos;
+    Weight* dv = a.labels + static_cast<size_t>(v) * k;
+    if constexpr (kUseMarks) {
+      if (!a.Marked(v)) {
+        for (uint32_t i = 0; i < k; i += 4) {
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dv + i), inf);
+        }
+      }
+    }
+    const ArcId arc_end = a.down_first[pos + 1];
+    for (ArcId arc = a.down_first[pos]; arc < arc_end; ++arc) {
+      const VertexId u = a.down_arcs[arc].tail;
+      const __m128i wvec = _mm_set1_epi32(
+          static_cast<int>(a.down_arcs[arc].weight));
+      const Weight* du = a.labels + static_cast<size_t>(u) * k;
+      for (uint32_t i = 0; i < k; i += 4) {
+        const __m128i lu =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(du + i));
+        const __m128i lv =
+            _mm_loadu_si128(reinterpret_cast<__m128i*>(dv + i));
+        const __m128i cand = SaturatingAddEpu32(lu, wvec);
+        if constexpr (kParents) {
+          const __m128i improved = _mm_cmpgt_epi32(_mm_xor_si128(lv, sign),
+                                                   _mm_xor_si128(cand, sign));
+          VertexId* pv = a.parents + static_cast<size_t>(v) * k + i;
+          const __m128i old_par =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(pv));
+          const __m128i new_par = _mm_blendv_epi8(
+              old_par, _mm_set1_epi32(static_cast<int>(u)), improved);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(pv), new_par);
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dv + i),
+                         _mm_min_epu32(lv, cand));
+      }
+    }
+  }
+}
+
+#endif  // __SSE4_1__
+
+// ---------------------------------------------------------------------------
+// AVX2 kernel: eight trees per 256-bit lane. An extension beyond the paper
+// (which targets 128-bit SSE); same structure, twice the width.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX2__)
+
+inline __m256i SaturatingAddEpu32Avx(__m256i a, __m256i b) {
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i sum = _mm256_add_epi32(a, b);
+  const __m256i overflow = _mm256_cmpgt_epi32(_mm256_xor_si256(a, sign),
+                                              _mm256_xor_si256(sum, sign));
+  return _mm256_or_si256(sum, overflow);
+}
+
+template <bool kUseMarks, bool kParents>
+void Avx2Sweep(const SweepArgs& a, VertexId begin, VertexId end) {
+  const uint32_t k = a.k;
+  const __m256i inf = _mm256_set1_epi32(-1);
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  for (VertexId pos = begin; pos < end; ++pos) {
+    const VertexId v = a.order != nullptr ? a.order[pos] : pos;
+    Weight* dv = a.labels + static_cast<size_t>(v) * k;
+    if constexpr (kUseMarks) {
+      if (!a.Marked(v)) {
+        for (uint32_t i = 0; i < k; i += 8) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dv + i), inf);
+        }
+      }
+    }
+    const ArcId arc_end = a.down_first[pos + 1];
+    for (ArcId arc = a.down_first[pos]; arc < arc_end; ++arc) {
+      const VertexId u = a.down_arcs[arc].tail;
+      const __m256i wvec = _mm256_set1_epi32(
+          static_cast<int>(a.down_arcs[arc].weight));
+      const Weight* du = a.labels + static_cast<size_t>(u) * k;
+      for (uint32_t i = 0; i < k; i += 8) {
+        const __m256i lu =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(du + i));
+        const __m256i lv =
+            _mm256_loadu_si256(reinterpret_cast<__m256i*>(dv + i));
+        const __m256i cand = SaturatingAddEpu32Avx(lu, wvec);
+        if constexpr (kParents) {
+          const __m256i improved = _mm256_cmpgt_epi32(
+              _mm256_xor_si256(lv, sign), _mm256_xor_si256(cand, sign));
+          VertexId* pv = a.parents + static_cast<size_t>(v) * k + i;
+          const __m256i old_par =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pv));
+          const __m256i new_par = _mm256_blendv_epi8(
+              old_par, _mm256_set1_epi32(static_cast<int>(u)), improved);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(pv), new_par);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dv + i),
+                            _mm256_min_epu32(lv, cand));
+      }
+    }
+  }
+}
+
+#endif  // __AVX2__
+
+enum class KernelKind { kScalar, kSse, kAvx2 };
+
+KernelKind ResolveKind(SimdMode mode, uint32_t k) {
+  const bool sse_ok = SimdModeAvailable(SimdMode::kSse) && k % 4 == 0;
+  const bool avx_ok = SimdModeAvailable(SimdMode::kAvx2) && k % 8 == 0;
+  switch (mode) {
+    case SimdMode::kScalar:
+      return KernelKind::kScalar;
+    case SimdMode::kSse:
+      return sse_ok ? KernelKind::kSse : KernelKind::kScalar;
+    case SimdMode::kAvx2:
+      return avx_ok ? KernelKind::kAvx2 : KernelKind::kScalar;
+    case SimdMode::kAuto:
+      if (avx_ok) return KernelKind::kAvx2;
+      if (sse_ok) return KernelKind::kSse;
+      return KernelKind::kScalar;
+  }
+  return KernelKind::kScalar;
+}
+
+template <bool kUseMarks, bool kParents>
+SweepKernelFn PickKernel(KernelKind kind) {
+  switch (kind) {
+#if defined(__SSE4_1__)
+    case KernelKind::kSse:
+      return &SseSweep<kUseMarks, kParents>;
+#endif
+#if defined(__AVX2__)
+    case KernelKind::kAvx2:
+      return &Avx2Sweep<kUseMarks, kParents>;
+#endif
+    default:
+      return &ScalarSweep<kUseMarks, kParents>;
+  }
+}
+
+}  // namespace
+
+bool SimdModeAvailable(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kScalar:
+    case SimdMode::kAuto:
+      return true;
+    case SimdMode::kSse:
+#if defined(__SSE4_1__)
+      return __builtin_cpu_supports("sse4.1");
+#else
+      return false;
+#endif
+    case SimdMode::kAvx2:
+#if defined(__AVX2__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SweepKernelFn SelectSweepKernel(SimdMode mode, uint32_t k, bool want_parents,
+                                bool use_marks) {
+  const KernelKind kind = ResolveKind(mode, k);
+  if (use_marks) {
+    return want_parents ? PickKernel<true, true>(kind)
+                        : PickKernel<true, false>(kind);
+  }
+  return want_parents ? PickKernel<false, true>(kind)
+                      : PickKernel<false, false>(kind);
+}
+
+const char* SweepKernelName(SimdMode mode, uint32_t k) {
+  switch (ResolveKind(mode, k)) {
+    case KernelKind::kSse:
+      return "sse";
+    case KernelKind::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace phast

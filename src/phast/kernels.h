@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "phast/options.h"
+
+namespace phast {
+
+/// One incoming downward arc as stored by the sweep: the tail in label
+/// space (the index used for distance lookups) and the arc length.
+struct DownArc {
+  VertexId tail = 0;
+  Weight weight = 0;
+};
+
+/// Everything a sweep kernel needs, in raw-pointer form so the same kernels
+/// serve the CPU engine and the GPU simulator's reference path.
+struct SweepArgs {
+  const ArcId* down_first = nullptr;   // n+1, keyed by sweep position
+  const DownArc* down_arcs = nullptr;  // grouped by sweep position
+  /// Sweep position -> label-space vertex id; nullptr when they coincide
+  /// (the reordered layout).
+  const VertexId* order = nullptr;
+  VertexId num_vertices = 0;
+  uint32_t k = 1;  // trees per sweep
+
+  Weight* labels = nullptr;  // k-strided: labels[v*k + tree]
+  /// Visit marks for implicit initialization (read-only during the sweep);
+  /// nullptr when labels were explicitly initialized.
+  const uint64_t* marks = nullptr;
+  /// Parent (arc tail, label space) per label; nullptr if not requested.
+  VertexId* parents = nullptr;
+
+  [[nodiscard]] bool Marked(VertexId v) const {
+    return (marks[v >> 6] >> (v & 63)) & 1;
+  }
+};
+
+/// Pointer to a kernel that sweeps positions [begin, end).
+using SweepKernelFn = void (*)(const SweepArgs&, VertexId begin, VertexId end);
+
+/// Selects the widest kernel compatible with the requested mode, the CPU,
+/// and k (SSE needs k % 4 == 0, AVX2 needs k % 8 == 0). `want_parents` and
+/// `use_marks` pick the matching template instantiation.
+SweepKernelFn SelectSweepKernel(SimdMode mode, uint32_t k, bool want_parents,
+                                bool use_marks);
+
+/// Name of the kernel that SelectSweepKernel would return ("scalar", "sse",
+/// "avx2") — benchmarks report it.
+const char* SweepKernelName(SimdMode mode, uint32_t k);
+
+/// True if the binary and CPU can run the given SIMD mode at all.
+bool SimdModeAvailable(SimdMode mode);
+
+}  // namespace phast

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace phast {
+
+/// Order in which the linear sweep (phase two) scans vertices, and whether
+/// vertex data is physically reordered to match. These are the three PHAST
+/// variants of Table I.
+enum class SweepOrder {
+  /// Basic PHAST (§III): scan in descending rank order with vertex data in
+  /// input order. Correct but cache-hostile.
+  kRankDescending,
+
+  /// Scan level by level (descending), vertices within a level in ascending
+  /// input ID; data stays in input order (§IV-A first step: 2.0 s → 0.7 s).
+  kLevelNoReorder,
+
+  /// Full §IV-A reordering: vertices are relabeled so the sweep is a single
+  /// ascending scan with sequential access to vertices, arcs, and written
+  /// labels (0.7 s → 172 ms in the paper).
+  kLevelReordered,
+};
+
+/// Which k-tree sweep kernel to use (§IV-B "SSE instructions").
+enum class SimdMode {
+  kScalar,
+  kSse,   // 4 x 32-bit labels per 128-bit register; requires SSE4.1 min_epu32
+  kAvx2,  // 8 x 32-bit labels per 256-bit register (our extension)
+  kAuto,  // widest kernel the CPU and k allow
+};
+
+struct PhastOptions {
+  SweepOrder order = SweepOrder::kLevelReordered;
+  SimdMode simd = SimdMode::kAuto;
+
+  /// Implicit initialization via visit marks (§IV-C). When false, every
+  /// tree computation starts with an explicit O(n·k) fill of the label
+  /// array — the ~10 ms penalty the paper avoids.
+  bool implicit_init = true;
+};
+
+}  // namespace phast

@@ -1,0 +1,260 @@
+#include "phast/phast.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/omp_env.h"
+
+namespace phast {
+namespace {
+
+/// Sweep sequence (position -> original id) for the requested order.
+std::vector<VertexId> BuildSweepSequence(const CHData& ch, SweepOrder order) {
+  std::vector<VertexId> seq(ch.num_vertices);
+  std::iota(seq.begin(), seq.end(), VertexId{0});
+  if (order == SweepOrder::kRankDescending) {
+    std::sort(seq.begin(), seq.end(), [&ch](VertexId a, VertexId b) {
+      return ch.rank[a] > ch.rank[b];
+    });
+  } else {
+    // Descending level; stable keeps ascending input id within a level
+    // (callers feed a DFS-relabeled graph to get the paper's tie-break).
+    std::stable_sort(seq.begin(), seq.end(), [&ch](VertexId a, VertexId b) {
+      return ch.level[a] > ch.level[b];
+    });
+  }
+  return seq;
+}
+
+}  // namespace
+
+Phast::Workspace::Workspace(VertexId n, uint32_t k, bool want_parents,
+                            bool implicit_init)
+    : k_(k),
+      want_parents_(want_parents),
+      implicit_init_(implicit_init),
+      labels_(static_cast<size_t>(n) * k, kInfWeight),
+      heap_(n) {
+  if (want_parents_) {
+    parents_.assign(static_cast<size_t>(n) * k, kInvalidVertex);
+  }
+  if (implicit_init_) {
+    marks_.Resize(n);
+  }
+}
+
+Phast::Phast(const CHData& ch, const Options& options)
+    : options_(options), n_(ch.num_vertices), num_levels_(ch.NumLevels()) {
+  Require(n_ > 0, "PHAST needs a non-empty hierarchy");
+  Require(ch.rank.size() == n_ && ch.level.size() == n_,
+          "CHData arrays have inconsistent sizes");
+
+  const std::vector<VertexId> sequence = BuildSweepSequence(ch, options_.order);
+
+  if (options_.order == SweepOrder::kLevelReordered) {
+    // Physically relabel: label space == sweep position space.
+    perm_.assign(n_, 0);
+    for (VertexId pos = 0; pos < n_; ++pos) perm_[sequence[pos]] = pos;
+    inv_perm_ = sequence;
+    order_.clear();  // identity
+  } else {
+    perm_ = IdentityPermutation(n_);
+    inv_perm_ = perm_;
+    order_ = sequence;
+  }
+
+  // position_of[original id] — needed to group downward arcs by the sweep
+  // position of their head.
+  std::vector<VertexId> position_of(n_);
+  for (VertexId pos = 0; pos < n_; ++pos) position_of[sequence[pos]] = pos;
+
+  // Downward graph: incoming arcs of each head, grouped by sweep position,
+  // tails stored in label space (§IV-A data layout).
+  down_first_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (const CHArc& a : ch.down_arcs) ++down_first_[position_of[a.head] + 1];
+  for (size_t i = 1; i <= n_; ++i) down_first_[i] += down_first_[i - 1];
+  down_arcs_.resize(ch.down_arcs.size());
+  {
+    std::vector<ArcId> cursor(down_first_.begin(), down_first_.end() - 1);
+    for (const CHArc& a : ch.down_arcs) {
+      down_arcs_[cursor[position_of[a.head]]++] =
+          DownArc{perm_[a.tail], a.weight};
+    }
+  }
+
+  // Upward graph in label space, for the forward CH search.
+  up_first_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (const CHArc& a : ch.up_arcs) ++up_first_[perm_[a.tail] + 1];
+  for (size_t i = 1; i <= n_; ++i) up_first_[i] += up_first_[i - 1];
+  up_arcs_.resize(ch.up_arcs.size());
+  {
+    std::vector<ArcId> cursor(up_first_.begin(), up_first_.end() - 1);
+    for (const CHArc& a : ch.up_arcs) {
+      up_arcs_[cursor[perm_[a.tail]]++] = Arc{perm_[a.head], a.weight};
+    }
+  }
+
+  // Level group boundaries in sweep positions (levels descending).
+  if (options_.order != SweepOrder::kRankDescending) {
+    level_begin_.assign(static_cast<size_t>(num_levels_) + 1, 0);
+    for (VertexId pos = 0; pos < n_; ++pos) {
+      // Group index of level L is (num_levels_ - 1 - L).
+      const uint32_t group = num_levels_ - 1 - ch.level[sequence[pos]];
+      ++level_begin_[group + 1];
+    }
+    for (size_t i = 1; i <= num_levels_; ++i) {
+      level_begin_[i] += level_begin_[i - 1];
+    }
+  }
+}
+
+Phast::Workspace Phast::MakeWorkspace(uint32_t num_trees,
+                                      bool want_parents) const {
+  Require(num_trees >= 1, "need at least one tree per sweep");
+  return Workspace(n_, num_trees, want_parents, options_.implicit_init);
+}
+
+SweepArgs Phast::MakeSweepArgs(Workspace& ws) const {
+  SweepArgs args;
+  args.down_first = down_first_.data();
+  args.down_arcs = down_arcs_.data();
+  args.order = order_.empty() ? nullptr : order_.data();
+  args.num_vertices = n_;
+  args.k = ws.k_;
+  args.labels = ws.labels_.data();
+  args.marks = ws.implicit_init_ ? ws.marks_.Words() : nullptr;
+  args.parents = ws.want_parents_ ? ws.parents_.data() : nullptr;
+  return args;
+}
+
+void Phast::PrepareBatch(std::span<const VertexId> sources,
+                         Workspace& ws) const {
+  Require(sources.size() == ws.k_,
+          "source count must equal the workspace tree count");
+  for (const VertexId s : sources) {
+    Require(s < n_, "PHAST source out of range");
+  }
+  if (!ws.implicit_init_) {
+    std::fill(ws.labels_.begin(), ws.labels_.end(), kInfWeight);
+    if (ws.want_parents_) {
+      std::fill(ws.parents_.begin(), ws.parents_.end(), kInvalidVertex);
+    }
+  }
+  ws.visited_.clear();
+  for (uint32_t i = 0; i < ws.k_; ++i) {
+    UpwardSearch(perm_[sources[i]], i, ws);
+  }
+}
+
+void Phast::FinishBatch(Workspace& ws) const {
+  // Clear visit marks for the next batch (§IV-C: "after scanning v we
+  // unmark the vertex"); clearing from the recorded visit list keeps the
+  // sweep kernels read-only on the mark words, which lets the per-level
+  // parallel sweep share them without atomics.
+  if (ws.implicit_init_) {
+    for (const VertexId v : ws.visited_) ws.marks_.Clear(v);
+  }
+}
+
+void Phast::UpwardSearch(VertexId source_label, uint32_t tree,
+                         Workspace& ws) const {
+  const uint32_t k = ws.k_;
+  const auto touch = [&](VertexId v) {
+    if (!ws.implicit_init_ || ws.marks_.Get(v)) return;
+    ws.marks_.Set(v);
+    ws.visited_.push_back(v);
+    Weight* labels = ws.labels_.data() + static_cast<size_t>(v) * k;
+    std::fill(labels, labels + k, kInfWeight);
+    if (ws.want_parents_) {
+      VertexId* parents = ws.parents_.data() + static_cast<size_t>(v) * k;
+      std::fill(parents, parents + k, kInvalidVertex);
+    }
+  };
+
+  ws.heap_.Clear();
+  touch(source_label);
+  ws.labels_[static_cast<size_t>(source_label) * k + tree] = 0;
+  if (ws.want_parents_) {
+    ws.parents_[static_cast<size_t>(source_label) * k + tree] = kInvalidVertex;
+  }
+  ws.heap_.Update(source_label, 0);
+
+  while (!ws.heap_.Empty()) {
+    const auto [v, key] = ws.heap_.ExtractMin();
+    const ArcId end = up_first_[v + 1];
+    for (ArcId i = up_first_[v]; i < end; ++i) {
+      const Arc& arc = up_arcs_[i];
+      const Weight candidate = SaturatingAdd(key, arc.weight);
+      touch(arc.other);
+      Weight& label = ws.labels_[static_cast<size_t>(arc.other) * k + tree];
+      if (candidate < label) {
+        label = candidate;
+        if (ws.want_parents_) {
+          ws.parents_[static_cast<size_t>(arc.other) * k + tree] = v;
+        }
+        ws.heap_.Update(arc.other, candidate);
+      }
+    }
+  }
+}
+
+void Phast::ComputeTree(VertexId source, Workspace& ws) const {
+  ComputeTrees({&source, 1}, ws);
+}
+
+void Phast::ComputeTrees(std::span<const VertexId> sources,
+                         Workspace& ws) const {
+  PrepareBatch(sources, ws);
+  const SweepKernelFn kernel = SelectSweepKernel(
+      options_.simd, ws.k_, ws.want_parents_, ws.implicit_init_);
+  kernel(MakeSweepArgs(ws), 0, n_);
+  FinishBatch(ws);
+}
+
+void Phast::ComputeTreesParallel(std::span<const VertexId> sources,
+                                 Workspace& ws) const {
+  Require(!level_begin_.empty(),
+          "per-level parallel sweep requires a level-ordered engine");
+  PrepareBatch(sources, ws);
+  const SweepKernelFn kernel = SelectSweepKernel(
+      options_.simd, ws.k_, ws.want_parents_, ws.implicit_init_);
+  const SweepArgs args = MakeSweepArgs(ws);
+
+  // Levels with fewer vertices than this run serially; forking threads for
+  // the tiny top levels costs more than it saves.
+  constexpr VertexId kParallelThreshold = 512;
+
+  for (size_t group = 0; group < num_levels_; ++group) {
+    const VertexId begin = level_begin_[group];
+    const VertexId end = level_begin_[group + 1];
+    if (end - begin < kParallelThreshold) {
+      kernel(args, begin, end);
+      continue;
+    }
+#pragma omp parallel
+    {
+      const uint32_t threads = static_cast<uint32_t>(TeamSize());
+      const uint32_t me = static_cast<uint32_t>(CurrentThread());
+      const VertexId span = end - begin;
+      const VertexId chunk = (span + threads - 1) / threads;
+      const VertexId my_begin = begin + std::min<VertexId>(span, me * chunk);
+      const VertexId my_end =
+          begin + std::min<VertexId>(span, (me + 1) * chunk);
+      if (my_begin < my_end) kernel(args, my_begin, my_end);
+    }
+  }
+  FinishBatch(ws);
+}
+
+VertexId Phast::ParentInGPlus(const Workspace& ws, VertexId v,
+                              uint32_t tree) const {
+  Require(ws.want_parents_, "workspace was created without parent tracking");
+  const size_t slot = static_cast<size_t>(perm_[v]) * ws.k_ + tree;
+  if (ws.labels_[slot] == kInfWeight) return kInvalidVertex;
+  const VertexId parent_label = ws.parents_[slot];
+  if (parent_label == kInvalidVertex) return kInvalidVertex;
+  return inv_perm_[parent_label];
+}
+
+}  // namespace phast

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "graph/reorder.h"
+#include "graph/types.h"
+#include "phast/kernels.h"
+#include "phast/options.h"
+#include "pq/dary_heap.h"
+#include "util/aligned.h"
+#include "util/bit_vector.h"
+
+namespace phast {
+
+/// The PHAST engine (paper §III–§V): answers non-negative single-source
+/// shortest path queries with one upward CH search plus one linear sweep
+/// over the downward graph.
+///
+/// The engine itself is immutable after construction and can be shared by
+/// any number of threads; all per-query state lives in a Workspace, so the
+/// "one tree per core" parallelization (§V) is simply one workspace per
+/// thread.
+class Phast {
+ public:
+  using Options = PhastOptions;
+
+  /// Per-query state: k distance labels per vertex (laid out k-strided as
+  /// in §IV-B), visit marks for implicit initialization, optional parent
+  /// pointers, and the upward-search scratch.
+  class Workspace {
+   public:
+    [[nodiscard]] uint32_t NumTrees() const { return k_; }
+    [[nodiscard]] bool WantsParents() const { return want_parents_; }
+
+    /// Label-space vertices touched by the latest batch's upward searches
+    /// (the union over the k sources). The paper quotes ~500 per source on
+    /// Europe (§II-B).
+    [[nodiscard]] size_t UpwardSearchSpace() const { return visited_.size(); }
+
+   private:
+    friend class Phast;
+    Workspace(VertexId n, uint32_t k, bool want_parents, bool implicit_init);
+
+    uint32_t k_;
+    bool want_parents_;
+    bool implicit_init_;
+    AlignedVector<Weight> labels_;    // n*k, k-strided
+    std::vector<VertexId> parents_;   // n*k or empty
+    BitVector marks_;                 // visit marks (implicit init only)
+    std::vector<VertexId> visited_;   // marked vertices of current batch
+    BinaryHeap heap_;                 // upward-search queue
+  };
+
+  Phast(const CHData& ch, const Options& options = {});
+
+  [[nodiscard]] Workspace MakeWorkspace(uint32_t num_trees = 1,
+                                        bool want_parents = false) const;
+
+  /// One shortest path tree from `source` (original vertex id). Workspace
+  /// must have been created with num_trees == 1.
+  void ComputeTree(VertexId source, Workspace& ws) const;
+
+  /// k trees in one sweep (§IV-B); sources.size() must equal
+  /// ws.NumTrees(). The sweep kernel is chosen by Options::simd.
+  void ComputeTrees(std::span<const VertexId> sources, Workspace& ws) const;
+
+  /// Single-batch computation with the sweep parallelized *within* each
+  /// level across OpenMP threads (§V; the scheme GPHAST maps to GPU
+  /// kernels). Requires a level-ordered sweep (order != kRankDescending).
+  void ComputeTreesParallel(std::span<const VertexId> sources,
+                            Workspace& ws) const;
+
+  /// Phase one only, for external sweep executors (the GPU simulator):
+  /// runs the k upward searches into the workspace and leaves the sweep to
+  /// the caller (via MakeSweepArgs).
+  void RunUpwardPhase(std::span<const VertexId> sources, Workspace& ws) const {
+    PrepareBatch(sources, ws);
+  }
+
+  /// Clears visit marks after an externally executed sweep.
+  void FinishExternalSweep(Workspace& ws) const { FinishBatch(ws); }
+
+  /// Distance from the batch's tree `tree` source to original vertex v.
+  [[nodiscard]] Weight Distance(const Workspace& ws, VertexId v,
+                                uint32_t tree = 0) const {
+    return ws.labels_[static_cast<size_t>(perm_[v]) * ws.k_ + tree];
+  }
+
+  /// Parent of v in the shortest path tree *in G+* (§VII-A): may be the
+  /// far endpoint of a shortcut. kInvalidVertex for the source and for
+  /// unreached vertices. Workspace must have want_parents.
+  [[nodiscard]] VertexId ParentInGPlus(const Workspace& ws, VertexId v,
+                                       uint32_t tree = 0) const;
+
+  // --- topology accessors -------------------------------------------------
+
+  [[nodiscard]] VertexId NumVertices() const { return n_; }
+  [[nodiscard]] uint32_t NumLevels() const { return num_levels_; }
+
+  /// Sweep positions where each level group starts; size NumLevels()+1,
+  /// groups ordered by descending level. Empty for kRankDescending.
+  [[nodiscard]] const std::vector<VertexId>& LevelBoundaries() const {
+    return level_begin_;
+  }
+
+  [[nodiscard]] VertexId LabelIndexOf(VertexId original) const {
+    return perm_[original];
+  }
+  [[nodiscard]] VertexId OriginalOf(VertexId label_index) const {
+    return inv_perm_[label_index];
+  }
+
+  [[nodiscard]] const Options& GetOptions() const { return options_; }
+
+  /// Which sweep kernel ComputeTrees would run for batches of k trees.
+  [[nodiscard]] const char* KernelNameFor(uint32_t k) const {
+    return SweepKernelName(options_.simd, k);
+  }
+
+  /// Raw sweep topology (for the GPU simulator and the lower-bound
+  /// benchmark). Pointers remain valid for the engine's lifetime.
+  [[nodiscard]] SweepArgs MakeSweepArgs(Workspace& ws) const;
+
+  /// Raw per-label views in label space (for applications that post-process
+  /// whole trees without per-vertex accessor overhead).
+  [[nodiscard]] std::span<const Weight> RawLabels(const Workspace& ws) const {
+    return ws.labels_;
+  }
+
+  /// Label-space vertices touched by the current batch's upward searches
+  /// (valid between RunUpwardPhase and FinishExternalSweep; RPHAST gathers
+  /// upward labels from it).
+  [[nodiscard]] std::span<const VertexId> VisitedLabelVertices(
+      const Workspace& ws) const {
+    return ws.visited_;
+  }
+  [[nodiscard]] std::span<const VertexId> RawParents(
+      const Workspace& ws) const {
+    return ws.parents_;
+  }
+
+ private:
+  void PrepareBatch(std::span<const VertexId> sources, Workspace& ws) const;
+  void FinishBatch(Workspace& ws) const;
+  void UpwardSearch(VertexId source_label, uint32_t tree, Workspace& ws) const;
+
+  Options options_;
+  VertexId n_ = 0;
+  uint32_t num_levels_ = 0;
+
+  Permutation perm_;      // original id -> label space
+  Permutation inv_perm_;  // label space -> original id
+
+  /// Sweep position -> label-space id; empty when they coincide (the
+  /// reordered layout, where the sweep is a pure ascending scan).
+  std::vector<VertexId> order_;
+
+  // Downward graph: incoming arcs grouped by sweep position (§IV-A).
+  std::vector<ArcId> down_first_;
+  std::vector<DownArc> down_arcs_;
+
+  // Upward graph: outgoing arcs in label space, for phase one.
+  std::vector<ArcId> up_first_;
+  std::vector<Arc> up_arcs_;
+
+  std::vector<VertexId> level_begin_;
+};
+
+}  // namespace phast

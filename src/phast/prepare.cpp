@@ -1,0 +1,57 @@
+#include "phast/prepare.h"
+
+#include <numeric>
+
+#include "graph/connectivity.h"
+#include "graph/reorder.h"
+#include "util/error.h"
+
+namespace phast {
+
+PreparedNetwork PrepareNetwork(const EdgeList& raw,
+                               const PrepareOptions& options) {
+  Require(raw.NumVertices() > 0, "cannot prepare an empty graph");
+  PreparedNetwork prepared;
+
+  // Step 1: optionally restrict to the largest SCC.
+  EdgeList edges;
+  if (options.restrict_to_largest_scc) {
+    SubgraphResult scc = LargestStronglyConnectedComponent(raw);
+    edges = std::move(scc.edges);
+    prepared.to_prepared = std::move(scc.old_to_new);
+    prepared.to_original = std::move(scc.new_to_old);
+  } else {
+    edges = raw;
+    prepared.to_prepared.resize(raw.NumVertices());
+    std::iota(prepared.to_prepared.begin(), prepared.to_prepared.end(),
+              VertexId{0});
+    prepared.to_original = prepared.to_prepared;
+  }
+
+  // Step 2: optionally DFS-relabel; compose the mappings.
+  if (options.dfs_relabel && edges.NumVertices() > 0) {
+    const Graph unordered = Graph::FromEdgeList(edges);
+    const Permutation dfs = DfsPermutation(
+        unordered, options.dfs_root < unordered.NumVertices()
+                       ? options.dfs_root
+                       : 0);
+    edges = ApplyPermutation(edges, dfs);
+    for (VertexId& id : prepared.to_prepared) {
+      if (id != kInvalidVertex) id = dfs[id];
+    }
+    std::vector<VertexId> new_to_old(prepared.to_original.size());
+    for (VertexId old_new = 0; old_new < prepared.to_original.size();
+         ++old_new) {
+      new_to_old[dfs[old_new]] = prepared.to_original[old_new];
+    }
+    prepared.to_original = std::move(new_to_old);
+  }
+
+  // Step 3: CH preprocessing.
+  prepared.graph = Graph::FromEdgeList(edges);
+  prepared.ch = BuildContractionHierarchy(prepared.graph, options.ch_params,
+                                          &prepared.ch_stats);
+  return prepared;
+}
+
+}  // namespace phast

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ch/ch_data.h"
+#include "ch/contraction.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast {
+
+/// Options for the one-call preparation pipeline.
+struct PrepareOptions {
+  /// Relabel vertices in DFS discovery order first (the paper's default
+  /// layout, §II-A) — improves locality for both Dijkstra and PHAST.
+  bool dfs_relabel = true;
+  /// Root for the DFS relabeling.
+  VertexId dfs_root = 0;
+  /// Keep only the largest strongly connected component. PHAST itself
+  /// handles disconnected graphs, but all-pairs experiments want one SCC.
+  bool restrict_to_largest_scc = true;
+  CHParams ch_params;
+};
+
+/// A fully prepared network: the (possibly relabeled, possibly restricted)
+/// graph, its contraction hierarchy, and the id mappings back to the
+/// caller's original vertex numbering.
+struct PreparedNetwork {
+  Graph graph;
+  CHData ch;
+  CHStats ch_stats;
+
+  /// original id -> prepared id, kInvalidVertex if dropped with the SCC.
+  std::vector<VertexId> to_prepared;
+  /// prepared id -> original id.
+  std::vector<VertexId> to_original;
+
+  [[nodiscard]] VertexId NumVertices() const { return graph.NumVertices(); }
+};
+
+/// The standard preparation pipeline used by every benchmark and example:
+/// largest SCC -> DFS relabel -> CH preprocessing. Feed the result to
+/// Phast, CHQuery, RPhast, Gphast, or the apps.
+[[nodiscard]] PreparedNetwork PrepareNetwork(const EdgeList& raw,
+                                             const PrepareOptions& options = {});
+
+}  // namespace phast

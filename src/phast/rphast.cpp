@@ -1,0 +1,99 @@
+#include "phast/rphast.h"
+
+#include <algorithm>
+
+#include "util/bit_vector.h"
+#include "util/error.h"
+
+namespace phast {
+
+RPhast::RPhast(const Phast& engine, std::span<const VertexId> targets)
+    : engine_(engine) {
+  Require(!targets.empty(), "RPHAST needs at least one target");
+  Require(!engine.LevelBoundaries().empty(),
+          "RPHAST requires a level-ordered PHAST engine");
+  Require(engine.GetOptions().implicit_init,
+          "RPHAST requires implicit initialization (visited tracking)");
+  const VertexId n = engine.NumVertices();
+
+  // Grab the engine's sweep topology (pointers outlive the workspace).
+  Phast::Workspace probe = engine.MakeWorkspace(1);
+  const SweepArgs args = engine.MakeSweepArgs(probe);
+
+  const auto label_of_pos = [&args](VertexId pos) {
+    return args.order != nullptr ? args.order[pos] : pos;
+  };
+  std::vector<VertexId> pos_of_label(n);
+  for (VertexId pos = 0; pos < n; ++pos) pos_of_label[label_of_pos(pos)] = pos;
+
+  // Relevance pass: a vertex is relevant iff it is a target or has a
+  // downward arc into a relevant vertex. Arc tails sit at strictly smaller
+  // sweep positions than their heads, so one descending pass suffices.
+  BitVector relevant(n);
+  for (const VertexId t : targets) {
+    Require(t < n, "RPHAST target out of range");
+    relevant.Set(pos_of_label[engine.LabelIndexOf(t)]);
+  }
+  for (VertexId pos = n; pos-- > 0;) {
+    if (!relevant.Get(pos)) continue;
+    const ArcId end = args.down_first[pos + 1];
+    for (ArcId a = args.down_first[pos]; a < end; ++a) {
+      relevant.Set(pos_of_label[args.down_arcs[a].tail]);
+    }
+  }
+
+  // Compact the restricted subgraph in ascending sweep order. Tails always
+  // precede heads, so their restricted positions are already assigned.
+  position_of_.assign(n, kNotRestricted);
+  std::vector<uint32_t> restricted_of_pos(n, kNotRestricted);
+  first_.push_back(0);
+  for (VertexId pos = 0; pos < n; ++pos) {
+    if (!relevant.Get(pos)) continue;
+    const uint32_t slot = static_cast<uint32_t>(order_.size());
+    restricted_of_pos[pos] = slot;
+    order_.push_back(label_of_pos(pos));
+    position_of_[label_of_pos(pos)] = slot;
+    const ArcId end = args.down_first[pos + 1];
+    for (ArcId a = args.down_first[pos]; a < end; ++a) {
+      const uint32_t tail_slot =
+          restricted_of_pos[pos_of_label[args.down_arcs[a].tail]];
+      arcs_.push_back(RestrictedArc{tail_slot, args.down_arcs[a].weight});
+    }
+    first_.push_back(static_cast<ArcId>(arcs_.size()));
+  }
+
+  target_slot_.reserve(targets.size());
+  for (const VertexId t : targets) {
+    target_slot_.push_back(position_of_[engine.LabelIndexOf(t)]);
+  }
+}
+
+void RPhast::ComputeTree(VertexId source, Workspace& ws) const {
+  // Phase one: unrestricted upward CH search (it is tiny regardless).
+  engine_.RunUpwardPhase({&source, 1}, ws.full);
+
+  // Scatter upward labels into the restricted label array. The restricted
+  // set is small, so explicit initialization is cheap here.
+  std::fill(ws.labels.begin(), ws.labels.end(), kInfWeight);
+  const std::span<const Weight> full_labels = engine_.RawLabels(ws.full);
+  for (const VertexId v : engine_.VisitedLabelVertices(ws.full)) {
+    const uint32_t slot = position_of_[v];
+    if (slot != kNotRestricted) ws.labels[slot] = full_labels[v];
+  }
+  engine_.FinishExternalSweep(ws.full);
+
+  // Phase two: linear sweep over the restricted arrays only.
+  const size_t m = order_.size();
+  for (size_t slot = 0; slot < m; ++slot) {
+    Weight d = ws.labels[slot];
+    const ArcId end = first_[slot + 1];
+    for (ArcId a = first_[slot]; a < end; ++a) {
+      const Weight candidate =
+          SaturatingAdd(ws.labels[arcs_[a].tail], arcs_[a].weight);
+      d = std::min(d, candidate);
+    }
+    ws.labels[slot] = d;
+  }
+}
+
+}  // namespace phast

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+#include "util/aligned.h"
+
+namespace phast {
+
+/// RPHAST — restricted PHAST for one-to-many queries (the follow-up work
+/// the paper's applications motivate: Delling, Goldberg, Werneck, "Faster
+/// Batched Shortest Paths in Road Networks", ATMOS 2011).
+///
+/// When only distances to a fixed target set T are needed, the linear sweep
+/// can be restricted to the vertices that can reach T in the downward graph
+/// — typically a small fraction of n for localized targets. Restriction is
+/// a one-time cost per target set (one backward pass over the downward
+/// arcs); each subsequent source costs one upward CH search plus a sweep
+/// over the *restricted* arrays, which are compacted for the same
+/// sequential locality as the full §IV-A layout.
+class RPhast {
+ public:
+  /// Builds the restriction for `targets` (original vertex ids). The engine
+  /// must be level-ordered with implicit initialization (the defaults).
+  RPhast(const Phast& engine, std::span<const VertexId> targets);
+
+  /// Per-source state: restricted labels plus a full-graph workspace for
+  /// the (unrestricted) upward search.
+  class Workspace {
+   public:
+    explicit Workspace(const Phast& engine, size_t restricted_size)
+        : full(engine.MakeWorkspace(1)),
+          labels(restricted_size, kInfWeight) {}
+
+   private:
+    friend class RPhast;
+    Phast::Workspace full;
+    AlignedVector<Weight> labels;  // indexed by restricted position
+  };
+
+  [[nodiscard]] Workspace MakeWorkspace() const {
+    return Workspace(engine_, order_.size());
+  }
+
+  /// Computes distances from `source` to every vertex of the restricted
+  /// subgraph (in particular to all targets).
+  void ComputeTree(VertexId source, Workspace& ws) const;
+
+  /// Distance to targets[target_index] after ComputeTree.
+  [[nodiscard]] Weight DistanceToTarget(const Workspace& ws,
+                                        size_t target_index) const {
+    return ws.labels[target_slot_[target_index]];
+  }
+
+  [[nodiscard]] size_t NumTargets() const { return target_slot_.size(); }
+
+  /// Size of the restricted sweep — the quantity RPHAST exists to shrink.
+  [[nodiscard]] size_t RestrictedVertices() const { return order_.size(); }
+  [[nodiscard]] size_t RestrictedArcs() const { return arcs_.size(); }
+
+ private:
+  struct RestrictedArc {
+    uint32_t tail;  // restricted position of the tail
+    Weight weight;
+  };
+
+  const Phast& engine_;
+  /// Restricted position -> label-space vertex id (ascending sweep order).
+  std::vector<VertexId> order_;
+  /// Label-space vertex id -> restricted position (kNotRestricted if cut).
+  std::vector<uint32_t> position_of_;
+  std::vector<ArcId> first_;
+  std::vector<RestrictedArc> arcs_;
+  std::vector<uint32_t> target_slot_;  // target index -> restricted position
+
+  static constexpr uint32_t kNotRestricted =
+      std::numeric_limits<uint32_t>::max();
+};
+
+}  // namespace phast

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// Derives parent pointers *in the original graph* from exact distance
+/// labels (§VII-A): one pass over the arc list of G, making u the parent of
+/// v whenever d(v) == d(u) + l(u, v). Requires strictly positive original
+/// arc lengths, otherwise zero-weight ties can produce cycles instead of a
+/// tree. Unreached vertices and the source get kInvalidVertex.
+[[nodiscard]] inline std::vector<VertexId> BuildTreeInOriginalGraph(
+    const Graph& graph, const Phast& engine, const Phast::Workspace& ws,
+    uint32_t tree = 0) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> parent(n, kInvalidVertex);
+  for (VertexId u = 0; u < n; ++u) {
+    const Weight du = engine.Distance(ws, u, tree);
+    if (du == kInfWeight) continue;
+    for (const Arc& arc : graph.ArcsOf(u)) {
+      const VertexId v = arc.other;
+      if (parent[v] != kInvalidVertex) continue;  // first witness wins
+      if (engine.Distance(ws, v, tree) == SaturatingAdd(du, arc.weight) &&
+          engine.Distance(ws, v, tree) != 0) {
+        parent[v] = u;
+      }
+    }
+  }
+  return parent;
+}
+
+/// Checks that `parent` is a valid shortest path tree for the given labels:
+/// every reached non-source vertex has a parent whose label plus some arc
+/// weight equals its own label, and following parents reaches the source.
+[[nodiscard]] inline bool ValidateTree(const Graph& graph, VertexId source,
+                                       const std::vector<Weight>& dist,
+                                       const std::vector<VertexId>& parent) {
+  const VertexId n = graph.NumVertices();
+  if (dist.size() != n || parent.size() != n) return false;
+  if (dist[source] != 0) return false;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == source || dist[v] == kInfWeight) {
+      if (parent[v] != kInvalidVertex) return false;
+      continue;
+    }
+    const VertexId p = parent[v];
+    if (p == kInvalidVertex || dist[p] == kInfWeight) return false;
+    bool arc_found = false;
+    for (const Arc& arc : graph.ArcsOf(p)) {
+      if (arc.other == v && SaturatingAdd(dist[p], arc.weight) == dist[v]) {
+        arc_found = true;
+        break;
+      }
+    }
+    if (!arc_found) return false;
+  }
+  // Acyclicity: labels strictly decrease along parent chains (positive
+  // weights), so parent chains cannot cycle; verify by bounded walking.
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId cur = v;
+    size_t steps = 0;
+    while (cur != kInvalidVertex && cur != source) {
+      cur = parent[cur];
+      if (++steps > n) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace phast

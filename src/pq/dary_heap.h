@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace phast {
+
+/// Addressable d-ary min-heap with decrease-key.
+///
+/// DaryHeap<2> is the binary heap of the paper's Table I and of the CH
+/// query phase ("CH queries use a binary heap ... the queue size is small");
+/// DaryHeap<4> is the k-heap variant cited in §II-A [18]. Position indices
+/// are tracked per vertex, so Update() is O(log_d n).
+template <unsigned Arity>
+class DaryHeap {
+  static_assert(Arity >= 2, "heap arity must be at least 2");
+
+ public:
+  static constexpr bool kSupportsDecreaseKey = true;
+
+  explicit DaryHeap(VertexId n) : position_(n, kNotInHeap) {}
+
+  [[nodiscard]] bool Empty() const { return heap_.empty(); }
+  [[nodiscard]] size_t Size() const { return heap_.size(); }
+
+  [[nodiscard]] bool Contains(VertexId v) const {
+    return position_[v] != kNotInHeap;
+  }
+
+  void Insert(VertexId v, Weight key) {
+    assert(!Contains(v));
+    position_[v] = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(Entry{key, v});
+    SiftUp(position_[v]);
+  }
+
+  /// Inserts v, or decreases its key if already present with a larger key.
+  void Update(VertexId v, Weight key) {
+    const uint32_t pos = position_[v];
+    if (pos == kNotInHeap) {
+      Insert(v, key);
+    } else if (key < heap_[pos].key) {
+      heap_[pos].key = key;
+      SiftUp(pos);
+    }
+  }
+
+  /// Smallest key currently queued (heap must be non-empty).
+  [[nodiscard]] Weight MinKey() const {
+    assert(!Empty());
+    return heap_.front().key;
+  }
+
+  std::pair<VertexId, Weight> ExtractMin() {
+    assert(!Empty());
+    const Entry top = heap_.front();
+    position_[top.vertex] = kNotInHeap;
+    if (heap_.size() > 1) {
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      position_[heap_.front().vertex] = 0;
+      SiftDown(0);
+    } else {
+      heap_.pop_back();
+    }
+    return {top.vertex, top.key};
+  }
+
+  /// Empties the heap; O(current size), not O(n).
+  void Clear() {
+    for (const Entry& e : heap_) position_[e.vertex] = kNotInHeap;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Weight key;
+    VertexId vertex;
+  };
+
+  static constexpr uint32_t kNotInHeap = std::numeric_limits<uint32_t>::max();
+
+  void SiftUp(uint32_t pos) {
+    const Entry e = heap_[pos];
+    while (pos > 0) {
+      const uint32_t parent = (pos - 1) / Arity;
+      if (heap_[parent].key <= e.key) break;
+      heap_[pos] = heap_[parent];
+      position_[heap_[pos].vertex] = pos;
+      pos = parent;
+    }
+    heap_[pos] = e;
+    position_[e.vertex] = pos;
+  }
+
+  void SiftDown(uint32_t pos) {
+    const Entry e = heap_[pos];
+    const uint32_t n = static_cast<uint32_t>(heap_.size());
+    while (true) {
+      const uint64_t first_child = static_cast<uint64_t>(pos) * Arity + 1;
+      if (first_child >= n) break;
+      const uint32_t last_child = static_cast<uint32_t>(
+          std::min<uint64_t>(first_child + Arity, n));
+      uint32_t best = static_cast<uint32_t>(first_child);
+      for (uint32_t c = best + 1; c < last_child; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+      if (heap_[best].key >= e.key) break;
+      heap_[pos] = heap_[best];
+      position_[heap_[pos].vertex] = pos;
+      pos = best;
+    }
+    heap_[pos] = e;
+    position_[e.vertex] = pos;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<uint32_t> position_;
+};
+
+using BinaryHeap = DaryHeap<2>;
+using FourHeap = DaryHeap<4>;
+
+}  // namespace phast

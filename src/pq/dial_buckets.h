@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace phast {
+
+/// Dial's single-level bucket queue (§II-A, [20]).
+///
+/// A monotone priority queue for Dijkstra with integer arc lengths in
+/// [0, C]: at any time all queued keys lie within a window of width C above
+/// the last extracted minimum, so C+1 circular buckets suffice. This is the
+/// implementation the paper uses for all "Dijkstra" baseline numbers
+/// ("Dial's implementation with the DFS layout").
+///
+/// Duplicates are allowed (lazy deletion); Dijkstra skips stale entries.
+class DialBuckets {
+ public:
+  static constexpr bool kSupportsDecreaseKey = false;
+
+  /// max_arc_weight is C, the largest arc length that will ever be relaxed.
+  DialBuckets(VertexId n, Weight max_arc_weight)
+      : span_(static_cast<size_t>(max_arc_weight) + 1), buckets_(span_) {
+    (void)n;  // sized by key span, not vertex count
+  }
+
+  [[nodiscard]] bool Empty() const { return size_ == 0; }
+  [[nodiscard]] size_t Size() const { return size_; }
+
+  void Insert(VertexId v, Weight key) {
+    // Re-anchor when empty or when a key undershoots the cursor (legal for
+    // general use; Dijkstra never triggers the second case).
+    if (size_ == 0 || key < last_min_) last_min_ = key;
+    assert(key - last_min_ < span_);
+    buckets_[key % span_].push_back(Entry{key, v});
+    ++size_;
+  }
+
+  std::pair<VertexId, Weight> ExtractMin() {
+    assert(!Empty());
+    // Advance the cursor key until its bucket holds an entry with that exact
+    // key. Entries of key `last_min_ + span_ - r` share the bucket of key
+    // `last_min_ - r` only transiently; the exact-key check skips them.
+    while (true) {
+      auto& bucket = buckets_[last_min_ % span_];
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].key == last_min_) {
+          const Entry e = bucket[i];
+          bucket[i] = bucket.back();
+          bucket.pop_back();
+          --size_;
+          return {e.vertex, e.key};
+        }
+      }
+      ++last_min_;
+    }
+  }
+
+  void Clear() {
+    if (size_ != 0) {
+      for (auto& bucket : buckets_) bucket.clear();
+      size_ = 0;
+    }
+    last_min_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Weight key;
+    VertexId vertex;
+  };
+
+  size_t span_;
+  std::vector<std::vector<Entry>> buckets_;
+  size_t size_ = 0;
+  Weight last_min_ = 0;
+};
+
+}  // namespace phast

@@ -1,0 +1,43 @@
+#pragma once
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace phast {
+
+/// Pins the calling thread to one CPU core. The paper's Table V shows that
+/// on NUMA machines, PHAST without pinning loses most of its multi-core
+/// scaling ("the operating system moves threads from core to core ... a
+/// significant adverse effect on memory-bound applications"); benchmark
+/// drivers call this per OpenMP thread when --pin is set.
+///
+/// Returns false when unsupported or when the core id is invalid.
+inline bool PinCurrentThreadToCore(int core) {
+#if defined(__linux__)
+  if (core < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+/// Clears any pinning (allow all cores up to `num_cores`).
+inline bool UnpinCurrentThread(int num_cores) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c = 0; c < num_cores; ++c) CPU_SET(static_cast<unsigned>(c), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)num_cores;
+  return false;
+#endif
+}
+
+}  // namespace phast

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace phast {
+
+/// STL-compatible allocator with a fixed alignment.
+///
+/// The SIMD multi-tree sweep loads/stores distance labels with aligned
+/// SSE/AVX instructions; the k labels of each vertex start at a multiple of
+/// the vector width, so the backing array must be at least 32-byte aligned.
+template <typename T, size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr size_t alignment = Alignment;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Alignment, RoundUp(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+
+ private:
+  static size_t RoundUp(size_t bytes) {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+/// Vector whose data() is 64-byte aligned (cache line / AVX-512 friendly).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace phast

@@ -1,0 +1,66 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace phast {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "true";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& key,
+                                   const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& key, int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  Require(end != nullptr && *end == '\0',
+          "--" + key + " expects an integer, got '" + it->second + "'");
+  return value;
+}
+
+double CommandLine::GetDouble(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  Require(end != nullptr && *end == '\0',
+          "--" + key + " expects a number, got '" + it->second + "'");
+  return value;
+}
+
+bool CommandLine::GetBool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  Require(false, "--" + key + " expects a boolean, got '" + v + "'");
+  return fallback;  // unreachable
+}
+
+}  // namespace phast

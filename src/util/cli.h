@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phast {
+
+/// Minimal command-line parser for the examples and benchmark drivers.
+///
+/// Accepts --key=value and --flag forms; positional arguments are collected
+/// in order. Unknown keys are kept (callers may validate with Has()).
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv);
+
+  [[nodiscard]] bool Has(const std::string& key) const;
+
+  [[nodiscard]] std::string GetString(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] int64_t GetInt(const std::string& key, int64_t fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& Positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& ProgramName() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace phast

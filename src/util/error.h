@@ -1,0 +1,21 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace phast {
+
+/// Error thrown on invalid user input (malformed files, bad parameters).
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Validates user-facing preconditions; throws InputError on failure.
+/// For internal invariants use assert() instead — Require() stays active in
+/// release builds because it guards data coming from outside the library.
+inline void Require(bool condition, const std::string& message) {
+  if (!condition) throw InputError(message);
+}
+
+}  // namespace phast

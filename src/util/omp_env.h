@@ -1,0 +1,75 @@
+#pragma once
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace phast {
+
+/// Thin wrappers over OpenMP runtime queries so that library code compiles
+/// and runs correctly when OpenMP is unavailable (serial fallback).
+
+inline int MaxThreads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Number of threads in the *current* parallel team (1 outside a parallel
+/// region or without OpenMP).
+inline int TeamSize() {
+#if defined(_OPENMP)
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int CurrentThread() {
+#if defined(_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+inline int HardwareThreads() {
+#if defined(_OPENMP)
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
+/// Scoped override of the OpenMP thread count; restores on destruction.
+/// The paper's Tables II and V sweep the number of cores — benchmarks use
+/// this to pin each measurement to a thread count.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) {
+#if defined(_OPENMP)
+    previous_ = omp_get_max_threads();
+    omp_set_num_threads(n);
+#else
+    (void)n;
+#endif
+  }
+
+  ~ScopedNumThreads() {
+#if defined(_OPENMP)
+    omp_set_num_threads(previous_);
+#endif
+  }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+#if defined(_OPENMP)
+  int previous_ = 1;
+#endif
+};
+
+}  // namespace phast

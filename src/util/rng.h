@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace phast {
+
+/// Deterministic, fast 64-bit PRNG (xorshift128+ variant).
+///
+/// Used throughout the library instead of std::mt19937 so that graph
+/// generators and benchmark workloads are reproducible across platforms
+/// and standard-library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero state words.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s0_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Rejection-free multiply-shift; bias is negligible for bound << 2^64.
+    return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform real in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+/// Fisher–Yates shuffle using our deterministic RNG.
+template <typename RandomIt>
+void Shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  const auto n = last - first;
+  for (auto i = n - 1; i > 0; --i) {
+    const auto j = static_cast<decltype(i)>(rng.NextBounded(static_cast<uint64_t>(i) + 1));
+    using std::swap;
+    swap(first[i], first[j]);
+  }
+}
+
+}  // namespace phast

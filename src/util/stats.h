@@ -1,0 +1,81 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace phast {
+
+/// Online accumulator for min/max/mean/stddev plus retained samples for
+/// percentile queries. Used by the benchmark harness to report per-tree
+/// timing distributions.
+class StatsAccumulator {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+  }
+
+  [[nodiscard]] size_t Count() const { return samples_.size(); }
+  [[nodiscard]] double Sum() const { return sum_; }
+
+  [[nodiscard]] double Mean() const {
+    Require(!samples_.empty());
+    return sum_ / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double Min() const {
+    Require(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  [[nodiscard]] double Max() const {
+    Require(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Population standard deviation.
+  [[nodiscard]] double StdDev() const {
+    Require(!samples_.empty());
+    const double m = Mean();
+    const double var = sum_sq_ / static_cast<double>(samples_.size()) - m * m;
+    return std::sqrt(std::max(0.0, var));
+  }
+
+  /// Percentile in [0, 100] with linear interpolation between samples.
+  [[nodiscard]] double Percentile(double p) const {
+    Require(!samples_.empty());
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  [[nodiscard]] double Median() const { return Percentile(50.0); }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+  }
+
+  [[nodiscard]] const std::vector<double>& Samples() const { return samples_; }
+
+ private:
+  static void Require(bool ok) {
+    if (!ok) throw std::logic_error("StatsAccumulator: no samples");
+  }
+
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace phast

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace phast {
+
+/// Monotonic wall-clock timer with millisecond/microsecond readouts.
+///
+/// Usage:
+///   Timer t;            // starts immediately
+///   ... work ...
+///   double ms = t.ElapsedMs();
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  [[nodiscard]] double ElapsedSec() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  [[nodiscard]] double ElapsedMs() const { return ElapsedSec() * 1e3; }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  [[nodiscard]] double ElapsedUs() const { return ElapsedSec() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time over multiple start/stop intervals.
+class StopWatch {
+ public:
+  void Start() {
+    running_ = true;
+    start_ = Timer::Clock::now();
+  }
+
+  void Stop() {
+    if (!running_) return;
+    total_ += std::chrono::duration<double>(Timer::Clock::now() - start_).count();
+    running_ = false;
+  }
+
+  void Reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+  [[nodiscard]] double TotalSec() const { return total_; }
+  [[nodiscard]] double TotalMs() const { return total_ * 1e3; }
+
+ private:
+  Timer::Clock::time_point start_{};
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace phast

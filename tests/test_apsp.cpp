@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "apps/apsp.h"
+#include "dijkstra/dijkstra.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+std::vector<VertexId> RandomVertices(VertexId n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> out(count);
+  for (auto& v : out) v = static_cast<VertexId>(rng.NextBounded(n));
+  return out;
+}
+
+TEST(DistanceTable, AccessorsAndLayout) {
+  DistanceTable table(2, 3);
+  EXPECT_EQ(table.NumSources(), 2u);
+  EXPECT_EQ(table.NumTargets(), 3u);
+  EXPECT_EQ(table.At(1, 2), kInfWeight);  // starts at infinity
+  table.Set(1, 2, 42);
+  EXPECT_EQ(table.At(1, 2), 42u);
+  EXPECT_EQ(table.At(0, 2), kInfWeight);
+  EXPECT_EQ(table.SizeBytes(), 24u);
+}
+
+class TableStrategies : public ::testing::TestWithParam<TableStrategy> {};
+
+TEST_P(TableStrategies, MatchesDijkstra) {
+  const Graph& g = CachedCountry(10);
+  const Phast engine(CachedCountryCH(10));
+  const std::vector<VertexId> sources = RandomVertices(g.NumVertices(), 6, 1);
+  const std::vector<VertexId> targets = RandomVertices(g.NumVertices(), 9, 2);
+
+  TableOptions options;
+  options.strategy = GetParam();
+  options.trees_per_sweep = 4;
+  const DistanceTable table =
+      ComputeDistanceTable(engine, sources, targets, options);
+
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[s]);
+    for (size_t t = 0; t < targets.size(); ++t) {
+      EXPECT_EQ(table.At(s, t), ref.dist[targets[t]])
+          << "s=" << sources[s] << " t=" << targets[t];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TableStrategies,
+                         ::testing::Values(TableStrategy::kFullSweep,
+                                           TableStrategy::kRestrictedSweep,
+                                           TableStrategy::kAuto),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case TableStrategy::kFullSweep:
+                               return "full";
+                             case TableStrategy::kRestrictedSweep:
+                               return "restricted";
+                             default:
+                               return "auto";
+                           }
+                         });
+
+TEST(DistanceTableCompute, StrategiesAgreeExactly) {
+  const Graph& g = CachedCountry(12);
+  const Phast engine(CachedCountryCH(12));
+  const std::vector<VertexId> sources = RandomVertices(g.NumVertices(), 8, 5);
+  const std::vector<VertexId> targets = RandomVertices(g.NumVertices(), 15, 6);
+  TableOptions full;
+  full.strategy = TableStrategy::kFullSweep;
+  TableOptions restricted;
+  restricted.strategy = TableStrategy::kRestrictedSweep;
+  EXPECT_EQ(ComputeDistanceTable(engine, sources, targets, full),
+            ComputeDistanceTable(engine, sources, targets, restricted));
+}
+
+TEST(DistanceTableCompute, FullApspOnSmallGraph) {
+  const Graph& g = CachedCountry(7);
+  const Phast engine(CachedCountryCH(7));
+  std::vector<VertexId> all(g.NumVertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  const DistanceTable apsp = ComputeDistanceTable(engine, all, all);
+  // Spot-check symmetry: the generator's arcs are symmetric, so d(u,v) ==
+  // d(v,u) on this instance.
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const size_t u = rng.NextBounded(g.NumVertices());
+    const size_t v = rng.NextBounded(g.NumVertices());
+    EXPECT_EQ(apsp.At(u, v), apsp.At(v, u));
+  }
+  // Diagonal is zero.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(apsp.At(v, v), 0u);
+  }
+}
+
+TEST(DistanceTableCompute, DuplicateSourcesAndTargets) {
+  const Phast engine(CachedCountryCH(8));
+  const std::vector<VertexId> sources = {5, 5};
+  const std::vector<VertexId> targets = {9, 9, 5};
+  const DistanceTable table = ComputeDistanceTable(engine, sources, targets);
+  EXPECT_EQ(table.At(0, 0), table.At(1, 1));
+  EXPECT_EQ(table.At(0, 2), 0u);
+}
+
+TEST(DistanceTableCompute, RejectsEmptyInputs) {
+  const Phast engine(CachedCountryCH(8));
+  const std::vector<VertexId> some = {1};
+  EXPECT_THROW(ComputeDistanceTable(engine, {}, some), InputError);
+  EXPECT_THROW(ComputeDistanceTable(engine, some, {}), InputError);
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/contraction.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "pq/dary_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+Graph CountryGraph(uint32_t side, Metric metric = Metric::kTravelTime,
+                   uint64_t seed = 1) {
+  CountryParams params;
+  params.width = side;
+  params.height = side;
+  params.metric = metric;
+  params.seed = seed;
+  const GeneratedGraph g = GenerateCountry(params);
+  return Graph::FromEdgeList(LargestStronglyConnectedComponent(g.edges).edges);
+}
+
+TEST(Contraction, RanksAreAPermutation) {
+  const Graph g = CountryGraph(12);
+  const CHData ch = BuildContractionHierarchy(g);
+  std::vector<bool> seen(ch.num_vertices, false);
+  for (const uint32_t r : ch.rank) {
+    ASSERT_LT(r, ch.num_vertices);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(Contraction, ArcDirectionSetsRespectRanks) {
+  const Graph g = CountryGraph(12);
+  const CHData ch = BuildContractionHierarchy(g);
+  for (const CHArc& a : ch.up_arcs) {
+    EXPECT_LT(ch.rank[a.tail], ch.rank[a.head]);
+  }
+  for (const CHArc& a : ch.down_arcs) {
+    EXPECT_GT(ch.rank[a.tail], ch.rank[a.head]);
+  }
+}
+
+TEST(Contraction, Lemma41LevelsDecreaseAlongDownArcs) {
+  const Graph g = CountryGraph(14);
+  const CHData ch = BuildContractionHierarchy(g);
+  for (const CHArc& a : ch.down_arcs) {
+    EXPECT_GT(ch.level[a.tail], ch.level[a.head]);
+  }
+  for (const CHArc& a : ch.up_arcs) {
+    EXPECT_LT(ch.level[a.tail], ch.level[a.head]);
+  }
+}
+
+TEST(Contraction, EveryOriginalArcPresent) {
+  // Each original arc must appear (possibly improved by a parallel
+  // shortcut) in exactly one of the two direction sets.
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  std::map<std::pair<VertexId, VertexId>, Weight> ch_arcs;
+  for (const CHArc& a : ch.up_arcs) ch_arcs[{a.tail, a.head}] = a.weight;
+  for (const CHArc& a : ch.down_arcs) ch_arcs[{a.tail, a.head}] = a.weight;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Arc& arc : g.ArcsOf(v)) {
+      const auto it = ch_arcs.find({v, arc.other});
+      ASSERT_NE(it, ch_arcs.end());
+      EXPECT_LE(it->second, arc.weight);
+    }
+  }
+}
+
+TEST(Contraction, ShortcutWeightsAreRealPathLengths) {
+  // A shortcut (u,w) via v must never undercut the true distance.
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  BinaryHeap queue(g.NumVertices());
+  std::vector<Weight> dist(g.NumVertices());
+  int checked = 0;
+  for (const CHArc& a : ch.up_arcs) {
+    if (!a.IsShortcut() || checked >= 25) continue;
+    ++checked;
+    DijkstraInto(g, a.tail, queue, dist, {});
+    EXPECT_GE(a.weight, dist[a.head]);
+  }
+}
+
+TEST(Contraction, StatsReported) {
+  const Graph g = CountryGraph(12);
+  CHStats stats;
+  const CHData ch = BuildContractionHierarchy(g, CHParams{}, &stats);
+  EXPECT_EQ(stats.shortcuts_added, ch.num_shortcuts);
+  EXPECT_GT(stats.witness_searches, 0u);
+  EXPECT_EQ(stats.num_levels, ch.NumLevels());
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(Contraction, LevelHistogramSumsToN) {
+  const Graph g = CountryGraph(12);
+  const CHData ch = BuildContractionHierarchy(g);
+  const std::vector<uint64_t> hist = ch.LevelHistogram();
+  uint64_t total = 0;
+  for (const uint64_t c : hist) total += c;
+  EXPECT_EQ(total, ch.num_vertices);
+  // Road-like graphs put the bulk of vertices in the lowest levels (Fig 1).
+  EXPECT_GT(hist[0], ch.num_vertices / 4);
+}
+
+TEST(Contraction, FewLevelsOnRoadNetworks) {
+  const Graph g = CountryGraph(20);
+  const CHData ch = BuildContractionHierarchy(g);
+  // Orders of magnitude fewer levels than vertices (paper: ~140 for 18M).
+  EXPECT_LT(ch.NumLevels(), g.NumVertices() / 4);
+}
+
+TEST(Contraction, PathGraph) {
+  const Graph g = Graph::FromEdgeList(GeneratePath(10, 2));
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  EXPECT_EQ(query.Distance(0, 9), 18u);
+  EXPECT_EQ(query.Distance(9, 0), 18u);
+  EXPECT_EQ(query.Distance(3, 7), 8u);
+}
+
+TEST(Contraction, SingleVertexGraph) {
+  EdgeList edges(1);
+  const CHData ch = BuildContractionHierarchy(Graph::FromEdgeList(edges));
+  EXPECT_EQ(ch.num_vertices, 1u);
+  EXPECT_TRUE(ch.up_arcs.empty());
+  CHQuery query(ch);
+  EXPECT_EQ(query.Distance(0, 0), 0u);
+}
+
+TEST(Contraction, StarGraph) {
+  const Graph g = Graph::FromEdgeList(GenerateStar(8, 3));
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  EXPECT_EQ(query.Distance(1, 2), 6u);
+  EXPECT_EQ(query.Distance(0, 5), 3u);
+}
+
+TEST(Contraction, DisconnectedGraph) {
+  EdgeList edges(4);
+  edges.AddBidirectional(0, 1, 5);
+  edges.AddBidirectional(2, 3, 7);
+  const CHData ch = BuildContractionHierarchy(Graph::FromEdgeList(edges));
+  CHQuery query(ch);
+  EXPECT_EQ(query.Distance(0, 1), 5u);
+  EXPECT_EQ(query.Distance(0, 2), kInfWeight);
+}
+
+TEST(Contraction, ZeroWeightArcsSupported) {
+  EdgeList edges(4);
+  edges.AddBidirectional(0, 1, 0);
+  edges.AddBidirectional(1, 2, 3);
+  edges.AddBidirectional(2, 3, 0);
+  const CHData ch = BuildContractionHierarchy(Graph::FromEdgeList(edges));
+  CHQuery query(ch);
+  EXPECT_EQ(query.Distance(0, 3), 3u);
+}
+
+// Exhaustive distance agreement with Dijkstra over many graph families.
+class ChCorrectness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChCorrectness, AllPairsMatchDijkstraOnCountry) {
+  const Graph g = CountryGraph(8, Metric::kTravelTime, GetParam());
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  Rng rng(GetParam());
+  for (int i = 0; i < 8; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (int j = 0; j < 20; ++j) {
+      const VertexId t =
+          static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      EXPECT_EQ(query.Distance(s, t), ref.dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(ChCorrectness, MatchesDijkstraOnRandomGnm) {
+  // G(n,m) is hostile to CH (no hierarchy) but must stay correct.
+  const EdgeList edges = GenerateGnm(80, 320, 50, GetParam());
+  const Graph g = Graph::FromEdgeList(edges);
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  Rng rng(GetParam() + 99);
+  for (int i = 0; i < 5; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(80));
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId t = 0; t < 80; ++t) {
+      EXPECT_EQ(query.Distance(s, t), ref.dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChCorrectness,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ChQuery, UnpackedPathIsRealAndShortest) {
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const PointToPointResult r = query.Query(s, t, /*want_path=*/true);
+    if (r.dist == kInfWeight) continue;
+    ASSERT_FALSE(r.path.empty());
+    EXPECT_EQ(r.path.front(), s);
+    EXPECT_EQ(r.path.back(), t);
+    Weight total = 0;
+    for (size_t j = 0; j + 1 < r.path.size(); ++j) {
+      Weight arc_weight = kInfWeight;
+      for (const Arc& a : g.ArcsOf(r.path[j])) {
+        if (a.other == r.path[j + 1]) {
+          arc_weight = std::min(arc_weight, a.weight);
+        }
+      }
+      ASSERT_NE(arc_weight, kInfWeight)
+          << "unpacked path uses a non-existent arc";
+      total += arc_weight;
+    }
+    EXPECT_EQ(total, r.dist);
+  }
+}
+
+TEST(ChQuery, UpwardSearchLabelsAreUpperBounds) {
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  const SsspResult ref = Dijkstra<BinaryHeap>(g, 0);
+  std::vector<std::pair<VertexId, Weight>> space;
+  query.UpwardSearch(0, &space);
+  EXPECT_FALSE(space.empty());
+  for (const auto& [v, label] : space) {
+    EXPECT_GE(label, ref.dist[v]);  // upper bound, §II-B
+  }
+}
+
+TEST(ChQuery, UpwardSearchSpaceIsSmall) {
+  const Graph g = CountryGraph(24);
+  const CHData ch = BuildContractionHierarchy(g);
+  CHQuery query(ch);
+  std::vector<VertexId> sources;
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.NextBounded(g.NumVertices())));
+  }
+  const double avg = query.AverageUpwardSearchSpace(sources);
+  // The whole point of CH: the upward search space is a sliver of n.
+  EXPECT_LT(avg, g.NumVertices() / 5.0);
+}
+
+TEST(ChQuery, FewerShortcutsThanOriginalArcsOnRoads) {
+  const Graph g = CountryGraph(20);
+  const CHData ch = BuildContractionHierarchy(g);
+  EXPECT_LT(ch.num_shortcuts, g.NumArcs());  // paper §II-B for Europe
+}
+
+TEST(ChQuery, DistanceMetricYieldsMoreLevels) {
+  const Graph time_graph = CountryGraph(16, Metric::kTravelTime, 7);
+  const Graph dist_graph = CountryGraph(16, Metric::kTravelDistance, 7);
+  const CHData ch_time = BuildContractionHierarchy(time_graph);
+  const CHData ch_dist = BuildContractionHierarchy(dist_graph);
+  // §VIII-G: travel distances weaken the hierarchy: at least as many levels.
+  EXPECT_GE(ch_dist.NumLevels() + 2, ch_time.NumLevels());
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ch/ch_io.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+TEST(ChIo, RoundTripPreservesEverything) {
+  const CHData& ch = CachedCountryCH(10);
+  std::stringstream buffer;
+  WriteCH(ch, buffer);
+  const CHData read = ReadCH(buffer);
+  EXPECT_EQ(read.num_vertices, ch.num_vertices);
+  EXPECT_EQ(read.num_shortcuts, ch.num_shortcuts);
+  EXPECT_EQ(read.rank, ch.rank);
+  EXPECT_EQ(read.level, ch.level);
+  EXPECT_EQ(read.up_arcs, ch.up_arcs);
+  EXPECT_EQ(read.down_arcs, ch.down_arcs);
+}
+
+TEST(ChIo, DeserializedHierarchyAnswersQueries) {
+  const Graph& g = CachedCountry(10);
+  std::stringstream buffer;
+  WriteCH(CachedCountryCH(10), buffer);
+  const CHData read = ReadCH(buffer);
+
+  const Phast engine(read);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  CHQuery query(read);
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    engine.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]);
+    }
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    EXPECT_EQ(query.Distance(s, t), ref.dist[t]);
+  }
+}
+
+TEST(ChIo, RejectsBadMagic) {
+  std::stringstream buffer("definitely not a CH file");
+  EXPECT_THROW((void)ReadCH(buffer), InputError);
+}
+
+TEST(ChIo, RejectsTruncation) {
+  std::stringstream buffer;
+  WriteCH(CachedCountryCH(8), buffer);
+  const std::string full = buffer.str();
+  // Cut at several points: header, mid-array, last byte.
+  for (const size_t cut :
+       {size_t{4}, size_t{16}, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW((void)ReadCH(truncated), InputError) << "cut at " << cut;
+  }
+}
+
+TEST(ChIo, RejectsCorruptedRankOrder) {
+  std::stringstream buffer;
+  CHData ch = CachedCountryCH(8);
+  // Corrupt: swap an up arc's endpoints so rank order is violated.
+  ASSERT_FALSE(ch.up_arcs.empty());
+  std::swap(ch.up_arcs[0].tail, ch.up_arcs[0].head);
+  WriteCH(ch, buffer);
+  EXPECT_THROW((void)ReadCH(buffer), InputError);
+}
+
+TEST(ChIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/phast_test.ch";
+  WriteCHFile(CachedCountryCH(8), path);
+  const CHData read = ReadCHFile(path);
+  EXPECT_EQ(read.num_vertices, CachedCountryCH(8).num_vertices);
+  EXPECT_THROW((void)ReadCHFile("/nonexistent/path.ch"), InputError);
+}
+
+}  // namespace
+}  // namespace phast

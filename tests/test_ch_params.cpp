@@ -1,0 +1,158 @@
+// CH preprocessing parameter sweeps. The paper: "Although any order gives a
+// correct algorithm, query times and the size of A+ may vary" (§II-B) and
+// "the priority term has limited influence on the performance of PHAST ...
+// it works well with any function that produces a good contraction
+// hierarchy" (§VIII-A). So: correctness must hold for *every* priority
+// function and witness-search budget; quality may differ.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ch/contraction.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+struct ParamCase {
+  const char* name;
+  CHParams params;
+};
+
+std::vector<ParamCase> AllParamCases() {
+  std::vector<ParamCase> cases;
+
+  cases.push_back({"paper_default", CHParams{}});
+
+  {
+    // Constant priority: vertices contract in input order — the paper's
+    // "any order is correct" statement at its most extreme.
+    CHParams p;
+    p.ed_coefficient = 0;
+    p.cn_coefficient = 0;
+    p.h_coefficient = 0;
+    p.level_coefficient = 0;
+    cases.push_back({"constant_priority_input_order", p});
+  }
+  {
+    // Pure edge difference (the classic simple heuristic).
+    CHParams p;
+    p.cn_coefficient = 0;
+    p.h_coefficient = 0;
+    p.level_coefficient = 0;
+    cases.push_back({"pure_edge_difference", p});
+  }
+  {
+    // Level-dominated: forces flat, breadth-first-ish contraction.
+    CHParams p;
+    p.level_coefficient = 1000;
+    cases.push_back({"level_dominated", p});
+  }
+  {
+    // Crippled witness searches: 1 hop, 2 settled vertices — maximum
+    // redundant shortcuts, still correct.
+    CHParams p;
+    p.hop_limit_low = 1;
+    p.hop_limit_mid = 1;
+    p.max_witness_settled = 2;
+    cases.push_back({"crippled_witness_search", p});
+  }
+  {
+    // Unlimited witness searches from the start.
+    CHParams p;
+    p.hop_limit_low = 0;
+    p.hop_limit_mid = 0;
+    p.degree_threshold_low = 0.0;
+    p.degree_threshold_mid = 0.0;
+    cases.push_back({"unlimited_witness_search", p});
+  }
+  {
+    // Lazy neighbor updates (our preprocessing-speed knob).
+    CHParams p;
+    p.eager_neighbor_updates = false;
+    cases.push_back({"lazy_updates", p});
+  }
+  {
+    // Uncapped H term.
+    CHParams p;
+    p.h_per_arc_cap = 1000000;
+    cases.push_back({"uncapped_hops", p});
+  }
+  return cases;
+}
+
+class ChParams : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(ChParams, PhastAndQueriesStayExact) {
+  const Graph& g = phast::testing::CachedCountry(9);
+  const CHData ch = BuildContractionHierarchy(g, GetParam().params);
+
+  const Phast engine(ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  CHQuery query(ch);
+  Rng rng(13);
+  for (int i = 0; i < 6; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    engine.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v])
+          << GetParam().name << " s=" << s << " v=" << v;
+    }
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    ASSERT_EQ(query.Distance(s, t), ref.dist[t]) << GetParam().name;
+  }
+}
+
+TEST_P(ChParams, StructuralInvariantsHold) {
+  const Graph& g = phast::testing::CachedCountry(9);
+  const CHData ch = BuildContractionHierarchy(g, GetParam().params);
+  for (const CHArc& a : ch.up_arcs) {
+    ASSERT_LT(ch.rank[a.tail], ch.rank[a.head]) << GetParam().name;
+  }
+  for (const CHArc& a : ch.down_arcs) {
+    ASSERT_GT(ch.rank[a.tail], ch.rank[a.head]) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, ChParams,
+                         ::testing::ValuesIn(AllParamCases()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(ChParamsQuality, BetterWitnessSearchesMeanFewerShortcuts) {
+  const Graph& g = phast::testing::CachedCountry(12);
+  CHParams crippled;
+  crippled.hop_limit_low = 1;
+  crippled.hop_limit_mid = 1;
+  crippled.max_witness_settled = 2;
+  const CHData bad = BuildContractionHierarchy(g, crippled);
+  const CHData good = BuildContractionHierarchy(g, CHParams{});
+  EXPECT_LT(good.num_shortcuts, bad.num_shortcuts);
+}
+
+TEST(ChParamsQuality, DefaultPriorityBeatsInputOrder) {
+  // The heuristic order should yield a flatter hierarchy (fewer levels or
+  // fewer shortcuts) than contracting in plain input order.
+  const Graph& g = phast::testing::CachedCountry(12);
+  CHParams constant;
+  constant.ed_coefficient = 0;
+  constant.cn_coefficient = 0;
+  constant.h_coefficient = 0;
+  constant.level_coefficient = 0;
+  const CHData naive = BuildContractionHierarchy(g, constant);
+  const CHData smart = BuildContractionHierarchy(g, CHParams{});
+  EXPECT_LT(smart.num_shortcuts, naive.num_shortcuts);
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+
+namespace phast {
+namespace {
+
+TEST(Scc, SingleCycleIsOneComponent) {
+  const Graph g = Graph::FromEdgeList(GenerateCycle(5));
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(Scc, DirectedPathIsAllSingletons) {
+  EdgeList edges(4);
+  edges.AddArc(0, 1, 1);
+  edges.AddArc(1, 2, 1);
+  edges.AddArc(2, 3, 1);
+  const SccResult scc =
+      StronglyConnectedComponents(Graph::FromEdgeList(edges));
+  EXPECT_EQ(scc.num_components, 4u);
+  std::set<uint32_t> distinct(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Scc, TwoCyclesBridgedOneWay) {
+  EdgeList edges(6);
+  // Cycle A: 0->1->2->0, cycle B: 3->4->5->3, bridge 2->3.
+  edges.AddArc(0, 1, 1);
+  edges.AddArc(1, 2, 1);
+  edges.AddArc(2, 0, 1);
+  edges.AddArc(3, 4, 1);
+  edges.AddArc(4, 5, 1);
+  edges.AddArc(5, 3, 1);
+  edges.AddArc(2, 3, 1);
+  const SccResult scc =
+      StronglyConnectedComponents(Graph::FromEdgeList(edges));
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[0], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(Scc, IsolatedVerticesAreSingletons) {
+  EdgeList edges(3);
+  edges.AddBidirectional(0, 1, 1);
+  const SccResult scc =
+      StronglyConnectedComponents(Graph::FromEdgeList(edges));
+  EXPECT_EQ(scc.num_components, 2u);
+}
+
+TEST(Scc, EmptyGraph) {
+  const SccResult scc =
+      StronglyConnectedComponents(Graph::FromEdgeList(EdgeList{}));
+  EXPECT_EQ(scc.num_components, 0u);
+  EXPECT_TRUE(scc.component.empty());
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  // 200k-vertex bidirectional path: recursion would overflow here.
+  const Graph g = Graph::FromEdgeList(GeneratePath(200000));
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(LargestScc, ExtractsAndRelabels) {
+  EdgeList edges(5);
+  edges.AddBidirectional(0, 1, 3);
+  edges.AddBidirectional(1, 2, 4);
+  edges.AddArc(3, 4, 1);  // one-way appendix
+  const SubgraphResult sub = LargestStronglyConnectedComponent(edges);
+  EXPECT_EQ(sub.edges.NumVertices(), 3u);
+  EXPECT_EQ(sub.edges.NumArcs(), 4u);
+  EXPECT_EQ(sub.new_to_old.size(), 3u);
+  EXPECT_EQ(sub.old_to_new[3], kInvalidVertex);
+  EXPECT_EQ(sub.old_to_new[4], kInvalidVertex);
+  // Weights survive relabeling.
+  for (const Edge& e : sub.edges.Edges()) {
+    EXPECT_TRUE(e.weight == 3 || e.weight == 4);
+  }
+}
+
+TEST(LargestScc, MappingsAreConsistent) {
+  const GeneratedGraph g = GenerateCountry({.width = 20, .height = 20});
+  const SubgraphResult sub = LargestStronglyConnectedComponent(g.edges);
+  for (VertexId nv = 0; nv < sub.new_to_old.size(); ++nv) {
+    EXPECT_EQ(sub.old_to_new[sub.new_to_old[nv]], nv);
+  }
+}
+
+TEST(LargestScc, ResultIsStronglyConnected) {
+  const GeneratedGraph g = GenerateCountry({.width = 20, .height = 20});
+  const SubgraphResult sub = LargestStronglyConnectedComponent(g.edges);
+  const SccResult scc =
+      StronglyConnectedComponents(Graph::FromEdgeList(sub.edges));
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(RestrictCoords, FollowsMapping) {
+  GeneratedGraph g = GenerateCountry({.width = 8, .height = 8});
+  const SubgraphResult sub = LargestStronglyConnectedComponent(g.edges);
+  const Coordinates coords = RestrictCoordinates(g.coords, sub);
+  ASSERT_EQ(coords.Size(), sub.new_to_old.size());
+  for (VertexId nv = 0; nv < sub.new_to_old.size(); ++nv) {
+    EXPECT_EQ(coords.x[nv], g.coords.x[sub.new_to_old[nv]]);
+    EXPECT_EQ(coords.y[nv], g.coords.y[sub.new_to_old[nv]]);
+  }
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dijkstra/bfs.h"
+#include "dijkstra/bidirectional.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "pq/dary_heap.h"
+#include "pq/dial_buckets.h"
+#include "pq/multilevel_buckets.h"
+#include "pq/radix_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+Graph DiamondGraph() {
+  // 0 -> 1 -> 3 and 0 -> 2 -> 3, with 0->2 cheaper overall.
+  EdgeList edges(4);
+  edges.AddArc(0, 1, 10);
+  edges.AddArc(1, 3, 10);
+  edges.AddArc(0, 2, 3);
+  edges.AddArc(2, 3, 4);
+  return Graph::FromEdgeList(edges);
+}
+
+TEST(Dijkstra, DiamondDistances) {
+  const SsspResult r = Dijkstra<BinaryHeap>(DiamondGraph(), 0);
+  EXPECT_EQ(r.dist, (std::vector<Weight>{0, 10, 3, 7}));
+  EXPECT_EQ(r.parent[3], 2u);
+  EXPECT_EQ(r.parent[0], kInvalidVertex);
+}
+
+TEST(Dijkstra, UnreachableStaysInfinite) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 1);  // vertex 2 unreachable
+  const SsspResult r = Dijkstra<BinaryHeap>(Graph::FromEdgeList(edges), 0);
+  EXPECT_EQ(r.dist[2], kInfWeight);
+  EXPECT_EQ(r.parent[2], kInvalidVertex);
+}
+
+TEST(Dijkstra, ZeroWeightArcs) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 0);
+  edges.AddArc(1, 2, 0);
+  const SsspResult r = Dijkstra<BinaryHeap>(Graph::FromEdgeList(edges), 0);
+  EXPECT_EQ(r.dist, (std::vector<Weight>{0, 0, 0}));
+}
+
+TEST(Dijkstra, SingleVertex) {
+  EdgeList edges(1);
+  const SsspResult r = Dijkstra<BinaryHeap>(Graph::FromEdgeList(edges), 0);
+  EXPECT_EQ(r.dist, (std::vector<Weight>{0}));
+  EXPECT_EQ(r.scanned, 1u);
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  EXPECT_THROW(Dijkstra<BinaryHeap>(DiamondGraph(), 9), InputError);
+}
+
+TEST(Dijkstra, HugeWeightsSaturateNotWrap) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, kInfWeight - 2);
+  edges.AddArc(1, 2, kInfWeight - 2);
+  const SsspResult r = Dijkstra<BinaryHeap>(Graph::FromEdgeList(edges), 0);
+  EXPECT_EQ(r.dist[1], kInfWeight - 2);
+  // 2's true distance exceeds the label range; it must clamp at infinity,
+  // never wrap to a small value.
+  EXPECT_EQ(r.dist[2], kInfWeight);
+}
+
+// All queue implementations must agree with the binary-heap reference on
+// random graphs — this is the paper's Table I queue comparison, as a
+// correctness property.
+class QueueAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueueAgreement, AllQueuesSameDistances) {
+  const uint64_t seed = GetParam();
+  const EdgeList edges = GenerateGnm(200, 800, 1000, seed);
+  const Graph g = Graph::FromEdgeList(edges);
+  const Weight c = MaxArcWeight(g);
+  Rng rng(seed);
+  for (int i = 0; i < 5; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(200));
+    const SsspResult binary = Dijkstra<BinaryHeap>(g, s);
+    const SsspResult four = Dijkstra<FourHeap>(g, s);
+    const SsspResult dial = Dijkstra<DialBuckets>(g, s, c);
+    const SsspResult radix = Dijkstra<RadixHeap>(g, s);
+    const SsspResult mlb = Dijkstra<MultiLevelBuckets>(g, s);
+    EXPECT_EQ(binary.dist, four.dist);
+    EXPECT_EQ(binary.dist, dial.dist);
+    EXPECT_EQ(binary.dist, radix.dist);
+    EXPECT_EQ(binary.dist, mlb.dist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Dijkstra, GridDistancesAreManhattan) {
+  const Graph g = Graph::FromEdgeList(GenerateGrid(6, 6, 1));
+  const SsspResult r = Dijkstra<BinaryHeap>(g, 0);
+  for (uint32_t y = 0; y < 6; ++y) {
+    for (uint32_t x = 0; x < 6; ++x) {
+      EXPECT_EQ(r.dist[y * 6 + x], x + y);
+    }
+  }
+}
+
+TEST(Dijkstra, ScannedCountsSettledVertices) {
+  const Graph g = Graph::FromEdgeList(GeneratePath(10));
+  const SsspResult r = Dijkstra<BinaryHeap>(g, 0);
+  EXPECT_EQ(r.scanned, 10u);
+}
+
+// --------------------------- BFS -------------------------------------------
+
+TEST(Bfs, HopCountsOnGrid) {
+  const Graph g = Graph::FromEdgeList(GenerateGrid(5, 5, 7));
+  const BfsResult r = Bfs(g, 0);
+  for (uint32_t y = 0; y < 5; ++y) {
+    for (uint32_t x = 0; x < 5; ++x) {
+      EXPECT_EQ(r.hops[y * 5 + x], x + y);  // hops ignore weights
+    }
+  }
+  EXPECT_EQ(r.visited, 25u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 1);
+  const BfsResult r = Bfs(Graph::FromEdgeList(edges), 0);
+  EXPECT_EQ(r.hops[2], BfsResult::kUnreachedHops);
+  EXPECT_EQ(r.visited, 2u);
+}
+
+TEST(Bfs, ParentsFormTree) {
+  const Graph g = Graph::FromEdgeList(GenerateGrid(4, 4));
+  const BfsResult r = Bfs(g, 5);
+  EXPECT_EQ(r.parent[5], kInvalidVertex);
+  for (VertexId v = 0; v < 16; ++v) {
+    if (v == 5) continue;
+    ASSERT_NE(r.parent[v], kInvalidVertex);
+    EXPECT_EQ(r.hops[v], r.hops[r.parent[v]] + 1);
+  }
+}
+
+// --------------------------- Bidirectional ---------------------------------
+
+TEST(Bidirectional, MatchesDijkstraOnRandomPairs) {
+  const EdgeList edges = GenerateGnm(150, 600, 100, 3);
+  const Graph fw = Graph::FromEdgeList(edges);
+  const Graph bw = fw.Reversed();
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(150));
+    const VertexId t = static_cast<VertexId>(rng.NextBounded(150));
+    const SsspResult ref = Dijkstra<BinaryHeap>(fw, s);
+    const PointToPointResult r = BidirectionalDijkstra(fw, bw, s, t);
+    EXPECT_EQ(r.dist, ref.dist[t]) << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(Bidirectional, PathIsValid) {
+  const EdgeList edges = GenerateGrid(8, 8, 2);
+  const Graph fw = Graph::FromEdgeList(edges);
+  const Graph bw = fw.Reversed();
+  const PointToPointResult r = BidirectionalDijkstra(fw, bw, 0, 63);
+  ASSERT_FALSE(r.path.empty());
+  EXPECT_EQ(r.path.front(), 0u);
+  EXPECT_EQ(r.path.back(), 63u);
+  // Path length must add up to the reported distance.
+  Weight total = 0;
+  for (size_t i = 0; i + 1 < r.path.size(); ++i) {
+    bool found = false;
+    for (const Arc& a : fw.ArcsOf(r.path[i])) {
+      if (a.other == r.path[i + 1]) {
+        total += a.weight;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+  EXPECT_EQ(total, r.dist);
+}
+
+TEST(Bidirectional, SameSourceTarget) {
+  const Graph fw = DiamondGraph();
+  const Graph bw = fw.Reversed();
+  const PointToPointResult r = BidirectionalDijkstra(fw, bw, 2, 2);
+  EXPECT_EQ(r.dist, 0u);
+  EXPECT_EQ(r.path, (std::vector<VertexId>{2}));
+}
+
+TEST(Bidirectional, UnreachableReportsInfinity) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 1);
+  const Graph fw = Graph::FromEdgeList(edges);
+  const Graph bw = fw.Reversed();
+  const PointToPointResult r = BidirectionalDijkstra(fw, bw, 0, 2);
+  EXPECT_EQ(r.dist, kInfWeight);
+  EXPECT_TRUE(r.path.empty());
+}
+
+TEST(Bidirectional, ScansFewerThanFullDijkstra) {
+  const GeneratedGraph country = GenerateCountry({.width = 30, .height = 30});
+  const SubgraphResult sub = LargestStronglyConnectedComponent(country.edges);
+  const Graph fw = Graph::FromEdgeList(sub.edges);
+  const Graph bw = fw.Reversed();
+  const VertexId n = fw.NumVertices();
+  size_t scanned_full = 0;
+  BinaryHeap queue(n);
+  std::vector<Weight> dist(n);
+  DijkstraInto(fw, 0, queue, dist, {}, &scanned_full);
+  const PointToPointResult r = BidirectionalDijkstra(fw, bw, 0, n / 2, false);
+  EXPECT_LT(r.scanned, scanned_full);
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace phast {
+namespace {
+
+TEST(Deterministic, PathHasChainStructure) {
+  const EdgeList edges = GeneratePath(5, 3);
+  EXPECT_EQ(edges.NumVertices(), 5u);
+  EXPECT_EQ(edges.NumArcs(), 8u);  // 4 undirected edges
+  const Graph g = Graph::FromEdgeList(edges);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(g.Degree(4), 1u);
+}
+
+TEST(Deterministic, CycleIsRegular) {
+  const Graph g = Graph::FromEdgeList(GenerateCycle(6));
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 2u);
+}
+
+TEST(Deterministic, StarShape) {
+  const Graph g = Graph::FromEdgeList(GenerateStar(9));
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.Degree(0), 9u);
+  for (VertexId v = 1; v < 10; ++v) EXPECT_EQ(g.Degree(v), 1u);
+}
+
+TEST(Deterministic, GridCounts) {
+  const EdgeList edges = GenerateGrid(4, 3);
+  EXPECT_EQ(edges.NumVertices(), 12u);
+  // Undirected edges: 3*3 horizontal + 4*2 vertical = 17, doubled.
+  EXPECT_EQ(edges.NumArcs(), 34u);
+}
+
+TEST(Deterministic, CompleteGraph) {
+  const EdgeList edges = GenerateComplete(5, 2);
+  EXPECT_EQ(edges.NumArcs(), 20u);
+  for (const Edge& e : edges.Edges()) EXPECT_EQ(e.weight, 2u);
+}
+
+TEST(Gnm, RespectsBoundsAndNoSelfLoops) {
+  const EdgeList edges = GenerateGnm(50, 300, 100, 1);
+  EXPECT_EQ(edges.NumVertices(), 50u);
+  EXPECT_LE(edges.NumArcs(), 300u);  // Normalize may dedup
+  for (const Edge& e : edges.Edges()) {
+    EXPECT_NE(e.tail, e.head);
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 100u);
+  }
+}
+
+TEST(Gnm, DeterministicBySeed) {
+  const EdgeList a = GenerateGnm(30, 100, 50, 7);
+  const EdgeList b = GenerateGnm(30, 100, 50, 7);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  const EdgeList c = GenerateGnm(30, 100, 50, 8);
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(Country, BasicShape) {
+  CountryParams params;
+  params.width = 16;
+  params.height = 16;
+  const GeneratedGraph g = GenerateCountry(params);
+  EXPECT_EQ(g.edges.NumVertices(), 256u);
+  EXPECT_EQ(g.coords.Size(), 256u);
+  EXPECT_GT(g.edges.NumArcs(), 256u);  // local grid alone gives ~2n arcs
+}
+
+TEST(Country, SymmetricWeights) {
+  CountryParams params;
+  params.width = 12;
+  params.height = 12;
+  const GeneratedGraph g = GenerateCountry(params);
+  // Every arc has its reverse with the same weight.
+  std::map<std::pair<VertexId, VertexId>, Weight> arcs;
+  for (const Edge& e : g.edges.Edges()) arcs[{e.tail, e.head}] = e.weight;
+  for (const Edge& e : g.edges.Edges()) {
+    const auto it = arcs.find({e.head, e.tail});
+    ASSERT_NE(it, arcs.end());
+    EXPECT_EQ(it->second, e.weight);
+  }
+}
+
+TEST(Country, MostlyConnected) {
+  CountryParams params;
+  params.width = 24;
+  params.height = 24;
+  const GeneratedGraph g = GenerateCountry(params);
+  const SubgraphResult scc = LargestStronglyConnectedComponent(g.edges);
+  // Random deletions strand only a small fraction of vertices.
+  EXPECT_GT(scc.edges.NumVertices(), g.edges.NumVertices() * 9 / 10);
+}
+
+TEST(Country, TimeMetricShortcutsLongRange) {
+  // With travel times, crossing the map along highways must be much faster
+  // than the distance metric's best (which gains nothing from highways).
+  CountryParams params;
+  params.width = 32;
+  params.height = 32;
+  params.deletion_prob = 0.0;
+  params.metric = Metric::kTravelTime;
+  const GeneratedGraph time_graph = GenerateCountry(params);
+  params.metric = Metric::kTravelDistance;
+  const GeneratedGraph dist_graph = GenerateCountry(params);
+  // Same topology, different weights.
+  EXPECT_EQ(time_graph.edges.NumArcs(), dist_graph.edges.NumArcs());
+  uint64_t time_total = 0, dist_total = 0;
+  for (const Edge& e : time_graph.edges.Edges()) time_total += e.weight;
+  for (const Edge& e : dist_graph.edges.Edges()) dist_total += e.weight;
+  EXPECT_LT(time_total, dist_total);  // highways shrink travel times
+}
+
+TEST(Country, DeterministicBySeed) {
+  CountryParams params;
+  params.width = 10;
+  params.height = 10;
+  params.seed = 3;
+  const GeneratedGraph a = GenerateCountry(params);
+  const GeneratedGraph b = GenerateCountry(params);
+  EXPECT_EQ(a.edges.Edges(), b.edges.Edges());
+}
+
+TEST(Country, RejectsDegenerateParams) {
+  CountryParams params;
+  params.width = 1;
+  EXPECT_THROW(GenerateCountry(params), InputError);
+  params.width = 8;
+  params.highway_stride = 1;
+  EXPECT_THROW(GenerateCountry(params), InputError);
+}
+
+TEST(RandomGeometric, ArcsRespectRadius) {
+  const GeneratedGraph g = GenerateRandomGeometric(200, 0.15, 5);
+  EXPECT_EQ(g.edges.NumVertices(), 200u);
+  for (const Edge& e : g.edges.Edges()) {
+    const double dx = static_cast<double>(g.coords.x[e.tail] -
+                                          g.coords.x[e.head]) / 1e6;
+    const double dy = static_cast<double>(g.coords.y[e.tail] -
+                                          g.coords.y[e.head]) / 1e6;
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), 0.15 + 1e-6);
+  }
+}
+
+TEST(RandomGeometric, SymmetricArcs) {
+  const GeneratedGraph g = GenerateRandomGeometric(100, 0.2, 9);
+  std::set<std::pair<VertexId, VertexId>> arcs;
+  for (const Edge& e : g.edges.Edges()) arcs.insert({e.tail, e.head});
+  for (const Edge& e : g.edges.Edges()) {
+    EXPECT_TRUE(arcs.count({e.head, e.tail}));
+  }
+}
+
+}  // namespace
+}  // namespace phast

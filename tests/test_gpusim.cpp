@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ch/contraction.h"
+#include "dijkstra/dijkstra.h"
+#include "gpusim/device.h"
+#include "gpusim/gphast.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "pq/dary_heap.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+Graph CountryGraph(uint32_t side, uint64_t seed = 1) {
+  CountryParams params;
+  params.width = side;
+  params.height = side;
+  params.seed = seed;
+  const GeneratedGraph g = GenerateCountry(params);
+  return Graph::FromEdgeList(LargestStronglyConnectedComponent(g.edges).edges);
+}
+
+// --------------------------- device model ----------------------------------
+
+TEST(SimtDevice, CoalescedAccessIsOneTransaction) {
+  SimtDevice device(DeviceSpec::Gtx580());
+  device.BeginKernel();
+  std::vector<uint64_t> addrs;
+  for (uint64_t i = 0; i < 32; ++i) addrs.push_back(i * 4);  // 128B window
+  device.WarpMemoryAccess(addrs, 4);
+  device.EndKernel();
+  EXPECT_EQ(device.TotalStats().dram_transactions, 1u);
+}
+
+TEST(SimtDevice, ScatteredAccessCostsPerLane) {
+  SimtDevice device(DeviceSpec::Gtx580());
+  device.BeginKernel();
+  std::vector<uint64_t> addrs;
+  for (uint64_t i = 0; i < 32; ++i) addrs.push_back(i * 4096);  // all distinct
+  device.WarpMemoryAccess(addrs, 4);
+  device.EndKernel();
+  EXPECT_EQ(device.TotalStats().dram_transactions, 32u);
+}
+
+TEST(SimtDevice, TimeScalesWithTransactions) {
+  SimtDevice device(DeviceSpec::Gtx580());
+  device.BeginKernel();
+  std::vector<uint64_t> addrs{0};
+  for (int i = 0; i < 1000; ++i) {
+    addrs[0] = static_cast<uint64_t>(i) * 4096;
+    device.WarpMemoryAccess(addrs, 4);
+  }
+  device.EndKernel();
+  const double small = device.TotalStats().modeled_seconds;
+
+  SimtDevice device2(DeviceSpec::Gtx580());
+  device2.BeginKernel();
+  for (int i = 0; i < 100000; ++i) {
+    addrs[0] = static_cast<uint64_t>(i) * 4096;
+    device2.WarpMemoryAccess(addrs, 4);
+  }
+  device2.EndKernel();
+  EXPECT_GT(device2.TotalStats().modeled_seconds, small);
+}
+
+TEST(SimtDevice, Gtx480IsSlower) {
+  const DeviceSpec a = DeviceSpec::Gtx580();
+  const DeviceSpec b = DeviceSpec::Gtx480();
+  EXPECT_LT(b.mem_bandwidth_gb_per_s, a.mem_bandwidth_gb_per_s);
+  EXPECT_LT(b.num_sms, a.num_sms);
+}
+
+TEST(SimtDevice, CopyAccountsBytes) {
+  SimtDevice device(DeviceSpec::Gtx580());
+  device.HostToDeviceCopy(1 << 20);
+  EXPECT_EQ(device.TotalStats().copied_bytes, 1u << 20);
+  EXPECT_GT(device.TotalStats().modeled_seconds, 0.0);
+}
+
+TEST(SimtDevice, LaunchOverheadPerKernel) {
+  // An empty kernel still costs the launch overhead.
+  DeviceSpec spec = DeviceSpec::Gtx580();
+  SimtDevice device(spec);
+  for (int i = 0; i < 10; ++i) {
+    device.BeginKernel();
+    device.EndKernel();
+  }
+  EXPECT_EQ(device.TotalStats().kernels, 10u);
+  EXPECT_NEAR(device.TotalStats().modeled_seconds,
+              10 * spec.kernel_launch_overhead_us * 1e-6, 1e-9);
+}
+
+TEST(SimtDevice, ComputeBoundKernelUsesClockTerm) {
+  // With no memory traffic, time = instructions / (SMs * clock).
+  DeviceSpec spec = DeviceSpec::Gtx580();
+  spec.kernel_launch_overhead_us = 0.0;
+  SimtDevice device(spec);
+  device.BeginKernel();
+  device.WarpCompute(1000000);
+  device.EndKernel();
+  const double expected =
+      1e6 / (static_cast<double>(spec.num_sms) * spec.core_clock_ghz * 1e9);
+  EXPECT_NEAR(device.TotalStats().modeled_seconds, expected, expected * 1e-9);
+}
+
+TEST(SimtDevice, PartialCoalescingCountsSegments) {
+  // 32 lanes spread over exactly 4 distinct 128-byte segments.
+  SimtDevice device(DeviceSpec::Gtx580());
+  device.BeginKernel();
+  std::vector<uint64_t> addrs;
+  for (uint64_t lane = 0; lane < 32; ++lane) {
+    addrs.push_back((lane % 4) * 128 + lane);  // 4 segments
+  }
+  device.WarpMemoryAccess(addrs, 4);
+  device.EndKernel();
+  EXPECT_EQ(device.TotalStats().dram_transactions, 4u);
+  EXPECT_EQ(device.TotalStats().dram_bytes, 4u * 128);
+}
+
+TEST(SimtDevice, AccessOutsideKernelThrows) {
+  SimtDevice device(DeviceSpec::Gtx580());
+  std::vector<uint64_t> addrs{0};
+  EXPECT_THROW(device.WarpMemoryAccess(addrs, 4), InputError);
+  EXPECT_THROW(device.EndKernel(), InputError);
+}
+
+// --------------------------- GPHAST -----------------------------------------
+
+TEST(Gphast, SingleTreeMatchesDijkstra) {
+  const Graph g = CountryGraph(12);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Gphast gpu(engine);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Rng rng(8);
+  for (int i = 0; i < 5; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const VertexId src[] = {s};
+    const Gphast::Result r = gpu.ComputeTrees(src, ws);
+    EXPECT_GT(r.modeled_device_seconds, 0.0);
+    EXPECT_GT(r.kernels_launched, 0u);
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]) << "v=" << v;
+    }
+  }
+}
+
+TEST(Gphast, MultiTreeMatchesCpuPhast) {
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Gphast gpu(engine);
+  constexpr uint32_t k = 8;
+  Phast::Workspace ws_gpu = engine.MakeWorkspace(k);
+  Phast::Workspace ws_cpu = engine.MakeWorkspace(k);
+  Rng rng(5);
+  std::vector<VertexId> sources(k);
+  for (auto& s : sources) {
+    s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+  }
+  gpu.ComputeTrees(sources, ws_gpu);
+  engine.ComputeTrees(sources, ws_cpu);
+  for (uint32_t i = 0; i < k; ++i) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws_gpu, v, i), engine.Distance(ws_cpu, v, i));
+    }
+  }
+}
+
+TEST(Gphast, ParentsMatchSemantics) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Gphast gpu(engine);
+  Phast::Workspace ws = engine.MakeWorkspace(1, /*want_parents=*/true);
+  const VertexId src[] = {4};
+  gpu.ComputeTrees(src, ws);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (engine.Distance(ws, v) == kInfWeight || v == 4) continue;
+    VertexId cur = v;
+    size_t steps = 0;
+    while (cur != 4) {
+      cur = engine.ParentInGPlus(ws, cur);
+      ASSERT_NE(cur, kInvalidVertex);
+      ASSERT_LE(++steps, static_cast<size_t>(g.NumVertices()));
+    }
+  }
+}
+
+TEST(Gphast, KernelPerNonEmptyLevel) {
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Gphast gpu(engine);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  const VertexId src[] = {0};
+  const Gphast::Result r = gpu.ComputeTrees(src, ws);
+  EXPECT_LE(r.kernels_launched, engine.NumLevels());
+  EXPECT_GE(r.kernels_launched, 1u);
+}
+
+TEST(Gphast, DeviceMemoryGrowsWithK) {
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Gphast gpu(engine);
+  const uint64_t m1 = gpu.DeviceMemoryBytes(1);
+  const uint64_t m16 = gpu.DeviceMemoryBytes(16);
+  EXPECT_GT(m16, m1);
+  // Label arrays dominate the growth: +15 * n * 4 bytes.
+  EXPECT_EQ(m16 - m1, 15ull * engine.NumVertices() * sizeof(Weight));
+}
+
+TEST(Gphast, RejectsOversizedK) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  DeviceSpec tiny = DeviceSpec::Gtx580();
+  tiny.device_memory_bytes = 1024;  // absurd on purpose
+  Gphast gpu(engine, tiny);
+  Phast::Workspace ws = engine.MakeWorkspace(4);
+  const std::vector<VertexId> sources = {0, 1, 2, 3};
+  EXPECT_THROW(gpu.ComputeTrees(sources, ws), InputError);
+}
+
+TEST(Gphast, RequiresLevelOrderedEngine) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  Phast::Options options;
+  options.order = SweepOrder::kRankDescending;
+  const Phast engine(ch, options);
+  EXPECT_THROW(Gphast gpu(engine), InputError);
+}
+
+TEST(Gphast, MultiTreeImprovesPerTreeTime) {
+  // The paper's Table III trend: amortizing the sweep over k trees reduces
+  // modeled time per tree.
+  const Graph g = CountryGraph(16);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Gphast gpu(engine);
+
+  Phast::Workspace ws1 = engine.MakeWorkspace(1);
+  const VertexId one[] = {3};
+  const double t1 = gpu.ComputeTrees(one, ws1).modeled_device_seconds;
+
+  constexpr uint32_t k = 16;
+  Phast::Workspace wsk = engine.MakeWorkspace(k);
+  std::vector<VertexId> sources(k);
+  Rng rng(1);
+  for (auto& s : sources) {
+    s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+  }
+  const double tk =
+      gpu.ComputeTrees(sources, wsk).modeled_device_seconds / k;
+  EXPECT_LT(tk, t1);
+}
+
+}  // namespace
+}  // namespace phast

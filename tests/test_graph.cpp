@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/dimacs.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace phast {
+namespace {
+
+// --------------------------- EdgeList --------------------------------------
+
+TEST(EdgeList, AddArcGrowsVertexCount) {
+  EdgeList edges;
+  edges.AddArc(3, 7, 10);
+  EXPECT_EQ(edges.NumVertices(), 8u);
+  EXPECT_EQ(edges.NumArcs(), 1u);
+}
+
+TEST(EdgeList, BidirectionalAddsBoth) {
+  EdgeList edges;
+  edges.AddBidirectional(0, 1, 5);
+  ASSERT_EQ(edges.NumArcs(), 2u);
+  EXPECT_EQ(edges.Edges()[0], (Edge{0, 1, 5}));
+  EXPECT_EQ(edges.Edges()[1], (Edge{1, 0, 5}));
+}
+
+TEST(EdgeList, NormalizeRemovesSelfLoops) {
+  EdgeList edges(3);
+  edges.AddArc(1, 1, 4);
+  edges.AddArc(0, 1, 2);
+  edges.Normalize();
+  ASSERT_EQ(edges.NumArcs(), 1u);
+  EXPECT_EQ(edges.Edges()[0], (Edge{0, 1, 2}));
+}
+
+TEST(EdgeList, NormalizeKeepsCheapestParallelArc) {
+  EdgeList edges(2);
+  edges.AddArc(0, 1, 9);
+  edges.AddArc(0, 1, 3);
+  edges.AddArc(0, 1, 6);
+  edges.Normalize();
+  ASSERT_EQ(edges.NumArcs(), 1u);
+  EXPECT_EQ(edges.Edges()[0].weight, 3u);
+}
+
+TEST(EdgeList, NormalizeSortsByTailThenHead) {
+  EdgeList edges(3);
+  edges.AddArc(2, 0, 1);
+  edges.AddArc(0, 2, 1);
+  edges.AddArc(0, 1, 1);
+  edges.Normalize();
+  ASSERT_EQ(edges.NumArcs(), 3u);
+  EXPECT_EQ(edges.Edges()[0].head, 1u);
+  EXPECT_EQ(edges.Edges()[1].head, 2u);
+  EXPECT_EQ(edges.Edges()[2].tail, 2u);
+}
+
+TEST(EdgeList, EnsureVerticesNeverShrinks) {
+  EdgeList edges(10);
+  edges.EnsureVertices(5);
+  EXPECT_EQ(edges.NumVertices(), 10u);
+  edges.EnsureVertices(20);
+  EXPECT_EQ(edges.NumVertices(), 20u);
+}
+
+// --------------------------- Graph (CSR) -----------------------------------
+
+EdgeList Triangle() {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 1);
+  edges.AddArc(1, 2, 2);
+  edges.AddArc(2, 0, 3);
+  return edges;
+}
+
+TEST(Graph, ForwardAdjacency) {
+  const Graph g = Graph::FromEdgeList(Triangle());
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumArcs(), 3u);
+  ASSERT_EQ(g.ArcsOf(0).size(), 1u);
+  EXPECT_EQ(g.ArcsOf(0)[0], (Arc{1, 1}));
+  EXPECT_EQ(g.ArcsOf(1)[0], (Arc{2, 2}));
+  EXPECT_EQ(g.ArcsOf(2)[0], (Arc{0, 3}));
+}
+
+TEST(Graph, ReverseAdjacency) {
+  const Graph g = Graph::ReverseFromEdgeList(Triangle());
+  // Arcs of v are incoming arcs; other = tail.
+  ASSERT_EQ(g.ArcsOf(1).size(), 1u);
+  EXPECT_EQ(g.ArcsOf(1)[0], (Arc{0, 1}));
+  EXPECT_EQ(g.ArcsOf(2)[0], (Arc{1, 2}));
+  EXPECT_EQ(g.ArcsOf(0)[0], (Arc{2, 3}));
+}
+
+TEST(Graph, ReversedTwiceIsIdentity) {
+  const Graph g = Graph::FromEdgeList(Triangle());
+  EXPECT_EQ(g.Reversed().Reversed(), g);
+}
+
+TEST(Graph, ArcsSortedWithinVertex) {
+  EdgeList edges(4);
+  edges.AddArc(0, 3, 1);
+  edges.AddArc(0, 1, 1);
+  edges.AddArc(0, 2, 1);
+  const Graph g = Graph::FromEdgeList(edges);
+  const auto arcs = g.ArcsOf(0);
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_EQ(arcs[0].other, 1u);
+  EXPECT_EQ(arcs[1].other, 2u);
+  EXPECT_EQ(arcs[2].other, 3u);
+}
+
+TEST(Graph, IsolatedVerticesHaveNoArcs) {
+  EdgeList edges(5);
+  edges.AddArc(0, 4, 1);
+  const Graph g = Graph::FromEdgeList(edges);
+  EXPECT_EQ(g.Degree(1), 0u);
+  EXPECT_EQ(g.Degree(2), 0u);
+  EXPECT_TRUE(g.ArcsOf(3).empty());
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::FromEdgeList(EdgeList{});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumArcs(), 0u);
+}
+
+TEST(Graph, SentinelFirstArray) {
+  const Graph g = Graph::FromEdgeList(Triangle());
+  EXPECT_EQ(g.FirstArray().size(), 4u);
+  EXPECT_EQ(g.FirstArray().back(), 3u);
+}
+
+TEST(Graph, RoundTripThroughEdgeList) {
+  const Graph g = Graph::FromEdgeList(Triangle());
+  const Graph g2 = Graph::FromEdgeList(g.ToEdgeList());
+  EXPECT_EQ(g, g2);
+}
+
+TEST(Graph, RandomGraphCsrProperties) {
+  // CSR invariants on random inputs: first[] is monotone with sentinel m;
+  // degrees sum to m; forward and reverse hold the same arc multiset.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const EdgeList edges = GenerateGnm(60, 240, 50, seed);
+    const Graph fw = Graph::FromEdgeList(edges);
+    const Graph bw = Graph::ReverseFromEdgeList(edges);
+    ASSERT_EQ(fw.NumArcs(), edges.NumArcs());
+    ASSERT_EQ(bw.NumArcs(), edges.NumArcs());
+    size_t degree_sum = 0;
+    for (VertexId v = 0; v < fw.NumVertices(); ++v) {
+      ASSERT_LE(fw.FirstArray()[v], fw.FirstArray()[v + 1]);
+      degree_sum += fw.Degree(v);
+    }
+    ASSERT_EQ(degree_sum, fw.NumArcs());
+    // Multiset equality via sorted (tail, head, weight) triples.
+    std::vector<Edge> from_fw, from_bw;
+    for (VertexId v = 0; v < fw.NumVertices(); ++v) {
+      for (const Arc& a : fw.ArcsOf(v)) from_fw.push_back({v, a.other, a.weight});
+      for (const Arc& a : bw.ArcsOf(v)) from_bw.push_back({a.other, v, a.weight});
+    }
+    const auto by_all = [](const Edge& a, const Edge& b) {
+      if (a.tail != b.tail) return a.tail < b.tail;
+      if (a.head != b.head) return a.head < b.head;
+      return a.weight < b.weight;
+    };
+    std::sort(from_fw.begin(), from_fw.end(), by_all);
+    std::sort(from_bw.begin(), from_bw.end(), by_all);
+    ASSERT_EQ(from_fw, from_bw);
+  }
+}
+
+TEST(Graph, ReversedOfReversedOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const EdgeList edges = GenerateGnm(40, 160, 30, seed);
+    const Graph g = Graph::FromEdgeList(edges);
+    EXPECT_EQ(g.Reversed().Reversed(), g);
+    // ReverseFromEdgeList must equal FromEdgeList + Reversed.
+    EXPECT_EQ(Graph::ReverseFromEdgeList(edges), g.Reversed());
+  }
+}
+
+// --------------------------- DIMACS I/O -------------------------------------
+
+TEST(Dimacs, RoundTrip) {
+  EdgeList edges(4);
+  edges.AddArc(0, 1, 10);
+  edges.AddArc(1, 2, 20);
+  edges.AddArc(3, 0, 30);
+  std::stringstream buffer;
+  WriteDimacsGraph(edges, buffer);
+  const EdgeList read = ReadDimacsGraph(buffer);
+  EXPECT_EQ(read.NumVertices(), 4u);
+  ASSERT_EQ(read.NumArcs(), 3u);
+  EXPECT_EQ(read.Edges()[0], (Edge{0, 1, 10}));
+  EXPECT_EQ(read.Edges()[2], (Edge{3, 0, 30}));
+}
+
+TEST(Dimacs, ParsesCommentsAndBlankLines) {
+  std::stringstream in(
+      "c a comment\n\np sp 2 1\nc mid comment\na 1 2 5\n");
+  const EdgeList g = ReadDimacsGraph(in);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  ASSERT_EQ(g.NumArcs(), 1u);
+  EXPECT_EQ(g.Edges()[0], (Edge{0, 1, 5}));
+}
+
+TEST(Dimacs, RejectsMissingProblemLine) {
+  std::stringstream in("a 1 2 5\n");
+  EXPECT_THROW(ReadDimacsGraph(in), InputError);
+}
+
+TEST(Dimacs, RejectsArcCountMismatch) {
+  std::stringstream in("p sp 2 2\na 1 2 5\n");
+  EXPECT_THROW(ReadDimacsGraph(in), InputError);
+}
+
+TEST(Dimacs, RejectsOutOfRangeVertex) {
+  std::stringstream in("p sp 2 1\na 1 3 5\n");
+  EXPECT_THROW(ReadDimacsGraph(in), InputError);
+}
+
+TEST(Dimacs, RejectsNegativeWeight) {
+  std::stringstream in("p sp 2 1\na 1 2 -5\n");
+  EXPECT_THROW(ReadDimacsGraph(in), InputError);
+}
+
+TEST(Dimacs, CoordinatesRoundTrip) {
+  Coordinates coords;
+  coords.x = {10, -20, 30};
+  coords.y = {1, 2, -3};
+  std::stringstream buffer;
+  WriteDimacsCoordinates(coords, buffer);
+  const Coordinates read = ReadDimacsCoordinates(buffer);
+  ASSERT_EQ(read.Size(), 3u);
+  EXPECT_EQ(read.x[1], -20);
+  EXPECT_EQ(read.y[2], -3);
+}
+
+}  // namespace
+}  // namespace phast

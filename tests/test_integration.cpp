@@ -1,0 +1,200 @@
+// End-to-end tests exercising the full pipeline the benchmarks use:
+// generate -> extract SCC -> DFS relabel -> CH preprocessing -> PHAST /
+// GPHAST -> applications, validated against Dijkstra at every step.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "ch/contraction.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "gpusim/gphast.h"
+#include "graph/connectivity.h"
+#include "graph/dimacs.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "pq/dial_buckets.h"
+#include "pq/radix_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+/// The exact preparation pipeline of the benchmark harness.
+struct Pipeline {
+  Graph graph;          // DFS-relabeled largest SCC
+  CHData ch;
+  explicit Pipeline(const EdgeList& raw, uint64_t dfs_root = 0) {
+    const SubgraphResult scc = LargestStronglyConnectedComponent(raw);
+    const Graph unordered = Graph::FromEdgeList(scc.edges);
+    const Permutation dfs =
+        DfsPermutation(unordered, static_cast<VertexId>(
+                                      dfs_root % unordered.NumVertices()));
+    graph = Graph::FromEdgeList(ApplyPermutation(scc.edges, dfs));
+    ch = BuildContractionHierarchy(graph);
+  }
+};
+
+TEST(Integration, FullPipelineAllSourcesCountry) {
+  CountryParams params;
+  params.width = 9;
+  params.height = 9;
+  const GeneratedGraph raw = GenerateCountry(params);
+  Pipeline pipe(raw.edges);
+  const Phast engine(pipe.ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  // Every source, full agreement with Dijkstra.
+  for (VertexId s = 0; s < pipe.graph.NumVertices(); ++s) {
+    engine.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(pipe.graph, s);
+    for (VertexId v = 0; v < pipe.graph.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v])
+          << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(Integration, GeometricGraphPipeline) {
+  const GeneratedGraph raw = GenerateRandomGeometric(400, 0.08, 11);
+  Pipeline pipe(raw.edges);
+  const Phast engine(pipe.ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(pipe.graph.NumVertices()));
+    engine.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(pipe.graph, s);
+    for (VertexId v = 0; v < pipe.graph.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]);
+    }
+  }
+}
+
+TEST(Integration, DistanceMetricPipeline) {
+  CountryParams params;
+  params.width = 10;
+  params.height = 10;
+  params.metric = Metric::kTravelDistance;
+  const GeneratedGraph raw = GenerateCountry(params);
+  Pipeline pipe(raw.edges);
+  const Phast engine(pipe.ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(pipe.graph.NumVertices()));
+    engine.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(pipe.graph, s);
+    for (VertexId v = 0; v < pipe.graph.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]);
+    }
+  }
+}
+
+TEST(Integration, DimacsRoundTripThroughPipeline) {
+  // Write the generated instance in DIMACS format, read it back, and run
+  // the pipeline on the parsed copy — file I/O must not perturb results.
+  CountryParams params;
+  params.width = 8;
+  params.height = 8;
+  const GeneratedGraph raw = GenerateCountry(params);
+  std::stringstream buffer;
+  WriteDimacsGraph(raw.edges, buffer);
+  const EdgeList parsed = ReadDimacsGraph(buffer);
+
+  Pipeline direct(raw.edges);
+  Pipeline via_file(parsed);
+  ASSERT_EQ(direct.graph.NumVertices(), via_file.graph.NumVertices());
+
+  const Phast engine_a(direct.ch);
+  const Phast engine_b(via_file.ch);
+  Phast::Workspace ws_a = engine_a.MakeWorkspace();
+  Phast::Workspace ws_b = engine_b.MakeWorkspace();
+  engine_a.ComputeTree(0, ws_a);
+  engine_b.ComputeTree(0, ws_b);
+  for (VertexId v = 0; v < direct.graph.NumVertices(); ++v) {
+    ASSERT_EQ(engine_a.Distance(ws_a, v), engine_b.Distance(ws_b, v));
+  }
+}
+
+TEST(Integration, AllEnginesAgreeEverywhere) {
+  // Dijkstra (3 queues), CH point-to-point, PHAST (3 orders), GPHAST: one
+  // matrix of distances, ten sources, every implementation identical.
+  CountryParams params;
+  params.width = 9;
+  params.height = 9;
+  params.seed = 21;
+  const GeneratedGraph raw = GenerateCountry(params);
+  Pipeline pipe(raw.edges);
+  const VertexId n = pipe.graph.NumVertices();
+  const Weight c = MaxArcWeight(pipe.graph);
+
+  Phast::Options reordered;
+  Phast::Options rank_order;
+  rank_order.order = SweepOrder::kRankDescending;
+  const Phast engine(pipe.ch, reordered);
+  const Phast engine_rank(pipe.ch, rank_order);
+  Gphast gpu(engine);
+  CHQuery query(pipe.ch);
+
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Phast::Workspace ws_rank = engine_rank.MakeWorkspace();
+  Phast::Workspace ws_gpu = engine.MakeWorkspace();
+
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(n));
+    const SsspResult binary = Dijkstra<BinaryHeap>(pipe.graph, s);
+    const SsspResult dial = Dijkstra<DialBuckets>(pipe.graph, s, c);
+    const SsspResult radix = Dijkstra<RadixHeap>(pipe.graph, s);
+    engine.ComputeTree(s, ws);
+    engine_rank.ComputeTree(s, ws_rank);
+    const VertexId src[] = {s};
+    gpu.ComputeTrees(src, ws_gpu);
+
+    ASSERT_EQ(binary.dist, dial.dist);
+    ASSERT_EQ(binary.dist, radix.dist);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), binary.dist[v]);
+      ASSERT_EQ(engine_rank.Distance(ws_rank, v), binary.dist[v]);
+      ASSERT_EQ(engine.Distance(ws_gpu, v), binary.dist[v]);
+    }
+    for (int j = 0; j < 5; ++j) {
+      const VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+      ASSERT_EQ(query.Distance(s, t), binary.dist[t]);
+    }
+  }
+}
+
+TEST(Integration, ReusedWorkspaceAcrossEngineVariants) {
+  // A workspace belongs to one engine, but many trees through the same
+  // workspace must stay exact after thousands of label writes.
+  CountryParams params;
+  params.width = 10;
+  params.height = 10;
+  const GeneratedGraph raw = GenerateCountry(params);
+  Pipeline pipe(raw.edges);
+  const Phast engine(pipe.ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Rng rng(8);
+  for (int round = 0; round < 50; ++round) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(pipe.graph.NumVertices()));
+    engine.ComputeTree(s, ws);
+    // Spot-check five labels per round.
+    const SsspResult ref = Dijkstra<BinaryHeap>(pipe.graph, s);
+    for (int j = 0; j < 5; ++j) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(pipe.graph.NumVertices()));
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,198 @@
+// Direct unit tests of the sweep kernels on hand-built topologies — the
+// engine-level tests in test_phast*.cpp cover end-to-end behaviour; these
+// pin down kernel semantics (saturation, marks, parents, ranges) in
+// isolation, for every available instruction set.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phast/kernels.h"
+#include "util/aligned.h"
+#include "util/bit_vector.h"
+
+namespace phast {
+namespace {
+
+/// A tiny fixed sweep: 4 positions; position p's vertex is p (identity
+/// order). Arcs: 2 <- {0 (w=3), 1 (w=1)}, 3 <- {2 (w=2)}.
+struct TinySweep {
+  std::vector<ArcId> first = {0, 0, 0, 2, 3};
+  std::vector<DownArc> arcs = {{0, 3}, {1, 1}, {2, 2}};
+  AlignedVector<Weight> labels;
+  std::vector<VertexId> parents;
+  BitVector marks;
+  uint32_t k;
+
+  explicit TinySweep(uint32_t k_in) : k(k_in) {
+    labels.assign(4 * k, kInfWeight);
+    parents.assign(4 * k, kInvalidVertex);
+    marks.Resize(4);
+  }
+
+  SweepArgs Args(bool use_marks, bool use_parents) {
+    SweepArgs args;
+    args.down_first = first.data();
+    args.down_arcs = arcs.data();
+    args.order = nullptr;
+    args.num_vertices = 4;
+    args.k = k;
+    args.labels = labels.data();
+    args.marks = use_marks ? marks.Words() : nullptr;
+    args.parents = use_parents ? parents.data() : nullptr;
+    return args;
+  }
+};
+
+struct KernelCase {
+  SimdMode mode;
+  uint32_t k;
+  const char* name;
+};
+
+class KernelSemantics : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    if (!SimdModeAvailable(GetParam().mode)) {
+      GTEST_SKIP() << "CPU lacks " << GetParam().name;
+    }
+  }
+};
+
+TEST_P(KernelSemantics, BasicRelaxation) {
+  const auto [mode, k, name] = GetParam();
+  TinySweep sweep(k);
+  // Tree i: source labels 0 at vertex 0 with offset i (distinct trees).
+  for (uint32_t i = 0; i < k; ++i) {
+    sweep.labels[0 * k + i] = i;      // d(0) = i
+    sweep.labels[1 * k + i] = 10 + i; // d(1) = 10 + i
+  }
+  const SweepKernelFn kernel = SelectSweepKernel(mode, k, false, false);
+  kernel(sweep.Args(false, false), 0, 4);
+  for (uint32_t i = 0; i < k; ++i) {
+    // d(2) = min(d(0)+3, d(1)+1) = min(i+3, 11+i) = i+3.
+    EXPECT_EQ(sweep.labels[2 * k + i], i + 3) << name << " tree " << i;
+    // d(3) = d(2)+2.
+    EXPECT_EQ(sweep.labels[3 * k + i], i + 5) << name << " tree " << i;
+  }
+}
+
+TEST_P(KernelSemantics, SaturationAtInfinity) {
+  const auto [mode, k, name] = GetParam();
+  TinySweep sweep(k);
+  // All sources at infinity: everything must stay exactly kInfWeight —
+  // never wrap around to a small value.
+  const SweepKernelFn kernel = SelectSweepKernel(mode, k, false, false);
+  kernel(sweep.Args(false, false), 0, 4);
+  for (size_t i = 0; i < sweep.labels.size(); ++i) {
+    EXPECT_EQ(sweep.labels[i], kInfWeight) << name << " slot " << i;
+  }
+}
+
+TEST_P(KernelSemantics, NearInfinitySaturates) {
+  const auto [mode, k, name] = GetParam();
+  TinySweep sweep(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    sweep.labels[0 * k + i] = kInfWeight - 2;
+    sweep.labels[1 * k + i] = kInfWeight - 1;
+  }
+  const SweepKernelFn kernel = SelectSweepKernel(mode, k, false, false);
+  kernel(sweep.Args(false, false), 0, 4);
+  for (uint32_t i = 0; i < k; ++i) {
+    // d(0)+3 and d(1)+1 both exceed the label range: clamp to infinity.
+    EXPECT_EQ(sweep.labels[2 * k + i], kInfWeight) << name;
+    EXPECT_EQ(sweep.labels[3 * k + i], kInfWeight) << name;
+  }
+}
+
+TEST_P(KernelSemantics, MarksGateStaleLabels) {
+  const auto [mode, k, name] = GetParam();
+  TinySweep sweep(k);
+  // Vertex 0 marked with a real label; vertex 1 unmarked with stale
+  // garbage that must be ignored.
+  for (uint32_t i = 0; i < k; ++i) {
+    sweep.labels[0 * k + i] = 5;
+    sweep.labels[1 * k + i] = 0;  // stale!
+    sweep.labels[2 * k + i] = 7;  // stale!
+    sweep.labels[3 * k + i] = 0;  // stale!
+  }
+  sweep.marks.Set(0);
+  const SweepKernelFn kernel = SelectSweepKernel(mode, k, false, true);
+  kernel(sweep.Args(true, false), 0, 4);
+  for (uint32_t i = 0; i < k; ++i) {
+    EXPECT_EQ(sweep.labels[1 * k + i], kInfWeight) << name;  // reset to inf
+    EXPECT_EQ(sweep.labels[2 * k + i], 8u) << name;          // 5 + 3 via 0
+    EXPECT_EQ(sweep.labels[3 * k + i], 10u) << name;         // 8 + 2
+  }
+}
+
+TEST_P(KernelSemantics, ParentsTrackWinningArc) {
+  const auto [mode, k, name] = GetParam();
+  TinySweep sweep(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    sweep.labels[0 * k + i] = 0;
+    sweep.labels[1 * k + i] = 1;
+  }
+  const SweepKernelFn kernel = SelectSweepKernel(mode, k, true, false);
+  kernel(sweep.Args(false, true), 0, 4);
+  for (uint32_t i = 0; i < k; ++i) {
+    // d(2) = min(0+3, 1+1) = 2 via vertex 1.
+    EXPECT_EQ(sweep.labels[2 * k + i], 2u) << name;
+    EXPECT_EQ(sweep.parents[2 * k + i], 1u) << name;
+    EXPECT_EQ(sweep.parents[3 * k + i], 2u) << name;
+    // Sources were never improved: parents untouched.
+    EXPECT_EQ(sweep.parents[0 * k + i], kInvalidVertex) << name;
+  }
+}
+
+TEST_P(KernelSemantics, RangeRestriction) {
+  const auto [mode, k, name] = GetParam();
+  TinySweep sweep(k);
+  for (uint32_t i = 0; i < k; ++i) sweep.labels[0 * k + i] = 0;
+  const SweepKernelFn kernel = SelectSweepKernel(mode, k, false, false);
+  kernel(sweep.Args(false, false), 0, 3);  // exclude position 3
+  for (uint32_t i = 0; i < k; ++i) {
+    EXPECT_EQ(sweep.labels[2 * k + i], 3u) << name;
+    EXPECT_EQ(sweep.labels[3 * k + i], kInfWeight) << name;  // untouched
+  }
+  kernel(sweep.Args(false, false), 3, 4);  // now just position 3
+  for (uint32_t i = 0; i < k; ++i) {
+    EXPECT_EQ(sweep.labels[3 * k + i], 5u) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelSemantics,
+    ::testing::Values(KernelCase{SimdMode::kScalar, 1, "scalar1"},
+                      KernelCase{SimdMode::kScalar, 2, "scalar2"},
+                      KernelCase{SimdMode::kScalar, 5, "scalar5"},
+                      KernelCase{SimdMode::kSse, 4, "sse4"},
+                      KernelCase{SimdMode::kSse, 8, "sse8"},
+                      KernelCase{SimdMode::kAvx2, 8, "avx8"},
+                      KernelCase{SimdMode::kAvx2, 16, "avx16"}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(KernelOrderArray, NonIdentityOrderFollowed) {
+  // Two vertices, swapped sweep order via the order array; the arc
+  // (label-space tail 1) must be read correctly.
+  std::vector<ArcId> first = {0, 0, 1};
+  std::vector<DownArc> arcs = {{1, 4}};  // position 1's vertex gets 1 -> v
+  std::vector<VertexId> order = {1, 0};  // position 0 = vertex 1, pos 1 = v0
+  AlignedVector<Weight> labels = {kInfWeight, 2};  // d(v1) = 2
+  SweepArgs args;
+  args.down_first = first.data();
+  args.down_arcs = arcs.data();
+  args.order = order.data();
+  args.num_vertices = 2;
+  args.k = 1;
+  args.labels = labels.data();
+  const SweepKernelFn kernel =
+      SelectSweepKernel(SimdMode::kScalar, 1, false, false);
+  kernel(args, 0, 2);
+  EXPECT_EQ(labels[0], 6u);  // vertex 0 improved via arc from vertex 1
+  EXPECT_EQ(labels[1], 2u);
+}
+
+}  // namespace
+}  // namespace phast

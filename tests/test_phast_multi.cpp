@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ch/contraction.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "phast/batch.h"
+#include "phast/kernels.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+Graph CountryGraph(uint32_t side, uint64_t seed = 1) {
+  CountryParams params;
+  params.width = side;
+  params.height = side;
+  params.seed = seed;
+  const GeneratedGraph g = GenerateCountry(params);
+  return Graph::FromEdgeList(LargestStronglyConnectedComponent(g.edges).edges);
+}
+
+std::vector<VertexId> RandomSources(VertexId n, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> sources(count);
+  for (auto& s : sources) s = static_cast<VertexId>(rng.NextBounded(n));
+  return sources;
+}
+
+// Every (simd kernel, k) combination must agree with Dijkstra.
+struct MultiCase {
+  SimdMode simd;
+  uint32_t k;
+  const char* name;
+};
+
+class MultiTree : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(MultiTree, AllTreesMatchDijkstra) {
+  const auto [simd, k, name] = GetParam();
+  if (!SimdModeAvailable(simd)) GTEST_SKIP() << "CPU lacks " << name;
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  Phast::Options options;
+  options.simd = simd;
+  const Phast engine(ch, options);
+  Phast::Workspace ws = engine.MakeWorkspace(k);
+  const std::vector<VertexId> sources = RandomSources(g.NumVertices(), k, 17);
+  engine.ComputeTrees(sources, ws);
+  for (uint32_t i = 0; i < k; ++i) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[i]);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v, i), ref.dist[v])
+          << name << " tree " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(MultiTree, ParentsValidPerTree) {
+  const auto [simd, k, name] = GetParam();
+  if (!SimdModeAvailable(simd)) GTEST_SKIP() << "CPU lacks " << name;
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  Phast::Options options;
+  options.simd = simd;
+  const Phast engine(ch, options);
+  Phast::Workspace ws = engine.MakeWorkspace(k, /*want_parents=*/true);
+  const std::vector<VertexId> sources = RandomSources(g.NumVertices(), k, 23);
+  engine.ComputeTrees(sources, ws);
+  for (uint32_t i = 0; i < k; ++i) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (engine.Distance(ws, v, i) == kInfWeight || v == sources[i]) continue;
+      VertexId cur = v;
+      size_t steps = 0;
+      while (cur != sources[i]) {
+        cur = engine.ParentInGPlus(ws, cur, i);
+        ASSERT_NE(cur, kInvalidVertex);
+        ASSERT_LE(++steps, static_cast<size_t>(g.NumVertices()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, MultiTree,
+    ::testing::Values(MultiCase{SimdMode::kScalar, 1, "scalar_k1"},
+                      MultiCase{SimdMode::kScalar, 3, "scalar_k3"},
+                      MultiCase{SimdMode::kScalar, 4, "scalar_k4"},
+                      MultiCase{SimdMode::kScalar, 16, "scalar_k16"},
+                      MultiCase{SimdMode::kSse, 4, "sse_k4"},
+                      MultiCase{SimdMode::kSse, 8, "sse_k8"},
+                      MultiCase{SimdMode::kSse, 16, "sse_k16"},
+                      MultiCase{SimdMode::kAvx2, 8, "avx2_k8"},
+                      MultiCase{SimdMode::kAvx2, 16, "avx2_k16"},
+                      MultiCase{SimdMode::kAuto, 4, "auto_k4"},
+                      MultiCase{SimdMode::kAuto, 32, "auto_k32"}),
+    [](const ::testing::TestParamInfo<MultiCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MultiTreeMisc, DuplicateSourcesGiveIdenticalTrees) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Phast::Workspace ws = engine.MakeWorkspace(4);
+  const std::vector<VertexId> sources = {5, 5, 9, 5};
+  engine.ComputeTrees(sources, ws);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(engine.Distance(ws, v, 0), engine.Distance(ws, v, 1));
+    EXPECT_EQ(engine.Distance(ws, v, 0), engine.Distance(ws, v, 3));
+  }
+}
+
+TEST(MultiTreeMisc, SimdFallbackWhenKNotMultiple) {
+  // SSE requires k % 4 == 0; k=3 silently falls back to scalar but must
+  // stay correct.
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  Phast::Options options;
+  options.simd = SimdMode::kSse;
+  const Phast engine(ch, options);
+  EXPECT_STREQ(engine.KernelNameFor(3), "scalar");
+  Phast::Workspace ws = engine.MakeWorkspace(3);
+  const std::vector<VertexId> sources = {1, 2, 3};
+  engine.ComputeTrees(sources, ws);
+  const SsspResult ref = Dijkstra<BinaryHeap>(g, 2);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(engine.Distance(ws, v, 1), ref.dist[v]);
+  }
+}
+
+TEST(MultiTreeMisc, KernelSelectionNames) {
+  if (SimdModeAvailable(SimdMode::kSse)) {
+    EXPECT_STREQ(SweepKernelName(SimdMode::kSse, 4), "sse");
+    EXPECT_STREQ(SweepKernelName(SimdMode::kSse, 5), "scalar");
+  }
+  if (SimdModeAvailable(SimdMode::kAvx2)) {
+    EXPECT_STREQ(SweepKernelName(SimdMode::kAvx2, 8), "avx2");
+    EXPECT_STREQ(SweepKernelName(SimdMode::kAuto, 8), "avx2");
+    EXPECT_STREQ(SweepKernelName(SimdMode::kAvx2, 4), "scalar");
+  }
+  EXPECT_STREQ(SweepKernelName(SimdMode::kScalar, 64), "scalar");
+}
+
+TEST(MultiTreeMisc, ParallelMultiTreeMatches) {
+  const Graph g = CountryGraph(10);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  Phast::Workspace ws_a = engine.MakeWorkspace(4);
+  Phast::Workspace ws_b = engine.MakeWorkspace(4);
+  const std::vector<VertexId> sources = RandomSources(g.NumVertices(), 4, 3);
+  engine.ComputeTrees(sources, ws_a);
+  engine.ComputeTreesParallel(sources, ws_b);
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws_a, v, i), engine.Distance(ws_b, v, i));
+    }
+  }
+}
+
+// --------------------------- batch driver ----------------------------------
+
+TEST(Batch, VisitsEverySourceExactlyOnce) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> sources = RandomSources(g.NumVertices(), 10, 9);
+  std::vector<int> visits(10, 0);
+  BatchOptions options;
+  options.trees_per_sweep = 4;  // 10 sources -> 3 batches with padding
+  ComputeManyTrees(engine, sources, options,
+                   [&](size_t idx, const Phast::Workspace&, uint32_t) {
+#pragma omp critical(test_batch_visit)
+                     ++visits[idx];
+                   });
+  for (const int count : visits) EXPECT_EQ(count, 1);
+}
+
+TEST(Batch, DistancesCorrectThroughDriver) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> sources = RandomSources(g.NumVertices(), 7, 2);
+  std::vector<std::vector<Weight>> all(7);
+  BatchOptions options;
+  options.trees_per_sweep = 4;
+  ComputeManyTrees(engine, sources, options,
+                   [&](size_t idx, const Phast::Workspace& ws, uint32_t slot) {
+                     std::vector<Weight> dist(g.NumVertices());
+                     for (VertexId v = 0; v < g.NumVertices(); ++v) {
+                       dist[v] = engine.Distance(ws, v, slot);
+                     }
+#pragma omp critical(test_batch_store)
+                     all[idx] = std::move(dist);
+                   });
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[i]);
+    EXPECT_EQ(all[i], ref.dist) << "source index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pq/dary_heap.h"
+#include "pq/dial_buckets.h"
+#include "pq/multilevel_buckets.h"
+#include "pq/radix_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+// Factory adapting the different queue constructors to a common signature.
+template <typename Queue>
+Queue MakeQueue(VertexId n, Weight max_key);
+
+template <>
+BinaryHeap MakeQueue<BinaryHeap>(VertexId n, Weight) {
+  return BinaryHeap(n);
+}
+template <>
+FourHeap MakeQueue<FourHeap>(VertexId n, Weight) {
+  return FourHeap(n);
+}
+template <>
+DialBuckets MakeQueue<DialBuckets>(VertexId n, Weight max_key) {
+  return DialBuckets(n, max_key);
+}
+template <>
+RadixHeap MakeQueue<RadixHeap>(VertexId n, Weight) {
+  return RadixHeap(n);
+}
+template <>
+MultiLevelBuckets MakeQueue<MultiLevelBuckets>(VertexId n, Weight) {
+  return MultiLevelBuckets(n);
+}
+
+template <typename Queue>
+class QueueTest : public ::testing::Test {};
+
+using QueueTypes = ::testing::Types<BinaryHeap, FourHeap, DialBuckets,
+                                    RadixHeap, MultiLevelBuckets>;
+TYPED_TEST_SUITE(QueueTest, QueueTypes);
+
+TYPED_TEST(QueueTest, StartsEmpty) {
+  TypeParam q = MakeQueue<TypeParam>(10, 100);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TYPED_TEST(QueueTest, SingleInsertExtract) {
+  TypeParam q = MakeQueue<TypeParam>(10, 100);
+  q.Insert(3, 42);
+  EXPECT_FALSE(q.Empty());
+  const auto [v, key] = q.ExtractMin();
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(key, 42u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TYPED_TEST(QueueTest, ExtractsInKeyOrder) {
+  TypeParam q = MakeQueue<TypeParam>(10, 100);
+  q.Insert(0, 30);
+  q.Insert(1, 10);
+  q.Insert(2, 20);
+  q.Insert(3, 5);
+  Weight last = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto [v, key] = q.ExtractMin();
+    EXPECT_GE(key, last);
+    last = key;
+  }
+  EXPECT_EQ(last, 30u);
+}
+
+TYPED_TEST(QueueTest, MonotoneWorkload) {
+  // Dijkstra-like usage: inserted keys never fall below the last minimum
+  // (the contract of the monotone bucket queues).
+  TypeParam q = MakeQueue<TypeParam>(1000, 50);
+  Rng rng(1);
+  q.Insert(0, 0);
+  Weight last = 0;
+  VertexId next_vertex = 1;
+  std::vector<Weight> extracted;
+  for (int round = 0; round < 500; ++round) {
+    const auto [v, key] = q.ExtractMin();
+    EXPECT_GE(key, last);
+    last = key;
+    extracted.push_back(key);
+    // Insert a few children with keys in [key, key + 50].
+    for (int c = 0; c < 2 && next_vertex < 1000; ++c) {
+      q.Insert(next_vertex++, key + static_cast<Weight>(rng.NextBounded(51)));
+    }
+    if (q.Empty()) break;
+  }
+  EXPECT_TRUE(std::is_sorted(extracted.begin(), extracted.end()));
+}
+
+TYPED_TEST(QueueTest, ClearResets) {
+  TypeParam q = MakeQueue<TypeParam>(10, 100);
+  q.Insert(1, 10);
+  q.Insert(2, 20);
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  q.Insert(3, 7);
+  const auto [v, key] = q.ExtractMin();
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(key, 7u);
+}
+
+TYPED_TEST(QueueTest, EqualKeysAllCome) {
+  TypeParam q = MakeQueue<TypeParam>(10, 100);
+  for (VertexId v = 0; v < 5; ++v) q.Insert(v, 9);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 5; ++i) {
+    const auto [v, key] = q.ExtractMin();
+    EXPECT_EQ(key, 9u);
+    seen[v] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TYPED_TEST(QueueTest, ZeroKeysWork) {
+  TypeParam q = MakeQueue<TypeParam>(4, 10);
+  q.Insert(0, 0);
+  q.Insert(1, 0);
+  EXPECT_EQ(q.ExtractMin().second, 0u);
+  EXPECT_EQ(q.ExtractMin().second, 0u);
+}
+
+// --------------------------- decrease-key queues ---------------------------
+
+template <typename Queue>
+class DecreaseKeyTest : public ::testing::Test {};
+
+using DecreaseKeyTypes = ::testing::Types<BinaryHeap, FourHeap>;
+TYPED_TEST_SUITE(DecreaseKeyTest, DecreaseKeyTypes);
+
+TYPED_TEST(DecreaseKeyTest, UpdateInsertsWhenAbsent) {
+  TypeParam q(10);
+  q.Update(4, 12);
+  EXPECT_TRUE(q.Contains(4));
+  EXPECT_EQ(q.ExtractMin(), (std::pair<VertexId, Weight>{4, 12}));
+}
+
+TYPED_TEST(DecreaseKeyTest, UpdateDecreases) {
+  TypeParam q(10);
+  q.Update(1, 50);
+  q.Update(2, 40);
+  q.Update(1, 10);  // decrease 1 below 2
+  EXPECT_EQ(q.ExtractMin().first, 1u);
+  EXPECT_EQ(q.ExtractMin().first, 2u);
+}
+
+TYPED_TEST(DecreaseKeyTest, UpdateIgnoresIncrease) {
+  TypeParam q(10);
+  q.Update(1, 10);
+  q.Update(1, 99);  // must not increase
+  EXPECT_EQ(q.ExtractMin().second, 10u);
+}
+
+TYPED_TEST(DecreaseKeyTest, MinKeyPeeks) {
+  TypeParam q(10);
+  q.Update(1, 30);
+  q.Update(2, 20);
+  EXPECT_EQ(q.MinKey(), 20u);
+  EXPECT_EQ(q.Size(), 2u);  // peeking does not remove
+}
+
+TYPED_TEST(DecreaseKeyTest, RandomizedAgainstSortedReference) {
+  TypeParam q(500);
+  Rng rng(77);
+  std::vector<Weight> keys(500);
+  for (VertexId v = 0; v < 500; ++v) {
+    keys[v] = static_cast<Weight>(rng.NextBounded(10000));
+    q.Update(v, keys[v]);
+  }
+  // Random decreases.
+  for (int i = 0; i < 300; ++i) {
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(500));
+    const Weight nk = static_cast<Weight>(rng.NextBounded(keys[v] + 1));
+    q.Update(v, nk);
+    keys[v] = std::min(keys[v], nk);
+  }
+  std::vector<Weight> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  for (const Weight want : expected) {
+    EXPECT_EQ(q.ExtractMin().second, want);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+// --------------------------- bucket queue specifics ------------------------
+
+TEST(DialBuckets, WindowWrapsAround) {
+  DialBuckets q(10, 5);  // span of 6 buckets
+  q.Insert(0, 0);
+  EXPECT_EQ(q.ExtractMin().second, 0u);
+  q.Insert(1, 4);
+  q.Insert(2, 3);
+  EXPECT_EQ(q.ExtractMin().second, 3u);
+  q.Insert(3, 8);  // wraps modulo 6 into bucket 2
+  EXPECT_EQ(q.ExtractMin().second, 4u);
+  EXPECT_EQ(q.ExtractMin().second, 8u);
+}
+
+TEST(DialBuckets, ReAnchorsWhenEmptied) {
+  DialBuckets q(10, 3);
+  q.Insert(0, 2);
+  EXPECT_EQ(q.ExtractMin().second, 2u);
+  EXPECT_TRUE(q.Empty());
+  q.Insert(1, 100);  // far ahead: re-anchors the window
+  EXPECT_EQ(q.ExtractMin().second, 100u);
+}
+
+TEST(RadixHeap, LargeKeySpread) {
+  RadixHeap q(10);
+  q.Insert(0, 0);
+  q.Insert(1, 1u << 30);
+  q.Insert(2, 12345);
+  EXPECT_EQ(q.ExtractMin().second, 0u);
+  EXPECT_EQ(q.ExtractMin().second, 12345u);
+  EXPECT_EQ(q.ExtractMin().second, 1u << 30);
+}
+
+TEST(RadixHeap, MaxKeySupported) {
+  RadixHeap q(4);
+  q.Insert(0, 0);
+  q.Insert(1, kInfWeight - 1);
+  EXPECT_EQ(q.ExtractMin().second, 0u);
+  q.Insert(2, 5);
+  EXPECT_EQ(q.ExtractMin().second, 5u);
+  EXPECT_EQ(q.ExtractMin().second, kInfWeight - 1);
+}
+
+TEST(MultiLevelBuckets, CrossesChunkBoundaries) {
+  // Keys straddling several 8-bit chunk boundaries force expansions at
+  // every level.
+  MultiLevelBuckets q(8);
+  const Weight keys[] = {0, 255, 256, 65535, 65536, 1u << 24, kInfWeight - 1};
+  for (VertexId v = 0; v < 7; ++v) q.Insert(v, keys[v]);
+  Weight last = 0;
+  for (int i = 0; i < 7; ++i) {
+    const Weight k = q.ExtractMin().second;
+    EXPECT_GE(k, last);
+    last = k;
+  }
+  EXPECT_EQ(last, kInfWeight - 1);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(MultiLevelBuckets, RandomizedMonotoneAgainstReference) {
+  // Dijkstra-shaped workload checked against a sorted multiset reference.
+  MultiLevelBuckets q(1);
+  Rng rng(99);
+  std::multiset<Weight> reference;
+  Weight mu = 0;
+  q.Insert(0, 0);
+  reference.insert(0);
+  for (int step = 0; step < 3000; ++step) {
+    if (!q.Empty() && (reference.size() > 64 || rng.NextBool(0.45))) {
+      const Weight got = q.ExtractMin().second;
+      const Weight want = *reference.begin();
+      ASSERT_EQ(got, want);
+      reference.erase(reference.begin());
+      mu = got;
+    } else {
+      // Monotone insert with occasionally huge jumps.
+      const Weight key =
+          mu + static_cast<Weight>(rng.NextBounded(
+                   rng.NextBool(0.1) ? (1u << 20) : 300u));
+      q.Insert(0, key);
+      reference.insert(key);
+    }
+    if (q.Empty() && reference.empty()) {
+      q.Insert(0, mu);
+      reference.insert(mu);
+    }
+  }
+}
+
+TEST(RadixHeap, DuplicateVerticesAllowed) {
+  // Lazy-deletion usage: the same vertex queued with several keys.
+  RadixHeap q(4);
+  q.Insert(1, 10);
+  q.Insert(1, 7);
+  q.Insert(1, 12);
+  EXPECT_EQ(q.ExtractMin().second, 7u);
+  EXPECT_EQ(q.ExtractMin().second, 10u);
+  EXPECT_EQ(q.ExtractMin().second, 12u);
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dijkstra/dijkstra.h"
+#include "gpusim/fleet.h"
+#include "graph/generators.h"
+#include "phast/phast.h"
+#include "phast/prepare.h"
+#include "pq/dary_heap.h"
+#include "util/affinity.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+TEST(Prepare, MappingsAreConsistent) {
+  const GeneratedGraph raw = GenerateCountry({.width = 12, .height = 12});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  ASSERT_GT(net.NumVertices(), 0u);
+  ASSERT_EQ(net.to_prepared.size(), raw.edges.NumVertices());
+  ASSERT_EQ(net.to_original.size(), net.NumVertices());
+  for (VertexId p = 0; p < net.NumVertices(); ++p) {
+    EXPECT_EQ(net.to_prepared[net.to_original[p]], p);
+  }
+  size_t kept = 0;
+  for (const VertexId p : net.to_prepared) {
+    if (p != kInvalidVertex) {
+      EXPECT_LT(p, net.NumVertices());
+      ++kept;
+    }
+  }
+  EXPECT_EQ(kept, net.NumVertices());
+}
+
+TEST(Prepare, DistancesMatchUnpreparedGraph) {
+  // Distances between surviving vertices are invariant under the pipeline.
+  const GeneratedGraph raw = GenerateCountry({.width = 10, .height = 10});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  const Graph original = Graph::FromEdgeList(raw.edges);
+
+  const Phast engine(net.ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const VertexId s_prepared =
+        static_cast<VertexId>(rng.NextBounded(net.NumVertices()));
+    const VertexId s_original = net.to_original[s_prepared];
+    engine.ComputeTree(s_prepared, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(original, s_original);
+    for (VertexId p = 0; p < net.NumVertices(); ++p) {
+      ASSERT_EQ(engine.Distance(ws, p), ref.dist[net.to_original[p]]);
+    }
+  }
+}
+
+TEST(Prepare, OptionsAreHonored) {
+  const GeneratedGraph raw = GenerateCountry({.width = 10, .height = 10});
+  PrepareOptions options;
+  options.restrict_to_largest_scc = false;
+  options.dfs_relabel = false;
+  const PreparedNetwork net = PrepareNetwork(raw.edges, options);
+  EXPECT_EQ(net.NumVertices(), raw.edges.NumVertices());
+  // Identity mapping in this configuration.
+  for (VertexId v = 0; v < net.NumVertices(); ++v) {
+    EXPECT_EQ(net.to_prepared[v], v);
+    EXPECT_EQ(net.to_original[v], v);
+  }
+}
+
+TEST(Prepare, StatsPopulated) {
+  const GeneratedGraph raw = GenerateCountry({.width = 8, .height = 8});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  EXPECT_EQ(net.ch_stats.shortcuts_added, net.ch.num_shortcuts);
+  EXPECT_GT(net.ch_stats.num_levels, 0u);
+}
+
+TEST(Prepare, EmptyGraphThrows) {
+  EXPECT_THROW(PrepareNetwork(EdgeList{}), InputError);
+}
+
+// --------------------------- fleet ------------------------------------------
+
+TEST(Fleet, TwoIdenticalCardsHalveWallTime) {
+  const GeneratedGraph raw = GenerateCountry({.width = 12, .height = 12});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  const Phast engine(net.ch);
+
+  GphastFleet one(engine, {DeviceSpec::Gtx580()});
+  GphastFleet two(engine, {DeviceSpec::Gtx580(), DeviceSpec::Gtx580()});
+  const auto est1 = one.EstimateWorkload(10000, 16);
+  const auto est2 = two.EstimateWorkload(10000, 16);
+  EXPECT_NEAR(est2.wall_seconds, est1.wall_seconds / 2.0,
+              est1.wall_seconds * 0.1);
+  EXPECT_EQ(est2.trees_per_device[0] + est2.trees_per_device[1], 10000u);
+}
+
+TEST(Fleet, HeterogeneousSplitFavorsFasterCard) {
+  const GeneratedGraph raw = GenerateCountry({.width = 12, .height = 12});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  const Phast engine(net.ch);
+  GphastFleet mixed(engine, {DeviceSpec::Gtx580(), DeviceSpec::Gtx480()});
+  const auto est = mixed.EstimateWorkload(10000, 16);
+  EXPECT_GE(est.trees_per_device[0], est.trees_per_device[1]);
+  // Proportional split keeps devices balanced: busy times within 20%.
+  EXPECT_NEAR(est.seconds_per_device[0], est.seconds_per_device[1],
+              0.2 * est.seconds_per_device[0]);
+}
+
+TEST(Fleet, RejectsEmptyAndZeroWork) {
+  const GeneratedGraph raw = GenerateCountry({.width = 8, .height = 8});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  const Phast engine(net.ch);
+  EXPECT_THROW(GphastFleet(engine, {}), InputError);
+  GphastFleet fleet(engine, {DeviceSpec::Gtx580()});
+  EXPECT_THROW(fleet.EstimateWorkload(0, 16), InputError);
+}
+
+// --------------------------- affinity ---------------------------------------
+
+TEST(Affinity, PinAndUnpinSucceedOnLinux) {
+#if defined(__linux__)
+  EXPECT_TRUE(PinCurrentThreadToCore(0));
+  EXPECT_TRUE(UnpinCurrentThread(1));
+#else
+  GTEST_SKIP() << "affinity is Linux-only";
+#endif
+}
+
+TEST(Affinity, RejectsInvalidCore) {
+  EXPECT_FALSE(PinCurrentThreadToCore(-1));
+}
+
+}  // namespace
+}  // namespace phast

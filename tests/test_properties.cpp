@@ -1,0 +1,240 @@
+// Randomized property tests: for every graph family x seed combination, the
+// whole algorithm stack must agree with reference Dijkstra and satisfy its
+// structural invariants. These are the repository's broadest correctness
+// sweep; each case builds its own (small) instance.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/contraction.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "phast/phast.h"
+#include "phast/tree.h"
+#include "pq/dary_heap.h"
+#include "pq/dial_buckets.h"
+#include "pq/multilevel_buckets.h"
+#include "pq/radix_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+enum class Family { kCountryTime, kCountryDist, kGeometric, kGnm, kGnmZero };
+
+struct PropertyCase {
+  Family family;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const char* family = "";
+  switch (info.param.family) {
+    case Family::kCountryTime:
+      family = "country_time";
+      break;
+    case Family::kCountryDist:
+      family = "country_dist";
+      break;
+    case Family::kGeometric:
+      family = "geometric";
+      break;
+    case Family::kGnm:
+      family = "gnm";
+      break;
+    case Family::kGnmZero:
+      family = "gnm_zero_weights";
+      break;
+  }
+  return std::string(family) + "_seed" + std::to_string(info.param.seed);
+}
+
+EdgeList MakeFamily(const PropertyCase& c) {
+  switch (c.family) {
+    case Family::kCountryTime:
+    case Family::kCountryDist: {
+      CountryParams params;
+      params.width = 9;
+      params.height = 9;
+      params.seed = c.seed;
+      params.metric = c.family == Family::kCountryTime
+                          ? Metric::kTravelTime
+                          : Metric::kTravelDistance;
+      return GenerateCountry(params).edges;
+    }
+    case Family::kGeometric:
+      return GenerateRandomGeometric(120, 0.15, c.seed).edges;
+    case Family::kGnm:
+      return GenerateGnm(90, 360, 70, c.seed);
+    case Family::kGnmZero: {
+      // Includes zero-weight arcs: exercises the saturating arithmetic and
+      // bucket queues at the boundary.
+      EdgeList edges = GenerateGnm(60, 240, 5, c.seed);
+      for (Edge& e : edges.MutableEdges()) {
+        e.weight = e.weight <= 1 ? 0 : e.weight;
+      }
+      return edges;
+    }
+  }
+  return {};
+}
+
+class StackProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    graph_ = Graph::FromEdgeList(MakeFamily(GetParam()));
+    ch_ = BuildContractionHierarchy(graph_);
+  }
+
+  Graph graph_;
+  CHData ch_;
+};
+
+TEST_P(StackProperties, PhastEqualsDijkstraEverySource) {
+  const Phast engine(ch_);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  // Every ~7th source keeps the sweep fast while covering the graph.
+  for (VertexId s = 0; s < graph_.NumVertices(); s += 7) {
+    engine.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph_, s);
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v])
+          << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST_P(StackProperties, AllQueuesAgree) {
+  const Weight c = MaxArcWeight(graph_);
+  Rng rng(GetParam().seed);
+  for (int i = 0; i < 3; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(graph_.NumVertices()));
+    const SsspResult binary = Dijkstra<BinaryHeap>(graph_, s);
+    EXPECT_EQ(binary.dist, Dijkstra<FourHeap>(graph_, s).dist);
+    EXPECT_EQ(binary.dist, (Dijkstra<DialBuckets>(graph_, s, c).dist));
+    EXPECT_EQ(binary.dist, Dijkstra<RadixHeap>(graph_, s).dist);
+    EXPECT_EQ(binary.dist, Dijkstra<MultiLevelBuckets>(graph_, s).dist);
+  }
+}
+
+TEST_P(StackProperties, ChQueryMatchesAndUnpacksValidPaths) {
+  CHQuery query(ch_);
+  Rng rng(GetParam().seed + 1);
+  for (int i = 0; i < 10; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(graph_.NumVertices()));
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph_, s);
+    const VertexId t =
+        static_cast<VertexId>(rng.NextBounded(graph_.NumVertices()));
+    const PointToPointResult r = query.Query(s, t, /*want_path=*/true);
+    ASSERT_EQ(r.dist, ref.dist[t]) << "s=" << s << " t=" << t;
+    if (r.dist == kInfWeight) continue;
+    // The unpacked path must consist of real arcs summing to the distance.
+    Weight total = 0;
+    for (size_t j = 0; j + 1 < r.path.size(); ++j) {
+      Weight best = kInfWeight;
+      for (const Arc& a : graph_.ArcsOf(r.path[j])) {
+        if (a.other == r.path[j + 1]) best = std::min(best, a.weight);
+      }
+      ASSERT_NE(best, kInfWeight);
+      total += best;
+    }
+    ASSERT_EQ(total, r.dist);
+  }
+}
+
+TEST_P(StackProperties, HierarchyInvariants) {
+  // Rank bijection.
+  std::vector<bool> seen(ch_.num_vertices, false);
+  for (const uint32_t r : ch_.rank) {
+    ASSERT_LT(r, ch_.num_vertices);
+    ASSERT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+  // Direction sets respect ranks and levels (Lemma 4.1).
+  for (const CHArc& a : ch_.up_arcs) {
+    ASSERT_LT(ch_.rank[a.tail], ch_.rank[a.head]);
+    ASSERT_LT(ch_.level[a.tail], ch_.level[a.head]);
+  }
+  for (const CHArc& a : ch_.down_arcs) {
+    ASSERT_GT(ch_.rank[a.tail], ch_.rank[a.head]);
+    ASSERT_GT(ch_.level[a.tail], ch_.level[a.head]);
+  }
+  // Shortcut `via` vertices rank below both endpoints (unpacking relies on
+  // this).
+  for (const CHArc& a : ch_.up_arcs) {
+    if (a.IsShortcut()) {
+      ASSERT_LT(ch_.rank[a.via], ch_.rank[a.tail]);
+      ASSERT_LT(ch_.rank[a.via], ch_.rank[a.head]);
+    }
+  }
+}
+
+TEST_P(StackProperties, MultiTreeKernelsAgreeWithSingle) {
+  Phast::Options simd;
+  simd.simd = SimdMode::kAuto;
+  const Phast engine(ch_, simd);
+  constexpr uint32_t k = 8;
+  Phast::Workspace multi = engine.MakeWorkspace(k);
+  Phast::Workspace single = engine.MakeWorkspace(1);
+  Rng rng(GetParam().seed + 2);
+  std::vector<VertexId> sources(k);
+  for (auto& s : sources) {
+    s = static_cast<VertexId>(rng.NextBounded(graph_.NumVertices()));
+  }
+  engine.ComputeTrees(sources, multi);
+  for (uint32_t i = 0; i < k; ++i) {
+    engine.ComputeTree(sources[i], single);
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(multi, v, i), engine.Distance(single, v));
+    }
+  }
+}
+
+TEST_P(StackProperties, RelabelingInvariance) {
+  // Distances are invariant under any vertex relabeling.
+  const EdgeList edges = graph_.ToEdgeList();
+  const Permutation perm =
+      RandomPermutation(graph_.NumVertices(), GetParam().seed + 3);
+  const Graph relabeled = Graph::FromEdgeList(ApplyPermutation(edges, perm));
+  const CHData relabeled_ch = BuildContractionHierarchy(relabeled);
+  const Phast engine(ch_);
+  const Phast relabeled_engine(relabeled_ch);
+  Phast::Workspace ws = engine.MakeWorkspace();
+  Phast::Workspace rws = relabeled_engine.MakeWorkspace();
+  Rng rng(GetParam().seed + 4);
+  for (int i = 0; i < 3; ++i) {
+    const VertexId s =
+        static_cast<VertexId>(rng.NextBounded(graph_.NumVertices()));
+    engine.ComputeTree(s, ws);
+    relabeled_engine.ComputeTree(perm[s], rws);
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), relabeled_engine.Distance(rws, perm[v]));
+    }
+  }
+}
+
+std::vector<PropertyCase> AllCases() {
+  std::vector<PropertyCase> cases;
+  for (const Family family :
+       {Family::kCountryTime, Family::kCountryDist, Family::kGeometric,
+        Family::kGnm, Family::kGnmZero}) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      cases.push_back({family, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, StackProperties,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace phast

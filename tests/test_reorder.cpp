@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "util/error.h"
+
+namespace phast {
+namespace {
+
+TEST(Permutation, IdentityIsPermutation) {
+  const Permutation p = IdentityPermutation(10);
+  EXPECT_TRUE(IsPermutation(p));
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(p[v], v);
+}
+
+TEST(Permutation, RandomIsPermutation) {
+  const Permutation p = RandomPermutation(100, 42);
+  EXPECT_TRUE(IsPermutation(p));
+  EXPECT_NE(p, IdentityPermutation(100));  // astronomically unlikely
+}
+
+TEST(Permutation, RandomDeterministicBySeed) {
+  EXPECT_EQ(RandomPermutation(50, 1), RandomPermutation(50, 1));
+  EXPECT_NE(RandomPermutation(50, 1), RandomPermutation(50, 2));
+}
+
+TEST(Permutation, DetectsNonPermutations) {
+  EXPECT_FALSE(IsPermutation({0, 0, 1}));
+  EXPECT_FALSE(IsPermutation({0, 3, 1}));
+  EXPECT_TRUE(IsPermutation({}));
+  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation p = RandomPermutation(64, 9);
+  const Permutation inv = InvertPermutation(p);
+  for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(inv[p[v]], v);
+}
+
+TEST(Dfs, PreorderOnPath) {
+  const Graph g = Graph::FromEdgeList(GeneratePath(5));
+  const Permutation p = DfsPermutation(g, 0);
+  // From vertex 0 the only DFS order on a path is 0,1,2,3,4.
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(p[v], v);
+}
+
+TEST(Dfs, CoversDisconnectedGraph) {
+  EdgeList edges(6);
+  edges.AddBidirectional(0, 1, 1);
+  edges.AddBidirectional(3, 4, 1);  // 2 and 5 isolated
+  const Graph g = Graph::FromEdgeList(edges);
+  const Permutation p = DfsPermutation(g, 3);
+  EXPECT_TRUE(IsPermutation(p));
+  EXPECT_EQ(p[3], 0u);  // root numbered first
+  EXPECT_EQ(p[4], 1u);
+}
+
+TEST(Dfs, NeighborsGetNearbyIds) {
+  const Graph g = Graph::FromEdgeList(GenerateGrid(10, 10));
+  const Permutation p = DfsPermutation(g, 0);
+  EXPECT_TRUE(IsPermutation(p));
+  // DFS locality: average |id(u) - id(v)| over edges far below random (~n/3).
+  uint64_t total_gap = 0;
+  uint64_t arcs = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Arc& a : g.ArcsOf(v)) {
+      total_gap += p[v] > p[a.other] ? p[v] - p[a.other] : p[a.other] - p[v];
+      ++arcs;
+    }
+  }
+  EXPECT_LT(total_gap / arcs, 20u);
+}
+
+TEST(Dfs, RejectsBadRoot) {
+  const Graph g = Graph::FromEdgeList(GeneratePath(3));
+  EXPECT_THROW(DfsPermutation(g, 10), InputError);
+}
+
+TEST(LevelPerm, SortsDescendingByLevel) {
+  const std::vector<uint32_t> levels = {0, 2, 1, 2, 0};
+  const Permutation p = LevelPermutation(levels);
+  EXPECT_TRUE(IsPermutation(p));
+  // New ids: level-2 vertices first (1 then 3), then level 1 (2), then
+  // level 0 (0, 4).
+  EXPECT_EQ(p[1], 0u);
+  EXPECT_EQ(p[3], 1u);
+  EXPECT_EQ(p[2], 2u);
+  EXPECT_EQ(p[0], 3u);
+  EXPECT_EQ(p[4], 4u);
+}
+
+TEST(LevelPerm, StableWithinLevel) {
+  const std::vector<uint32_t> levels(8, 3);  // all same level
+  const Permutation p = LevelPermutation(levels);
+  EXPECT_EQ(p, IdentityPermutation(8));
+}
+
+TEST(ApplyPerm, RelabelsEndpoints) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 7);
+  edges.AddArc(1, 2, 8);
+  const Permutation p = {2, 0, 1};
+  const EdgeList out = ApplyPermutation(edges, p);
+  ASSERT_EQ(out.NumArcs(), 2u);
+  EXPECT_EQ(out.Edges()[0], (Edge{2, 0, 7}));
+  EXPECT_EQ(out.Edges()[1], (Edge{0, 1, 8}));
+}
+
+TEST(ApplyPerm, SizeMismatchThrows) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 7);
+  EXPECT_THROW(ApplyPermutation(edges, {0, 1}), InputError);
+}
+
+TEST(ApplyPerm, ValuesFollowVertices) {
+  const std::vector<int> values = {10, 20, 30};
+  const Permutation p = {2, 0, 1};
+  const std::vector<int> out = ApplyPermutationToValues(values, p);
+  EXPECT_EQ(out, (std::vector<int>{20, 30, 10}));
+}
+
+TEST(ApplyPerm, GraphStructurePreserved) {
+  // Relabeling must preserve degrees and arc multiset up to renaming.
+  const EdgeList edges = GenerateGrid(5, 5);
+  const Permutation p = RandomPermutation(25, 3);
+  const Graph original = Graph::FromEdgeList(edges);
+  const Graph relabeled = Graph::FromEdgeList(ApplyPermutation(edges, p));
+  for (VertexId v = 0; v < 25; ++v) {
+    EXPECT_EQ(original.Degree(v), relabeled.Degree(p[v]));
+  }
+  EXPECT_EQ(original.NumArcs(), relabeled.NumArcs());
+}
+
+}  // namespace
+}  // namespace phast

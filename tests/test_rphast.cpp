@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dijkstra/dijkstra.h"
+#include "phast/phast.h"
+#include "phast/rphast.h"
+#include "pq/dary_heap.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+TEST(RPhast, DistancesMatchDijkstraForRandomTargets) {
+  const Graph& g = CachedCountry(14);
+  const Phast engine(CachedCountryCH(14));
+  Rng rng(3);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<VertexId> targets(20);
+    for (auto& t : targets) {
+      t = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    }
+    const RPhast rphast(engine, targets);
+    RPhast::Workspace ws = rphast.MakeWorkspace();
+    for (int q = 0; q < 4; ++q) {
+      const VertexId s =
+          static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      rphast.ComputeTree(s, ws);
+      const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        ASSERT_EQ(rphast.DistanceToTarget(ws, i), ref.dist[targets[i]])
+            << "s=" << s << " target=" << targets[i];
+      }
+    }
+  }
+}
+
+TEST(RPhast, SingleTarget) {
+  const Graph& g = CachedCountry(10);
+  const Phast engine(CachedCountryCH(10));
+  const std::vector<VertexId> targets = {g.NumVertices() / 2};
+  const RPhast rphast(engine, targets);
+  RPhast::Workspace ws = rphast.MakeWorkspace();
+  rphast.ComputeTree(0, ws);
+  const SsspResult ref = Dijkstra<BinaryHeap>(g, 0);
+  EXPECT_EQ(rphast.DistanceToTarget(ws, 0), ref.dist[targets[0]]);
+  // One target restricts the sweep to a fraction of the graph.
+  EXPECT_LT(rphast.RestrictedVertices(), g.NumVertices());
+}
+
+TEST(RPhast, AllVerticesAsTargetsEqualsFullPhast) {
+  const Graph& g = CachedCountry(8);
+  const Phast engine(CachedCountryCH(8));
+  std::vector<VertexId> all(g.NumVertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  const RPhast rphast(engine, all);
+  EXPECT_EQ(rphast.RestrictedVertices(), g.NumVertices());
+
+  RPhast::Workspace rws = rphast.MakeWorkspace();
+  Phast::Workspace pws = engine.MakeWorkspace();
+  rphast.ComputeTree(5, rws);
+  engine.ComputeTree(5, pws);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(rphast.DistanceToTarget(rws, v), engine.Distance(pws, v));
+  }
+}
+
+TEST(RPhast, RepeatedQueriesFromSameWorkspace) {
+  const Graph& g = CachedCountry(10);
+  const Phast engine(CachedCountryCH(10));
+  const std::vector<VertexId> targets = {1, 7, g.NumVertices() - 1};
+  const RPhast rphast(engine, targets);
+  RPhast::Workspace ws = rphast.MakeWorkspace();
+  for (const VertexId s : {VertexId{0}, VertexId{50}, VertexId{0}}) {
+    rphast.ComputeTree(s, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      ASSERT_EQ(rphast.DistanceToTarget(ws, i), ref.dist[targets[i]]);
+    }
+  }
+}
+
+TEST(RPhast, RestrictionShrinksWithLocalizedTargets) {
+  const Graph& g = CachedCountry(20);
+  const Phast engine(CachedCountryCH(20));
+  // A clustered target set (consecutive ids are spatially close after DFS
+  // numbering of the generator's grid order).
+  std::vector<VertexId> cluster(16);
+  std::iota(cluster.begin(), cluster.end(), VertexId{10});
+  const RPhast small(engine, cluster);
+
+  std::vector<VertexId> spread;
+  for (VertexId v = 0; v < g.NumVertices(); v += g.NumVertices() / 64) {
+    spread.push_back(v);
+  }
+  const RPhast large(engine, spread);
+
+  EXPECT_LT(small.RestrictedVertices(), g.NumVertices() / 2);
+  EXPECT_LE(small.RestrictedVertices(), large.RestrictedVertices());
+}
+
+TEST(RPhast, UnreachableTargetsGiveInfinity) {
+  // Two disconnected components; targets in the other one.
+  EdgeList edges(6);
+  edges.AddBidirectional(0, 1, 2);
+  edges.AddBidirectional(1, 2, 3);
+  edges.AddBidirectional(3, 4, 1);
+  edges.AddBidirectional(4, 5, 1);
+  const Graph g = Graph::FromEdgeList(edges);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> targets = {4, 5};
+  const RPhast rphast(engine, targets);
+  RPhast::Workspace ws = rphast.MakeWorkspace();
+  rphast.ComputeTree(0, ws);
+  EXPECT_EQ(rphast.DistanceToTarget(ws, 0), kInfWeight);
+  EXPECT_EQ(rphast.DistanceToTarget(ws, 1), kInfWeight);
+  rphast.ComputeTree(3, ws);
+  EXPECT_EQ(rphast.DistanceToTarget(ws, 0), 1u);
+  EXPECT_EQ(rphast.DistanceToTarget(ws, 1), 2u);
+}
+
+TEST(RPhast, RejectsBadConfigurations) {
+  const Phast engine(CachedCountryCH(8));
+  EXPECT_THROW(RPhast(engine, {}), InputError);
+  const std::vector<VertexId> bad = {engine.NumVertices() + 5};
+  EXPECT_THROW(RPhast(engine, bad), InputError);
+
+  Phast::Options no_marks;
+  no_marks.implicit_init = false;
+  const Phast explicit_engine(CachedCountryCH(8), no_marks);
+  const std::vector<VertexId> ok = {0};
+  EXPECT_THROW(RPhast(explicit_engine, ok), InputError);
+}
+
+TEST(RPhast, DuplicateTargetsAllowed) {
+  const Graph& g = CachedCountry(8);
+  const Phast engine(CachedCountryCH(8));
+  const std::vector<VertexId> targets = {3, 3, 3};
+  const RPhast rphast(engine, targets);
+  RPhast::Workspace ws = rphast.MakeWorkspace();
+  rphast.ComputeTree(1, ws);
+  const SsspResult ref = Dijkstra<BinaryHeap>(g, 1);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rphast.DistanceToTarget(ws, i), ref.dist[3]);
+  }
+}
+
+}  // namespace
+}  // namespace phast

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/search_graph.h"
+#include "test_support.h"
+
+namespace phast {
+namespace {
+
+std::vector<CHArc> SampleArcs() {
+  return {
+      CHArc{0, 2, 5, kInvalidVertex},
+      CHArc{0, 3, 7, 1},  // shortcut via 1
+      CHArc{2, 3, 4, kInvalidVertex},
+      CHArc{1, 3, 9, kInvalidVertex},
+  };
+}
+
+TEST(SearchGraph, ForwardKeysByTail) {
+  const SearchGraph g = SearchGraph::Forward(4, SampleArcs());
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumArcs(), 4u);
+  ASSERT_EQ(g.ArcsOf(0).size(), 2u);
+  EXPECT_EQ(g.ArcsOf(0)[0], (Arc{2, 5}));
+  EXPECT_EQ(g.ArcsOf(0)[1], (Arc{3, 7}));
+  EXPECT_TRUE(g.ArcsOf(3).empty());
+}
+
+TEST(SearchGraph, ReverseKeysByHead) {
+  const SearchGraph g = SearchGraph::Reverse(4, SampleArcs());
+  ASSERT_EQ(g.ArcsOf(3).size(), 3u);  // three arcs end at 3
+  // Sorted by the far endpoint (the tail).
+  EXPECT_EQ(g.ArcsOf(3)[0].other, 0u);
+  EXPECT_EQ(g.ArcsOf(3)[1].other, 1u);
+  EXPECT_EQ(g.ArcsOf(3)[2].other, 2u);
+  EXPECT_TRUE(g.ArcsOf(0).empty());
+}
+
+TEST(SearchGraph, ViaTravelsWithArc) {
+  const SearchGraph g = SearchGraph::Forward(4, SampleArcs());
+  Weight weight = 0;
+  VertexId via = 0;
+  ASSERT_TRUE(g.FindArc(0, 3, &weight, &via));
+  EXPECT_EQ(weight, 7u);
+  EXPECT_EQ(via, 1u);
+  ASSERT_TRUE(g.FindArc(0, 2, &weight, &via));
+  EXPECT_EQ(via, kInvalidVertex);
+}
+
+TEST(SearchGraph, FindArcMissesCleanly) {
+  const SearchGraph g = SearchGraph::Forward(4, SampleArcs());
+  Weight weight = 0;
+  VertexId via = 0;
+  EXPECT_FALSE(g.FindArc(3, 0, &weight, &via));
+  EXPECT_FALSE(g.FindArc(0, 1, &weight, &via));
+  EXPECT_FALSE(g.FindArc(1, 2, &weight, &via));
+}
+
+TEST(SearchGraph, FindArcPicksCheapestParallel) {
+  std::vector<CHArc> arcs = {
+      CHArc{0, 1, 9, kInvalidVertex},
+      CHArc{0, 1, 3, 2},
+      CHArc{0, 1, 6, kInvalidVertex},
+  };
+  const SearchGraph g = SearchGraph::Forward(2, arcs);
+  Weight weight = 0;
+  VertexId via = 0;
+  ASSERT_TRUE(g.FindArc(0, 1, &weight, &via));
+  EXPECT_EQ(weight, 3u);
+  EXPECT_EQ(via, 2u);
+}
+
+TEST(SearchGraph, EmptyGraph) {
+  const SearchGraph g = SearchGraph::Forward(3, {});
+  EXPECT_EQ(g.NumArcs(), 0u);
+  Weight weight = 0;
+  VertexId via = 0;
+  EXPECT_FALSE(g.FindArc(0, 1, &weight, &via));
+}
+
+TEST(SearchGraph, LargeBinarySearchConsistency) {
+  // Dense fan-out stresses the per-vertex binary search.
+  std::vector<CHArc> arcs;
+  for (VertexId head = 1; head < 200; head += 2) {
+    arcs.push_back(CHArc{0, head, head, kInvalidVertex});
+  }
+  const SearchGraph g = SearchGraph::Forward(200, arcs);
+  Weight weight = 0;
+  VertexId via = 0;
+  for (VertexId head = 1; head < 200; ++head) {
+    const bool expected = head % 2 == 1;
+    EXPECT_EQ(g.FindArc(0, head, &weight, &via), expected) << head;
+    if (expected) {
+      EXPECT_EQ(weight, head);
+    }
+  }
+}
+
+TEST(SearchGraph, MatchesChDataOnRealHierarchy) {
+  const CHData& ch = phast::testing::CachedCountryCH(10);
+  const SearchGraph up = SearchGraph::Forward(ch.num_vertices, ch.up_arcs);
+  const SearchGraph down_rev =
+      SearchGraph::Reverse(ch.num_vertices, ch.down_arcs);
+  EXPECT_EQ(up.NumArcs(), ch.up_arcs.size());
+  EXPECT_EQ(down_rev.NumArcs(), ch.down_arcs.size());
+  // Every up arc must be findable with its exact weight or cheaper.
+  for (size_t i = 0; i < std::min<size_t>(ch.up_arcs.size(), 500); ++i) {
+    const CHArc& a = ch.up_arcs[i];
+    Weight weight = 0;
+    VertexId via = 0;
+    ASSERT_TRUE(up.FindArc(a.tail, a.head, &weight, &via));
+    EXPECT_LE(weight, a.weight);
+  }
+}
+
+}  // namespace
+}  // namespace phast

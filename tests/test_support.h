@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared fixtures for the heavier test binaries: generated road networks
+// and their contraction hierarchies are cached per process so that many
+// TESTs can reuse one preprocessing run.
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "ch/ch_data.h"
+#include "ch/contraction.h"
+#include "graph/connectivity.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+
+namespace phast::testing {
+
+/// Largest SCC of a synthetic country, cached by (side, seed, metric).
+inline const Graph& CachedCountry(uint32_t side, uint64_t seed = 1,
+                                  Metric metric = Metric::kTravelTime) {
+  using Key = std::tuple<uint32_t, uint64_t, Metric>;
+  static std::map<Key, std::unique_ptr<Graph>> cache;
+  auto& slot = cache[{side, seed, metric}];
+  if (!slot) {
+    CountryParams params;
+    params.width = side;
+    params.height = side;
+    params.seed = seed;
+    params.metric = metric;
+    const GeneratedGraph raw = GenerateCountry(params);
+    slot = std::make_unique<Graph>(Graph::FromEdgeList(
+        LargestStronglyConnectedComponent(raw.edges).edges));
+  }
+  return *slot;
+}
+
+/// Contraction hierarchy of CachedCountry, cached alongside it.
+inline const CHData& CachedCountryCH(uint32_t side, uint64_t seed = 1,
+                                     Metric metric = Metric::kTravelTime) {
+  using Key = std::tuple<uint32_t, uint64_t, Metric>;
+  static std::map<Key, std::unique_ptr<CHData>> cache;
+  auto& slot = cache[{side, seed, metric}];
+  if (!slot) {
+    slot = std::make_unique<CHData>(
+        BuildContractionHierarchy(CachedCountry(side, seed, metric)));
+  }
+  return *slot;
+}
+
+}  // namespace phast::testing

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/aligned.h"
+#include "util/bit_vector.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/omp_env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace phast {
+namespace {
+
+// --------------------------- Rng ------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.NextInRange(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  Rng rng(11);
+  Shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// --------------------------- BitVector ------------------------------------
+
+TEST(BitVector, StartsCleared) {
+  BitVector bits(100);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.Get(i));
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_FALSE(bits.AnySet());
+}
+
+TEST(BitVector, SetAndClear) {
+  BitVector bits(130);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(129));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Get(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+}
+
+TEST(BitVector, ClearAll) {
+  BitVector bits(200, true);
+  EXPECT_EQ(bits.Count(), 200u);
+  bits.ClearAll();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVector, AssignDispatches) {
+  BitVector bits(10);
+  bits.Assign(3, true);
+  EXPECT_TRUE(bits.Get(3));
+  bits.Assign(3, false);
+  EXPECT_FALSE(bits.Get(3));
+}
+
+TEST(BitVector, ResizePreservesNothingButSize) {
+  BitVector bits(10, true);
+  bits.Resize(64 * 3 + 5);
+  EXPECT_EQ(bits.Size(), 64u * 3 + 5);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+// --------------------------- AlignedVector --------------------------------
+
+TEST(AlignedVector, DataIs64ByteAligned) {
+  AlignedVector<uint32_t> v(1000, 7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+  EXPECT_EQ(v[999], 7u);
+}
+
+TEST(AlignedVector, GrowKeepsAlignment) {
+  AlignedVector<uint32_t> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(static_cast<uint32_t>(i));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+  EXPECT_EQ(v[9999], 9999u);
+}
+
+// --------------------------- Stats ----------------------------------------
+
+TEST(Stats, BasicMoments) {
+  StatsAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Sum(), 10.0);
+  EXPECT_NEAR(acc.StdDev(), 1.118, 1e-3);
+}
+
+TEST(Stats, MedianAndPercentiles) {
+  StatsAccumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.Add(i);
+  EXPECT_NEAR(acc.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(acc.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(acc.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(Stats, SingleSample) {
+  StatsAccumulator acc;
+  acc.Add(42.0);
+  EXPECT_DOUBLE_EQ(acc.Median(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 0.0);
+}
+
+TEST(Stats, ThrowsOnEmpty) {
+  StatsAccumulator acc;
+  EXPECT_THROW((void)acc.Mean(), std::logic_error);
+  EXPECT_THROW((void)acc.Percentile(50), std::logic_error);
+}
+
+// --------------------------- Timer ----------------------------------------
+
+TEST(Timer, MonotoneNonNegative) {
+  Timer t;
+  const double a = t.ElapsedSec();
+  const double b = t.ElapsedSec();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopWatch, AccumulatesIntervals) {
+  StopWatch w;
+  w.Start();
+  w.Stop();
+  const double first = w.TotalSec();
+  w.Start();
+  w.Stop();
+  EXPECT_GE(w.TotalSec(), first);
+  w.Reset();
+  EXPECT_EQ(w.TotalSec(), 0.0);
+}
+
+// --------------------------- CommandLine ----------------------------------
+
+TEST(CommandLine, ParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog", "--n=100", "--verbose", "input.gr",
+                        "--ratio=0.5"};
+  CommandLine cli(5, argv);
+  EXPECT_EQ(cli.GetInt("n", 0), 100);
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("ratio", 0.0), 0.5);
+  ASSERT_EQ(cli.Positional().size(), 1u);
+  EXPECT_EQ(cli.Positional()[0], "input.gr");
+}
+
+TEST(CommandLine, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  CommandLine cli(1, argv);
+  EXPECT_EQ(cli.GetInt("missing", 7), 7);
+  EXPECT_EQ(cli.GetString("missing", "x"), "x");
+  EXPECT_FALSE(cli.Has("missing"));
+}
+
+TEST(CommandLine, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CommandLine cli(2, argv);
+  EXPECT_THROW((void)cli.GetInt("n", 0), InputError);
+}
+
+TEST(CommandLine, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+  CommandLine cli(5, argv);
+  EXPECT_TRUE(cli.GetBool("a", false));
+  EXPECT_FALSE(cli.GetBool("b", true));
+  EXPECT_TRUE(cli.GetBool("c", false));
+  EXPECT_FALSE(cli.GetBool("d", true));
+}
+
+// --------------------------- SaturatingAdd --------------------------------
+
+TEST(SaturatingAdd, NormalAndSaturated) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3u);
+  EXPECT_EQ(SaturatingAdd(kInfWeight, 0), kInfWeight);
+  EXPECT_EQ(SaturatingAdd(kInfWeight, 5), kInfWeight);
+  EXPECT_EQ(SaturatingAdd(kInfWeight - 1, 1), kInfWeight);
+  EXPECT_EQ(SaturatingAdd(kInfWeight - 1, kInfWeight - 1), kInfWeight);
+  EXPECT_EQ(SaturatingAdd(0, 0), 0u);
+}
+
+// --------------------------- OpenMP env ------------------------------------
+
+TEST(OmpEnv, ScopedNumThreadsRestores) {
+  const int before = MaxThreads();
+  {
+    ScopedNumThreads scope(1);
+    EXPECT_EQ(MaxThreads(), 1);
+  }
+  EXPECT_EQ(MaxThreads(), before);
+}
+
+}  // namespace
+}  // namespace phast

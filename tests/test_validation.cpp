@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/validation.h"
+
+namespace phast {
+namespace {
+
+TEST(Validation, CleanGeneratedGraph) {
+  const GeneratedGraph g = GenerateCountry({.width = 10, .height = 10});
+  const GraphDiagnostics d = DiagnoseGraph(g.edges);
+  EXPECT_EQ(d.num_vertices, 100u);
+  EXPECT_EQ(d.num_arcs, g.edges.NumArcs());
+  EXPECT_EQ(d.self_loops, 0u);
+  EXPECT_EQ(d.parallel_arcs, 0u);
+  EXPECT_EQ(d.zero_weight_arcs, 0u);
+  EXPECT_EQ(d.asymmetric_arcs, 0u);  // generator emits symmetric arcs
+  EXPECT_TRUE(d.CleanForPipeline());
+  EXPECT_NE(d.Summary().find("[clean]"), std::string::npos);
+}
+
+TEST(Validation, DetectsSelfLoops) {
+  EdgeList edges(3);
+  edges.AddArc(1, 1, 5);
+  edges.AddArc(0, 2, 3);
+  const GraphDiagnostics d = DiagnoseGraph(edges);
+  EXPECT_EQ(d.self_loops, 1u);
+  EXPECT_FALSE(d.CleanForPipeline());
+}
+
+TEST(Validation, DetectsParallelArcs) {
+  EdgeList edges(2);
+  edges.AddArc(0, 1, 5);
+  edges.AddArc(0, 1, 7);
+  const GraphDiagnostics d = DiagnoseGraph(edges);
+  EXPECT_EQ(d.parallel_arcs, 1u);
+  EXPECT_FALSE(d.CleanForPipeline());
+}
+
+TEST(Validation, DetectsZeroWeightsAndAsymmetry) {
+  EdgeList edges(3);
+  edges.AddArc(0, 1, 0);  // zero weight, no reverse
+  edges.AddBidirectional(1, 2, 4);
+  const GraphDiagnostics d = DiagnoseGraph(edges);
+  EXPECT_EQ(d.zero_weight_arcs, 1u);
+  EXPECT_EQ(d.asymmetric_arcs, 1u);
+  EXPECT_EQ(d.max_weight, 4u);
+}
+
+TEST(Validation, CountsIsolatedAndDegrees) {
+  EdgeList edges(5);
+  edges.AddArc(0, 1, 2);
+  edges.AddArc(0, 2, 2);
+  edges.AddArc(0, 3, 2);
+  const GraphDiagnostics d = DiagnoseGraph(edges);
+  EXPECT_EQ(d.max_out_degree, 3u);
+  EXPECT_EQ(d.isolated_vertices, 1u);  // vertex 4
+}
+
+TEST(Validation, NormalizeProducesCleanGraph) {
+  EdgeList edges(3);
+  edges.AddArc(0, 0, 1);
+  edges.AddArc(0, 1, 5);
+  edges.AddArc(0, 1, 3);
+  edges.AddArc(1, 0, 3);
+  edges.Normalize();
+  const GraphDiagnostics d = DiagnoseGraph(edges);
+  EXPECT_EQ(d.self_loops, 0u);
+  EXPECT_EQ(d.parallel_arcs, 0u);
+  EXPECT_TRUE(d.CleanForPipeline());
+  EXPECT_EQ(d.asymmetric_arcs, 0u);  // kept 0->1 (3) and 1->0 (3)
+}
+
+TEST(Validation, EmptyGraph) {
+  const GraphDiagnostics d = DiagnoseGraph(EdgeList{});
+  EXPECT_EQ(d.num_vertices, 0u);
+  EXPECT_TRUE(d.CleanForPipeline());
+}
+
+}  // namespace
+}  // namespace phast
