@@ -6,6 +6,7 @@
 
 #include "graph/types.h"
 #include "phast/phast.h"
+#include "util/error.h"
 #include "util/omp_env.h"
 
 namespace phast {
@@ -33,6 +34,8 @@ template <typename Visitor>
 void ComputeManyTrees(const Phast& engine, std::span<const VertexId> sources,
                       const BatchOptions& options, Visitor&& visit) {
   const uint32_t k = options.trees_per_sweep;
+  Require(k >= 1, "ComputeManyTrees needs trees_per_sweep >= 1");
+  if (sources.empty()) return;
   const int64_t num_batches =
       static_cast<int64_t>((sources.size() + k - 1) / k);
 

@@ -30,6 +30,14 @@ struct SweepArgs {
   /// nullptr when labels were explicitly initialized.
   const uint64_t* marks = nullptr;
   /// Parent (arc tail, label space) per label; nullptr if not requested.
+  ///
+  /// INVARIANT (implicit-init mode): when a sweep kernel resets the labels
+  /// of an unmarked vertex to +infinity, it does NOT reset the vertex's
+  /// parent slots — they keep whatever the previous batch wrote. A parent
+  /// slot is therefore only meaningful where labels[v*k + tree] != inf;
+  /// every reader must check the label first (Phast::ParentInGPlus does).
+  /// Kernels rely on this asymmetry to keep the unmarked-vertex fast path
+  /// a pure label fill.
   VertexId* parents = nullptr;
 
   [[nodiscard]] bool Marked(VertexId v) const {

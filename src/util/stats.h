@@ -3,43 +3,48 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <stdexcept>
 #include <vector>
+
+#include "util/error.h"
 
 namespace phast {
 
 /// Online accumulator for min/max/mean/stddev plus retained samples for
 /// percentile queries. Used by the benchmark harness to report per-tree
 /// timing distributions.
+///
+/// Percentile queries sort lazily and cache the sorted copy; Add()
+/// invalidates the cache. Not thread-safe (the cache mutates under const).
 class StatsAccumulator {
  public:
   void Add(double x) {
     samples_.push_back(x);
     sum_ += x;
     sum_sq_ += x * x;
+    sorted_valid_ = false;
   }
 
   [[nodiscard]] size_t Count() const { return samples_.size(); }
   [[nodiscard]] double Sum() const { return sum_; }
 
   [[nodiscard]] double Mean() const {
-    Require(!samples_.empty());
+    Require(!samples_.empty(), "StatsAccumulator::Mean needs samples");
     return sum_ / static_cast<double>(samples_.size());
   }
 
   [[nodiscard]] double Min() const {
-    Require(!samples_.empty());
-    return *std::min_element(samples_.begin(), samples_.end());
+    Require(!samples_.empty(), "StatsAccumulator::Min needs samples");
+    return SortedSamples().front();
   }
 
   [[nodiscard]] double Max() const {
-    Require(!samples_.empty());
-    return *std::max_element(samples_.begin(), samples_.end());
+    Require(!samples_.empty(), "StatsAccumulator::Max needs samples");
+    return SortedSamples().back();
   }
 
   /// Population standard deviation.
   [[nodiscard]] double StdDev() const {
-    Require(!samples_.empty());
+    Require(!samples_.empty(), "StatsAccumulator::StdDev needs samples");
     const double m = Mean();
     const double var = sum_sq_ / static_cast<double>(samples_.size()) - m * m;
     return std::sqrt(std::max(0.0, var));
@@ -47,9 +52,8 @@ class StatsAccumulator {
 
   /// Percentile in [0, 100] with linear interpolation between samples.
   [[nodiscard]] double Percentile(double p) const {
-    Require(!samples_.empty());
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+    Require(!samples_.empty(), "StatsAccumulator::Percentile needs samples");
+    const std::vector<double>& sorted = SortedSamples();
     if (sorted.size() == 1) return sorted[0];
     const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     const size_t lo = static_cast<size_t>(rank);
@@ -62,6 +66,8 @@ class StatsAccumulator {
 
   void Clear() {
     samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
     sum_ = 0.0;
     sum_sq_ = 0.0;
   }
@@ -69,11 +75,18 @@ class StatsAccumulator {
   [[nodiscard]] const std::vector<double>& Samples() const { return samples_; }
 
  private:
-  static void Require(bool ok) {
-    if (!ok) throw std::logic_error("StatsAccumulator: no samples");
+  const std::vector<double>& SortedSamples() const {
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    return sorted_;
   }
 
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // cache for percentile queries
+  mutable bool sorted_valid_ = false;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
 };

@@ -1,0 +1,108 @@
+#include "verify/fuzzer.h"
+
+#include <exception>
+#include <iostream>
+
+#include "util/rng.h"
+#include "util/timer.h"
+#include "verify/mutator.h"
+#include "verify/oracle.h"
+
+namespace phast::verify {
+namespace {
+
+/// The mutation budget of one iteration, derived from its seed so that a
+/// replay reconstructs the identical case.
+uint32_t MutationCountFor(uint64_t seed, uint32_t max_mutations) {
+  if (max_mutations == 0) return 0;
+  Rng rng(seed + 0x51ED270B4F2CD981ULL);
+  return static_cast<uint32_t>(rng.NextBounded(max_mutations + 1));
+}
+
+EdgeList BuildCase(uint64_t seed, uint32_t mutations) {
+  return MutateGraph(MakeBaseGraph(seed), seed, mutations);
+}
+
+/// Full iteration check for (seed, mutations). "" = clean; a pipeline
+/// exception (nothing in the library should throw on mutator output) is
+/// reported as a failure too.
+std::string CheckCase(uint64_t seed, uint32_t mutations,
+                      std::string* failing_config) {
+  try {
+    const Oracle oracle(BuildCase(seed, mutations));
+    return oracle.RunAll(seed, failing_config);
+  } catch (const std::exception& e) {
+    if (failing_config != nullptr) *failing_config = "pipeline";
+    return std::string("exception escaped the pipeline: ") + e.what();
+  }
+}
+
+/// Shrinks a failing case to the smallest mutation prefix that still
+/// reproduces. MutateGraph consumes randomness per step independently of
+/// the total count, so mutation batch m is a prefix of batch M > m — the
+/// first failing prefix is the minimal one.
+FuzzFailure Minimize(uint64_t seed, uint32_t mutations,
+                     const std::string& config, const std::string& message) {
+  for (uint32_t m = 0; m < mutations; ++m) {
+    std::string small_config;
+    const std::string err = CheckCase(seed, m, &small_config);
+    if (!err.empty()) return FuzzFailure{seed, m, small_config, err};
+  }
+  return FuzzFailure{seed, mutations, config, message};
+}
+
+}  // namespace
+
+std::string FuzzFailure::ReplayLine() const {
+  return "--replay --seed=" + std::to_string(seed) +
+         " --mutations=" + std::to_string(mutations) + " --config=" + config;
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  Timer timer;
+  for (uint32_t i = 0; i < options.iterations; ++i) {
+    if (options.time_limit_seconds > 0.0 &&
+        timer.ElapsedSec() >= options.time_limit_seconds) {
+      break;
+    }
+    const uint64_t seed = options.master_seed + i;
+    const uint32_t mutations = MutationCountFor(seed, options.max_mutations);
+    std::string config;
+    const std::string err = CheckCase(seed, mutations, &config);
+    ++report.iterations_run;
+    if (options.verbose) {
+      std::cerr << "[fuzz] iteration " << i << " seed=" << seed
+                << " mutations=" << mutations
+                << (err.empty() ? " ok" : " FAILED") << '\n';
+    }
+    if (!err.empty()) {
+      report.failures.push_back(Minimize(seed, mutations, config, err));
+      if (options.stop_on_failure) break;
+    }
+  }
+  return report;
+}
+
+bool ReplayCase(uint64_t seed, uint32_t mutations, const std::string& config,
+                std::string* message) {
+  std::string err;
+  OracleConfig parsed;
+  if (ParseConfigName(config, &parsed)) {
+    try {
+      const Oracle oracle(BuildCase(seed, mutations));
+      const std::vector<VertexId> sources =
+          OracleSources(oracle.GetGraph().NumVertices(), seed);
+      err = oracle.RunConfig(parsed, sources);
+    } catch (const std::exception& e) {
+      err = std::string("exception escaped the pipeline: ") + e.what();
+    }
+  } else {
+    // "invariants", "batch-driver", "pipeline", or empty: run everything.
+    err = CheckCase(seed, mutations, nullptr);
+  }
+  if (message != nullptr) *message = err;
+  return !err.empty();
+}
+
+}  // namespace phast::verify

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phast::verify {
+
+/// Knobs of the differential fuzz loop.
+struct FuzzOptions {
+  uint64_t master_seed = 1;
+  uint32_t iterations = 100;
+  /// Upper bound on mutations layered onto each base graph.
+  uint32_t max_mutations = 24;
+  /// Stop early once this much wall-clock has elapsed (0 = no limit).
+  double time_limit_seconds = 0.0;
+  /// Stop at the first failure instead of collecting them all.
+  bool stop_on_failure = true;
+  /// Print one line per iteration to stderr.
+  bool verbose = false;
+};
+
+/// One minimized failure: everything needed to reproduce it.
+struct FuzzFailure {
+  uint64_t seed = 0;           // iteration seed (graph + sources derive from it)
+  uint32_t mutations = 0;      // minimized mutation count
+  std::string config;          // canonical config name, or "invariants"/"batch-driver"
+  std::string message;         // first divergence found
+
+  /// The replay line: paste as arguments to fuzz_phast.
+  [[nodiscard]] std::string ReplayLine() const;
+};
+
+/// Outcome of a fuzz run.
+struct FuzzReport {
+  uint32_t iterations_run = 0;
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool Clean() const { return failures.empty(); }
+};
+
+/// Runs the differential fuzz loop: per iteration, derive a base graph and
+/// mutation batch from the seed, then check the full PHAST configuration
+/// cross-product plus invariants against Dijkstra (Oracle::RunAll). On
+/// failure the case is minimized — the mutation count is shrunk to the
+/// smallest count that still reproduces, re-diagnosing the failing config
+/// each time — and reported as a replayable seed + config line.
+[[nodiscard]] FuzzReport RunFuzz(const FuzzOptions& options);
+
+/// Replays one minimized case. Returns true when the failure still
+/// reproduces; *message (optional) receives the diagnosis. A `config` that
+/// names a specific configuration re-runs only it; "invariants",
+/// "batch-driver", or an empty string re-run the full iteration check.
+[[nodiscard]] bool ReplayCase(uint64_t seed, uint32_t mutations,
+                              const std::string& config,
+                              std::string* message = nullptr);
+
+}  // namespace phast::verify

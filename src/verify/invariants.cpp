@@ -1,0 +1,214 @@
+#include "verify/invariants.h"
+
+#include <map>
+#include <vector>
+
+#include "phast/kernels.h"
+#include "pq/dary_heap.h"
+#include "util/rng.h"
+
+namespace phast::verify {
+namespace {
+
+std::string At(const char* what, uint64_t index) {
+  return std::string(what) + " at index " + std::to_string(index);
+}
+
+template <unsigned Arity>
+std::string DriveHeap(uint64_t seed, uint32_t num_ops) {
+  const VertexId n = 64;
+  DaryHeap<Arity> heap(n);
+  std::map<VertexId, Weight> model;  // vertex -> current key
+  Rng rng(seed);
+  const std::string tag = "DaryHeap<" + std::to_string(Arity) + ">: ";
+
+  for (uint32_t op = 0; op < num_ops; ++op) {
+    if (heap.Size() != model.size()) {
+      return tag + "size " + std::to_string(heap.Size()) + " != model " +
+             std::to_string(model.size());
+    }
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Update: insert or decrease-key
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        const Weight key = static_cast<Weight>(rng.NextBounded(1000));
+        heap.Update(v, key);
+        auto it = model.find(v);
+        if (it == model.end()) {
+          model.emplace(v, key);
+        } else if (key < it->second) {
+          it->second = key;
+        }
+        if (!heap.Contains(v)) return tag + "Contains false after Update";
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // ExtractMin
+        if (model.empty()) break;
+        Weight min_key = kInfWeight;
+        for (const auto& [v, key] : model) min_key = std::min(min_key, key);
+        if (heap.MinKey() != min_key) {
+          return tag + "MinKey " + std::to_string(heap.MinKey()) +
+                 " != model min " + std::to_string(min_key);
+        }
+        const auto [v, key] = heap.ExtractMin();
+        if (key != min_key) {
+          return tag + "extracted key " + std::to_string(key) +
+                 " != model min " + std::to_string(min_key);
+        }
+        auto it = model.find(v);
+        if (it == model.end() || it->second != key) {
+          return tag + "extracted vertex/key pair absent from model";
+        }
+        model.erase(it);
+        if (heap.Contains(v)) return tag + "Contains true after ExtractMin";
+        break;
+      }
+      default: {  // occasional Clear
+        if (rng.NextBounded(16) == 0) {
+          heap.Clear();
+          model.clear();
+          if (!heap.Empty()) return tag + "non-empty after Clear";
+        }
+        break;
+      }
+    }
+  }
+  // Drain: remaining extractions must come out in non-decreasing key order.
+  Weight last = 0;
+  while (!heap.Empty()) {
+    const auto [v, key] = heap.ExtractMin();
+    if (key < last) return tag + "drain order violated";
+    last = key;
+    if (model.erase(v) != 1) return tag + "drained unknown vertex";
+  }
+  if (!model.empty()) return tag + "heap drained but model non-empty";
+  return "";
+}
+
+}  // namespace
+
+std::string CheckCsrWellFormed(const Graph& graph) {
+  const std::vector<ArcId>& first = graph.FirstArray();
+  const VertexId n = graph.NumVertices();
+  if (first.size() != static_cast<size_t>(n) + 1) {
+    return "CSR: first array has " + std::to_string(first.size()) +
+           " entries for " + std::to_string(n) + " vertices";
+  }
+  if (first.front() != 0) return "CSR: first[0] != 0";
+  for (size_t i = 0; i < n; ++i) {
+    if (first[i] > first[i + 1]) return At("CSR: first not monotone", i);
+  }
+  if (first.back() != graph.NumArcs()) {
+    return "CSR: first[n] != NumArcs";
+  }
+  const std::vector<Arc>& arcs = graph.ArcArray();
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].other >= n) return At("CSR: arc endpoint out of range", i);
+  }
+  return "";
+}
+
+std::string CheckEngineTopology(const Phast& engine, const CHData* ch) {
+  const VertexId n = engine.NumVertices();
+  Phast::Workspace ws = engine.MakeWorkspace(1);
+  const SweepArgs args = engine.MakeSweepArgs(ws);
+  if (args.num_vertices != n) return "engine: SweepArgs vertex count mismatch";
+
+  // down_first_: monotone offsets over [0, n].
+  if (args.down_first[0] != 0) return "engine: down_first[0] != 0";
+  for (VertexId pos = 0; pos < n; ++pos) {
+    if (args.down_first[pos] > args.down_first[pos + 1]) {
+      return At("engine: down_first not monotone", pos);
+    }
+  }
+
+  // Sweep position of every label-space vertex (identity when reordered).
+  std::vector<VertexId> pos_of_label(n);
+  if (args.order == nullptr) {
+    for (VertexId p = 0; p < n; ++p) pos_of_label[p] = p;
+  } else {
+    std::vector<bool> seen(n, false);
+    for (VertexId p = 0; p < n; ++p) {
+      const VertexId label = args.order[p];
+      if (label >= n) return At("engine: order entry out of range", p);
+      if (seen[label]) return At("engine: order not a permutation", p);
+      seen[label] = true;
+      pos_of_label[label] = p;
+    }
+  }
+
+  // Topological consistency: when the sweep relaxes the incoming arcs of
+  // the vertex at position `pos`, every arc tail must already be final,
+  // i.e. have been swept at a strictly earlier position.
+  for (VertexId pos = 0; pos < n; ++pos) {
+    for (ArcId arc = args.down_first[pos]; arc < args.down_first[pos + 1];
+         ++arc) {
+      const VertexId tail = args.down_arcs[arc].tail;
+      if (tail >= n) return At("engine: down arc tail out of range", arc);
+      if (pos_of_label[tail] >= pos) {
+        return "engine: down arc " + std::to_string(arc) + " into position " +
+               std::to_string(pos) + " has tail swept at position " +
+               std::to_string(pos_of_label[tail]) +
+               " (not strictly earlier) — sweep would read a stale label";
+      }
+    }
+  }
+
+  // Level-group boundaries: a monotone partition of [0, n).
+  const std::vector<VertexId>& groups = engine.LevelBoundaries();
+  if (!groups.empty()) {
+    if (groups.size() != static_cast<size_t>(engine.NumLevels()) + 1) {
+      return "engine: level boundary count != NumLevels()+1";
+    }
+    if (groups.front() != 0 || groups.back() != n) {
+      return "engine: level boundaries do not span [0, n)";
+    }
+    for (size_t g = 0; g + 1 < groups.size(); ++g) {
+      if (groups[g] > groups[g + 1]) {
+        return At("engine: level boundaries not monotone", g);
+      }
+    }
+    if (ch != nullptr) {
+      // Every vertex in group g must have level NumLevels()-1-g.
+      for (uint32_t g = 0; g < engine.NumLevels(); ++g) {
+        const uint32_t expect = engine.NumLevels() - 1 - g;
+        for (VertexId pos = groups[g]; pos < groups[g + 1]; ++pos) {
+          const VertexId label = args.order ? args.order[pos] : pos;
+          const VertexId original = engine.OriginalOf(label);
+          if (ch->level[original] != expect) {
+            return "engine: vertex at sweep position " + std::to_string(pos) +
+                   " has level " + std::to_string(ch->level[original]) +
+                   ", expected " + std::to_string(expect) + " for its group";
+          }
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckMarksClean(const Phast& engine, Phast::Workspace& ws) {
+  const SweepArgs args = engine.MakeSweepArgs(ws);
+  if (args.marks == nullptr) return "";  // explicit init: trivially clean
+  const size_t num_words = (static_cast<size_t>(args.num_vertices) + 63) / 64;
+  for (size_t w = 0; w < num_words; ++w) {
+    if (args.marks[w] != 0) {
+      return "marks: word " + std::to_string(w) +
+             " non-zero after FinishBatch (stale visit marks would corrupt "
+             "the next batch)";
+    }
+  }
+  return "";
+}
+
+std::string CheckHeapInvariants(uint64_t seed, uint32_t num_ops) {
+  std::string err = DriveHeap<2>(seed, num_ops);
+  if (!err.empty()) return err;
+  return DriveHeap<4>(seed + 1, num_ops);
+}
+
+}  // namespace phast::verify

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ch/ch_data.h"
+#include "graph/csr.h"
+#include "phast/phast.h"
+
+namespace phast::verify {
+
+/// Structural invariant checkers for the PHAST pipeline. Each returns an
+/// empty string when the invariant holds, else a human-readable description
+/// of the first violation — string results compose into fuzzer reports
+/// without aborting the surrounding sweep.
+
+/// CSR well-formedness: `first` has n+1 entries starting at 0, is monotone
+/// non-decreasing, ends at the arc count, and every arc endpoint is < n.
+[[nodiscard]] std::string CheckCsrWellFormed(const Graph& graph);
+
+/// Engine sweep-topology consistency: the `down_first_` offset array is
+/// monotone and spans all downward arcs, every arc tail is a valid label,
+/// and each tail was swept strictly *before* the position whose incoming
+/// arcs it feeds (the property the one-pass sweep is built on). Also checks
+/// the level-group boundaries (monotone partition of [0, n)) and, when the
+/// CHData is supplied, that each downward arc descends in level exactly as
+/// Lemma 4.1 promises.
+[[nodiscard]] std::string CheckEngineTopology(const Phast& engine,
+                                              const CHData* ch = nullptr);
+
+/// Mark-word cleanliness: after FinishBatch every visit-mark word must be
+/// zero again, otherwise the next batch would inherit phantom visits and
+/// read stale labels as finite. Call right after a ComputeTree(s) /
+/// ComputeTreesParallel round on an implicit-init workspace; workspaces of
+/// explicit-init engines pass trivially.
+[[nodiscard]] std::string CheckMarksClean(const Phast& engine,
+                                          Phast::Workspace& ws);
+
+/// Black-box heap invariant check: drives DaryHeap<2> and DaryHeap<4>
+/// through `num_ops` seeded Update/ExtractMin/Clear operations against a
+/// reference model, verifying extraction order, Contains, Size, and MinKey
+/// at every step.
+[[nodiscard]] std::string CheckHeapInvariants(uint64_t seed, uint32_t num_ops);
+
+}  // namespace phast::verify

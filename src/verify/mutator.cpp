@@ -1,0 +1,143 @@
+#include "verify/mutator.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace phast::verify {
+namespace {
+
+/// Weight in [1, 1000] — comparable to what the generators emit.
+Weight SmallWeight(Rng& rng) {
+  return static_cast<Weight>(rng.NextBounded(1000) + 1);
+}
+
+/// Weight at or next to the saturation boundary: kInfWeight, kInfWeight-1,
+/// or kInfWeight-2. An arc of weight kInfWeight can never be relaxed (the
+/// saturating add pins the candidate at infinity), which every engine must
+/// agree on.
+Weight HugeWeight(Rng& rng) {
+  return kInfWeight - static_cast<Weight>(rng.NextBounded(3));
+}
+
+}  // namespace
+
+std::string MutationSummary::ToString() const {
+  return "added=" + std::to_string(arcs_added) +
+         " zero=" + std::to_string(zero_weight_arcs) +
+         " parallel=" + std::to_string(parallel_arcs) +
+         " huge=" + std::to_string(huge_weight_arcs) +
+         " self_loops=" + std::to_string(self_loops) +
+         " removed=" + std::to_string(arcs_removed) +
+         " isolated=" + std::to_string(vertices_isolated);
+}
+
+EdgeList MakeBaseGraph(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  switch (rng.NextBounded(4)) {
+    case 0: {
+      CountryParams params;
+      params.width = static_cast<uint32_t>(rng.NextBounded(6) + 4);   // 4..9
+      params.height = static_cast<uint32_t>(rng.NextBounded(6) + 4);  // 4..9
+      params.seed = rng.Next();
+      params.metric = rng.NextBool() ? Metric::kTravelTime
+                                     : Metric::kTravelDistance;
+      return GenerateCountry(params).edges;
+    }
+    case 1: {
+      const uint32_t n = static_cast<uint32_t>(rng.NextBounded(80) + 30);
+      return GenerateRandomGeometric(n, 0.18, rng.Next()).edges;
+    }
+    case 2: {
+      const uint32_t n = static_cast<uint32_t>(rng.NextBounded(70) + 20);
+      const uint64_t m = n * (rng.NextBounded(4) + 2);
+      return GenerateGnm(n, m, static_cast<Weight>(rng.NextBounded(90) + 1),
+                         rng.Next());
+    }
+    default: {
+      // Degenerate shapes: paths, cycles, stars, tiny grids — the graphs
+      // where off-by-one bugs live.
+      switch (rng.NextBounded(4)) {
+        case 0:
+          return GeneratePath(static_cast<uint32_t>(rng.NextBounded(30) + 1));
+        case 1:
+          return GenerateCycle(static_cast<uint32_t>(rng.NextBounded(30) + 3));
+        case 2:
+          return GenerateStar(static_cast<uint32_t>(rng.NextBounded(30) + 1));
+        default:
+          return GenerateGrid(static_cast<uint32_t>(rng.NextBounded(6) + 1),
+                              static_cast<uint32_t>(rng.NextBounded(6) + 1));
+      }
+    }
+  }
+}
+
+EdgeList MutateGraph(const EdgeList& base, uint64_t seed,
+                     uint32_t num_mutations, MutationSummary* summary) {
+  Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+  EdgeList out = base;
+  MutationSummary local;
+  const VertexId n = std::max<VertexId>(out.NumVertices(), 1);
+  auto random_vertex = [&]() {
+    return static_cast<VertexId>(rng.NextBounded(n));
+  };
+
+  for (uint32_t step = 0; step < num_mutations; ++step) {
+    std::vector<Edge>& edges = out.MutableEdges();
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+        out.AddArc(random_vertex(), random_vertex(), SmallWeight(rng));
+        ++local.arcs_added;
+        break;
+      case 2:
+        out.AddArc(random_vertex(), random_vertex(), 0);
+        ++local.zero_weight_arcs;
+        break;
+      case 3:
+        if (!edges.empty()) {
+          const Edge& e = edges[rng.NextBounded(edges.size())];
+          out.AddArc(e.tail, e.head,
+                     rng.NextBool() ? SmallWeight(rng)
+                                    : e.weight / 2);  // sometimes cheaper
+          ++local.parallel_arcs;
+        }
+        break;
+      case 4: {
+        const VertexId v = random_vertex();
+        out.AddArc(random_vertex(), v, HugeWeight(rng));
+        ++local.huge_weight_arcs;
+        break;
+      }
+      case 5: {
+        const VertexId v = random_vertex();
+        out.AddArc(v, v, SmallWeight(rng));
+        ++local.self_loops;
+        break;
+      }
+      case 6:
+        if (!edges.empty()) {
+          const size_t victim = rng.NextBounded(edges.size());
+          edges[victim] = edges.back();
+          edges.pop_back();
+          ++local.arcs_removed;
+        }
+        break;
+      default: {
+        // Drop every arc touching one vertex: detaches it from its
+        // component (often splitting the graph), so sweeps must leave its
+        // labels at +infinity in every config.
+        const VertexId v = random_vertex();
+        std::erase_if(edges,
+                      [v](const Edge& e) { return e.tail == v || e.head == v; });
+        ++local.vertices_isolated;
+        break;
+      }
+    }
+  }
+  if (summary != nullptr) *summary = local;
+  return out;
+}
+
+}  // namespace phast::verify

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace phast::verify {
+
+/// Counts of the structural edits MutateGraph applied, for failure reports.
+struct MutationSummary {
+  uint32_t arcs_added = 0;
+  uint32_t zero_weight_arcs = 0;
+  uint32_t parallel_arcs = 0;
+  uint32_t huge_weight_arcs = 0;
+  uint32_t self_loops = 0;
+  uint32_t arcs_removed = 0;
+  uint32_t vertices_isolated = 0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Small deterministic base instance for one fuzz iteration: the seed picks
+/// a family (synthetic country / random geometric / G(n,m)) and its size.
+/// Kept to O(100) vertices so one iteration can afford the full PHAST
+/// configuration cross-product against Dijkstra.
+[[nodiscard]] EdgeList MakeBaseGraph(uint64_t seed);
+
+/// Applies `num_mutations` seeded random structural edits on top of `base`:
+/// random extra arcs, zero-weight arcs, parallel arcs, self-loops, weights
+/// at or near the 2^32 saturation boundary, arc deletions, and full vertex
+/// isolation (which disconnects components). Deterministic: (base, seed,
+/// num_mutations) fully determine the result, which is what makes fuzz
+/// failures replayable from a seed line.
+[[nodiscard]] EdgeList MutateGraph(const EdgeList& base, uint64_t seed,
+                                   uint32_t num_mutations,
+                                   MutationSummary* summary = nullptr);
+
+}  // namespace phast::verify

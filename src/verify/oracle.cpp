@@ -1,0 +1,379 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "ch/contraction.h"
+#include "dijkstra/dijkstra.h"
+#include "phast/batch.h"
+#include "phast/kernels.h"
+#include "pq/dary_heap.h"
+#include "util/rng.h"
+#include "verify/invariants.h"
+
+namespace phast::verify {
+namespace {
+
+const char* OrderName(SweepOrder order) {
+  switch (order) {
+    case SweepOrder::kRankDescending:
+      return "rank";
+    case SweepOrder::kLevelNoReorder:
+      return "level";
+    case SweepOrder::kLevelReordered:
+      return "reordered";
+  }
+  return "?";
+}
+
+const char* SimdName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kSse:
+      return "sse";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool ParseOrder(const std::string& s, SweepOrder* out) {
+  if (s == "rank") *out = SweepOrder::kRankDescending;
+  else if (s == "level") *out = SweepOrder::kLevelNoReorder;
+  else if (s == "reordered") *out = SweepOrder::kLevelReordered;
+  else return false;
+  return true;
+}
+
+bool ParseSimd(const std::string& s, SimdMode* out) {
+  if (s == "scalar") *out = SimdMode::kScalar;
+  else if (s == "sse") *out = SimdMode::kSse;
+  else if (s == "avx2") *out = SimdMode::kAvx2;
+  else if (s == "auto") *out = SimdMode::kAuto;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<VertexId> OracleSources(VertexId num_vertices, uint64_t seed) {
+  Rng rng(seed ^ 0xA24BAED4963EE407ULL);
+  std::vector<VertexId> sources(16);
+  for (auto& s : sources) {
+    s = static_cast<VertexId>(rng.NextBounded(num_vertices));
+  }
+  return sources;
+}
+
+std::string ConfigName(const OracleConfig& c) {
+  std::ostringstream out;
+  out << "order=" << OrderName(c.order) << ",simd=" << SimdName(c.simd)
+      << ",init=" << (c.implicit_init ? "implicit" : "explicit")
+      << ",parents=" << (c.want_parents ? "on" : "off")
+      << ",sweep=" << (c.parallel_sweep ? "parallel" : "serial")
+      << ",k=" << c.k;
+  return out.str();
+}
+
+bool ParseConfigName(const std::string& name, OracleConfig* config) {
+  OracleConfig c;
+  std::istringstream in(name);
+  std::string part;
+  int fields = 0;
+  while (std::getline(in, part, ',')) {
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "order") {
+      if (!ParseOrder(value, &c.order)) return false;
+    } else if (key == "simd") {
+      if (!ParseSimd(value, &c.simd)) return false;
+    } else if (key == "init") {
+      if (value != "implicit" && value != "explicit") return false;
+      c.implicit_init = value == "implicit";
+    } else if (key == "parents") {
+      if (value != "on" && value != "off") return false;
+      c.want_parents = value == "on";
+    } else if (key == "sweep") {
+      if (value != "parallel" && value != "serial") return false;
+      c.parallel_sweep = value == "parallel";
+    } else if (key == "k") {
+      const long long k = std::atoll(value.c_str());
+      if (k < 1 || k > 1024) return false;
+      c.k = static_cast<uint32_t>(k);
+    } else {
+      return false;
+    }
+    ++fields;
+  }
+  if (fields != 6) return false;
+  *config = c;
+  return true;
+}
+
+std::vector<OracleConfig> FullConfigCrossProduct() {
+  std::vector<OracleConfig> configs;
+  for (const SweepOrder order :
+       {SweepOrder::kRankDescending, SweepOrder::kLevelNoReorder,
+        SweepOrder::kLevelReordered}) {
+    for (const uint32_t k : {1u, 4u, 8u, 16u}) {
+      for (const SimdMode simd :
+           {SimdMode::kScalar, SimdMode::kSse, SimdMode::kAvx2}) {
+        if (!SimdModeAvailable(simd)) continue;
+        // Drop configs whose kernel falls back to one already listed
+        // (SweepKernelName reports the resolved kernel).
+        if (simd != SimdMode::kScalar &&
+            std::string(SweepKernelName(simd, k)) !=
+                std::string(SimdName(simd))) {
+          continue;
+        }
+        for (const bool implicit : {true, false}) {
+          for (const bool parents : {false, true}) {
+            OracleConfig c;
+            c.order = order;
+            c.simd = simd;
+            c.implicit_init = implicit;
+            c.want_parents = parents;
+            c.k = k;
+            c.parallel_sweep = false;
+            configs.push_back(c);
+            if (order != SweepOrder::kRankDescending) {
+              c.parallel_sweep = true;
+              configs.push_back(c);
+            }
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+Oracle::Oracle(const EdgeList& edges) {
+  EdgeList normalized = edges;
+  normalized.Normalize();
+  graph_ = Graph::FromEdgeList(normalized);
+  ch_ = BuildContractionHierarchy(graph_);
+  gplus_arcs_.reserve(ch_.up_arcs.size() + ch_.down_arcs.size());
+  for (const CHArc& a : ch_.up_arcs) {
+    gplus_arcs_.push_back(Edge{a.tail, a.head, a.weight});
+  }
+  for (const CHArc& a : ch_.down_arcs) {
+    gplus_arcs_.push_back(Edge{a.tail, a.head, a.weight});
+  }
+  std::sort(gplus_arcs_.begin(), gplus_arcs_.end(),
+            [](const Edge& x, const Edge& y) {
+              if (x.tail != y.tail) return x.tail < y.tail;
+              if (x.head != y.head) return x.head < y.head;
+              return x.weight < y.weight;
+            });
+}
+
+bool Oracle::HasGPlusArc(VertexId tail, VertexId head, Weight weight) const {
+  const Edge probe{tail, head, 0};
+  auto it = std::lower_bound(gplus_arcs_.begin(), gplus_arcs_.end(), probe,
+                             [](const Edge& x, const Edge& y) {
+                               if (x.tail != y.tail) return x.tail < y.tail;
+                               return x.head < y.head;
+                             });
+  for (; it != gplus_arcs_.end() && it->tail == tail && it->head == head;
+       ++it) {
+    if (it->weight == weight) return true;
+  }
+  return false;
+}
+
+std::string Oracle::CheckParents(const Phast& engine,
+                                 const Phast::Workspace& ws, VertexId source,
+                                 uint32_t tree, const std::vector<Weight>& ref,
+                                 uint64_t sample_seed) const {
+  const VertexId n = graph_.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId parent = engine.ParentInGPlus(ws, v, tree);
+    if (v == source || ref[v] == kInfWeight) {
+      if (parent != kInvalidVertex) {
+        return "parent of " + std::string(v == source ? "source " : "unreached ") +
+               std::to_string(v) + " is " + std::to_string(parent) +
+               ", expected none (stale parent slot leaking through?)";
+      }
+      continue;
+    }
+    if (parent == kInvalidVertex) {
+      return "reached vertex " + std::to_string(v) + " (d=" +
+             std::to_string(ref[v]) + ") has no parent";
+    }
+    if (ref[parent] == kInfWeight || ref[parent] > ref[v]) {
+      return "parent " + std::to_string(parent) + " of " + std::to_string(v) +
+             " has non-telescoping distance";
+    }
+    if (!HasGPlusArc(parent, v, ref[v] - ref[parent])) {
+      return "parent edge " + std::to_string(parent) + "->" +
+             std::to_string(v) + " with weight " +
+             std::to_string(ref[v] - ref[parent]) + " is not an arc of G+";
+    }
+  }
+  // Walk a handful of full parent paths back to the source.
+  Rng rng(sample_seed);
+  const size_t samples = std::min<size_t>(n, 8);
+  for (size_t i = 0; i < samples; ++i) {
+    VertexId cur = static_cast<VertexId>(rng.NextBounded(n));
+    if (ref[cur] == kInfWeight) continue;
+    size_t steps = 0;
+    while (cur != source) {
+      cur = engine.ParentInGPlus(ws, cur, tree);
+      if (cur == kInvalidVertex) return "parent path broke before the source";
+      if (++steps > n) return "parent path longer than n (cycle)";
+    }
+  }
+  return "";
+}
+
+std::string Oracle::RunConfigWithRefs(
+    const OracleConfig& config, std::span<const VertexId> sources,
+    const std::vector<std::vector<Weight>>& refs) const {
+  if (sources.size() < config.k) return "oracle: not enough sources for k";
+  const std::string name = ConfigName(config);
+  PhastOptions options;
+  options.order = config.order;
+  options.simd = config.simd;
+  options.implicit_init = config.implicit_init;
+  const Phast engine(ch_, options);
+
+  {
+    const std::string err = CheckEngineTopology(engine, &ch_);
+    if (!err.empty()) return name + ": " + err;
+  }
+
+  Phast::Workspace ws = engine.MakeWorkspace(config.k, config.want_parents);
+  // Two rounds through one workspace, with the batch rotated by one source
+  // in the second. Reuse alone only proves FinishBatch resets what the same
+  // sources would overwrite anyway; rotating changes every slot's reachable
+  // set, so residue from round one (marks, stale labels, stale parent
+  // slots of now-unreachable vertices) has to surface as a divergence.
+  std::vector<VertexId> batch(config.k);
+  std::vector<size_t> ref_of(config.k);
+  for (int round = 0; round < 2; ++round) {
+    for (uint32_t t = 0; t < config.k; ++t) {
+      ref_of[t] = (t + round) % sources.size();
+      batch[t] = sources[ref_of[t]];
+    }
+    if (config.parallel_sweep) {
+      engine.ComputeTreesParallel(batch, ws);
+    } else {
+      engine.ComputeTrees(batch, ws);
+    }
+    {
+      const std::string err = CheckMarksClean(engine, ws);
+      if (!err.empty()) return name + ": " + err;
+    }
+    for (uint32_t tree = 0; tree < config.k; ++tree) {
+      const std::vector<Weight>& ref = refs[ref_of[tree]];
+      for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+        const Weight got = engine.Distance(ws, v, tree);
+        if (got != ref[v]) {
+          return name + ": round " + std::to_string(round) + " tree " +
+                 std::to_string(tree) + " (source " +
+                 std::to_string(batch[tree]) + "): d(" + std::to_string(v) +
+                 ") = " + std::to_string(got) + ", Dijkstra says " +
+                 std::to_string(ref[v]);
+        }
+      }
+      if (config.want_parents) {
+        const std::string err =
+            CheckParents(engine, ws, batch[tree], tree, ref,
+                         /*sample_seed=*/tree * 977u + 13u);
+        if (!err.empty()) {
+          return name + ": round " + std::to_string(round) + " tree " +
+                 std::to_string(tree) + ": " + err;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string Oracle::RunConfig(const OracleConfig& config,
+                              std::span<const VertexId> sources) const {
+  // The rotated second round can draw any of the sources, so reference
+  // trees are needed for all of them, not just the first k.
+  std::vector<std::vector<Weight>> refs;
+  refs.reserve(sources.size());
+  for (const VertexId s : sources) {
+    refs.push_back(Dijkstra<BinaryHeap>(graph_, s).dist);
+  }
+  return RunConfigWithRefs(config, sources, refs);
+}
+
+std::string Oracle::CheckBatchDriver(
+    std::span<const VertexId> sources,
+    const std::vector<std::vector<Weight>>& refs) const {
+  const Phast engine(ch_);
+  // k=3 forces a short, padded final batch for any source count not
+  // divisible by 3; k=1 exercises the degenerate single-tree path.
+  for (const uint32_t k : {1u, 3u}) {
+    BatchOptions options;
+    options.trees_per_sweep = k;
+    std::string failure;
+    std::mutex mutex;  // visitors run on the batch driver's OpenMP threads
+    ComputeManyTrees(engine, sources, options,
+                     [&](size_t index, const Phast::Workspace& ws,
+                         uint32_t slot) {
+                       const std::lock_guard<std::mutex> lock(mutex);
+                       if (!failure.empty()) return;
+                       const std::vector<Weight>& ref = refs[index];
+                       for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+                         if (engine.Distance(ws, v, slot) != ref[v]) {
+                           failure = "ComputeManyTrees k=" + std::to_string(k) +
+                                     " source index " + std::to_string(index) +
+                                     ": d(" + std::to_string(v) +
+                                     ") diverges from Dijkstra";
+                           return;
+                         }
+                       }
+                     });
+    if (!failure.empty()) return failure;
+  }
+  return "";
+}
+
+std::string Oracle::RunAll(uint64_t seed, std::string* failing_config) const {
+  auto fail = [&](const char* which, std::string message) {
+    if (failing_config != nullptr) *failing_config = which;
+    return message;
+  };
+
+  {
+    std::string err = CheckCsrWellFormed(graph_);
+    if (err.empty()) err = CheckHeapInvariants(seed, 400);
+    if (!err.empty()) return fail("invariants", std::move(err));
+  }
+
+  const std::vector<VertexId> sources =
+      OracleSources(graph_.NumVertices(), seed);
+  std::vector<std::vector<Weight>> refs;
+  refs.reserve(sources.size());
+  for (const VertexId s : sources) {
+    refs.push_back(Dijkstra<BinaryHeap>(graph_, s).dist);
+  }
+
+  for (const OracleConfig& config : FullConfigCrossProduct()) {
+    std::string err = RunConfigWithRefs(config, sources, refs);
+    if (!err.empty()) {
+      if (failing_config != nullptr) *failing_config = ConfigName(config);
+      return err;
+    }
+  }
+
+  {
+    std::string err = CheckBatchDriver(sources, refs);
+    if (!err.empty()) return fail("batch-driver", std::move(err));
+  }
+  return "";
+}
+
+}  // namespace phast::verify

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+#include "phast/options.h"
+#include "phast/phast.h"
+
+namespace phast::verify {
+
+/// One point of the PHAST configuration space the differential oracle
+/// sweeps: every independently-switchable code path of the engine.
+struct OracleConfig {
+  SweepOrder order = SweepOrder::kLevelReordered;
+  SimdMode simd = SimdMode::kScalar;
+  bool implicit_init = true;
+  bool want_parents = false;
+  bool parallel_sweep = false;  // ComputeTreesParallel instead of ComputeTrees
+  uint32_t k = 1;
+};
+
+/// Canonical, parseable name, e.g.
+/// "order=reordered,simd=sse,init=implicit,parents=on,sweep=serial,k=8".
+[[nodiscard]] std::string ConfigName(const OracleConfig& config);
+
+/// Inverse of ConfigName; returns false on malformed input. Used to replay
+/// a minimized failure line.
+[[nodiscard]] bool ParseConfigName(const std::string& name,
+                                   OracleConfig* config);
+
+/// The full cross-product of runnable configurations on this machine:
+/// all three sweep orders x available SIMD kernels x implicit/explicit init
+/// x parents on/off x serial/per-level-parallel sweep x k in {1, 4, 8, 16}.
+/// Configurations whose kernel resolves to one already listed (e.g. SSE
+/// with k=1 falls back to scalar) are dropped, as is the parallel sweep for
+/// kRankDescending (no level groups to parallelize over).
+[[nodiscard]] std::vector<OracleConfig> FullConfigCrossProduct();
+
+/// The source set Oracle::RunAll derives from an iteration seed (16 seeded
+/// sources); exposed so a replay can re-run a single configuration on
+/// exactly the same batch.
+[[nodiscard]] std::vector<VertexId> OracleSources(VertexId num_vertices,
+                                                 uint64_t seed);
+
+/// Differential oracle: owns one normalized instance plus its contraction
+/// hierarchy, and checks any PHAST configuration against reference Dijkstra
+/// — every distance label of every tree, every reconstructed parent path,
+/// and the structural invariants of the engine it builds.
+class Oracle {
+ public:
+  /// Normalizes a copy of `edges` (the documented pipeline step: drop
+  /// self-loops, keep cheapest parallel arc) and preprocesses it. The graph
+  /// may be disconnected; unreachable vertices must stay at +infinity in
+  /// every configuration.
+  explicit Oracle(const EdgeList& edges);
+
+  [[nodiscard]] const Graph& GetGraph() const { return graph_; }
+  [[nodiscard]] const CHData& GetCH() const { return ch_; }
+
+  /// Runs one configuration for the given sources (sources.size() must be
+  /// >= config.k; the first k are used) and diffs it against Dijkstra.
+  /// Returns "" on agreement, else a description of the first divergence.
+  [[nodiscard]] std::string RunConfig(const OracleConfig& config,
+                                      std::span<const VertexId> sources) const;
+
+  /// One full fuzz-iteration check: seeds a source set, runs the entire
+  /// configuration cross-product, the ComputeManyTrees batch driver, and
+  /// the invariant checkers. On failure returns the diagnosis and stores
+  /// the canonical name of the failing configuration in *failing_config
+  /// ("batch-driver" / "invariants" for the non-config checks).
+  [[nodiscard]] std::string RunAll(uint64_t seed,
+                                   std::string* failing_config = nullptr) const;
+
+ private:
+  [[nodiscard]] std::string RunConfigWithRefs(
+      const OracleConfig& config, std::span<const VertexId> sources,
+      const std::vector<std::vector<Weight>>& refs) const;
+  [[nodiscard]] std::string CheckBatchDriver(
+      std::span<const VertexId> sources,
+      const std::vector<std::vector<Weight>>& refs) const;
+  /// Validates one tree's parent structure: roots and unreached vertices
+  /// have no parent, every other parent edge is a real G+ arc whose weight
+  /// telescopes the distances, and sampled parent paths reach the source.
+  [[nodiscard]] std::string CheckParents(const Phast& engine,
+                                         const Phast::Workspace& ws,
+                                         VertexId source, uint32_t tree,
+                                         const std::vector<Weight>& ref,
+                                         uint64_t sample_seed) const;
+  [[nodiscard]] bool HasGPlusArc(VertexId tail, VertexId head,
+                                 Weight weight) const;
+
+  Graph graph_;
+  CHData ch_;
+  std::vector<Edge> gplus_arcs_;  // sorted by (tail, head, weight)
+};
+
+}  // namespace phast::verify

@@ -230,6 +230,50 @@ TEST(Dimacs, RejectsNegativeWeight) {
   EXPECT_THROW(ReadDimacsGraph(in), InputError);
 }
 
+TEST(Dimacs, RejectsOversizedWeight) {
+  // Regression: 2^32 used to be silently truncated to 0 by the
+  // static_cast<Weight>, turning an absurd weight into a zero-length arc.
+  std::stringstream in("p sp 2 1\na 1 2 4294967296\n");
+  try {
+    ReadDimacsGraph(in);
+    FAIL() << "weight 2^32 must be rejected";
+  } catch (const InputError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("4294967296"), std::string::npos) << what;
+  }
+}
+
+TEST(Dimacs, AcceptsMaximumRepresentableWeight) {
+  std::stringstream in("p sp 2 1\na 1 2 4294967295\n");
+  const EdgeList g = ReadDimacsGraph(in);
+  ASSERT_EQ(g.NumArcs(), 1u);
+  EXPECT_EQ(g.Edges()[0].weight, kInfWeight);
+}
+
+TEST(Dimacs, RejectsCoordinateHeaderWithWrongSpToken) {
+  // Regression: the header check validated "aux" and "co" but skipped the
+  // middle "sp" token, so "p aux XX co 2" parsed as a valid header.
+  std::stringstream in("p aux XX co 2\nv 1 5 6\n");
+  EXPECT_THROW(ReadDimacsCoordinates(in), InputError);
+}
+
+TEST(Dimacs, RejectsCoordinateLineBeforeHeader) {
+  std::stringstream in("v 1 5 6\np aux sp co 2\n");
+  try {
+    ReadDimacsCoordinates(in);
+    FAIL() << "'v' line before the header must be rejected";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("before"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dimacs, RejectsDuplicateCoordinateHeader) {
+  std::stringstream in("p aux sp co 1\np aux sp co 1\nv 1 5 6\n");
+  EXPECT_THROW(ReadDimacsCoordinates(in), InputError);
+}
+
 TEST(Dimacs, CoordinatesRoundTrip) {
   Coordinates coords;
   coords.x = {10, -20, 30};

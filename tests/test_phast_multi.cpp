@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "ch/contraction.h"
+#include "graph/edge_list.h"
+#include "util/error.h"
 #include "dijkstra/dijkstra.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
@@ -200,6 +203,159 @@ TEST(Batch, DistancesCorrectThroughDriver) {
   for (size_t i = 0; i < sources.size(); ++i) {
     const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[i]);
     EXPECT_EQ(all[i], ref.dist) << "source index " << i;
+  }
+}
+
+TEST(Batch, RejectsZeroTreesPerSweep) {
+  // Regression: trees_per_sweep == 0 divided by zero computing the batch
+  // count before any workspace was made.
+  const Graph g = CountryGraph(4);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> sources = {0, 1, 2};
+  BatchOptions options;
+  options.trees_per_sweep = 0;
+  EXPECT_THROW(ComputeManyTrees(engine, sources, options,
+                                [](size_t, const Phast::Workspace&, uint32_t) {
+                                }),
+               InputError);
+}
+
+TEST(Batch, EmptySourcesIsANoOp) {
+  // Regression: an empty span produced sources.size() - begin underflow in
+  // the final-batch padding (and a visitor call for a nonexistent source).
+  const Graph g = CountryGraph(4);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  int visits = 0;
+  BatchOptions options;
+  options.trees_per_sweep = 4;
+  ComputeManyTrees(engine, std::span<const VertexId>{}, options,
+                   [&](size_t, const Phast::Workspace&, uint32_t) {
+#pragma omp critical(test_batch_empty)
+                     ++visits;
+                   });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(Batch, ShortFinalBatchPaddingIsCorrectAndUnseen) {
+  // 5 sources with k=4: the final batch holds one live source padded by
+  // three repeats; the visitor must see exactly indices 0..4 once, and the
+  // padded trees must still be exact for the repeated source.
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> sources = RandomSources(g.NumVertices(), 5, 31);
+  std::vector<int> visits(5, 0);
+  std::vector<std::vector<Weight>> all(5);
+  BatchOptions options;
+  options.trees_per_sweep = 4;
+  ComputeManyTrees(engine, sources, options,
+                   [&](size_t idx, const Phast::Workspace& ws, uint32_t slot) {
+                     std::vector<Weight> dist(g.NumVertices());
+                     for (VertexId v = 0; v < g.NumVertices(); ++v) {
+                       dist[v] = engine.Distance(ws, v, slot);
+                     }
+#pragma omp critical(test_batch_padding)
+                     {
+                       ++visits[idx];
+                       all[idx] = std::move(dist);
+                     }
+                   });
+  for (const int count : visits) EXPECT_EQ(count, 1);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[i]);
+    EXPECT_EQ(all[i], ref.dist) << "source index " << i;
+  }
+}
+
+// ------------------- stale parents across batches --------------------------
+
+/// Two disjoint components: whichever one the batch's source lives in, the
+/// other component's vertices stay unreached.
+EdgeList TwoComponentGraph() {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < 8; ++v) {
+    edges.AddBidirectional(v, v + 1, v + 1);       // component A: 0..7
+    edges.AddBidirectional(8 + v, 8 + v + 1, 2);   // component B: 8..15
+  }
+  return edges;
+}
+
+TEST(MultiBatchParents, NoStaleParentsAcrossDisjointBatches) {
+  // Implicit-init sweeps reset the *labels* of unmarked vertices but not
+  // their parent slots (see the invariant note in phast/kernels.h), so a
+  // workspace reused across batches with disjoint reachable sets carries
+  // stale parent values in memory. ParentInGPlus must never surface them:
+  // the labels_[slot] == kInfWeight guard is load-bearing, and this test
+  // fails if it is ever removed.
+  const Graph g = Graph::FromEdgeList(TwoComponentGraph());
+  const CHData ch = BuildContractionHierarchy(g);
+  for (const SweepOrder order :
+       {SweepOrder::kRankDescending, SweepOrder::kLevelNoReorder,
+        SweepOrder::kLevelReordered}) {
+    Phast::Options options;
+    options.order = order;
+    options.implicit_init = true;
+    const Phast engine(ch, options);
+    Phast::Workspace ws = engine.MakeWorkspace(1, /*want_parents=*/true);
+
+    // Batch 1 reaches only component A and populates parent slots there.
+    engine.ComputeTree(/*source=*/0, ws);
+    for (VertexId v = 8; v < 16; ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), kInfWeight);
+      ASSERT_EQ(engine.ParentInGPlus(ws, v), kInvalidVertex);
+    }
+    ASSERT_NE(engine.ParentInGPlus(ws, 5), kInvalidVertex);
+
+    // Batch 2 through the same workspace reaches only component B; every
+    // component-A vertex now holds a stale parent slot in memory.
+    engine.ComputeTree(/*source=*/8, ws);
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, 8);
+    for (VertexId v = 0; v < 8; ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), kInfWeight);
+      ASSERT_EQ(engine.ParentInGPlus(ws, v), kInvalidVertex)
+          << "stale parent leaked for unreached vertex " << v;
+    }
+    // Reached vertices have exact distances and parent paths to the source.
+    for (VertexId v = 9; v < 16; ++v) {
+      ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]);
+      VertexId cur = v;
+      size_t steps = 0;
+      while (cur != 8) {
+        cur = engine.ParentInGPlus(ws, cur);
+        ASSERT_NE(cur, kInvalidVertex);
+        ASSERT_LE(++steps, static_cast<size_t>(g.NumVertices()));
+      }
+    }
+  }
+}
+
+TEST(MultiBatchParents, StaleParentsStayHiddenForMultiTreeKernels) {
+  // Same hazard, k=8 so the SSE/AVX2 kernels run their unmarked-vertex
+  // label-reset path (which intentionally skips parent slots).
+  const Graph g = Graph::FromEdgeList(TwoComponentGraph());
+  const CHData ch = BuildContractionHierarchy(g);
+  for (const SimdMode simd :
+       {SimdMode::kScalar, SimdMode::kSse, SimdMode::kAvx2}) {
+    if (!SimdModeAvailable(simd)) continue;
+    Phast::Options options;
+    options.simd = simd;
+    options.implicit_init = true;
+    const Phast engine(ch, options);
+    Phast::Workspace ws = engine.MakeWorkspace(8, /*want_parents=*/true);
+
+    const std::vector<VertexId> batch_a = {0, 1, 2, 3, 4, 5, 6, 7};
+    engine.ComputeTrees(batch_a, ws);
+    const std::vector<VertexId> batch_b = {8, 9, 10, 11, 12, 13, 14, 15};
+    engine.ComputeTrees(batch_b, ws);
+    for (uint32_t tree = 0; tree < 8; ++tree) {
+      for (VertexId v = 0; v < 8; ++v) {
+        ASSERT_EQ(engine.Distance(ws, v, tree), kInfWeight);
+        ASSERT_EQ(engine.ParentInGPlus(ws, v, tree), kInvalidVertex)
+            << "simd kernel leaked a stale parent for vertex " << v;
+      }
+    }
   }
 }
 

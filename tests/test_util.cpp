@@ -177,9 +177,52 @@ TEST(Stats, SingleSample) {
 }
 
 TEST(Stats, ThrowsOnEmpty) {
+  // Empty accumulators fail through the canonical Require(cond, msg) path
+  // with a message naming the accessor (regression: the old private
+  // Require(bool) threw a generic logic_error and depended on a transitive
+  // include of <stdexcept>).
   StatsAccumulator acc;
-  EXPECT_THROW((void)acc.Mean(), std::logic_error);
-  EXPECT_THROW((void)acc.Percentile(50), std::logic_error);
+  EXPECT_THROW((void)acc.Mean(), InputError);
+  EXPECT_THROW((void)acc.Min(), InputError);
+  EXPECT_THROW((void)acc.Max(), InputError);
+  EXPECT_THROW((void)acc.StdDev(), InputError);
+  try {
+    (void)acc.Percentile(50);
+    FAIL() << "Percentile on empty accumulator must throw";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("Percentile"), std::string::npos);
+  }
+}
+
+TEST(Stats, PercentileCacheInvalidatedByAdd) {
+  // Percentile caches the sorted copy; an Add in between must invalidate
+  // it, including adds that land below the current minimum.
+  StatsAccumulator acc;
+  for (double x : {30.0, 10.0, 20.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 30.0);
+  acc.Add(1.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Median(), 15.0);
+  acc.Clear();
+  acc.Add(7.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 7.0);
+}
+
+TEST(Stats, RepeatedPercentilesStaySorted) {
+  // Many queries between adds must agree with a from-scratch sort each time
+  // (exercises the cache-reuse path rather than the rebuild path).
+  StatsAccumulator acc;
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    acc.Add(static_cast<double>(rng.NextBounded(1000)));
+    std::vector<double> sorted = acc.Samples();
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(acc.Percentile(0), sorted.front());
+    EXPECT_DOUBLE_EQ(acc.Percentile(100), sorted.back());
+    EXPECT_DOUBLE_EQ(acc.Min(), sorted.front());
+    EXPECT_DOUBLE_EQ(acc.Max(), sorted.back());
+  }
 }
 
 // --------------------------- Timer ----------------------------------------

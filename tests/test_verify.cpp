@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ch/contraction.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "verify/fuzzer.h"
+#include "verify/invariants.h"
+#include "verify/mutator.h"
+#include "verify/oracle.h"
+
+namespace phast::verify {
+namespace {
+
+// ----------------------------- mutator -------------------------------------
+
+TEST(Mutator, BaseGraphIsDeterministic) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const EdgeList a = MakeBaseGraph(seed);
+    const EdgeList b = MakeBaseGraph(seed);
+    EXPECT_EQ(a.NumVertices(), b.NumVertices());
+    EXPECT_EQ(a.Edges(), b.Edges());
+    EXPECT_GT(a.NumVertices(), 0u);
+  }
+}
+
+TEST(Mutator, MutationIsDeterministic) {
+  const EdgeList base = MakeBaseGraph(3);
+  MutationSummary sa, sb;
+  const EdgeList a = MutateGraph(base, 42, 20, &sa);
+  const EdgeList b = MutateGraph(base, 42, 20, &sb);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_EQ(sa.ToString(), sb.ToString());
+}
+
+TEST(Mutator, MutationPrefixProperty) {
+  // Minimization relies on this: the first m mutations of an n-mutation run
+  // produce exactly the m-mutation run. Each mutation must consume a fixed
+  // amount of randomness regardless of how many follow it.
+  const EdgeList base = MakeBaseGraph(5);
+  const EdgeList full = MutateGraph(base, 7, 16);
+  for (uint32_t m : {0u, 1u, 5u, 16u}) {
+    const EdgeList prefix = MutateGraph(base, 7, m);
+    if (m == 16) {
+      EXPECT_EQ(prefix.Edges(), full.Edges());
+    }
+    // Re-running the same prefix must be stable.
+    EXPECT_EQ(prefix.Edges(), MutateGraph(base, 7, m).Edges());
+  }
+  EXPECT_EQ(MutateGraph(base, 7, 0).Edges(), base.Edges());
+}
+
+TEST(Mutator, SummaryCountsMatchMutationCount) {
+  const EdgeList base = MakeBaseGraph(2);
+  MutationSummary s;
+  (void)MutateGraph(base, 11, 30, &s);
+  const uint32_t total = s.arcs_added + s.zero_weight_arcs + s.parallel_arcs +
+                         s.huge_weight_arcs + s.self_loops + s.arcs_removed +
+                         s.vertices_isolated;
+  EXPECT_EQ(total, 30u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(Mutator, DifferentSeedsDiverge) {
+  const EdgeList base = MakeBaseGraph(1);
+  const EdgeList a = MutateGraph(base, 100, 12);
+  const EdgeList b = MutateGraph(base, 101, 12);
+  EXPECT_NE(a.Edges(), b.Edges());
+}
+
+// ------------------------- config name round-trip ---------------------------
+
+TEST(OracleConfigName, RoundTripsEveryCrossProductEntry) {
+  const std::vector<OracleConfig> configs = FullConfigCrossProduct();
+  ASSERT_FALSE(configs.empty());
+  std::set<std::string> names;
+  for (const OracleConfig& c : configs) {
+    const std::string name = ConfigName(c);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate config " << name;
+    OracleConfig parsed;
+    ASSERT_TRUE(ParseConfigName(name, &parsed)) << name;
+    EXPECT_EQ(ConfigName(parsed), name);
+    EXPECT_EQ(parsed.order, c.order);
+    EXPECT_EQ(parsed.simd, c.simd);
+    EXPECT_EQ(parsed.implicit_init, c.implicit_init);
+    EXPECT_EQ(parsed.want_parents, c.want_parents);
+    EXPECT_EQ(parsed.parallel_sweep, c.parallel_sweep);
+    EXPECT_EQ(parsed.k, c.k);
+  }
+}
+
+TEST(OracleConfigName, RejectsMalformedNames) {
+  OracleConfig c;
+  EXPECT_FALSE(ParseConfigName("", &c));
+  EXPECT_FALSE(ParseConfigName("order=reordered", &c));
+  EXPECT_FALSE(ParseConfigName(
+      "order=bogus,simd=scalar,init=implicit,parents=on,sweep=serial,k=1",
+      &c));
+  EXPECT_FALSE(ParseConfigName(
+      "order=rank,simd=scalar,init=implicit,parents=on,sweep=serial,k=zero",
+      &c));
+}
+
+TEST(OracleConfigName, CrossProductCoversEveryAxis) {
+  const std::vector<OracleConfig> configs = FullConfigCrossProduct();
+  std::set<SweepOrder> orders;
+  std::set<uint32_t> ks;
+  bool any_parents = false, any_no_parents = false;
+  bool any_implicit = false, any_explicit = false;
+  bool any_parallel = false;
+  for (const OracleConfig& c : configs) {
+    orders.insert(c.order);
+    ks.insert(c.k);
+    (c.want_parents ? any_parents : any_no_parents) = true;
+    (c.implicit_init ? any_implicit : any_explicit) = true;
+    any_parallel |= c.parallel_sweep;
+    // Parallel sweeps need level groups; rank order has none.
+    EXPECT_FALSE(c.parallel_sweep && c.order == SweepOrder::kRankDescending);
+  }
+  EXPECT_EQ(orders.size(), 3u);
+  EXPECT_GE(ks.size(), 3u);
+  EXPECT_TRUE(any_parents && any_no_parents);
+  EXPECT_TRUE(any_implicit && any_explicit);
+  EXPECT_TRUE(any_parallel);
+}
+
+// ------------------------------ invariants ----------------------------------
+
+EdgeList SmallCountry() {
+  CountryParams params;
+  params.width = 6;
+  params.height = 6;
+  params.seed = 9;
+  return GenerateCountry(params).edges;
+}
+
+TEST(Invariants, PassOnWellFormedPipeline) {
+  EdgeList edges = SmallCountry();
+  edges.Normalize();
+  const Graph g = Graph::FromEdgeList(edges);
+  EXPECT_EQ(CheckCsrWellFormed(g), "");
+  const CHData ch = BuildContractionHierarchy(g);
+  for (const SweepOrder order :
+       {SweepOrder::kRankDescending, SweepOrder::kLevelNoReorder,
+        SweepOrder::kLevelReordered}) {
+    Phast::Options options;
+    options.order = order;
+    const Phast engine(ch, options);
+    EXPECT_EQ(CheckEngineTopology(engine, &ch), "");
+    Phast::Workspace ws = engine.MakeWorkspace(1);
+    engine.ComputeTree(0, ws);
+    EXPECT_EQ(CheckMarksClean(engine, ws), "");
+  }
+}
+
+TEST(Invariants, HeapCheckerPassesOnRealHeap) {
+  EXPECT_EQ(CheckHeapInvariants(/*seed=*/123, /*num_ops=*/600), "");
+  EXPECT_EQ(CheckHeapInvariants(/*seed=*/7, /*num_ops=*/100), "");
+}
+
+// -------------------------------- oracle ------------------------------------
+
+TEST(Oracle, CleanOnUnmutatedGraph) {
+  const Oracle oracle(SmallCountry());
+  std::string failing;
+  const std::string diagnosis = oracle.RunAll(/*seed=*/1, &failing);
+  EXPECT_EQ(diagnosis, "") << "config: " << failing;
+}
+
+TEST(Oracle, CleanOnHostileMutant) {
+  // Zero weights, parallel arcs, near-2^32 weights, isolated vertices — the
+  // exact instance features each satellite bug class lives in.
+  const EdgeList mutant = MutateGraph(MakeBaseGraph(4), /*seed=*/4, 24);
+  const Oracle oracle(mutant);
+  std::string failing;
+  const std::string diagnosis = oracle.RunAll(/*seed=*/4, &failing);
+  EXPECT_EQ(diagnosis, "") << "config: " << failing;
+}
+
+TEST(Oracle, SingleConfigRunAgreesWithDijkstra) {
+  const Oracle oracle(SmallCountry());
+  const std::vector<VertexId> sources =
+      OracleSources(oracle.GetGraph().NumVertices(), /*seed=*/2);
+  OracleConfig config;
+  config.k = 4;
+  config.want_parents = true;
+  EXPECT_EQ(oracle.RunConfig(config, sources), "");
+}
+
+TEST(Oracle, SourcesAreDeterministicAndInRange) {
+  const std::vector<VertexId> a = OracleSources(50, 9);
+  const std::vector<VertexId> b = OracleSources(50, 9);
+  EXPECT_EQ(a, b);
+  ASSERT_GE(a.size(), 16u);
+  for (const VertexId s : a) EXPECT_LT(s, 50u);
+  EXPECT_NE(a, OracleSources(50, 10));
+}
+
+// -------------------------------- fuzzer ------------------------------------
+
+TEST(Fuzzer, ShortRunIsClean) {
+  FuzzOptions options;
+  options.master_seed = 1;
+  options.iterations = 3;
+  options.max_mutations = 12;
+  const FuzzReport report = RunFuzz(options);
+  EXPECT_EQ(report.iterations_run, 3u);
+  EXPECT_TRUE(report.Clean())
+      << report.failures.front().ReplayLine() << "\n"
+      << report.failures.front().message;
+}
+
+TEST(Fuzzer, ReplayOfCleanCaseDoesNotReproduce) {
+  std::string message;
+  EXPECT_FALSE(ReplayCase(/*seed=*/1, /*mutations=*/8, "", &message))
+      << message;
+  // Single-config replay of a clean case is also clean.
+  EXPECT_FALSE(ReplayCase(
+      /*seed=*/1, /*mutations=*/8,
+      "order=reordered,simd=scalar,init=implicit,parents=on,sweep=serial,k=4",
+      &message))
+      << message;
+}
+
+TEST(Fuzzer, ReplayLineIsWellFormed) {
+  FuzzFailure failure;
+  failure.seed = 77;
+  failure.mutations = 5;
+  failure.config = "invariants";
+  const std::string line = failure.ReplayLine();
+  EXPECT_NE(line.find("--replay"), std::string::npos);
+  EXPECT_NE(line.find("--seed=77"), std::string::npos);
+  EXPECT_NE(line.find("--mutations=5"), std::string::npos);
+  EXPECT_NE(line.find("--config=invariants"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phast::verify
