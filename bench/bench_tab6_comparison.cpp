@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   double dijkstra_ms;
   {
     Timer timer;
-#pragma omp parallel
+#pragma omp parallel default(none) shared(g, sources) firstprivate(n)
     {
       DialBuckets queue(n, MaxArcWeight(g));
       std::vector<Weight> dist(n);

@@ -137,17 +137,24 @@ class Contractor {
     {
       std::vector<WitnessWorkspace> pool(
           static_cast<size_t>(std::max(1, MaxThreads())));
-#pragma omp parallel
+      // Threads share the workspace pool (one slot per thread id) and the
+      // disjoint cached_ed_/cached_h_ slots; the guard keeps an allocation
+      // failure in Init/Simulate from escaping the region.
+      OmpExceptionGuard guard;
+#pragma omp parallel default(none) shared(pool, guard)
       {
         WitnessWorkspace& ws = pool[static_cast<size_t>(CurrentThread())];
-        ws.Init(n_);
+        guard.Run([&] { ws.Init(n_); });
 #pragma omp for schedule(dynamic, 64)
         for (int64_t v = 0; v < static_cast<int64_t>(n_); ++v) {
-          const Simulation sim = Simulate(static_cast<VertexId>(v), ws);
-          cached_ed_[v] = sim.EdgeDifference();
-          cached_h_[v] = sim.hop_sum;
+          guard.Run([&] {
+            const Simulation sim = Simulate(static_cast<VertexId>(v), ws);
+            cached_ed_[v] = sim.EdgeDifference();
+            cached_h_[v] = sim.hop_sum;
+          });
         }
       }
+      guard.Rethrow();
     }
     workspace_.Init(n_);
 

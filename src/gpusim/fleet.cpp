@@ -16,38 +16,47 @@ GphastFleet::GphastFleet(const Phast& engine, std::vector<DeviceSpec> specs)
   }
 }
 
-GphastFleet::Estimate GphastFleet::EstimateWorkload(uint64_t num_trees,
-                                                    uint32_t k) {
-  Require(num_trees > 0 && k > 0, "need a positive workload");
+const GphastFleet::Calibration& GphastFleet::CalibrateLocked(uint32_t k) {
+  const auto cached = calibration_cache_.find(k);
+  if (cached != calibration_cache_.end()) return cached->second;
 
   // Calibration: one k-batch per device from a fixed source sample. Only
   // the *modeled* device time enters the split — it is deterministic,
   // whereas the measured host time of the upward searches is identical
   // across devices and merely adds to every device's per-tree cost.
-  std::vector<double> ms_per_tree(devices_.size());
+  Calibration cal;
+  cal.ms_per_tree.resize(devices_.size());
   Rng rng(12345);
   std::vector<VertexId> sources(k);
   for (auto& s : sources) {
     s = static_cast<VertexId>(rng.NextBounded(engine_.NumVertices()));
   }
   Phast::Workspace ws = engine_.MakeWorkspace(k);
-  double host_ms_per_tree = 0.0;
   for (size_t d = 0; d < devices_.size(); ++d) {
     const Gphast::Result r = devices_[d].ComputeTrees(sources, ws);
-    ms_per_tree[d] = r.modeled_device_seconds * 1e3 / k;
-    host_ms_per_tree = r.host_seconds * 1e3 / k;  // same CPU for all
+    cal.ms_per_tree[d] = r.modeled_device_seconds * 1e3 / k;
+    cal.host_ms_per_tree = r.host_seconds * 1e3 / k;  // same CPU for all
   }
+  return calibration_cache_.emplace(k, std::move(cal)).first->second;
+}
+
+GphastFleet::Estimate GphastFleet::EstimateWorkload(uint64_t num_trees,
+                                                    uint32_t k) {
+  Require(num_trees > 0 && k > 0, "need a positive workload");
+
+  const MutexLock lock(mu_);
+  const Calibration& cal = CalibrateLocked(k);
 
   // Proportional split: device share ~ 1 / ms_per_tree.
   double total_rate = 0.0;
-  for (const double ms : ms_per_tree) total_rate += 1.0 / ms;
+  for (const double ms : cal.ms_per_tree) total_rate += 1.0 / ms;
 
   Estimate estimate;
   estimate.trees_per_device.resize(devices_.size());
   estimate.seconds_per_device.resize(devices_.size());
   uint64_t assigned = 0;
   for (size_t d = 0; d < devices_.size(); ++d) {
-    const double share = (1.0 / ms_per_tree[d]) / total_rate;
+    const double share = (1.0 / cal.ms_per_tree[d]) / total_rate;
     const uint64_t trees =
         d + 1 == devices_.size()
             ? num_trees - assigned
@@ -55,14 +64,14 @@ GphastFleet::Estimate GphastFleet::EstimateWorkload(uint64_t num_trees,
     assigned += trees;
     estimate.trees_per_device[d] = trees;
     estimate.seconds_per_device[d] =
-        static_cast<double>(trees) * ms_per_tree[d] / 1e3;
+        static_cast<double>(trees) * cal.ms_per_tree[d] / 1e3;
     estimate.wall_seconds =
         std::max(estimate.wall_seconds, estimate.seconds_per_device[d]);
   }
   estimate.ms_per_tree_aggregate =
       estimate.wall_seconds * 1e3 / static_cast<double>(num_trees);
   estimate.host_seconds_total =
-      host_ms_per_tree * static_cast<double>(num_trees) / 1e3;
+      cal.host_ms_per_tree * static_cast<double>(num_trees) / 1e3;
   return estimate;
 }
 

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "gpusim/device.h"
 #include "gpusim/gphast.h"
 #include "graph/types.h"
 #include "phast/phast.h"
+#include "util/thread_annotations.h"
 
 namespace phast {
 
@@ -41,13 +43,34 @@ class GphastFleet {
 
   /// Calibrates each device with one k-tree sample batch and projects the
   /// time to compute `num_trees` trees with k trees per sweep.
-  [[nodiscard]] Estimate EstimateWorkload(uint64_t num_trees, uint32_t k);
+  ///
+  /// Thread-safe: a fleet is shared by serving threads, so the per-k
+  /// calibration (which mutates the modeled devices) is serialized under
+  /// mu_ and cached — repeat estimates for the same k reuse it.
+  [[nodiscard]] Estimate EstimateWorkload(uint64_t num_trees, uint32_t k)
+      EXCLUDES(mu_);
 
-  [[nodiscard]] size_t NumDevices() const { return devices_.size(); }
+  [[nodiscard]] size_t NumDevices() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return devices_.size();
+  }
 
  private:
+  /// Per-device modeled cost for one fixed k, measured once.
+  struct Calibration {
+    std::vector<double> ms_per_tree;  // modeled device ms, per device
+    double host_ms_per_tree = 0.0;    // measured upward-search ms (shared CPU)
+  };
+
+  /// Returns the cached calibration for k, running the sample batches on
+  /// first use. Callers must hold mu_: calibration drives the modeled
+  /// devices, whose stats counters are mutable shared state.
+  const Calibration& CalibrateLocked(uint32_t k) REQUIRES(mu_);
+
   const Phast& engine_;
-  std::vector<Gphast> devices_;
+  mutable AnnotatedMutex mu_;
+  std::vector<Gphast> devices_ GUARDED_BY(mu_);
+  std::map<uint32_t, Calibration> calibration_cache_ GUARDED_BY(mu_);
 };
 
 }  // namespace phast

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/edge_list.h"
@@ -17,6 +18,15 @@ struct Arc {
 
   friend bool operator==(const Arc&, const Arc&) = default;
 };
+
+// Layout contracts for the sequential arc scan (§IV-A): the whole point of
+// the first/arclist representation is that one cache line holds 8 packed
+// arcs, and serialization memcpys arc arrays verbatim.
+static_assert(std::is_trivially_copyable_v<Arc>,
+              "Arc must stay memcpy-able (binary CH I/O writes arc arrays)");
+static_assert(sizeof(Arc) == 8 && alignof(Arc) == 4,
+              "Arc must pack to 8 bytes — padding would halve arc-scan "
+              "bandwidth, the quantity PHAST's sweep is bound by");
 
 /// Static directed graph in the cache-efficient `first`/`arclist`
 /// representation of paper §IV-A.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -39,23 +40,42 @@ void ComputeManyTrees(const Phast& engine, std::span<const VertexId> sources,
   const int64_t num_batches =
       static_cast<int64_t>((sources.size() + k - 1) / k);
 
-#pragma omp parallel
+  // Exceptions may not escape an OpenMP parallel region (std::terminate);
+  // the guard captures the first one — from workspace allocation, the
+  // engine, or the visitor — and rethrows it after the team joins. It is
+  // the only state the threads share mutably.
+  OmpExceptionGuard guard;
+#pragma omp parallel default(none) \
+    shared(engine, sources, options, visit, guard, num_batches) \
+    firstprivate(k)
   {
-    Phast::Workspace ws = engine.MakeWorkspace(k, options.want_parents);
-    std::vector<VertexId> batch(k);
+    // Workspace construction can throw (allocation); it must still be
+    // guarded, and the worksharing loop below must be encountered by every
+    // thread, so the workspace lives in an optional and a failed thread
+    // runs the loop as a no-op while the guard cancels the other threads.
+    std::optional<Phast::Workspace> ws;
+    std::vector<VertexId> batch;
+    guard.Run([&] {
+      ws.emplace(engine.MakeWorkspace(k, options.want_parents));
+      batch.resize(k);
+    });
 #pragma omp for schedule(dynamic, 1)
     for (int64_t b = 0; b < num_batches; ++b) {
-      const size_t begin = static_cast<size_t>(b) * k;
-      const size_t live = std::min<size_t>(k, sources.size() - begin);
-      for (uint32_t i = 0; i < k; ++i) {
-        batch[i] = sources[begin + std::min<size_t>(i, live - 1)];
-      }
-      engine.ComputeTrees(batch, ws);
-      for (uint32_t i = 0; i < live; ++i) {
-        visit(begin + i, ws, i);
-      }
+      guard.Run([&] {
+        if (!ws) return;
+        const size_t begin = static_cast<size_t>(b) * k;
+        const size_t live = std::min<size_t>(k, sources.size() - begin);
+        for (uint32_t i = 0; i < k; ++i) {
+          batch[i] = sources[begin + std::min<size_t>(i, live - 1)];
+        }
+        engine.ComputeTrees(batch, *ws);
+        for (uint32_t i = 0; i < live; ++i) {
+          visit(begin + i, *ws, i);
+        }
+      });
     }
   }
+  guard.Rethrow();
 }
 
 }  // namespace phast

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "graph/types.h"
 #include "phast/options.h"
+#include "util/aligned.h"
 
 namespace phast {
 
@@ -13,6 +15,19 @@ struct DownArc {
   VertexId tail = 0;
   Weight weight = 0;
 };
+
+// Layout contracts of the sweep (§IV-A/§IV-B). The SIMD kernels assume
+// 32-bit labels (4 per SSE lane, 8 per AVX2 lane) laid out k-strided in a
+// backing array whose alignment covers the widest vector; DownArc entries
+// must pack so the downward arc scan streams 8 arcs per cache line.
+static_assert(std::is_trivially_copyable_v<DownArc> && sizeof(DownArc) == 8,
+              "DownArc must pack to 8 bytes for the streaming arc scan");
+static_assert(sizeof(Weight) == 4 && sizeof(VertexId) == 4,
+              "sweep kernels assume 32-bit labels and parents "
+              "(4 per 128-bit lane, 8 per 256-bit lane)");
+static_assert(AlignedVector<Weight>::allocator_type::alignment % 32 == 0,
+              "label arrays must be aligned to at least the AVX2 width; the "
+              "k-strided row of vertex v starts at offset v*k*4");
 
 /// Everything a sweep kernel needs, in raw-pointer form so the same kernels
 /// serve the CPU engine and the GPU simulator's reference path.
@@ -44,6 +59,12 @@ struct SweepArgs {
     return (marks[v >> 6] >> (v & 63)) & 1;
   }
 };
+
+// SweepArgs is passed by value into every kernel invocation (and
+// firstprivate-copied into OpenMP regions); it must stay a plain bundle of
+// pointers and scalars.
+static_assert(std::is_trivially_copyable_v<SweepArgs>,
+              "SweepArgs must remain trivially copyable");
 
 /// Pointer to a kernel that sweeps positions [begin, end).
 using SweepKernelFn = void (*)(const SweepArgs&, VertexId begin, VertexId end);

@@ -232,7 +232,10 @@ void Phast::ComputeTreesParallel(std::span<const VertexId> sources,
       kernel(args, begin, end);
       continue;
     }
-#pragma omp parallel
+    // The kernel only reads shared sweep state (labels of lower levels are
+    // finalized by the per-level barrier; mark words are read-only during
+    // the sweep), so the explicit sharing list is all read-only.
+#pragma omp parallel default(none) shared(kernel, args, begin, end)
     {
       const uint32_t threads = static_cast<uint32_t>(TeamSize());
       const uint32_t me = static_cast<uint32_t>(CurrentThread());

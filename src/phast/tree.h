@@ -8,6 +8,14 @@
 
 namespace phast {
 
+// Sentinel contracts the tree extraction leans on: an unreached vertex has
+// label kInfWeight == 0xFFFFFFFF (what the SIMD min_epu32 saturates to) and
+// parent kInvalidVertex == 0xFFFFFFFF, so "all bits set" uniformly means
+// "absent" for both labels and parents.
+static_assert(kInfWeight == 0xFFFFFFFFu && kInvalidVertex == 0xFFFFFFFFu,
+              "tree extraction assumes all-ones sentinels for labels and "
+              "parents");
+
 /// Derives parent pointers *in the original graph* from exact distance
 /// labels (§VII-A): one pass over the arc list of G, making u the parent of
 /// v whenever d(v) == d(u) + l(u, v). Requires strictly positive original

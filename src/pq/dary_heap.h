@@ -54,7 +54,7 @@ class DaryHeap {
     return heap_.front().key;
   }
 
-  std::pair<VertexId, Weight> ExtractMin() {
+  [[nodiscard]] std::pair<VertexId, Weight> ExtractMin() {
     assert(!Empty());
     const Entry top = heap_.front();
     position_[top.vertex] = kNotInHeap;

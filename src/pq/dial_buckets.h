@@ -39,7 +39,7 @@ class DialBuckets {
     ++size_;
   }
 
-  std::pair<VertexId, Weight> ExtractMin() {
+  [[nodiscard]] std::pair<VertexId, Weight> ExtractMin() {
     assert(!Empty());
     // Advance the cursor key until its bucket holds an entry with that exact
     // key. Entries of key `last_min_ + span_ - r` share the bucket of key

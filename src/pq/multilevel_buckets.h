@@ -46,7 +46,7 @@ class MultiLevelBuckets {
     ++size_;
   }
 
-  std::pair<VertexId, Weight> ExtractMin() {
+  [[nodiscard]] std::pair<VertexId, Weight> ExtractMin() {
     assert(!Empty());
     // Fast path: a level-0 bucket at or after µ's chunk. Level-0 buckets
     // hold exactly one key value each, so any entry of the first non-empty
@@ -147,8 +147,8 @@ class MultiLevelBuckets {
       entries.swap(b);
       MarkEmpty(level, static_cast<uint32_t>(bucket));
       mu_ = std::min_element(entries.begin(), entries.end(),
-                             [](const Entry& a, const Entry& b) {
-                               return a.key < b.key;
+                             [](const Entry& lhs, const Entry& rhs) {
+                               return lhs.key < rhs.key;
                              })
                 ->key;
       for (const Entry& e : entries) Place(e);

@@ -43,7 +43,7 @@ class RadixHeap {
     ++size_;
   }
 
-  std::pair<VertexId, Weight> ExtractMin() {
+  [[nodiscard]] std::pair<VertexId, Weight> ExtractMin() {
     assert(!Empty());
     if (buckets_[0].empty()) Redistribute();
     const Entry e = buckets_[0].back();

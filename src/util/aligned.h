@@ -5,6 +5,8 @@
 #include <new>
 #include <vector>
 
+#include "util/error.h"
+
 namespace phast {
 
 /// STL-compatible allocator with a fixed alignment.
@@ -30,7 +32,7 @@ class AlignedAllocator {
   T* allocate(size_t n) {
     if (n == 0) return nullptr;
     void* p = std::aligned_alloc(Alignment, RoundUp(n * sizeof(T)));
-    if (p == nullptr) throw std::bad_alloc();
+    if (p == nullptr) ThrowBadAlloc();
     return static_cast<T*>(p);
   }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <new>
 #include <stdexcept>
 #include <string>
 
@@ -17,5 +18,10 @@ class InputError : public std::runtime_error {
 inline void Require(bool condition, const std::string& message) {
   if (!condition) throw InputError(message);
 }
+
+/// Centralized allocation-failure throw site. phast_lint forbids naked
+/// `throw` outside this header so that every error path is greppable and
+/// uniformly typed; allocators call this instead of throwing inline.
+[[noreturn]] inline void ThrowBadAlloc() { throw std::bad_alloc(); }
 
 }  // namespace phast

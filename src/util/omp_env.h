@@ -1,5 +1,10 @@
 #pragma once
 
+#include <atomic>
+#include <exception>
+
+#include "util/thread_annotations.h"
+
 #if defined(_OPENMP)
 #include <omp.h>
 #endif
@@ -42,6 +47,52 @@ inline int HardwareThreads() {
   return 1;
 #endif
 }
+
+/// Captures the first exception thrown inside an OpenMP parallel region and
+/// rethrows it after the region joins. OpenMP requires exceptions to be
+/// caught in the region that threw them — an escaping exception is
+/// std::terminate — so parallel drivers wrap their per-iteration work in
+/// Run() and call Rethrow() once the team has joined.
+///
+/// Threads race to store their exception; the mutex-guarded slot keeps the
+/// first one and drops the rest. Once an exception is recorded, Cancelled()
+/// lets the remaining iterations bail out early.
+class OmpExceptionGuard {
+ public:
+  /// Runs `fn()`, capturing any exception it throws. Safe to call
+  /// concurrently from any number of threads.
+  template <typename Fn>
+  void Run(Fn&& fn) EXCLUDES(mu_) {
+    if (Cancelled()) return;
+    try {
+      fn();
+    } catch (...) {
+      const MutexLock lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+        cancelled_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// True once any thread has recorded an exception (cheap, lock-free read;
+  /// stale "false" only costs one extra iteration).
+  [[nodiscard]] bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Rethrows the captured exception, if any. Call after the parallel
+  /// region has joined (single-threaded context).
+  void Rethrow() EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  AnnotatedMutex mu_;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  std::atomic<bool> cancelled_{false};  // monotonic; set under mu_ only
+};
 
 /// Scoped override of the OpenMP thread count; restores on destruction.
 /// The paper's Tables II and V sweep the number of cores — benchmarks use

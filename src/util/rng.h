@@ -29,7 +29,7 @@ class Rng {
   }
 
   /// Uniform 64-bit value.
-  uint64_t Next() {
+  [[nodiscard]] uint64_t Next() {
     uint64_t x = s0_;
     const uint64_t y = s1_;
     s0_ = y;
@@ -39,23 +39,23 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound). bound must be > 0.
-  uint64_t NextBounded(uint64_t bound) {
+  [[nodiscard]] uint64_t NextBounded(uint64_t bound) {
     // Rejection-free multiply-shift; bias is negligible for bound << 2^64.
     return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
   }
 
   /// Uniform integer in [lo, hi] (inclusive).
-  int64_t NextInRange(int64_t lo, int64_t hi) {
+  [[nodiscard]] int64_t NextInRange(int64_t lo, int64_t hi) {
     return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
   }
 
   /// Uniform real in [0, 1).
-  double NextDouble() {
+  [[nodiscard]] double NextDouble() {
     return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
   }
 
   /// Bernoulli trial with probability p.
-  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+  [[nodiscard]] bool NextBool(double p = 0.5) { return NextDouble() < p; }
 
  private:
   uint64_t s0_ = 0;

@@ -75,7 +75,7 @@ class StatsAccumulator {
   [[nodiscard]] const std::vector<double>& Samples() const { return samples_; }
 
  private:
-  const std::vector<double>& SortedSamples() const {
+  [[nodiscard]] const std::vector<double>& SortedSamples() const {
     if (!sorted_valid_) {
       sorted_ = samples_;
       std::sort(sorted_.begin(), sorted_.end());

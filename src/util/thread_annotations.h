@@ -1,0 +1,72 @@
+#pragma once
+
+#include <mutex>
+
+/// Clang thread-safety annotations (-Wthread-safety) for the few places in
+/// the library that share mutable state across threads. Under GCC (or any
+/// compiler without the attributes) every macro expands to nothing, so the
+/// annotations are zero-cost documentation there and a compile-time gate
+/// under Clang — the `static-analysis` CI job builds with
+/// -Werror=thread-safety.
+///
+/// Conventions (see DESIGN.md "Static analysis"):
+///  - every mutex-protected member is declared GUARDED_BY(mu_);
+///  - private helpers that assume the lock is held are declared
+///    REQUIRES(mu_) instead of re-locking;
+///  - public entry points take the lock with MutexLock (RAII) and never
+///    expose guarded references.
+
+#if defined(__clang__)
+#define PHAST_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PHAST_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) PHAST_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY PHAST_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) PHAST_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) PHAST_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define REQUIRES(...) \
+  PHAST_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) PHAST_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ACQUIRE(...) PHAST_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) PHAST_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  PHAST_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) PHAST_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PHAST_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace phast {
+
+/// std::mutex with capability annotations so that -Wthread-safety can track
+/// which members it guards. Same interface shape as the Clang docs' mutex.h.
+class CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for AnnotatedMutex; the annotation makes the analysis treat the
+/// scope of the guard as "capability held".
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  AnnotatedMutex& mu_;
+};
+
+}  // namespace phast

@@ -61,8 +61,8 @@ INSTANTIATE_TEST_SUITE_P(Strategies, TableStrategies,
                          ::testing::Values(TableStrategy::kFullSweep,
                                            TableStrategy::kRestrictedSweep,
                                            TableStrategy::kAuto),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case TableStrategy::kFullSweep:
                                return "full";
                              case TableStrategy::kRestrictedSweep:

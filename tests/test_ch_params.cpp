@@ -125,8 +125,8 @@ TEST_P(ChParams, StructuralInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Params, ChParams,
                          ::testing::ValuesIn(AllParamCases()),
-                         [](const auto& info) {
-                           return std::string(info.param.name);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.name);
                          });
 
 TEST(ChParamsQuality, BetterWitnessSearchesMeanFewerShortcuts) {

@@ -169,8 +169,8 @@ INSTANTIATE_TEST_SUITE_P(
                       KernelCase{SimdMode::kSse, 8, "sse8"},
                       KernelCase{SimdMode::kAvx2, 8, "avx8"},
                       KernelCase{SimdMode::kAvx2, 16, "avx16"}),
-    [](const ::testing::TestParamInfo<KernelCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<KernelCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(KernelOrderArray, NonIdentityOrderFollowed) {

@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModeCase{SweepOrder::kRankDescending, "rank"},
                       ModeCase{SweepOrder::kLevelNoReorder, "level"},
                       ModeCase{SweepOrder::kLevelReordered, "reordered"}),
-    [](const ::testing::TestParamInfo<ModeCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ModeCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(Phast, RepeatedTreesFromSameWorkspace) {

@@ -101,8 +101,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MultiCase{SimdMode::kAvx2, 16, "avx2_k16"},
                       MultiCase{SimdMode::kAuto, 4, "auto_k4"},
                       MultiCase{SimdMode::kAuto, 32, "auto_k32"}),
-    [](const ::testing::TestParamInfo<MultiCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<MultiCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(MultiTreeMisc, DuplicateSourcesGiveIdenticalTrees) {
@@ -219,6 +219,38 @@ TEST(Batch, RejectsZeroTreesPerSweep) {
                                 [](size_t, const Phast::Workspace&, uint32_t) {
                                 }),
                InputError);
+}
+
+TEST(Batch, OutOfRangeSourceThrowsInsteadOfTerminating) {
+  // The engine's source validation throws inside the OpenMP parallel
+  // region; without the OmpExceptionGuard in ComputeManyTrees that would be
+  // std::terminate (exceptions may not escape a parallel region). The guard
+  // captures the first error and rethrows it after the team joins.
+  const Graph g = CountryGraph(4);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> sources = {0, g.NumVertices() + 7, 1};
+  BatchOptions options;
+  options.trees_per_sweep = 1;
+  EXPECT_THROW(ComputeManyTrees(engine, sources, options,
+                                [](size_t, const Phast::Workspace&, uint32_t) {
+                                }),
+               InputError);
+}
+
+TEST(Batch, VisitorExceptionPropagates) {
+  const Graph g = CountryGraph(4);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> sources = {0, 1, 2, 3};
+  BatchOptions options;
+  options.trees_per_sweep = 2;
+  EXPECT_THROW(
+      ComputeManyTrees(engine, sources, options,
+                       [](size_t index, const Phast::Workspace&, uint32_t) {
+                         Require(index != 2, "visitor rejects source #2");
+                       }),
+      InputError);
 }
 
 TEST(Batch, EmptySourcesIsANoOp) {

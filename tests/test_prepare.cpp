@@ -107,6 +107,25 @@ TEST(Fleet, HeterogeneousSplitFavorsFasterCard) {
               0.2 * est.seconds_per_device[0]);
 }
 
+TEST(Fleet, RepeatEstimatesServeFromCalibrationCache) {
+  // EstimateWorkload calibrates per k and caches the result under the
+  // fleet's mutex; a repeat estimate for the same k must reproduce the
+  // modeled split exactly (the modeled device time is deterministic, and
+  // the cached host time is reused verbatim).
+  const GeneratedGraph raw = GenerateCountry({.width = 10, .height = 10});
+  const PreparedNetwork net = PrepareNetwork(raw.edges);
+  const Phast engine(net.ch);
+  GphastFleet fleet(engine, {DeviceSpec::Gtx580(), DeviceSpec::Gtx480()});
+  const auto first = fleet.EstimateWorkload(5000, 16);
+  const auto second = fleet.EstimateWorkload(5000, 16);
+  EXPECT_EQ(first.trees_per_device, second.trees_per_device);
+  EXPECT_EQ(first.wall_seconds, second.wall_seconds);
+  EXPECT_EQ(first.host_seconds_total, second.host_seconds_total);
+  // A different k re-calibrates rather than reusing the k=16 sample.
+  const auto other_k = fleet.EstimateWorkload(5000, 8);
+  EXPECT_EQ(other_k.trees_per_device[0] + other_k.trees_per_device[1], 5000u);
+}
+
 TEST(Fleet, RejectsEmptyAndZeroWork) {
   const GeneratedGraph raw = GenerateCountry({.width = 8, .height = 8});
   const PreparedNetwork net = PrepareNetwork(raw.edges);

@@ -33,9 +33,9 @@ struct PropertyCase {
   uint64_t seed;
 };
 
-std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& param_info) {
   const char* family = "";
-  switch (info.param.family) {
+  switch (param_info.param.family) {
     case Family::kCountryTime:
       family = "country_time";
       break;
@@ -52,7 +52,7 @@ std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
       family = "gnm_zero_weights";
       break;
   }
-  return std::string(family) + "_seed" + std::to_string(info.param.seed);
+  return std::string(family) + "_seed" + std::to_string(param_info.param.seed);
 }
 
 EdgeList MakeFamily(const PropertyCase& c) {

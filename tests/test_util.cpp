@@ -305,5 +305,34 @@ TEST(OmpEnv, ScopedNumThreadsRestores) {
   EXPECT_EQ(MaxThreads(), before);
 }
 
+TEST(OmpEnv, ExceptionGuardCapturesFirstAndCancels) {
+  OmpExceptionGuard guard;
+  int ran = 0;
+  guard.Run([&] { ++ran; });
+  EXPECT_FALSE(guard.Cancelled());
+  guard.Run([&] { throw InputError("first"); });
+  EXPECT_TRUE(guard.Cancelled());
+  // Later work is skipped and later exceptions are dropped: the first
+  // failure is what Rethrow() surfaces.
+  guard.Run([&] {
+    ++ran;
+    throw InputError("second");
+  });
+  EXPECT_EQ(ran, 1);
+  try {
+    guard.Rethrow();
+    FAIL() << "Rethrow() should have thrown";
+  } catch (const InputError& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(OmpEnv, ExceptionGuardRethrowIsANoOpWhenClean) {
+  OmpExceptionGuard guard;
+  guard.Run([] {});
+  guard.Rethrow();  // nothing captured: must not throw
+  EXPECT_FALSE(guard.Cancelled());
+}
+
 }  // namespace
 }  // namespace phast

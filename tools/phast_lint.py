@@ -1,0 +1,560 @@
+#!/usr/bin/env python3
+"""phast_lint: PHAST-specific invariant linter (layer 3 of the static gate).
+
+Enforces project rules that generic tools (clang-tidy, -Wthread-safety)
+cannot express:
+
+  omp-default-none      every `#pragma omp parallel` must carry
+                        `default(none)` so the sharing of every variable is
+                        an explicit, reviewed decision.
+  stale-parent          implicit-init sweep kernels reset the *labels* of
+                        unmarked vertices but not their *parent slots* (see
+                        SweepArgs::parents in src/phast/kernels.h). A parent
+                        slot is meaningful only where the label is finite,
+                        so any function that reads a parent slot must also
+                        check a label (kInfWeight / Distance / Marked) in
+                        its body.
+  naked-throw           `throw` appears only in src/util/error.h (the
+                        centralized error surface); everything else calls
+                        Require()/ThrowBadAlloc() or rethrows (`throw;`).
+  no-wall-clock-rng     no rand()/srand()/time()-seeded or std:: random
+                        sources in src/ — all randomness flows through the
+                        deterministic util/rng.h so every run is replayable
+                        (the differential fuzzer's minimizer depends on it).
+  intrinsics-hygiene    SIMD intrinsics headers (<immintrin.h>, ...) must be
+                        wrapped in the matching feature-test conditional
+                        (#if defined(__SSE4_1__) / __AVX2__), and _mm_* /
+                        _mm256_* tokens may appear only in files that do so
+                        — unguarded intrinsics break the scalar fallback
+                        build (-DPHAST_ARCH="").
+
+Suppression: append `// phast-lint: allow(<rule>)` to the offending line.
+
+Usage:
+  phast_lint.py --root <repo>          lint src/, bench/, tests/, examples/
+  phast_lint.py --self-test            run the embedded good/bad corpus
+  phast_lint.py file.cpp ...           lint specific files (e.g. a diff)
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "bench", "tests", "examples")
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+ALLOW_RE = re.compile(r"//\s*phast-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so token rules do not fire inside documentation or logs."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_allows(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    if 1 <= lineno <= len(raw_lines):
+        m = ALLOW_RE.search(raw_lines[lineno - 1])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def logical_lines(code: str):
+    """Yields (start_lineno, text) with backslash continuations joined —
+    OpenMP pragmas span lines."""
+    lines = code.split("\n")
+    i = 0
+    while i < len(lines):
+        start = i
+        buf = lines[i]
+        while buf.rstrip().endswith("\\") and i + 1 < len(lines):
+            buf = buf.rstrip()[:-1] + " " + lines[i + 1]
+            i += 1
+        yield start + 1, buf
+        i += 1
+
+
+# --- rule: omp-default-none -------------------------------------------------
+
+OMP_PARALLEL_RE = re.compile(r"#\s*pragma\s+omp\s+parallel\b")
+
+
+def check_omp_default_none(path, code, raw_lines, findings):
+    for lineno, text in logical_lines(code):
+        if OMP_PARALLEL_RE.search(text) and "default(none)" not in text.replace(
+            " ", ""
+        ).replace("default (", "default("):
+            if not line_allows(raw_lines, lineno, "omp-default-none"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "omp-default-none",
+                        "omp parallel without default(none); declare every "
+                        "shared/firstprivate variable explicitly",
+                    )
+                )
+
+
+# --- rule: stale-parent -----------------------------------------------------
+
+# A *read* of a parent slot: parents[...] / parents_[...] / RawParents(...)
+# not immediately assigned to. Writes (slot = value) are the kernels' job.
+PARENT_READ_RE = re.compile(r"\b(?:parents_?\s*\[|RawParents\s*\()")
+LABEL_CHECK_RE = re.compile(
+    r"kInfWeight|\bMarked\s*\(|\bDistance\s*\(|\blabels_?\s*\["
+)
+FUNC_OPEN_RE = re.compile(r"\)[^;{}]*\{")
+
+
+def function_spans(code: str):
+    """Rough function extents: from each ') ... {' to its matching brace.
+    Good enough for rule scoping; the linter is a heuristic gate."""
+    spans = []
+    for m in FUNC_OPEN_RE.finditer(code):
+        open_idx = m.end() - 1
+        depth = 0
+        for i in range(open_idx, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((open_idx, i + 1))
+                    break
+    return spans
+
+
+def check_stale_parent(path, code, raw_lines, findings):
+    # The kernels themselves maintain the invariant; their writes and the
+    # unmarked-vertex fast path are exactly the asymmetry being protected.
+    if path.endswith(("phast/kernels.cpp", "phast/kernels.h")):
+        return
+    spans = function_spans(code)
+    for m in PARENT_READ_RE.finditer(code):
+        # Skip writes: parents[...] = value (but not ==).
+        tail = code[m.start() :]
+        bracket = re.match(r"\bparents_?\s*\[", tail)
+        if bracket:
+            depth, i = 0, m.start()
+            while i < len(code):
+                if code[i] == "[":
+                    depth += 1
+                elif code[i] == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            rest = code[i + 1 :].lstrip()
+            if rest.startswith("=") and not rest.startswith("=="):
+                continue
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "stale-parent"):
+            continue
+        enclosing = [s for s in spans if s[0] <= m.start() < s[1]]
+        body = code[enclosing[-1][0] : enclosing[-1][1]] if enclosing else code
+        if not LABEL_CHECK_RE.search(body):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "stale-parent",
+                    "parent slot read without a label check in the same "
+                    "function; unmarked vertices keep stale parents "
+                    "(see SweepArgs::parents)",
+                )
+            )
+
+
+# --- rule: naked-throw ------------------------------------------------------
+
+THROW_RE = re.compile(r"\bthrow\b(?!\s*;)")
+
+
+def check_naked_throw(path, code, raw_lines, findings):
+    if path.endswith("util/error.h"):
+        return
+    if not path.startswith("src") and "/src/" not in path:
+        return  # tests/benches may use gtest's EXPECT_THROW machinery freely
+    for m in THROW_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "naked-throw"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "naked-throw",
+                "throw outside src/util/error.h; use Require()/"
+                "ThrowBadAlloc() or add a typed helper to error.h",
+            )
+        )
+
+
+# --- rule: no-wall-clock-rng ------------------------------------------------
+
+RNG_RE = re.compile(
+    r"(?<![\w:])(?:rand|srand)\s*\(|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|std\s*::\s*(?:random_device|mt19937(?:_64)?|default_random_engine)"
+)
+
+
+def check_rng(path, code, raw_lines, findings):
+    if not path.startswith("src") and "/src/" not in path:
+        return
+    for m in RNG_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "no-wall-clock-rng"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "no-wall-clock-rng",
+                "non-deterministic randomness/time seed in src/; use the "
+                "seeded util/rng.h Rng so runs stay replayable",
+            )
+        )
+
+
+# --- rule: intrinsics-hygiene -----------------------------------------------
+
+INTRIN_HEADERS = {
+    "immintrin.h": "__AVX2__",
+    "smmintrin.h": "__SSE4_1__",
+    "emmintrin.h": "__SSE2__",
+    "nmmintrin.h": "__SSE4_2__",
+    "tmmintrin.h": "__SSSE3__",
+    "xmmintrin.h": "__SSE__",
+}
+INTRIN_INCLUDE_RE = re.compile(r"#\s*include\s*<(\w+intrin\.h)>")
+INTRIN_TOKEN_RE = re.compile(r"\b(_mm256_\w+|_mm_\w+)\s*\(")
+COND_PUSH_RE = re.compile(r"#\s*(?:if|ifdef|ifndef)\b(.*)")
+COND_POP_RE = re.compile(r"#\s*endif\b")
+
+
+def conditional_stack_at(code: str):
+    """Returns per-line list of the preprocessor-conditional texts active at
+    that line (heuristic: #else/#elif keep the original condition text)."""
+    stacks, stack = [], []
+    for _, text in ((i, l) for i, l in enumerate(code.split("\n"))):
+        stacks.append(list(stack))
+        push = COND_PUSH_RE.match(text.strip())
+        if push:
+            stack.append(text.strip())
+        elif COND_POP_RE.match(text.strip()):
+            if stack:
+                stack.pop()
+    return stacks
+
+
+def check_intrinsics(path, code, raw_lines, findings):
+    stacks = conditional_stack_at(code)
+    lines = code.split("\n")
+    for idx, text in enumerate(lines):
+        m = INTRIN_INCLUDE_RE.search(text)
+        if not m:
+            continue
+        header = m.group(1)
+        macro = INTRIN_HEADERS.get(header)
+        lineno = idx + 1
+        if line_allows(raw_lines, lineno, "intrinsics-hygiene"):
+            continue
+        guard_text = " ".join(stacks[idx])
+        if macro is None or macro not in guard_text:
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "intrinsics-hygiene",
+                    f"<{header}> must be guarded by #if defined"
+                    f"({macro or '__SSE/__AVX feature macro'}) so the scalar "
+                    "fallback build stays intrinsic-free",
+                )
+            )
+    has_guarded_include = any(
+        INTRIN_INCLUDE_RE.search(l) for l in lines
+    )
+    for m in INTRIN_TOKEN_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "intrinsics-hygiene"):
+            continue
+        if not has_guarded_include:
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "intrinsics-hygiene",
+                    f"{m.group(1)} used without including an intrinsics "
+                    "header in this file (include what you use, guarded)",
+                )
+            )
+            break  # one finding per file is enough for this rule
+
+
+RULES = (
+    check_omp_default_none,
+    check_stale_parent,
+    check_naked_throw,
+    check_rng,
+    check_intrinsics,
+)
+
+
+def lint_text(path: str, raw: str) -> list:
+    findings: list[Finding] = []
+    raw_lines = raw.split("\n")
+    code = strip_comments_and_strings(raw)
+    for rule in RULES:
+        rule(path, code, raw_lines, findings)
+    return findings
+
+
+def lint_file(path: Path, display: str | None = None) -> list:
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [Finding(str(path), 0, "io", str(e))]
+    return lint_text(display or str(path), raw)
+
+
+def collect_files(root: Path):
+    for d in SOURCE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                yield p
+
+
+# --- self-test corpus -------------------------------------------------------
+# One known-good and one known-bad snippet per rule. Paths matter: rules are
+# scoped to src/.
+
+SELF_TEST_CASES = [
+    # (name, virtual path, snippet, expected rule or None)
+    (
+        "omp-default-none/bad",
+        "src/x/a.cpp",
+        "void f() {\n#pragma omp parallel\n  { work(); }\n}\n",
+        "omp-default-none",
+    ),
+    (
+        "omp-default-none/good",
+        "src/x/a.cpp",
+        "void f() {\n#pragma omp parallel default(none) shared(x)\n"
+        "  { work(); }\n}\n",
+        None,
+    ),
+    (
+        "omp-default-none/multiline-bad",
+        "src/x/a.cpp",
+        "void f() {\n#pragma omp parallel \\\n    shared(x)\n  { work(); }\n}\n",
+        "omp-default-none",
+    ),
+    (
+        "omp-default-none/suppressed",
+        "src/x/a.cpp",
+        "void f() {\n"
+        "#pragma omp parallel  // phast-lint: allow(omp-default-none)\n"
+        "  { work(); }\n}\n",
+        None,
+    ),
+    (
+        "stale-parent/bad",
+        "src/x/a.cpp",
+        "VertexId f(const W& ws, size_t slot) {\n"
+        "  return ws.parents_[slot];\n}\n",
+        "stale-parent",
+    ),
+    (
+        "stale-parent/good",
+        "src/x/a.cpp",
+        "VertexId f(const W& ws, size_t slot) {\n"
+        "  if (ws.labels_[slot] == kInfWeight) return kInvalidVertex;\n"
+        "  return ws.parents_[slot];\n}\n",
+        None,
+    ),
+    (
+        "stale-parent/write-ok",
+        "src/x/a.cpp",
+        "void f(W& ws, size_t slot) {\n"
+        "  ws.parents_[slot] = kInvalidVertex;\n}\n",
+        None,
+    ),
+    (
+        "naked-throw/bad",
+        "src/x/a.cpp",
+        'void f() { throw std::runtime_error("boom"); }\n',
+        "naked-throw",
+    ),
+    (
+        "naked-throw/rethrow-ok",
+        "src/x/a.cpp",
+        "void f() { try { g(); } catch (...) { throw; } }\n",
+        None,
+    ),
+    (
+        "naked-throw/error-header-ok",
+        "src/util/error.h",
+        'void f() { throw InputError("bad"); }\n',
+        None,
+    ),
+    (
+        "no-wall-clock-rng/bad-rand",
+        "src/x/a.cpp",
+        "int f() { return rand() % 10; }\n",
+        "no-wall-clock-rng",
+    ),
+    (
+        "no-wall-clock-rng/bad-time-seed",
+        "src/x/a.cpp",
+        "void f() { srand(time(nullptr)); }\n",
+        "no-wall-clock-rng",
+    ),
+    (
+        "no-wall-clock-rng/bad-random-device",
+        "src/x/a.cpp",
+        "void f() { std::random_device rd; use(rd()); }\n",
+        "no-wall-clock-rng",
+    ),
+    (
+        "no-wall-clock-rng/good",
+        "src/x/a.cpp",
+        "uint64_t f() { Rng rng(42); return rng.Next(); }\n",
+        None,
+    ),
+    (
+        "no-wall-clock-rng/member-time-ok",
+        "src/x/a.cpp",
+        "double f(const Timer& t) { return t.time(); }\n",
+        None,
+    ),
+    (
+        "intrinsics-hygiene/bad-unguarded-include",
+        "src/x/a.cpp",
+        "#include <immintrin.h>\nvoid f() {}\n",
+        "intrinsics-hygiene",
+    ),
+    (
+        "intrinsics-hygiene/good-guarded",
+        "src/x/a.cpp",
+        "#if defined(__AVX2__)\n#include <immintrin.h>\n#endif\n"
+        "#if defined(__AVX2__)\nvoid f() { auto v = _mm256_set1_epi32(1); }\n"
+        "#endif\n",
+        None,
+    ),
+    (
+        "intrinsics-hygiene/bad-token-without-include",
+        "src/x/a.cpp",
+        "void f() { auto v = _mm_set1_epi32(1); (void)v; }\n",
+        "intrinsics-hygiene",
+    ),
+    (
+        "comments-are-ignored",
+        "src/x/a.cpp",
+        "// throw rand() time(0) #pragma omp parallel\n"
+        '/* std::random_device; parents_[i] */\nconst char* s = "throw";\n',
+        None,
+    ),
+]
+
+
+def run_self_test() -> int:
+    failures = 0
+    for name, vpath, snippet, expected in SELF_TEST_CASES:
+        found = lint_text(vpath, snippet)
+        rules = {f.rule for f in found}
+        if expected is None:
+            if found:
+                failures += 1
+                print(f"FAIL {name}: expected clean, got {[str(f) for f in found]}")
+        else:
+            if expected not in rules:
+                failures += 1
+                print(f"FAIL {name}: expected {expected}, got {sorted(rules)}")
+            elif rules - {expected}:
+                failures += 1
+                print(f"FAIL {name}: extra findings {sorted(rules - {expected})}")
+    total = len(SELF_TEST_CASES)
+    print(f"phast_lint self-test: {total - failures}/{total} cases passed")
+    return 1 if failures else 0
+
+
+def main(argv) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, help="repository root to lint")
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("files", nargs="*", type=Path)
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    targets = []
+    if args.root:
+        targets = [(p, str(p.relative_to(args.root))) for p in collect_files(args.root)]
+    for f in args.files:
+        targets.append((f, str(f)))
+    if not targets:
+        ap.print_usage()
+        return 2
+
+    findings = []
+    for path, display in targets:
+        findings.extend(lint_file(path, display))
+    for f in findings:
+        print(f)
+    print(
+        f"phast_lint: {len(targets)} files, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

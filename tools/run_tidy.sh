@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# run_tidy.sh — layer 1 of the static-analysis gate (see DESIGN.md).
+#
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the project
+# sources using the compile commands exported by CMake.
+#
+#   tools/run_tidy.sh                 full tree (src/ bench/ tests/ examples/)
+#   tools/run_tidy.sh --diff [REF]    only files changed vs REF (default:
+#                                     origin/main, falling back to HEAD~1)
+#   tools/run_tidy.sh --build DIR     build dir with compile_commands.json
+#                                     (default: ./build; configured on the
+#                                     fly if missing)
+#   tools/run_tidy.sh --strict        missing clang-tidy is an error instead
+#                                     of a skip (CI sets this)
+#
+# Exit codes: 0 clean (or tool missing without --strict), 1 findings,
+# 2 environment error.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.." || exit 2
+ROOT=$(pwd)
+
+BUILD_DIR="$ROOT/build"
+MODE=full
+DIFF_REF=""
+STRICT=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --diff)
+      MODE=diff
+      if [ $# -gt 1 ] && [ "${2#-}" = "$2" ]; then DIFF_REF="$2"; shift; fi
+      ;;
+    --build)
+      BUILD_DIR="$2"; shift
+      ;;
+    --strict)
+      STRICT=1
+      ;;
+    -h|--help)
+      sed -n '2,20p' "$0"; exit 0
+      ;;
+    *)
+      echo "run_tidy.sh: unknown argument '$1'" >&2; exit 2
+      ;;
+  esac
+  shift
+done
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    TIDY=$candidate
+    break
+  fi
+done
+
+if [ -z "$TIDY" ]; then
+  if [ "$STRICT" = 1 ]; then
+    echo "run_tidy.sh: clang-tidy not found and --strict given" >&2
+    exit 2
+  fi
+  echo "run_tidy.sh: SKIPPED — clang-tidy not installed on this machine." >&2
+  echo "run_tidy.sh: the static-analysis CI job runs the gate with --strict." >&2
+  exit 0
+fi
+
+# compile_commands.json: every configure exports it
+# (CMAKE_EXPORT_COMPILE_COMMANDS ON in the top-level CMakeLists).
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: configuring $BUILD_DIR to export compile commands" >&2
+  cmake -B "$BUILD_DIR" -S "$ROOT" > /dev/null || exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: no compile_commands.json in $BUILD_DIR" >&2
+  exit 2
+fi
+
+# File list: translation units only; headers are covered through
+# HeaderFilterRegex when their includers are checked.
+if [ "$MODE" = diff ]; then
+  if [ -z "$DIFF_REF" ]; then
+    if git rev-parse --verify -q origin/main > /dev/null; then
+      DIFF_REF=origin/main
+    else
+      DIFF_REF=HEAD~1
+    fi
+  fi
+  FILES=$(git diff --name-only "$DIFF_REF" -- \
+            'src/*.cpp' 'src/*.cc' 'bench/*.cpp' 'tests/*.cpp' \
+            'examples/*.cpp' | while read -r f; do
+            [ -f "$f" ] && echo "$f"; done)
+else
+  FILES=$(find src bench tests examples -name '*.cpp' -o -name '*.cc' | sort)
+fi
+
+if [ -z "$FILES" ]; then
+  echo "run_tidy.sh: nothing to check" >&2
+  exit 0
+fi
+
+COUNT=$(echo "$FILES" | wc -l)
+echo "run_tidy.sh: $TIDY over $COUNT file(s), build dir $BUILD_DIR" >&2
+
+STATUS=0
+# xargs -P parallelizes across cores; clang-tidy exits non-zero on findings
+# because .clang-tidy sets WarningsAsErrors: '*'.
+echo "$FILES" | xargs -P "$(nproc)" -n 4 \
+  "$TIDY" -p "$BUILD_DIR" --quiet || STATUS=1
+
+if [ "$STATUS" = 0 ]; then
+  echo "run_tidy.sh: clean" >&2
+else
+  echo "run_tidy.sh: findings above — fix them or add a NOLINT with a reason" >&2
+fi
+exit $STATUS
