@@ -1,0 +1,176 @@
+// bench_server — serving-subsystem throughput (DESIGN.md §7).
+//
+// Drives the OracleService in-process (no sockets, so the numbers isolate
+// the scheduler: batching, caching, shedding) with seeded Zipf client
+// threads and reports one JSON object per configuration:
+//
+//   {"config": "...", "clients": 4, "throughput_rps": ..., "p50_ms": ...,
+//    "p99_ms": ..., "cache_hit_rate": ..., "mean_batch_width": ...}
+//
+// Sweeps the knobs the serving design cares about: worker count, batch cap
+// (coalescing width), and cache capacity under a skewed source
+// distribution.
+//
+//   bench_server [--width=160 --height=160 --seed=1]
+//                [--requests=4000] [--clients=8] [--zipf-skew=0.99]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "phast/phast.h"
+#include "server/metrics.h"
+#include "server/service.h"
+#include "server/workload.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace phast;
+using namespace phast::bench;
+using namespace phast::server;
+
+struct RunResult {
+  double elapsed_sec = 0.0;
+  uint64_t answered = 0;
+  std::vector<double> latencies_ms;
+};
+
+RunResult DriveClients(OracleService& service, uint32_t clients,
+                       uint64_t requests_per_client, uint32_t window,
+                       const WorkloadOptions& wl,
+                       const std::vector<VertexId>& rank_to_vertex) {
+  std::vector<std::vector<double>> latencies(clients);
+  const Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(wl.seed * 0x9E3779B9ULL + c + 1);
+      const ZipfSampler zipf(
+          static_cast<uint32_t>(rank_to_vertex.size()), wl.zipf_skew);
+      std::vector<std::future<Response>> in_flight;
+      for (uint64_t i = 0; i < requests_per_client; ++i) {
+        in_flight.push_back(
+            service.Submit(DrawRequest(wl, zipf, rank_to_vertex, rng)));
+        if (in_flight.size() >= window) {
+          latencies[c].push_back(in_flight.front().get().latency_ms);
+          in_flight.erase(in_flight.begin());
+        }
+      }
+      for (auto& f : in_flight) latencies[c].push_back(f.get().latency_ms);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RunResult result;
+  result.elapsed_sec = wall.ElapsedSec();
+  for (auto& per_thread : latencies) {
+    result.answered += per_thread.size();
+    result.latencies_ms.insert(result.latencies_ms.end(), per_thread.begin(),
+                               per_thread.end());
+  }
+  std::sort(result.latencies_ms.begin(), result.latencies_ms.end());
+  return result;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void RunConfig(const char* label, const Phast& engine, ServiceOptions options,
+               uint32_t clients, uint64_t requests, uint32_t window,
+               const WorkloadOptions& wl,
+               const std::vector<VertexId>& rank_to_vertex) {
+  MetricsRegistry metrics;
+  OracleService service(engine, options, metrics);
+  const RunResult run = DriveClients(
+      service, clients, std::max<uint64_t>(1, requests / clients), window, wl,
+      rank_to_vertex);
+  service.Stop();
+
+  const ServiceCounters c = service.Counters();
+  const uint64_t cache_lookups = c.cache_hits + c.cache_misses;
+  const double mean_width =
+      c.batches > 0
+          ? static_cast<double>(c.cache_misses > 0 ? c.cache_misses
+                                                   : c.completed) /
+                static_cast<double>(c.batches)
+          : 0.0;
+  std::printf(
+      "{\"config\": \"%s\", \"workers\": %u, \"max_batch\": %u, "
+      "\"cache\": %zu, \"clients\": %u, \"requests\": %llu, "
+      "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"cache_hit_rate\": %.3f, "
+      "\"mean_batch_width\": %.2f, \"shed\": %llu}\n",
+      label, options.num_workers, options.max_batch, options.cache_capacity,
+      clients, static_cast<unsigned long long>(run.answered),
+      static_cast<double>(run.answered) / run.elapsed_sec,
+      Percentile(run.latencies_ms, 0.50), Percentile(run.latencies_ms, 0.95),
+      Percentile(run.latencies_ms, 0.99),
+      cache_lookups > 0
+          ? static_cast<double>(c.cache_hits) / static_cast<double>(cache_lookups)
+          : 0.0,
+      mean_width, static_cast<unsigned long long>(c.Shed()));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+  const uint64_t requests =
+      static_cast<uint64_t>(cli.GetInt("requests", 4000));
+  const uint32_t clients = static_cast<uint32_t>(cli.GetInt("clients", 8));
+  const uint32_t window = static_cast<uint32_t>(cli.GetInt("window", 8));
+
+  const Instance instance =
+      MakeCountryInstance("country", config.width, config.height,
+                          Metric::kTravelTime, config.seed);
+  const Phast engine(instance.ch);
+  std::fprintf(stderr, "bench_server: %u vertices, %u levels\n",
+               engine.NumVertices(), engine.NumLevels());
+
+  WorkloadOptions wl;
+  wl.seed = config.seed;
+  wl.zipf_skew = cli.GetDouble("zipf-skew", 0.99);
+  wl.full_tree_fraction = cli.GetDouble("full-tree-fraction", 0.1);
+  const std::vector<VertexId> ranks =
+      MakeRankMapping(engine.NumVertices(), wl.seed);
+
+  // Axis 1: worker scaling at fixed batch/cache.
+  for (const uint32_t workers : {1u, 2u, 4u}) {
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.max_batch = 8;
+    options.cache_capacity = 32;
+    options.queue_capacity = 4096;
+    RunConfig("workers", engine, options, clients, requests, window, wl, ranks);
+  }
+  // Axis 2: coalescing width (max_batch 1 disables batching entirely).
+  for (const uint32_t max_batch : {1u, 4u, 16u}) {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.max_batch = max_batch;
+    options.cache_capacity = 32;
+    options.queue_capacity = 4096;
+    RunConfig("batch", engine, options, clients, requests, window, wl, ranks);
+  }
+  // Axis 3: the cache under Zipf skew (0 = off).
+  for (const size_t cache : {size_t{0}, size_t{32}, size_t{256}}) {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.max_batch = 8;
+    options.cache_capacity = cache;
+    options.queue_capacity = 4096;
+    RunConfig("cache", engine, options, clients, requests, window, wl, ranks);
+  }
+  return 0;
+}

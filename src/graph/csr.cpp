@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/error.h"
+
 namespace phast {
 
 Graph Graph::Build(VertexId n, const std::vector<Edge>& edges, bool reverse) {
@@ -40,6 +42,24 @@ Graph Graph::FromEdgeList(const EdgeList& edges) {
 
 Graph Graph::ReverseFromEdgeList(const EdgeList& edges) {
   return Build(edges.NumVertices(), edges.Edges(), /*reverse=*/true);
+}
+
+Graph Graph::FromCsrArrays(std::vector<ArcId> first, std::vector<Arc> arcs) {
+  Require(!first.empty(), "CSR offset array must have at least the sentinel");
+  Require(first.front() == 0 && first.back() == arcs.size(),
+          "CSR offset array must start at 0 and end at the arc count");
+  for (size_t i = 0; i + 1 < first.size(); ++i) {
+    Require(first[i] <= first[i + 1],
+            "CSR offset array must be non-decreasing");
+  }
+  const VertexId n = static_cast<VertexId>(first.size() - 1);
+  for (const Arc& a : arcs) {
+    Require(a.other < n, "CSR arc endpoint out of range");
+  }
+  Graph g;
+  g.first_ = std::move(first);
+  g.arcs_ = std::move(arcs);
+  return g;
 }
 
 Graph Graph::Reversed() const {

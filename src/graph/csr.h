@@ -48,6 +48,14 @@ class Graph {
   /// arcs, `Arc::other` is the tail.
   static Graph ReverseFromEdgeList(const EdgeList& edges);
 
+  /// Adopts raw CSR arrays (snapshot loading; the inverse of
+  /// FirstArray()/ArcArray()). Validates the representation invariants —
+  /// `first` is a non-decreasing array of n+1 offsets whose sentinel equals
+  /// arcs.size(), every endpoint is in range — and throws InputError on
+  /// violation, so deserialized bytes cannot build a graph that faults on
+  /// traversal.
+  static Graph FromCsrArrays(std::vector<ArcId> first, std::vector<Arc> arcs);
+
   /// Reverse view of this graph (incoming becomes outgoing).
   [[nodiscard]] Graph Reversed() const;
 

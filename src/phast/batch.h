@@ -20,25 +20,88 @@ struct BatchOptions {
   bool want_parents = false;
 };
 
-/// Computes one tree from every source, assigning batches of k sources to
-/// OpenMP threads ("one tree per core", §V). The visitor runs in the owning
-/// thread right after its batch's sweep:
+/// What ComputeManyTrees actually executed; serving-layer schedulers and
+/// the duplicate-coalescing regression tests assert on it.
+struct BatchStats {
+  /// Sweeps run (== workspaces' ComputeTrees invocations).
+  uint64_t num_batches = 0;
+  /// Source indices that shared a lane with an earlier duplicate in their
+  /// batch instead of occupying one themselves.
+  uint64_t duplicates_coalesced = 0;
+};
+
+/// Computes one tree from every source, assigning batches of up to k
+/// *distinct* sources to OpenMP threads ("one tree per core", §V). The
+/// visitor runs in the owning thread right after its batch's sweep:
 ///
 ///   visit(source_index, workspace, slot)
 ///
-/// where sources[source_index] occupies tree `slot` of `workspace`. Visitors
-/// must not touch other threads' state; aggregate afterwards.
+/// where sources[source_index] occupies tree `slot` of `workspace`.
+/// Visitors must not touch other threads' state; aggregate afterwards.
 ///
-/// When the source count is not a multiple of k, the final short batch is
-/// padded by repeating its last source; the visitor never sees the padding.
+/// Duplicate sources are coalesced: within a batch, repeats of a source
+/// share the lane of its first occurrence (each source *index* is still
+/// visited exactly once, duplicates may just receive the same slot), so a
+/// workload with repeated sources fills its k SIMD lanes with distinct
+/// trees instead of wasting lanes recomputing identical ones. Batches stay
+/// contiguous index ranges: a batch closes when the next new source would
+/// need a (k+1)-th lane. Lanes left over in the final batch are padded by
+/// repeating the last distinct source; the visitor never sees the padding.
 template <typename Visitor>
-void ComputeManyTrees(const Phast& engine, std::span<const VertexId> sources,
-                      const BatchOptions& options, Visitor&& visit) {
+BatchStats ComputeManyTrees(const Phast& engine,
+                            std::span<const VertexId> sources,
+                            const BatchOptions& options, Visitor&& visit) {
   const uint32_t k = options.trees_per_sweep;
   Require(k >= 1, "ComputeManyTrees needs trees_per_sweep >= 1");
-  if (sources.empty()) return;
-  const int64_t num_batches =
-      static_cast<int64_t>((sources.size() + k - 1) / k);
+  BatchStats stats;
+  if (sources.empty()) return stats;
+
+  // Pre-pass (serial, O(total sources * k)): pack contiguous source ranges
+  // into batches of at most k distinct sources, recording each index's
+  // lane. The linear duplicate scan is over at most k live lanes.
+  std::vector<size_t> batch_begin{0};      // index ranges, size num_batches+1
+  std::vector<uint32_t> lane_of(sources.size());
+  std::vector<VertexId> lane_sources;      // flat, batch b at [b*k, b*k+k)
+  std::vector<uint32_t> lanes_used;        // distinct sources per batch
+  uint32_t used = 0;
+  lane_sources.resize(k);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const VertexId s = sources[i];
+    uint32_t lane = used;
+    for (uint32_t l = 0; l < used; ++l) {
+      const size_t flat = (batch_begin.size() - 1) * k + l;
+      if (lane_sources[flat] == s) {
+        lane = l;
+        break;
+      }
+    }
+    if (lane == used && used == k) {
+      // Batch is full of distinct sources; close it and start the next.
+      lanes_used.push_back(used);
+      batch_begin.push_back(i);
+      lane_sources.resize(batch_begin.size() * k);
+      used = 0;
+      lane = 0;
+    }
+    if (lane == used) {
+      lane_sources[(batch_begin.size() - 1) * k + used] = s;
+      ++used;
+    } else {
+      ++stats.duplicates_coalesced;
+    }
+    lane_of[i] = lane;
+  }
+  lanes_used.push_back(used);
+  batch_begin.push_back(sources.size());
+  // Pad unused lanes of every batch (only the last can have any when the
+  // sources carry no duplicates) by repeating the batch's last source.
+  for (size_t b = 0; b + 1 < batch_begin.size(); ++b) {
+    for (uint32_t l = lanes_used[b]; l < k; ++l) {
+      lane_sources[b * k + l] = lane_sources[b * k + lanes_used[b] - 1];
+    }
+  }
+  const int64_t num_batches = static_cast<int64_t>(batch_begin.size()) - 1;
+  stats.num_batches = static_cast<uint64_t>(num_batches);
 
   // Exceptions may not escape an OpenMP parallel region (std::terminate);
   // the guard captures the first one — from workspace allocation, the
@@ -46,7 +109,8 @@ void ComputeManyTrees(const Phast& engine, std::span<const VertexId> sources,
   // the only state the threads share mutably.
   OmpExceptionGuard guard;
 #pragma omp parallel default(none) \
-    shared(engine, sources, options, visit, guard, num_batches) \
+    shared(engine, sources, options, visit, guard, num_batches, batch_begin, \
+           lane_of, lane_sources) \
     firstprivate(k)
   {
     // Workspace construction can throw (allocation); it must still be
@@ -54,28 +118,23 @@ void ComputeManyTrees(const Phast& engine, std::span<const VertexId> sources,
     // thread, so the workspace lives in an optional and a failed thread
     // runs the loop as a no-op while the guard cancels the other threads.
     std::optional<Phast::Workspace> ws;
-    std::vector<VertexId> batch;
     guard.Run([&] {
       ws.emplace(engine.MakeWorkspace(k, options.want_parents));
-      batch.resize(k);
     });
 #pragma omp for schedule(dynamic, 1)
     for (int64_t b = 0; b < num_batches; ++b) {
       guard.Run([&] {
         if (!ws) return;
-        const size_t begin = static_cast<size_t>(b) * k;
-        const size_t live = std::min<size_t>(k, sources.size() - begin);
-        for (uint32_t i = 0; i < k; ++i) {
-          batch[i] = sources[begin + std::min<size_t>(i, live - 1)];
-        }
-        engine.ComputeTrees(batch, *ws);
-        for (uint32_t i = 0; i < live; ++i) {
-          visit(begin + i, *ws, i);
+        engine.ComputeTrees(
+            {lane_sources.data() + static_cast<size_t>(b) * k, k}, *ws);
+        for (size_t i = batch_begin[b]; i < batch_begin[b + 1]; ++i) {
+          visit(i, *ws, lane_of[i]);
         }
       });
     }
   }
   guard.Rethrow();
+  return stats;
 }
 
 }  // namespace phast

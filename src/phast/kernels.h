@@ -14,6 +14,8 @@ namespace phast {
 struct DownArc {
   VertexId tail = 0;
   Weight weight = 0;
+
+  friend bool operator==(const DownArc&, const DownArc&) = default;
 };
 
 // Layout contracts of the sweep (§IV-A/§IV-B). The SIMD kernels assume

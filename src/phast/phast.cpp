@@ -109,6 +109,93 @@ Phast::Phast(const CHData& ch, const Options& options)
   }
 }
 
+namespace {
+
+/// Shared validation for a CSR offset array: size n+1, monotone, sentinel
+/// equal to the arc count.
+void RequireCsrOffsets(const std::vector<ArcId>& first, VertexId n,
+                       size_t num_arcs, const char* what) {
+  Require(first.size() == static_cast<size_t>(n) + 1,
+          std::string(what) + " offset array must have n+1 entries");
+  Require(first.front() == 0 && first.back() == num_arcs,
+          std::string(what) + " offset array must start at 0 and end at the "
+                              "arc count");
+  for (size_t i = 0; i + 1 < first.size(); ++i) {
+    Require(first[i] <= first[i + 1],
+            std::string(what) + " offset array must be non-decreasing");
+  }
+}
+
+}  // namespace
+
+Phast::Phast(PhastLayout layout)
+    : options_(layout.options),
+      n_(layout.num_vertices),
+      num_levels_(layout.num_levels),
+      perm_(std::move(layout.perm)),
+      inv_perm_(std::move(layout.inv_perm)),
+      order_(std::move(layout.order)),
+      down_first_(std::move(layout.down_first)),
+      down_arcs_(std::move(layout.down_arcs)),
+      up_first_(std::move(layout.up_first)),
+      up_arcs_(std::move(layout.up_arcs)),
+      level_begin_(std::move(layout.level_begin)) {
+  Require(n_ > 0, "PHAST layout needs at least one vertex");
+  Require(perm_.size() == n_ && IsPermutation(perm_),
+          "PHAST layout perm is not a permutation of [0, n)");
+  Require(inv_perm_.size() == n_, "PHAST layout inv_perm has wrong size");
+  for (VertexId v = 0; v < n_; ++v) {
+    Require(inv_perm_[perm_[v]] == v,
+            "PHAST layout perm/inv_perm are not mutual inverses");
+  }
+  if (options_.order == SweepOrder::kLevelReordered) {
+    Require(order_.empty(),
+            "PHAST layout: reordered engines sweep in label order and must "
+            "not carry an order array");
+  } else {
+    Require(order_.size() == n_ && IsPermutation(order_),
+            "PHAST layout order is not a permutation of [0, n)");
+  }
+  RequireCsrOffsets(down_first_, n_, down_arcs_.size(), "PHAST layout G-down");
+  RequireCsrOffsets(up_first_, n_, up_arcs_.size(), "PHAST layout G-up");
+  for (const DownArc& a : down_arcs_) {
+    Require(a.tail < n_, "PHAST layout downward arc tail out of range");
+  }
+  for (const Arc& a : up_arcs_) {
+    Require(a.other < n_, "PHAST layout upward arc head out of range");
+  }
+  if (options_.order == SweepOrder::kRankDescending) {
+    Require(level_begin_.empty(),
+            "PHAST layout: rank-descending engines have no level groups");
+  } else {
+    Require(level_begin_.size() == static_cast<size_t>(num_levels_) + 1,
+            "PHAST layout level boundaries must have num_levels+1 entries");
+    Require(!level_begin_.empty() && level_begin_.front() == 0 &&
+                level_begin_.back() == n_,
+            "PHAST layout level boundaries must span [0, n)");
+    for (size_t i = 0; i + 1 < level_begin_.size(); ++i) {
+      Require(level_begin_[i] <= level_begin_[i + 1],
+              "PHAST layout level boundaries must be non-decreasing");
+    }
+  }
+}
+
+PhastLayout Phast::ExportLayout() const {
+  PhastLayout layout;
+  layout.options = options_;
+  layout.num_vertices = n_;
+  layout.num_levels = num_levels_;
+  layout.perm = perm_;
+  layout.inv_perm = inv_perm_;
+  layout.order = order_;
+  layout.down_first = down_first_;
+  layout.down_arcs = down_arcs_;
+  layout.up_first = up_first_;
+  layout.up_arcs = up_arcs_;
+  layout.level_begin = level_begin_;
+  return layout;
+}
+
 Phast::Workspace Phast::MakeWorkspace(uint32_t num_trees,
                                       bool want_parents) const {
   Require(num_trees >= 1, "need at least one tree per sweep");

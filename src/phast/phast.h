@@ -14,6 +14,30 @@
 
 namespace phast {
 
+/// Every array a Phast engine holds after construction, in one movable
+/// bundle. This is the serialization surface of the serving subsystem
+/// (src/server/snapshot.*): a snapshot persists the *prepared* engine —
+/// permutations, reordered G↓/G↑ CSR, level boundaries — so a server
+/// process restarts with zero re-preprocessing. Phast::ExportLayout()
+/// produces one; the Phast(PhastLayout) constructor validates and adopts
+/// one (rejecting structurally inconsistent data with InputError).
+struct PhastLayout {
+  PhastOptions options;
+  VertexId num_vertices = 0;
+  uint32_t num_levels = 0;
+  Permutation perm;      // original id -> label space
+  Permutation inv_perm;  // label space -> original id
+  /// Sweep position -> label-space id; empty for kLevelReordered (the
+  /// sweep is then a pure ascending scan).
+  std::vector<VertexId> order;
+  std::vector<ArcId> down_first;   // n+1, keyed by sweep position
+  std::vector<DownArc> down_arcs;  // grouped by sweep position
+  std::vector<ArcId> up_first;     // n+1, label space
+  std::vector<Arc> up_arcs;
+  /// Level-group boundaries; empty for kRankDescending.
+  std::vector<VertexId> level_begin;
+};
+
 /// The PHAST engine (paper §III–§V): answers non-negative single-source
 /// shortest path queries with one upward CH search plus one linear sweep
 /// over the downward graph.
@@ -54,6 +78,18 @@ class Phast {
   };
 
   Phast(const CHData& ch, const Options& options = {});
+
+  /// Adopts a previously exported layout (snapshot loading). Validates the
+  /// structural invariants — permutations are mutual inverses, CSR offset
+  /// arrays are monotone and sized n+1, arc endpoints are in range, level
+  /// boundaries partition [0, n) — and throws InputError otherwise, so a
+  /// corrupted-but-checksum-consistent snapshot cannot build a broken
+  /// engine.
+  explicit Phast(PhastLayout layout);
+
+  /// Copies the engine's arrays into a serializable bundle (the inverse of
+  /// the PhastLayout constructor).
+  [[nodiscard]] PhastLayout ExportLayout() const;
 
   [[nodiscard]] Workspace MakeWorkspace(uint32_t num_trees = 1,
                                         bool want_parents = false) const;

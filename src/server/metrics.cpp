@@ -1,0 +1,147 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace phast::server {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  Require(!bounds_.empty(), "histogram needs at least one bucket bound");
+  Require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "histogram bounds must be strictly increasing");
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
+                        std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) *
+         1e-6;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= bounds_.size()) return bounds_.back();  // +Inf bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double into =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0,  2.5,   5.0,    10.0,
+          25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0};
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  const std::string& help) {
+  Entry& entry = metrics_[name];
+  if (entry.help.empty()) entry.help = help;
+  return entry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  const MutexLock lock(mu_);
+  Entry& entry = GetEntry(name, help);
+  Require(!entry.gauge && !entry.histogram,
+          "metric '" + name + "' already registered with a different kind");
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  const MutexLock lock(mu_);
+  Entry& entry = GetEntry(name, help);
+  Require(!entry.counter && !entry.histogram,
+          "metric '" + name + "' already registered with a different kind");
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  const MutexLock lock(mu_);
+  Entry& entry = GetEntry(name, help);
+  Require(!entry.counter && !entry.gauge,
+          "metric '" + name + "' already registered with a different kind");
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+namespace {
+
+/// Prometheus-style float formatting: plain decimal, no trailing noise.
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const MutexLock lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : metrics_) {
+    out << "# HELP " << name << " " << entry.help << "\n";
+    if (entry.counter) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << entry.counter->Value() << "\n";
+    } else if (entry.gauge) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << entry.gauge->Value() << "\n";
+    } else if (entry.histogram) {
+      const Histogram& h = *entry.histogram;
+      out << "# TYPE " << name << " histogram\n";
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.Bounds().size(); ++i) {
+        cumulative += h.BucketCount(i);
+        out << name << "_bucket{le=\"" << FormatDouble(h.Bounds()[i])
+            << "\"} " << cumulative << "\n";
+      }
+      cumulative += h.BucketCount(h.Bounds().size());
+      out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      out << name << "_sum " << FormatDouble(h.Sum()) << "\n";
+      out << name << "_count " << h.Count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace phast::server

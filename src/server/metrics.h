@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace phast::server {
+
+/// Observability for the serving subsystem (DESIGN.md §7): counters, gauges,
+/// and fixed-bucket latency histograms, registered by name in a
+/// MetricsRegistry and exposed in the Prometheus text format. Hot-path
+/// updates are single relaxed atomics — the scheduler increments these per
+/// request and per batch, so they must never contend.
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, cached trees).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: cumulative bucket counts in the exposition (the
+/// Prometheus `le` convention), quantiles estimated by linear interpolation
+/// within the bucket that crosses the requested rank.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds of the finite buckets, in
+  /// strictly increasing order; an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  [[nodiscard]] uint64_t Count() const;
+  [[nodiscard]] double Sum() const;
+  /// q in [0, 1]; returns 0 when empty. Values in the +Inf bucket report
+  /// the largest finite bound (the histogram cannot resolve beyond it).
+  [[nodiscard]] double Quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& Bounds() const { return bounds_; }
+  [[nodiscard]] uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;                    // finite upper bounds
+  std::vector<std::atomic<uint64_t>> buckets_;    // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  /// Sum as fixed-point microunits so it can be a lock-free integer atomic.
+  std::atomic<int64_t> sum_micros_{0};
+};
+
+/// Default latency buckets (milliseconds): 50us .. 10s.
+[[nodiscard]] std::vector<double> DefaultLatencyBucketsMs();
+
+/// Named metric registry. Get* registers on first use and returns the same
+/// instance for the same name afterwards (pointers are stable for the
+/// registry's lifetime); a name may only ever be one metric kind.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name, const std::string& help);
+  Gauge& GetGauge(const std::string& name, const std::string& help);
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition format 0.0.4: `# HELP` / `# TYPE` preamble
+  /// per metric, `_bucket{le=...}`/`_sum`/`_count` series for histograms.
+  [[nodiscard]] std::string RenderPrometheus() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, const std::string& help)
+      REQUIRES(mu_);
+
+  mutable AnnotatedMutex mu_;
+  std::map<std::string, Entry> metrics_ GUARDED_BY(mu_);
+};
+
+}  // namespace phast::server

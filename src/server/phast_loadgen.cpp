@@ -1,0 +1,293 @@
+// phast_loadgen — seeded workload driver for phast_serve.
+//
+// Connects C client threads to a running daemon, fires a Zipf-or-uniform
+// mix of full-tree and target-list queries with bounded pipelining, and
+// reports achieved throughput plus client-side latency percentiles as a
+// JSON summary on stdout. Optionally:
+//
+//   --verify-sample=K   re-check K responses per thread against Dijkstra on
+//                       the graph embedded in the snapshot (--snapshot=...)
+//   --check-metrics     fetch /metrics afterwards and assert the accounting
+//                       identity admitted == completed + shed
+//   --shutdown          send a shutdown frame when done
+//
+//   phast_loadgen --socket=/tmp/phast.sock --requests=1000 --clients=4
+//                 --snapshot=country.snap --verify-sample=32 --check-metrics
+//
+// Exit code 0 = all requests answered and all checks passed, 1 = a
+// verification or metrics check failed, 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dijkstra/dijkstra.h"
+#include "pq/dary_heap.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/snapshot.h"
+#include "server/workload.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace phast;
+using namespace phast::server;
+
+struct ThreadReport {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t invalid = 0;
+  uint64_t from_cache = 0;
+  uint64_t verified = 0;
+  uint64_t mismatches = 0;
+};
+
+/// Pulls the value of a plain (un-labeled) sample line out of Prometheus
+/// exposition text; returns -1 when absent.
+int64_t ParseMetric(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  const std::string needle = name + " ";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || text[pos - 1] == '\n';
+    if (!at_line_start) {
+      pos += needle.size();
+      continue;
+    }
+    const size_t value_begin = pos + needle.size();
+    const size_t line_end = text.find('\n', value_begin);
+    const std::string value =
+        text.substr(value_begin, line_end == std::string::npos
+                                     ? std::string::npos
+                                     : line_end - value_begin);
+    return std::strtoll(value.c_str(), nullptr, 10);
+  }
+  return -1;
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Checks one response against a fresh Dijkstra tree on the oracle graph.
+bool VerifyResponse(const Graph& graph, const Request& request,
+                    const Response& response) {
+  const SsspResult ref = Dijkstra<BinaryHeap>(graph, request.source);
+  if (request.targets.empty()) {
+    if (response.distances.size() != ref.dist.size()) return false;
+    return std::equal(response.distances.begin(), response.distances.end(),
+                      ref.dist.begin());
+  }
+  if (response.distances.size() != request.targets.size()) return false;
+  for (size_t i = 0; i < request.targets.size(); ++i) {
+    if (response.distances[i] != ref.dist[request.targets[i]]) return false;
+  }
+  return true;
+}
+
+void RunClient(const std::string& socket_path, uint64_t requests,
+               uint32_t window, const WorkloadOptions& wl, uint32_t n,
+               const std::vector<VertexId>& rank_to_vertex,
+               const Graph* oracle_graph, uint64_t verify_sample,
+               ThreadReport& report) {
+  Client client(ConnectUnix(socket_path));
+  Rng rng(wl.seed);
+  const ZipfSampler zipf(n, wl.zipf_skew);
+
+  // Bounded pipelining: keep up to `window` queries in flight so the
+  // server actually gets something to coalesce into wide batches.
+  std::vector<Request> in_flight;
+  const uint64_t verify_every =
+      verify_sample > 0 ? std::max<uint64_t>(1, requests / verify_sample) : 0;
+
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  while (received < requests) {
+    while (sent < requests && sent - received < window) {
+      Request request = DrawRequest(wl, zipf, rank_to_vertex, rng);
+      client.SendQuery(request);
+      in_flight.push_back(std::move(request));
+      ++sent;
+    }
+    const ResponseFrame frame = client.ReceiveResponse();
+    const Request request = std::move(in_flight.front());
+    in_flight.erase(in_flight.begin());
+
+    const Response& response = frame.response;
+    report.latencies_ms.push_back(response.latency_ms);
+    if (response.from_cache) ++report.from_cache;
+    switch (response.status) {
+      case ResponseStatus::kOk: {
+        ++report.ok;
+        if (oracle_graph != nullptr && verify_every > 0 &&
+            received % verify_every == 0) {
+          ++report.verified;
+          if (!VerifyResponse(*oracle_graph, request, response)) {
+            ++report.mismatches;
+          }
+        }
+        break;
+      }
+      case ResponseStatus::kInvalidRequest:
+        ++report.invalid;
+        break;
+      default:
+        ++report.shed;
+        break;
+    }
+    ++received;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  if (cli.Has("help") || !cli.Has("socket")) {
+    std::fprintf(
+        stderr,
+        "usage: %s --socket=SOCKPATH [--requests=N] [--clients=C]\n"
+        "          [--window=W] [--seed=S] [--zipf-skew=Z]\n"
+        "          [--full-tree-fraction=F] [--max-targets=T]\n"
+        "          [--snapshot=PATH --verify-sample=K] [--check-metrics]\n"
+        "          [--shutdown]\n",
+        cli.ProgramName().c_str());
+    return cli.Has("help") ? 0 : 2;
+  }
+
+  const std::string socket_path = cli.GetString("socket", "");
+  const uint64_t requests =
+      static_cast<uint64_t>(cli.GetInt("requests", 1000));
+  const uint32_t clients = static_cast<uint32_t>(cli.GetInt("clients", 4));
+  const uint32_t window = static_cast<uint32_t>(cli.GetInt("window", 8));
+  const uint64_t verify_sample =
+      static_cast<uint64_t>(cli.GetInt("verify-sample", 0));
+
+  WorkloadOptions wl;
+  wl.seed = static_cast<uint64_t>(cli.GetInt("seed", 1));
+  wl.zipf_skew = cli.GetDouble("zipf-skew", 0.99);
+  wl.full_tree_fraction = cli.GetDouble("full-tree-fraction", 0.1);
+  wl.max_targets = static_cast<uint32_t>(cli.GetInt("max-targets", 16));
+
+  // The oracle graph (for --verify-sample) rides inside the snapshot, so
+  // the loadgen checks the very artifact the server is serving from.
+  std::unique_ptr<Snapshot> snapshot;
+  if (verify_sample > 0) {
+    Require(cli.Has("snapshot"), "--verify-sample needs --snapshot=PATH");
+    snapshot =
+        std::make_unique<Snapshot>(ReadSnapshotFile(cli.GetString("snapshot", "")));
+    Require(snapshot->has_graph,
+            "snapshot carries no graph section (produced with --no-graph?)");
+  }
+  const uint32_t n =
+      snapshot ? snapshot->graph.NumVertices()
+               : static_cast<uint32_t>(cli.GetInt("num-vertices", 0));
+  uint32_t domain = n;
+  if (domain == 0) {
+    // Without a snapshot we still need the vertex-id domain; probe vertex 0.
+    domain = 1;
+    Client probe(ConnectUnix(socket_path));
+    Request request;
+    request.source = 0;
+    const Response r = probe.Call(request);
+    Require(r.status == ResponseStatus::kOk,
+            "pass --num-vertices or --snapshot to size the workload");
+    domain = static_cast<uint32_t>(r.distances.size());
+  }
+  const std::vector<VertexId> rank_to_vertex = MakeRankMapping(domain, wl.seed);
+
+  const uint64_t per_client = std::max<uint64_t>(1, requests / clients);
+  std::vector<ThreadReport> reports(clients);
+  const Timer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (uint32_t c = 0; c < clients; ++c) {
+      WorkloadOptions thread_wl = wl;
+      thread_wl.seed = wl.seed * 0x9E3779B9ULL + c + 1;  // per-thread stream
+      threads.emplace_back([&, c, thread_wl] {
+        RunClient(socket_path, per_client, window, thread_wl, domain,
+                  rank_to_vertex,
+                  snapshot ? &snapshot->graph : nullptr,
+                  verify_sample, reports[c]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double elapsed_sec = wall.ElapsedSec();
+
+  ThreadReport total;
+  for (const ThreadReport& r : reports) {
+    total.ok += r.ok;
+    total.shed += r.shed;
+    total.invalid += r.invalid;
+    total.from_cache += r.from_cache;
+    total.verified += r.verified;
+    total.mismatches += r.mismatches;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+
+  bool metrics_ok = true;
+  int64_t admitted = -1, completed = -1, shed = -1;
+  if (cli.GetBool("check-metrics", false)) {
+    Client client(ConnectUnix(socket_path));
+    const std::string text = client.FetchMetrics();
+    admitted = ParseMetric(text, "phast_server_requests_admitted_total");
+    completed = ParseMetric(text, "phast_server_requests_completed_total");
+    shed = ParseMetric(text, "phast_server_requests_shed_total");
+    metrics_ok = admitted >= 0 && completed >= 0 && shed >= 0 &&
+                 admitted == completed + shed;
+  }
+  if (cli.GetBool("shutdown", false)) {
+    Client client(ConnectUnix(socket_path));
+    client.Shutdown();
+  }
+
+  const uint64_t answered = total.ok + total.shed + total.invalid;
+  std::printf(
+      "{\"requests\": %llu, \"ok\": %llu, \"shed\": %llu, \"invalid\": %llu,\n"
+      " \"from_cache\": %llu, \"throughput_rps\": %.1f,\n"
+      " \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+      " \"verified\": %llu, \"mismatches\": %llu,\n"
+      " \"metrics\": {\"admitted\": %lld, \"completed\": %lld, \"shed\": %lld, "
+      "\"identity_ok\": %s}}\n",
+      static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.invalid),
+      static_cast<unsigned long long>(total.from_cache),
+      static_cast<double>(answered) / elapsed_sec,
+      Percentile(total.latencies_ms, 0.50),
+      Percentile(total.latencies_ms, 0.95),
+      Percentile(total.latencies_ms, 0.99),
+      static_cast<unsigned long long>(total.verified),
+      static_cast<unsigned long long>(total.mismatches),
+      static_cast<long long>(admitted), static_cast<long long>(completed),
+      static_cast<long long>(shed), metrics_ok ? "true" : "false");
+
+  if (total.mismatches > 0) {
+    std::fprintf(stderr, "loadgen: %llu responses disagreed with Dijkstra\n",
+                 static_cast<unsigned long long>(total.mismatches));
+    return 1;
+  }
+  if (!metrics_ok) {
+    std::fprintf(stderr,
+                 "loadgen: metrics identity violated: admitted=%lld != "
+                 "completed=%lld + shed=%lld\n",
+                 static_cast<long long>(admitted),
+                 static_cast<long long>(completed),
+                 static_cast<long long>(shed));
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// phast_prepare — builds a serving snapshot offline.
+//
+// Runs the full preparation pipeline (largest SCC -> DFS relabel -> CH ->
+// PHAST layout) once and persists the result as a snapshot artifact, so
+// phast_serve starts with zero preprocessing. This is deliberately the only
+// server-side binary that may call PrepareNetwork — the server-no-prepare
+// lint rule (tools/phast_lint.py) keeps contraction out of the serving path.
+//
+//   phast_prepare --out=country.snap                      # synthetic graph
+//   phast_prepare --out=nyc.snap --graph=NY.gr            # DIMACS input
+//   phast_prepare --out=big.snap --width=256 --height=256 --seed=7
+//
+// Exit code 0 = snapshot written, 2 = usage error.
+#include <cstdio>
+#include <string>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "phast/phast.h"
+#include "phast/prepare.h"
+#include "server/snapshot.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace phast;
+  const CommandLine cli(argc, argv);
+  if (cli.Has("help") || !cli.Has("out")) {
+    std::printf(
+        "usage: %s --out=PATH [--graph=DIMACS.gr]\n"
+        "          [--width=W --height=H --seed=S --metric=time|distance]\n"
+        "          [--no-graph]  (omit the verification graph section)\n",
+        cli.ProgramName().c_str());
+    return cli.Has("help") ? 0 : 2;
+  }
+
+  const Timer total;
+  EdgeList edges;
+  if (cli.Has("graph")) {
+    edges = ReadDimacsGraphFile(cli.GetString("graph", ""));
+  } else {
+    CountryParams params;
+    params.width = static_cast<uint32_t>(cli.GetInt("width", 96));
+    params.height = static_cast<uint32_t>(cli.GetInt("height", 96));
+    params.seed = static_cast<uint64_t>(cli.GetInt("seed", 1));
+    params.metric = cli.GetString("metric", "time") == "distance"
+                        ? Metric::kTravelDistance
+                        : Metric::kTravelTime;
+    edges = GenerateCountry(params).edges;
+  }
+  std::printf("input: %u vertices, %zu arcs\n", edges.NumVertices(),
+              edges.NumArcs());
+
+  const PreparedNetwork prepared = PrepareNetwork(edges);
+  std::printf("prepared: %u vertices (largest SCC), %u CH levels\n",
+              prepared.NumVertices(), prepared.ch.NumLevels());
+
+  const Phast engine(prepared.ch);
+  const server::Snapshot snapshot = server::MakeSnapshot(
+      engine, cli.GetBool("no-graph", false) ? nullptr : &prepared.graph);
+
+  const std::string out = cli.GetString("out", "");
+  server::WriteSnapshotFile(snapshot, out);
+  std::printf("snapshot written to %s in %.1f ms\n", out.c_str(),
+              total.ElapsedMs());
+  return 0;
+}

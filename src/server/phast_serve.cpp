@@ -1,0 +1,116 @@
+// phast_serve — the distance-oracle daemon.
+//
+// Loads a snapshot artifact (see phast_prepare), rebuilds the PHAST engine
+// with zero preprocessing, and serves the length-prefixed protocol
+// (server/protocol.h) either over a Unix-domain socket or over the
+// stdin/stdout pipe. All scheduling — batching, deadlines, shedding, the
+// tree cache — lives in OracleService; this binary is transport + lifecycle.
+//
+//   phast_serve --snapshot=country.snap --socket=/tmp/phast.sock
+//   phast_serve --snapshot=country.snap --stdio   # single pipe connection
+//
+// Runs until a client sends a shutdown frame (or SIGINT/SIGTERM, or EOF in
+// --stdio mode). Exit code 0 = clean shutdown, 2 = usage error.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "phast/phast.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "server/snapshot.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+void HandleSignal(int) { g_signaled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phast;
+  const CommandLine cli(argc, argv);
+  if (cli.Has("help") || !cli.Has("snapshot") ||
+      (!cli.Has("socket") && !cli.GetBool("stdio", false))) {
+    std::fprintf(
+        stderr,
+        "usage: %s --snapshot=PATH (--socket=SOCKPATH | --stdio)\n"
+        "          [--workers=N] [--max-batch=K] [--queue-capacity=N]\n"
+        "          [--cache-capacity=N] [--deadline-ms=D]\n"
+        "          [--rphast-max-targets=N]\n",
+        cli.ProgramName().c_str());
+    return cli.Has("help") ? 0 : 2;
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);  // torn client writes are handled inline
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  const Timer load;
+  server::Snapshot snapshot =
+      server::ReadSnapshotFile(cli.GetString("snapshot", ""));
+  const Phast engine(std::move(snapshot.layout));
+  std::fprintf(stderr, "phast_serve: %u vertices, %u levels, loaded in %.1f ms\n",
+               engine.NumVertices(), engine.NumLevels(), load.ElapsedMs());
+
+  server::ServiceOptions options;
+  options.num_workers = static_cast<uint32_t>(cli.GetInt("workers", 2));
+  options.max_batch = static_cast<uint32_t>(cli.GetInt("max-batch", 8));
+  options.queue_capacity =
+      static_cast<size_t>(cli.GetInt("queue-capacity", 256));
+  options.cache_capacity =
+      static_cast<size_t>(cli.GetInt("cache-capacity", 8));
+  options.default_deadline_ms = cli.GetDouble("deadline-ms", 0.0);
+  options.rphast_max_targets =
+      static_cast<size_t>(cli.GetInt("rphast-max-targets", 0));
+
+  server::MetricsRegistry metrics;
+  server::OracleService service(engine, options, metrics);
+
+  if (cli.GetBool("stdio", false)) {
+    server::ServeConnection(STDIN_FILENO, STDOUT_FILENO, service, metrics);
+    service.Stop();
+    std::fprintf(stderr, "phast_serve: pipe closed, exiting\n");
+    return 0;
+  }
+
+  const std::string socket_path = cli.GetString("socket", "");
+  const int listen_fd = server::ListenUnix(socket_path);
+  std::fprintf(stderr, "phast_serve: listening on %s\n", socket_path.c_str());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> connections;
+  while (!stop.load(std::memory_order_relaxed) && g_signaled == 0) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flags
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    connections.emplace_back([conn_fd, &service, &metrics, &stop] {
+      const bool shutdown_requested =
+          server::ServeConnection(conn_fd, conn_fd, service, metrics);
+      ::close(conn_fd);
+      if (shutdown_requested) stop.store(true, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  service.Stop();
+
+  const server::ServiceCounters c = service.Counters();
+  std::fprintf(stderr,
+               "phast_serve: done (admitted=%llu completed=%llu shed=%llu)\n",
+               static_cast<unsigned long long>(c.admitted),
+               static_cast<unsigned long long>(c.completed),
+               static_cast<unsigned long long>(c.Shed()));
+  return 0;
+}

@@ -1,0 +1,399 @@
+#include "server/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "server/queue.h"
+#include "util/error.h"
+
+namespace phast::server {
+
+namespace {
+
+// --- fd I/O (EINTR-safe, exact-length) -------------------------------------
+
+/// Reads exactly `size` bytes. Returns bytes read: `size` on success, 0 on
+/// EOF before the first byte, and throws on EOF mid-read or I/O error.
+size_t ReadFull(int fd, void* data, size_t size) {
+  auto* out = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t r = ::read(fd, out + got, size - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Require(false, std::string("read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      Require(got == 0, "connection closed mid-frame");
+      return 0;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+void WriteFull(int fd, const void* data, size_t size) {
+  const auto* in = static_cast<const uint8_t*>(data);
+  size_t put = 0;
+  while (put < size) {
+    const ssize_t w = ::write(fd, in + put, size - put);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      Require(false, std::string("write failed: ") + std::strerror(errno));
+    }
+    put += static_cast<size_t>(w);
+  }
+}
+
+// --- little-endian payload packing -----------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bytes(const void* data, size_t size) { Raw(data, size); }
+
+  [[nodiscard]] std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  uint8_t U8() { return *Raw(1); }
+  uint32_t U32() {
+    uint32_t v;
+    std::memcpy(&v, Raw(sizeof(v)), sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v;
+    std::memcpy(&v, Raw(sizeof(v)), sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v;
+    std::memcpy(&v, Raw(sizeof(v)), sizeof(v));
+    return v;
+  }
+  [[nodiscard]] size_t Remaining() const { return bytes_.size() - pos_; }
+  void ExpectEnd() const {
+    Require(pos_ == bytes_.size(), "trailing bytes in protocol payload");
+  }
+
+  const uint8_t* Raw(size_t size) {
+    Require(pos_ + size <= bytes_.size(), "truncated protocol payload");
+    const uint8_t* p = bytes_.data() + pos_;
+    pos_ += size;
+    return p;
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// --- framing ----------------------------------------------------------------
+
+bool ReadFrame(int fd, std::vector<uint8_t>& payload) {
+  uint32_t len;
+  if (ReadFull(fd, &len, sizeof(len)) == 0) return false;
+  Require(len <= kMaxFrameBytes, "protocol frame exceeds 1 GiB");
+  payload.resize(len);
+  if (len > 0) {
+    Require(ReadFull(fd, payload.data(), len) == len,
+            "connection closed mid-frame");
+  }
+  return true;
+}
+
+void WriteFrame(int fd, std::span<const uint8_t> payload) {
+  Require(payload.size() <= kMaxFrameBytes, "protocol frame exceeds 1 GiB");
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  WriteFull(fd, &len, sizeof(len));
+  if (!payload.empty()) WriteFull(fd, payload.data(), payload.size());
+}
+
+// --- payload encoding -------------------------------------------------------
+
+MessageType PeekType(std::span<const uint8_t> payload) {
+  Require(!payload.empty(), "empty protocol payload");
+  const uint8_t type = payload[0];
+  Require(type >= static_cast<uint8_t>(MessageType::kQuery) &&
+              type <= static_cast<uint8_t>(MessageType::kShutdown),
+          "unknown protocol message type");
+  return static_cast<MessageType>(type);
+}
+
+uint64_t PeekId(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  reader.U8();
+  return reader.U64();
+}
+
+std::vector<uint8_t> EncodeQuery(uint64_t id, const Request& request) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kQuery));
+  w.U64(id);
+  w.F64(request.deadline_ms);
+  w.U32(request.source);
+  w.U32(static_cast<uint32_t>(request.targets.size()));
+  w.Bytes(request.targets.data(), request.targets.size() * sizeof(VertexId));
+  return w.Take();
+}
+
+QueryFrame DecodeQuery(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kQuery),
+          "expected a query payload");
+  QueryFrame frame;
+  frame.id = r.U64();
+  frame.request.deadline_ms = r.F64();
+  frame.request.source = r.U32();
+  const uint32_t num_targets = r.U32();
+  Require(r.Remaining() == static_cast<size_t>(num_targets) * sizeof(VertexId),
+          "query target count disagrees with payload size");
+  frame.request.targets.resize(num_targets);
+  if (num_targets > 0) {
+    std::memcpy(frame.request.targets.data(),
+                r.Raw(static_cast<size_t>(num_targets) * sizeof(VertexId)),
+                static_cast<size_t>(num_targets) * sizeof(VertexId));
+  }
+  r.ExpectEnd();
+  return frame;
+}
+
+std::vector<uint8_t> EncodeResponse(uint64_t id, const Response& response) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kQuery));
+  w.U64(id);
+  w.U8(static_cast<uint8_t>(response.status));
+  w.U8(response.from_cache ? 1 : 0);
+  w.F64(response.latency_ms);
+  w.U32(static_cast<uint32_t>(response.distances.size()));
+  w.Bytes(response.distances.data(),
+          response.distances.size() * sizeof(Weight));
+  return w.Take();
+}
+
+ResponseFrame DecodeResponse(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kQuery),
+          "expected a query response payload");
+  ResponseFrame frame;
+  frame.id = r.U64();
+  const uint8_t status = r.U8();
+  Require(status <= static_cast<uint8_t>(ResponseStatus::kInvalidRequest),
+          "unknown response status");
+  frame.response.status = static_cast<ResponseStatus>(status);
+  frame.response.from_cache = r.U8() != 0;
+  frame.response.latency_ms = r.F64();
+  const uint32_t num = r.U32();
+  Require(r.Remaining() == static_cast<size_t>(num) * sizeof(Weight),
+          "response distance count disagrees with payload size");
+  frame.response.distances.resize(num);
+  if (num > 0) {
+    std::memcpy(frame.response.distances.data(),
+                r.Raw(static_cast<size_t>(num) * sizeof(Weight)),
+                static_cast<size_t>(num) * sizeof(Weight));
+  }
+  r.ExpectEnd();
+  return frame;
+}
+
+std::vector<uint8_t> EncodeControl(MessageType type, uint64_t id) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  w.U64(id);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeMetricsText(uint64_t id, const std::string& text) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kMetrics));
+  w.U64(id);
+  w.U32(static_cast<uint32_t>(text.size()));
+  w.Bytes(text.data(), text.size());
+  return w.Take();
+}
+
+std::string DecodeMetricsText(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kMetrics),
+          "expected a metrics payload");
+  r.U64();  // id
+  const uint32_t len = r.U32();
+  Require(r.Remaining() == len, "metrics length disagrees with payload size");
+  std::string text(reinterpret_cast<const char*>(r.Raw(len)), len);
+  r.ExpectEnd();
+  return text;
+}
+
+// --- transport helpers ------------------------------------------------------
+
+int ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  Require(path.size() < sizeof(addr.sun_path),
+          "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  Require(fd >= 0, std::string("socket failed: ") + std::strerror(errno));
+  ::unlink(path.c_str());  // replace a stale socket file from a dead server
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    Require(false, "bind(" + path + ") failed: " + err);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    Require(false, "listen(" + path + ") failed: " + err);
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  Require(path.size() < sizeof(addr.sun_path),
+          "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  Require(fd >= 0, std::string("socket failed: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    Require(false, "connect(" + path + ") failed: " + err);
+  }
+  return fd;
+}
+
+// --- server connection loop -------------------------------------------------
+
+namespace {
+
+/// One frame awaiting the writer: either pre-encoded bytes (control
+/// responses) or a pending query future to resolve and encode.
+struct Outgoing {
+  std::vector<uint8_t> ready;
+  std::future<Response> future;
+  uint64_t id = 0;
+};
+
+}  // namespace
+
+bool ServeConnection(int in_fd, int out_fd, OracleService& service,
+                     MetricsRegistry& metrics) {
+  // The reader submits queries and hands futures to the writer in request
+  // order; the writer blocks on each future in turn, so responses go out in
+  // the order requests came in while the scheduler computes them in
+  // batches. Blocking Push bounds how far the reader can run ahead.
+  BoundedQueue<Outgoing> outbox(1024);
+  std::atomic<bool> write_failed{false};
+
+  std::thread writer([&] {
+    for (;;) {
+      std::optional<Outgoing> item = outbox.Pop();
+      if (!item) return;
+      if (write_failed.load(std::memory_order_relaxed)) continue;
+      try {
+        if (item->future.valid()) {
+          const Response response = item->future.get();
+          WriteFrame(out_fd, EncodeResponse(item->id, response));
+        } else {
+          WriteFrame(out_fd, item->ready);
+        }
+      } catch (const std::exception&) {
+        // Client went away mid-write; keep draining so every future is
+        // consumed, then let the reader observe EOF.
+        write_failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  bool got_shutdown = false;
+  std::vector<uint8_t> payload;
+  try {
+    while (!write_failed.load(std::memory_order_relaxed) &&
+           ReadFrame(in_fd, payload)) {
+      const MessageType type = PeekType(payload);
+      Outgoing out;
+      out.id = PeekId(payload);
+      if (type == MessageType::kQuery) {
+        QueryFrame query = DecodeQuery(payload);
+        out.future = service.Submit(std::move(query.request));
+      } else if (type == MessageType::kMetrics) {
+        out.ready = EncodeMetricsText(out.id, metrics.RenderPrometheus());
+      } else {
+        out.ready = EncodeControl(MessageType::kShutdown, out.id);
+        got_shutdown = true;
+      }
+      if (!outbox.Push(std::move(out))) break;
+      if (got_shutdown) break;
+    }
+  } catch (const std::exception&) {
+    // Malformed frame or torn connection: stop reading, flush what we have.
+  }
+  outbox.Close();
+  writer.join();
+  return got_shutdown;
+}
+
+// --- client ----------------------------------------------------------------
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Client::SendQuery(const Request& request) {
+  const uint64_t id = next_id_++;
+  WriteFrame(fd_, EncodeQuery(id, request));
+  return id;
+}
+
+ResponseFrame Client::ReceiveResponse() {
+  Require(ReadFrame(fd_, scratch_), "server closed the connection");
+  return DecodeResponse(scratch_);
+}
+
+Response Client::Call(const Request& request) {
+  SendQuery(request);
+  return ReceiveResponse().response;
+}
+
+std::string Client::FetchMetrics() {
+  // Only valid with no query responses outstanding (frames would interleave).
+  WriteFrame(fd_, EncodeControl(MessageType::kMetrics, next_id_++));
+  Require(ReadFrame(fd_, scratch_), "server closed the connection");
+  return DecodeMetricsText(scratch_);
+}
+
+void Client::Shutdown() {
+  WriteFrame(fd_, EncodeControl(MessageType::kShutdown, next_id_++));
+  Require(ReadFrame(fd_, scratch_), "server closed the connection");
+  Require(PeekType(scratch_) == MessageType::kShutdown,
+          "expected shutdown acknowledgement");
+}
+
+}  // namespace phast::server

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/service.h"
+
+namespace phast::server {
+
+/// Wire protocol of phast_serve (DESIGN.md §7).
+///
+/// Transport: a byte stream (Unix-domain socket or a stdin/stdout pipe)
+/// carrying length-prefixed frames — u32 little-endian payload length, then
+/// the payload. The first payload byte is the message type; all integers
+/// are little-endian, doubles are IEEE-754 bit patterns.
+///
+/// Client -> server payloads:
+///   kQuery:    u8 type, u64 request id, f64 deadline_ms (<0 = server
+///              default, 0 = none), u32 source, u32 num_targets,
+///              u32 targets[num_targets]. num_targets == 0 requests the
+///              full distance tree.
+///   kMetrics:  u8 type, u64 request id.
+///   kShutdown: u8 type, u64 request id — asks the daemon to stop after
+///              acknowledging.
+///
+/// Server -> client payloads:
+///   kQuery:    u8 type, u64 request id, u8 status (ResponseStatus),
+///              u8 from_cache, f64 latency_ms, u32 num_distances,
+///              u32 distances[num_distances].
+///   kMetrics:  u8 type, u64 request id, u32 text_len, bytes (Prometheus
+///              exposition).
+///   kShutdown: u8 type, u64 request id (the acknowledgement).
+///
+/// Responses to queries may be computed out of order by the batching
+/// scheduler, but each connection writes them back in request order (the
+/// request id makes reordering clients possible without relying on it).
+enum class MessageType : uint8_t {
+  kQuery = 1,
+  kMetrics = 2,
+  kShutdown = 3,
+};
+
+inline constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+// --- framing over a POSIX fd ----------------------------------------------
+
+/// Reads one length-prefixed frame. Returns false on clean EOF before the
+/// length prefix; throws InputError on truncation mid-frame or oversized
+/// frames.
+[[nodiscard]] bool ReadFrame(int fd, std::vector<uint8_t>& payload);
+
+/// Writes one length-prefixed frame; throws InputError on short writes.
+void WriteFrame(int fd, std::span<const uint8_t> payload);
+
+// --- payload encoding ------------------------------------------------------
+
+struct QueryFrame {
+  uint64_t id = 0;
+  Request request;
+};
+
+struct ResponseFrame {
+  uint64_t id = 0;
+  Response response;
+};
+
+[[nodiscard]] std::vector<uint8_t> EncodeQuery(uint64_t id,
+                                               const Request& request);
+[[nodiscard]] QueryFrame DecodeQuery(std::span<const uint8_t> payload);
+
+[[nodiscard]] std::vector<uint8_t> EncodeResponse(uint64_t id,
+                                                  const Response& response);
+[[nodiscard]] ResponseFrame DecodeResponse(std::span<const uint8_t> payload);
+
+[[nodiscard]] std::vector<uint8_t> EncodeControl(MessageType type,
+                                                 uint64_t id);
+[[nodiscard]] std::vector<uint8_t> EncodeMetricsText(uint64_t id,
+                                                     const std::string& text);
+[[nodiscard]] std::string DecodeMetricsText(std::span<const uint8_t> payload);
+
+/// Type of a decoded payload (its first byte); throws on empty/unknown.
+[[nodiscard]] MessageType PeekType(std::span<const uint8_t> payload);
+[[nodiscard]] uint64_t PeekId(std::span<const uint8_t> payload);
+
+// --- transport helpers ------------------------------------------------------
+
+/// Binds and listens on a Unix-domain socket, replacing a stale file.
+[[nodiscard]] int ListenUnix(const std::string& path);
+[[nodiscard]] int ConnectUnix(const std::string& path);
+
+// --- server connection loop -------------------------------------------------
+
+/// Serves one connection: reads frames from `in_fd`, submits queries to the
+/// service, and writes responses (in request order) to `out_fd` until EOF
+/// or a shutdown frame. Returns true if a shutdown frame was received.
+/// Internally runs a writer thread so slow sweeps overlap with frame
+/// reading; safe to call from several threads with distinct fds.
+bool ServeConnection(int in_fd, int out_fd, OracleService& service,
+                     MetricsRegistry& metrics);
+
+// --- client ----------------------------------------------------------------
+
+/// Blocking protocol client over a connected fd (owns and closes it).
+class Client {
+ public:
+  explicit Client(int fd) : fd_(fd) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends a query; returns its request id.
+  uint64_t SendQuery(const Request& request);
+  /// Receives the next response frame of any query.
+  [[nodiscard]] ResponseFrame ReceiveResponse();
+  /// Round-trip convenience: one query, one response.
+  [[nodiscard]] Response Call(const Request& request);
+
+  [[nodiscard]] std::string FetchMetrics();
+  /// Sends shutdown and waits for the acknowledgement.
+  void Shutdown();
+
+ private:
+  int fd_;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace phast::server

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/error.h"
+#include "util/thread_annotations.h"
+
+namespace phast::server {
+
+/// Bounded multi-producer/multi-consumer queue — the admission point of the
+/// serving scheduler. Backpressure is explicit: TryPush never blocks and
+/// reports failure when the queue is full, so the caller sheds the request
+/// instead of stacking unbounded work behind a slow sweep. (Push, the
+/// blocking flavor, exists for in-order writers that must not drop.)
+///
+/// Closing the queue wakes every blocked producer and consumer; Pop/PopBatch
+/// then drain the remaining items and finally report exhaustion, which is
+/// the worker pool's shutdown signal. Drain() hands the not-yet-consumed
+/// tail back to the closer so every queued item can still be answered
+/// (shed), never silently dropped.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    Require(capacity >= 1, "queue capacity must be at least 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; never blocks. Takes an
+  /// rvalue reference (not by value) so a rejected item is left intact and
+  /// the caller can still answer it — e.g. resolve its promise as shed.
+  [[nodiscard]] bool TryPush(T&& item) {
+    {
+      const MutexLock lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until there is space (or the queue closes). Returns false —
+  /// leaving the item intact — only when closed.
+  [[nodiscard]] bool Push(T&& item) {
+    {
+      const MutexLock lock(mu_);
+      while (items_.size() >= capacity_ && !closed_) space_.Wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  [[nodiscard]] std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      const MutexLock lock(mu_);
+      while (items_.empty() && !closed_) ready_.Wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_.NotifyOne();
+    return item;
+  }
+
+  /// Blocks for at least one item (or close), then greedily drains up to
+  /// `max_items` without further waiting — the scheduler's batch-formation
+  /// primitive: whatever queued up behind the previous sweep becomes one
+  /// coalesced batch. Returns an empty vector only when closed and empty.
+  [[nodiscard]] std::vector<T> PopBatch(size_t max_items) {
+    std::vector<T> batch;
+    {
+      const MutexLock lock(mu_);
+      while (items_.empty() && !closed_) ready_.Wait(mu_);
+      while (!items_.empty() && batch.size() < max_items) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (!batch.empty()) space_.NotifyAll();
+    return batch;
+  }
+
+  /// Rejects future pushes and wakes all producers and consumers.
+  void Close() {
+    {
+      const MutexLock lock(mu_);
+      closed_ = true;
+    }
+    ready_.NotifyAll();
+    space_.NotifyAll();
+  }
+
+  /// Removes and returns everything still queued (used after Close to shed
+  /// the unprocessed tail).
+  [[nodiscard]] std::vector<T> Drain() {
+    std::vector<T> rest;
+    {
+      const MutexLock lock(mu_);
+      while (!items_.empty()) {
+        rest.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    space_.NotifyAll();
+    return rest;
+  }
+
+  [[nodiscard]] size_t Size() const {
+    const MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool Closed() const {
+    const MutexLock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable AnnotatedMutex mu_;
+  CondVar ready_;  // signaled on push
+  CondVar space_;  // signaled on pop
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace phast::server

@@ -1,0 +1,403 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "phast/rphast.h"
+#include "util/error.h"
+
+namespace phast::server {
+
+const char* ToString(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kShedQueueFull:
+      return "shed_queue_full";
+    case ResponseStatus::kShedDeadline:
+      return "shed_deadline";
+    case ResponseStatus::kShedShutdown:
+      return "shed_shutdown";
+    case ResponseStatus::kInvalidRequest:
+      return "invalid_request";
+  }
+  return "unknown";
+}
+
+// --- TreeCache -------------------------------------------------------------
+
+std::shared_ptr<const std::vector<Weight>> OracleService::TreeCache::Lookup(
+    VertexId source) {
+  if (capacity_ == 0) return nullptr;
+  const MutexLock lock(mu_);
+  const auto it = by_source_.find(source);
+  if (it == by_source_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.tree;
+}
+
+size_t OracleService::TreeCache::Insert(
+    VertexId source, std::shared_ptr<const std::vector<Weight>> tree) {
+  if (capacity_ == 0) return 0;
+  const MutexLock lock(mu_);
+  const auto it = by_source_.find(source);
+  if (it != by_source_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.tree = std::move(tree);
+    return 0;
+  }
+  size_t evicted = 0;
+  while (by_source_.size() >= capacity_) {
+    by_source_.erase(lru_.back());
+    lru_.pop_back();
+    ++evicted;
+  }
+  lru_.push_front(source);
+  by_source_[source] = Slot{lru_.begin(), std::move(tree)};
+  return evicted;
+}
+
+size_t OracleService::TreeCache::Size() const {
+  const MutexLock lock(mu_);
+  return by_source_.size();
+}
+
+// --- OracleService ---------------------------------------------------------
+
+OracleService::OracleService(const Phast& engine, const ServiceOptions& options,
+                             MetricsRegistry& metrics)
+    : engine_(engine),
+      options_(options),
+      queue_(options.queue_capacity),
+      cache_(options.cache_capacity),
+      admitted_(metrics.GetCounter("phast_server_requests_admitted_total",
+                                   "Requests accepted by Submit")),
+      completed_(metrics.GetCounter(
+          "phast_server_requests_completed_total",
+          "Requests answered with ok or invalid_request")),
+      shed_total_(metrics.GetCounter("phast_server_requests_shed_total",
+                                     "Requests shed for any reason")),
+      shed_queue_full_(
+          metrics.GetCounter("phast_server_requests_shed_queue_full_total",
+                             "Requests shed because the queue was full")),
+      shed_deadline_(metrics.GetCounter(
+          "phast_server_requests_shed_deadline_total",
+          "Requests shed because their deadline expired while queued")),
+      shed_shutdown_(
+          metrics.GetCounter("phast_server_requests_shed_shutdown_total",
+                             "Requests shed by service shutdown")),
+      cache_hits_(metrics.GetCounter("phast_server_tree_cache_hits_total",
+                                     "Requests served from the tree cache")),
+      cache_misses_(metrics.GetCounter("phast_server_tree_cache_misses_total",
+                                       "Requests that missed the tree cache")),
+      cache_evictions_(
+          metrics.GetCounter("phast_server_tree_cache_evictions_total",
+                             "Trees evicted from the LRU cache")),
+      batches_(metrics.GetCounter("phast_server_batches_total",
+                                  "Coalesced sweep batches executed")),
+      rphast_batches_(
+          metrics.GetCounter("phast_server_rphast_batches_total",
+                             "Batches run with the restricted (RPHAST) sweep")),
+      queue_depth_(metrics.GetGauge("phast_server_queue_depth",
+                                    "Requests waiting in the admission queue")),
+      cached_trees_(metrics.GetGauge("phast_server_cached_trees",
+                                     "Trees currently held by the LRU cache")),
+      batch_width_(metrics.GetHistogram(
+          "phast_server_batch_width",
+          "Distinct sources per coalesced batch",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})),
+      latency_ms_(metrics.GetHistogram(
+          "phast_server_request_latency_ms",
+          "Admission-to-completion latency in milliseconds",
+          DefaultLatencyBucketsMs())),
+      sweep_ms_(metrics.GetHistogram("phast_server_sweep_ms",
+                                     "Batch sweep duration in milliseconds",
+                                     DefaultLatencyBucketsMs())) {
+  Require(options_.max_batch >= 1, "max_batch must be at least 1");
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+OracleService::~OracleService() { Stop(); }
+
+std::future<Response> OracleService::Submit(Request request) {
+  admitted_.Inc();
+  Job job;
+  job.deadline_ms = request.deadline_ms < 0.0 ? options_.default_deadline_ms
+                                              : request.deadline_ms;
+  job.request = std::move(request);
+  std::future<Response> future = job.promise.get_future();
+
+  const VertexId n = engine_.NumVertices();
+  const bool valid =
+      job.request.source < n &&
+      std::all_of(job.request.targets.begin(), job.request.targets.end(),
+                  [n](VertexId t) { return t < n; });
+  if (!valid) {
+    Fulfill(job, Response{ResponseStatus::kInvalidRequest, {}, false, 0.0});
+    return future;
+  }
+  if (stopped_.load(std::memory_order_acquire)) {
+    Shed(job, ResponseStatus::kShedShutdown, shed_shutdown_);
+    return future;
+  }
+  if (!queue_.TryPush(std::move(job))) {
+    // TryPush only consumes on success; on failure `job` is intact.
+    if (queue_.Closed()) {
+      Shed(job, ResponseStatus::kShedShutdown, shed_shutdown_);
+    } else {
+      Shed(job, ResponseStatus::kShedQueueFull, shed_queue_full_);
+    }
+    return future;
+  }
+  queue_depth_.Set(static_cast<int64_t>(queue_.Size()));
+  return future;
+}
+
+void OracleService::Stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // With zero workers (or a worker that exited early) the backlog is still
+  // queued; every request still gets an answer.
+  std::vector<Job> rest = queue_.Drain();
+  for (Job& job : rest) {
+    Shed(job, ResponseStatus::kShedShutdown, shed_shutdown_);
+  }
+  queue_depth_.Set(0);
+}
+
+ServiceCounters OracleService::Counters() const {
+  ServiceCounters c;
+  c.admitted = admitted_.Value();
+  c.completed = completed_.Value();
+  c.shed_queue_full = shed_queue_full_.Value();
+  c.shed_deadline = shed_deadline_.Value();
+  c.shed_shutdown = shed_shutdown_.Value();
+  c.cache_hits = cache_hits_.Value();
+  c.cache_misses = cache_misses_.Value();
+  c.cache_evictions = cache_evictions_.Value();
+  c.batches = batches_.Value();
+  c.rphast_batches = rphast_batches_.Value();
+  return c;
+}
+
+void OracleService::WorkerLoop() {
+  std::unordered_map<uint32_t, Phast::Workspace> ws_by_k;
+  for (;;) {
+    std::vector<Job> jobs = queue_.PopBatch(options_.max_batch);
+    if (jobs.empty()) return;  // closed and drained
+    queue_depth_.Set(static_cast<int64_t>(queue_.Size()));
+    ProcessBatch(jobs, ws_by_k);
+  }
+}
+
+namespace {
+
+/// Gathers the response for one job from a full tree indexed by original id.
+Response FromTree(const std::vector<Weight>& tree, const Request& request,
+                  bool from_cache) {
+  Response response;
+  response.from_cache = from_cache;
+  if (request.targets.empty()) {
+    response.distances = tree;
+  } else {
+    response.distances.reserve(request.targets.size());
+    for (const VertexId t : request.targets) {
+      response.distances.push_back(tree[t]);
+    }
+  }
+  return response;
+}
+
+}  // namespace
+
+void OracleService::ProcessBatch(
+    std::vector<Job>& jobs,
+    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k) {
+  std::vector<Job*> live;
+  live.reserve(jobs.size());
+  for (Job& job : jobs) {
+    if (job.deadline_ms > 0.0 && job.admitted.ElapsedMs() > job.deadline_ms) {
+      Shed(job, ResponseStatus::kShedDeadline, shed_deadline_);
+    } else {
+      live.push_back(&job);
+    }
+  }
+  if (live.empty()) return;
+
+  // Serve repeated sources from the LRU cache before forming the sweep.
+  if (options_.cache_capacity > 0) {
+    std::vector<Job*> missed;
+    missed.reserve(live.size());
+    for (Job* job : live) {
+      if (const auto tree = cache_.Lookup(job->request.source)) {
+        cache_hits_.Inc();
+        Fulfill(*job, FromTree(*tree, job->request, /*from_cache=*/true));
+      } else {
+        cache_misses_.Inc();
+        missed.push_back(job);
+      }
+    }
+    live = std::move(missed);
+  }
+  if (live.empty()) return;
+
+  batches_.Inc();
+
+  // The restricted sweep pays off when the whole batch asks for explicit
+  // targets and their union is small; it bypasses the tree cache because no
+  // full tree is ever materialized.
+  const bool restrictable =
+      options_.rphast_max_targets > 0 && !engine_.LevelBoundaries().empty() &&
+      engine_.GetOptions().implicit_init &&
+      std::all_of(live.begin(), live.end(),
+                  [](const Job* job) { return !job->request.targets.empty(); });
+  if (restrictable) {
+    size_t union_bound = 0;
+    for (const Job* job : live) union_bound += job->request.targets.size();
+    if (union_bound <= options_.rphast_max_targets) {
+      rphast_batches_.Inc();
+      RunRestrictedBatch(live);
+      return;
+    }
+  }
+  RunFullBatch(live, ws_by_k);
+}
+
+void OracleService::RunRestrictedBatch(std::vector<Job*>& jobs) {
+  // Union of the batch's targets, deduplicated, with per-target indices.
+  std::vector<VertexId> union_targets;
+  std::unordered_map<VertexId, size_t> index_of;
+  for (const Job* job : jobs) {
+    for (const VertexId t : job->request.targets) {
+      if (index_of.emplace(t, union_targets.size()).second) {
+        union_targets.push_back(t);
+      }
+    }
+  }
+  batch_width_.Observe(static_cast<double>(jobs.size()));
+
+  const RPhast rphast(engine_, union_targets);
+  RPhast::Workspace ws = rphast.MakeWorkspace();
+
+  // One restricted sweep per distinct source, shared by its duplicates.
+  std::unordered_map<VertexId, std::vector<Job*>> by_source;
+  std::vector<VertexId> source_order;
+  for (Job* job : jobs) {
+    auto [it, inserted] = by_source.try_emplace(job->request.source);
+    if (inserted) source_order.push_back(job->request.source);
+    it->second.push_back(job);
+  }
+  for (const VertexId source : source_order) {
+    const Timer sweep;
+    rphast.ComputeTree(source, ws);
+    sweep_ms_.Observe(sweep.ElapsedMs());
+    for (Job* job : by_source[source]) {
+      Response response;
+      response.distances.reserve(job->request.targets.size());
+      for (const VertexId t : job->request.targets) {
+        response.distances.push_back(
+            rphast.DistanceToTarget(ws, index_of[t]));
+      }
+      Fulfill(*job, std::move(response));
+    }
+  }
+}
+
+void OracleService::RunFullBatch(
+    std::vector<Job*>& jobs,
+    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k) {
+  // Distinct sources in first-appearance order; duplicates share a lane.
+  std::vector<VertexId> lane_sources;
+  std::unordered_map<VertexId, uint32_t> lane_of;
+  for (const Job* job : jobs) {
+    const auto [it, inserted] = lane_of.try_emplace(
+        job->request.source, static_cast<uint32_t>(lane_sources.size()));
+    if (inserted) lane_sources.push_back(job->request.source);
+  }
+  const size_t unique = lane_sources.size();
+  batch_width_.Observe(static_cast<double>(unique));
+
+  // Round the sweep width up to a SIMD-friendly multiple of 4 (padding
+  // lanes repeat the last source, which the kernels handle for free).
+  const uint32_t k =
+      unique <= 1 ? 1 : static_cast<uint32_t>((unique + 3) / 4 * 4);
+  lane_sources.resize(k, lane_sources.back());
+
+  auto it = ws_by_k.find(k);
+  if (it == ws_by_k.end()) {
+    it = ws_by_k.emplace(k, engine_.MakeWorkspace(k)).first;
+  }
+  Phast::Workspace& ws = it->second;
+
+  const Timer sweep;
+  engine_.ComputeTrees(lane_sources, ws);
+  sweep_ms_.Observe(sweep.ElapsedMs());
+
+  const VertexId n = engine_.NumVertices();
+  const bool cache_enabled = options_.cache_capacity > 0;
+  // A full tree is materialized per distinct source when the cache wants it
+  // or some duplicate asked for the whole tree; pure target queries read
+  // straight from the workspace.
+  std::vector<std::shared_ptr<const std::vector<Weight>>> trees(unique);
+  for (size_t lane = 0; lane < unique; ++lane) {
+    const VertexId source = lane_sources[lane];
+    bool want_tree = cache_enabled;
+    if (!want_tree) {
+      for (const Job* job : jobs) {
+        if (job->request.source == source && job->request.targets.empty()) {
+          want_tree = true;
+          break;
+        }
+      }
+    }
+    if (!want_tree) continue;
+    auto tree = std::make_shared<std::vector<Weight>>();
+    tree->reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      tree->push_back(engine_.Distance(ws, v, static_cast<uint32_t>(lane)));
+    }
+    if (cache_enabled) {
+      const size_t evicted = cache_.Insert(source, tree);
+      for (size_t e = 0; e < evicted; ++e) cache_evictions_.Inc();
+      cached_trees_.Set(static_cast<int64_t>(cache_.Size()));
+    }
+    trees[lane] = std::move(tree);
+  }
+
+  for (Job* job : jobs) {
+    const uint32_t lane = lane_of[job->request.source];
+    if (trees[lane]) {
+      Fulfill(*job, FromTree(*trees[lane], job->request, /*from_cache=*/false));
+      continue;
+    }
+    Response response;
+    response.distances.reserve(job->request.targets.size());
+    for (const VertexId t : job->request.targets) {
+      response.distances.push_back(engine_.Distance(ws, t, lane));
+    }
+    Fulfill(*job, std::move(response));
+  }
+}
+
+void OracleService::Fulfill(Job& job, Response response) {
+  response.latency_ms = job.admitted.ElapsedMs();
+  latency_ms_.Observe(response.latency_ms);
+  completed_.Inc();
+  job.promise.set_value(std::move(response));
+}
+
+void OracleService::Shed(Job& job, ResponseStatus status, Counter& reason) {
+  reason.Inc();
+  shed_total_.Inc();
+  Response response;
+  response.status = status;
+  response.latency_ms = job.admitted.ElapsedMs();
+  job.promise.set_value(std::move(response));
+}
+
+}  // namespace phast::server

@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+#include "server/metrics.h"
+#include "server/queue.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace phast::server {
+
+/// The batching scheduler of the serving subsystem (DESIGN.md §7).
+///
+/// OracleService turns the PHAST batch engine into a request-level
+/// distance oracle: clients submit single-source requests (full tree or an
+/// explicit target list) into a bounded admission queue; a worker pool
+/// coalesces whatever queued up behind the previous sweep into one k-wide
+/// SIMD batch of *distinct* sources, picks k and the RPHAST restriction
+/// per batch, and fans the results back out through per-request futures.
+/// Backpressure is load shedding, never blocking: a full queue rejects at
+/// admission, and a request whose deadline passed while queued is shed at
+/// processing time instead of wasting a lane. Repeated sources are served
+/// from an LRU cache of whole trees.
+
+/// Why a request was answered the way it was. Everything except kOk and
+/// kInvalidRequest is a shed: the service chose not to compute.
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kShedQueueFull = 1,  // admission queue at capacity
+  kShedDeadline = 2,   // deadline expired while queued
+  kShedShutdown = 3,   // service stopped before the request ran
+  kInvalidRequest = 4, // source/target out of range
+};
+
+[[nodiscard]] const char* ToString(ResponseStatus status);
+
+struct Request {
+  VertexId source = 0;
+  /// Empty: the response carries the full distance tree (indexed by
+  /// original vertex id). Non-empty: distances to exactly these vertices,
+  /// in order.
+  std::vector<VertexId> targets;
+  /// Per-request deadline; < 0 uses ServiceOptions::default_deadline_ms,
+  /// 0 disables.
+  double deadline_ms = -1.0;
+};
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Per target, or the full tree for target-less requests. kInfWeight for
+  /// unreachable vertices. Empty on shed.
+  std::vector<Weight> distances;
+  bool from_cache = false;
+  /// Admission-to-completion latency as measured by the service.
+  double latency_ms = 0.0;
+};
+
+struct ServiceOptions {
+  /// Worker threads running sweeps. 0 is legal (nothing is ever processed
+  /// until Stop sheds the backlog) and exists for shutdown/backpressure
+  /// tests.
+  uint32_t num_workers = 2;
+  /// Cap on requests coalesced into one batch; the sweep width k is the
+  /// number of *distinct* sources among them, rounded up to a SIMD-friendly
+  /// multiple of 4.
+  uint32_t max_batch = 8;
+  /// Admission queue bound — the backpressure knob.
+  size_t queue_capacity = 256;
+  /// Full trees kept by the LRU cache; 0 disables caching.
+  size_t cache_capacity = 8;
+  /// Deadline applied to requests that do not carry their own; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// When every request of a batch names explicit targets and the union of
+  /// their targets is at most this, the batch runs restricted (RPHAST)
+  /// sweeps instead of full ones. 0 disables the restricted path.
+  size_t rphast_max_targets = 0;
+};
+
+/// Monotonic totals for the accounting identity the smoke test asserts:
+/// admitted == completed + shed (all counts since construction).
+struct ServiceCounters {
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_shutdown = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t batches = 0;
+  uint64_t rphast_batches = 0;
+
+  [[nodiscard]] uint64_t Shed() const {
+    return shed_queue_full + shed_deadline + shed_shutdown;
+  }
+};
+
+class OracleService {
+ public:
+  /// The engine (and registry) must outlive the service. All metrics are
+  /// registered under the phast_server_* prefix at construction.
+  OracleService(const Phast& engine, const ServiceOptions& options,
+                MetricsRegistry& metrics);
+  ~OracleService();
+
+  OracleService(const OracleService&) = delete;
+  OracleService& operator=(const OracleService&) = delete;
+
+  /// Never blocks: either admits into the queue or immediately resolves the
+  /// future with a shed/invalid status.
+  [[nodiscard]] std::future<Response> Submit(Request request);
+
+  /// Synchronous convenience wrapper.
+  [[nodiscard]] Response Call(Request request) {
+    return Submit(std::move(request)).get();
+  }
+
+  /// Closes admission, lets workers drain the backlog, then sheds whatever
+  /// no worker will ever pop. Idempotent; the destructor calls it.
+  void Stop();
+
+  [[nodiscard]] ServiceCounters Counters() const;
+  [[nodiscard]] const Phast& Engine() const { return engine_; }
+  [[nodiscard]] const ServiceOptions& Options() const { return options_; }
+
+ private:
+  /// One admitted request: the client's future plus admission timestamp
+  /// (for latency and deadline accounting).
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    double deadline_ms = 0.0;  // resolved; 0 = none
+    Timer admitted;
+  };
+
+  /// LRU over full distance trees keyed by source vertex. Trees are
+  /// shared_ptr so a hit can be fanned out after the cache entry was
+  /// evicted by a racing insert.
+  class TreeCache {
+   public:
+    explicit TreeCache(size_t capacity) : capacity_(capacity) {}
+
+    [[nodiscard]] std::shared_ptr<const std::vector<Weight>> Lookup(
+        VertexId source);
+    /// Inserts (or refreshes) a tree; returns the number of evictions.
+    size_t Insert(VertexId source,
+                  std::shared_ptr<const std::vector<Weight>> tree);
+    [[nodiscard]] size_t Size() const;
+
+   private:
+    const size_t capacity_;
+    mutable AnnotatedMutex mu_;
+    /// Most recent at the front.
+    std::list<VertexId> lru_ GUARDED_BY(mu_);
+    struct Slot {
+      std::list<VertexId>::iterator lru_pos;
+      std::shared_ptr<const std::vector<Weight>> tree;
+    };
+    std::unordered_map<VertexId, Slot> by_source_ GUARDED_BY(mu_);
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Job>& jobs,
+                    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k);
+  void RunRestrictedBatch(std::vector<Job*>& jobs);
+  void RunFullBatch(std::vector<Job*>& jobs,
+                    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k);
+  void Fulfill(Job& job, Response response);
+  void Shed(Job& job, ResponseStatus status, Counter& reason);
+
+  const Phast& engine_;
+  const ServiceOptions options_;
+
+  BoundedQueue<Job> queue_;
+  TreeCache cache_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+
+  Counter& admitted_;
+  Counter& completed_;
+  Counter& shed_total_;
+  Counter& shed_queue_full_;
+  Counter& shed_deadline_;
+  Counter& shed_shutdown_;
+  Counter& cache_hits_;
+  Counter& cache_misses_;
+  Counter& cache_evictions_;
+  Counter& batches_;
+  Counter& rphast_batches_;
+  Gauge& queue_depth_;
+  Gauge& cached_trees_;
+  Histogram& batch_width_;
+  Histogram& latency_ms_;
+  Histogram& sweep_ms_;
+};
+
+}  // namespace phast::server

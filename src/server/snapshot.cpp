@@ -1,0 +1,371 @@
+#include "server/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace phast::server {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'H', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr size_t kHeaderSize = 48;
+constexpr size_t kTocEntrySize = 32;
+constexpr size_t kChecksumFieldOffset = 24;
+constexpr uint32_t kMaxSections = 64;
+
+// Section ids. META must come first logically (the reader needs the counts
+// and option bytes before interpreting the arrays), but the format does not
+// constrain TOC order.
+enum SectionId : uint32_t {
+  kSecMeta = 1,
+  kSecPerm = 2,
+  kSecInvPerm = 3,
+  kSecOrder = 4,
+  kSecDownFirst = 5,
+  kSecDownArcs = 6,
+  kSecUpFirst = 7,
+  kSecUpArcs = 8,
+  kSecLevelBegin = 9,
+  kSecGraphFirst = 10,
+  kSecGraphArcs = 11,
+};
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSecMeta: return "META";
+    case kSecPerm: return "PERM";
+    case kSecInvPerm: return "INV_PERM";
+    case kSecOrder: return "ORDER";
+    case kSecDownFirst: return "DOWN_FIRST";
+    case kSecDownArcs: return "DOWN_ARCS";
+    case kSecUpFirst: return "UP_FIRST";
+    case kSecUpArcs: return "UP_ARCS";
+    case kSecLevelBegin: return "LEVEL_BEGIN";
+    case kSecGraphFirst: return "GRAPH_FIRST";
+    case kSecGraphArcs: return "GRAPH_ARCS";
+    default: return "UNKNOWN";
+  }
+}
+
+/// Fixed-size metadata section: everything that is not a bulk array.
+struct MetaSection {
+  uint32_t num_vertices = 0;
+  uint32_t num_levels = 0;
+  uint8_t sweep_order = 0;
+  uint8_t simd_mode = 0;
+  uint8_t implicit_init = 0;
+  uint8_t has_graph = 0;
+  uint32_t reserved = 0;
+  uint64_t num_down_arcs = 0;
+  uint64_t num_up_arcs = 0;
+};
+static_assert(sizeof(MetaSection) == 32 &&
+                  std::is_trivially_copyable_v<MetaSection>,
+              "META is a fixed 32-byte record");
+
+struct TocEntry {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+static_assert(sizeof(TocEntry) == kTocEntrySize &&
+                  std::is_trivially_copyable_v<TocEntry>,
+              "TOC entries are fixed 32-byte records");
+
+// --- writing ----------------------------------------------------------------
+
+class SnapshotBuilder {
+ public:
+  template <typename T>
+  void AddVectorSection(uint32_t id, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    AddSection(id, values.data(), values.size() * sizeof(T));
+  }
+
+  void AddSection(uint32_t id, const void* data, size_t size) {
+    TocEntry entry;
+    entry.id = id;
+    entry.size = size;
+    entry.checksum = Fnv1a64(data, size);
+    toc_.push_back(entry);
+    payloads_.emplace_back(static_cast<const char*>(data),
+                           static_cast<const char*>(data) + size);
+  }
+
+  void WriteTo(std::ostream& out) {
+    // Lay out: header, TOC, payloads at 8-byte-aligned offsets.
+    size_t offset = kHeaderSize + toc_.size() * kTocEntrySize;
+    for (size_t i = 0; i < toc_.size(); ++i) {
+      offset = (offset + 7) & ~size_t{7};
+      toc_[i].offset = offset;
+      offset += toc_[i].size;
+    }
+    const size_t file_size = offset;
+
+    std::string buffer(file_size, '\0');
+    std::memcpy(buffer.data(), kMagic, sizeof(kMagic));
+    const uint32_t version = kSnapshotVersion;
+    const uint32_t section_count = static_cast<uint32_t>(toc_.size());
+    const uint64_t file_size64 = file_size;
+    std::memcpy(buffer.data() + 8, &version, sizeof(version));
+    std::memcpy(buffer.data() + 12, &section_count, sizeof(section_count));
+    std::memcpy(buffer.data() + 16, &file_size64, sizeof(file_size64));
+    std::memcpy(buffer.data() + kHeaderSize, toc_.data(),
+                toc_.size() * kTocEntrySize);
+    for (size_t i = 0; i < toc_.size(); ++i) {
+      if (payloads_[i].empty()) continue;  // .data() may be null when empty
+      std::memcpy(buffer.data() + toc_[i].offset, payloads_[i].data(),
+                  payloads_[i].size());
+    }
+    // Whole-file checksum with its own field zeroed (it is zero right now).
+    const uint64_t checksum = Fnv1a64(buffer.data(), buffer.size());
+    std::memcpy(buffer.data() + kChecksumFieldOffset, &checksum,
+                sizeof(checksum));
+
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  }
+
+ private:
+  std::vector<TocEntry> toc_;
+  std::vector<std::string> payloads_;
+};
+
+// --- reading ----------------------------------------------------------------
+
+/// Parsed, integrity-checked file image; sections become typed vectors.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string bytes) : bytes_(std::move(bytes)) {
+    Require(bytes_.size() >= kHeaderSize,
+            "snapshot truncated: " + std::to_string(bytes_.size()) +
+                " bytes is smaller than the " + std::to_string(kHeaderSize) +
+                "-byte header");
+    Require(std::memcmp(bytes_.data(), kMagic, sizeof(kMagic)) == 0,
+            "not a PHAST snapshot (bad magic)");
+    uint32_t version = 0;
+    std::memcpy(&version, bytes_.data() + 8, sizeof(version));
+    Require(version == kSnapshotVersion,
+            "unsupported snapshot version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(kSnapshotVersion) + ")");
+    uint32_t section_count = 0;
+    std::memcpy(&section_count, bytes_.data() + 12, sizeof(section_count));
+    Require(section_count <= kMaxSections,
+            "snapshot declares an implausible section count");
+    uint64_t file_size = 0;
+    std::memcpy(&file_size, bytes_.data() + 16, sizeof(file_size));
+    Require(file_size == bytes_.size(),
+            "snapshot truncated: header declares " +
+                std::to_string(file_size) + " bytes, read " +
+                std::to_string(bytes_.size()));
+
+    uint64_t declared_checksum = 0;
+    std::memcpy(&declared_checksum, bytes_.data() + kChecksumFieldOffset,
+                sizeof(declared_checksum));
+    std::string zeroed = bytes_;
+    std::memset(zeroed.data() + kChecksumFieldOffset, 0,
+                sizeof(declared_checksum));
+    Require(Fnv1a64(zeroed.data(), zeroed.size()) == declared_checksum,
+            "snapshot checksum mismatch (file is corrupted)");
+
+    const size_t toc_end =
+        kHeaderSize + static_cast<size_t>(section_count) * kTocEntrySize;
+    Require(toc_end <= bytes_.size(),
+            "snapshot truncated inside the table of contents");
+    toc_.resize(section_count);
+    std::memcpy(toc_.data(), bytes_.data() + kHeaderSize,
+                section_count * kTocEntrySize);
+    for (const TocEntry& entry : toc_) {
+      const std::string name = SectionName(entry.id);
+      Require(entry.offset % 8 == 0,
+              "snapshot section " + name + " is not 8-byte aligned");
+      Require(entry.offset >= toc_end &&
+                  entry.offset + entry.size <= bytes_.size() &&
+                  entry.offset + entry.size >= entry.offset,
+              "snapshot section " + name + " is out of bounds");
+      Require(Fnv1a64(bytes_.data() + entry.offset, entry.size) ==
+                  entry.checksum,
+              "snapshot section " + name + " checksum mismatch");
+    }
+  }
+
+  [[nodiscard]] const TocEntry& Section(uint32_t id) const {
+    for (const TocEntry& entry : toc_) {
+      if (entry.id == id) return entry;
+    }
+    Require(false, std::string("snapshot missing section ") +
+                       SectionName(id));
+    __builtin_unreachable();
+  }
+
+  [[nodiscard]] bool HasSection(uint32_t id) const {
+    for (const TocEntry& entry : toc_) {
+      if (entry.id == id) return true;
+    }
+    return false;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> ReadVectorSection(uint32_t id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const TocEntry& entry = Section(id);
+    Require(entry.size % sizeof(T) == 0,
+            "snapshot section " + std::string(SectionName(id)) + " has " +
+                std::to_string(entry.size) +
+                " bytes, not a multiple of its element size " +
+                std::to_string(sizeof(T)));
+    std::vector<T> values(entry.size / sizeof(T));
+    if (entry.size > 0) {
+      std::memcpy(values.data(), bytes_.data() + entry.offset, entry.size);
+    }
+    return values;
+  }
+
+  [[nodiscard]] MetaSection ReadMeta() const {
+    const TocEntry& entry = Section(kSecMeta);
+    Require(entry.size == sizeof(MetaSection),
+            "snapshot META section has wrong size");
+    MetaSection meta;
+    std::memcpy(&meta, bytes_.data() + entry.offset, sizeof(meta));
+    return meta;
+  }
+
+ private:
+  std::string bytes_;
+  std::vector<TocEntry> toc_;
+};
+
+void RequireElementCount(size_t actual, size_t expected, uint32_t id) {
+  Require(actual == expected,
+          "snapshot section " + std::string(SectionName(id)) + " holds " +
+              std::to_string(actual) + " elements, the header implies " +
+              std::to_string(expected));
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 14695981039346656037ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+Snapshot MakeSnapshot(const Phast& engine, const Graph* graph) {
+  Snapshot snapshot;
+  snapshot.layout = engine.ExportLayout();
+  if (graph != nullptr) {
+    Require(graph->NumVertices() == engine.NumVertices(),
+            "snapshot graph does not match the engine's vertex count");
+    snapshot.has_graph = true;
+    snapshot.graph = *graph;
+  }
+  return snapshot;
+}
+
+void WriteSnapshot(const Snapshot& snapshot, std::ostream& out) {
+  const PhastLayout& layout = snapshot.layout;
+  MetaSection meta;
+  meta.num_vertices = layout.num_vertices;
+  meta.num_levels = layout.num_levels;
+  meta.sweep_order = static_cast<uint8_t>(layout.options.order);
+  meta.simd_mode = static_cast<uint8_t>(layout.options.simd);
+  meta.implicit_init = layout.options.implicit_init ? 1 : 0;
+  meta.has_graph = snapshot.has_graph ? 1 : 0;
+  meta.num_down_arcs = layout.down_arcs.size();
+  meta.num_up_arcs = layout.up_arcs.size();
+
+  SnapshotBuilder builder;
+  builder.AddSection(kSecMeta, &meta, sizeof(meta));
+  builder.AddVectorSection(kSecPerm, layout.perm);
+  builder.AddVectorSection(kSecInvPerm, layout.inv_perm);
+  builder.AddVectorSection(kSecOrder, layout.order);
+  builder.AddVectorSection(kSecDownFirst, layout.down_first);
+  builder.AddVectorSection(kSecDownArcs, layout.down_arcs);
+  builder.AddVectorSection(kSecUpFirst, layout.up_first);
+  builder.AddVectorSection(kSecUpArcs, layout.up_arcs);
+  builder.AddVectorSection(kSecLevelBegin, layout.level_begin);
+  if (snapshot.has_graph) {
+    builder.AddVectorSection(kSecGraphFirst, snapshot.graph.FirstArray());
+    builder.AddVectorSection(kSecGraphArcs, snapshot.graph.ArcArray());
+  }
+  builder.WriteTo(out);
+}
+
+void WriteSnapshotFile(const Snapshot& snapshot, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  Require(out.good(), "cannot open file for writing: " + path);
+  WriteSnapshot(snapshot, out);
+  Require(out.good(), "error while writing: " + path);
+}
+
+Snapshot ReadSnapshot(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const SnapshotReader reader(std::move(buffer).str());
+
+  const MetaSection meta = reader.ReadMeta();
+  Require(meta.sweep_order <=
+              static_cast<uint8_t>(SweepOrder::kLevelReordered),
+          "snapshot META declares an unknown sweep order");
+  Require(meta.simd_mode <= static_cast<uint8_t>(SimdMode::kAuto),
+          "snapshot META declares an unknown SIMD mode");
+
+  Snapshot snapshot;
+  PhastLayout& layout = snapshot.layout;
+  layout.options.order = static_cast<SweepOrder>(meta.sweep_order);
+  layout.options.simd = static_cast<SimdMode>(meta.simd_mode);
+  layout.options.implicit_init = meta.implicit_init != 0;
+  layout.num_vertices = meta.num_vertices;
+  layout.num_levels = meta.num_levels;
+  layout.perm = reader.ReadVectorSection<VertexId>(kSecPerm);
+  layout.inv_perm = reader.ReadVectorSection<VertexId>(kSecInvPerm);
+  layout.order = reader.ReadVectorSection<VertexId>(kSecOrder);
+  layout.down_first = reader.ReadVectorSection<ArcId>(kSecDownFirst);
+  layout.down_arcs = reader.ReadVectorSection<DownArc>(kSecDownArcs);
+  layout.up_first = reader.ReadVectorSection<ArcId>(kSecUpFirst);
+  layout.up_arcs = reader.ReadVectorSection<Arc>(kSecUpArcs);
+  layout.level_begin = reader.ReadVectorSection<VertexId>(kSecLevelBegin);
+
+  const size_t n = meta.num_vertices;
+  RequireElementCount(layout.perm.size(), n, kSecPerm);
+  RequireElementCount(layout.inv_perm.size(), n, kSecInvPerm);
+  RequireElementCount(layout.down_first.size(), n + 1, kSecDownFirst);
+  RequireElementCount(layout.down_arcs.size(), meta.num_down_arcs,
+                      kSecDownArcs);
+  RequireElementCount(layout.up_first.size(), n + 1, kSecUpFirst);
+  RequireElementCount(layout.up_arcs.size(), meta.num_up_arcs, kSecUpArcs);
+
+  if (meta.has_graph != 0) {
+    snapshot.has_graph = true;
+    auto first = reader.ReadVectorSection<ArcId>(kSecGraphFirst);
+    auto arcs = reader.ReadVectorSection<Arc>(kSecGraphArcs);
+    RequireElementCount(first.size(), n + 1, kSecGraphFirst);
+    snapshot.graph = Graph::FromCsrArrays(std::move(first), std::move(arcs));
+  }
+
+  // Deep structural validation (permutation/CSR/level invariants) happens
+  // in the Phast(PhastLayout) constructor when the engine is built; run it
+  // here so a malformed snapshot is rejected at load time even if the
+  // caller only wanted the struct.
+  (void)Phast(snapshot.layout);
+  return snapshot;
+}
+
+Snapshot ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  Require(in.good(), "cannot open file for reading: " + path);
+  return ReadSnapshot(in);
+}
+
+}  // namespace phast::server

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.h"
+#include "phast/phast.h"
+
+namespace phast::server {
+
+/// Snapshot artifacts (DESIGN.md §7): a versioned, checksummed binary
+/// serialization of a *fully prepared* PHAST engine — CH-derived
+/// permutations, the reordered G↓/G↑ CSR arrays, level boundaries — plus
+/// (optionally) the prepared source graph for oracle verification. Loading
+/// a snapshot rebuilds a serving-ready engine with zero re-preprocessing;
+/// the serving path never runs contraction (tools/phast_lint.py enforces
+/// this with the server-no-prepare rule).
+///
+/// File layout (little-endian, like the CH format in ch/ch_io.h):
+///
+///   [0..8)    magic "PHSNAP01"
+///   [8..12)   u32 format version (kSnapshotVersion)
+///   [12..16)  u32 section count
+///   [16..24)  u64 total file size
+///   [24..32)  u64 FNV-1a checksum of the whole file (this field zeroed)
+///   [32..48)  reserved (zero)
+///   [48..)    table of contents: per section
+///             {u32 id, u32 reserved, u64 offset, u64 size, u64 FNV-1a}
+///   then the section payloads, each at an 8-byte-aligned offset
+///   (zero-padded gaps), so a loader may mmap the file and bind spans
+///   directly to the aligned u32/u64 payloads.
+///
+/// Every load verifies the magic, version, declared size, the whole-file
+/// checksum, and each section's bounds, alignment, and checksum before a
+/// single value is interpreted; structural validation (permutation and CSR
+/// invariants) then runs in the Phast/Graph adopting constructors. Any
+/// violation throws InputError with a message naming the failing check.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Everything a snapshot holds, decoded.
+struct Snapshot {
+  PhastLayout layout;
+  /// Prepared source graph (forward CSR in the engine's original-id space);
+  /// carried so servers can spot-check responses against Dijkstra without
+  /// re-reading the input. Absent (empty, has_graph=false) when the
+  /// producer skipped it.
+  bool has_graph = false;
+  Graph graph;
+};
+
+/// Captures a prepared engine (and optionally its graph) for serialization.
+[[nodiscard]] Snapshot MakeSnapshot(const Phast& engine,
+                                    const Graph* graph = nullptr);
+
+void WriteSnapshot(const Snapshot& snapshot, std::ostream& out);
+void WriteSnapshotFile(const Snapshot& snapshot, const std::string& path);
+
+/// Throws InputError on any integrity or structural violation.
+[[nodiscard]] Snapshot ReadSnapshot(std::istream& in);
+[[nodiscard]] Snapshot ReadSnapshotFile(const std::string& path);
+
+/// FNV-1a 64-bit (the integrity hash of the snapshot format).
+[[nodiscard]] uint64_t Fnv1a64(const void* data, size_t size);
+
+}  // namespace phast::server

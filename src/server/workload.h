@@ -1,0 +1,88 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "server/service.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast::server {
+
+/// Seeded workload generation for phast_loadgen and the server benchmark.
+/// Everything is driven by util/rng.h so a run is reproducible from its
+/// --seed alone.
+
+/// Zipf-distributed sampler over [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^s. s = 0 degenerates to uniform. Skew is what
+/// makes the LRU tree cache earn its keep — a handful of hot sources
+/// dominate real distance-oracle traffic.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double skew) {
+    Require(n > 0, "Zipf sampler needs a non-empty domain");
+    cumulative_.reserve(n);
+    double total = 0.0;
+    for (uint32_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r) + 1.0, skew);
+      cumulative_.push_back(total);
+    }
+  }
+
+  [[nodiscard]] uint32_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const size_t rank = static_cast<size_t>(it - cumulative_.begin());
+    return static_cast<uint32_t>(std::min(rank, cumulative_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cumulative_;  // unnormalized CDF over ranks
+};
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  /// Zipf skew of the source distribution; 0 = uniform.
+  double zipf_skew = 0.99;
+  /// Fraction of requests that ask for the full tree (the rest draw
+  /// uniform random target lists).
+  double full_tree_fraction = 0.1;
+  /// Targets per target-list request, in [1, max].
+  uint32_t max_targets = 16;
+};
+
+/// Draws one request. `rank_to_vertex` maps Zipf rank -> vertex id (shuffled
+/// once so the hot set is not just the lowest ids); sized NumVertices().
+inline Request DrawRequest(const WorkloadOptions& options,
+                           const ZipfSampler& zipf,
+                           const std::vector<VertexId>& rank_to_vertex,
+                           Rng& rng) {
+  Request request;
+  request.source = rank_to_vertex[zipf.Sample(rng)];
+  if (!rng.NextBool(options.full_tree_fraction)) {
+    const uint32_t count = static_cast<uint32_t>(
+        rng.NextInRange(1, static_cast<int64_t>(options.max_targets)));
+    request.targets.reserve(count);
+    const uint32_t n = static_cast<uint32_t>(rank_to_vertex.size());
+    for (uint32_t i = 0; i < count; ++i) {
+      request.targets.push_back(
+          static_cast<VertexId>(rng.NextBounded(n)));
+    }
+  }
+  return request;
+}
+
+/// The shuffled rank -> vertex mapping shared by all client threads.
+inline std::vector<VertexId> MakeRankMapping(uint32_t n, uint64_t seed) {
+  std::vector<VertexId> mapping(n);
+  for (uint32_t v = 0; v < n; ++v) mapping[v] = v;
+  Rng rng(seed ^ 0xC0FFEEULL);
+  Shuffle(mapping.begin(), mapping.end(), rng);
+  return mapping;
+}
+
+}  // namespace phast::server

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 /// Clang thread-safety annotations (-Wthread-safety) for the few places in
@@ -52,7 +53,32 @@ class CAPABILITY("mutex") AnnotatedMutex {
   [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
+  friend class CondVar;
   std::mutex mu_;
+};
+
+/// Condition variable usable with AnnotatedMutex (the serving subsystem's
+/// bounded queue blocks on one). Wait() REQUIRES the mutex: the analysis
+/// sees the capability held across the call, which matches the caller's
+/// view — the lock is reacquired before Wait returns. Callers loop on
+/// their predicate as with any condition variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(AnnotatedMutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 /// RAII lock for AnnotatedMutex; the annotation makes the analysis treat the

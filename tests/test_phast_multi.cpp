@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -299,6 +300,99 @@ TEST(Batch, ShortFinalBatchPaddingIsCorrectAndUnseen) {
     const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[i]);
     EXPECT_EQ(all[i], ref.dist) << "source index " << i;
   }
+}
+
+// ------------------- duplicate-source coalescing ---------------------------
+
+TEST(Batch, DuplicateSourcesShareLanesWithinABatch) {
+  // Regression for lane waste: duplicate sources in one batch used to each
+  // occupy a SIMD lane, so [a,b,a,b,c,d,c,a] with k=4 cost two sweeps of
+  // which half the lanes recomputed identical trees. With coalescing the
+  // eight indices pack into ONE batch of four distinct lanes, and every
+  // index still gets exact distances.
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const std::vector<VertexId> distinct = RandomSources(g.NumVertices(), 4, 5);
+  const VertexId a = distinct[0], b = distinct[1], c = distinct[2],
+                 d = distinct[3];
+  const std::vector<VertexId> sources = {a, b, a, b, c, d, c, a};
+  std::vector<std::vector<Weight>> all(sources.size());
+  std::vector<int> visits(sources.size(), 0);
+  BatchOptions options;
+  options.trees_per_sweep = 4;
+  const BatchStats stats = ComputeManyTrees(
+      engine, sources, options,
+      [&](size_t idx, const Phast::Workspace& ws, uint32_t slot) {
+        std::vector<Weight> dist(g.NumVertices());
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          dist[v] = engine.Distance(ws, v, slot);
+        }
+#pragma omp critical(test_batch_dedup)
+        {
+          ++visits[idx];
+          all[idx] = std::move(dist);
+        }
+      });
+  EXPECT_EQ(stats.num_batches, 1u);
+  EXPECT_EQ(stats.duplicates_coalesced, 4u);
+  for (const int count : visits) EXPECT_EQ(count, 1);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, sources[i]);
+    EXPECT_EQ(all[i], ref.dist) << "source index " << i;
+  }
+}
+
+TEST(Batch, AllIdenticalSourcesCollapseToOneLane) {
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  const VertexId s = RandomSources(g.NumVertices(), 1, 23)[0];
+  const std::vector<VertexId> sources(16, s);
+  const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+  std::vector<int> visits(sources.size(), 0);
+  BatchOptions options;
+  options.trees_per_sweep = 4;
+  const BatchStats stats = ComputeManyTrees(
+      engine, sources, options,
+      [&](size_t idx, const Phast::Workspace& ws, uint32_t slot) {
+        EXPECT_EQ(slot, 0u);  // everyone shares the first occurrence's lane
+        EXPECT_EQ(engine.Distance(ws, sources[idx], slot), 0u);
+        bool match = true;
+        for (VertexId v = 0; v < g.NumVertices(); ++v) {
+          match = match && engine.Distance(ws, v, slot) == ref.dist[v];
+        }
+        EXPECT_TRUE(match);
+#pragma omp critical(test_batch_identical)
+        ++visits[idx];
+      });
+  EXPECT_EQ(stats.num_batches, 1u);
+  EXPECT_EQ(stats.duplicates_coalesced, 15u);
+  for (const int count : visits) EXPECT_EQ(count, 1);
+}
+
+TEST(Batch, CoalescingKeepsDistinctRunsInSeparateBatches) {
+  // 6 distinct sources with k=4 still need two sweeps; the stats must say
+  // so and no index may be dropped or double-visited.
+  const Graph g = CountryGraph(8);
+  const CHData ch = BuildContractionHierarchy(g);
+  const Phast engine(ch);
+  std::vector<VertexId> sources = RandomSources(g.NumVertices(), 6, 41);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  if (sources.size() < 5) GTEST_SKIP() << "seed collision";
+  std::vector<int> visits(sources.size(), 0);
+  BatchOptions options;
+  options.trees_per_sweep = 4;
+  const BatchStats stats = ComputeManyTrees(
+      engine, sources, options,
+      [&](size_t idx, const Phast::Workspace&, uint32_t) {
+#pragma omp critical(test_batch_runs)
+        ++visits[idx];
+      });
+  EXPECT_EQ(stats.num_batches, 2u);
+  EXPECT_EQ(stats.duplicates_coalesced, 0u);
+  for (const int count : visits) EXPECT_EQ(count, 1);
 }
 
 // ------------------- stale parents across batches --------------------------

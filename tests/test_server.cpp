@@ -1,0 +1,485 @@
+// Serving-subsystem tests: the batching scheduler against the Dijkstra
+// oracle under concurrent clients, backpressure and shutdown shedding, the
+// LRU tree cache, the metrics registry, the bounded queue, and the wire
+// protocol over a socketpair.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dijkstra/dijkstra.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/queue.h"
+#include "server/service.h"
+#include "test_support.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast::server {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+constexpr uint32_t kSide = 20;
+
+const Phast& Engine() {
+  static const Phast engine(CachedCountryCH(kSide));
+  return engine;
+}
+
+void ExpectMatchesDijkstra(const Request& request, const Response& response) {
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  const SsspResult ref =
+      Dijkstra<BinaryHeap>(CachedCountry(kSide), request.source);
+  if (request.targets.empty()) {
+    ASSERT_EQ(response.distances.size(), ref.dist.size());
+    for (size_t v = 0; v < ref.dist.size(); ++v) {
+      ASSERT_EQ(response.distances[v], ref.dist[v])
+          << "source " << request.source << " vertex " << v;
+    }
+  } else {
+    ASSERT_EQ(response.distances.size(), request.targets.size());
+    for (size_t i = 0; i < request.targets.size(); ++i) {
+      ASSERT_EQ(response.distances[i], ref.dist[request.targets[i]])
+          << "source " << request.source << " target " << request.targets[i];
+    }
+  }
+}
+
+Request RandomRequest(Rng& rng, double full_tree_prob = 0.3) {
+  const VertexId n = Engine().NumVertices();
+  Request request;
+  request.source = static_cast<VertexId>(rng.NextBounded(n));
+  if (!rng.NextBool(full_tree_prob)) {
+    const int64_t count = rng.NextInRange(1, 8);
+    for (int64_t i = 0; i < count; ++i) {
+      request.targets.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+    }
+  }
+  return request;
+}
+
+// --- scheduler vs oracle under concurrency ---------------------------------
+
+TEST(OracleService, ConcurrentClientsMatchDijkstra) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.max_batch = 8;
+  options.cache_capacity = 4;
+  OracleService service(Engine(), options, metrics);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&service, &failures, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const Request request = RandomRequest(rng);
+        const Response response = service.Call(request);
+        if (response.status != ResponseStatus::kOk) {
+          ++failures;
+          continue;
+        }
+        ExpectMatchesDijkstra(request, response);
+        if (::testing::Test::HasFatalFailure()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(c.admitted, c.completed + c.Shed());
+}
+
+TEST(OracleService, PipelinedClientsCoalesceIntoWideBatches) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 1;  // one worker => everything queued coalesces
+  options.max_batch = 16;
+  options.cache_capacity = 0;
+  OracleService service(Engine(), options, metrics);
+
+  Rng rng(42);
+  std::vector<Request> requests;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) {
+    requests.push_back(RandomRequest(rng, /*full_tree_prob=*/0.0));
+    futures.push_back(service.Submit(requests.back()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const Response response = futures[i].get();
+    ExpectMatchesDijkstra(requests[i], response);
+  }
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, 64u);
+  EXPECT_EQ(c.completed, 64u);
+  // 64 pipelined requests on one worker must need far fewer sweeps.
+  EXPECT_LT(c.batches, 64u);
+}
+
+TEST(OracleService, RestrictedBatchesMatchFullResults) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;
+  options.rphast_max_targets = 64;  // every small target batch restricts
+  OracleService service(Engine(), options, metrics);
+
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Request request = RandomRequest(rng, /*full_tree_prob=*/0.0);
+    const Response response = service.Call(request);
+    ExpectMatchesDijkstra(request, response);
+  }
+  EXPECT_GE(service.Counters().rphast_batches, 1u);
+}
+
+// --- cache ------------------------------------------------------------------
+
+TEST(OracleService, RepeatedSourceServedFromCache) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 2;
+  OracleService service(Engine(), options, metrics);
+
+  Request request;
+  request.source = 5;
+  const Response first = service.Call(request);
+  EXPECT_FALSE(first.from_cache);
+  const Response second = service.Call(request);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(first.distances, second.distances);
+  ExpectMatchesDijkstra(request, second);
+
+  const ServiceCounters c = service.Counters();
+  EXPECT_GE(c.cache_hits, 1u);
+  EXPECT_GE(c.cache_misses, 1u);
+}
+
+TEST(OracleService, CacheEvictsLeastRecentlyUsed) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 1;
+  OracleService service(Engine(), options, metrics);
+
+  Request a, b;
+  a.source = 1;
+  b.source = 2;
+  (void)service.Call(a);                         // cache: {1}
+  (void)service.Call(b);                         // evicts 1, cache: {2}
+  const Response again = service.Call(a);        // miss again
+  EXPECT_FALSE(again.from_cache);
+  const ServiceCounters c = service.Counters();
+  EXPECT_GE(c.cache_evictions, 1u);
+}
+
+// --- backpressure, deadlines, shutdown --------------------------------------
+
+TEST(OracleService, QueueFullShedsInsteadOfBlocking) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 0;  // nothing drains the queue
+  options.queue_capacity = 2;
+  OracleService service(Engine(), options, metrics);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    Request request;
+    request.source = static_cast<VertexId>(i);
+    futures.push_back(service.Submit(request));
+  }
+  // The three rejects resolve immediately, without Stop.
+  int shed_queue_full = 0;
+  for (auto& f : futures) {
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready &&
+        f.get().status == ResponseStatus::kShedQueueFull) {
+      ++shed_queue_full;
+    }
+  }
+  EXPECT_EQ(shed_queue_full, 3);
+
+  service.Stop();  // the two queued requests are shed, not lost
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, 5u);
+  EXPECT_EQ(c.shed_queue_full, 3u);
+  EXPECT_EQ(c.shed_shutdown, 2u);
+  EXPECT_EQ(c.admitted, c.completed + c.Shed());
+}
+
+TEST(OracleService, StopShedsQueuedRequestsAndNeverDeadlocks) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 0;
+  options.queue_capacity = 16;
+  OracleService service(Engine(), options, metrics);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(service.Submit(Request{}));
+  }
+  service.Stop();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, ResponseStatus::kShedShutdown);
+  }
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, 10u);
+  EXPECT_EQ(c.shed_shutdown, 10u);
+  EXPECT_EQ(c.admitted, c.completed + c.Shed());
+
+  // Submitting after Stop sheds immediately instead of hanging.
+  EXPECT_EQ(service.Call(Request{}).status, ResponseStatus::kShedShutdown);
+}
+
+TEST(OracleService, ExpiredDeadlineIsShedAtProcessingTime) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 1;
+  OracleService service(Engine(), options, metrics);
+
+  // A deadline of 1 nanosecond has always expired by the time the worker
+  // pops the job, regardless of scheduling.
+  Request request;
+  request.deadline_ms = 1e-6;
+  const Response response = service.Call(request);
+  EXPECT_EQ(response.status, ResponseStatus::kShedDeadline);
+  EXPECT_TRUE(response.distances.empty());
+
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.shed_deadline, 1u);
+  EXPECT_EQ(c.admitted, c.completed + c.Shed());
+}
+
+TEST(OracleService, InvalidRequestsAreAnsweredAndCounted) {
+  MetricsRegistry metrics;
+  OracleService service(Engine(), ServiceOptions{}, metrics);
+
+  Request bad_source;
+  bad_source.source = Engine().NumVertices();  // one past the end
+  EXPECT_EQ(service.Call(bad_source).status, ResponseStatus::kInvalidRequest);
+
+  Request bad_target;
+  bad_target.targets = {Engine().NumVertices() + 5};
+  EXPECT_EQ(service.Call(bad_target).status, ResponseStatus::kInvalidRequest);
+
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.completed, 2u);  // answered, not shed
+  EXPECT_EQ(c.Shed(), 0u);
+}
+
+// --- bounded queue ----------------------------------------------------------
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(queue.Size(), 2u);
+}
+
+TEST(BoundedQueue, PopBatchCoalescesEverythingQueued) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.TryPush(std::move(i)));
+  const std::vector<int> batch = queue.PopBatch(4);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(queue.Size(), 1u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::thread consumer([&queue] {
+    EXPECT_EQ(queue.Pop(), std::nullopt);  // blocks until Close
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(queue.TryPush(1));
+}
+
+TEST(BoundedQueue, DrainReturnsUnconsumedTailAfterClose) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_TRUE(queue.TryPush(8));
+  queue.Close();
+  EXPECT_EQ(queue.Drain(), (std::vector<int>{7, 8}));
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.TryPush(1));
+  std::thread producer([&queue] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+  });
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, HistogramQuantilesAndCounts) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 90; ++i) h.Observe(0.5);
+  for (int i = 0; i < 10; ++i) h.Observe(50.0);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_NEAR(h.Sum(), 90 * 0.5 + 10 * 50.0, 1e-6);
+  EXPECT_LE(h.Quantile(0.5), 1.0);
+  EXPECT_GT(h.Quantile(0.95), 10.0);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW((void)Histogram({5.0, 1.0}), InputError);
+  EXPECT_THROW((void)Histogram({1.0, 1.0}), InputError);
+}
+
+TEST(Metrics, RegistryRendersPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "All requests").Inc();
+  registry.GetGauge("depth", "Queue depth").Set(3);
+  registry.GetHistogram("latency", "Latency", {1.0, 10.0}).Observe(2.5);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 1"), std::string::npos);
+  EXPECT_NE(text.find("depth 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_count 1"), std::string::npos);
+}
+
+TEST(Metrics, RegistryRejectsKindConflicts) {
+  MetricsRegistry registry;
+  (void)registry.GetCounter("x", "a counter");
+  EXPECT_THROW((void)registry.GetGauge("x", "now a gauge?"), InputError);
+}
+
+TEST(Metrics, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("hits", "h");
+  Counter& b = registry.GetCounter("hits", "h");
+  a.Inc();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+// --- wire protocol over a socketpair ----------------------------------------
+
+TEST(Protocol, QueryFrameRoundTrip) {
+  Request request;
+  request.source = 17;
+  request.targets = {3, 1, 4};
+  request.deadline_ms = 2.5;
+  const QueryFrame decoded = DecodeQuery(EncodeQuery(9, request));
+  EXPECT_EQ(decoded.id, 9u);
+  EXPECT_EQ(decoded.request.source, 17u);
+  EXPECT_EQ(decoded.request.targets, request.targets);
+  EXPECT_DOUBLE_EQ(decoded.request.deadline_ms, 2.5);
+}
+
+TEST(Protocol, ResponseFrameRoundTrip) {
+  Response response;
+  response.status = ResponseStatus::kOk;
+  response.from_cache = true;
+  response.latency_ms = 1.25;
+  response.distances = {0, 7, kInfWeight};
+  const ResponseFrame decoded = DecodeResponse(EncodeResponse(3, response));
+  EXPECT_EQ(decoded.id, 3u);
+  EXPECT_EQ(decoded.response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(decoded.response.from_cache);
+  EXPECT_EQ(decoded.response.distances, response.distances);
+}
+
+TEST(Protocol, TruncatedPayloadIsRejected) {
+  std::vector<uint8_t> bytes = EncodeQuery(1, Request{});
+  bytes.pop_back();
+  EXPECT_THROW((void)DecodeQuery(bytes), InputError);
+  EXPECT_THROW((void)PeekType({}), InputError);
+}
+
+TEST(Protocol, ServeConnectionAnswersQueriesMetricsAndShutdown) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 2;
+  OracleService service(Engine(), options, metrics);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&service, &metrics, server_fd = fds[1]] {
+    const bool got_shutdown =
+        ServeConnection(server_fd, server_fd, service, metrics);
+    EXPECT_TRUE(got_shutdown);
+    ::close(server_fd);
+  });
+
+  {
+    Client client(fds[0]);  // owns and closes fds[0]
+    Rng rng(11);
+    for (int i = 0; i < 10; ++i) {
+      const Request request = RandomRequest(rng);
+      const Response response = client.Call(request);
+      ExpectMatchesDijkstra(request, response);
+    }
+    const std::string text = client.FetchMetrics();
+    EXPECT_NE(text.find("phast_server_requests_admitted_total 10"),
+              std::string::npos);
+    client.Shutdown();
+  }
+  server.join();
+
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, 10u);
+  EXPECT_EQ(c.admitted, c.completed + c.Shed());
+}
+
+TEST(Protocol, PipelinedQueriesComeBackInOrder) {
+  MetricsRegistry metrics;
+  OracleService service(Engine(), ServiceOptions{}, metrics);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&service, &metrics, server_fd = fds[1]] {
+    (void)ServeConnection(server_fd, server_fd, service, metrics);
+    ::close(server_fd);
+  });
+
+  {
+    Client client(fds[0]);
+    std::vector<uint64_t> sent_ids;
+    std::vector<Request> requests;
+    Rng rng(13);
+    for (int i = 0; i < 16; ++i) {
+      requests.push_back(RandomRequest(rng, /*full_tree_prob=*/0.0));
+      sent_ids.push_back(client.SendQuery(requests.back()));
+    }
+    for (size_t i = 0; i < sent_ids.size(); ++i) {
+      const ResponseFrame frame = client.ReceiveResponse();
+      EXPECT_EQ(frame.id, sent_ids[i]);  // responses in request order
+      ExpectMatchesDijkstra(requests[i], frame.response);
+    }
+    client.Shutdown();
+  }
+  server.join();
+}
+
+}  // namespace
+}  // namespace phast::server

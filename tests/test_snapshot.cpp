@@ -1,0 +1,175 @@
+// Snapshot artifact tests: round-trip fidelity (bit-identical distances
+// after save/load) and integrity rejection (truncation, bit flips, version
+// and magic mismatches all fail with InputError, never a broken engine).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "dijkstra/dijkstra.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "server/snapshot.h"
+#include "test_support.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast::server {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+constexpr uint32_t kSide = 20;
+
+const Phast& Engine() {
+  static const Phast engine(CachedCountryCH(kSide));
+  return engine;
+}
+
+std::string Serialize(const Snapshot& snapshot) {
+  std::ostringstream out;
+  WriteSnapshot(snapshot, out);
+  return out.str();
+}
+
+Snapshot Deserialize(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return ReadSnapshot(in);
+}
+
+TEST(Snapshot, RoundTripProducesBitIdenticalDistances) {
+  const Graph& graph = CachedCountry(kSide);
+  const Phast& original = Engine();
+  Snapshot loaded = Deserialize(Serialize(MakeSnapshot(original, &graph)));
+  ASSERT_TRUE(loaded.has_graph);
+  EXPECT_EQ(loaded.graph.NumVertices(), graph.NumVertices());
+  EXPECT_EQ(loaded.graph.NumArcs(), graph.NumArcs());
+
+  const Phast restored(std::move(loaded.layout));
+  ASSERT_EQ(restored.NumVertices(), original.NumVertices());
+  EXPECT_EQ(restored.NumLevels(), original.NumLevels());
+
+  Phast::Workspace ws_a = original.MakeWorkspace();
+  Phast::Workspace ws_b = restored.MakeWorkspace();
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const VertexId source =
+        static_cast<VertexId>(rng.NextBounded(original.NumVertices()));
+    original.ComputeTree(source, ws_a);
+    restored.ComputeTree(source, ws_b);
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph, source);
+    for (VertexId v = 0; v < original.NumVertices(); ++v) {
+      ASSERT_EQ(original.Distance(ws_a, v), restored.Distance(ws_b, v))
+          << "source " << source << " vertex " << v;
+      ASSERT_EQ(restored.Distance(ws_b, v), ref.dist[v]);
+    }
+  }
+}
+
+TEST(Snapshot, ExportLayoutRoundTripsThroughAdoptingConstructor) {
+  const Phast& original = Engine();
+  const Phast rebuilt(original.ExportLayout());
+  Phast::Workspace ws_a = original.MakeWorkspace();
+  Phast::Workspace ws_b = rebuilt.MakeWorkspace();
+  original.ComputeTree(0, ws_a);
+  rebuilt.ComputeTree(0, ws_b);
+  for (VertexId v = 0; v < original.NumVertices(); ++v) {
+    ASSERT_EQ(original.Distance(ws_a, v), rebuilt.Distance(ws_b, v));
+  }
+}
+
+TEST(Snapshot, GraphSectionIsOptional) {
+  const Snapshot loaded = Deserialize(Serialize(MakeSnapshot(Engine())));
+  EXPECT_FALSE(loaded.has_graph);
+  EXPECT_EQ(loaded.graph.NumVertices(), 0u);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "phast_snapshot_test.snap";
+  WriteSnapshotFile(MakeSnapshot(Engine(), &CachedCountry(kSide)), path);
+  const Snapshot loaded = ReadSnapshotFile(path);
+  EXPECT_TRUE(loaded.has_graph);
+  EXPECT_EQ(loaded.layout.num_vertices, Engine().NumVertices());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileIsRejected) {
+  EXPECT_THROW((void)ReadSnapshotFile("/nonexistent/phast.snap"), InputError);
+}
+
+TEST(Snapshot, TruncationAtAnyPointIsRejected) {
+  const std::string bytes = Serialize(MakeSnapshot(Engine(), &CachedCountry(kSide)));
+  // Cut in the header, the TOC, a payload, and one byte short of the end.
+  for (const size_t keep :
+       {size_t{0}, size_t{7}, size_t{24}, size_t{60}, bytes.size() / 3,
+        bytes.size() / 2, bytes.size() - 1}) {
+    ASSERT_LT(keep, bytes.size());
+    EXPECT_THROW((void)Deserialize(bytes.substr(0, keep)), InputError)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST(Snapshot, TrailingGarbageIsRejected) {
+  std::string bytes = Serialize(MakeSnapshot(Engine()));
+  bytes.push_back('\0');
+  EXPECT_THROW((void)Deserialize(bytes), InputError);
+}
+
+TEST(Snapshot, AnySingleBitFlipIsRejected) {
+  const std::string bytes = Serialize(MakeSnapshot(Engine(), &CachedCountry(kSide)));
+  // Sample offsets across the header (incl. the checksum field itself), the
+  // TOC, and every payload region; a uniform stride keeps the test fast.
+  const size_t stride = std::max<size_t>(1, bytes.size() / 97);
+  size_t flipped = 0;
+  for (size_t offset = 0; offset < bytes.size(); offset += stride) {
+    for (const uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string corrupted = bytes;
+      corrupted[offset] = static_cast<char>(corrupted[offset] ^ mask);
+      EXPECT_THROW((void)Deserialize(corrupted), InputError)
+          << "bit flip at offset " << offset << " mask " << int(mask)
+          << " went undetected";
+      ++flipped;
+    }
+  }
+  EXPECT_GE(flipped, 150u);  // sanity: the loop actually ran
+}
+
+TEST(Snapshot, WrongMagicIsRejected) {
+  std::string bytes = Serialize(MakeSnapshot(Engine()));
+  bytes[0] = 'X';
+  EXPECT_THROW((void)Deserialize(bytes), InputError);
+}
+
+TEST(Snapshot, WrongVersionIsRejected) {
+  std::string bytes = Serialize(MakeSnapshot(Engine()));
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // version u32 LE at 8
+  EXPECT_THROW((void)Deserialize(bytes), InputError);
+}
+
+TEST(Snapshot, StructurallyBrokenLayoutIsRejectedAtLoad) {
+  // Integrity checks pass (the file is internally consistent) but the
+  // permutation is not a permutation; the Phast adopting constructor must
+  // reject it during ReadSnapshot.
+  Snapshot snapshot = MakeSnapshot(Engine());
+  ASSERT_GE(snapshot.layout.perm.size(), 2u);
+  snapshot.layout.perm[1] = snapshot.layout.perm[0];  // duplicate entry
+  EXPECT_THROW((void)Deserialize(Serialize(snapshot)), InputError);
+}
+
+TEST(Snapshot, MismatchedGraphIsRejectedAtCapture) {
+  const Graph& other = CachedCountry(12);  // different vertex count
+  EXPECT_THROW((void)MakeSnapshot(Engine(), &other), InputError);
+}
+
+TEST(Snapshot, Fnv1a64MatchesReferenceVectors) {
+  // Reference values for the canonical FNV-1a 64-bit test strings.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace phast::server

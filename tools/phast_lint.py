@@ -27,6 +27,13 @@ cannot express:
                         _mm256_* tokens may appear only in files that do so
                         — unguarded intrinsics break the scalar fallback
                         build (-DPHAST_ARCH="").
+  server-no-prepare     serving-path code (src/server/) never runs
+                        preprocessing — PrepareNetwork() and
+                        BuildContractionHierarchy() are offline-only. The
+                        serving contract is "load a snapshot, start
+                        answering"; contraction at request time would stall
+                        the daemon for minutes. phast_prepare.cpp, the
+                        offline snapshot builder, is the single exemption.
 
 Suppression: append `// phast-lint: allow(<rule>)` to the offending line.
 
@@ -335,12 +342,41 @@ def check_intrinsics(path, code, raw_lines, findings):
             break  # one finding per file is enough for this rule
 
 
+# --- rule: server-no-prepare ------------------------------------------------
+
+PREPARE_CALL_RE = re.compile(
+    r"\b(PrepareNetwork|BuildContractionHierarchy)\s*\("
+)
+
+
+def check_server_no_prepare(path, code, raw_lines, findings):
+    normalized = path.replace("\\", "/")
+    if "src/server/" not in normalized and not normalized.startswith("server/"):
+        return
+    if normalized.endswith("phast_prepare.cpp"):
+        return  # the offline snapshot builder is the one sanctioned caller
+    for m in PREPARE_CALL_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "server-no-prepare"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "server-no-prepare",
+                f"{m.group(1)}() in serving-path code; preprocessing is "
+                "offline-only (phast_prepare) — servers load snapshots",
+            )
+        )
+
+
 RULES = (
     check_omp_default_none,
     check_stale_parent,
     check_naked_throw,
     check_rng,
     check_intrinsics,
+    check_server_no_prepare,
 )
 
 
@@ -493,6 +529,38 @@ SELF_TEST_CASES = [
         "src/x/a.cpp",
         "void f() { auto v = _mm_set1_epi32(1); (void)v; }\n",
         "intrinsics-hygiene",
+    ),
+    (
+        "server-no-prepare/bad-prepare",
+        "src/server/service.cpp",
+        "void f(const EdgeList& e) { auto p = PrepareNetwork(e); }\n",
+        "server-no-prepare",
+    ),
+    (
+        "server-no-prepare/bad-contraction",
+        "src/server/phast_serve.cpp",
+        "void f(const Graph& g) { auto ch = BuildContractionHierarchy(g); }\n",
+        "server-no-prepare",
+    ),
+    (
+        "server-no-prepare/prepare-tool-exempt",
+        "src/server/phast_prepare.cpp",
+        "void f(const EdgeList& e) { auto p = PrepareNetwork(e); }\n",
+        None,
+    ),
+    (
+        "server-no-prepare/outside-server-ok",
+        "src/phast/prepare.cpp",
+        "void f(const EdgeList& e) { auto p = PrepareNetwork(e); }\n",
+        None,
+    ),
+    (
+        "server-no-prepare/suppressed",
+        "src/server/service.cpp",
+        "void f(const EdgeList& e) {\n"
+        "  auto p = PrepareNetwork(e);  // phast-lint: allow(server-no-prepare)\n"
+        "}\n",
+        None,
     ),
     (
         "comments-are-ignored",
