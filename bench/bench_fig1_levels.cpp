@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.h"
+#include "phast/phast.h"
 
 using namespace phast;
 using namespace phast::bench;
@@ -14,6 +15,7 @@ using namespace phast::bench;
 int main(int argc, char** argv) {
   const CommandLine cli(argc, argv);
   const BenchConfig config = BenchConfig::FromCommandLine(cli);
+  BenchReport report("fig1_levels");
 
   std::printf("=== Figure 1: vertices per level ===\n");
   const Instance instance = MakeCountryInstance(
@@ -22,6 +24,11 @@ int main(int argc, char** argv) {
 
   const std::vector<uint64_t> histogram = instance.ch.LevelHistogram();
   const uint64_t n = instance.graph.NumVertices();
+  report.AddConfig("width", config.width);
+  report.AddConfig("height", config.height);
+  report.AddConfig("seed", config.seed);
+  report.AddConfig("n", n);
+  report.AddConfig("levels", histogram.size());
 
   std::printf("\n%-8s%-12s%-12s%s\n", "level", "vertices", "cumulative",
               "bar (log scale)");
@@ -34,6 +41,10 @@ int main(int argc, char** argv) {
     std::printf("%-8zu%-12llu%-12llu%s\n", level,
                 static_cast<unsigned long long>(histogram[level]),
                 static_cast<unsigned long long>(cumulative), bars.c_str());
+    report.AddRow("level_" + std::to_string(level))
+        .Add("level", level)
+        .Add("vertices", histogram[level])
+        .Add("cumulative", cumulative);
   }
 
   // The paper's three summary claims, restated for this instance.
@@ -55,5 +66,20 @@ int main(int argc, char** argv) {
   }
   std::printf("  levels holding 99%%:   %zu of %zu\n", levels_for_99,
               histogram.size());
+  report.AddConfig("level0_share",
+                   static_cast<double>(histogram[0]) / static_cast<double>(n));
+  report.AddConfig("levels_for_99", levels_for_99);
+
+  // One profiled sweep over the same hierarchy: the timed per-level view of
+  // the figure (arc counts, nanoseconds, modeled bandwidth — DESIGN.md §8).
+  {
+    Phast::Options options;
+    options.collect_profile = true;
+    const Phast engine(instance.ch, options);
+    Phast::Workspace ws = engine.MakeWorkspace(1);
+    engine.ComputeTree(0, ws);
+    report.AddSection("profile", ws.Profile().ToJson());
+  }
+  report.WriteJsonIfRequested(cli);
   return 0;
 }

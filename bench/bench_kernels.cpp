@@ -9,6 +9,7 @@
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
+#include "obs/trace.h"
 #include "phast/phast.h"
 #include "pq/dary_heap.h"
 #include "pq/dial_buckets.h"
@@ -101,6 +102,30 @@ void BM_UpwardSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UpwardSearch);
+
+// The tracing zero-overhead pair (DESIGN.md §8): with PHAST_TRACING=OFF
+// the PHAST_SPAN macro expands to nothing and BM_SpanOverhead must time
+// identically to BM_SpanOverheadBaseline — the CI trace-smoke job builds
+// that configuration and compares. With tracing compiled in but disabled
+// at runtime (the default here), the delta is one relaxed atomic load.
+void BM_SpanOverheadBaseline(benchmark::State& state) {
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    acc = acc * 3 + 1;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SpanOverheadBaseline);
+
+void BM_SpanOverhead(benchmark::State& state) {
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    PHAST_SPAN("bench.span_overhead");
+    acc = acc * 3 + 1;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SpanOverhead);
 
 void BM_ChPreprocessing(benchmark::State& state) {
   const uint32_t side = static_cast<uint32_t>(state.range(0));

@@ -84,9 +84,9 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
-void RunConfig(const char* label, const Phast& engine, ServiceOptions options,
-               uint32_t clients, uint64_t requests, uint32_t window,
-               const WorkloadOptions& wl,
+void RunConfig(const char* label, BenchReport& report, const Phast& engine,
+               ServiceOptions options, uint32_t clients, uint64_t requests,
+               uint32_t window, const WorkloadOptions& wl,
                const std::vector<VertexId>& rank_to_vertex) {
   MetricsRegistry metrics;
   OracleService service(engine, options, metrics);
@@ -103,6 +103,15 @@ void RunConfig(const char* label, const Phast& engine, ServiceOptions options,
                                                    : c.completed) /
                 static_cast<double>(c.batches)
           : 0.0;
+  const double throughput =
+      static_cast<double>(run.answered) / run.elapsed_sec;
+  const double p50 = Percentile(run.latencies_ms, 0.50);
+  const double p95 = Percentile(run.latencies_ms, 0.95);
+  const double p99 = Percentile(run.latencies_ms, 0.99);
+  const double hit_rate =
+      cache_lookups > 0
+          ? static_cast<double>(c.cache_hits) / static_cast<double>(cache_lookups)
+          : 0.0;
   std::printf(
       "{\"config\": \"%s\", \"workers\": %u, \"max_batch\": %u, "
       "\"cache\": %zu, \"clients\": %u, \"requests\": %llu, "
@@ -110,15 +119,22 @@ void RunConfig(const char* label, const Phast& engine, ServiceOptions options,
       "\"p99_ms\": %.3f, \"cache_hit_rate\": %.3f, "
       "\"mean_batch_width\": %.2f, \"shed\": %llu}\n",
       label, options.num_workers, options.max_batch, options.cache_capacity,
-      clients, static_cast<unsigned long long>(run.answered),
-      static_cast<double>(run.answered) / run.elapsed_sec,
-      Percentile(run.latencies_ms, 0.50), Percentile(run.latencies_ms, 0.95),
-      Percentile(run.latencies_ms, 0.99),
-      cache_lookups > 0
-          ? static_cast<double>(c.cache_hits) / static_cast<double>(cache_lookups)
-          : 0.0,
-      mean_width, static_cast<unsigned long long>(c.Shed()));
+      clients, static_cast<unsigned long long>(run.answered), throughput, p50,
+      p95, p99, hit_rate, mean_width,
+      static_cast<unsigned long long>(c.Shed()));
   std::fflush(stdout);
+  report.AddRow(label)
+      .Add("workers", options.num_workers)
+      .Add("max_batch", options.max_batch)
+      .Add("cache", options.cache_capacity)
+      .Add("requests", run.answered)
+      .Add("throughput_rps", throughput)
+      .Add("p50_ms", p50)
+      .Add("p95_ms", p95)
+      .Add("p99_ms", p99)
+      .Add("cache_hit_rate", hit_rate)
+      .Add("mean_batch_width", mean_width)
+      .Add("shed", c.Shed());
 }
 
 }  // namespace
@@ -137,6 +153,14 @@ int main(int argc, char** argv) {
   const Phast engine(instance.ch);
   std::fprintf(stderr, "bench_server: %u vertices, %u levels\n",
                engine.NumVertices(), engine.NumLevels());
+  BenchReport report("server");
+  report.AddConfig("width", config.width);
+  report.AddConfig("height", config.height);
+  report.AddConfig("seed", config.seed);
+  report.AddConfig("n", engine.NumVertices());
+  report.AddConfig("clients", clients);
+  report.AddConfig("requests", requests);
+  report.AddConfig("window", window);
 
   WorkloadOptions wl;
   wl.seed = config.seed;
@@ -152,7 +176,7 @@ int main(int argc, char** argv) {
     options.max_batch = 8;
     options.cache_capacity = 32;
     options.queue_capacity = 4096;
-    RunConfig("workers", engine, options, clients, requests, window, wl, ranks);
+    RunConfig("workers", report, engine, options, clients, requests, window, wl, ranks);
   }
   // Axis 2: coalescing width (max_batch 1 disables batching entirely).
   for (const uint32_t max_batch : {1u, 4u, 16u}) {
@@ -161,7 +185,7 @@ int main(int argc, char** argv) {
     options.max_batch = max_batch;
     options.cache_capacity = 32;
     options.queue_capacity = 4096;
-    RunConfig("batch", engine, options, clients, requests, window, wl, ranks);
+    RunConfig("batch", report, engine, options, clients, requests, window, wl, ranks);
   }
   // Axis 3: the cache under Zipf skew (0 = off).
   for (const size_t cache : {size_t{0}, size_t{32}, size_t{256}}) {
@@ -170,7 +194,8 @@ int main(int argc, char** argv) {
     options.max_batch = 8;
     options.cache_capacity = cache;
     options.queue_capacity = 4096;
-    RunConfig("cache", engine, options, clients, requests, window, wl, ranks);
+    RunConfig("cache", report, engine, options, clients, requests, window, wl, ranks);
   }
+  report.WriteJsonIfRequested(cli);
   return 0;
 }

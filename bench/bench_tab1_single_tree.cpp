@@ -99,6 +99,7 @@ LayoutResults RunLayout(const EdgeList& edges,
 int main(int argc, char** argv) {
   const CommandLine cli(argc, argv);
   const BenchConfig config = BenchConfig::FromCommandLine(cli);
+  BenchReport report("tab1_single_tree");
 
   std::printf("=== Table I: single-tree, by algorithm and layout ===\n");
 
@@ -112,6 +113,13 @@ int main(int argc, char** argv) {
   const VertexId n = scc.edges.NumVertices();
   std::printf("instance: synthetic country, n=%u m=%zu, %d thread(s)\n\n", n,
               scc.edges.NumArcs(), MaxThreads());
+  report.AddConfig("width", config.width);
+  report.AddConfig("height", config.height);
+  report.AddConfig("seed", config.seed);
+  report.AddConfig("sources", config.num_sources);
+  report.AddConfig("n", n);
+  report.AddConfig("m", scc.edges.NumArcs());
+  report.AddConfig("threads", MaxThreads());
 
   const std::vector<VertexId> sources =
       SampleSources(n, config.num_sources, config.seed + 7);
@@ -139,6 +147,10 @@ int main(int argc, char** argv) {
     std::snprintf(y, sizeof(y), "%.2f", b);
     std::snprintf(z, sizeof(z), "%.2f", c);
     PrintRow({name, x, y, z}, widths);
+    report.AddRow(name)
+        .Add("random_ms", a)
+        .Add("input_ms", b)
+        .Add("dfs_ms", c);
   };
   row("Dijkstra (binary heap)", random_r.dijkstra_binary,
       input_r.dijkstra_binary, dfs_r.dijkstra_binary);
@@ -156,10 +168,13 @@ int main(int argc, char** argv) {
   row("PHAST (reordered+cores)", random_r.phast_parallel,
       input_r.phast_parallel, dfs_r.phast_parallel);
 
+  const double speedup = std::min({dfs_r.dijkstra_binary, dfs_r.dijkstra_dial,
+                                   dfs_r.dijkstra_smart}) /
+                         dfs_r.phast_reordered;
   std::printf(
       "\nspeedup, reordered PHAST vs best Dijkstra (DFS layout): %.1fx\n",
-      std::min({dfs_r.dijkstra_binary, dfs_r.dijkstra_dial,
-                dfs_r.dijkstra_smart}) /
-          dfs_r.phast_reordered);
+      speedup);
+  report.AddConfig("speedup_vs_best_dijkstra", speedup);
+  report.WriteJsonIfRequested(cli);
   return 0;
 }

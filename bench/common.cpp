@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "graph/connectivity.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -80,6 +81,120 @@ void PrintRow(const std::vector<std::string>& cells,
     std::printf("%-*s", width, cells[i].c_str());
   }
   std::printf("\n");
+}
+
+// --- structured results -----------------------------------------------------
+
+namespace {
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void AppendObject(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  out += "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += EscapeJsonString(fields[i].first) + ": " + fields[i].second;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+JsonValue::JsonValue(const char* s) : encoded(EscapeJsonString(s)) {}
+JsonValue::JsonValue(const std::string& s) : encoded(EscapeJsonString(s)) {}
+JsonValue::JsonValue(bool v) : encoded(v ? "true" : "false") {}
+
+JsonValue::JsonValue(double v) {
+  if (!std::isfinite(v)) {
+    encoded = "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  encoded = buffer;
+}
+
+BenchReport::Row& BenchReport::Row::Add(const std::string& key,
+                                        JsonValue value) {
+  fields_.emplace_back(key, std::move(value.encoded));
+  return *this;
+}
+
+void BenchReport::AddConfig(const std::string& key, JsonValue value) {
+  config_.emplace_back(key, std::move(value.encoded));
+}
+
+BenchReport::Row& BenchReport::AddRow(const std::string& label) {
+  rows_.emplace_back(label, Row{});
+  return rows_.back().second;
+}
+
+void BenchReport::AddSection(const std::string& key, std::string raw_json) {
+  sections_.emplace_back(key, std::move(raw_json));
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\"schema\": \"phast-bench-v1\", \"bench\": ";
+  out += EscapeJsonString(name_);
+  out += ", \"config\": ";
+  AppendObject(out, config_);
+  out += ", \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("label", EscapeJsonString(rows_[i].first));
+    fields.insert(fields.end(), rows_[i].second.fields_.begin(),
+                  rows_[i].second.fields_.end());
+    AppendObject(out, fields);
+  }
+  out += "], \"sections\": ";
+  AppendObject(out, sections_);
+  out += "}\n";
+  return out;
+}
+
+bool BenchReport::WriteJsonIfRequested(const CommandLine& cli) const {
+  const std::string path = cli.GetString("json-out", "");
+  if (path.empty()) return false;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  Require(file != nullptr, "cannot open --json-out file: " + path);
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  Require(written == json.size() && closed,
+          "short write to --json-out file: " + path);
+  std::fprintf(stderr, "bench results written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace phast::bench

@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ch/ch_data.h"
@@ -50,6 +52,62 @@ struct BenchConfig {
 
 /// Formats "d:hh:mm" like the paper's Table VI n-trees column.
 std::string FormatDaysHoursMinutes(double seconds);
+
+// --- structured results (DESIGN.md §8) --------------------------------------
+
+/// One JSON scalar, pre-encoded. Implicit constructors cover the types the
+/// benches emit; integers stay integers in the output (no float drift in
+/// counters).
+struct JsonValue {
+  std::string encoded;
+
+  JsonValue(const char* s);
+  JsonValue(const std::string& s);
+  JsonValue(double v);
+  JsonValue(bool v);
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonValue(T v) : encoded(std::to_string(v)) {}
+};
+
+/// Machine-readable bench results (schema "phast-bench-v1"): a config
+/// object, labeled result rows, and optional raw-JSON sections (e.g. an
+/// obs::SweepProfile::ToJson() profile). Every bench keeps its human table
+/// on stdout and additionally writes this JSON when --json-out=FILE is
+/// passed; tools/bench_all.sh aggregates the files into BENCH_PHAST.json.
+class BenchReport {
+ public:
+  class Row {
+   public:
+    Row& Add(const std::string& key, JsonValue value);
+
+   private:
+    friend class BenchReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void AddConfig(const std::string& key, JsonValue value);
+  /// Appends a result row; the returned reference stays valid until the
+  /// next AddRow (it points into the report's row list).
+  Row& AddRow(const std::string& label);
+  /// Attaches an already-encoded JSON value under `key` (profiles, nested
+  /// tables). The caller guarantees `raw_json` is valid JSON.
+  void AddSection(const std::string& key, std::string raw_json);
+
+  [[nodiscard]] std::string ToJson() const;
+  /// Writes ToJson() to the file named by --json-out, when present.
+  /// Returns true if a file was written.
+  bool WriteJsonIfRequested(const CommandLine& cli) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, Row>> rows_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
 
 /// Prints an aligned row of columns (simple fixed-width table output).
 void PrintRow(const std::vector<std::string>& cells,

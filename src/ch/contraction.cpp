@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/omp_env.h"
 #include "util/timer.h"
@@ -126,6 +127,7 @@ class Contractor {
   }
 
   CHData Run(CHStats* stats) {
+    PHAST_SPAN("ch.contract");
     Timer timer;
     CHData ch;
     ch.num_vertices = n_;
@@ -135,6 +137,7 @@ class Contractor {
     // Initial priorities, computed in parallel with per-thread workspaces
     // (the paper parallelizes priority updates the same way, §VIII-A).
     {
+      PHAST_SPAN("ch.initial_priorities");
       std::vector<WitnessWorkspace> pool(
           static_cast<size_t>(std::max(1, MaxThreads())));
       // Threads share the workspace pool (one slot per thread id) and the

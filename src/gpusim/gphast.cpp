@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -29,6 +30,7 @@ uint64_t Gphast::DeviceMemoryBytes(uint32_t k) const {
 
 Gphast::Result Gphast::ComputeTrees(std::span<const VertexId> sources,
                                     Phast::Workspace& ws) {
+  PHAST_SPAN_ARG("gphast.batch", ws.NumTrees());
   Result result;
   Require(FitsInDeviceMemory(ws.NumTrees()),
           "k trees exceed the modeled device memory");
@@ -37,7 +39,10 @@ Gphast::Result Gphast::ComputeTrees(std::span<const VertexId> sources,
 
   // Phase one on the CPU (measured wall time, like the paper).
   Timer host_timer;
-  engine_.RunUpwardPhase(sources, ws);
+  {
+    PHAST_SPAN("gphast.upward");
+    engine_.RunUpwardPhase(sources, ws);
+  }
   result.host_seconds = host_timer.ElapsedSec();
 
   // Copy the search spaces to the device: per visited vertex one id plus
@@ -48,6 +53,7 @@ Gphast::Result Gphast::ComputeTrees(std::span<const VertexId> sources,
   device_.HostToDeviceCopy(copy_bytes);
 
   // One kernel per level, highest level first (§VI).
+  PHAST_SPAN("gphast.device_sweep");
   const SweepArgs args = engine_.MakeSweepArgs(ws);
   const std::vector<VertexId>& levels = engine_.LevelBoundaries();
   for (size_t group = 0; group + 1 < levels.size(); ++group) {

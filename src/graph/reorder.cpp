@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -39,6 +40,7 @@ Permutation RandomPermutation(VertexId n, uint64_t seed) {
 }
 
 Permutation DfsPermutation(const Graph& graph, VertexId root) {
+  PHAST_SPAN("reorder.dfs_permutation");
   const VertexId n = graph.NumVertices();
   Require(n == 0 || root < n, "DFS root out of range");
   Permutation perm(n, kInvalidVertex);
@@ -76,6 +78,7 @@ Permutation LevelPermutation(const std::vector<uint32_t>& levels) {
 }
 
 EdgeList ApplyPermutation(const EdgeList& edges, const Permutation& perm) {
+  PHAST_SPAN("reorder.apply_permutation");
   Require(perm.size() == edges.NumVertices(),
           "permutation size does not match vertex count");
   EdgeList out(edges.NumVertices());

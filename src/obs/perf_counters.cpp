@@ -1,0 +1,115 @@
+#include "obs/perf_counters.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define PHAST_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define PHAST_HAVE_PERF_EVENT 0
+#endif
+
+namespace phast::obs {
+
+#if PHAST_HAVE_PERF_EVENT
+
+namespace {
+
+/// The fixed event set; field offsets must match PerfSample's members.
+constexpr uint64_t kEventConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+constexpr size_t kNumEvents = sizeof(kEventConfigs) / sizeof(kEventConfigs[0]);
+
+int OpenEvent(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // the leader gates the group
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  fds_.reserve(kNumEvents);
+  for (const uint64_t config : kEventConfigs) {
+    const int group_fd = fds_.empty() ? -1 : fds_.front();
+    const int fd = OpenEvent(config, group_fd);
+    if (fd < 0) {
+      // All-or-nothing: a partially open group would skew derived ratios.
+      for (const int open_fd : fds_) close(open_fd);
+      fds_.clear();
+      return;
+    }
+    fds_.push_back(fd);
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (const int fd : fds_) close(fd);
+}
+
+void PerfCounterGroup::Start() {
+  if (fds_.empty()) return;
+  ioctl(fds_.front(), PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_.front(), PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounterGroup::Stop() {
+  if (fds_.empty()) return;
+  ioctl(fds_.front(), PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample sample;
+  if (fds_.empty()) return sample;
+  uint64_t* const fields[kNumEvents] = {
+      &sample.cycles, &sample.instructions, &sample.cache_references,
+      &sample.cache_misses, &sample.branch_misses};
+  for (size_t i = 0; i < kNumEvents; ++i) {
+    uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) == sizeof(value)) {
+      *fields[i] = value;
+    }
+  }
+  return sample;
+}
+
+#else  // !PHAST_HAVE_PERF_EVENT
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::Start() {}
+void PerfCounterGroup::Stop() {}
+PerfSample PerfCounterGroup::Read() const { return PerfSample{}; }
+
+#endif  // PHAST_HAVE_PERF_EVENT
+
+std::string FormatPerfSample(const PerfSample& sample, bool available) {
+  if (!available) return "perf counters unavailable";
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "cycles=%llu instructions=%llu ipc=%.2f llc_miss=%llu/%llu "
+                "br_miss=%llu",
+                static_cast<unsigned long long>(sample.cycles),
+                static_cast<unsigned long long>(sample.instructions),
+                sample.Ipc(),
+                static_cast<unsigned long long>(sample.cache_misses),
+                static_cast<unsigned long long>(sample.cache_references),
+                static_cast<unsigned long long>(sample.branch_misses));
+  return buffer;
+}
+
+}  // namespace phast::obs

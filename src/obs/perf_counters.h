@@ -1,0 +1,84 @@
+// Hardware performance counters over perf_event_open (DESIGN.md §8).
+//
+// A PerfCounterGroup opens one event group (cycles, instructions, LLC
+// references/misses, branch misses) for the calling thread and exposes
+// Start/Stop/Read. Degradation is graceful and silent by design: when the
+// perf interface is unavailable — non-Linux build, seccomp-filtered
+// container, perf_event_paranoid too strict, the usual CI situation — the
+// group becomes a no-op, Available() returns false, and readings are
+// all-zero. Callers never need to branch on platform.
+//
+// Counters attach to any span by composition: open a group, Start() where
+// the span opens, Read() where it closes (ScopedPerfSample does exactly
+// that as RAII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phast::obs {
+
+/// One reading of the fixed event set; zeros when unavailable.
+struct PerfSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_references = 0;  ///< LLC references
+  uint64_t cache_misses = 0;      ///< LLC misses
+  uint64_t branch_misses = 0;
+
+  [[nodiscard]] double Ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+class PerfCounterGroup {
+ public:
+  /// Opens the counters for the calling thread; on any failure the whole
+  /// group silently degrades to a no-op (all-or-nothing, so a sample is
+  /// never a mix of live and dead counters).
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  [[nodiscard]] bool Available() const { return !fds_.empty(); }
+
+  /// Resets and enables the group (no-op when unavailable).
+  void Start();
+  /// Disables the group; Read() afterwards returns the frozen counts.
+  void Stop();
+  [[nodiscard]] PerfSample Read() const;
+
+ private:
+  std::vector<int> fds_;  ///< one fd per event, fds_[0] is the group leader
+};
+
+/// RAII: Start() on construction; Stop() and store Read() into `out` on
+/// destruction. `group` and `out` must outlive the scope.
+class ScopedPerfSample {
+ public:
+  ScopedPerfSample(PerfCounterGroup& group, PerfSample& out)
+      : group_(group), out_(out) {
+    group_.Start();
+  }
+  ~ScopedPerfSample() {
+    group_.Stop();
+    out_ = group_.Read();
+  }
+  ScopedPerfSample(const ScopedPerfSample&) = delete;
+  ScopedPerfSample& operator=(const ScopedPerfSample&) = delete;
+
+ private:
+  PerfCounterGroup& group_;
+  PerfSample& out_;
+};
+
+/// "cycles=... instructions=... ipc=... llc_miss=.../... br_miss=..." or
+/// "perf counters unavailable".
+[[nodiscard]] std::string FormatPerfSample(const PerfSample& sample,
+                                           bool available);
+
+}  // namespace phast::obs

@@ -1,0 +1,78 @@
+#include "obs/sweep_profile.h"
+
+#include <cstdio>
+
+namespace phast::obs {
+namespace {
+
+void AppendU64(std::string& out, const char* key, uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+}  // namespace
+
+uint64_t SweepProfile::TotalArcs() const {
+  uint64_t total = 0;
+  for (const LevelProfile& level : levels) total += level.arcs;
+  return total;
+}
+
+uint64_t SweepProfile::TotalVertices() const {
+  uint64_t total = 0;
+  for (const LevelProfile& level : levels) total += level.vertices;
+  return total;
+}
+
+uint64_t SweepProfile::TotalBytes() const {
+  uint64_t total = 0;
+  for (const LevelProfile& level : levels) total += level.bytes;
+  return total;
+}
+
+std::string SweepProfile::ToJson() const {
+  std::string out = "{";
+  AppendU64(out, "k", k);
+  out += ",";
+  AppendU64(out, "sweep_nanos", sweep_nanos);
+  out += ",\"upward\":{";
+  AppendU64(out, "queue_pops", upward.queue_pops);
+  out += ",";
+  AppendU64(out, "arcs_relaxed", upward.arcs_relaxed);
+  out += ",";
+  AppendU64(out, "nanos", upward.nanos);
+  out += "},\"levels\":[";
+  bool first = true;
+  for (const LevelProfile& level : levels) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    AppendU64(out, "level", level.level);
+    out += ",";
+    AppendU64(out, "vertices", level.vertices);
+    out += ",";
+    AppendU64(out, "arcs", level.arcs);
+    out += ",";
+    AppendU64(out, "nanos", level.nanos);
+    out += ",";
+    AppendU64(out, "bytes", level.bytes);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t ModelSweepBytes(uint64_t vertices, uint64_t arcs, uint32_t k,
+                         bool implicit_init) {
+  const uint64_t lane_bytes = uint64_t{4} * k;
+  uint64_t bytes = 0;
+  bytes += vertices * lane_bytes;        // label lanes written
+  bytes += (vertices + 1) * 4;           // CSR arc-offset column
+  bytes += arcs * (8 + lane_bytes);      // DownArc records + tail label reads
+  if (implicit_init) bytes += (vertices + 7) / 8;  // visit-mark bitmap
+  return bytes;
+}
+
+}  // namespace phast::obs

@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "util/error.h"
+#include "util/thread_annotations.h"
+
+namespace phast::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Fixed-capacity single-writer span buffer. The owning thread appends with
+/// plain stores published by a release store of `count`; collectors read
+/// `count` with acquire and only touch slots below it, so no locks sit on
+/// the recording path. On overflow new spans are dropped (never
+/// overwritten): a snapshot is always a stable prefix of what the thread
+/// recorded.
+struct ThreadBuffer {
+  static constexpr size_t kCapacity = size_t{1} << 14;  // 16k spans/thread
+
+  explicit ThreadBuffer(uint32_t thread_id) : tid(thread_id) {}
+
+  void Push(const char* name, uint64_t start_ns, uint64_t end_ns,
+            uint64_t arg) {
+    const size_t index = count.load(std::memory_order_relaxed);
+    if (index >= kCapacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    spans[index] = SpanRecord{name, start_ns, end_ns, arg, tid};
+    count.store(index + 1, std::memory_order_release);
+  }
+
+  std::array<SpanRecord, kCapacity> spans;
+  std::atomic<size_t> count{0};
+  std::atomic<uint64_t> dropped{0};
+  uint32_t tid;
+};
+
+/// Registry of every thread's buffer. Buffers outlive their threads (the
+/// registry owns them) so spans recorded by short-lived workers — server
+/// connection threads, OpenMP pools — survive until export.
+struct Registry {
+  AnnotatedMutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers GUARDED_BY(mu);
+};
+
+Registry& GlobalRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    Registry& registry = GlobalRegistry();
+    const MutexLock lock(registry.mu);
+    const auto tid = static_cast<uint32_t>(registry.buffers.size());
+    registry.buffers.push_back(std::make_unique<ThreadBuffer>(tid));
+    return registry.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+void AppendJsonEscaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(std::string& out, bool& first, char phase,
+                 const SpanRecord& span, uint64_t ts_ns, uint64_t base_ns) {
+  if (!first) out += ',';
+  first = false;
+  out += "\n{\"name\":\"";
+  AppendJsonEscaped(out, span.name);
+  char buffer[128];
+  const uint64_t rebased = ts_ns - base_ns;
+  // Chrome trace timestamps are microseconds; keep ns precision in the
+  // fraction. Integer-derived, so per-tid monotonicity survives printing.
+  std::snprintf(buffer, sizeof(buffer),
+                "\",\"cat\":\"phast\",\"ph\":\"%c\",\"ts\":%llu.%03llu,"
+                "\"pid\":1,\"tid\":%u",
+                phase, static_cast<unsigned long long>(rebased / 1000),
+                static_cast<unsigned long long>(rebased % 1000), span.tid);
+  out += buffer;
+  if (phase == 'B' && span.arg != 0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"args\":{\"arg\":%llu}",
+                  static_cast<unsigned long long>(span.arg));
+    out += buffer;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void EnableTracing(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceClockNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                uint64_t arg) {
+  LocalBuffer().Push(name, start_ns, end_ns, arg);
+}
+
+std::vector<SpanRecord> CollectSpans() {
+  Registry& registry = GlobalRegistry();
+  const MutexLock lock(registry.mu);
+  std::vector<SpanRecord> all;
+  for (const auto& buffer : registry.buffers) {
+    const size_t n = buffer->count.load(std::memory_order_acquire);
+    all.insert(all.end(), buffer->spans.begin(), buffer->spans.begin() + n);
+  }
+  return all;
+}
+
+uint64_t DroppedSpanCount() {
+  Registry& registry = GlobalRegistry();
+  const MutexLock lock(registry.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ClearSpans() {
+  Registry& registry = GlobalRegistry();
+  const MutexLock lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    buffer->count.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string RenderChromeTrace() {
+  std::vector<SpanRecord> spans = CollectSpans();
+  // Group per tid and order parents before children: start ascending, then
+  // end descending so the longer (outer) span of a shared start comes first.
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;
+            });
+  uint64_t base_ns = UINT64_MAX;
+  for (const SpanRecord& span : spans) base_ns = std::min(base_ns, span.start_ns);
+  if (spans.empty()) base_ns = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  size_t i = 0;
+  while (i < spans.size()) {
+    size_t j = i;
+    while (j < spans.size() && spans[j].tid == spans[i].tid) ++j;
+    // Emit the tid's run as properly nested B/E pairs: a stack of open
+    // spans, each with an end clamped into its parent (clock jitter can
+    // make a child appear to outlive the scope that encloses it).
+    std::vector<std::pair<const SpanRecord*, uint64_t>> open;
+    for (; i < j; ++i) {
+      const SpanRecord& span = spans[i];
+      while (!open.empty() && open.back().second <= span.start_ns) {
+        AppendEvent(out, first, 'E', *open.back().first, open.back().second,
+                    base_ns);
+        open.pop_back();
+      }
+      uint64_t end_ns = std::max(span.end_ns, span.start_ns);
+      if (!open.empty()) end_ns = std::min(end_ns, open.back().second);
+      AppendEvent(out, first, 'B', span, span.start_ns, base_ns);
+      open.emplace_back(&span, end_ns);
+    }
+    while (!open.empty()) {
+      AppendEvent(out, first, 'E', *open.back().first, open.back().second,
+                  base_ns);
+      open.pop_back();
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void WriteChromeTraceFile(const std::string& path) {
+  const std::string json = RenderChromeTrace();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  Require(file != nullptr, "cannot open trace output file: " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  Require(written == json.size() && closed,
+          "short write to trace output file: " + path);
+}
+
+}  // namespace phast::obs

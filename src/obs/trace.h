@@ -1,0 +1,113 @@
+// Engine-wide scoped-span tracing (DESIGN.md §8).
+//
+// PHAST_SPAN("name") opens an RAII span that covers the rest of the
+// enclosing scope; spans nest naturally with scopes and may carry one
+// integer argument (PHAST_SPAN_ARG) — a trace id, a sweep level, a batch
+// width. Completed spans land in a lock-free single-writer buffer per
+// thread; CollectSpans()/RenderChromeTrace() snapshot every thread's
+// buffer into Chrome trace-event JSON loadable in chrome://tracing or
+// Perfetto.
+//
+// Two gates keep the cost at zero when unwanted:
+//  - Compile time: the PHAST_TRACING CMake option (default ON) defines
+//    PHAST_TRACING_ENABLED. With the option OFF the macros expand to
+//    nothing and instrumented code is identical to an untraced build
+//    (bench_kernels' BM_SpanOverhead pins this).
+//  - Run time: tracing starts disabled; EnableTracing(true) turns it on.
+//    A disabled span is one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phast::obs {
+
+/// One completed span. `name` must point to static-storage text (the
+/// macros pass string literals); records are 40 bytes so a thread buffer
+/// stays cache-friendly.
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  ///< TraceClockNs() at open
+  uint64_t end_ns = 0;    ///< TraceClockNs() at close
+  uint64_t arg = 0;       ///< optional payload (0 = none)
+  uint32_t tid = 0;       ///< small sequential trace-thread id
+};
+
+/// Runtime master switch; spans opened while disabled record nothing.
+void EnableTracing(bool enabled);
+[[nodiscard]] bool TracingEnabled();
+
+/// Monotonic nanoseconds (steady clock) used for span timestamps.
+[[nodiscard]] uint64_t TraceClockNs();
+
+/// Appends a completed span to the calling thread's buffer. Buffers are
+/// fixed-size; when one fills up further spans are dropped (and counted)
+/// rather than overwriting history, so a snapshot is always a prefix of
+/// the truth.
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                uint64_t arg);
+
+/// Snapshot of every thread's completed spans, in per-thread record order.
+/// Safe to call while other threads trace (they may append concurrently;
+/// the snapshot just stops at each buffer's published count).
+[[nodiscard]] std::vector<SpanRecord> CollectSpans();
+
+/// Total spans dropped to full buffers since the last ClearSpans().
+[[nodiscard]] uint64_t DroppedSpanCount();
+
+/// Resets all buffers and the drop counter. Call only at quiesce points —
+/// no thread may be inside a span or concurrently recording.
+void ClearSpans();
+
+/// Renders the collected spans as Chrome trace-event JSON: an object with
+/// a "traceEvents" array of paired B/E duration events, timestamps in
+/// microseconds rebased to the earliest span. Per (pid, tid) the events
+/// are emitted in nondecreasing-ts order with properly nested B/E pairs
+/// (a child span leaking past its parent is clamped to the parent's end).
+[[nodiscard]] std::string RenderChromeTrace();
+
+/// RenderChromeTrace() to a file; Require()s the write succeeds.
+void WriteChromeTraceFile(const std::string& path);
+
+/// RAII span. Prefer the PHAST_SPAN macros; use this directly only where
+/// the name is not a literal. Samples the clock only when tracing is
+/// enabled at open, so a disabled span costs one relaxed load.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, uint64_t arg = 0) {
+    if (TracingEnabled()) {
+      name_ = name;
+      arg_ = arg;
+      start_ns_ = TraceClockNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) RecordSpan(name_, start_ns_, TraceClockNs(), arg_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t arg_ = 0;
+};
+
+}  // namespace phast::obs
+
+#if PHAST_TRACING_ENABLED
+#define PHAST_SPAN_CAT2(a, b) a##b
+#define PHAST_SPAN_CAT(a, b) PHAST_SPAN_CAT2(a, b)
+/// Opens a span named `name` (a string literal) covering the rest of the
+/// enclosing scope.
+#define PHAST_SPAN(name) \
+  const ::phast::obs::ScopedSpan PHAST_SPAN_CAT(phast_span_, __COUNTER__)(name)
+/// PHAST_SPAN with one integer argument attached (trace id, level, ...).
+#define PHAST_SPAN_ARG(name, arg)                                        \
+  const ::phast::obs::ScopedSpan PHAST_SPAN_CAT(phast_span_, __COUNTER__)( \
+      name, static_cast<uint64_t>(arg))
+#else
+#define PHAST_SPAN(name) static_cast<void>(0)
+#define PHAST_SPAN_ARG(name, arg) static_cast<void>(0)
+#endif

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/trace.h"
 #include "phast/phast.h"
 #include "util/error.h"
 #include "util/omp_env.h"
@@ -55,6 +56,9 @@ BatchStats ComputeManyTrees(const Phast& engine,
   Require(k >= 1, "ComputeManyTrees needs trees_per_sweep >= 1");
   BatchStats stats;
   if (sources.empty()) return stats;
+  // One span over the whole many-tree drive; the per-batch phast.batch
+  // spans land in the OpenMP workers' own thread buffers.
+  PHAST_SPAN_ARG("phast.many_trees", sources.size());
 
   // Pre-pass (serial, O(total sources * k)): pack contiguous source ranges
   // into batches of at most k distinct sources, recording each index's

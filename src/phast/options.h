@@ -38,6 +38,14 @@ struct PhastOptions {
   /// tree computation starts with an explicit O(n·k) fill of the label
   /// array — the ~10 ms penalty the paper avoids.
   bool implicit_init = true;
+
+  /// Collect a per-level obs::SweepProfile on every batch (the paper's
+  /// Figure 1 shape; DESIGN.md §8). Runs the sweep level group by level
+  /// group with a timer around each, so it perturbs the measurement it
+  /// takes — leave off outside profiling runs. Requires a level-ordered
+  /// sweep. Runtime-only knob: deliberately not serialized into snapshots
+  /// (a loaded engine profiles only if the host process asks again).
+  bool collect_profile = false;
 };
 
 }  // namespace phast

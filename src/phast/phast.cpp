@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/omp_env.h"
+#include "util/timer.h"
 
 namespace phast {
 namespace {
+
+/// Elapsed nanoseconds of a Timer as the integer the profile structs carry.
+uint64_t ElapsedNanos(const Timer& timer) {
+  return static_cast<uint64_t>(timer.ElapsedSec() * 1e9);
+}
 
 /// Sweep sequence (position -> original id) for the requested order.
 std::vector<VertexId> BuildSweepSequence(const CHData& ch, SweepOrder order) {
@@ -30,10 +37,11 @@ std::vector<VertexId> BuildSweepSequence(const CHData& ch, SweepOrder order) {
 }  // namespace
 
 Phast::Workspace::Workspace(VertexId n, uint32_t k, bool want_parents,
-                            bool implicit_init)
+                            bool implicit_init, bool collect_profile)
     : k_(k),
       want_parents_(want_parents),
       implicit_init_(implicit_init),
+      collect_profile_(collect_profile),
       labels_(static_cast<size_t>(n) * k, kInfWeight),
       heap_(n) {
   if (want_parents_) {
@@ -199,7 +207,10 @@ PhastLayout Phast::ExportLayout() const {
 Phast::Workspace Phast::MakeWorkspace(uint32_t num_trees,
                                       bool want_parents) const {
   Require(num_trees >= 1, "need at least one tree per sweep");
-  return Workspace(n_, num_trees, want_parents, options_.implicit_init);
+  Require(!options_.collect_profile || !level_begin_.empty(),
+          "sweep profiling requires a level-ordered engine");
+  return Workspace(n_, num_trees, want_parents, options_.implicit_init,
+                   options_.collect_profile);
 }
 
 SweepArgs Phast::MakeSweepArgs(Workspace& ws) const {
@@ -227,6 +238,10 @@ void Phast::PrepareBatch(std::span<const VertexId> sources,
     if (ws.want_parents_) {
       std::fill(ws.parents_.begin(), ws.parents_.end(), kInvalidVertex);
     }
+  }
+  if (ws.collect_profile_) {
+    ws.profile_ = obs::SweepProfile{};
+    ws.profile_.k = ws.k_;
   }
   ws.visited_.clear();
   for (uint32_t i = 0; i < ws.k_; ++i) {
@@ -267,11 +282,15 @@ void Phast::UpwardSearch(VertexId source_label, uint32_t tree,
   }
   ws.heap_.Update(source_label, 0);
 
+  uint64_t pops = 0;
+  uint64_t relaxed = 0;
   while (!ws.heap_.Empty()) {
     const auto [v, key] = ws.heap_.ExtractMin();
+    ++pops;
     const ArcId end = up_first_[v + 1];
     for (ArcId i = up_first_[v]; i < end; ++i) {
       const Arc& arc = up_arcs_[i];
+      ++relaxed;
       const Weight candidate = SaturatingAdd(key, arc.weight);
       touch(arc.other);
       Weight& label = ws.labels_[static_cast<size_t>(arc.other) * k + tree];
@@ -284,6 +303,10 @@ void Phast::UpwardSearch(VertexId source_label, uint32_t tree,
       }
     }
   }
+  if (ws.collect_profile_) {
+    ws.profile_.upward.queue_pops += pops;
+    ws.profile_.upward.arcs_relaxed += relaxed;
+  }
 }
 
 void Phast::ComputeTree(VertexId source, Workspace& ws) const {
@@ -292,18 +315,66 @@ void Phast::ComputeTree(VertexId source, Workspace& ws) const {
 
 void Phast::ComputeTrees(std::span<const VertexId> sources,
                          Workspace& ws) const {
-  PrepareBatch(sources, ws);
+  PHAST_SPAN_ARG("phast.batch", ws.k_);
+  Timer phase;
+  {
+    PHAST_SPAN("phast.upward");
+    PrepareBatch(sources, ws);
+  }
+  ws.last_upward_ns_ = ElapsedNanos(phase);
   const SweepKernelFn kernel = SelectSweepKernel(
       options_.simd, ws.k_, ws.want_parents_, ws.implicit_init_);
-  kernel(MakeSweepArgs(ws), 0, n_);
+  phase.Reset();
+  if (ws.collect_profile_) {
+    ProfiledSweep(kernel, ws);
+  } else {
+    PHAST_SPAN("phast.sweep");
+    kernel(MakeSweepArgs(ws), 0, n_);
+  }
+  ws.last_sweep_ns_ = ElapsedNanos(phase);
+  if (ws.collect_profile_) {
+    ws.profile_.upward.nanos = ws.last_upward_ns_;
+    ws.profile_.sweep_nanos = ws.last_sweep_ns_;
+  }
   FinishBatch(ws);
+}
+
+void Phast::ProfiledSweep(SweepKernelFn kernel, Workspace& ws) const {
+  // MakeWorkspace already rejected profiling on rank-ordered engines.
+  const SweepArgs args = MakeSweepArgs(ws);
+  ws.profile_.levels.reserve(num_levels_);
+  for (size_t group = 0; group < num_levels_; ++group) {
+    const VertexId begin = level_begin_[group];
+    const VertexId end = level_begin_[group + 1];
+    // Group g holds CH level num_levels_ - 1 - g (the sweep descends).
+    const auto level = static_cast<uint32_t>(num_levels_ - 1 - group);
+    PHAST_SPAN_ARG("sweep.level", level);
+    const Timer timer;
+    kernel(args, begin, end);
+    obs::LevelProfile profile;
+    profile.level = level;
+    profile.vertices = end - begin;
+    // Arc ranges are keyed by sweep position, so a level group's scanned
+    // arc count is one subtraction on the CSR offset column.
+    profile.arcs = down_first_[end] - down_first_[begin];
+    profile.nanos = ElapsedNanos(timer);
+    profile.bytes = obs::ModelSweepBytes(profile.vertices, profile.arcs,
+                                         ws.k_, ws.implicit_init_);
+    ws.profile_.levels.push_back(profile);
+  }
 }
 
 void Phast::ComputeTreesParallel(std::span<const VertexId> sources,
                                  Workspace& ws) const {
   Require(!level_begin_.empty(),
           "per-level parallel sweep requires a level-ordered engine");
-  PrepareBatch(sources, ws);
+  PHAST_SPAN_ARG("phast.batch_parallel", ws.k_);
+  Timer timer;
+  {
+    PHAST_SPAN("phast.upward");
+    PrepareBatch(sources, ws);
+  }
+  ws.last_upward_ns_ = ElapsedNanos(timer);
   const SweepKernelFn kernel = SelectSweepKernel(
       options_.simd, ws.k_, ws.want_parents_, ws.implicit_init_);
   const SweepArgs args = MakeSweepArgs(ws);
@@ -312,27 +383,45 @@ void Phast::ComputeTreesParallel(std::span<const VertexId> sources,
   // the tiny top levels costs more than it saves.
   constexpr VertexId kParallelThreshold = 512;
 
+  timer.Reset();
+  if (ws.collect_profile_) ws.profile_.levels.reserve(num_levels_);
   for (size_t group = 0; group < num_levels_; ++group) {
     const VertexId begin = level_begin_[group];
     const VertexId end = level_begin_[group + 1];
+    const Timer level_timer;
     if (end - begin < kParallelThreshold) {
       kernel(args, begin, end);
-      continue;
-    }
-    // The kernel only reads shared sweep state (labels of lower levels are
-    // finalized by the per-level barrier; mark words are read-only during
-    // the sweep), so the explicit sharing list is all read-only.
+    } else {
+      // The kernel only reads shared sweep state (labels of lower levels
+      // are finalized by the per-level barrier; mark words are read-only
+      // during the sweep), so the explicit sharing list is all read-only.
 #pragma omp parallel default(none) shared(kernel, args, begin, end)
-    {
-      const uint32_t threads = static_cast<uint32_t>(TeamSize());
-      const uint32_t me = static_cast<uint32_t>(CurrentThread());
-      const VertexId span = end - begin;
-      const VertexId chunk = (span + threads - 1) / threads;
-      const VertexId my_begin = begin + std::min<VertexId>(span, me * chunk);
-      const VertexId my_end =
-          begin + std::min<VertexId>(span, (me + 1) * chunk);
-      if (my_begin < my_end) kernel(args, my_begin, my_end);
+      {
+        const uint32_t threads = static_cast<uint32_t>(TeamSize());
+        const uint32_t me = static_cast<uint32_t>(CurrentThread());
+        const VertexId span = end - begin;
+        const VertexId chunk = (span + threads - 1) / threads;
+        const VertexId my_begin = begin + std::min<VertexId>(span, me * chunk);
+        const VertexId my_end =
+            begin + std::min<VertexId>(span, (me + 1) * chunk);
+        if (my_begin < my_end) kernel(args, my_begin, my_end);
+      }
     }
+    if (ws.collect_profile_) {
+      obs::LevelProfile profile;
+      profile.level = static_cast<uint32_t>(num_levels_ - 1 - group);
+      profile.vertices = end - begin;
+      profile.arcs = down_first_[end] - down_first_[begin];
+      profile.nanos = ElapsedNanos(level_timer);
+      profile.bytes = obs::ModelSweepBytes(profile.vertices, profile.arcs,
+                                           ws.k_, ws.implicit_init_);
+      ws.profile_.levels.push_back(profile);
+    }
+  }
+  ws.last_sweep_ns_ = ElapsedNanos(timer);
+  if (ws.collect_profile_) {
+    ws.profile_.upward.nanos = ws.last_upward_ns_;
+    ws.profile_.sweep_nanos = ws.last_sweep_ns_;
   }
   FinishBatch(ws);
 }

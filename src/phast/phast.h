@@ -6,6 +6,7 @@
 #include "ch/ch_data.h"
 #include "graph/reorder.h"
 #include "graph/types.h"
+#include "obs/sweep_profile.h"
 #include "phast/kernels.h"
 #include "phast/options.h"
 #include "pq/dary_heap.h"
@@ -63,18 +64,33 @@ class Phast {
     /// Europe (§II-B).
     [[nodiscard]] size_t UpwardSearchSpace() const { return visited_.size(); }
 
+    /// Per-level profile of the latest batch; populated only when the
+    /// engine was built with Options::collect_profile (empty otherwise).
+    [[nodiscard]] const obs::SweepProfile& Profile() const { return profile_; }
+
+    /// Wall time of the latest batch's two phases. Always recorded (two
+    /// clock reads per batch), so the server can export phase histograms
+    /// without enabling full profiling.
+    [[nodiscard]] uint64_t LastUpwardNanos() const { return last_upward_ns_; }
+    [[nodiscard]] uint64_t LastSweepNanos() const { return last_sweep_ns_; }
+
    private:
     friend class Phast;
-    Workspace(VertexId n, uint32_t k, bool want_parents, bool implicit_init);
+    Workspace(VertexId n, uint32_t k, bool want_parents, bool implicit_init,
+              bool collect_profile);
 
     uint32_t k_;
     bool want_parents_;
     bool implicit_init_;
+    bool collect_profile_;
     AlignedVector<Weight> labels_;    // n*k, k-strided
     std::vector<VertexId> parents_;   // n*k or empty
     BitVector marks_;                 // visit marks (implicit init only)
     std::vector<VertexId> visited_;   // marked vertices of current batch
     BinaryHeap heap_;                 // upward-search queue
+    obs::SweepProfile profile_;       // latest batch (collect_profile only)
+    uint64_t last_upward_ns_ = 0;
+    uint64_t last_sweep_ns_ = 0;
   };
 
   Phast(const CHData& ch, const Options& options = {});
@@ -181,6 +197,9 @@ class Phast {
   void PrepareBatch(std::span<const VertexId> sources, Workspace& ws) const;
   void FinishBatch(Workspace& ws) const;
   void UpwardSearch(VertexId source_label, uint32_t tree, Workspace& ws) const;
+  /// Sweep run level group by level group with a per-level timer, filling
+  /// ws.profile_ (the Options::collect_profile path).
+  void ProfiledSweep(SweepKernelFn kernel, Workspace& ws) const;
 
   Options options_;
   VertexId n_ = 0;

@@ -4,18 +4,21 @@
 
 #include "graph/connectivity.h"
 #include "graph/reorder.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace phast {
 
 PreparedNetwork PrepareNetwork(const EdgeList& raw,
                                const PrepareOptions& options) {
+  PHAST_SPAN("prepare.network");
   Require(raw.NumVertices() > 0, "cannot prepare an empty graph");
   PreparedNetwork prepared;
 
   // Step 1: optionally restrict to the largest SCC.
   EdgeList edges;
   if (options.restrict_to_largest_scc) {
+    PHAST_SPAN("prepare.scc");
     SubgraphResult scc = LargestStronglyConnectedComponent(raw);
     edges = std::move(scc.edges);
     prepared.to_prepared = std::move(scc.old_to_new);
@@ -30,6 +33,7 @@ PreparedNetwork PrepareNetwork(const EdgeList& raw,
 
   // Step 2: optionally DFS-relabel; compose the mappings.
   if (options.dfs_relabel && edges.NumVertices() > 0) {
+    PHAST_SPAN("prepare.dfs_relabel");
     const Graph unordered = Graph::FromEdgeList(edges);
     const Permutation dfs = DfsPermutation(
         unordered, options.dfs_root < unordered.NumVertices()
@@ -48,6 +52,7 @@ PreparedNetwork PrepareNetwork(const EdgeList& raw,
   }
 
   // Step 3: CH preprocessing.
+  PHAST_SPAN("prepare.ch");
   prepared.graph = Graph::FromEdgeList(edges);
   prepared.ch = BuildContractionHierarchy(prepared.graph, options.ch_params,
                                           &prepared.ch_stats);

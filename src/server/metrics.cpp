@@ -18,13 +18,24 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double value) {
-  const size_t bucket =
-      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
-      bounds_.begin();
+  // Non-finite observations (a NaN latency from a zero-duration division,
+  // +Inf from an overflowed ratio) land in the +Inf bucket and contribute
+  // nothing to the sum: llround on a non-finite or out-of-range double is
+  // undefined behaviour, and one poisoned sample must not turn _sum into
+  // NaN for the rest of the process lifetime.
+  size_t bucket = bounds_.size();  // +Inf bucket
+  int64_t micros = 0;
+  if (std::isfinite(value)) {
+    bucket = static_cast<size_t>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    constexpr double kMaxMicros = 9.2e18;  // stay within int64 for llround
+    const double clamped = std::clamp(value * 1e6, -kMaxMicros, kMaxMicros);
+    micros = static_cast<int64_t>(std::llround(clamped));
+  }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_micros_.fetch_add(static_cast<int64_t>(std::llround(value * 1e6)),
-                        std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
 }
 
 uint64_t Histogram::Count() const {

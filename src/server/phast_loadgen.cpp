@@ -18,6 +18,7 @@
 // verification or metrics check failed, 2 = usage error.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -75,6 +76,78 @@ double Percentile(std::vector<double>& sorted, double q) {
   const size_t idx = static_cast<size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// A server-side histogram reconstructed from Prometheus exposition text:
+/// finite bucket bounds plus cumulative counts (the `le` convention), with
+/// the +Inf bucket last. Distinct from client-side latency samples — this
+/// is the service's own view (admission to completion), so load runs are
+/// comparable across PRs even when client scheduling noise differs.
+struct HistogramSnapshot {
+  std::vector<double> bounds;        // finite upper bounds, increasing
+  std::vector<uint64_t> cumulative;  // same size + 1 (+Inf last)
+
+  [[nodiscard]] uint64_t Count() const {
+    return cumulative.empty() ? 0 : cumulative.back();
+  }
+
+  /// Mirrors Histogram::Quantile in server/metrics.cpp: linear
+  /// interpolation within the bucket that crosses the rank; values in the
+  /// +Inf bucket report the largest finite bound.
+  [[nodiscard]] double Quantile(double q) const {
+    const uint64_t total = Count();
+    if (total == 0 || bounds.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(total);
+    uint64_t below = 0;
+    for (size_t i = 0; i < cumulative.size(); ++i) {
+      const uint64_t in_bucket = cumulative[i] - below;
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(cumulative[i]) >= rank) {
+        if (i >= bounds.size()) return bounds.back();  // +Inf bucket
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const double upper = bounds[i];
+        const double into =
+            (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+        return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+      }
+      below = cumulative[i];
+    }
+    return bounds.back();
+  }
+};
+
+/// Pulls `name_bucket{le="..."}` sample lines out of Prometheus exposition
+/// text. Returns an empty snapshot when the metric is absent.
+HistogramSnapshot ParseHistogram(const std::string& text,
+                                 const std::string& name) {
+  HistogramSnapshot snap;
+  const std::string needle = name + "_bucket{le=\"";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || text[pos - 1] == '\n';
+    const size_t bound_begin = pos + needle.size();
+    pos = bound_begin;
+    if (!at_line_start) continue;
+    const size_t bound_end = text.find("\"} ", bound_begin);
+    if (bound_end == std::string::npos) break;
+    const std::string bound =
+        text.substr(bound_begin, bound_end - bound_begin);
+    const uint64_t count = static_cast<uint64_t>(
+        std::strtoull(text.c_str() + bound_end + 3, nullptr, 10));
+    if (bound == "+Inf") {
+      snap.cumulative.push_back(count);
+      break;  // +Inf is always the histogram's last bucket line
+    }
+    snap.bounds.push_back(std::strtod(bound.c_str(), nullptr));
+    snap.cumulative.push_back(count);
+  }
+  // A well-formed exposition has exactly one more bucket than bound (+Inf);
+  // anything else means we mis-parsed, so report "absent" instead.
+  if (snap.cumulative.size() != snap.bounds.size() + 1) {
+    return HistogramSnapshot{};
+  }
+  return snap;
 }
 
 /// Checks one response against a fresh Dijkstra tree on the oracle graph.
@@ -237,16 +310,23 @@ int main(int argc, char** argv) {
   }
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
 
+  // One metrics fetch covers both the accounting check and the service-side
+  // latency histogram (the server's own admission-to-completion view, used
+  // for the JSON summary below).
   bool metrics_ok = true;
   int64_t admitted = -1, completed = -1, shed = -1;
-  if (cli.GetBool("check-metrics", false)) {
+  HistogramSnapshot service_latency;
+  {
     Client client(ConnectUnix(socket_path));
     const std::string text = client.FetchMetrics();
-    admitted = ParseMetric(text, "phast_server_requests_admitted_total");
-    completed = ParseMetric(text, "phast_server_requests_completed_total");
-    shed = ParseMetric(text, "phast_server_requests_shed_total");
-    metrics_ok = admitted >= 0 && completed >= 0 && shed >= 0 &&
-                 admitted == completed + shed;
+    service_latency = ParseHistogram(text, "phast_server_request_latency_ms");
+    if (cli.GetBool("check-metrics", false)) {
+      admitted = ParseMetric(text, "phast_server_requests_admitted_total");
+      completed = ParseMetric(text, "phast_server_requests_completed_total");
+      shed = ParseMetric(text, "phast_server_requests_shed_total");
+      metrics_ok = admitted >= 0 && completed >= 0 && shed >= 0 &&
+                   admitted == completed + shed;
+    }
   }
   if (cli.GetBool("shutdown", false)) {
     Client client(ConnectUnix(socket_path));
@@ -258,6 +338,8 @@ int main(int argc, char** argv) {
       "{\"requests\": %llu, \"ok\": %llu, \"shed\": %llu, \"invalid\": %llu,\n"
       " \"from_cache\": %llu, \"throughput_rps\": %.1f,\n"
       " \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+      " \"service_latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, "
+      "\"count\": %llu},\n"
       " \"verified\": %llu, \"mismatches\": %llu,\n"
       " \"metrics\": {\"admitted\": %lld, \"completed\": %lld, \"shed\": %lld, "
       "\"identity_ok\": %s}}\n",
@@ -270,6 +352,9 @@ int main(int argc, char** argv) {
       Percentile(total.latencies_ms, 0.50),
       Percentile(total.latencies_ms, 0.95),
       Percentile(total.latencies_ms, 0.99),
+      service_latency.Quantile(0.50), service_latency.Quantile(0.95),
+      service_latency.Quantile(0.99),
+      static_cast<unsigned long long>(service_latency.Count()),
       static_cast<unsigned long long>(total.verified),
       static_cast<unsigned long long>(total.mismatches),
       static_cast<long long>(admitted), static_cast<long long>(completed),

@@ -9,6 +9,12 @@
 //   phast_serve --snapshot=country.snap --socket=/tmp/phast.sock
 //   phast_serve --snapshot=country.snap --stdio   # single pipe connection
 //
+// Observability (DESIGN.md §8): --trace-out=FILE enables scoped-span
+// tracing for the process lifetime and writes a Chrome trace at shutdown;
+// --slow-ms=D logs completed requests at or above D ms to stderr with
+// their trace id; --startup-profile runs every batch with the per-level
+// sweep profiler and logs one profiled sweep's summary at startup.
+//
 // Runs until a client sends a shutdown frame (or SIGINT/SIGTERM, or EOF in
 // --stdio mode). Exit code 0 = clean shutdown, 2 = usage error.
 #include <poll.h>
@@ -21,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/sweep_profile.h"
+#include "obs/trace.h"
 #include "phast/phast.h"
 #include "server/protocol.h"
 #include "server/service.h"
@@ -45,7 +53,8 @@ int main(int argc, char** argv) {
         "usage: %s --snapshot=PATH (--socket=SOCKPATH | --stdio)\n"
         "          [--workers=N] [--max-batch=K] [--queue-capacity=N]\n"
         "          [--cache-capacity=N] [--deadline-ms=D]\n"
-        "          [--rphast-max-targets=N]\n",
+        "          [--rphast-max-targets=N]\n"
+        "          [--trace-out=FILE] [--slow-ms=D] [--startup-profile]\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
   }
@@ -54,12 +63,35 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  const std::string trace_out = cli.GetString("trace-out", "");
+  if (!trace_out.empty()) obs::EnableTracing(true);
+  const bool startup_profile = cli.GetBool("startup-profile", false);
+
   const Timer load;
   server::Snapshot snapshot =
       server::ReadSnapshotFile(cli.GetString("snapshot", ""));
+  // collect_profile is runtime-only (never serialized); opting in makes
+  // every served batch carry a per-level profile in its workspace.
+  snapshot.layout.options.collect_profile = startup_profile;
   const Phast engine(std::move(snapshot.layout));
   std::fprintf(stderr, "phast_serve: %u vertices, %u levels, loaded in %.1f ms\n",
                engine.NumVertices(), engine.NumLevels(), load.ElapsedMs());
+
+  if (startup_profile) {
+    // One profiled sweep up front: logs the level structure (Figure 1
+    // shape) so a serve log records the instance's sweep character.
+    Phast::Workspace ws = engine.MakeWorkspace(1);
+    engine.ComputeTree(0, ws);
+    const obs::SweepProfile& profile = ws.Profile();
+    std::fprintf(stderr,
+                 "phast_serve: startup profile: %zu levels, %llu arcs, "
+                 "upward %.3f ms (%llu pops), sweep %.3f ms\n",
+                 profile.levels.size(),
+                 static_cast<unsigned long long>(profile.TotalArcs()),
+                 static_cast<double>(profile.upward.nanos) * 1e-6,
+                 static_cast<unsigned long long>(profile.upward.queue_pops),
+                 static_cast<double>(profile.sweep_nanos) * 1e-6);
+  }
 
   server::ServiceOptions options;
   options.num_workers = static_cast<uint32_t>(cli.GetInt("workers", 2));
@@ -74,10 +106,23 @@ int main(int argc, char** argv) {
 
   server::MetricsRegistry metrics;
   server::OracleService service(engine, options, metrics);
+  server::ConnectionOptions conn_options;
+  conn_options.slow_ms = cli.GetDouble("slow-ms", 0.0);
+
+  const auto dump_trace = [&trace_out] {
+    if (trace_out.empty()) return;
+    obs::WriteChromeTraceFile(trace_out);
+    std::fprintf(stderr, "phast_serve: trace written to %s (%zu spans, %llu "
+                 "dropped)\n",
+                 trace_out.c_str(), obs::CollectSpans().size(),
+                 static_cast<unsigned long long>(obs::DroppedSpanCount()));
+  };
 
   if (cli.GetBool("stdio", false)) {
-    server::ServeConnection(STDIN_FILENO, STDOUT_FILENO, service, metrics);
+    server::ServeConnection(STDIN_FILENO, STDOUT_FILENO, service, metrics,
+                            conn_options);
     service.Stop();
+    dump_trace();
     std::fprintf(stderr, "phast_serve: pipe closed, exiting\n");
     return 0;
   }
@@ -94,9 +139,10 @@ int main(int argc, char** argv) {
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flags
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) continue;
-    connections.emplace_back([conn_fd, &service, &metrics, &stop] {
-      const bool shutdown_requested =
-          server::ServeConnection(conn_fd, conn_fd, service, metrics);
+    connections.emplace_back([conn_fd, &service, &metrics, &conn_options,
+                              &stop] {
+      const bool shutdown_requested = server::ServeConnection(
+          conn_fd, conn_fd, service, metrics, conn_options);
       ::close(conn_fd);
       if (shutdown_requested) stop.store(true, std::memory_order_relaxed);
     });
@@ -105,6 +151,7 @@ int main(int argc, char** argv) {
   ::close(listen_fd);
   ::unlink(socket_path.c_str());
   service.Stop();
+  dump_trace();
 
   const server::ServiceCounters c = service.Counters();
   std::fprintf(stderr,

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -294,17 +295,20 @@ int ConnectUnix(const std::string& path) {
 namespace {
 
 /// One frame awaiting the writer: either pre-encoded bytes (control
-/// responses) or a pending query future to resolve and encode.
+/// responses) or a pending query future to resolve and encode. `source` is
+/// kept for the slow-request log (the response does not echo it).
 struct Outgoing {
   std::vector<uint8_t> ready;
   std::future<Response> future;
   uint64_t id = 0;
+  VertexId source = 0;
 };
 
 }  // namespace
 
 bool ServeConnection(int in_fd, int out_fd, OracleService& service,
-                     MetricsRegistry& metrics) {
+                     MetricsRegistry& metrics,
+                     const ConnectionOptions& conn_options) {
   // The reader submits queries and hands futures to the writer in request
   // order; the writer blocks on each future in turn, so responses go out in
   // the order requests came in while the scheduler computes them in
@@ -320,6 +324,15 @@ bool ServeConnection(int in_fd, int out_fd, OracleService& service,
       try {
         if (item->future.valid()) {
           const Response response = item->future.get();
+          if (conn_options.slow_ms > 0.0 &&
+              response.latency_ms >= conn_options.slow_ms) {
+            std::fprintf(stderr,
+                         "phast_serve: slow request trace_id=%llu source=%u "
+                         "status=%s latency_ms=%.3f\n",
+                         static_cast<unsigned long long>(item->id),
+                         item->source, ToString(response.status),
+                         response.latency_ms);
+          }
           WriteFrame(out_fd, EncodeResponse(item->id, response));
         } else {
           WriteFrame(out_fd, item->ready);
@@ -342,6 +355,10 @@ bool ServeConnection(int in_fd, int out_fd, OracleService& service,
       out.id = PeekId(payload);
       if (type == MessageType::kQuery) {
         QueryFrame query = DecodeQuery(payload);
+        // The wire frame id is the request-scoped trace id — no extra wire
+        // field, and the client already correlates by it.
+        query.request.trace_id = query.id;
+        out.source = query.request.source;
         out.future = service.Submit(std::move(query.request));
       } else if (type == MessageType::kMetrics) {
         out.ready = EncodeMetricsText(out.id, metrics.RenderPrometheus());

@@ -92,13 +92,24 @@ struct ResponseFrame {
 
 // --- server connection loop -------------------------------------------------
 
+/// Per-connection serving knobs (the phast_serve flags that act at the
+/// protocol layer rather than in the scheduler).
+struct ConnectionOptions {
+  /// Completed queries at or above this latency are logged to stderr with
+  /// their trace id, source, status, and latency. 0 disables the log.
+  double slow_ms = 0.0;
+};
+
 /// Serves one connection: reads frames from `in_fd`, submits queries to the
 /// service, and writes responses (in request order) to `out_fd` until EOF
 /// or a shutdown frame. Returns true if a shutdown frame was received.
 /// Internally runs a writer thread so slow sweeps overlap with frame
-/// reading; safe to call from several threads with distinct fds.
+/// reading; safe to call from several threads with distinct fds. Each
+/// query's wire id doubles as its request-scoped trace id (Request
+/// trace_id), tying protocol frames to server.batch/server.fulfill spans.
 bool ServeConnection(int in_fd, int out_fd, OracleService& service,
-                     MetricsRegistry& metrics);
+                     MetricsRegistry& metrics,
+                     const ConnectionOptions& conn_options = {});
 
 // --- client ----------------------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "phast/rphast.h"
 #include "util/error.h"
 
@@ -112,7 +113,11 @@ OracleService::OracleService(const Phast& engine, const ServiceOptions& options,
           DefaultLatencyBucketsMs())),
       sweep_ms_(metrics.GetHistogram("phast_server_sweep_ms",
                                      "Batch sweep duration in milliseconds",
-                                     DefaultLatencyBucketsMs())) {
+                                     DefaultLatencyBucketsMs())),
+      upward_ms_(metrics.GetHistogram(
+          "phast_server_upward_ms",
+          "Batch upward-search (phase one) duration in milliseconds",
+          DefaultLatencyBucketsMs())) {
   Require(options_.max_batch >= 1, "max_batch must be at least 1");
   workers_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
@@ -218,6 +223,7 @@ Response FromTree(const std::vector<Weight>& tree, const Request& request,
 void OracleService::ProcessBatch(
     std::vector<Job>& jobs,
     std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k) {
+  PHAST_SPAN_ARG("server.batch", jobs.front().request.trace_id);
   std::vector<Job*> live;
   live.reserve(jobs.size());
   for (Job& job : jobs) {
@@ -293,6 +299,7 @@ void OracleService::RunRestrictedBatch(std::vector<Job*>& jobs) {
     it->second.push_back(job);
   }
   for (const VertexId source : source_order) {
+    PHAST_SPAN("server.rphast_sweep");
     const Timer sweep;
     rphast.ComputeTree(source, ws);
     sweep_ms_.Observe(sweep.ElapsedMs());
@@ -334,9 +341,11 @@ void OracleService::RunFullBatch(
   }
   Phast::Workspace& ws = it->second;
 
-  const Timer sweep;
   engine_.ComputeTrees(lane_sources, ws);
-  sweep_ms_.Observe(sweep.ElapsedMs());
+  // Phase histograms come from the workspace's always-on phase timings, so
+  // upward and sweep are split without re-timing around the engine call.
+  upward_ms_.Observe(static_cast<double>(ws.LastUpwardNanos()) * 1e-6);
+  sweep_ms_.Observe(static_cast<double>(ws.LastSweepNanos()) * 1e-6);
 
   const VertexId n = engine_.NumVertices();
   const bool cache_enabled = options_.cache_capacity > 0;
@@ -385,6 +394,7 @@ void OracleService::RunFullBatch(
 }
 
 void OracleService::Fulfill(Job& job, Response response) {
+  PHAST_SPAN_ARG("server.fulfill", job.request.trace_id);
   response.latency_ms = job.admitted.ElapsedMs();
   latency_ms_.Observe(response.latency_ms);
   completed_.Inc();

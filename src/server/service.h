@@ -51,6 +51,10 @@ struct Request {
   /// Per-request deadline; < 0 uses ServiceOptions::default_deadline_ms,
   /// 0 disables.
   double deadline_ms = -1.0;
+  /// Request-scoped trace id carried through batching into the span stream
+  /// (server.batch/server.fulfill args) and the slow-request log. The wire
+  /// front end uses the client's frame id; 0 = untraced.
+  uint64_t trace_id = 0;
 };
 
 struct Response {
@@ -200,6 +204,7 @@ class OracleService {
   Histogram& batch_width_;
   Histogram& latency_ms_;
   Histogram& sweep_ms_;
+  Histogram& upward_ms_;
 };
 
 }  // namespace phast::server

@@ -39,7 +39,11 @@ class Timer {
 /// Accumulates elapsed time over multiple start/stop intervals.
 class StopWatch {
  public:
+  /// Begins an interval. A no-op while already running: the in-flight
+  /// interval keeps accumulating rather than being silently discarded
+  /// (restarting would under-count every Start/Start/Stop sequence).
   void Start() {
+    if (running_) return;
     running_ = true;
     start_ = Timer::Clock::now();
   }
@@ -54,6 +58,8 @@ class StopWatch {
     total_ = 0.0;
     running_ = false;
   }
+
+  [[nodiscard]] bool Running() const { return running_; }
 
   [[nodiscard]] double TotalSec() const { return total_; }
   [[nodiscard]] double TotalMs() const { return total_ * 1e3; }

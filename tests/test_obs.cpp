@@ -1,0 +1,306 @@
+// Tests for the observability layer (src/obs/, DESIGN.md §8): scoped-span
+// tracing, the per-level sweep profiler, the Chrome trace exporter, and the
+// perf-counter wrapper's graceful degradation.
+//
+// The acceptance anchor lives here: a profiled sweep on the default
+// 160x160 country must produce a per-level profile whose level count and
+// per-level vertex/arc totals exactly match the prepared G↓ metadata.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/perf_counters.h"
+#include "obs/sweep_profile.h"
+#include "obs/trace.h"
+#include "phast/phast.h"
+#include "test_support.h"
+#include "util/error.h"
+
+namespace phast {
+namespace {
+
+// --------------------------- sweep profiler --------------------------------
+
+/// Profile-enabled engine over the cached instance.
+Phast MakeProfiledEngine(uint32_t side) {
+  PhastOptions options;
+  options.collect_profile = true;
+  return Phast(testing::CachedCountryCH(side), options);
+}
+
+TEST(SweepProfile, MatchesPreparedMetadataOn160Country) {
+  // The paper-default instance (bench_server's 160x160 country). Level
+  // count and per-level vertex/arc totals must match the prepared G↓
+  // exactly — the profiler reads the same boundaries the sweep scans, so
+  // any drift here means the profile lies about the sweep.
+  const CHData& ch = testing::CachedCountryCH(160);
+  const Phast engine = MakeProfiledEngine(160);
+  const VertexId n = engine.NumVertices();
+
+  Phast::Workspace ws = engine.MakeWorkspace(4);
+  const std::vector<VertexId> sources = {0, n / 3, n / 2, n - 1};
+  engine.ComputeTrees(sources, ws);
+  const obs::SweepProfile& profile = ws.Profile();
+
+  ASSERT_EQ(engine.NumLevels(), ch.NumLevels());
+  ASSERT_EQ(profile.levels.size(), engine.NumLevels());
+  EXPECT_EQ(profile.k, 4u);
+
+  // Exact per-group match against the engine's own layout (level
+  // boundaries and the G↓ CSR offsets).
+  const PhastLayout layout = engine.ExportLayout();
+  ASSERT_EQ(layout.level_begin.size(), engine.NumLevels() + 1);
+  for (size_t g = 0; g < profile.levels.size(); ++g) {
+    const VertexId begin = layout.level_begin[g];
+    const VertexId end = layout.level_begin[g + 1];
+    EXPECT_EQ(profile.levels[g].level,
+              engine.NumLevels() - 1 - static_cast<uint32_t>(g));
+    EXPECT_EQ(profile.levels[g].vertices, end - begin);
+    EXPECT_EQ(profile.levels[g].arcs,
+              layout.down_first[end] - layout.down_first[begin]);
+  }
+
+  // Exact match against the CH's independent view of the same structure:
+  // vertices per level from the level array, arcs per level from where the
+  // sweep stores them (an incoming downward arc lives at its head).
+  const std::vector<uint64_t> vertex_hist = ch.LevelHistogram();
+  std::vector<uint64_t> arc_hist(ch.NumLevels(), 0);
+  for (const CHArc& a : ch.down_arcs) ++arc_hist[ch.level[a.head]];
+  for (const obs::LevelProfile& lp : profile.levels) {
+    EXPECT_EQ(lp.vertices, vertex_hist[lp.level]) << "level " << lp.level;
+    EXPECT_EQ(lp.arcs, arc_hist[lp.level]) << "level " << lp.level;
+  }
+
+  EXPECT_EQ(profile.TotalVertices(), n);
+  EXPECT_EQ(profile.TotalArcs(), ch.down_arcs.size());
+  EXPECT_GT(profile.TotalBytes(), 0u);
+  EXPECT_GT(profile.upward.queue_pops, 0u);
+  EXPECT_GT(profile.upward.arcs_relaxed, 0u);
+  EXPECT_GT(ws.LastSweepNanos(), 0u);
+}
+
+TEST(SweepProfile, ProfiledDistancesMatchUnprofiled) {
+  // Profiling must be observation-only: the level-by-level kernel
+  // invocation computes exactly the same trees as the single sweep call.
+  const CHData& ch = testing::CachedCountryCH(12);
+  const Phast profiled = MakeProfiledEngine(12);
+  const Phast plain(ch);
+  const VertexId n = plain.NumVertices();
+
+  Phast::Workspace ws_profiled = profiled.MakeWorkspace(2);
+  Phast::Workspace ws_plain = plain.MakeWorkspace(2);
+  const std::vector<VertexId> sources = {1, n - 2};
+  profiled.ComputeTrees(sources, ws_profiled);
+  plain.ComputeTrees(sources, ws_plain);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t t = 0; t < 2; ++t) {
+      ASSERT_EQ(profiled.Distance(ws_profiled, v, t),
+                plain.Distance(ws_plain, v, t))
+          << "vertex " << v << " tree " << t;
+    }
+  }
+}
+
+TEST(SweepProfile, ParallelSweepProfilesIdenticalStructure) {
+  const Phast engine = MakeProfiledEngine(12);
+  const VertexId n = engine.NumVertices();
+
+  Phast::Workspace serial_ws = engine.MakeWorkspace(1);
+  engine.ComputeTree(0, serial_ws);
+  const obs::SweepProfile serial = serial_ws.Profile();
+
+  Phast::Workspace parallel_ws = engine.MakeWorkspace(1);
+  const std::vector<VertexId> sources = {0};
+  engine.ComputeTreesParallel(sources, parallel_ws);
+  const obs::SweepProfile& parallel = parallel_ws.Profile();
+
+  ASSERT_EQ(parallel.levels.size(), serial.levels.size());
+  for (size_t g = 0; g < serial.levels.size(); ++g) {
+    EXPECT_EQ(parallel.levels[g].level, serial.levels[g].level);
+    EXPECT_EQ(parallel.levels[g].vertices, serial.levels[g].vertices);
+    EXPECT_EQ(parallel.levels[g].arcs, serial.levels[g].arcs);
+  }
+  EXPECT_EQ(parallel.TotalVertices(), n);
+}
+
+TEST(SweepProfile, ResetsBetweenBatches) {
+  // A second batch replaces the profile instead of appending to it.
+  const Phast engine = MakeProfiledEngine(12);
+  Phast::Workspace ws = engine.MakeWorkspace(1);
+  engine.ComputeTree(0, ws);
+  const size_t levels_first = ws.Profile().levels.size();
+  engine.ComputeTree(1, ws);
+  EXPECT_EQ(ws.Profile().levels.size(), levels_first);
+}
+
+TEST(SweepProfile, RequiresLevelOrderedSweep) {
+  // kRankDescending has no level boundaries, so there is nothing for the
+  // profiler to group by; asking for both must fail loudly.
+  PhastOptions options;
+  options.order = SweepOrder::kRankDescending;
+  options.collect_profile = true;
+  const Phast engine(testing::CachedCountryCH(8), options);
+  EXPECT_THROW((void)engine.MakeWorkspace(1), InputError);
+}
+
+TEST(SweepProfile, DisabledByDefault) {
+  const Phast engine(testing::CachedCountryCH(8));
+  Phast::Workspace ws = engine.MakeWorkspace(1);
+  engine.ComputeTree(0, ws);
+  EXPECT_TRUE(ws.Profile().levels.empty());
+  // Phase wall times are always recorded, profile or not (the server's
+  // phase histograms rely on this).
+  EXPECT_GT(ws.LastSweepNanos() + ws.LastUpwardNanos(), 0u);
+}
+
+TEST(SweepProfile, ToJsonCarriesSchema) {
+  const Phast engine = MakeProfiledEngine(8);
+  Phast::Workspace ws = engine.MakeWorkspace(1);
+  engine.ComputeTree(0, ws);
+  const std::string json = ws.Profile().ToJson();
+  EXPECT_NE(json.find("\"k\":"), std::string::npos);
+  EXPECT_NE(json.find("\"upward\":"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_pops\":"), std::string::npos);
+  EXPECT_NE(json.find("\"levels\":"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":"), std::string::npos);
+}
+
+TEST(SweepProfile, ModelBytesMonotoneAndKScaled) {
+  using obs::ModelSweepBytes;
+  const uint64_t base = ModelSweepBytes(100, 300, 1, false);
+  EXPECT_GT(base, 0u);
+  EXPECT_GT(ModelSweepBytes(200, 300, 1, false), base);   // more vertices
+  EXPECT_GT(ModelSweepBytes(100, 600, 1, false), base);   // more arcs
+  EXPECT_GT(ModelSweepBytes(100, 300, 4, false), base);   // wider batch
+  // Implicit init adds exactly the visit-mark bitmap.
+  EXPECT_EQ(ModelSweepBytes(100, 300, 1, true) - base, (100 + 7) / 8);
+}
+
+// --------------------------- scoped spans ----------------------------------
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  obs::ClearSpans();
+  ASSERT_FALSE(obs::TracingEnabled());
+  { PHAST_SPAN("test.disabled"); }
+  EXPECT_TRUE(obs::CollectSpans().empty());
+}
+
+// The recording tests need the macros compiled in; under PHAST_TRACING=OFF
+// they expand to nothing (which DisabledSpansRecordNothing still covers).
+#if PHAST_TRACING_ENABLED
+
+TEST(Trace, RecordsNestedSpansInCompletionOrder) {
+  obs::ClearSpans();
+  obs::EnableTracing(true);
+  {
+    PHAST_SPAN("test.outer");
+    { PHAST_SPAN_ARG("test.inner", 7); }
+  }
+  obs::EnableTracing(false);
+  const std::vector<obs::SpanRecord> spans = obs::CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The inner span closes first, so it is recorded first.
+  EXPECT_STREQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].arg, 7u);
+  EXPECT_STREQ(spans[1].name, "test.outer");
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[1].end_ns, spans[0].end_ns);
+  EXPECT_LE(spans[0].start_ns, spans[0].end_ns);
+  obs::ClearSpans();
+}
+
+TEST(Trace, ClockIsMonotone) {
+  const uint64_t a = obs::TraceClockNs();
+  const uint64_t b = obs::TraceClockNs();
+  EXPECT_LE(a, b);
+}
+
+TEST(Trace, EnableMidSpanRecordsNothingForThatSpan) {
+  // ScopedSpan samples the switch at open; flipping it later must not
+  // produce a half-timed record.
+  obs::ClearSpans();
+  {
+    PHAST_SPAN("test.flipped");
+    obs::EnableTracing(true);
+  }
+  obs::EnableTracing(false);
+  EXPECT_TRUE(obs::CollectSpans().empty());
+  obs::ClearSpans();
+}
+
+TEST(Trace, ChromeExportIsBalanced) {
+  obs::ClearSpans();
+  obs::EnableTracing(true);
+  {
+    PHAST_SPAN("test.parent");
+    { PHAST_SPAN("test.child_a"); }
+    { PHAST_SPAN_ARG("test.child_b", 42); }
+  }
+  obs::EnableTracing(false);
+
+  const std::string json = obs::RenderChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.parent"), std::string::npos);
+  EXPECT_NE(json.find("test.child_a"), std::string::npos);
+
+  // Every B has a matching E.
+  size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 1;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++ends;
+    pos += 1;
+  }
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(begins, ends);
+  obs::ClearSpans();
+}
+
+TEST(Trace, DropsInsteadOfOverwritingWhenFull) {
+  obs::ClearSpans();
+  obs::EnableTracing(true);
+  // Overflow one thread buffer (capacity 1<<14); the excess is counted,
+  // not wrapped over history.
+  for (int i = 0; i < (1 << 14) + 100; ++i) {
+    PHAST_SPAN("test.flood");
+  }
+  obs::EnableTracing(false);
+  EXPECT_EQ(obs::CollectSpans().size(), static_cast<size_t>(1) << 14);
+  EXPECT_GE(obs::DroppedSpanCount(), 100u);
+  obs::ClearSpans();
+  EXPECT_TRUE(obs::CollectSpans().empty());
+  EXPECT_EQ(obs::DroppedSpanCount(), 0u);
+}
+
+#endif  // PHAST_TRACING_ENABLED
+
+// --------------------------- perf counters ---------------------------------
+
+TEST(PerfCounters, GracefulWhenUnavailable) {
+  obs::PerfCounterGroup group;
+  obs::PerfSample sample;
+  {
+    const obs::ScopedPerfSample scoped(group, sample);
+    // A little arithmetic so an available group has something to count.
+    volatile uint64_t sink = 1;
+    for (int i = 0; i < 1000; ++i) sink = sink * 3 + 1;
+  }
+  if (group.Available()) {
+    EXPECT_GT(sample.cycles, 0u);
+    EXPECT_GT(sample.instructions, 0u);
+  } else {
+    // The CI/container path: everything reads zero, nothing throws.
+    EXPECT_EQ(sample.cycles, 0u);
+    EXPECT_EQ(sample.instructions, 0u);
+    EXPECT_EQ(sample.Ipc(), 0.0);
+  }
+  EXPECT_FALSE(obs::FormatPerfSample(sample, group.Available()).empty());
+}
+
+}  // namespace
+}  // namespace phast

@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -351,6 +353,57 @@ TEST(Metrics, HistogramQuantilesAndCounts) {
 TEST(Metrics, HistogramRejectsUnsortedBounds) {
   EXPECT_THROW((void)Histogram({5.0, 1.0}), InputError);
   EXPECT_THROW((void)Histogram({1.0, 1.0}), InputError);
+}
+
+TEST(Metrics, EmptyHistogramQuantileIsZero) {
+  const Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(Metrics, AllOverflowSamplesReportLargestBound) {
+  // Every sample beyond the last finite bound: the histogram cannot resolve
+  // past it, so all quantiles saturate at bounds.back() rather than NaN or
+  // a divide-by-zero artifact.
+  Histogram h({1.0, 10.0});
+  for (int i = 0; i < 5; ++i) h.Observe(1e6);
+  EXPECT_EQ(h.Quantile(0.01), 10.0);
+  EXPECT_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_EQ(h.Quantile(0.99), 10.0);
+  EXPECT_EQ(h.BucketCount(2), 5u);  // all in +Inf
+}
+
+TEST(Metrics, SingleBucketHistogramInterpolates) {
+  Histogram h({10.0});
+  for (int i = 0; i < 10; ++i) h.Observe(3.0);
+  // All mass in [0, 10]: the median interpolates to the middle of the
+  // bucket, and extreme quantiles stay within it.
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1e-9);
+  EXPECT_GE(h.Quantile(0.0), 0.0);
+  EXPECT_LE(h.Quantile(1.0), 10.0);
+}
+
+TEST(Metrics, NonFiniteObservationsLandInOverflowBucket) {
+  Histogram h({1.0, 10.0});
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(std::numeric_limits<double>::infinity());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  h.Observe(2.0);  // one honest sample
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.BucketCount(2), 3u);  // the three non-finite ones
+  // The sum must stay finite: llround on a non-finite double is UB and a
+  // NaN sum would poison the exposition forever.
+  EXPECT_TRUE(std::isfinite(h.Sum()));
+  EXPECT_NEAR(h.Sum(), 2.0, 1e-6);
+}
+
+TEST(Metrics, HugeFiniteObservationDoesNotOverflowSum) {
+  Histogram h({1.0});
+  h.Observe(1e300);  // would overflow int64 microunits without the clamp
+  EXPECT_TRUE(std::isfinite(h.Sum()));
+  EXPECT_EQ(h.BucketCount(1), 1u);
 }
 
 TEST(Metrics, RegistryRendersPrometheusExposition) {

@@ -247,6 +247,40 @@ TEST(StopWatch, AccumulatesIntervals) {
   EXPECT_EQ(w.TotalSec(), 0.0);
 }
 
+TEST(StopWatch, ReportsRunningState) {
+  StopWatch w;
+  EXPECT_FALSE(w.Running());
+  w.Start();
+  EXPECT_TRUE(w.Running());
+  w.Stop();
+  EXPECT_FALSE(w.Running());
+  w.Start();
+  w.Reset();
+  EXPECT_FALSE(w.Running());
+}
+
+TEST(StopWatch, StartWhileRunningKeepsInterval) {
+  // A redundant Start() must not restart the in-flight interval — the time
+  // already accumulated before the second Start() has to survive into the
+  // total, so the total is at least the spin below.
+  StopWatch w;
+  w.Start();
+  const Timer spin;
+  while (spin.ElapsedUs() < 200.0) {
+  }
+  w.Start();  // no-op: interval keeps running
+  EXPECT_TRUE(w.Running());
+  w.Stop();
+  EXPECT_GE(w.TotalSec(), 200.0 * 1e-6);
+}
+
+TEST(StopWatch, StopWithoutStartIsNoOp) {
+  StopWatch w;
+  w.Stop();
+  EXPECT_EQ(w.TotalSec(), 0.0);
+  EXPECT_FALSE(w.Running());
+}
+
 // --------------------------- CommandLine ----------------------------------
 
 TEST(CommandLine, ParsesOptionsAndPositionals) {

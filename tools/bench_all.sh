@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench_all.sh — run the structured benches and aggregate their JSON into
+# one BENCH_PHAST.json (schema "phast-bench-v1"), seeding the performance
+# trajectory across PRs (DESIGN.md §8).
+#
+# Usage:
+#   tools/bench_all.sh [BUILD_DIR] [OUTPUT]
+#
+# Defaults: BUILD_DIR=build, OUTPUT=BENCH_PHAST.json. Knobs (env):
+#   BENCH_WIDTH / BENCH_HEIGHT   instance size        (default 96x96)
+#   BENCH_SOURCES                sources per average  (default 4)
+#   BENCH_REQUESTS               bench_server load    (default 2000)
+#   BENCH_KERNELS_FILTER         --benchmark_filter   (default all)
+#
+# Aggregated benches: tab1_single_tree, fig1_levels (with a profiled-sweep
+# section), server, and the google-benchmark kernels microbenches.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-BENCH_PHAST.json}"
+WIDTH="${BENCH_WIDTH:-96}"
+HEIGHT="${BENCH_HEIGHT:-96}"
+SOURCES="${BENCH_SOURCES:-4}"
+REQUESTS="${BENCH_REQUESTS:-2000}"
+KERNELS_FILTER="${BENCH_KERNELS_FILTER:-.*}"
+
+for binary in bench/bench_tab1_single_tree bench/bench_fig1_levels \
+              bench/bench_server bench/bench_kernels; do
+  if [[ ! -x "$BUILD_DIR/$binary" ]]; then
+    echo "bench_all: $BUILD_DIR/$binary not built" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "=== bench_all: tab1_single_tree ===" >&2
+"$BUILD_DIR/bench/bench_tab1_single_tree" \
+  --width="$WIDTH" --height="$HEIGHT" --sources="$SOURCES" \
+  --json-out="$TMP/tab1_single_tree.json"
+
+echo "=== bench_all: fig1_levels ===" >&2
+"$BUILD_DIR/bench/bench_fig1_levels" \
+  --width="$WIDTH" --height="$HEIGHT" \
+  --json-out="$TMP/fig1_levels.json"
+
+echo "=== bench_all: server ===" >&2
+"$BUILD_DIR/bench/bench_server" \
+  --width="$WIDTH" --height="$HEIGHT" --requests="$REQUESTS" \
+  --json-out="$TMP/server.json"
+
+echo "=== bench_all: kernels ===" >&2
+"$BUILD_DIR/bench/bench_kernels" \
+  --benchmark_filter="$KERNELS_FILTER" \
+  --benchmark_out="$TMP/kernels.json" --benchmark_out_format=json
+
+python3 - "$TMP" "$OUTPUT" <<'EOF'
+import json
+import sys
+
+tmp, output = sys.argv[1], sys.argv[2]
+doc = {"schema": "phast-bench-v1", "benches": {}}
+for name in ("tab1_single_tree", "fig1_levels", "server", "kernels"):
+    with open(f"{tmp}/{name}.json", encoding="utf-8") as f:
+        doc["benches"][name] = json.load(f)
+with open(output, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+names = ", ".join(doc["benches"])
+print(f"bench_all: wrote {output} ({names})")
+EOF

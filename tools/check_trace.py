@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""check_trace: validator for exported Chrome trace-event JSON (DESIGN.md §8).
+
+Checks the invariants the exporter (src/obs/trace.cpp) guarantees, so CI
+catches a regression before anyone loads a broken trace in chrome://tracing:
+
+  - the file is valid JSON with a non-empty "traceEvents" array
+  - every event is a B or E duration event with name/ts/pid/tid
+  - per (pid, tid), timestamps are nondecreasing
+  - per (pid, tid), B/E events are stack-balanced and an E always closes
+    the most recently opened B of the same name
+
+Usage:
+  check_trace.py trace.json [--require-span NAME[:MIN]] ...
+
+--require-span asserts NAME occurs at least MIN times (default 1) — e.g.
+`--require-span sweep.level:10` pins that a profiled sweep actually emitted
+per-level spans. Repeatable.
+
+Exit status: 0 valid, 1 invalid, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+
+def validate(doc, require: list[tuple[str, int]]) -> list[str]:
+    errors: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['missing or non-array "traceEvents"']
+    if not events:
+        return ["trace contains no events"]
+
+    last_ts: dict = {}
+    stacks: dict = collections.defaultdict(list)
+    name_counts: collections.Counter = collections.Counter()
+
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("B", "E"):
+            errors.append(f"{where}: unexpected ph {ph!r} (exporter emits only B/E)")
+            continue
+        missing = [k for k in ("name", "ts", "pid", "tid") if k not in ev]
+        if missing:
+            errors.append(f"{where}: missing field(s) {missing}")
+            continue
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+
+        key = (ev["pid"], ev["tid"])
+        if key in last_ts and ts < last_ts[key]:
+            errors.append(
+                f"{where}: ts goes backwards on pid/tid {key}: "
+                f"{last_ts[key]} -> {ts}"
+            )
+        last_ts[key] = ts
+
+        if ph == "B":
+            stacks[key].append(ev["name"])
+            name_counts[ev["name"]] += 1
+        else:
+            if not stacks[key]:
+                errors.append(f"{where}: E with empty span stack on {key}")
+            else:
+                opened = stacks[key].pop()
+                if opened != ev["name"]:
+                    errors.append(
+                        f"{where}: E for {ev['name']!r} closes span "
+                        f"{opened!r} on {key}"
+                    )
+
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(f"unclosed span(s) on pid/tid {key}: {stack}")
+
+    for name, minimum in require:
+        if name_counts[name] < minimum:
+            errors.append(
+                f"required span {name!r}: {name_counts[name]} occurrence(s), "
+                f"need >= {minimum}"
+            )
+
+    return errors
+
+
+def parse_requirement(spec: str) -> tuple[str, int]:
+    name, _, minimum = spec.partition(":")
+    if not name:
+        raise argparse.ArgumentTypeError(f"empty span name in {spec!r}")
+    try:
+        count = int(minimum) if minimum else 1
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad count in {spec!r}") from e
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"count must be >= 1 in {spec!r}")
+    return name, count
+
+
+def main(argv) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument(
+        "--require-span",
+        action="append",
+        type=parse_requirement,
+        default=[],
+        metavar="NAME[:MIN]",
+        help="assert NAME occurs at least MIN times (default 1); repeatable",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    errors = validate(doc, args.require_span)
+    for e in errors:
+        print(f"check_trace: {args.trace}: {e}", file=sys.stderr)
+    if not errors:
+        n = len(doc["traceEvents"])
+        print(f"check_trace: {args.trace}: OK ({n} events, {n // 2} spans)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -27,6 +27,11 @@ cannot express:
                         _mm256_* tokens may appear only in files that do so
                         — unguarded intrinsics break the scalar fallback
                         build (-DPHAST_ARCH="").
+  no-raw-now            no raw clock reads (std::chrono ...::now(),
+                        clock_gettime, gettimeofday) in src/ outside
+                        util/timer.h and src/obs/ — all timing flows through
+                        Timer/StopWatch or scoped spans, so there is exactly
+                        one clock discipline to audit (DESIGN.md §8).
   server-no-prepare     serving-path code (src/server/) never runs
                         preprocessing — PrepareNetwork() and
                         BuildContractionHierarchy() are offline-only. The
@@ -267,6 +272,40 @@ def check_rng(path, code, raw_lines, findings):
         )
 
 
+# --- rule: no-raw-now -------------------------------------------------------
+
+# A raw clock read: any `X::now()` (the std::chrono clock idiom) or the
+# POSIX clock calls. Timer wraps steady_clock; spans wrap TraceClockNs.
+RAW_NOW_RE = re.compile(
+    r"::\s*now\s*\(\s*\)|\bclock_gettime\s*\(|\bgettimeofday\s*\("
+)
+
+
+def check_raw_now(path, code, raw_lines, findings):
+    if not path.startswith("src") and "/src/" not in path:
+        return
+    normalized = path.replace("\\", "/")
+    # The two sanctioned clock owners: Timer/StopWatch and the trace clock.
+    if normalized.endswith("util/timer.h"):
+        return
+    if "src/obs/" in normalized or normalized.startswith("obs/"):
+        return
+    for m in RAW_NOW_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "no-raw-now"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "no-raw-now",
+                "raw clock read outside util/timer.h and src/obs/; use "
+                "Timer/StopWatch (or a PHAST_SPAN) so timing stays "
+                "centralized and mockable",
+            )
+        )
+
+
 # --- rule: intrinsics-hygiene -----------------------------------------------
 
 INTRIN_HEADERS = {
@@ -375,6 +414,7 @@ RULES = (
     check_stale_parent,
     check_naked_throw,
     check_rng,
+    check_raw_now,
     check_intrinsics,
     check_server_no_prepare,
 )
@@ -508,6 +548,56 @@ SELF_TEST_CASES = [
         "no-wall-clock-rng/member-time-ok",
         "src/x/a.cpp",
         "double f(const Timer& t) { return t.time(); }\n",
+        None,
+    ),
+    (
+        "no-raw-now/bad-chrono-now",
+        "src/x/a.cpp",
+        "void f() { auto t = std::chrono::steady_clock::now(); }\n",
+        "no-raw-now",
+    ),
+    (
+        "no-raw-now/bad-clock-gettime",
+        "src/x/a.cpp",
+        "void f() { timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts); }\n",
+        "no-raw-now",
+    ),
+    (
+        "no-raw-now/bad-gettimeofday",
+        "src/x/a.cpp",
+        "void f() { timeval tv; gettimeofday(&tv, nullptr); }\n",
+        "no-raw-now",
+    ),
+    (
+        "no-raw-now/timer-header-exempt",
+        "src/util/timer.h",
+        "void f() { auto t = Clock::now(); }\n",
+        None,
+    ),
+    (
+        "no-raw-now/obs-exempt",
+        "src/obs/trace.cpp",
+        "uint64_t f() { return ns(std::chrono::steady_clock::now()); }\n",
+        None,
+    ),
+    (
+        "no-raw-now/tests-exempt",
+        "tests/test_x.cpp",
+        "void f() { auto t = std::chrono::steady_clock::now(); }\n",
+        None,
+    ),
+    (
+        "no-raw-now/timer-wrapper-ok",
+        "src/x/a.cpp",
+        "double f() { const Timer t; return t.ElapsedMs(); }\n",
+        None,
+    ),
+    (
+        "no-raw-now/suppressed",
+        "src/x/a.cpp",
+        "void f() {\n"
+        "  auto t = Clock::now();  // phast-lint: allow(no-raw-now)\n"
+        "}\n",
         None,
     ),
     (
