@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 1: vertices per level ===\n");
   const Instance instance = MakeCountryInstance(
       "country-time", config.width, config.height, Metric::kTravelTime,
-      config.seed);
+      config.seed, config.ChParams());
 
   const std::vector<uint64_t> histogram = instance.ch.LevelHistogram();
   const uint64_t n = instance.graph.NumVertices();

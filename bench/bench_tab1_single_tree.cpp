@@ -41,7 +41,8 @@ struct LayoutResults {
 };
 
 LayoutResults RunLayout(const EdgeList& edges,
-                        const std::vector<VertexId>& sources) {
+                        const std::vector<VertexId>& sources,
+                        const CHParams& ch_params) {
   const Graph graph = Graph::FromEdgeList(edges);
   const VertexId n = graph.NumVertices();
   const Weight c = MaxArcWeight(graph);
@@ -73,7 +74,7 @@ LayoutResults RunLayout(const EdgeList& edges,
   }
   r.bfs = MsPerTree([&](VertexId s) { (void)Bfs(graph, s); }, sources);
 
-  const CHData ch = BuildContractionHierarchy(graph);
+  const CHData ch = BuildContractionHierarchy(graph, ch_params);
   {
     Phast::Options options;
     options.order = SweepOrder::kRankDescending;
@@ -134,9 +135,10 @@ int main(int argc, char** argv) {
   // Sources must denote the same physical vertices across layouts for a
   // fair comparison; since we sample uniformly, resampling per layout is
   // equivalent — we keep the same indices for simplicity.
-  const LayoutResults random_r = RunLayout(random_layout, sources);
-  const LayoutResults input_r = RunLayout(input_layout, sources);
-  const LayoutResults dfs_r = RunLayout(dfs_layout, sources);
+  const CHParams ch_params = config.ChParams();
+  const LayoutResults random_r = RunLayout(random_layout, sources, ch_params);
+  const LayoutResults input_r = RunLayout(input_layout, sources, ch_params);
+  const LayoutResults dfs_r = RunLayout(dfs_layout, sources, ch_params);
 
   const std::vector<int> widths = {26, 12, 12, 12};
   std::printf("time per tree [ms]\n");

@@ -12,7 +12,8 @@
 namespace phast::bench {
 
 Instance MakeCountryInstance(const std::string& name, uint32_t width,
-                             uint32_t height, Metric metric, uint64_t seed) {
+                             uint32_t height, Metric metric, uint64_t seed,
+                             const CHParams& ch_params) {
   CountryParams params;
   params.width = width;
   params.height = height;
@@ -32,7 +33,7 @@ Instance MakeCountryInstance(const std::string& name, uint32_t width,
   instance.edges = ApplyPermutation(scc.edges, dfs);
   instance.graph = Graph::FromEdgeList(instance.edges);
   instance.ch =
-      BuildContractionHierarchy(instance.graph, CHParams{}, &instance.ch_stats);
+      BuildContractionHierarchy(instance.graph, ch_params, &instance.ch_stats);
 
   std::printf(
       "instance %-12s  n=%u  m=%zu  metric=%s  ch: %zu shortcuts, %u levels, "
@@ -58,7 +59,15 @@ BenchConfig BenchConfig::FromCommandLine(const CommandLine& cli) {
   config.num_sources =
       static_cast<size_t>(cli.GetInt("sources", config.num_sources));
   config.seed = static_cast<uint64_t>(cli.GetInt("seed", config.seed));
+  config.ch_threads =
+      static_cast<uint32_t>(cli.GetInt("ch-threads", config.ch_threads));
   return config;
+}
+
+CHParams BenchConfig::ChParams() const {
+  CHParams params;
+  params.threads = ch_threads;
+  return params;
 }
 
 std::string FormatDaysHoursMinutes(double seconds) {

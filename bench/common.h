@@ -34,20 +34,28 @@ struct Instance {
 /// Builds the standard instance: synthetic country of width x height cells.
 /// The default 160x160 (~25k vertices after SCC extraction) keeps every
 /// bench under a minute on a laptop; pass --width/--height to scale up.
+/// `ch_params` tunes the preprocessing run (e.g. --ch-threads); it cannot
+/// change the hierarchy itself — contraction output is thread-count
+/// independent (DESIGN.md §9).
 Instance MakeCountryInstance(const std::string& name, uint32_t width,
-                             uint32_t height, Metric metric, uint64_t seed);
+                             uint32_t height, Metric metric, uint64_t seed,
+                             const CHParams& ch_params = {});
 
 /// Standard source sample for per-tree timing averages.
 std::vector<VertexId> SampleSources(VertexId n, size_t count, uint64_t seed);
 
-/// Reads the common --width/--height/--sources/--seed flags.
+/// Reads the common --width/--height/--sources/--seed/--ch-threads flags.
 struct BenchConfig {
   uint32_t width = 160;
   uint32_t height = 160;
   size_t num_sources = 8;
   uint64_t seed = 1;
+  /// Contraction threads for instance preprocessing (0 = all available).
+  uint32_t ch_threads = 0;
 
   static BenchConfig FromCommandLine(const CommandLine& cli);
+  /// CHParams carrying the config's preprocessing knobs.
+  [[nodiscard]] CHParams ChParams() const;
 };
 
 /// Formats "d:hh:mm" like the paper's Table VI n-trees column.

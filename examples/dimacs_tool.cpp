@@ -4,8 +4,12 @@
 //   generate:  ./dimacs_tool generate out.gr [--width=64 --height=64
 //              --metric=time|distance --coords=out.co]
 //   info:      ./dimacs_tool info in.gr
-//   prep:      ./dimacs_tool prep in.gr out.ch      (preprocess once)
-//   sssp:      ./dimacs_tool sssp in.gr [--source=0 --trees=10 --ch=in.ch]
+//   prep:      ./dimacs_tool prep in.gr out.ch [--ch-threads=N]
+//   sssp:      ./dimacs_tool sssp in.gr [--source=0 --trees=10 --ch=in.ch
+//              --ch-threads=N]
+//
+// --ch-threads picks the contraction thread count (0 = all available); the
+// resulting hierarchy is byte-identical for every choice (DESIGN.md §9).
 //
 // With no arguments it generates a small instance into /tmp and runs the
 // sssp pipeline on it, so it doubles as an end-to-end smoke test.
@@ -29,6 +33,12 @@
 using namespace phast;
 
 namespace {
+
+CHParams ChParamsFrom(const CommandLine& cli) {
+  CHParams params;
+  params.threads = static_cast<uint32_t>(cli.GetInt("ch-threads", 0));
+  return params;
+}
 
 int Generate(const std::string& path, const CommandLine& cli) {
   CountryParams params;
@@ -60,12 +70,13 @@ int Info(const std::string& path) {
   return 0;
 }
 
-int Prep(const std::string& graph_path, const std::string& ch_path) {
+int Prep(const std::string& graph_path, const std::string& ch_path,
+         const CommandLine& cli) {
   const EdgeList raw = ReadDimacsGraphFile(graph_path);
   const SubgraphResult scc = LargestStronglyConnectedComponent(raw);
   const Graph graph = Graph::FromEdgeList(scc.edges);
   Timer timer;
-  const CHData ch = BuildContractionHierarchy(graph);
+  const CHData ch = BuildContractionHierarchy(graph, ChParamsFrom(cli));
   WriteCHFile(ch, ch_path);
   std::printf(
       "preprocessed %s (largest SCC: %u vertices) in %.2fs -> %s (%u "
@@ -94,7 +105,7 @@ int Sssp(const std::string& path, const CommandLine& cli) {
     std::printf("CH loaded from file: %.2fs, %u levels\n", timer.ElapsedSec(),
                 ch.NumLevels());
   } else {
-    ch = BuildContractionHierarchy(graph);
+    ch = BuildContractionHierarchy(graph, ChParamsFrom(cli));
     std::printf("CH preprocessing: %.2fs, %u levels\n", timer.ElapsedSec(),
                 ch.NumLevels());
   }
@@ -149,7 +160,9 @@ int main(int argc, char** argv) {
     const std::string& command = args[0];
     if (command == "generate" && args.size() >= 2) return Generate(args[1], cli);
     if (command == "info" && args.size() >= 2) return Info(args[1]);
-    if (command == "prep" && args.size() >= 3) return Prep(args[1], args[2]);
+    if (command == "prep" && args.size() >= 3) {
+      return Prep(args[1], args[2], cli);
+    }
     if (command == "sssp" && args.size() >= 2) return Sssp(args[1], cli);
     std::fprintf(stderr,
                  "usage: %s [generate|info|prep|sssp] <file.gr> [options]\n",

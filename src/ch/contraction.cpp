@@ -1,7 +1,42 @@
+// Batched parallel CH preprocessing (DESIGN.md §9).
+//
+// The engine contracts one independent set per round instead of one vertex
+// at a time (the recipe of Luxen & Schieferdecker and Wan et al., and the
+// paper's own observation that CH preprocessing parallelizes well,
+// §VIII-A). A round has four phases:
+//
+//   refresh   re-simulate vertices whose neighborhood changed last round to
+//             update their ED/H priority terms (parallel, per-vertex pure)
+//   select    mark every uncontracted vertex whose (priority, id) key is
+//             minimal within its 1-hop (or 2-hop) uncontracted neighborhood
+//             (parallel, read-only)
+//   witness   run the selected vertices' witness searches over per-thread
+//             workspaces; each member's searches exclude its earlier-key
+//             batch peers, replaying the graph state of its turn in the
+//             canonical merge order (parallel)
+//   merge     apply shortcut insertions, arc emission, rank assignment, and
+//             neighbor CN/level updates serially in ascending (priority,
+//             id) order of the batch (the canonical contraction order)
+//
+// Determinism: every parallel phase computes a pure per-vertex function of
+// the round-start graph snapshot into that vertex's own slot, and the only
+// mutation happens in the serial merge, in canonical order. Ranks, levels,
+// and shortcut sets are therefore bit-identical for every thread count —
+// `threads=1` runs the same rounds serially and is the reference the
+// determinism suite (tests/test_ch_parallel.cpp) pins parallel runs to.
+//
+// Correctness of batching: the selection key is a strict total order, so
+// under the 1-hop rule no two adjacent vertices are ever selected — batch
+// members' arc lists are untouched by the merge of the same round, and a
+// shortcut's endpoints always survive its round. Excluding the earlier-key
+// batch peers from each member's witness searches closes the classic
+// simultaneous-contraction hole (two equal-length witnesses routing through
+// each other's vertex, both shortcuts dropped): each search sees exactly
+// the vertices that remain at its vertex's canonical turn, at the price of
+// an occasional redundant shortcut, which never breaks correctness.
 #include "ch/contraction.h"
 
 #include <algorithm>
-#include <atomic>
 #include <queue>
 #include <span>
 #include <tuple>
@@ -14,6 +49,17 @@
 
 namespace phast {
 namespace {
+
+/// Process-wide fence giving ThreadSanitizer the happens-before edges that
+/// libgomp's futex barriers hide (see OmpTeamFence). A function — not a
+/// shared() capture — so the region bodies reach it without first reading
+/// the compiler-generated argument block, which is exactly the memory the
+/// entry edge has to cover. Monotonic tokens keep one instance correct for
+/// any number of consecutive regions.
+OmpTeamFence& Fence() {
+  static OmpTeamFence fence;
+  return fence;
+}
 
 /// Arc of the dynamic graph maintained during contraction. `hops` is the
 /// number of original arcs the arc represents (1 for original arcs), used
@@ -39,6 +85,8 @@ struct Simulation {
   std::vector<PendingShortcut> shortcuts;
   uint32_t arcs_removed = 0;
   uint32_t hop_sum = 0;  // H(u) term, per-arc capped
+  uint32_t witness_searches = 0;
+  uint64_t witness_settled = 0;
 
   [[nodiscard]] int64_t EdgeDifference() const {
     return static_cast<int64_t>(shortcuts.size()) -
@@ -49,7 +97,7 @@ struct Simulation {
 /// Scratch space for witness searches. Versioned distance labels avoid an
 /// O(n) reset per search, and the small binary heap reuses its backing
 /// vector across the millions of searches one preprocessing run performs;
-/// each thread computing initial priorities owns one workspace.
+/// each thread of the parallel phases owns one workspace.
 struct WitnessWorkspace {
   struct HeapEntry {
     Weight dist;
@@ -109,6 +157,9 @@ class Contractor {
  public:
   Contractor(const Graph& graph, const CHParams& params)
       : params_(params), n_(graph.NumVertices()) {
+    threads_ = params_.threads != 0
+                   ? static_cast<int>(params_.threads)
+                   : std::max(1, MaxThreads());
     out_.resize(n_);
     in_.resize(n_);
     for (VertexId v = 0; v < n_; ++v) {
@@ -122,6 +173,10 @@ class Contractor {
     level_.assign(n_, 0);
     cached_ed_.assign(n_, 0);
     cached_h_.assign(n_, 0);
+    priority_.assign(n_, 0);
+    selected_.assign(n_, 0);
+    batch_stamp_.assign(n_, 0);
+    dirty_stamp_.assign(n_, 0);
     remaining_arcs_ = graph.NumArcs();
     remaining_vertices_ = n_;
   }
@@ -134,100 +189,293 @@ class Contractor {
     ch.rank.assign(n_, 0);
     ch.level.assign(n_, 0);
 
-    // Initial priorities, computed in parallel with per-thread workspaces
-    // (the paper parallelizes priority updates the same way, §VIII-A).
+    obs::ContractionProfile profile;
+    profile.threads = static_cast<uint32_t>(threads_);
+    profile.batch_neighborhood = params_.batch_neighborhood;
+
+    // Per-thread witness workspaces, shared by every parallel phase. Each
+    // thread indexes its own slot, so the pool is data-race-free as long as
+    // the regions request exactly `threads_` threads.
+    std::vector<WitnessWorkspace> pool(static_cast<size_t>(threads_));
+    InitWorkspaces(pool);
+
+    // Initial priorities: simulate every vertex once, in parallel. Each
+    // iteration writes only its own cached_ed_/cached_h_/scratch slots, so
+    // the result is independent of scheduling.
     {
       PHAST_SPAN("ch.initial_priorities");
-      std::vector<WitnessWorkspace> pool(
-          static_cast<size_t>(std::max(1, MaxThreads())));
-      // Threads share the workspace pool (one slot per thread id) and the
-      // disjoint cached_ed_/cached_h_ slots; the guard keeps an allocation
-      // failure in Init/Simulate from escaping the region.
-      OmpExceptionGuard guard;
-#pragma omp parallel default(none) shared(pool, guard)
-      {
-        WitnessWorkspace& ws = pool[static_cast<size_t>(CurrentThread())];
-        guard.Run([&] { ws.Init(n_); });
-#pragma omp for schedule(dynamic, 64)
-        for (int64_t v = 0; v < static_cast<int64_t>(n_); ++v) {
-          guard.Run([&] {
-            const Simulation sim = Simulate(static_cast<VertexId>(v), ws);
-            cached_ed_[v] = sim.EdgeDifference();
-            cached_h_[v] = sim.hop_sum;
-          });
-        }
-      }
-      guard.Rethrow();
+      Timer init_timer;
+      ComputeInitialPriorities(pool, &profile);
+      total_witness_searches_ += profile.init_witness_searches;
+      profile.init_nanos = static_cast<uint64_t>(init_timer.ElapsedSec() * 1e9);
     }
-    workspace_.Init(n_);
 
-    // Min-heap of (priority, vertex) with lazy re-evaluation at pop:
-    // contracting a vertex only pushes cheap cache-based refreshes for its
-    // neighbors; the full (witness-search) recomputation happens once, at
-    // pop time, and doubles as the contraction's shortcut discovery.
-    using HeapEntry = std::pair<int64_t, VertexId>;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>>
-        heap;
-    for (VertexId v = 0; v < n_; ++v) heap.push({CachedPriority(v), v});
-
+    // The round loop. Progress is guaranteed: the global minimum of the
+    // strict (priority, id) order is locally minimal in any neighborhood,
+    // so every round contracts at least one vertex.
     uint32_t next_rank = 0;
-    while (!heap.empty()) {
-      const auto [stale_priority, v] = heap.top();
-      heap.pop();
-      if (contracted_[v]) continue;
-      // Cheap staleness filter before the expensive simulation.
-      if (stale_priority < CachedPriority(v)) {
-        heap.push({CachedPriority(v), v});
-        continue;
+    std::vector<VertexId> dirty;       // vertices to re-simulate next round
+    std::vector<VertexId> batch;       // this round's independent set
+    std::vector<Simulation> sims;      // batch-parallel witness results
+    while (remaining_vertices_ > 0) {
+      ++round_;
+      Timer round_timer;
+      obs::ContractionRound row;
+      row.round = round_;
+
+      RefreshDirty(dirty, pool, &row);
+      dirty.clear();
+
+      for (VertexId v = 0; v < n_; ++v) {
+        if (!contracted_[v]) priority_[v] = CachedPriority(v);
       }
 
-      const Simulation sim = Simulate(v, workspace_);
-      cached_ed_[v] = sim.EdgeDifference();
-      cached_h_[v] = sim.hop_sum;
-      const int64_t fresh_priority = CachedPriority(v);
-      if (!heap.empty() && fresh_priority > heap.top().first) {
-        heap.push({fresh_priority, v});
-        continue;
-      }
+      SelectBatch(&batch);
+      PHAST_SPAN_ARG("ch.round", batch.size());
+      row.batch = static_cast<uint32_t>(batch.size());
 
-      Apply(v, sim, &ch);
-      contracted_[v] = true;
-      ch.rank[v] = next_rank++;
-      ch.level[v] = level_[v];
+      RunBatchWitnessSearches(batch, pool, &sims, &row);
 
-      remaining_arcs_ += sim.shortcuts.size();
-      remaining_arcs_ -= sim.arcs_removed;
-      --remaining_vertices_;
+      // Deterministic merge: apply the batch in canonical order. This is
+      // the only phase that mutates the dynamic graph.
+      {
+        PHAST_SPAN("ch.merge");
+        const size_t shortcuts_before = total_shortcuts_;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const VertexId v = batch[i];
+          const Simulation& sim = sims[i];
+          Apply(v, sim, &ch);
+          contracted_[v] = true;
+          ch.rank[v] = next_rank++;
+          ch.level[v] = level_[v];
 
-      // Refresh the neighbors' priorities. CN and level always update;
-      // eager mode also re-runs their simulations (the paper's policy),
-      // lazy mode defers ED/H to their own pops.
-      for (const VertexId u : UncontractedNeighbors(v)) {
-        ++cn_[u];
-        level_[u] = std::max(level_[u], level_[v] + 1);
-        if (params_.eager_neighbor_updates) {
-          const Simulation neighbor_sim = Simulate(u, workspace_);
-          cached_ed_[u] = neighbor_sim.EdgeDifference();
-          cached_h_[u] = neighbor_sim.hop_sum;
+          remaining_arcs_ += sim.shortcuts.size();
+          remaining_arcs_ -= sim.arcs_removed;
+          --remaining_vertices_;
+
+          for (const VertexId u : UncontractedNeighbors(v)) {
+            ++cn_[u];
+            level_[u] = std::max(level_[u], level_[v] + 1);
+            if (dirty_stamp_[u] != round_) {
+              dirty_stamp_[u] = round_;
+              dirty.push_back(u);
+            }
+          }
         }
-        heap.push({CachedPriority(u), u});
+        row.shortcuts = total_shortcuts_ - shortcuts_before;
       }
+
+      row.nanos = static_cast<uint64_t>(round_timer.ElapsedSec() * 1e9);
+      profile.rounds.push_back(row);
     }
 
     ch.num_shortcuts = total_shortcuts_;
     if (stats != nullptr) {
       stats->shortcuts_added = total_shortcuts_;
-      stats->witness_searches = witness_searches_;
+      stats->witness_searches = total_witness_searches_;
       stats->num_levels = ch.NumLevels();
+      stats->rounds = profile.NumRounds();
       stats->seconds = timer.ElapsedSec();
+      stats->profile = std::move(profile);
     }
     return ch;
   }
 
  private:
+  /// Builds each thread's private witness workspace inside the team so the
+  /// backing memory is touched (and, under first-touch NUMA policy, placed)
+  /// by its owning thread.
+  PHAST_OMP_REGION_NO_TSAN void InitWorkspaces(
+      std::vector<WitnessWorkspace>& pool) {
+    OmpExceptionGuard guard;
+    Fence().Publish();
+#pragma omp parallel num_threads(threads_) default(none) shared(pool, guard)
+    {
+      const OmpTeamFence::Scope scope(Fence());
+      guard.Run([&] { pool[static_cast<size_t>(CurrentThread())].Init(n_); });
+    }
+    Fence().Collect();
+    guard.Rethrow();
+  }
+
+  /// Simulates every vertex once, in parallel, to seed the ED/H priority
+  /// terms; fills the profile's init witness counters.
+  PHAST_OMP_REGION_NO_TSAN void ComputeInitialPriorities(
+      std::vector<WitnessWorkspace>& pool, obs::ContractionProfile* profile) {
+    std::vector<uint32_t> searches(n_, 0);
+    std::vector<uint64_t> settled(n_, 0);
+    OmpExceptionGuard guard;
+    Fence().Publish();
+#pragma omp parallel num_threads(threads_) default(none) \
+    shared(pool, guard, searches, settled)
+    {
+      const OmpTeamFence::Scope scope(Fence());
+      WitnessWorkspace& ws = pool[static_cast<size_t>(CurrentThread())];
+#pragma omp for schedule(dynamic, 64)
+      for (int64_t v = 0; v < static_cast<int64_t>(n_); ++v) {
+        guard.Run([&] {
+          const Simulation sim =
+              Simulate(static_cast<VertexId>(v), ws, /*exclude_batch=*/false);
+          cached_ed_[v] = sim.EdgeDifference();
+          cached_h_[v] = sim.hop_sum;
+          searches[v] = sim.witness_searches;
+          settled[v] = sim.witness_settled;
+        });
+      }
+    }
+    Fence().Collect();
+    guard.Rethrow();
+    for (VertexId v = 0; v < n_; ++v) {
+      profile->init_witness_searches += searches[v];
+      profile->init_witness_settled += settled[v];
+    }
+  }
+
+  /// Strict total order on uncontracted vertices: the contraction key.
+  /// Using the id as tie-break makes local minima well-defined (no two
+  /// adjacent vertices can both be minimal) and the whole run seedless-
+  /// deterministic.
+  [[nodiscard]] bool KeyLess(VertexId a, VertexId b) const {
+    return priority_[a] != priority_[b] ? priority_[a] < priority_[b] : a < b;
+  }
+
+  /// Eager mode: re-simulate every vertex whose neighborhood changed in the
+  /// previous round (parallel, pure per vertex). Lazy mode skips the
+  /// simulations — ED/H stay at their initial estimates and only the CN and
+  /// level terms (updated in the merge) move priorities.
+  PHAST_OMP_REGION_NO_TSAN void RefreshDirty(
+      const std::vector<VertexId>& dirty, std::vector<WitnessWorkspace>& pool,
+      obs::ContractionRound* row) {
+    if (!params_.eager_neighbor_updates || dirty.empty()) return;
+    PHAST_SPAN_ARG("ch.refresh", dirty.size());
+    row->refreshed = static_cast<uint32_t>(dirty.size());
+    std::vector<uint32_t> searches(dirty.size(), 0);
+    std::vector<uint64_t> settled(dirty.size(), 0);
+    OmpExceptionGuard guard;
+    Fence().Publish();
+#pragma omp parallel num_threads(threads_) default(none) \
+    shared(pool, guard, dirty, searches, settled)
+    {
+      const OmpTeamFence::Scope scope(Fence());
+      WitnessWorkspace& ws = pool[static_cast<size_t>(CurrentThread())];
+#pragma omp for schedule(dynamic, 16)
+      for (int64_t i = 0; i < static_cast<int64_t>(dirty.size()); ++i) {
+        guard.Run([&] {
+          const VertexId v = dirty[static_cast<size_t>(i)];
+          const Simulation sim = Simulate(v, ws, /*exclude_batch=*/false);
+          cached_ed_[v] = sim.EdgeDifference();
+          cached_h_[v] = sim.hop_sum;
+          searches[i] = sim.witness_searches;
+          settled[i] = sim.witness_settled;
+        });
+      }
+    }
+    Fence().Collect();
+    guard.Rethrow();
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      row->witness_searches += searches[i];
+      row->witness_settled += settled[i];
+      total_witness_searches_ += searches[i];
+    }
+  }
+
+  /// Fills `batch` with the independent set of this round: every
+  /// uncontracted vertex whose key is minimal within its 1-hop (or 2-hop)
+  /// uncontracted neighborhood, sorted into canonical (priority, id) order.
+  /// The parallel scan is read-only except for each vertex's own
+  /// selected_ slot.
+  PHAST_OMP_REGION_NO_TSAN void SelectBatch(std::vector<VertexId>* batch) {
+    PHAST_SPAN("ch.select");
+    OmpExceptionGuard guard;
+    Fence().Publish();
+#pragma omp parallel num_threads(threads_) default(none) shared(guard)
+    {
+      const OmpTeamFence::Scope scope(Fence());
+#pragma omp for schedule(static)
+      for (int64_t v64 = 0; v64 < static_cast<int64_t>(n_); ++v64) {
+        guard.Run([&] {
+          const VertexId v = static_cast<VertexId>(v64);
+          selected_[v] = !contracted_[v] && IsLocalMinimum(v) ? 1 : 0;
+        });
+      }
+    }
+    Fence().Collect();
+    guard.Rethrow();
+
+    batch->clear();
+    for (VertexId v = 0; v < n_; ++v) {
+      if (selected_[v] != 0) batch->push_back(v);
+    }
+    std::sort(batch->begin(), batch->end(),
+              [this](VertexId a, VertexId b) { return KeyLess(a, b); });
+    for (const VertexId v : *batch) batch_stamp_[v] = round_;
+  }
+
+  /// True when v's key beats every uncontracted vertex within
+  /// batch_neighborhood hops.
+  [[nodiscard]] bool IsLocalMinimum(VertexId v) const {
+    for (const std::vector<DynArc>* arcs : {&out_[v], &in_[v]}) {
+      for (const DynArc& a : *arcs) {
+        const VertexId u = a.other;
+        if (contracted_[u] || u == v) continue;
+        if (KeyLess(u, v)) return false;
+        if (params_.batch_neighborhood >= 2 && !TwoHopMinimumThrough(v, u)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// 2-hop rule helper: v must also beat every uncontracted vertex reached
+  /// through its uncontracted neighbor u.
+  [[nodiscard]] bool TwoHopMinimumThrough(VertexId v, VertexId u) const {
+    for (const std::vector<DynArc>* arcs : {&out_[u], &in_[u]}) {
+      for (const DynArc& a : *arcs) {
+        const VertexId w = a.other;
+        if (contracted_[w] || w == v || w == u) continue;
+        if (KeyLess(w, v)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Witness phase: simulate every batch member in parallel, each with its
+  /// earlier-key batch peers excluded from the searches (see ExcludedFor).
+  /// Results land in per-index slots.
+  PHAST_OMP_REGION_NO_TSAN void RunBatchWitnessSearches(
+      const std::vector<VertexId>& batch, std::vector<WitnessWorkspace>& pool,
+      std::vector<Simulation>* sims, obs::ContractionRound* row) {
+    PHAST_SPAN_ARG("ch.witness", batch.size());
+    sims->clear();
+    sims->resize(batch.size());
+    OmpExceptionGuard guard;
+    Fence().Publish();
+#pragma omp parallel num_threads(threads_) default(none) \
+    shared(pool, guard, batch, sims)
+    {
+      const OmpTeamFence::Scope scope(Fence());
+      WitnessWorkspace& ws = pool[static_cast<size_t>(CurrentThread())];
+#pragma omp for schedule(dynamic, 4)
+      for (int64_t i = 0; i < static_cast<int64_t>(batch.size()); ++i) {
+        guard.Run([&] {
+          (*sims)[static_cast<size_t>(i)] = Simulate(
+              batch[static_cast<size_t>(i)], ws, /*exclude_batch=*/true);
+        });
+      }
+    }
+    Fence().Collect();
+    guard.Rethrow();
+    for (const Simulation& sim : *sims) {
+      row->witness_searches += sim.witness_searches;
+      row->witness_settled += sim.witness_settled;
+      total_witness_searches_ += sim.witness_searches;
+    }
+  }
+
   /// Current witness-search hop limit, from the average degree of the
-  /// uncontracted graph (schedule of §VIII-A). 0 means unlimited.
+  /// uncontracted graph (schedule of §VIII-A). 0 means unlimited. Stable
+  /// within a round (the counters only move in the merge).
   [[nodiscard]] uint32_t CurrentHopLimit() const {
     if (remaining_vertices_ == 0) return 0;
     const double avg_degree = static_cast<double>(remaining_arcs_) /
@@ -242,7 +490,7 @@ class Contractor {
   }
 
   /// Priority 2·ED + CN + H + 5·L with ED and H from the latest simulation
-  /// of v (exact at pop time, possibly stale in between).
+  /// of v (fresh each round in eager mode, initial estimates in lazy mode).
   [[nodiscard]] int64_t CachedPriority(VertexId v) const {
     return params_.ed_coefficient * cached_ed_[v] +
            params_.cn_coefficient * static_cast<int64_t>(cn_[v]) +
@@ -265,15 +513,33 @@ class Contractor {
     return neighbors;
   }
 
+  /// True when x must be treated as removed by a witness search run on
+  /// behalf of batch member v: already contracted, or an earlier-key member
+  /// of the round's batch. Excluding exactly the earlier-key members makes
+  /// the search see the remaining graph at v's turn in the canonical merge
+  /// order (minus the improving shortcuts earlier members may add, which
+  /// only ever create *more* witnesses) — so every witness found is sound,
+  /// and far fewer redundant shortcuts survive than under whole-batch
+  /// exclusion.
+  [[nodiscard]] bool ExcludedFor(VertexId x, VertexId v,
+                                 bool exclude_batch) const {
+    return contracted_[x] ||
+           (exclude_batch && batch_stamp_[x] == round_ && KeyLess(x, v));
+  }
+
   /// Witness search: Dijkstra from `source` in the uncontracted graph with
-  /// `excluded` removed, pruned at `bound`, `hop_limit` (0 = none), the
-  /// configured settle cap, and early exit once all `num_targets` vertices
-  /// pre-marked in ws.target_version are settled. Results are in ws.dist
-  /// for ws.current_version.
-  void RunWitnessSearch(VertexId source, VertexId excluded, Weight bound,
-                        uint32_t hop_limit, std::span<const VertexId> targets,
-                        WitnessWorkspace& ws) {
-    witness_searches_.fetch_add(1, std::memory_order_relaxed);
+  /// `excluded` (and, when `exclude_batch`, its earlier-key batch peers)
+  /// removed, pruned at `bound`, `hop_limit` (0 = none), the configured
+  /// settle cap, and early exit once all targets pre-marked in
+  /// ws.target_version are settled. Results are in ws.dist for
+  /// ws.current_version. Returns the number of settled vertices. Hitting
+  /// the settle cap mid-search is always witness-sound: unsettled targets
+  /// read as +inf, so the caller keeps their shortcuts (redundant at
+  /// worst, never missing).
+  uint32_t RunWitnessSearch(VertexId source, VertexId excluded, Weight bound,
+                            uint32_t hop_limit,
+                            std::span<const VertexId> targets,
+                            bool exclude_batch, WitnessWorkspace& ws) {
     ++ws.current_version;
     for (const VertexId t : targets) ws.target_version[t] = ws.current_version;
     ws.heap.clear();
@@ -288,7 +554,10 @@ class Contractor {
       if (d > ws.dist[v]) continue;  // lazy duplicate
       if (ws.target_version[v] == ws.current_version) {
         ws.target_version[v] = 0;  // count each target once
-        if (--targets_left == 0) break;
+        if (--targets_left == 0) {
+          ++settled;
+          break;
+        }
       }
       if (params_.max_witness_settled != 0 &&
           ++settled > params_.max_witness_settled) {
@@ -296,7 +565,10 @@ class Contractor {
       }
       if (hop_limit != 0 && hops >= hop_limit) continue;
       for (const DynArc& a : out_[v]) {
-        if (contracted_[a.other] || a.other == excluded) continue;
+        if (a.other == excluded ||
+            ExcludedFor(a.other, excluded, exclude_batch)) {
+          continue;
+        }
         const Weight candidate = SaturatingAdd(d, a.weight);
         if (candidate > bound) continue;  // can never refute a shortcut
         if (ws.version[a.other] != ws.current_version ||
@@ -307,6 +579,7 @@ class Contractor {
         }
       }
     }
+    return settled;
   }
 
   [[nodiscard]] Weight WitnessDistance(VertexId v,
@@ -315,10 +588,12 @@ class Contractor {
   }
 
   /// Simulates the contraction of v: counts removable arcs and collects the
-  /// witness-checked shortcuts it would create. Pure (no graph mutation);
-  /// thread-safe given a private workspace, which is what lets the initial
-  /// priority pass run under OpenMP.
-  Simulation Simulate(VertexId v, WitnessWorkspace& ws) {
+  /// witness-checked shortcuts it would create. Pure (no graph mutation)
+  /// and thread-safe given a private workspace — every parallel phase runs
+  /// this. With `exclude_batch` the searches treat the round's whole batch
+  /// as removed (the witness phase); without it only v is excluded (the
+  /// priority-estimate phases).
+  Simulation Simulate(VertexId v, WitnessWorkspace& ws, bool exclude_batch) {
     Simulation sim;
     const uint32_t hop_limit = CurrentHopLimit();
 
@@ -344,7 +619,9 @@ class Contractor {
       }
       if (targets.empty()) continue;
 
-      RunWitnessSearch(u, v, bound, hop_limit, targets, ws);
+      ++sim.witness_searches;
+      sim.witness_settled += RunWitnessSearch(u, v, bound, hop_limit, targets,
+                                              exclude_batch, ws);
 
       for (const DynArc& out_arc : out_[v]) {
         const VertexId w = out_arc.other;
@@ -361,10 +638,11 @@ class Contractor {
     return sim;
   }
 
-  /// Contracts v using the shortcut list its simulation discovered (the
-  /// graph has not changed in between), then emits v's incident arcs: v
-  /// gets the lowest remaining rank, so (u, v) with u uncontracted is a
-  /// downward arc of the final hierarchy and (v, w) an upward arc.
+  /// Contracts v using the shortcut list its batch-excluding simulation
+  /// discovered (batch members are pairwise non-adjacent, so v's arc lists
+  /// have not changed since), then emits v's incident arcs: v gets the
+  /// lowest remaining rank, so (u, v) with u uncontracted is a downward arc
+  /// of the final hierarchy and (v, w) an upward arc.
   void Apply(VertexId v, const Simulation& sim, CHData* ch) {
     for (const PendingShortcut& s : sim.shortcuts) {
       AddOrImproveArc(s.tail, s.head, s.weight, v, s.hops);
@@ -410,6 +688,7 @@ class Contractor {
 
   CHParams params_;
   VertexId n_;
+  int threads_ = 1;
   std::vector<std::vector<DynArc>> out_;
   std::vector<std::vector<DynArc>> in_;
   std::vector<bool> contracted_;
@@ -417,12 +696,15 @@ class Contractor {
   std::vector<uint32_t> level_;  // tentative level during contraction
   std::vector<int64_t> cached_ed_;   // ED(u) from the latest simulation
   std::vector<uint32_t> cached_h_;   // H(u) from the latest simulation
+  std::vector<int64_t> priority_;    // this round's priority snapshot
+  std::vector<uint8_t> selected_;    // this round's local-minimum marks
+  std::vector<uint32_t> batch_stamp_;  // round number when last in a batch
+  std::vector<uint32_t> dirty_stamp_;  // round number when last marked dirty
+  uint32_t round_ = 0;
   uint64_t remaining_arcs_ = 0;
   VertexId remaining_vertices_ = 0;
-  WitnessWorkspace workspace_;
   size_t total_shortcuts_ = 0;
-  // Atomic: the initial priority pass simulates vertices in parallel.
-  std::atomic<size_t> witness_searches_{0};
+  size_t total_witness_searches_ = 0;
 };
 
 }  // namespace
@@ -430,6 +712,8 @@ class Contractor {
 CHData BuildContractionHierarchy(const Graph& graph, const CHParams& params,
                                  CHStats* stats) {
   Require(graph.NumVertices() > 0, "cannot contract an empty graph");
+  Require(params.batch_neighborhood == 1 || params.batch_neighborhood == 2,
+          "CHParams::batch_neighborhood must be 1 or 2");
   Contractor contractor(graph, params);
   return contractor.Run(stats);
 }

@@ -5,6 +5,7 @@
 #include "ch/ch_data.h"
 #include "graph/csr.h"
 #include "graph/types.h"
+#include "obs/contraction_profile.h"
 
 namespace phast {
 
@@ -32,12 +33,24 @@ struct CHParams {
   /// never breaks correctness.
   uint32_t max_witness_settled = 0;
 
-  /// After contracting a vertex, fully re-simulate each neighbor to refresh
-  /// its priority (the paper's policy, parallelized there). When false,
-  /// only the cheap CN/level terms are refreshed eagerly and the expensive
-  /// ED/H terms lazily at pop time — roughly 2-4x faster preprocessing for
-  /// ~15-25% more shortcuts.
+  /// After a round, re-simulate every vertex whose neighborhood changed to
+  /// refresh its ED/H priority terms (the paper's policy, parallelized the
+  /// same way, §VIII-A). When false, only the cheap CN/level terms are
+  /// refreshed and ED/H stay at their initial estimates — roughly 2-4x
+  /// faster preprocessing for ~15-25% more shortcuts.
   bool eager_neighbor_updates = true;
+
+  /// OpenMP threads for the batched contraction rounds; 0 = all available.
+  /// The engine is deterministic by construction: ranks, levels, and
+  /// shortcut sets are bit-identical for every thread count (DESIGN.md §9).
+  uint32_t threads = 0;
+
+  /// Independence rule of the batch selection: a vertex is contracted in a
+  /// round iff its (priority, id) key is minimal within this many hops of
+  /// uncontracted neighborhood. 1 (default) admits batches that share
+  /// neighbors; 2 forbids even that, trading smaller batches for strictly
+  /// disjoint merge regions. Must be 1 or 2.
+  uint32_t batch_neighborhood = 1;
 };
 
 /// Summary statistics of one preprocessing run, for logs and benchmarks.
@@ -45,13 +58,24 @@ struct CHStats {
   size_t shortcuts_added = 0;
   size_t witness_searches = 0;
   uint32_t num_levels = 0;
+  /// Batched-contraction rounds executed (== profile.NumRounds()).
+  uint32_t rounds = 0;
   double seconds = 0.0;
+  /// Per-round batch/witness profile (round count, batch sizes, settled
+  /// totals) — populated on every run; rendering is the caller's choice.
+  obs::ContractionProfile profile;
 };
 
-/// Runs CH preprocessing on `graph` (must be a forward graph): repeatedly
-/// contracts the minimum-priority vertex with lazy priority re-evaluation,
-/// adding witness-checked shortcuts. Returns ranks, levels, and the
-/// upward/downward arc sets.
+/// Runs CH preprocessing on `graph` (must be a forward graph): batched
+/// parallel contraction. Each round selects the independent set of vertices
+/// whose (priority, id) is minimal within their `batch_neighborhood`-hop
+/// uncontracted neighborhood, runs their witness searches in parallel over
+/// per-thread workspaces (each member's searches exclude its earlier-key
+/// batch peers, replaying its turn in the canonical order), then applies
+/// shortcut insertions and neighbor updates in one deterministic serial
+/// merge. Output is bit-identical
+/// regardless of `threads`. Returns ranks, levels, and the upward/downward
+/// arc sets.
 [[nodiscard]] CHData BuildContractionHierarchy(const Graph& graph,
                                                const CHParams& params = {},
                                                CHStats* stats = nullptr);

@@ -1,0 +1,88 @@
+#include "obs/contraction_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace phast::obs {
+namespace {
+
+void AppendU64(std::string& out, const char* key, uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+}  // namespace
+
+uint32_t ContractionProfile::MaxBatch() const {
+  uint32_t max_batch = 0;
+  for (const ContractionRound& r : rounds) {
+    max_batch = std::max(max_batch, r.batch);
+  }
+  return max_batch;
+}
+
+double ContractionProfile::AvgBatch() const {
+  if (rounds.empty()) return 0.0;
+  return static_cast<double>(TotalContracted()) /
+         static_cast<double>(rounds.size());
+}
+
+uint64_t ContractionProfile::TotalContracted() const {
+  uint64_t total = 0;
+  for (const ContractionRound& r : rounds) total += r.batch;
+  return total;
+}
+
+uint64_t ContractionProfile::TotalWitnessSettled() const {
+  uint64_t total = init_witness_settled;
+  for (const ContractionRound& r : rounds) total += r.witness_settled;
+  return total;
+}
+
+std::string ContractionProfile::ToJson() const {
+  std::string out = "{";
+  AppendU64(out, "threads", threads);
+  out += ",";
+  AppendU64(out, "batch_neighborhood", batch_neighborhood);
+  out += ",";
+  AppendU64(out, "num_rounds", NumRounds());
+  out += ",";
+  AppendU64(out, "max_batch", MaxBatch());
+  out += ",";
+  AppendU64(out, "total_contracted", TotalContracted());
+  out += ",";
+  AppendU64(out, "total_witness_settled", TotalWitnessSettled());
+  out += ",\"init\":{";
+  AppendU64(out, "nanos", init_nanos);
+  out += ",";
+  AppendU64(out, "witness_searches", init_witness_searches);
+  out += ",";
+  AppendU64(out, "witness_settled", init_witness_settled);
+  out += "},\"rounds\":[";
+  bool first = true;
+  for (const ContractionRound& r : rounds) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    AppendU64(out, "round", r.round);
+    out += ",";
+    AppendU64(out, "batch", r.batch);
+    out += ",";
+    AppendU64(out, "refreshed", r.refreshed);
+    out += ",";
+    AppendU64(out, "shortcuts", r.shortcuts);
+    out += ",";
+    AppendU64(out, "witness_searches", r.witness_searches);
+    out += ",";
+    AppendU64(out, "witness_settled", r.witness_settled);
+    out += ",";
+    AppendU64(out, "nanos", r.nanos);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace phast::obs

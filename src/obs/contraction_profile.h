@@ -1,0 +1,57 @@
+// Per-round contraction profiling (DESIGN.md §9): the batched parallel CH
+// preprocessing engine contracts one independent set per round, and the
+// shape of those rounds — how many there are, how large the batches get,
+// how much witness-search work each one settles — is what determines both
+// preprocessing wall-time and how well it scales with threads. Like
+// SweepProfile, this struct is filled by the engine (src/ch/contraction.cpp
+// populates it into CHStats) and rendered to JSON for the bench emitters
+// and phast_trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phast::obs {
+
+/// One contraction round: the independent set it contracted and the work
+/// its parallel phases performed.
+struct ContractionRound {
+  uint32_t round = 0;      ///< 1-based round number
+  uint32_t batch = 0;      ///< vertices contracted this round
+  uint32_t refreshed = 0;  ///< dirty vertices re-simulated for priorities
+  uint64_t shortcuts = 0;  ///< shortcuts the round's merge step inserted
+  uint64_t witness_searches = 0;  ///< searches run (refresh + batch phases)
+  uint64_t witness_settled = 0;   ///< vertices settled across those searches
+  uint64_t nanos = 0;             ///< wall time of the whole round
+};
+
+/// Profile of one preprocessing run. Rounds appear in execution order; the
+/// initial whole-graph priority pass is reported separately because it is
+/// not a contraction round (nothing is contracted).
+struct ContractionProfile {
+  uint32_t threads = 0;             ///< resolved thread count of the run
+  uint32_t batch_neighborhood = 1;  ///< independence rule (1- or 2-hop)
+  uint64_t init_nanos = 0;          ///< initial priority pass wall time
+  uint64_t init_witness_searches = 0;
+  uint64_t init_witness_settled = 0;
+  std::vector<ContractionRound> rounds;
+
+  [[nodiscard]] uint32_t NumRounds() const {
+    return static_cast<uint32_t>(rounds.size());
+  }
+  /// Largest independent set contracted in one round.
+  [[nodiscard]] uint32_t MaxBatch() const;
+  /// Mean batch size (0 when no rounds ran).
+  [[nodiscard]] double AvgBatch() const;
+  /// Total vertices contracted (sum of batch sizes).
+  [[nodiscard]] uint64_t TotalContracted() const;
+  /// Total witness-settled vertices across init + all rounds.
+  [[nodiscard]] uint64_t TotalWitnessSettled() const;
+
+  /// Compact JSON object ({"threads":..,"rounds":[..],..}) used by
+  /// bench_ch_preprocessing and phast_trace --json.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+}  // namespace phast::obs

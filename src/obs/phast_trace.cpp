@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/contraction_profile.h"
 #include "obs/perf_counters.h"
 #include "obs/sweep_profile.h"
 #include "obs/trace.h"
@@ -29,8 +30,10 @@ int main(int argc, char** argv) {
   if (cli.Has("help")) {
     std::printf(
         "usage: %s [--width=W --height=H --seed=S] [--k=K] [--sweeps=N]\n"
+        "          [--ch-threads=N]    contraction threads (0 = all)\n"
         "          [--trace-out=FILE]  write Chrome trace JSON\n"
-        "          [--json]            print the sweep profile as JSON\n",
+        "          [--json]            print sweep + contraction profiles as "
+        "JSON\n",
         cli.ProgramName().c_str());
     return 0;
   }
@@ -48,12 +51,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  PrepareOptions prepare_options;
+  prepare_options.ch_params.threads =
+      static_cast<uint32_t>(cli.GetInt("ch-threads", 0));
   const PreparedNetwork prepared = [&] {
     PHAST_SPAN("trace.prepare");
-    return PrepareNetwork(GenerateCountry(params).edges);
+    return PrepareNetwork(GenerateCountry(params).edges, prepare_options);
   }();
-  std::printf("instance: %u vertices, %u CH levels\n", prepared.NumVertices(),
-              prepared.ch.NumLevels());
+  const obs::ContractionProfile& ch_profile = prepared.ch_stats.profile;
+  std::printf(
+      "instance: %u vertices, %u CH levels (contraction: %u threads, "
+      "%u rounds, max batch %u, avg %.1f, %.2fs)\n",
+      prepared.NumVertices(), prepared.ch.NumLevels(), ch_profile.threads,
+      ch_profile.NumRounds(), ch_profile.MaxBatch(), ch_profile.AvgBatch(),
+      prepared.ch_stats.seconds);
 
   Phast::Options options;
   options.collect_profile = true;
@@ -91,6 +102,7 @@ int main(int argc, char** argv) {
               obs::FormatPerfSample(sample, perf.Available()).c_str());
   if (cli.GetBool("json", false)) {
     std::printf("%s\n", profile.ToJson().c_str());
+    std::printf("%s\n", ch_profile.ToJson().c_str());
   }
 
   if (cli.Has("trace-out")) {

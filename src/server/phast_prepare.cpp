@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: %s --out=PATH [--graph=DIMACS.gr]\n"
         "          [--width=W --height=H --seed=S --metric=time|distance]\n"
+        "          [--threads=N]             contraction threads (0 = all)\n"
+        "          [--batch-neighborhood=H]  independence rule, 1 or 2 hops\n"
         "          [--no-graph]  (omit the verification graph section)\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
@@ -51,9 +53,22 @@ int main(int argc, char** argv) {
   std::printf("input: %u vertices, %zu arcs\n", edges.NumVertices(),
               edges.NumArcs());
 
-  const PreparedNetwork prepared = PrepareNetwork(edges);
-  std::printf("prepared: %u vertices (largest SCC), %u CH levels\n",
-              prepared.NumVertices(), prepared.ch.NumLevels());
+  // Snapshot bytes are independent of the thread count (the contraction
+  // engine is deterministic, DESIGN.md §9) — these knobs only change how
+  // fast the snapshot is produced.
+  PrepareOptions options;
+  options.ch_params.threads =
+      static_cast<uint32_t>(cli.GetInt("threads", 0));
+  options.ch_params.batch_neighborhood =
+      static_cast<uint32_t>(cli.GetInt("batch-neighborhood", 1));
+
+  const PreparedNetwork prepared = PrepareNetwork(edges, options);
+  std::printf(
+      "prepared: %u vertices (largest SCC), %u CH levels "
+      "(%u threads, %u rounds, %.2fs)\n",
+      prepared.NumVertices(), prepared.ch.NumLevels(),
+      prepared.ch_stats.profile.threads, prepared.ch_stats.rounds,
+      prepared.ch_stats.seconds);
 
   const Phast engine(prepared.ch);
   const server::Snapshot snapshot = server::MakeSnapshot(

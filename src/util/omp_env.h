@@ -9,6 +9,18 @@
 #include <omp.h>
 #endif
 
+/// Marks a function whose body is (mostly) an OpenMP parallel region shell.
+/// Under -fsanitize=thread the shell is left uninstrumented: the
+/// compiler-generated block that passes the shared() variables is written
+/// by the encountering thread at region entry and read in the outlined
+/// function's prologue — before any user statement can order the access —
+/// and libgomp's futex-based team start gives TSan no happens-before edge,
+/// so every such region reports a false race on that block. Pair with an
+/// OmpTeamFence (whose operations stay instrumented, see below) so the
+/// region's *payload* accesses keep real, TSan-visible ordering, and keep
+/// the shell thin — code inlined into it loses instrumentation.
+#define PHAST_OMP_REGION_NO_TSAN __attribute__((no_sanitize_thread))
+
 namespace phast {
 
 /// Thin wrappers over OpenMP runtime queries so that library code compiles
@@ -92,6 +104,91 @@ class OmpExceptionGuard {
   AnnotatedMutex mu_;
   std::exception_ptr first_error_ GUARDED_BY(mu_);
   std::atomic<bool> cancelled_{false};  // monotonic; set under mu_ only
+};
+
+/// Explicit acquire/release edges around an OpenMP parallel region.
+///
+/// libgomp's team barriers synchronize through raw futexes that
+/// ThreadSanitizer cannot see, so back-to-back parallel regions look racy
+/// to it: a worker's last access in one region appears concurrent with the
+/// main thread's next access to the same memory — including the
+/// compiler-generated block that passes the shared() variables, which the
+/// main thread writes at every region entry. The fence closes the gap with
+/// real C++ atomics, a few operations per region, not per iteration:
+///
+///   fence.Publish();                    // main, right before the pragma
+///   #pragma omp parallel ...
+///   {
+///     const OmpTeamFence::Scope scope(fence);   // Enter() now, Leave() at
+///     ...                                       // end of the region body
+///   }
+///   fence.Collect();                    // main, right after the pragma
+///
+/// Enter() uses the fact that the encountering thread is team member 0 and
+/// writes the argument block *before* it runs the region body: thread 0
+/// release-publishes the region's token from inside the body, and the other
+/// members spin (briefly — thread 0 enters immediately) until they acquire
+/// it, ordering everything the main thread wrote before the body with their
+/// reads. Leave()→Collect() orders every worker's writes with the main
+/// thread's subsequent accesses — and, transitively through the main
+/// thread, with the next region's workers. One fence serves any number of
+/// consecutive regions, but the workers must reach it without reading
+/// shared state (take it from a function or a global, not from a shared()
+/// capture), or the read that fetches the fence is itself unordered.
+class OmpTeamFence {
+ public:
+  // The four edge operations are noinline so they remain standalone,
+  // TSan-instrumented functions even when called from a region shell
+  // compiled with PHAST_OMP_REGION_NO_TSAN — inlined there, the atomics
+  // would lose their instrumentation and the edges would vanish from
+  // TSan's view.
+
+  /// Main thread, immediately before the pragma: opens the region's token.
+  [[gnu::noinline]] void Publish() {
+    token_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Every team member, first statement of the region body, before any
+  /// access to shared state.
+  [[gnu::noinline]] void Enter() {
+    const uint64_t token = token_.load(std::memory_order_relaxed);
+    if (CurrentThread() == 0) {
+      entry_.store(token, std::memory_order_release);
+    } else {
+      while (entry_.load(std::memory_order_acquire) < token) {
+      }
+    }
+  }
+
+  /// Every team member, last statement of the region body, after all
+  /// shared accesses. Release RMWs form one release sequence, so a single
+  /// acquire load in Collect() synchronizes with every member.
+  [[gnu::noinline]] void Leave() {
+    arrivals_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Main thread, after the region joins: acquires every member's writes.
+  [[gnu::noinline]] void Collect() {
+    (void)arrivals_.load(std::memory_order_acquire);
+  }
+
+  /// Per-thread RAII for the region body: Enter() on construction, Leave()
+  /// on destruction. Declare as the first statement of the region body.
+  class Scope {
+   public:
+    explicit Scope(OmpTeamFence& fence) : fence_(fence) { fence_.Enter(); }
+    ~Scope() { fence_.Leave(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    OmpTeamFence& fence_;
+  };
+
+ private:
+  std::atomic<uint64_t> token_{0};
+  std::atomic<uint64_t> entry_{0};
+  std::atomic<uint64_t> arrivals_{0};
 };
 
 /// Scoped override of the OpenMP thread count; restores on destruction.

@@ -3,6 +3,7 @@
 #include <exception>
 #include <iostream>
 
+#include "ch/contraction.h"
 #include "util/rng.h"
 #include "util/timer.h"
 #include "verify/mutator.h"
@@ -23,13 +24,30 @@ EdgeList BuildCase(uint64_t seed, uint32_t mutations) {
   return MutateGraph(MakeBaseGraph(seed), seed, mutations);
 }
 
+/// Preprocessing parameters of one iteration, derived from its seed like
+/// the mutation budget so a replay reconstructs the identical case: the
+/// cross-product also samples parallel contraction (threads 1-4, both
+/// independence rules) and, occasionally, a crippled witness-settle cap —
+/// the engine must stay exact and deterministic under all of them
+/// (DESIGN.md §9).
+CHParams ChParamsFor(uint64_t seed) {
+  Rng rng(seed ^ 0xC2B2AE3D27D4EB4FULL);
+  CHParams params;
+  params.threads = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+  params.batch_neighborhood = 1 + static_cast<uint32_t>(rng.NextBounded(2));
+  if (rng.NextBounded(8) == 0) {
+    params.max_witness_settled = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+  }
+  return params;
+}
+
 /// Full iteration check for (seed, mutations). "" = clean; a pipeline
 /// exception (nothing in the library should throw on mutator output) is
 /// reported as a failure too.
 std::string CheckCase(uint64_t seed, uint32_t mutations,
                       std::string* failing_config) {
   try {
-    const Oracle oracle(BuildCase(seed, mutations));
+    const Oracle oracle(BuildCase(seed, mutations), ChParamsFor(seed));
     return oracle.RunAll(seed, failing_config);
   } catch (const std::exception& e) {
     if (failing_config != nullptr) *failing_config = "pipeline";
@@ -90,7 +108,7 @@ bool ReplayCase(uint64_t seed, uint32_t mutations, const std::string& config,
   OracleConfig parsed;
   if (ParseConfigName(config, &parsed)) {
     try {
-      const Oracle oracle(BuildCase(seed, mutations));
+      const Oracle oracle(BuildCase(seed, mutations), ChParamsFor(seed));
       const std::vector<VertexId> sources =
           OracleSources(oracle.GetGraph().NumVertices(), seed);
       err = oracle.RunConfig(parsed, sources);

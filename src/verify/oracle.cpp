@@ -4,6 +4,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "ch/ch_io.h"
 #include "ch/contraction.h"
 #include "dijkstra/dijkstra.h"
 #include "phast/batch.h"
@@ -154,11 +155,12 @@ std::vector<OracleConfig> FullConfigCrossProduct() {
   return configs;
 }
 
-Oracle::Oracle(const EdgeList& edges) {
+Oracle::Oracle(const EdgeList& edges, const CHParams& ch_params)
+    : ch_params_(ch_params) {
   EdgeList normalized = edges;
   normalized.Normalize();
   graph_ = Graph::FromEdgeList(normalized);
-  ch_ = BuildContractionHierarchy(graph_);
+  ch_ = BuildContractionHierarchy(graph_, ch_params_);
   gplus_arcs_.reserve(ch_.up_arcs.size() + ch_.down_arcs.size());
   for (const CHArc& a : ch_.up_arcs) {
     gplus_arcs_.push_back(Edge{a.tail, a.head, a.weight});
@@ -372,6 +374,33 @@ std::string Oracle::RunAll(uint64_t seed, std::string* failing_config) const {
   {
     std::string err = CheckBatchDriver(sources, refs);
     if (!err.empty()) return fail("batch-driver", std::move(err));
+  }
+
+  {
+    std::string err = CheckChDeterminism();
+    if (!err.empty()) return fail("ch-determinism", std::move(err));
+  }
+  return "";
+}
+
+std::string Oracle::CheckChDeterminism() const {
+  // Rebuild the hierarchy with a different thread count: the batched
+  // engine's output must be bit-identical (DESIGN.md §9). Serialized bytes
+  // compare ranks, levels, and both arc sets in one shot.
+  CHParams other = ch_params_;
+  other.threads = ch_params_.threads == 1 ? 3 : 1;
+  const CHData rebuilt = BuildContractionHierarchy(graph_, other);
+  std::ostringstream expected;
+  std::ostringstream actual;
+  WriteCH(ch_, expected);
+  WriteCH(rebuilt, actual);
+  if (expected.str() != actual.str()) {
+    std::ostringstream out;
+    out << "CH not deterministic across thread counts: threads="
+        << ch_params_.threads << " vs threads=" << other.threads
+        << " serialize to different bytes (" << expected.str().size() << " vs "
+        << actual.str().size() << ")";
+    return out.str();
   }
   return "";
 }

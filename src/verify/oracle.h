@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ch/ch_data.h"
+#include "ch/contraction.h"
 #include "graph/csr.h"
 #include "graph/edge_list.h"
 #include "graph/types.h"
@@ -54,10 +55,12 @@ struct OracleConfig {
 class Oracle {
  public:
   /// Normalizes a copy of `edges` (the documented pipeline step: drop
-  /// self-loops, keep cheapest parallel arc) and preprocesses it. The graph
-  /// may be disconnected; unreachable vertices must stay at +infinity in
-  /// every configuration.
-  explicit Oracle(const EdgeList& edges);
+  /// self-loops, keep cheapest parallel arc) and preprocesses it with
+  /// `ch_params`. The graph may be disconnected; unreachable vertices must
+  /// stay at +infinity in every configuration. The fuzzer samples
+  /// `ch_params` (thread counts, batch neighborhood, witness caps) so the
+  /// oracle cross-product also covers parallel preprocessing.
+  explicit Oracle(const EdgeList& edges, const CHParams& ch_params = {});
 
   [[nodiscard]] const Graph& GetGraph() const { return graph_; }
   [[nodiscard]] const CHData& GetCH() const { return ch_; }
@@ -69,10 +72,13 @@ class Oracle {
                                       std::span<const VertexId> sources) const;
 
   /// One full fuzz-iteration check: seeds a source set, runs the entire
-  /// configuration cross-product, the ComputeManyTrees batch driver, and
-  /// the invariant checkers. On failure returns the diagnosis and stores
+  /// configuration cross-product, the ComputeManyTrees batch driver, the
+  /// invariant checkers, and the CH determinism cross-check (the hierarchy
+  /// rebuilt with a different thread count must serialize to identical
+  /// bytes, DESIGN.md §9). On failure returns the diagnosis and stores
   /// the canonical name of the failing configuration in *failing_config
-  /// ("batch-driver" / "invariants" for the non-config checks).
+  /// ("batch-driver" / "invariants" / "ch-determinism" for the non-config
+  /// checks).
   [[nodiscard]] std::string RunAll(uint64_t seed,
                                    std::string* failing_config = nullptr) const;
 
@@ -93,8 +99,12 @@ class Oracle {
                                          uint64_t sample_seed) const;
   [[nodiscard]] bool HasGPlusArc(VertexId tail, VertexId head,
                                  Weight weight) const;
+  /// Rebuilds the CH with a different thread count and requires identical
+  /// serialized bytes.
+  [[nodiscard]] std::string CheckChDeterminism() const;
 
   Graph graph_;
+  CHParams ch_params_;
   CHData ch_;
   std::vector<Edge> gplus_arcs_;  // sorted by (tail, head, weight)
 };

@@ -1,0 +1,204 @@
+// Determinism suite for the batched parallel contraction engine
+// (DESIGN.md §9): the whole point of the select-then-merge round design is
+// that ranks, levels, shortcut arc sets, and even serialized bytes are
+// bit-identical for every thread count. These tests pin that contract
+// across several seeded graph families and parameter corners, plus the
+// max_witness_settled=1 regression (a batch whose every witness search hits
+// the settle cap must still terminate and stay witness-sound).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/ch_io.h"
+#include "ch/contraction.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "pq/dary_heap.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+Graph CountryGraph(uint32_t side, uint64_t seed) {
+  CountryParams params;
+  params.width = side;
+  params.height = side;
+  params.seed = seed;
+  const GeneratedGraph g = GenerateCountry(params);
+  return Graph::FromEdgeList(LargestStronglyConnectedComponent(g.edges).edges);
+}
+
+Graph GeometricGraph(uint32_t n, uint64_t seed) {
+  const GeneratedGraph g = GenerateRandomGeometric(n, 0.08, seed);
+  return Graph::FromEdgeList(LargestStronglyConnectedComponent(g.edges).edges);
+}
+
+Graph GnmGraph(uint32_t n, uint64_t m, uint64_t seed) {
+  return Graph::FromEdgeList(
+      LargestStronglyConnectedComponent(GenerateGnm(n, m, 1000, seed)).edges);
+}
+
+std::string SerializedBytes(const CHData& ch) {
+  std::ostringstream out;
+  WriteCH(ch, out);
+  return out.str();
+}
+
+/// Builds the hierarchy once per thread count and asserts every output
+/// field (and the serialized ch_io byte stream) is identical to the
+/// threads=1 reference.
+void ExpectIdenticalAcrossThreads(const Graph& g, CHParams params) {
+  params.threads = 1;
+  CHStats ref_stats;
+  const CHData reference = BuildContractionHierarchy(g, params, &ref_stats);
+  const std::string ref_bytes = SerializedBytes(reference);
+  for (const uint32_t threads : {2u, 8u}) {
+    params.threads = threads;
+    CHStats stats;
+    const CHData ch = BuildContractionHierarchy(g, params, &stats);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(ch.rank, reference.rank);
+    EXPECT_EQ(ch.level, reference.level);
+    EXPECT_EQ(ch.up_arcs, reference.up_arcs);
+    EXPECT_EQ(ch.down_arcs, reference.down_arcs);
+    EXPECT_EQ(ch.num_shortcuts, reference.num_shortcuts);
+    EXPECT_EQ(SerializedBytes(ch), ref_bytes);
+    // The round structure itself is thread-count-independent too.
+    EXPECT_EQ(stats.rounds, ref_stats.rounds);
+    EXPECT_EQ(stats.shortcuts_added, ref_stats.shortcuts_added);
+    EXPECT_EQ(stats.witness_searches, ref_stats.witness_searches);
+  }
+}
+
+class ChDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChDeterminism, CountryGraphBitIdentical) {
+  ExpectIdenticalAcrossThreads(CountryGraph(10, GetParam()), CHParams{});
+}
+
+TEST_P(ChDeterminism, RandomGeometricBitIdentical) {
+  ExpectIdenticalAcrossThreads(GeometricGraph(400, GetParam()), CHParams{});
+}
+
+TEST_P(ChDeterminism, GnmBitIdentical) {
+  ExpectIdenticalAcrossThreads(GnmGraph(300, 1200, GetParam()), CHParams{});
+}
+
+TEST_P(ChDeterminism, TwoHopNeighborhoodBitIdentical) {
+  CHParams params;
+  params.batch_neighborhood = 2;
+  ExpectIdenticalAcrossThreads(CountryGraph(10, GetParam()), params);
+}
+
+TEST_P(ChDeterminism, LazyUpdatesBitIdentical) {
+  CHParams params;
+  params.eager_neighbor_updates = false;
+  ExpectIdenticalAcrossThreads(CountryGraph(10, GetParam()), params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChDeterminism, ::testing::Values(1, 7, 42));
+
+TEST(ChParallel, AutoThreadsMatchesSerialReference) {
+  const Graph g = CountryGraph(12, 3);
+  CHParams params;
+  params.threads = 1;
+  const CHData reference = BuildContractionHierarchy(g, params);
+  params.threads = 0;  // auto: all available
+  const CHData ch = BuildContractionHierarchy(g, params);
+  EXPECT_EQ(SerializedBytes(ch), SerializedBytes(reference));
+}
+
+TEST(ChParallel, RepeatedRunsAreIdentical) {
+  const Graph g = GeometricGraph(300, 11);
+  CHParams params;
+  params.threads = 4;
+  const std::string first = SerializedBytes(BuildContractionHierarchy(g, params));
+  const std::string second =
+      SerializedBytes(BuildContractionHierarchy(g, params));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ChParallel, ParallelBuildAnswersDijkstraExactDistances) {
+  const Graph g = CountryGraph(9, 5);
+  CHParams params;
+  params.threads = 8;
+  const CHData ch = BuildContractionHierarchy(g, params);
+  CHQuery query(ch);
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(query.Distance(s, t), ref.dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ChParallel, ProfileAccountsForEveryVertex) {
+  const Graph g = CountryGraph(10, 2);
+  CHParams params;
+  params.threads = 4;
+  CHStats stats;
+  const CHData ch = BuildContractionHierarchy(g, params, &stats);
+  EXPECT_EQ(stats.profile.TotalContracted(), ch.num_vertices);
+  EXPECT_EQ(stats.profile.NumRounds(), stats.rounds);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_EQ(stats.profile.threads, 4u);
+  EXPECT_EQ(stats.profile.batch_neighborhood, 1u);
+  EXPECT_GT(stats.profile.MaxBatch(), 0u);
+  uint64_t batch_sum = 0;
+  for (const obs::ContractionRound& r : stats.profile.rounds) {
+    EXPECT_EQ(r.round, &r - stats.profile.rounds.data() + 1u);
+    EXPECT_GT(r.batch, 0u);  // progress guarantee: every round contracts
+    batch_sum += r.batch;
+  }
+  EXPECT_EQ(batch_sum, ch.num_vertices);
+  EXPECT_FALSE(stats.profile.ToJson().empty());
+}
+
+TEST(ChParallel, BatchingBeatsOneVertexPerRound) {
+  // The independent-set rule must actually batch on road-like graphs —
+  // otherwise the parallel engine degenerates to serial contraction.
+  const Graph g = CountryGraph(14, 1);
+  CHStats stats;
+  const CHData ch = BuildContractionHierarchy(g, CHParams{}, &stats);
+  EXPECT_EQ(ch.num_vertices, g.NumVertices());
+  EXPECT_LT(stats.rounds, g.NumVertices() / 4);
+  EXPECT_GT(stats.profile.MaxBatch(), 8u);
+}
+
+// Regression: a settle cap of 1 starves every witness search (each one
+// gives up after a single settled vertex), so whole batches find no
+// witnesses at all. The engine must still terminate — selection does not
+// depend on witness results, so the global key minimum is contracted every
+// round — and stay witness-sound (capped searches only add shortcuts).
+class ChSettleCap : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChSettleCap, SettleCapOfOneTerminatesAndStaysExact) {
+  const Graph g = CountryGraph(8, GetParam());
+  CHParams params;
+  params.max_witness_settled = 1;
+  ExpectIdenticalAcrossThreads(g, params);
+
+  params.threads = 8;
+  const CHData ch = BuildContractionHierarchy(g, params);
+  CHQuery query(ch);
+  Rng rng(GetParam());
+  for (int i = 0; i < 4; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(query.Distance(s, t), ref.dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChSettleCap, ::testing::Values(1, 9));
+
+}  // namespace
+}  // namespace phast

@@ -10,10 +10,12 @@
 #   BENCH_WIDTH / BENCH_HEIGHT   instance size        (default 96x96)
 #   BENCH_SOURCES                sources per average  (default 4)
 #   BENCH_REQUESTS               bench_server load    (default 2000)
+#   BENCH_THREADS_LIST           ch_preprocessing     (default 1,2,4,8)
 #   BENCH_KERNELS_FILTER         --benchmark_filter   (default all)
 #
 # Aggregated benches: tab1_single_tree, fig1_levels (with a profiled-sweep
-# section), server, and the google-benchmark kernels microbenches.
+# section), server, ch_preprocessing (build-time scaling with a per-round
+# contraction profile), and the google-benchmark kernels microbenches.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -22,10 +24,12 @@ WIDTH="${BENCH_WIDTH:-96}"
 HEIGHT="${BENCH_HEIGHT:-96}"
 SOURCES="${BENCH_SOURCES:-4}"
 REQUESTS="${BENCH_REQUESTS:-2000}"
+THREADS_LIST="${BENCH_THREADS_LIST:-1,2,4,8}"
 KERNELS_FILTER="${BENCH_KERNELS_FILTER:-.*}"
 
 for binary in bench/bench_tab1_single_tree bench/bench_fig1_levels \
-              bench/bench_server bench/bench_kernels; do
+              bench/bench_server bench/bench_ch_preprocessing \
+              bench/bench_kernels; do
   if [[ ! -x "$BUILD_DIR/$binary" ]]; then
     echo "bench_all: $BUILD_DIR/$binary not built" >&2
     exit 2
@@ -50,6 +54,11 @@ echo "=== bench_all: server ===" >&2
   --width="$WIDTH" --height="$HEIGHT" --requests="$REQUESTS" \
   --json-out="$TMP/server.json"
 
+echo "=== bench_all: ch_preprocessing ===" >&2
+"$BUILD_DIR/bench/bench_ch_preprocessing" \
+  --width="$WIDTH" --height="$HEIGHT" --threads-list="$THREADS_LIST" \
+  --json-out="$TMP/ch_preprocessing.json"
+
 echo "=== bench_all: kernels ===" >&2
 "$BUILD_DIR/bench/bench_kernels" \
   --benchmark_filter="$KERNELS_FILTER" \
@@ -61,7 +70,8 @@ import sys
 
 tmp, output = sys.argv[1], sys.argv[2]
 doc = {"schema": "phast-bench-v1", "benches": {}}
-for name in ("tab1_single_tree", "fig1_levels", "server", "kernels"):
+for name in ("tab1_single_tree", "fig1_levels", "server", "ch_preprocessing",
+              "kernels"):
     with open(f"{tmp}/{name}.json", encoding="utf-8") as f:
         doc["benches"][name] = json.load(f)
 with open(output, "w", encoding="utf-8") as f:

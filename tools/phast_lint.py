@@ -480,6 +480,29 @@ SELF_TEST_CASES = [
         "  { work(); }\n}\n",
         None,
     ),
+    # The batched contraction engine's region shape: num_threads + a
+    # multi-line shared() list — the continuation must not hide a missing
+    # default(none).
+    (
+        "omp-default-none/batched-contraction-good",
+        "src/ch/a.cpp",
+        "void f() {\n"
+        "#pragma omp parallel for schedule(dynamic, 4) \\\n"
+        "    num_threads(threads_) default(none) \\\n"
+        "    shared(batch, pool, sims, guard)\n"
+        "  for (size_t i = 0; i < batch.size(); ++i) work(i);\n}\n",
+        None,
+    ),
+    (
+        "omp-default-none/batched-contraction-bad",
+        "src/ch/a.cpp",
+        "void f() {\n"
+        "#pragma omp parallel for schedule(dynamic, 4) \\\n"
+        "    num_threads(threads_) \\\n"
+        "    shared(batch, pool, sims, guard)\n"
+        "  for (size_t i = 0; i < batch.size(); ++i) work(i);\n}\n",
+        "omp-default-none",
+    ),
     (
         "stale-parent/bad",
         "src/x/a.cpp",
