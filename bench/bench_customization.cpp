@@ -1,0 +1,149 @@
+// Metric customization vs full rebuild (DESIGN.md §10): on a witness-free
+// hierarchy the shortcut topology is metric-independent, so swapping the
+// cost function is a CustomizeWeights pass over the fixed structure instead
+// of a from-scratch contraction. This bench measures the gap the serving
+// path relies on (snapshot swaps customize, they never re-contract) and
+// *asserts* the equivalence that makes the shortcut legal: every customized
+// hierarchy is serialized and compared byte-for-byte against a fresh
+// witness-free rebuild on the same metric before its timing is reported.
+//
+// --min-speedup=X turns the bench into a gate: exit 1 if the mean
+// customize-vs-rebuild speedup falls below X (0, the default, never fails).
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ch/ch_io.h"
+#include "ch/customize.h"
+#include "common.h"
+#include "graph/connectivity.h"
+#include "graph/reorder.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace phast;
+using namespace phast::bench;
+
+namespace {
+
+std::string SerializeCH(const CHData& ch) {
+  std::ostringstream out;
+  WriteCH(ch, out);
+  return out.str();
+}
+
+/// Same topology as `base`, every arc re-weighted from `rng` (uniform in
+/// [1, 100'000], the range phast_reweight drives at the server).
+Graph Reweight(const Graph& base, Rng& rng) {
+  std::vector<Arc> arcs = base.ArcArray();
+  for (Arc& arc : arcs) {
+    arc.weight = static_cast<Weight>(rng.NextInRange(1, 100'000));
+  }
+  return Graph::FromCsrArrays(base.FirstArray(), std::move(arcs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+  const int rounds = static_cast<int>(cli.GetInt("rounds", 3));
+  const double min_speedup = cli.GetDouble("min-speedup", 0.0);
+  Require(rounds >= 1, "--rounds must be at least 1");
+
+  // Built by hand (like bench_ch_preprocessing): MakeCountryInstance runs a
+  // witness-pruned preprocessing pass we cannot customize.
+  CountryParams country;
+  country.width = config.width;
+  country.height = config.height;
+  country.seed = config.seed;
+  const GeneratedGraph raw = GenerateCountry(country);
+  const SubgraphResult scc = LargestStronglyConnectedComponent(raw.edges);
+  const Graph unordered = Graph::FromEdgeList(scc.edges);
+  const Permutation dfs = DfsPermutation(unordered, 0);
+  const Graph g = Graph::FromEdgeList(ApplyPermutation(scc.edges, dfs));
+
+  CHParams params = config.ChParams();
+  params.witness_pruning = false;  // customizable mode: topology is metric-free
+
+  std::printf("=== metric customization vs witness-free rebuild ===\n\n");
+  std::printf("instance country-%ux%u  n=%u  m=%zu  threads=%u\n\n",
+              config.width, config.height, g.NumVertices(), g.NumArcs(),
+              params.threads);
+
+  CHStats base_stats;
+  Timer base_timer;
+  const CHData base = BuildContractionHierarchy(g, params, &base_stats);
+  const double base_build_ms = base_timer.ElapsedMs();
+  std::printf("base build: %.1f ms  (%zu shortcuts, %u levels)\n\n",
+              base_build_ms, base.num_shortcuts, base.NumLevels());
+  std::printf("%8s%16s%14s%10s%14s\n", "round", "customize ms", "rebuild ms",
+              "speedup", "identical");
+
+  BenchReport report("customization");
+  report.AddConfig("width", config.width);
+  report.AddConfig("height", config.height);
+  report.AddConfig("seed", config.seed);
+  report.AddConfig("rounds", rounds);
+  report.AddConfig("vertices", g.NumVertices());
+  report.AddConfig("arcs", g.NumArcs());
+  report.AddConfig("gplus_arcs", base.up_arcs.size() + base.down_arcs.size());
+  report.AddConfig("base_build_ms", base_build_ms);
+
+  CustomizeOptions customize_options;
+  customize_options.threads = params.threads;
+
+  Rng rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
+  double speedup_sum = 0.0;
+  double worst_speedup = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const Graph metric = Reweight(g, rng);
+
+    CHData customized = base;  // swap input: the served hierarchy, old metric
+    CustomizeStats customize_stats;
+    Timer customize_timer;
+    CustomizeWeights(customized, metric, customize_options, &customize_stats);
+    const double customize_ms = customize_timer.ElapsedMs();
+
+    Timer rebuild_timer;
+    const CHData rebuilt = BuildContractionHierarchy(metric, params);
+    const double rebuild_ms = rebuild_timer.ElapsedMs();
+
+    Require(SerializeCH(customized) == SerializeCH(rebuilt),
+            "customized hierarchy diverged from the fresh rebuild");
+
+    const double speedup = rebuild_ms / customize_ms;
+    speedup_sum += speedup;
+    worst_speedup = round == 0 ? speedup : std::min(worst_speedup, speedup);
+    std::printf("%8d%16.1f%14.1f%9.1fx%14s\n", round, customize_ms, rebuild_ms,
+                speedup, "yes");
+
+    BenchReport::Row& row = report.AddRow("round " + std::to_string(round));
+    row.Add("round", round)
+        .Add("customize_ms", customize_ms)
+        .Add("rebuild_ms", rebuild_ms)
+        .Add("speedup", speedup)
+        .Add("triangles_relaxed", customize_stats.triangles_relaxed)
+        .Add("byte_identical", true);
+  }
+
+  const double mean_speedup = speedup_sum / rounds;
+  std::printf("\nmean speedup %.1fx  worst %.1fx\n", mean_speedup,
+              worst_speedup);
+  BenchReport::Row& summary = report.AddRow("summary");
+  summary.Add("mean_speedup", mean_speedup).Add("worst_speedup", worst_speedup);
+  report.WriteJsonIfRequested(cli);
+
+  if (min_speedup > 0.0 && mean_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "bench_customization: mean speedup %.2fx below the "
+                 "--min-speedup=%.2f gate\n",
+                 mean_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

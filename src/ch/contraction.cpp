@@ -609,30 +609,40 @@ class Contractor {
       const VertexId u = in_arc.other;
       if (contracted_[u]) continue;
 
-      // The witness bound covers the most expensive u -> v -> w pair.
-      Weight bound = 0;
-      targets.clear();
-      for (const DynArc& out_arc : out_[v]) {
-        if (contracted_[out_arc.other] || out_arc.other == u) continue;
-        bound = std::max(bound, SaturatingAdd(in_arc.weight, out_arc.weight));
-        targets.push_back(out_arc.other);
-      }
-      if (targets.empty()) continue;
+      if (params_.witness_pruning) {
+        // The witness bound covers the most expensive u -> v -> w pair.
+        Weight bound = 0;
+        targets.clear();
+        for (const DynArc& out_arc : out_[v]) {
+          if (contracted_[out_arc.other] || out_arc.other == u) continue;
+          bound = std::max(bound, SaturatingAdd(in_arc.weight, out_arc.weight));
+          targets.push_back(out_arc.other);
+        }
+        if (targets.empty()) continue;
 
-      ++sim.witness_searches;
-      sim.witness_settled += RunWitnessSearch(u, v, bound, hop_limit, targets,
-                                              exclude_batch, ws);
+        ++sim.witness_searches;
+        sim.witness_settled += RunWitnessSearch(u, v, bound, hop_limit, targets,
+                                                exclude_batch, ws);
+      }
 
       for (const DynArc& out_arc : out_[v]) {
         const VertexId w = out_arc.other;
         if (contracted_[w] || w == u) continue;
         const Weight through_v = SaturatingAdd(in_arc.weight, out_arc.weight);
-        if (WitnessDistance(w, ws) <= through_v) continue;  // witness found
+        if (params_.witness_pruning &&
+            WitnessDistance(w, ws) <= through_v) {
+          continue;  // witness found
+        }
 
         sim.shortcuts.push_back(PendingShortcut{
             u, w, through_v, in_arc.hops + out_arc.hops});
-        sim.hop_sum += std::min(in_arc.hops, params_.h_per_arc_cap) +
-                       std::min(out_arc.hops, params_.h_per_arc_cap);
+        // Customizable mode keeps priorities metric-independent: hops move
+        // only when AddOrImproveArc sees a strictly better weight, so the
+        // H(u) term would tie contraction order to the build metric.
+        if (params_.witness_pruning) {
+          sim.hop_sum += std::min(in_arc.hops, params_.h_per_arc_cap) +
+                         std::min(out_arc.hops, params_.h_per_arc_cap);
+        }
       }
     }
     return sim;

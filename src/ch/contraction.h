@@ -51,6 +51,16 @@ struct CHParams {
   /// neighbors; 2 forbids even that, trading smaller batches for strictly
   /// disjoint merge regions. Must be 1 or 2.
   uint32_t batch_neighborhood = 1;
+
+  /// When false, contraction runs in *customizable* mode (the CCH idea,
+  /// PAPERS.md): witness searches are skipped entirely and every lower
+  /// triangle becomes a shortcut. The resulting hierarchy is larger but its
+  /// topology, ranks, and levels depend only on the graph *structure*, never
+  /// on arc weights — the metric-dependent H(u) priority term is dropped as
+  /// well — so ch::CustomizeWeights can re-relax a new metric over the fixed
+  /// shortcut structure and reproduce, byte for byte, the hierarchy a fresh
+  /// contraction of the re-weighted graph would emit.
+  bool witness_pruning = true;
 };
 
 /// Summary statistics of one preprocessing run, for logs and benchmarks.

@@ -1,0 +1,371 @@
+// Metric customization over a fixed CH topology (DESIGN.md §10).
+//
+// The pass mirrors what a witness-free contraction of the re-weighted graph
+// would compute, without contracting anything:
+//
+//   reset   every arc's state becomes "no candidate yet"; arcs present in
+//           the metric graph are seeded with their new original weight
+//   index   arcs are bucketed three ways by topology only: down-arcs by
+//           head, up-arcs by tail (both keyed by the arc's minimum-rank
+//           endpoint, the via vertex that relaxes through it), and all arcs
+//           by (tail, head) for the triangle target lookup
+//   relax   via vertices are processed level by level, ascending; within a
+//           level, in parallel. Via v relaxes arc (u, w) with
+//           SaturatingAdd(w(u,v), w(v,w)) for every down-arc (u, v) and
+//           up-arc (v, w) pair.
+//
+// Why per-level passes are safe and deterministic: an arc's minimum-rank
+// endpoint x satisfies L(x) > L(v) for every via v that relaxes the arc (v
+// is adjacent to x and was contracted first), so a via only *writes* arcs
+// whose own relaxation runs in a strictly later level group, and only
+// *reads* arcs (its incident ones) whose writers all ran in strictly
+// earlier groups. Two same-level vias may still relax the same upper arc
+// concurrently; those writes merge through an atomic 64-bit min whose
+// result is the minimum over a thread-order-independent candidate set —
+// bit-identical for every thread count, like contraction (DESIGN.md §9).
+//
+// The packed 64-bit state, (weight << 32) | via_code, makes that single min
+// reproduce the rebuild's weight *and* via tie-breaking: via_code 0 is the
+// original arc (so on equal weight the original wins and via stays
+// kInvalidVertex, matching AddOrImproveArc's strict-improvement rule) and
+// via_code rank(v)+1 orders equal-weight shortcut candidates by contraction
+// rank, matching the canonical order in which a rebuild would have offered
+// them.
+#include "ch/customize.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "graph/types.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/omp_env.h"
+#include "util/timer.h"
+
+namespace phast {
+namespace {
+
+/// TSan-visible ordering edges for the OpenMP regions (see util/omp_env.h);
+/// function-local so region bodies reach it without reading shared state.
+OmpTeamFence& Fence() {
+  static OmpTeamFence fence;
+  return fence;
+}
+
+constexpr uint64_t kNoCandidate = ~uint64_t{0};
+
+uint64_t Pack(Weight weight, uint32_t via_code) {
+  return (static_cast<uint64_t>(weight) << 32) | via_code;
+}
+
+/// Deterministic concurrent min: the final value is min over all published
+/// candidates regardless of interleaving.
+void AtomicFetchMin(uint64_t& state, uint64_t candidate) {
+  std::atomic_ref<uint64_t> ref(state);
+  uint64_t current = ref.load(std::memory_order_relaxed);
+  while (candidate < current &&
+         !ref.compare_exchange_weak(current, candidate,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+/// One (head, slot) entry of the per-tail lookup index.
+struct HeadSlot {
+  VertexId head;
+  uint32_t slot;
+};
+
+class Customizer {
+ public:
+  Customizer(CHData& ch, const Graph& weights, const CustomizeOptions& options)
+      : ch_(ch), weights_(weights), n_(ch.num_vertices) {
+    threads_ = options.threads != 0 ? static_cast<int>(options.threads)
+                                    : std::max(1, MaxThreads());
+  }
+
+  void Run(CustomizeStats* stats) {
+    PHAST_SPAN("ch.customize");
+    const Timer total;
+    Require(n_ > 0, "cannot customize an empty hierarchy");
+    Require(ch_.rank.size() == n_ && ch_.level.size() == n_,
+            "CHData arrays have inconsistent sizes");
+    Require(weights_.NumVertices() == n_,
+            "customization metric graph has " +
+                std::to_string(weights_.NumVertices()) +
+                " vertices, the hierarchy has " + std::to_string(n_));
+
+    obs::CustomizeProfile profile;
+    profile.threads = static_cast<uint32_t>(threads_);
+
+    const size_t num_up = ch_.up_arcs.size();
+    const size_t slots = num_up + ch_.down_arcs.size();
+    state_.assign(slots, kNoCandidate);
+
+    {
+      PHAST_SPAN("ch.customize.index");
+      const Timer index_timer;
+      BuildIndexes();
+      profile.index_nanos =
+          static_cast<uint64_t>(index_timer.ElapsedSec() * 1e9);
+    }
+
+    size_t original_arcs = 0;
+    {
+      PHAST_SPAN("ch.customize.reset");
+      const Timer reset_timer;
+      original_arcs = SeedOriginalArcs();
+      profile.reset_nanos =
+          static_cast<uint64_t>(reset_timer.ElapsedSec() * 1e9);
+    }
+
+    const uint64_t triangles = RelaxLevels(&profile);
+    WriteBack();
+
+    if (stats != nullptr) {
+      stats->arcs = slots;
+      stats->original_arcs = original_arcs;
+      stats->triangles_relaxed = triangles;
+      stats->levels = profile.NumLevels();
+      stats->seconds = total.ElapsedSec();
+      stats->profile = std::move(profile);
+    }
+  }
+
+ private:
+  [[nodiscard]] Weight StateWeight(uint32_t slot) const {
+    return static_cast<Weight>(state_[slot] >> 32);
+  }
+
+  /// Slot of arc (tail, head) in the combined up+down arc space, or
+  /// kInvalidSlot when G+ has no such arc.
+  static constexpr uint32_t kInvalidSlot = ~uint32_t{0};
+  [[nodiscard]] uint32_t SlotOf(VertexId tail, VertexId head) const {
+    const auto begin = lookup_.begin() + lookup_first_[tail];
+    const auto end = lookup_.begin() + lookup_first_[tail + 1];
+    const auto it = std::lower_bound(
+        begin, end, head,
+        [](const HeadSlot& entry, VertexId h) { return entry.head < h; });
+    if (it == end || it->head != head) return kInvalidSlot;
+    return it->slot;
+  }
+
+  /// Buckets the arcs by via vertex (their minimum-rank endpoint) and
+  /// builds the per-tail (head -> slot) lookup. Topology only — reusable
+  /// across metrics, rebuilt per run for simplicity.
+  void BuildIndexes() {
+    const size_t num_up = ch_.up_arcs.size();
+    const size_t slots = num_up + ch_.down_arcs.size();
+
+    // Down arcs (u, v) with rank(u) > rank(v), grouped by their head v;
+    // up arcs (v, w) grouped by their tail v.
+    down_in_first_.assign(static_cast<size_t>(n_) + 1, 0);
+    for (const CHArc& a : ch_.down_arcs) ++down_in_first_[a.head + 1];
+    up_out_first_.assign(static_cast<size_t>(n_) + 1, 0);
+    for (const CHArc& a : ch_.up_arcs) ++up_out_first_[a.tail + 1];
+    lookup_first_.assign(static_cast<size_t>(n_) + 1, 0);
+    for (const CHArc& a : ch_.up_arcs) ++lookup_first_[a.tail + 1];
+    for (const CHArc& a : ch_.down_arcs) ++lookup_first_[a.tail + 1];
+    for (size_t v = 1; v <= n_; ++v) {
+      down_in_first_[v] += down_in_first_[v - 1];
+      up_out_first_[v] += up_out_first_[v - 1];
+      lookup_first_[v] += lookup_first_[v - 1];
+    }
+
+    down_in_slots_.resize(ch_.down_arcs.size());
+    up_out_slots_.resize(num_up);
+    lookup_.resize(slots);
+    {
+      std::vector<uint32_t> down_cursor(down_in_first_.begin(),
+                                        down_in_first_.end() - 1);
+      std::vector<uint32_t> up_cursor(up_out_first_.begin(),
+                                      up_out_first_.end() - 1);
+      std::vector<uint32_t> lookup_cursor(lookup_first_.begin(),
+                                          lookup_first_.end() - 1);
+      for (size_t i = 0; i < num_up; ++i) {
+        const CHArc& a = ch_.up_arcs[i];
+        const uint32_t slot = static_cast<uint32_t>(i);
+        up_out_slots_[up_cursor[a.tail]++] = slot;
+        lookup_[lookup_cursor[a.tail]++] = HeadSlot{a.head, slot};
+      }
+      for (size_t i = 0; i < ch_.down_arcs.size(); ++i) {
+        const CHArc& a = ch_.down_arcs[i];
+        const uint32_t slot = static_cast<uint32_t>(num_up + i);
+        down_in_slots_[down_cursor[a.head]++] = slot;
+        lookup_[lookup_cursor[a.tail]++] = HeadSlot{a.head, slot};
+      }
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      std::sort(lookup_.begin() + lookup_first_[v],
+                lookup_.begin() + lookup_first_[v + 1],
+                [](const HeadSlot& a, const HeadSlot& b) {
+                  return a.head < b.head;
+                });
+    }
+  }
+
+  /// Seeds every arc present in the metric graph with its new weight
+  /// (via_code 0: the original-arc candidate). Returns the arc count.
+  size_t SeedOriginalArcs() {
+    size_t seeded = 0;
+    for (VertexId u = 0; u < n_; ++u) {
+      for (const Arc& a : weights_.ArcsOf(u)) {
+        const uint32_t slot = SlotOf(u, a.other);
+        Require(slot != kInvalidSlot,
+                "customization metric graph has arc (" + std::to_string(u) +
+                    ", " + std::to_string(a.other) +
+                    ") which the hierarchy lacks — the hierarchy must be "
+                    "built from a graph with the same topology");
+        Require(state_[slot] == kNoCandidate,
+                "customization metric graph has parallel arcs (" +
+                    std::to_string(u) + ", " + std::to_string(a.other) +
+                    "); Normalize() the edge list first");
+        state_[slot] = Pack(a.weight, 0);
+        ++seeded;
+      }
+    }
+    return seeded;
+  }
+
+  /// Relaxes one via vertex: every (down-in, up-out) pair becomes a
+  /// lower-triangle candidate for the upper arc it spans. Returns the
+  /// number of triangles enumerated.
+  uint64_t RelaxVertex(VertexId v) {
+    uint64_t triangles = 0;
+    const uint32_t via_code = ch_.rank[v] + 1;
+    for (uint32_t di = down_in_first_[v]; di < down_in_first_[v + 1]; ++di) {
+      const uint32_t in_slot = down_in_slots_[di];
+      const VertexId u = ch_.down_arcs[in_slot - ch_.up_arcs.size()].tail;
+      const Weight w_in = StateWeight(in_slot);
+      for (uint32_t ui = up_out_first_[v]; ui < up_out_first_[v + 1]; ++ui) {
+        const uint32_t out_slot = up_out_slots_[ui];
+        const CHArc& out_arc = ch_.up_arcs[out_slot];
+        const VertexId w = out_arc.head;
+        if (w == u) continue;
+        const uint32_t target = SlotOf(u, w);
+        Require(target != kInvalidSlot,
+                "hierarchy is not triangle-closed at via " +
+                    std::to_string(v) + " (missing arc " + std::to_string(u) +
+                    " -> " + std::to_string(w) +
+                    "): build it with CHParams::witness_pruning = false to "
+                    "customize");
+        ++triangles;
+        const Weight through_v = SaturatingAdd(w_in, StateWeight(out_slot));
+        AtomicFetchMin(state_[target], Pack(through_v, via_code));
+      }
+    }
+    return triangles;
+  }
+
+  /// Ascending level groups, each one parallel pass with a barrier (the
+  /// region join) before the next. Returns total triangles.
+  uint64_t RelaxLevels(obs::CustomizeProfile* profile) {
+    // Bucket vertices by level, ascending.
+    const uint32_t num_levels = ch_.NumLevels();
+    std::vector<uint32_t> level_first(static_cast<size_t>(num_levels) + 1, 0);
+    for (VertexId v = 0; v < n_; ++v) ++level_first[ch_.level[v] + 1];
+    for (size_t l = 1; l <= num_levels; ++l) {
+      level_first[l] += level_first[l - 1];
+    }
+    std::vector<VertexId> by_level(n_);
+    {
+      std::vector<uint32_t> cursor(level_first.begin(), level_first.end() - 1);
+      for (VertexId v = 0; v < n_; ++v) by_level[cursor[ch_.level[v]]++] = v;
+    }
+
+    uint64_t total_triangles = 0;
+    for (uint32_t l = 0; l < num_levels; ++l) {
+      const Timer level_timer;
+      const uint32_t begin = level_first[l];
+      const uint32_t end = level_first[l + 1];
+      PHAST_SPAN_ARG("ch.customize.level", end - begin);
+      const uint64_t triangles = RelaxLevelGroup(by_level, begin, end);
+      total_triangles += triangles;
+      obs::CustomizeLevel row;
+      row.level = l;
+      row.vertices = end - begin;
+      row.triangles = triangles;
+      row.nanos = static_cast<uint64_t>(level_timer.ElapsedSec() * 1e9);
+      profile->levels.push_back(row);
+    }
+    return total_triangles;
+  }
+
+  /// One level group. Small groups run serially (identical result — the
+  /// atomic min commutes — without the region spawn cost).
+  PHAST_OMP_REGION_NO_TSAN uint64_t RelaxLevelGroup(
+      const std::vector<VertexId>& by_level, uint32_t begin, uint32_t end) {
+    if (threads_ == 1 || end - begin < 128) {
+      uint64_t triangles = 0;
+      for (uint32_t i = begin; i < end; ++i) {
+        triangles += RelaxVertex(by_level[i]);
+      }
+      return triangles;
+    }
+    std::atomic<uint64_t> triangles{0};
+    OmpExceptionGuard guard;
+    Fence().Publish();
+#pragma omp parallel num_threads(threads_) default(none) \
+    shared(by_level, begin, end, guard, triangles)
+    {
+      const OmpTeamFence::Scope scope(Fence());
+      uint64_t local = 0;
+#pragma omp for schedule(dynamic, 32)
+      for (int64_t i = begin; i < static_cast<int64_t>(end); ++i) {
+        guard.Run(
+            [&] { local += RelaxVertex(by_level[static_cast<size_t>(i)]); });
+      }
+      triangles.fetch_add(local, std::memory_order_relaxed);
+    }
+    Fence().Collect();
+    guard.Rethrow();
+    return triangles.load(std::memory_order_relaxed);
+  }
+
+  /// Unpacks the final states into the CHData arcs. A state no candidate
+  /// ever reached means the metric graph is missing an arc of the build
+  /// graph (the converse topology error to the SeedOriginalArcs check).
+  void WriteBack() {
+    std::vector<VertexId> vertex_of_rank(n_);
+    for (VertexId v = 0; v < n_; ++v) vertex_of_rank[ch_.rank[v]] = v;
+    const size_t num_up = ch_.up_arcs.size();
+    for (size_t slot = 0; slot < state_.size(); ++slot) {
+      CHArc& arc = slot < num_up ? ch_.up_arcs[slot]
+                                 : ch_.down_arcs[slot - num_up];
+      const uint64_t state = state_[slot];
+      Require(state != kNoCandidate,
+              "customization metric graph is missing arc (" +
+                  std::to_string(arc.tail) + ", " + std::to_string(arc.head) +
+                  ") of the hierarchy's build graph");
+      arc.weight = static_cast<Weight>(state >> 32);
+      const uint32_t via_code = static_cast<uint32_t>(state);
+      arc.via = via_code == 0 ? kInvalidVertex : vertex_of_rank[via_code - 1];
+    }
+  }
+
+  CHData& ch_;
+  const Graph& weights_;
+  VertexId n_;
+  int threads_ = 1;
+
+  /// Per-arc packed (weight << 32 | via_code) relaxation state; slot i is
+  /// up_arcs[i], slot up_arcs.size()+j is down_arcs[j].
+  std::vector<uint64_t> state_;
+
+  std::vector<uint32_t> down_in_first_;   // down arcs by head (n+1 offsets)
+  std::vector<uint32_t> down_in_slots_;
+  std::vector<uint32_t> up_out_first_;    // up arcs by tail (n+1 offsets)
+  std::vector<uint32_t> up_out_slots_;
+  std::vector<uint32_t> lookup_first_;    // all arcs by tail, head-sorted
+  std::vector<HeadSlot> lookup_;
+};
+
+}  // namespace
+
+void CustomizeWeights(CHData& ch, const Graph& weights,
+                      const CustomizeOptions& options, CustomizeStats* stats) {
+  Customizer customizer(ch, weights, options);
+  customizer.Run(stats);
+}
+
+}  // namespace phast

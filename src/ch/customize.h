@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ch/ch_data.h"
+#include "graph/csr.h"
+#include "obs/customize_profile.h"
+
+namespace phast {
+
+/// Metric customization (the CCH idea, PAPERS.md): re-derive every G+ arc
+/// weight for a new metric over a *fixed* shortcut topology, without
+/// re-running contraction. Ranks, levels, and the arc sets stay untouched;
+/// only the weight and via fields of the arcs change.
+
+struct CustomizeOptions {
+  /// OpenMP threads for the per-level relaxation passes; 0 = all available.
+  /// Like contraction (DESIGN.md §9), the result is bit-identical for every
+  /// thread count: concurrent relaxations of one arc merge through an
+  /// atomic min over a thread-order-independent candidate set.
+  uint32_t threads = 0;
+};
+
+/// Summary statistics of one customization run.
+struct CustomizeStats {
+  size_t arcs = 0;                // G+ arcs re-weighted (up + down)
+  size_t original_arcs = 0;       // arcs seeded from the metric graph
+  uint64_t triangles_relaxed = 0; // lower triangles enumerated
+  uint32_t levels = 0;            // ascending level groups processed
+  double seconds = 0.0;
+  obs::CustomizeProfile profile;
+};
+
+/// Recomputes all arc weights of `ch` for the metric carried by `weights`,
+/// in place, bottom-up: original arcs are seeded from the graph, shortcut
+/// candidates are the lower-triangle sums w(u,v) + w(v,w) relaxed through
+/// every via vertex v in ascending rank order (one parallel pass per CH
+/// level; same-level vertices are never adjacent in G+, Lemma 4.1). All
+/// additions saturate at kInfWeight. Each arc ends at the minimum over its
+/// original weight and every triangle sum, with `via` set exactly as a
+/// fresh witness-free contraction of the re-weighted graph would set it —
+/// so for a hierarchy built with CHParams::witness_pruning == false the
+/// customized CHData is byte-identical (ch_io serialization included) to a
+/// from-scratch rebuild on the new metric.
+///
+/// Requirements, checked with InputError:
+///  - `weights` has the same vertex count and exactly the arc set of the
+///    graph the hierarchy was built from (no parallel arcs — Normalize()
+///    the edge list first);
+///  - the hierarchy is triangle-closed: for every via v with down-arc
+///    (u, v) and up-arc (v, w), the arc (u, w) exists in G+. Hierarchies
+///    built with witness_pruning == false are closed by construction;
+///    witness-pruned ones generally are not (and a dropped shortcut whose
+///    old-metric witness no longer holds would silently corrupt distances,
+///    which is why this is an error rather than a skip).
+void CustomizeWeights(CHData& ch, const Graph& weights,
+                      const CustomizeOptions& options = {},
+                      CustomizeStats* stats = nullptr);
+
+}  // namespace phast

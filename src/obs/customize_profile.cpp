@@ -1,0 +1,64 @@
+#include "obs/customize_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace phast::obs {
+namespace {
+
+void AppendU64(std::string& out, const char* key, uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+}  // namespace
+
+uint64_t CustomizeProfile::TotalTriangles() const {
+  uint64_t total = 0;
+  for (const CustomizeLevel& l : levels) total += l.triangles;
+  return total;
+}
+
+uint32_t CustomizeProfile::MaxLevelWidth() const {
+  uint32_t widest = 0;
+  for (const CustomizeLevel& l : levels) {
+    widest = std::max(widest, l.vertices);
+  }
+  return widest;
+}
+
+std::string CustomizeProfile::ToJson() const {
+  std::string out = "{";
+  AppendU64(out, "threads", threads);
+  out += ",";
+  AppendU64(out, "reset_nanos", reset_nanos);
+  out += ",";
+  AppendU64(out, "index_nanos", index_nanos);
+  out += ",";
+  AppendU64(out, "num_levels", NumLevels());
+  out += ",";
+  AppendU64(out, "total_triangles", TotalTriangles());
+  out += ",";
+  AppendU64(out, "max_level_width", MaxLevelWidth());
+  out += ",\"levels\":[";
+  bool first = true;
+  for (const CustomizeLevel& l : levels) {
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    AppendU64(out, "level", l.level);
+    out += ",";
+    AppendU64(out, "vertices", l.vertices);
+    out += ",";
+    AppendU64(out, "triangles", l.triangles);
+    out += ",";
+    AppendU64(out, "nanos", l.nanos);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace phast::obs

@@ -1,0 +1,46 @@
+// Per-level customization profiling: metric customization (src/ch/
+// customize.*) re-relaxes shortcut weights bottom-up, one ascending level
+// group at a time, and the shape of those groups — how many vertices each
+// level holds, how many lower triangles they relax — determines both the
+// customization wall-time and its parallel scaling. Like ContractionProfile,
+// this struct is filled by the engine (CustomizeWeights populates it into
+// CustomizeStats) and rendered to JSON for the bench emitters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phast::obs {
+
+/// One ascending level group of the customization sweep.
+struct CustomizeLevel {
+  uint32_t level = 0;       ///< CH level of the group's via vertices
+  uint32_t vertices = 0;    ///< via vertices relaxed in this group
+  uint64_t triangles = 0;   ///< lower triangles enumerated through them
+  uint64_t nanos = 0;       ///< wall time of the group's parallel pass
+};
+
+/// Profile of one customization run. Levels appear in execution order
+/// (ascending CH level); the original-arc reweighting pass is reported
+/// separately because it relaxes no triangles.
+struct CustomizeProfile {
+  uint32_t threads = 0;        ///< resolved thread count of the run
+  uint64_t reset_nanos = 0;    ///< original-arc reweight + shortcut reset
+  uint64_t index_nanos = 0;    ///< adjacency/lookup index construction
+  std::vector<CustomizeLevel> levels;
+
+  [[nodiscard]] uint32_t NumLevels() const {
+    return static_cast<uint32_t>(levels.size());
+  }
+  /// Total lower triangles relaxed across all level groups.
+  [[nodiscard]] uint64_t TotalTriangles() const;
+  /// Largest level group (vertices relaxed in one parallel pass).
+  [[nodiscard]] uint32_t MaxLevelWidth() const;
+
+  /// Compact JSON object ({"threads":..,"levels":[..],..}) used by
+  /// bench_customization.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+}  // namespace phast::obs

@@ -204,6 +204,58 @@ PhastLayout Phast::ExportLayout() const {
   return layout;
 }
 
+PhastLayout Phast::ExportReweightedLayout(const CHData& customized) const {
+  PHAST_SPAN("phast.export_reweighted");
+  Require(customized.num_vertices == n_,
+          "reweighted export: hierarchy vertex count differs from the engine");
+  Require(customized.down_arcs.size() == down_arcs_.size() &&
+              customized.up_arcs.size() == up_arcs_.size(),
+          "reweighted export: hierarchy arc counts differ from the engine");
+
+  PhastLayout layout = ExportLayout();
+
+  // position_of[original id] — same mapping the constructor derived from the
+  // sweep sequence: for the reordered layout it *is* perm_, otherwise the
+  // inverse of order_ (label space there is the identity).
+  std::vector<VertexId> position_of;
+  const std::vector<VertexId>* positions = &perm_;
+  if (options_.order != SweepOrder::kLevelReordered) {
+    position_of.assign(n_, 0);
+    for (VertexId pos = 0; pos < n_; ++pos) position_of[order_[pos]] = pos;
+    positions = &position_of;
+  }
+
+  // Replay the constructor's cursor fills over the customized arc lists,
+  // writing only the weight fields. Each slot's stored endpoint must match
+  // the arc being replayed — any divergence means the hierarchy's topology
+  // is not the one this engine was built from.
+  {
+    std::vector<ArcId> cursor(down_first_.begin(), down_first_.end() - 1);
+    for (const CHArc& a : customized.down_arcs) {
+      Require(a.head < n_ && a.tail < n_,
+              "reweighted export: downward arc endpoint out of range");
+      const ArcId slot = cursor[(*positions)[a.head]]++;
+      Require(layout.down_arcs[slot].tail == perm_[a.tail],
+              "reweighted export: downward arc topology differs from the "
+              "engine");
+      layout.down_arcs[slot].weight = a.weight;
+    }
+  }
+  {
+    std::vector<ArcId> cursor(up_first_.begin(), up_first_.end() - 1);
+    for (const CHArc& a : customized.up_arcs) {
+      Require(a.tail < n_ && a.head < n_,
+              "reweighted export: upward arc endpoint out of range");
+      const ArcId slot = cursor[perm_[a.tail]]++;
+      Require(layout.up_arcs[slot].other == perm_[a.head],
+              "reweighted export: upward arc topology differs from the "
+              "engine");
+      layout.up_arcs[slot].weight = a.weight;
+    }
+  }
+  return layout;
+}
+
 Phast::Workspace Phast::MakeWorkspace(uint32_t num_trees,
                                       bool want_parents) const {
   Require(num_trees >= 1, "need at least one tree per sweep");

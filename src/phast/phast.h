@@ -107,6 +107,18 @@ class Phast {
   /// the PhastLayout constructor).
   [[nodiscard]] PhastLayout ExportLayout() const;
 
+  /// ExportLayout with the arc weights replaced by those of `customized` —
+  /// the weight re-export half of metric customization (ch::CustomizeWeights
+  /// recomputes CHData weights; this projects them into the engine's sweep
+  /// layout). The hierarchy must have the engine's exact topology: same
+  /// vertex count, same up/down arc sets in the same order (which
+  /// customization guarantees, since it rewrites weights in place). The
+  /// permutations, CSR offsets, arc targets, and level boundaries of the
+  /// result are byte-identical to ExportLayout(); only the weight fields
+  /// differ. Topology mismatches throw InputError.
+  [[nodiscard]] PhastLayout ExportReweightedLayout(const CHData& customized)
+      const;
+
   [[nodiscard]] Workspace MakeWorkspace(uint32_t num_trees = 1,
                                         bool want_parents = false) const;
 

@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
         "          [--width=W --height=H --seed=S --metric=time|distance]\n"
         "          [--threads=N]             contraction threads (0 = all)\n"
         "          [--batch-neighborhood=H]  independence rule, 1 or 2 hops\n"
-        "          [--no-graph]  (omit the verification graph section)\n",
+        "          [--no-graph]  (omit the verification graph section)\n"
+        "          [--customizable]  build a witness-free CH and embed it so\n"
+        "                            phast_serve can re-customize and hot-swap\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
   }
@@ -61,6 +63,17 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(cli.GetInt("threads", 0));
   options.ch_params.batch_neighborhood =
       static_cast<uint32_t>(cli.GetInt("batch-neighborhood", 1));
+  // A customizable snapshot embeds a witness-free hierarchy: its topology is
+  // metric-independent, which is what lets CustomizeWeights re-derive the
+  // shortcut weights for a new metric without re-contracting (DESIGN.md §10).
+  const bool customizable = cli.GetBool("customizable", false);
+  options.ch_params.witness_pruning = !customizable;
+  if (customizable && cli.GetBool("no-graph", false)) {
+    std::fprintf(stderr,
+                 "--customizable needs the graph section (the customizer "
+                 "reads arc weights from it); drop --no-graph\n");
+    return 2;
+  }
 
   const PreparedNetwork prepared = PrepareNetwork(edges, options);
   std::printf(
@@ -72,7 +85,8 @@ int main(int argc, char** argv) {
 
   const Phast engine(prepared.ch);
   const server::Snapshot snapshot = server::MakeSnapshot(
-      engine, cli.GetBool("no-graph", false) ? nullptr : &prepared.graph);
+      engine, cli.GetBool("no-graph", false) ? nullptr : &prepared.graph,
+      customizable ? &prepared.ch : nullptr);
 
   const std::string out = cli.GetString("out", "");
   server::WriteSnapshotFile(snapshot, out);

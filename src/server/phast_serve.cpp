@@ -9,6 +9,12 @@
 //   phast_serve --snapshot=country.snap --socket=/tmp/phast.sock
 //   phast_serve --snapshot=country.snap --stdio   # single pipe connection
 //
+// A customizable snapshot (phast_prepare --customizable) is served through a
+// SnapshotManager: clients may stream kUpdateWeights frames and trigger
+// kSwap, which customizes the hierarchy to the pending overlay in the
+// background of serving and hot-swaps the engine with zero dropped requests
+// (epoch-versioned reads, DESIGN.md §10). Other snapshots pin one engine.
+//
 // Observability (DESIGN.md §8): --trace-out=FILE enables scoped-span
 // tracing for the process lifetime and writes a Chrome trace at shutdown;
 // --slow-ms=D logs completed requests at or above D ms to stderr with
@@ -23,6 +29,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
         "          [--workers=N] [--max-batch=K] [--queue-capacity=N]\n"
         "          [--cache-capacity=N] [--deadline-ms=D]\n"
         "          [--rphast-max-targets=N]\n"
+        "          [--customize-threads=N]  threads per kSwap customization\n"
         "          [--trace-out=FILE] [--slow-ms=D] [--startup-profile]\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
@@ -73,9 +81,26 @@ int main(int argc, char** argv) {
   // collect_profile is runtime-only (never serialized); opting in makes
   // every served batch carry a per-level profile in its workspace.
   snapshot.layout.options.collect_profile = startup_profile;
-  const Phast engine(std::move(snapshot.layout));
-  std::fprintf(stderr, "phast_serve: %u vertices, %u levels, loaded in %.1f ms\n",
-               engine.NumVertices(), engine.NumLevels(), load.ElapsedMs());
+
+  // A customizable snapshot (hierarchy + graph sections) is served through
+  // the hot-swap path; anything else pins a single engine for the process
+  // lifetime. Metrics must outlive the manager (it registers gauges).
+  server::MetricsRegistry metrics;
+  const bool customizable = snapshot.has_ch && snapshot.has_graph;
+  std::optional<server::SnapshotManager> manager;
+  std::optional<Phast> pinned;
+  if (customizable) {
+    manager.emplace(std::move(snapshot), metrics);
+  } else {
+    pinned.emplace(std::move(snapshot.layout));
+  }
+  // Valid for the startup log and profile only: after the accept loop
+  // starts, a swap may retire this engine.
+  const Phast& engine = customizable ? manager->Current()->engine : *pinned;
+  std::fprintf(stderr,
+               "phast_serve: %u vertices, %u levels, loaded in %.1f ms%s\n",
+               engine.NumVertices(), engine.NumLevels(), load.ElapsedMs(),
+               customizable ? " (customizable)" : "");
 
   if (startup_profile) {
     // One profiled sweep up front: logs the level structure (Figure 1
@@ -104,10 +129,17 @@ int main(int argc, char** argv) {
   options.rphast_max_targets =
       static_cast<size_t>(cli.GetInt("rphast-max-targets", 0));
 
-  server::MetricsRegistry metrics;
-  server::OracleService service(engine, options, metrics);
+  std::optional<server::OracleService> service;
+  if (customizable) {
+    service.emplace(*manager, options, metrics);
+  } else {
+    service.emplace(*pinned, options, metrics);
+  }
   server::ConnectionOptions conn_options;
   conn_options.slow_ms = cli.GetDouble("slow-ms", 0.0);
+  conn_options.manager = customizable ? &*manager : nullptr;
+  conn_options.customize_threads =
+      static_cast<uint32_t>(cli.GetInt("customize-threads", 0));
 
   const auto dump_trace = [&trace_out] {
     if (trace_out.empty()) return;
@@ -119,9 +151,9 @@ int main(int argc, char** argv) {
   };
 
   if (cli.GetBool("stdio", false)) {
-    server::ServeConnection(STDIN_FILENO, STDOUT_FILENO, service, metrics,
+    server::ServeConnection(STDIN_FILENO, STDOUT_FILENO, *service, metrics,
                             conn_options);
-    service.Stop();
+    service->Stop();
     dump_trace();
     std::fprintf(stderr, "phast_serve: pipe closed, exiting\n");
     return 0;
@@ -142,7 +174,7 @@ int main(int argc, char** argv) {
     connections.emplace_back([conn_fd, &service, &metrics, &conn_options,
                               &stop] {
       const bool shutdown_requested = server::ServeConnection(
-          conn_fd, conn_fd, service, metrics, conn_options);
+          conn_fd, conn_fd, *service, metrics, conn_options);
       ::close(conn_fd);
       if (shutdown_requested) stop.store(true, std::memory_order_relaxed);
     });
@@ -150,10 +182,10 @@ int main(int argc, char** argv) {
   for (std::thread& t : connections) t.join();
   ::close(listen_fd);
   ::unlink(socket_path.c_str());
-  service.Stop();
+  service->Stop();
   dump_trace();
 
-  const server::ServiceCounters c = service.Counters();
+  const server::ServiceCounters c = service->Counters();
   std::fprintf(stderr,
                "phast_serve: done (admitted=%llu completed=%llu shed=%llu)\n",
                static_cast<unsigned long long>(c.admitted),

@@ -138,7 +138,7 @@ MessageType PeekType(std::span<const uint8_t> payload) {
   Require(!payload.empty(), "empty protocol payload");
   const uint8_t type = payload[0];
   Require(type >= static_cast<uint8_t>(MessageType::kQuery) &&
-              type <= static_cast<uint8_t>(MessageType::kShutdown),
+              type <= static_cast<uint8_t>(MessageType::kEpoch),
           "unknown protocol message type");
   return static_cast<MessageType>(type);
 }
@@ -188,6 +188,7 @@ std::vector<uint8_t> EncodeResponse(uint64_t id, const Response& response) {
   w.U8(static_cast<uint8_t>(response.status));
   w.U8(response.from_cache ? 1 : 0);
   w.F64(response.latency_ms);
+  w.U64(response.epoch);
   w.U32(static_cast<uint32_t>(response.distances.size()));
   w.Bytes(response.distances.data(),
           response.distances.size() * sizeof(Weight));
@@ -206,6 +207,7 @@ ResponseFrame DecodeResponse(std::span<const uint8_t> payload) {
   frame.response.status = static_cast<ResponseStatus>(status);
   frame.response.from_cache = r.U8() != 0;
   frame.response.latency_ms = r.F64();
+  frame.response.epoch = r.U64();
   const uint32_t num = r.U32();
   Require(r.Remaining() == static_cast<size_t>(num) * sizeof(Weight),
           "response distance count disagrees with payload size");
@@ -245,6 +247,58 @@ std::string DecodeMetricsText(std::span<const uint8_t> payload) {
   std::string text(reinterpret_cast<const char*>(r.Raw(len)), len);
   r.ExpectEnd();
   return text;
+}
+
+std::vector<uint8_t> EncodeWeightUpdates(uint64_t id,
+                                         std::span<const WeightUpdate> updates) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kUpdateWeights));
+  w.U64(id);
+  w.U32(static_cast<uint32_t>(updates.size()));
+  for (const WeightUpdate& u : updates) {
+    w.U32(u.tail);
+    w.U32(u.head);
+    w.U32(u.weight);
+  }
+  return w.Take();
+}
+
+std::vector<WeightUpdate> DecodeWeightUpdates(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kUpdateWeights),
+          "expected a weight-update payload");
+  r.U64();  // id
+  const uint32_t count = r.U32();
+  Require(r.Remaining() == static_cast<size_t>(count) * 3 * sizeof(uint32_t),
+          "weight-update count disagrees with payload size");
+  std::vector<WeightUpdate> updates(count);
+  for (WeightUpdate& u : updates) {
+    u.tail = r.U32();
+    u.head = r.U32();
+    u.weight = r.U32();
+  }
+  r.ExpectEnd();
+  return updates;
+}
+
+std::vector<uint8_t> EncodeValueReply(MessageType type, uint64_t id,
+                                      uint64_t value) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  w.U64(id);
+  w.U64(value);
+  return w.Take();
+}
+
+uint64_t DecodeValueReply(MessageType type, std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(type),
+          "value reply carries an unexpected message type");
+  r.U64();  // id
+  const uint64_t value = r.U64();
+  r.ExpectEnd();
+  return value;
 }
 
 // --- transport helpers ------------------------------------------------------
@@ -362,6 +416,24 @@ bool ServeConnection(int in_fd, int out_fd, OracleService& service,
         out.future = service.Submit(std::move(query.request));
       } else if (type == MessageType::kMetrics) {
         out.ready = EncodeMetricsText(out.id, metrics.RenderPrometheus());
+      } else if (type == MessageType::kUpdateWeights) {
+        Require(conn_options.manager != nullptr,
+                "weight updates need a customizable snapshot "
+                "(phast_prepare --customizable)");
+        const std::vector<WeightUpdate> updates = DecodeWeightUpdates(payload);
+        const uint64_t seq = conn_options.manager->UpdateWeights(updates);
+        out.ready = EncodeValueReply(MessageType::kUpdateWeights, out.id, seq);
+      } else if (type == MessageType::kSwap) {
+        Require(conn_options.manager != nullptr,
+                "snapshot swaps need a customizable snapshot "
+                "(phast_prepare --customizable)");
+        const uint64_t epoch = conn_options.manager->CustomizeAndSwap(
+            conn_options.customize_threads);
+        out.ready = EncodeValueReply(MessageType::kSwap, out.id, epoch);
+      } else if (type == MessageType::kEpoch) {
+        const uint64_t epoch =
+            conn_options.manager != nullptr ? conn_options.manager->Epoch() : 0;
+        out.ready = EncodeValueReply(MessageType::kEpoch, out.id, epoch);
       } else {
         out.ready = EncodeControl(MessageType::kShutdown, out.id);
         got_shutdown = true;
@@ -404,6 +476,24 @@ std::string Client::FetchMetrics() {
   WriteFrame(fd_, EncodeControl(MessageType::kMetrics, next_id_++));
   Require(ReadFrame(fd_, scratch_), "server closed the connection");
   return DecodeMetricsText(scratch_);
+}
+
+uint64_t Client::UpdateWeights(std::span<const WeightUpdate> updates) {
+  WriteFrame(fd_, EncodeWeightUpdates(next_id_++, updates));
+  Require(ReadFrame(fd_, scratch_), "server closed the connection");
+  return DecodeValueReply(MessageType::kUpdateWeights, scratch_);
+}
+
+uint64_t Client::TriggerSwap() {
+  WriteFrame(fd_, EncodeControl(MessageType::kSwap, next_id_++));
+  Require(ReadFrame(fd_, scratch_), "server closed the connection");
+  return DecodeValueReply(MessageType::kSwap, scratch_);
+}
+
+uint64_t Client::FetchEpoch() {
+  WriteFrame(fd_, EncodeControl(MessageType::kEpoch, next_id_++));
+  Require(ReadFrame(fd_, scratch_), "server closed the connection");
+  return DecodeValueReply(MessageType::kEpoch, scratch_);
 }
 
 void Client::Shutdown() {

@@ -24,14 +24,28 @@ namespace phast::server {
 ///   kMetrics:  u8 type, u64 request id.
 ///   kShutdown: u8 type, u64 request id — asks the daemon to stop after
 ///              acknowledging.
+///   kUpdateWeights: u8 type, u64 request id, u32 count, then count x
+///              {u32 tail, u32 head, u32 weight} — queues point re-weights
+///              into the server's differential overlay.
+///   kSwap:     u8 type, u64 request id — customize the hierarchy to the
+///              pending overlay and hot-swap the serving snapshot.
+///   kEpoch:    u8 type, u64 request id — asks for the serving epoch.
 ///
 /// Server -> client payloads:
 ///   kQuery:    u8 type, u64 request id, u8 status (ResponseStatus),
-///              u8 from_cache, f64 latency_ms, u32 num_distances,
+///              u8 from_cache, f64 latency_ms, u64 epoch, u32 num_distances,
 ///              u32 distances[num_distances].
 ///   kMetrics:  u8 type, u64 request id, u32 text_len, bytes (Prometheus
 ///              exposition).
 ///   kShutdown: u8 type, u64 request id (the acknowledgement).
+///   kUpdateWeights: u8 type, u64 request id, u64 overlay seq of the last
+///              queued update.
+///   kSwap:     u8 type, u64 request id, u64 new epoch.
+///   kEpoch:    u8 type, u64 request id, u64 current epoch.
+///
+/// The metric-mutation messages require the server to run with a snapshot
+/// manager (phast_serve on a --customizable snapshot); otherwise they are
+/// answered as a protocol error (connection close), never silently dropped.
 ///
 /// Responses to queries may be computed out of order by the batching
 /// scheduler, but each connection writes them back in request order (the
@@ -40,6 +54,9 @@ enum class MessageType : uint8_t {
   kQuery = 1,
   kMetrics = 2,
   kShutdown = 3,
+  kUpdateWeights = 4,
+  kSwap = 5,
+  kEpoch = 6,
 };
 
 inline constexpr uint32_t kMaxFrameBytes = 1u << 30;
@@ -80,6 +97,19 @@ struct ResponseFrame {
                                                      const std::string& text);
 [[nodiscard]] std::string DecodeMetricsText(std::span<const uint8_t> payload);
 
+[[nodiscard]] std::vector<uint8_t> EncodeWeightUpdates(
+    uint64_t id, std::span<const WeightUpdate> updates);
+[[nodiscard]] std::vector<WeightUpdate> DecodeWeightUpdates(
+    std::span<const uint8_t> payload);
+
+/// The u64-valued replies (kUpdateWeights ack = overlay seq, kSwap ack =
+/// new epoch, kEpoch = current epoch).
+[[nodiscard]] std::vector<uint8_t> EncodeValueReply(MessageType type,
+                                                    uint64_t id,
+                                                    uint64_t value);
+[[nodiscard]] uint64_t DecodeValueReply(MessageType type,
+                                        std::span<const uint8_t> payload);
+
 /// Type of a decoded payload (its first byte); throws on empty/unknown.
 [[nodiscard]] MessageType PeekType(std::span<const uint8_t> payload);
 [[nodiscard]] uint64_t PeekId(std::span<const uint8_t> payload);
@@ -98,6 +128,12 @@ struct ConnectionOptions {
   /// Completed queries at or above this latency are logged to stderr with
   /// their trace id, source, status, and latency. 0 disables the log.
   double slow_ms = 0.0;
+  /// Snapshot manager backing the metric-mutation messages
+  /// (kUpdateWeights/kSwap/kEpoch). Null when the server pins one engine;
+  /// those messages then fail the connection.
+  SnapshotManager* manager = nullptr;
+  /// Customization threads for connection-triggered swaps (0 = all).
+  uint32_t customize_threads = 0;
 };
 
 /// Serves one connection: reads frames from `in_fd`, submits queries to the
@@ -130,6 +166,15 @@ class Client {
   [[nodiscard]] Response Call(const Request& request);
 
   [[nodiscard]] std::string FetchMetrics();
+
+  /// Queues weight updates into the server's overlay; returns the overlay
+  /// sequence number of the last one.
+  uint64_t UpdateWeights(std::span<const WeightUpdate> updates);
+  /// Customizes to the pending overlay and swaps; returns the new epoch.
+  uint64_t TriggerSwap();
+  /// Current serving epoch.
+  [[nodiscard]] uint64_t FetchEpoch();
+
   /// Sends shutdown and waits for the acknowledgement.
   void Shutdown();
 

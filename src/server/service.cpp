@@ -28,46 +28,77 @@ const char* ToString(ResponseStatus status) {
 // --- TreeCache -------------------------------------------------------------
 
 std::shared_ptr<const std::vector<Weight>> OracleService::TreeCache::Lookup(
-    VertexId source) {
+    uint64_t epoch, VertexId source) {
   if (capacity_ == 0) return nullptr;
   const MutexLock lock(mu_);
-  const auto it = by_source_.find(source);
-  if (it == by_source_.end()) return nullptr;
+  const auto it = by_key_.find(Key(epoch, source));
+  if (it == by_key_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.tree;
 }
 
 size_t OracleService::TreeCache::Insert(
-    VertexId source, std::shared_ptr<const std::vector<Weight>> tree) {
+    uint64_t epoch, VertexId source,
+    std::shared_ptr<const std::vector<Weight>> tree) {
   if (capacity_ == 0) return 0;
   const MutexLock lock(mu_);
-  const auto it = by_source_.find(source);
-  if (it != by_source_.end()) {
+  const uint64_t key = Key(epoch, source);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     it->second.tree = std::move(tree);
     return 0;
   }
   size_t evicted = 0;
-  while (by_source_.size() >= capacity_) {
-    by_source_.erase(lru_.back());
+  while (by_key_.size() >= capacity_) {
+    by_key_.erase(lru_.back());
     lru_.pop_back();
     ++evicted;
   }
-  lru_.push_front(source);
-  by_source_[source] = Slot{lru_.begin(), std::move(tree)};
+  lru_.push_front(key);
+  by_key_[key] = Slot{lru_.begin(), std::move(tree)};
   return evicted;
+}
+
+size_t OracleService::TreeCache::FlushBefore(uint64_t epoch) {
+  if (capacity_ == 0) return 0;
+  const MutexLock lock(mu_);
+  size_t flushed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it >> 32) < epoch) {
+      by_key_.erase(*it);
+      it = lru_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  return flushed;
 }
 
 size_t OracleService::TreeCache::Size() const {
   const MutexLock lock(mu_);
-  return by_source_.size();
+  return by_key_.size();
 }
 
 // --- OracleService ---------------------------------------------------------
 
 OracleService::OracleService(const Phast& engine, const ServiceOptions& options,
                              MetricsRegistry& metrics)
-    : engine_(engine),
+    : OracleService(&engine, nullptr, options, metrics) {}
+
+OracleService::OracleService(SnapshotManager& manager,
+                             const ServiceOptions& options,
+                             MetricsRegistry& metrics)
+    : OracleService(nullptr, &manager, options, metrics) {}
+
+OracleService::OracleService(const Phast* engine, SnapshotManager* manager,
+                             const ServiceOptions& options,
+                             MetricsRegistry& metrics)
+    : pinned_engine_(engine),
+      manager_(manager),
+      num_vertices_(manager != nullptr ? manager->Current()->engine.NumVertices()
+                                       : engine->NumVertices()),
       options_(options),
       queue_(options.queue_capacity),
       cache_(options.cache_capacity),
@@ -94,6 +125,9 @@ OracleService::OracleService(const Phast& engine, const ServiceOptions& options,
       cache_evictions_(
           metrics.GetCounter("phast_server_tree_cache_evictions_total",
                              "Trees evicted from the LRU cache")),
+      cache_swap_flushes_(metrics.GetCounter(
+          "phast_server_tree_cache_swap_flushes_total",
+          "Stale-epoch trees flushed from the cache after a snapshot swap")),
       batches_(metrics.GetCounter("phast_server_batches_total",
                                   "Coalesced sweep batches executed")),
       rphast_batches_(
@@ -135,7 +169,7 @@ std::future<Response> OracleService::Submit(Request request) {
   job.request = std::move(request);
   std::future<Response> future = job.promise.get_future();
 
-  const VertexId n = engine_.NumVertices();
+  const VertexId n = num_vertices_;
   const bool valid =
       job.request.source < n &&
       std::all_of(job.request.targets.begin(), job.request.targets.end(),
@@ -185,18 +219,19 @@ ServiceCounters OracleService::Counters() const {
   c.cache_hits = cache_hits_.Value();
   c.cache_misses = cache_misses_.Value();
   c.cache_evictions = cache_evictions_.Value();
+  c.cache_swap_flushes = cache_swap_flushes_.Value();
   c.batches = batches_.Value();
   c.rphast_batches = rphast_batches_.Value();
   return c;
 }
 
 void OracleService::WorkerLoop() {
-  std::unordered_map<uint32_t, Phast::Workspace> ws_by_k;
+  WorkspacePool pool;
   for (;;) {
     std::vector<Job> jobs = queue_.PopBatch(options_.max_batch);
     if (jobs.empty()) return;  // closed and drained
     queue_depth_.Set(static_cast<int64_t>(queue_.Size()));
-    ProcessBatch(jobs, ws_by_k);
+    ProcessBatch(jobs, pool);
   }
 }
 
@@ -220,10 +255,32 @@ Response FromTree(const std::vector<Weight>& tree, const Request& request,
 
 }  // namespace
 
-void OracleService::ProcessBatch(
-    std::vector<Job>& jobs,
-    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k) {
+void OracleService::ProcessBatch(std::vector<Job>& jobs, WorkspacePool& pool) {
   PHAST_SPAN_ARG("server.batch", jobs.front().request.trace_id);
+
+  // One snapshot acquisition per batch: everything below — cache keys,
+  // sweeps, response stamps — is consistently under this epoch even if a
+  // swap publishes mid-batch (the shared_ptr keeps our engine alive).
+  std::shared_ptr<const ServingSnapshot> snapshot;
+  if (manager_ != nullptr) snapshot = manager_->Current();
+  const Phast& engine = snapshot ? snapshot->engine : *pinned_engine_;
+  const uint64_t epoch = snapshot ? snapshot->epoch : 0;
+
+  // Release trees of retired epochs (epoch-keyed entries can no longer be
+  // hit, this is purely memory) and workspaces of the retired engine.
+  uint64_t flushed = flushed_epoch_.load(std::memory_order_relaxed);
+  if (epoch > flushed &&
+      flushed_epoch_.compare_exchange_strong(flushed, epoch,
+                                             std::memory_order_relaxed)) {
+    const size_t dropped = cache_.FlushBefore(epoch);
+    cache_swap_flushes_.Inc(dropped);
+    cached_trees_.Set(static_cast<int64_t>(cache_.Size()));
+  }
+  if (pool.engine != &engine) {
+    pool.engine = &engine;
+    pool.by_k.clear();
+  }
+
   std::vector<Job*> live;
   live.reserve(jobs.size());
   for (Job& job : jobs) {
@@ -240,9 +297,12 @@ void OracleService::ProcessBatch(
     std::vector<Job*> missed;
     missed.reserve(live.size());
     for (Job* job : live) {
-      if (const auto tree = cache_.Lookup(job->request.source)) {
+      if (const auto tree = cache_.Lookup(epoch, job->request.source)) {
         cache_hits_.Inc();
-        Fulfill(*job, FromTree(*tree, job->request, /*from_cache=*/true));
+        Response response =
+            FromTree(*tree, job->request, /*from_cache=*/true);
+        response.epoch = epoch;
+        Fulfill(*job, std::move(response));
       } else {
         cache_misses_.Inc();
         missed.push_back(job);
@@ -258,8 +318,8 @@ void OracleService::ProcessBatch(
   // targets and their union is small; it bypasses the tree cache because no
   // full tree is ever materialized.
   const bool restrictable =
-      options_.rphast_max_targets > 0 && !engine_.LevelBoundaries().empty() &&
-      engine_.GetOptions().implicit_init &&
+      options_.rphast_max_targets > 0 && !engine.LevelBoundaries().empty() &&
+      engine.GetOptions().implicit_init &&
       std::all_of(live.begin(), live.end(),
                   [](const Job* job) { return !job->request.targets.empty(); });
   if (restrictable) {
@@ -267,14 +327,15 @@ void OracleService::ProcessBatch(
     for (const Job* job : live) union_bound += job->request.targets.size();
     if (union_bound <= options_.rphast_max_targets) {
       rphast_batches_.Inc();
-      RunRestrictedBatch(live);
+      RunRestrictedBatch(engine, epoch, live);
       return;
     }
   }
-  RunFullBatch(live, ws_by_k);
+  RunFullBatch(engine, epoch, live, pool);
 }
 
-void OracleService::RunRestrictedBatch(std::vector<Job*>& jobs) {
+void OracleService::RunRestrictedBatch(const Phast& engine, uint64_t epoch,
+                                       std::vector<Job*>& jobs) {
   // Union of the batch's targets, deduplicated, with per-target indices.
   std::vector<VertexId> union_targets;
   std::unordered_map<VertexId, size_t> index_of;
@@ -287,7 +348,7 @@ void OracleService::RunRestrictedBatch(std::vector<Job*>& jobs) {
   }
   batch_width_.Observe(static_cast<double>(jobs.size()));
 
-  const RPhast rphast(engine_, union_targets);
+  const RPhast rphast(engine, union_targets);
   RPhast::Workspace ws = rphast.MakeWorkspace();
 
   // One restricted sweep per distinct source, shared by its duplicates.
@@ -305,6 +366,7 @@ void OracleService::RunRestrictedBatch(std::vector<Job*>& jobs) {
     sweep_ms_.Observe(sweep.ElapsedMs());
     for (Job* job : by_source[source]) {
       Response response;
+      response.epoch = epoch;
       response.distances.reserve(job->request.targets.size());
       for (const VertexId t : job->request.targets) {
         response.distances.push_back(
@@ -315,9 +377,9 @@ void OracleService::RunRestrictedBatch(std::vector<Job*>& jobs) {
   }
 }
 
-void OracleService::RunFullBatch(
-    std::vector<Job*>& jobs,
-    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k) {
+void OracleService::RunFullBatch(const Phast& engine, uint64_t epoch,
+                                 std::vector<Job*>& jobs,
+                                 WorkspacePool& pool) {
   // Distinct sources in first-appearance order; duplicates share a lane.
   std::vector<VertexId> lane_sources;
   std::unordered_map<VertexId, uint32_t> lane_of;
@@ -335,19 +397,19 @@ void OracleService::RunFullBatch(
       unique <= 1 ? 1 : static_cast<uint32_t>((unique + 3) / 4 * 4);
   lane_sources.resize(k, lane_sources.back());
 
-  auto it = ws_by_k.find(k);
-  if (it == ws_by_k.end()) {
-    it = ws_by_k.emplace(k, engine_.MakeWorkspace(k)).first;
+  auto it = pool.by_k.find(k);
+  if (it == pool.by_k.end()) {
+    it = pool.by_k.emplace(k, engine.MakeWorkspace(k)).first;
   }
   Phast::Workspace& ws = it->second;
 
-  engine_.ComputeTrees(lane_sources, ws);
+  engine.ComputeTrees(lane_sources, ws);
   // Phase histograms come from the workspace's always-on phase timings, so
   // upward and sweep are split without re-timing around the engine call.
   upward_ms_.Observe(static_cast<double>(ws.LastUpwardNanos()) * 1e-6);
   sweep_ms_.Observe(static_cast<double>(ws.LastSweepNanos()) * 1e-6);
 
-  const VertexId n = engine_.NumVertices();
+  const VertexId n = engine.NumVertices();
   const bool cache_enabled = options_.cache_capacity > 0;
   // A full tree is materialized per distinct source when the cache wants it
   // or some duplicate asked for the whole tree; pure target queries read
@@ -368,10 +430,10 @@ void OracleService::RunFullBatch(
     auto tree = std::make_shared<std::vector<Weight>>();
     tree->reserve(n);
     for (VertexId v = 0; v < n; ++v) {
-      tree->push_back(engine_.Distance(ws, v, static_cast<uint32_t>(lane)));
+      tree->push_back(engine.Distance(ws, v, static_cast<uint32_t>(lane)));
     }
     if (cache_enabled) {
-      const size_t evicted = cache_.Insert(source, tree);
+      const size_t evicted = cache_.Insert(epoch, source, tree);
       for (size_t e = 0; e < evicted; ++e) cache_evictions_.Inc();
       cached_trees_.Set(static_cast<int64_t>(cache_.Size()));
     }
@@ -381,13 +443,17 @@ void OracleService::RunFullBatch(
   for (Job* job : jobs) {
     const uint32_t lane = lane_of[job->request.source];
     if (trees[lane]) {
-      Fulfill(*job, FromTree(*trees[lane], job->request, /*from_cache=*/false));
+      Response response =
+          FromTree(*trees[lane], job->request, /*from_cache=*/false);
+      response.epoch = epoch;
+      Fulfill(*job, std::move(response));
       continue;
     }
     Response response;
+    response.epoch = epoch;
     response.distances.reserve(job->request.targets.size());
     for (const VertexId t : job->request.targets) {
-      response.distances.push_back(engine_.Distance(ws, t, lane));
+      response.distances.push_back(engine.Distance(ws, t, lane));
     }
     Fulfill(*job, std::move(response));
   }

@@ -12,6 +12,7 @@
 #include "phast/phast.h"
 #include "server/metrics.h"
 #include "server/queue.h"
+#include "server/snapshot_manager.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
 
@@ -65,6 +66,10 @@ struct Response {
   bool from_cache = false;
   /// Admission-to-completion latency as measured by the service.
   double latency_ms = 0.0;
+  /// Snapshot epoch the answer was computed under (snapshot-manager mode;
+  /// 0 for a pinned engine or a shed request). Lets clients detect which
+  /// metric a response reflects across hot swaps.
+  uint64_t epoch = 0;
 };
 
 struct ServiceOptions {
@@ -99,6 +104,7 @@ struct ServiceCounters {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  uint64_t cache_swap_flushes = 0;
   uint64_t batches = 0;
   uint64_t rphast_batches = 0;
 
@@ -109,10 +115,20 @@ struct ServiceCounters {
 
 class OracleService {
  public:
-  /// The engine (and registry) must outlive the service. All metrics are
-  /// registered under the phast_server_* prefix at construction.
+  /// Serves one pinned engine forever (no hot swaps). The engine (and
+  /// registry) must outlive the service. All metrics are registered under
+  /// the phast_server_* prefix at construction.
   OracleService(const Phast& engine, const ServiceOptions& options,
                 MetricsRegistry& metrics);
+
+  /// Serves whatever the snapshot manager currently publishes: each batch
+  /// acquires the serving snapshot once (a shared_ptr, so a concurrent
+  /// CustomizeAndSwap never invalidates it mid-sweep) and stamps its
+  /// responses with the snapshot's epoch. The manager must outlive the
+  /// service.
+  OracleService(SnapshotManager& manager, const ServiceOptions& options,
+                MetricsRegistry& metrics);
+
   ~OracleService();
 
   OracleService(const OracleService&) = delete;
@@ -132,10 +148,11 @@ class OracleService {
   void Stop();
 
   [[nodiscard]] ServiceCounters Counters() const;
-  [[nodiscard]] const Phast& Engine() const { return engine_; }
   [[nodiscard]] const ServiceOptions& Options() const { return options_; }
 
  private:
+  OracleService(const Phast* engine, SnapshotManager* manager,
+                const ServiceOptions& options, MetricsRegistry& metrics);
   /// One admitted request: the client's future plus admission timestamp
   /// (for latency and deadline accounting).
   struct Job {
@@ -145,46 +162,71 @@ class OracleService {
     Timer admitted;
   };
 
-  /// LRU over full distance trees keyed by source vertex. Trees are
-  /// shared_ptr so a hit can be fanned out after the cache entry was
-  /// evicted by a racing insert.
+  /// LRU over full distance trees keyed by (snapshot epoch, source vertex).
+  /// The epoch in the key is the stale-answer fix: after a metric swap a
+  /// lookup under the new epoch can never return a tree computed under the
+  /// old one, even while the flush of the old generation is still pending.
+  /// Trees are shared_ptr so a hit can be fanned out after the cache entry
+  /// was evicted by a racing insert.
   class TreeCache {
    public:
     explicit TreeCache(size_t capacity) : capacity_(capacity) {}
 
     [[nodiscard]] std::shared_ptr<const std::vector<Weight>> Lookup(
-        VertexId source);
+        uint64_t epoch, VertexId source);
     /// Inserts (or refreshes) a tree; returns the number of evictions.
-    size_t Insert(VertexId source,
+    size_t Insert(uint64_t epoch, VertexId source,
                   std::shared_ptr<const std::vector<Weight>> tree);
+    /// Drops every tree computed under an epoch older than `epoch`; returns
+    /// how many were dropped. Purely a memory release — the epoch-in-key
+    /// already makes stale entries unreachable.
+    size_t FlushBefore(uint64_t epoch);
     [[nodiscard]] size_t Size() const;
 
    private:
+    /// (epoch << 32) | source — sources are 32-bit VertexIds.
+    static uint64_t Key(uint64_t epoch, VertexId source) {
+      return (epoch << 32) | source;
+    }
+
     const size_t capacity_;
     mutable AnnotatedMutex mu_;
     /// Most recent at the front.
-    std::list<VertexId> lru_ GUARDED_BY(mu_);
+    std::list<uint64_t> lru_ GUARDED_BY(mu_);
     struct Slot {
-      std::list<VertexId>::iterator lru_pos;
+      std::list<uint64_t>::iterator lru_pos;
       std::shared_ptr<const std::vector<Weight>> tree;
     };
-    std::unordered_map<VertexId, Slot> by_source_ GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, Slot> by_key_ GUARDED_BY(mu_);
+  };
+
+  /// Per-worker workspaces are keyed by k *and* engine identity: a swap
+  /// retires the old engine's workspaces (their label arrays are sized for
+  /// it, and sharing across engines would leak marks between metrics).
+  struct WorkspacePool {
+    const Phast* engine = nullptr;
+    std::unordered_map<uint32_t, Phast::Workspace> by_k;
   };
 
   void WorkerLoop();
-  void ProcessBatch(std::vector<Job>& jobs,
-                    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k);
-  void RunRestrictedBatch(std::vector<Job*>& jobs);
-  void RunFullBatch(std::vector<Job*>& jobs,
-                    std::unordered_map<uint32_t, Phast::Workspace>& ws_by_k);
+  void ProcessBatch(std::vector<Job>& jobs, WorkspacePool& pool);
+  void RunRestrictedBatch(const Phast& engine, uint64_t epoch,
+                          std::vector<Job*>& jobs);
+  void RunFullBatch(const Phast& engine, uint64_t epoch,
+                    std::vector<Job*>& jobs, WorkspacePool& pool);
   void Fulfill(Job& job, Response response);
   void Shed(Job& job, ResponseStatus status, Counter& reason);
 
-  const Phast& engine_;
+  const Phast* pinned_engine_;     // exactly one of these two is set
+  SnapshotManager* manager_;
+  const VertexId num_vertices_;    // constant across swaps (fixed topology)
   const ServiceOptions options_;
 
   BoundedQueue<Job> queue_;
   TreeCache cache_;
+  /// Highest epoch whose predecessors were flushed from the cache (benign
+  /// races: FlushBefore is idempotent).
+  std::atomic<uint64_t> flushed_epoch_{0};
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 
@@ -197,6 +239,7 @@ class OracleService {
   Counter& cache_hits_;
   Counter& cache_misses_;
   Counter& cache_evictions_;
+  Counter& cache_swap_flushes_;
   Counter& batches_;
   Counter& rphast_batches_;
   Gauge& queue_depth_;

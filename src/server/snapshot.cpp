@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "ch/ch_io.h"
 #include "util/error.h"
 
 namespace phast::server {
@@ -33,6 +34,9 @@ enum SectionId : uint32_t {
   kSecLevelBegin = 9,
   kSecGraphFirst = 10,
   kSecGraphArcs = 11,
+  /// Embedded ch_io stream ("PHASTCH1" bytes). Optional; readers that do
+  /// not know it skip unknown sections, so adding it kept the version at 1.
+  kSecCh = 12,
 };
 
 const char* SectionName(uint32_t id) {
@@ -48,6 +52,7 @@ const char* SectionName(uint32_t id) {
     case kSecLevelBegin: return "LEVEL_BEGIN";
     case kSecGraphFirst: return "GRAPH_FIRST";
     case kSecGraphArcs: return "GRAPH_ARCS";
+    case kSecCh: return "CH";
     default: return "UNKNOWN";
   }
 }
@@ -60,7 +65,9 @@ struct MetaSection {
   uint8_t simd_mode = 0;
   uint8_t implicit_init = 0;
   uint8_t has_graph = 0;
-  uint32_t reserved = 0;
+  /// Was `reserved` (always written 0) until the CH section was added, so
+  /// pre-CH snapshots decode as has_ch == 0.
+  uint32_t has_ch = 0;
   uint64_t num_down_arcs = 0;
   uint64_t num_up_arcs = 0;
 };
@@ -228,6 +235,11 @@ class SnapshotReader {
     return values;
   }
 
+  [[nodiscard]] std::string ReadStringSection(uint32_t id) const {
+    const TocEntry& entry = Section(id);
+    return bytes_.substr(entry.offset, entry.size);
+  }
+
   [[nodiscard]] MetaSection ReadMeta() const {
     const TocEntry& entry = Section(kSecMeta);
     Require(entry.size == sizeof(MetaSection),
@@ -261,7 +273,8 @@ uint64_t Fnv1a64(const void* data, size_t size) {
   return hash;
 }
 
-Snapshot MakeSnapshot(const Phast& engine, const Graph* graph) {
+Snapshot MakeSnapshot(const Phast& engine, const Graph* graph,
+                      const CHData* ch) {
   Snapshot snapshot;
   snapshot.layout = engine.ExportLayout();
   if (graph != nullptr) {
@@ -269,6 +282,12 @@ Snapshot MakeSnapshot(const Phast& engine, const Graph* graph) {
             "snapshot graph does not match the engine's vertex count");
     snapshot.has_graph = true;
     snapshot.graph = *graph;
+  }
+  if (ch != nullptr) {
+    Require(ch->num_vertices == engine.NumVertices(),
+            "snapshot hierarchy does not match the engine's vertex count");
+    snapshot.has_ch = true;
+    snapshot.ch = *ch;
   }
   return snapshot;
 }
@@ -282,6 +301,7 @@ void WriteSnapshot(const Snapshot& snapshot, std::ostream& out) {
   meta.simd_mode = static_cast<uint8_t>(layout.options.simd);
   meta.implicit_init = layout.options.implicit_init ? 1 : 0;
   meta.has_graph = snapshot.has_graph ? 1 : 0;
+  meta.has_ch = snapshot.has_ch ? 1 : 0;
   meta.num_down_arcs = layout.down_arcs.size();
   meta.num_up_arcs = layout.up_arcs.size();
 
@@ -298,6 +318,14 @@ void WriteSnapshot(const Snapshot& snapshot, std::ostream& out) {
   if (snapshot.has_graph) {
     builder.AddVectorSection(kSecGraphFirst, snapshot.graph.FirstArray());
     builder.AddVectorSection(kSecGraphArcs, snapshot.graph.ArcArray());
+  }
+  if (snapshot.has_ch) {
+    // Embed the ch_io stream verbatim: one serialization format for
+    // hierarchies everywhere, and the section inherits its own validation.
+    std::ostringstream ch_bytes;
+    WriteCH(snapshot.ch, ch_bytes);
+    const std::string bytes = std::move(ch_bytes).str();
+    builder.AddSection(kSecCh, bytes.data(), bytes.size());
   }
   builder.WriteTo(out);
 }
@@ -352,6 +380,14 @@ Snapshot ReadSnapshot(std::istream& in) {
     auto arcs = reader.ReadVectorSection<Arc>(kSecGraphArcs);
     RequireElementCount(first.size(), n + 1, kSecGraphFirst);
     snapshot.graph = Graph::FromCsrArrays(std::move(first), std::move(arcs));
+  }
+
+  if (meta.has_ch != 0) {
+    snapshot.has_ch = true;
+    std::istringstream ch_bytes(reader.ReadStringSection(kSecCh));
+    snapshot.ch = ReadCH(ch_bytes);
+    Require(snapshot.ch.num_vertices == n,
+            "snapshot CH section does not match the engine's vertex count");
   }
 
   // Deep structural validation (permutation/CSR/level invariants) happens

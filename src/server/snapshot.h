@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "ch/ch_data.h"
 #include "graph/csr.h"
 #include "phast/phast.h"
 
@@ -47,11 +48,19 @@ struct Snapshot {
   /// producer skipped it.
   bool has_graph = false;
   Graph graph;
+  /// Contraction hierarchy (the ch_io byte format embedded as a section);
+  /// carried by customizable snapshots (phast_prepare --customizable) so a
+  /// server can re-derive arc weights for a new metric without contraction
+  /// (server/snapshot_manager.h). Absent (has_ch=false) otherwise.
+  bool has_ch = false;
+  CHData ch;
 };
 
-/// Captures a prepared engine (and optionally its graph) for serialization.
+/// Captures a prepared engine (and optionally its graph and hierarchy) for
+/// serialization.
 [[nodiscard]] Snapshot MakeSnapshot(const Phast& engine,
-                                    const Graph* graph = nullptr);
+                                    const Graph* graph = nullptr,
+                                    const CHData* ch = nullptr);
 
 void WriteSnapshot(const Snapshot& snapshot, std::ostream& out);
 void WriteSnapshotFile(const Snapshot& snapshot, const std::string& path);

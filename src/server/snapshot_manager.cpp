@@ -1,0 +1,182 @@
+#include "server/snapshot_manager.h"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <utility>
+
+#include "ch/customize.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace phast::server {
+
+// --- WeightOverlay ----------------------------------------------------------
+
+namespace {
+
+uint64_t ArcKey(VertexId tail, VertexId head) {
+  return (static_cast<uint64_t>(tail) << 32) | head;
+}
+
+}  // namespace
+
+uint64_t WeightOverlay::Add(std::span<const WeightUpdate> updates) {
+  const MutexLock lock(mu_);
+  uint64_t seq = next_seq_ - 1;  // last assigned; unchanged if updates empty
+  for (const WeightUpdate& u : updates) {
+    seq = next_seq_++;
+    by_arc_[ArcKey(u.tail, u.head)] = Entry{u.weight, seq};
+  }
+  return seq;
+}
+
+WeightOverlay::Pending WeightOverlay::Snapshot() const {
+  const MutexLock lock(mu_);
+  Pending pending;
+  pending.updates.reserve(by_arc_.size());
+  for (const auto& [key, entry] : by_arc_) {
+    pending.updates.push_back(WeightUpdate{
+        static_cast<VertexId>(key >> 32), static_cast<VertexId>(key),
+        entry.weight});
+    pending.last_seq = std::max(pending.last_seq, entry.seq);
+  }
+  return pending;
+}
+
+void WeightOverlay::DiscardUpTo(uint64_t last_seq) {
+  const MutexLock lock(mu_);
+  for (auto it = by_arc_.begin(); it != by_arc_.end();) {
+    it = it->second.seq <= last_seq ? by_arc_.erase(it) : std::next(it);
+  }
+}
+
+size_t WeightOverlay::Size() const {
+  const MutexLock lock(mu_);
+  return by_arc_.size();
+}
+
+// --- SnapshotManager --------------------------------------------------------
+
+namespace {
+
+/// The base graph with the pending overlay merged: same topology, updated
+/// arcs re-weighted. Unknown arcs are an input error — accepting them would
+/// silently diverge the overlay from the hierarchy's fixed topology.
+Graph ApplyOverlay(const Graph& base,
+                   const std::vector<WeightUpdate>& updates) {
+  if (updates.empty()) return base;
+  std::vector<ArcId> first = base.FirstArray();
+  std::vector<Arc> arcs = base.ArcArray();
+  for (const WeightUpdate& u : updates) {
+    Require(u.tail < base.NumVertices(),
+            "weight update names tail " + std::to_string(u.tail) +
+                ", the graph has " + std::to_string(base.NumVertices()) +
+                " vertices");
+    bool found = false;
+    for (ArcId i = first[u.tail]; i < first[u.tail + 1]; ++i) {
+      if (arcs[i].other == u.head) {
+        arcs[i].weight = u.weight;
+        found = true;
+        break;
+      }
+    }
+    Require(found, "weight update names arc (" + std::to_string(u.tail) +
+                       ", " + std::to_string(u.head) +
+                       ") which the base graph does not have");
+  }
+  return Graph::FromCsrArrays(std::move(first), std::move(arcs));
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(Snapshot snapshot, MetricsRegistry& metrics)
+    : swaps_(metrics.GetCounter("phast_server_snapshot_swaps_total",
+                                "Customized snapshots published")),
+      updates_applied_(
+          metrics.GetCounter("phast_server_weight_updates_applied_total",
+                             "Overlay weight updates merged into a swap")),
+      epoch_gauge_(metrics.GetGauge("phast_server_snapshot_epoch",
+                                    "Epoch of the serving snapshot")),
+      pending_updates_(
+          metrics.GetGauge("phast_server_pending_weight_updates",
+                           "Overlay updates awaiting the next swap")),
+      age_ms_(metrics.GetGauge(
+          "phast_server_snapshot_age_ms",
+          "Milliseconds since the serving snapshot was published")),
+      customize_ms_(metrics.GetHistogram(
+          "phast_server_customize_ms",
+          "Customize-and-swap build duration in milliseconds",
+          DefaultLatencyBucketsMs())) {
+  Require(snapshot.has_graph,
+          "snapshot manager needs the graph section (run phast_prepare "
+          "without --no-graph)");
+  Require(snapshot.has_ch,
+          "snapshot manager needs the hierarchy section (run phast_prepare "
+          "--customizable)");
+  Phast engine(std::move(snapshot.layout));
+  const MutexLock lock(publish_mu_);
+  current_ = std::make_shared<const ServingSnapshot>(
+      /*epoch=*/1, std::move(engine), std::move(snapshot.graph),
+      std::move(snapshot.ch));
+  epoch_gauge_.Set(1);
+  age_.Reset();
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotManager::Current() const {
+  const MutexLock lock(publish_mu_);
+  age_ms_.Set(static_cast<int64_t>(age_.ElapsedMs()));
+  return current_;
+}
+
+uint64_t SnapshotManager::Epoch() const {
+  const MutexLock lock(publish_mu_);
+  return current_->epoch;
+}
+
+uint64_t SnapshotManager::UpdateWeights(
+    std::span<const WeightUpdate> updates) {
+  const uint64_t seq = overlay_.Add(updates);
+  pending_updates_.Set(static_cast<int64_t>(overlay_.Size()));
+  return seq;
+}
+
+uint64_t SnapshotManager::CustomizeAndSwap(uint32_t customize_threads) {
+  PHAST_SPAN("server.customize_swap");
+  const MutexLock build_lock(build_mu_);
+  const Timer build;
+
+  // Capture the overlay and the snapshot the build starts from. Updates
+  // that land after this point stay pending for the next swap.
+  const WeightOverlay::Pending pending = overlay_.Snapshot();
+  const std::shared_ptr<const ServingSnapshot> base = Current();
+
+  Graph graph = ApplyOverlay(base->graph, pending.updates);
+  CHData ch = base->ch;  // fixed topology; weights about to be rewritten
+  CustomizeOptions options;
+  options.threads = customize_threads;
+  CustomizeWeights(ch, graph, options);
+  // Project the customized weights into the serving layout and let the
+  // adopting constructor re-validate before anything is published.
+  Phast engine(base->engine.ExportReweightedLayout(ch));
+
+  auto next = std::make_shared<const ServingSnapshot>(
+      base->epoch + 1, std::move(engine), std::move(graph), std::move(ch));
+
+  overlay_.DiscardUpTo(pending.last_seq);
+  uint64_t new_epoch = 0;
+  {
+    const MutexLock lock(publish_mu_);
+    current_ = std::move(next);
+    new_epoch = current_->epoch;
+    age_.Reset();
+    epoch_gauge_.Set(static_cast<int64_t>(new_epoch));
+  }
+  swaps_.Inc();
+  updates_applied_.Inc(pending.updates.size());
+  pending_updates_.Set(static_cast<int64_t>(overlay_.Size()));
+  customize_ms_.Observe(build.ElapsedMs());
+  return new_epoch;
+}
+
+}  // namespace phast::server

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "graph/csr.h"
+#include "phast/phast.h"
+#include "server/metrics.h"
+#include "server/snapshot.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace phast::server {
+
+/// Hot metric swap for the serving subsystem (DESIGN.md §10).
+///
+/// A SnapshotManager owns the *current* serving snapshot — an immutable
+/// bundle of engine + base graph + customizable hierarchy, stamped with a
+/// monotonically increasing epoch — and builds snapshot N+1 in the
+/// background from accumulated weight updates while N keeps serving.
+/// Publication is one shared_ptr store: a worker that acquired snapshot N
+/// for a batch keeps computing against N's arrays (the shared_ptr keeps
+/// them alive) while later batches pick up N+1, so a swap never drops or
+/// corrupts an in-flight request.
+
+/// One absolute arc re-weighting: "arc (tail, head) now costs weight".
+struct WeightUpdate {
+  VertexId tail = 0;
+  VertexId head = 0;
+  Weight weight = 0;
+};
+
+/// Differential weight overlay: point updates accumulated between full
+/// customizations and merged into the base graph at the next swap. Keyed by
+/// arc, so repeated updates to one arc collapse to the latest; stamped with
+/// a sequence number so a swap can discard exactly the updates it consumed
+/// while updates racing in behind it survive for the next swap.
+class WeightOverlay {
+ public:
+  /// Records updates; returns the sequence number of the last one.
+  uint64_t Add(std::span<const WeightUpdate> updates);
+
+  /// Latest pending weight per arc, with the highest sequence number among
+  /// them (0 when empty).
+  struct Pending {
+    std::vector<WeightUpdate> updates;
+    uint64_t last_seq = 0;
+  };
+  [[nodiscard]] Pending Snapshot() const;
+
+  /// Drops every entry whose latest update has seq <= last_seq (the merge
+  /// rule: an arc re-updated after the swap captured it stays pending).
+  void DiscardUpTo(uint64_t last_seq);
+
+  [[nodiscard]] size_t Size() const;
+
+ private:
+  struct Entry {
+    Weight weight = 0;
+    uint64_t seq = 0;
+  };
+  mutable AnnotatedMutex mu_;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  /// Keyed by (tail << 32 | head); ordered so Snapshot() is deterministic.
+  std::map<uint64_t, Entry> by_arc_ GUARDED_BY(mu_);
+};
+
+/// The immutable unit of publication. Everything a batch needs is behind
+/// one shared_ptr acquisition; `graph` and `ch` carry the state the *next*
+/// customization starts from.
+struct ServingSnapshot {
+  uint64_t epoch = 0;
+  Phast engine;
+  Graph graph;  // base graph under this epoch's metric (original-id space)
+  CHData ch;    // customizable hierarchy under this epoch's metric
+
+  ServingSnapshot(uint64_t e, Phast eng, Graph g, CHData c)
+      : epoch(e), engine(std::move(eng)), graph(std::move(g)),
+        ch(std::move(c)) {}
+};
+
+class SnapshotManager {
+ public:
+  /// Adopts a decoded snapshot artifact. It must carry both the graph and
+  /// the (witness-free) hierarchy sections — phast_prepare --customizable
+  /// writes them — because customization needs the base metric and the
+  /// fixed topology; throws InputError otherwise.
+  SnapshotManager(Snapshot snapshot, MetricsRegistry& metrics);
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// The current serving snapshot. Callers hold the returned shared_ptr for
+  /// the duration of one batch; a concurrent swap retires the old snapshot
+  /// only after the last holder releases it. Also refreshes the snapshot
+  /// age gauge (milliseconds since the current epoch was published).
+  [[nodiscard]] std::shared_ptr<const ServingSnapshot> Current() const;
+
+  [[nodiscard]] uint64_t Epoch() const;
+
+  /// Queues point updates for the next customization; returns the overlay
+  /// sequence number of the last one (the handle CustomizeAndSwap reports
+  /// having merged).
+  uint64_t UpdateWeights(std::span<const WeightUpdate> updates);
+
+  /// Builds snapshot N+1 — base graph with the pending overlay merged,
+  /// hierarchy re-customized, engine re-weighted via ExportReweightedLayout
+  /// — and atomically publishes it. Returns the new epoch. Serialized
+  /// against concurrent swaps by an internal mutex; updates that arrive
+  /// during the build are *not* lost, they stay pending for the next swap.
+  /// Swapping with an empty overlay is legal and publishes an identical
+  /// metric under a new epoch (useful for drills and tests).
+  uint64_t CustomizeAndSwap(uint32_t customize_threads = 0);
+
+  [[nodiscard]] size_t PendingUpdates() const { return overlay_.Size(); }
+
+ private:
+  WeightOverlay overlay_;
+
+  mutable AnnotatedMutex publish_mu_;
+  std::shared_ptr<const ServingSnapshot> current_ GUARDED_BY(publish_mu_);
+  /// Since the current epoch was published (drives the age gauge).
+  Timer age_ GUARDED_BY(publish_mu_);
+  /// Serializes CustomizeAndSwap runs (held across the whole build, which
+  /// is why it is distinct from the cheap publish lock).
+  AnnotatedMutex build_mu_;
+
+  Counter& swaps_;
+  Counter& updates_applied_;
+  Gauge& epoch_gauge_;
+  Gauge& pending_updates_;
+  Gauge& age_ms_;
+  Histogram& customize_ms_;
+};
+
+}  // namespace phast::server

@@ -6,6 +6,7 @@
 
 #include "ch/ch_io.h"
 #include "ch/contraction.h"
+#include "ch/customize.h"
 #include "dijkstra/dijkstra.h"
 #include "phast/batch.h"
 #include "phast/kernels.h"
@@ -161,6 +162,16 @@ Oracle::Oracle(const EdgeList& edges, const CHParams& ch_params)
   normalized.Normalize();
   graph_ = Graph::FromEdgeList(normalized);
   ch_ = BuildContractionHierarchy(graph_, ch_params_);
+  IndexGPlusArcs();
+}
+
+Oracle::Oracle(Graph graph, const CHParams& ch_params, CHData ch)
+    : graph_(std::move(graph)), ch_params_(ch_params), ch_(std::move(ch)) {
+  IndexGPlusArcs();
+}
+
+void Oracle::IndexGPlusArcs() {
+  gplus_arcs_.clear();
   gplus_arcs_.reserve(ch_.up_arcs.size() + ch_.down_arcs.size());
   for (const CHArc& a : ch_.up_arcs) {
     gplus_arcs_.push_back(Edge{a.tail, a.head, a.weight});
@@ -379,6 +390,67 @@ std::string Oracle::RunAll(uint64_t seed, std::string* failing_config) const {
   {
     std::string err = CheckChDeterminism();
     if (!err.empty()) return fail("ch-determinism", std::move(err));
+  }
+
+  {
+    std::string err = CheckCustomization(seed);
+    if (!err.empty()) return fail("customize", std::move(err));
+  }
+  return "";
+}
+
+std::string Oracle::CheckCustomization(uint64_t seed) const {
+  // Customization is only sound on a triangle-closed hierarchy, so this
+  // round builds its own witness-free one (same seeded contraction knobs).
+  CHParams params = ch_params_;
+  params.witness_pruning = false;
+  const CHData base = BuildContractionHierarchy(graph_, params);
+
+  // Seeded metric mutation: every arc gets a fresh weight, same topology.
+  Rng rng(seed ^ 0xD6E8FEB86659FD93ULL);
+  std::vector<ArcId> first(graph_.FirstArray().begin(),
+                           graph_.FirstArray().end());
+  std::vector<Arc> arcs(graph_.ArcArray().begin(), graph_.ArcArray().end());
+  for (Arc& a : arcs) {
+    a.weight = static_cast<Weight>(rng.NextInRange(1, 65'536));
+  }
+  Graph reweighted = Graph::FromCsrArrays(std::move(first), std::move(arcs));
+
+  CHData customized = base;
+  CustomizeOptions customize_options;
+  customize_options.threads = ch_params_.threads;
+  CustomizeWeights(customized, reweighted, customize_options);
+
+  // Byte-diff against a from-scratch witness-free contraction of the
+  // reweighted graph: customization must reproduce it exactly.
+  {
+    const CHData rebuilt = BuildContractionHierarchy(reweighted, params);
+    std::ostringstream custom_bytes;
+    std::ostringstream rebuilt_bytes;
+    WriteCH(customized, custom_bytes);
+    WriteCH(rebuilt, rebuilt_bytes);
+    if (custom_bytes.str() != rebuilt_bytes.str()) {
+      return "customized hierarchy differs from a from-scratch rebuild on "
+             "the reweighted graph (" +
+             std::to_string(custom_bytes.str().size()) + " vs " +
+             std::to_string(rebuilt_bytes.str().size()) + " bytes)";
+    }
+  }
+
+  // Every engine configuration on the customized hierarchy must agree with
+  // Dijkstra on the reweighted graph (the adopting private constructor
+  // reuses the full per-config check, parent validation included).
+  const Oracle custom(std::move(reweighted), params, std::move(customized));
+  const std::vector<VertexId> sources =
+      OracleSources(custom.graph_.NumVertices(), seed);
+  std::vector<std::vector<Weight>> refs;
+  refs.reserve(sources.size());
+  for (const VertexId s : sources) {
+    refs.push_back(Dijkstra<BinaryHeap>(custom.graph_, s).dist);
+  }
+  for (const OracleConfig& config : FullConfigCrossProduct()) {
+    std::string err = custom.RunConfigWithRefs(config, sources, refs);
+    if (!err.empty()) return "customized engine: " + err;
   }
   return "";
 }

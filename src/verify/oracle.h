@@ -73,16 +73,25 @@ class Oracle {
 
   /// One full fuzz-iteration check: seeds a source set, runs the entire
   /// configuration cross-product, the ComputeManyTrees batch driver, the
-  /// invariant checkers, and the CH determinism cross-check (the hierarchy
+  /// invariant checkers, the CH determinism cross-check (the hierarchy
   /// rebuilt with a different thread count must serialize to identical
-  /// bytes, DESIGN.md §9). On failure returns the diagnosis and stores
-  /// the canonical name of the failing configuration in *failing_config
-  /// ("batch-driver" / "invariants" / "ch-determinism" for the non-config
+  /// bytes, DESIGN.md §9), and a metric-mutation round (customize a
+  /// witness-free hierarchy to seeded fresh weights, byte-diff it against a
+  /// from-scratch rebuild, and re-run the configuration cross-product on
+  /// the customized hierarchy against Dijkstra on the reweighted graph).
+  /// On failure returns the diagnosis and stores the canonical name of the
+  /// failing configuration in *failing_config ("batch-driver" /
+  /// "invariants" / "ch-determinism" / "customize" for the non-config
   /// checks).
   [[nodiscard]] std::string RunAll(uint64_t seed,
                                    std::string* failing_config = nullptr) const;
 
  private:
+  /// Adopts an already-built hierarchy over a prepared graph (the
+  /// customization check reuses the full config sweep on customized data).
+  Oracle(Graph graph, const CHParams& ch_params, CHData ch);
+  void IndexGPlusArcs();
+
   [[nodiscard]] std::string RunConfigWithRefs(
       const OracleConfig& config, std::span<const VertexId> sources,
       const std::vector<std::vector<Weight>>& refs) const;
@@ -102,6 +111,8 @@ class Oracle {
   /// Rebuilds the CH with a different thread count and requires identical
   /// serialized bytes.
   [[nodiscard]] std::string CheckChDeterminism() const;
+  /// The metric-mutation round of RunAll (see its doc comment).
+  [[nodiscard]] std::string CheckCustomization(uint64_t seed) const;
 
   Graph graph_;
   CHParams ch_params_;

@@ -1,0 +1,329 @@
+// Metric customization (DESIGN.md §10): re-deriving every G+ arc weight for
+// a new metric over a fixed witness-free topology must reproduce, byte for
+// byte, the hierarchy a fresh contraction of the re-weighted graph would
+// emit — and therefore exact distances. These tests pin that contract, the
+// thread-count determinism of the per-level relaxation, the saturating
+// weight arithmetic near kInfWeight (the overflow bugfix), the engine-side
+// weight re-export, and every topology-mismatch error path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ch/ch_data.h"
+#include "ch/ch_io.h"
+#include "ch/contraction.h"
+#include "ch/customize.h"
+#include "ch/query.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+EdgeList CountryEdges(uint32_t side, uint64_t seed) {
+  CountryParams params;
+  params.width = side;
+  params.height = side;
+  params.seed = seed;
+  const GeneratedGraph g = GenerateCountry(params);
+  EdgeList edges = LargestStronglyConnectedComponent(g.edges).edges;
+  edges.Normalize();
+  return edges;
+}
+
+/// Same topology, seeded fresh weights — the "new metric" of every test.
+EdgeList ReweightEdges(const EdgeList& edges, uint64_t seed) {
+  EdgeList out = edges;
+  Rng rng(seed);
+  for (Edge& e : out.MutableEdges()) {
+    e.weight = static_cast<Weight>(rng.NextInRange(1, 100'000));
+  }
+  return out;
+}
+
+CHParams CustomizableParams(uint32_t threads = 1) {
+  CHParams params;
+  params.witness_pruning = false;
+  params.threads = threads;
+  return params;
+}
+
+std::string SerializedBytes(const CHData& ch) {
+  std::ostringstream out;
+  WriteCH(ch, out);
+  return out.str();
+}
+
+void ExpectDistancesMatchDijkstra(const CHData& ch, const Graph& g,
+                                  uint64_t seed, int num_sources = 4) {
+  CHQuery query(ch);
+  Rng rng(seed);
+  for (int i = 0; i < num_sources; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const SsspResult ref = Dijkstra<BinaryHeap>(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      ASSERT_EQ(query.Distance(s, t), ref.dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+// --- correctness of the witness-free build mode itself -------------------
+
+TEST(WitnessFreeContraction, AnswersDijkstraExactDistances) {
+  const EdgeList edges = CountryEdges(9, 1);
+  const Graph g = Graph::FromEdgeList(edges);
+  const CHData ch = BuildContractionHierarchy(g, CustomizableParams());
+  ExpectDistancesMatchDijkstra(ch, g, 17);
+}
+
+TEST(WitnessFreeContraction, TopologyIsMetricIndependent) {
+  // The whole premise: contraction order, ranks, levels, and arc sets of a
+  // witness-free build depend only on the structure, never on the weights.
+  const EdgeList base = CountryEdges(8, 2);
+  const CHData a =
+      BuildContractionHierarchy(Graph::FromEdgeList(base), CustomizableParams());
+  const CHData b = BuildContractionHierarchy(
+      Graph::FromEdgeList(ReweightEdges(base, 99)), CustomizableParams());
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.level, b.level);
+  ASSERT_EQ(a.up_arcs.size(), b.up_arcs.size());
+  ASSERT_EQ(a.down_arcs.size(), b.down_arcs.size());
+  for (size_t i = 0; i < a.up_arcs.size(); ++i) {
+    EXPECT_EQ(a.up_arcs[i].tail, b.up_arcs[i].tail);
+    EXPECT_EQ(a.up_arcs[i].head, b.up_arcs[i].head);
+  }
+}
+
+// --- the tentpole contract: customize == rebuild, byte for byte ----------
+
+TEST(Customize, MatchesFreshRebuildByteForByte) {
+  const EdgeList base = CountryEdges(10, 3);
+  const Graph g = Graph::FromEdgeList(base);
+  CHData ch = BuildContractionHierarchy(g, CustomizableParams());
+
+  for (const uint64_t metric_seed : {11u, 12u, 13u}) {
+    SCOPED_TRACE("metric_seed=" + std::to_string(metric_seed));
+    const Graph reweighted =
+        Graph::FromEdgeList(ReweightEdges(base, metric_seed));
+    CustomizeStats stats;
+    CustomizeWeights(ch, reweighted, {}, &stats);
+    const CHData rebuilt =
+        BuildContractionHierarchy(reweighted, CustomizableParams());
+    EXPECT_EQ(ch.up_arcs, rebuilt.up_arcs);
+    EXPECT_EQ(ch.down_arcs, rebuilt.down_arcs);
+    EXPECT_EQ(SerializedBytes(ch), SerializedBytes(rebuilt));
+    EXPECT_EQ(stats.arcs, ch.up_arcs.size() + ch.down_arcs.size());
+    EXPECT_EQ(stats.original_arcs, base.NumArcs());
+    EXPECT_EQ(stats.levels, ch.NumLevels());
+    EXPECT_GT(stats.triangles_relaxed, 0u);
+    EXPECT_FALSE(stats.profile.ToJson().empty());
+  }
+}
+
+TEST(Customize, RoundTripToOriginalMetricRestoresOriginalBytes) {
+  const EdgeList base = CountryEdges(9, 4);
+  const Graph g = Graph::FromEdgeList(base);
+  CHData ch = BuildContractionHierarchy(g, CustomizableParams());
+  const std::string original = SerializedBytes(ch);
+  CustomizeWeights(ch, Graph::FromEdgeList(ReweightEdges(base, 5)));
+  EXPECT_NE(SerializedBytes(ch), original);  // the metric actually moved
+  CustomizeWeights(ch, g);
+  EXPECT_EQ(SerializedBytes(ch), original);
+}
+
+TEST(Customize, CustomizedDistancesMatchDijkstraOnReweightedGraph) {
+  const EdgeList base = CountryEdges(10, 6);
+  CHData ch =
+      BuildContractionHierarchy(Graph::FromEdgeList(base), CustomizableParams());
+  const Graph reweighted = Graph::FromEdgeList(ReweightEdges(base, 21));
+  CustomizeWeights(ch, reweighted);
+  ExpectDistancesMatchDijkstra(ch, reweighted, 22);
+}
+
+TEST(Customize, BitIdenticalForEveryThreadCount) {
+  const EdgeList base = CountryEdges(12, 7);
+  const Graph g = Graph::FromEdgeList(base);
+  const CHData pristine = BuildContractionHierarchy(g, CustomizableParams());
+  const Graph reweighted = Graph::FromEdgeList(ReweightEdges(base, 31));
+
+  CHData reference = pristine;
+  CustomizeOptions options;
+  options.threads = 1;
+  CustomizeWeights(reference, reweighted, options);
+  const std::string ref_bytes = SerializedBytes(reference);
+
+  for (const uint32_t threads : {2u, 8u, 0u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    CHData ch = pristine;
+    options.threads = threads;
+    CustomizeStats stats;
+    CustomizeWeights(ch, reweighted, options, &stats);
+    EXPECT_EQ(SerializedBytes(ch), ref_bytes);
+    EXPECT_GE(stats.profile.threads, 1u);
+  }
+}
+
+// --- overflow saturation (the weight-overflow bugfix) --------------------
+
+TEST(Customize, ShortcutWeightsSaturateAtInfinity) {
+  // Directed cycle with weights near kInfWeight: whichever vertex contracts
+  // first spans a shortcut whose triangle sum overflows 32 bits. It must
+  // clamp to kInfWeight (unreachable), not wrap to a tiny reachable weight.
+  const Weight huge = kInfWeight - 16;
+  EdgeList edges(4);
+  edges.AddArc(0, 1, huge);
+  edges.AddArc(1, 2, huge);
+  edges.AddArc(2, 3, huge);
+  edges.AddArc(3, 0, huge);
+  edges.Normalize();
+  const Graph g = Graph::FromEdgeList(edges);
+  CHData ch = BuildContractionHierarchy(g, CustomizableParams());
+  CustomizeWeights(ch, g);
+
+  bool found_shortcut = false;
+  for (const CHArc& a : ch.up_arcs) {
+    if (a.IsShortcut()) {
+      found_shortcut = true;
+      EXPECT_EQ(a.weight, kInfWeight);
+    }
+  }
+  for (const CHArc& a : ch.down_arcs) {
+    if (a.IsShortcut()) {
+      found_shortcut = true;
+      EXPECT_EQ(a.weight, kInfWeight);
+    }
+  }
+  ASSERT_TRUE(found_shortcut);
+
+  // And the saturated hierarchy still byte-matches a fresh rebuild.
+  const CHData rebuilt = BuildContractionHierarchy(g, CustomizableParams());
+  EXPECT_EQ(SerializedBytes(ch), SerializedBytes(rebuilt));
+}
+
+TEST(Customize, SaturatedShortcutNeverBeatsAFiniteOriginalArc) {
+  // Diamond with a direct arc: 0 -> 2 costs 7 while 0 -> 1 -> 2 overflows.
+  // The customized (0, 2) weight must stay 7 — a wrapped sum would replace
+  // it with a bogus small weight and corrupt every query through the pair.
+  EdgeList edges(3);
+  edges.AddArc(0, 1, kInfWeight - 2);
+  edges.AddArc(1, 2, kInfWeight - 2);
+  edges.AddArc(0, 2, 7);
+  edges.Normalize();
+  const Graph g = Graph::FromEdgeList(edges);
+  CHData ch = BuildContractionHierarchy(g, CustomizableParams());
+  CustomizeWeights(ch, g);
+  CHQuery query(ch);
+  EXPECT_EQ(query.Distance(0, 2), 7u);
+}
+
+// --- engine-side weight re-export ---------------------------------------
+
+TEST(Customize, ReweightedLayoutMatchesFreshEngine) {
+  const EdgeList base = CountryEdges(10, 8);
+  const Graph g = Graph::FromEdgeList(base);
+  CHData ch = BuildContractionHierarchy(g, CustomizableParams());
+
+  for (const SweepOrder order :
+       {SweepOrder::kLevelReordered, SweepOrder::kLevelNoReorder,
+        SweepOrder::kRankDescending}) {
+    SCOPED_TRACE("order=" + std::to_string(static_cast<int>(order)));
+    PhastOptions options;
+    options.order = order;
+    const Phast engine(ch, options);
+
+    const Graph reweighted = Graph::FromEdgeList(ReweightEdges(base, 41));
+    CHData customized = ch;
+    CustomizeWeights(customized, reweighted);
+    const PhastLayout layout = engine.ExportReweightedLayout(customized);
+
+    // Identical to exporting a fresh engine built on the customized data.
+    const PhastLayout fresh = Phast(customized, options).ExportLayout();
+    EXPECT_EQ(layout.perm, fresh.perm);
+    EXPECT_EQ(layout.order, fresh.order);
+    EXPECT_EQ(layout.down_first, fresh.down_first);
+    EXPECT_EQ(layout.down_arcs, fresh.down_arcs);
+    EXPECT_EQ(layout.up_first, fresh.up_first);
+    EXPECT_EQ(layout.up_arcs, fresh.up_arcs);
+    EXPECT_EQ(layout.level_begin, fresh.level_begin);
+
+    // And the adopted engine answers the new metric exactly.
+    const Phast swapped((PhastLayout(layout)));
+    auto ws = swapped.MakeWorkspace();
+    Rng rng(43);
+    for (int i = 0; i < 3; ++i) {
+      const VertexId s =
+          static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      const SsspResult ref = Dijkstra<BinaryHeap>(reweighted, s);
+      swapped.ComputeTree(s, ws);
+      for (VertexId t = 0; t < g.NumVertices(); ++t) {
+        ASSERT_EQ(swapped.Distance(ws, t), ref.dist[t])
+            << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+// --- error paths ---------------------------------------------------------
+
+TEST(Customize, RejectsVertexCountMismatch) {
+  const EdgeList base = CountryEdges(8, 9);
+  CHData ch =
+      BuildContractionHierarchy(Graph::FromEdgeList(base), CustomizableParams());
+  EdgeList bigger = base;
+  bigger.EnsureVertices(base.NumVertices() + 1);
+  EXPECT_THROW(CustomizeWeights(ch, Graph::FromEdgeList(bigger)), InputError);
+}
+
+TEST(Customize, RejectsArcTheHierarchyLacks) {
+  const EdgeList base = CountryEdges(8, 9);
+  CHData ch =
+      BuildContractionHierarchy(Graph::FromEdgeList(base), CustomizableParams());
+  // An arc between two far-apart grid corners does not exist in the build
+  // graph, so no G+ slot can hold its weight.
+  EdgeList extra = base;
+  extra.AddArc(0, base.NumVertices() - 1, 1);
+  extra.Normalize();
+  EXPECT_THROW(CustomizeWeights(ch, Graph::FromEdgeList(extra)), InputError);
+}
+
+TEST(Customize, RejectsParallelArcs) {
+  const EdgeList base = CountryEdges(8, 9);
+  CHData ch =
+      BuildContractionHierarchy(Graph::FromEdgeList(base), CustomizableParams());
+  EdgeList dup = base;
+  const Edge first = dup.Edges().front();
+  dup.AddArc(first.tail, first.head, first.weight + 1);  // not normalized
+  EXPECT_THROW(CustomizeWeights(ch, Graph::FromEdgeList(dup)), InputError);
+}
+
+TEST(Customize, RejectsMissingBuildGraphArc) {
+  const EdgeList base = CountryEdges(8, 9);
+  CHData ch =
+      BuildContractionHierarchy(Graph::FromEdgeList(base), CustomizableParams());
+  EdgeList fewer(base.NumVertices());
+  for (size_t i = 1; i < base.Edges().size(); ++i) {
+    const Edge& e = base.Edges()[i];
+    fewer.AddArc(e.tail, e.head, e.weight);
+  }
+  EXPECT_THROW(CustomizeWeights(ch, Graph::FromEdgeList(fewer)), InputError);
+}
+
+TEST(Customize, RejectsWitnessPrunedHierarchy) {
+  // A default (witness-pruned) build of a road-like graph is not
+  // triangle-closed; customizing over it would silently corrupt distances,
+  // so it must be refused with a pointer at witness_pruning = false.
+  const EdgeList base = CountryEdges(10, 10);
+  const Graph g = Graph::FromEdgeList(base);
+  CHData pruned = BuildContractionHierarchy(g);
+  EXPECT_THROW(CustomizeWeights(pruned, g), InputError);
+}
+
+}  // namespace
+}  // namespace phast

@@ -16,12 +16,16 @@
 #include <vector>
 
 #include "dijkstra/dijkstra.h"
+#include "graph/generators.h"
 #include "phast/phast.h"
+#include "phast/prepare.h"
 #include "pq/dary_heap.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/queue.h"
 #include "server/service.h"
+#include "server/snapshot.h"
+#include "server/snapshot_manager.h"
 #include "test_support.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -290,6 +294,217 @@ TEST(OracleService, InvalidRequestsAreAnsweredAndCounted) {
   EXPECT_EQ(c.Shed(), 0u);
 }
 
+// --- snapshot manager & hot swap --------------------------------------------
+
+/// A witness-free preparation of the test country: its hierarchy topology is
+/// metric-independent, which is what makes the snapshot customizable.
+const PreparedNetwork& CustomizablePrepared() {
+  static const PreparedNetwork prepared = [] {
+    CountryParams params;
+    params.width = kSide;
+    params.height = kSide;
+    params.seed = 1;
+    PrepareOptions options;
+    options.ch_params.witness_pruning = false;
+    return PrepareNetwork(GenerateCountry(params).edges, options);
+  }();
+  return prepared;
+}
+
+Snapshot MakeCustomizableSnapshot() {
+  const PreparedNetwork& prepared = CustomizablePrepared();
+  static const Phast engine(prepared.ch);
+  return MakeSnapshot(engine, &prepared.graph, &prepared.ch);
+}
+
+/// One update per arc, doubling its weight: every finite nonzero distance
+/// changes, so a pre-swap tree can never pass for a post-swap one.
+std::vector<WeightUpdate> DoubleEveryWeight(const Graph& graph) {
+  std::vector<WeightUpdate> updates;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const Arc& a : graph.ArcsOf(v)) {
+      updates.push_back({v, a.other, a.weight * 2});
+    }
+  }
+  return updates;
+}
+
+Graph ApplyUpdates(const Graph& base,
+                   const std::vector<WeightUpdate>& updates) {
+  std::vector<ArcId> first(base.FirstArray().begin(), base.FirstArray().end());
+  std::vector<Arc> arcs(base.ArcArray().begin(), base.ArcArray().end());
+  for (const WeightUpdate& u : updates) {
+    for (ArcId i = first[u.tail]; i < first[u.tail + 1]; ++i) {
+      if (arcs[i].other == u.head) {
+        arcs[i].weight = u.weight;
+        break;
+      }
+    }
+  }
+  return Graph::FromCsrArrays(std::move(first), std::move(arcs));
+}
+
+TEST(SnapshotManager, OverlayKeepsLastWritePerArcAndDiscardsBySeq) {
+  WeightOverlay overlay;
+  EXPECT_EQ(overlay.Add(std::vector<WeightUpdate>{{1, 2, 10}, {3, 4, 20}}),
+            2u);
+  EXPECT_EQ(overlay.Add(std::vector<WeightUpdate>{{1, 2, 30}}), 3u);
+
+  WeightOverlay::Pending pending = overlay.Snapshot();
+  EXPECT_EQ(pending.last_seq, 3u);
+  ASSERT_EQ(pending.updates.size(), 2u);  // (1,2) collapsed to its last write
+  for (const WeightUpdate& u : pending.updates) {
+    if (u.tail == 1) {
+      EXPECT_EQ(u.weight, 30u);
+    }
+  }
+
+  // An update that races in during a build (after Snapshot, before Discard)
+  // survives the discard and is pending for the next swap.
+  EXPECT_EQ(overlay.Add(std::vector<WeightUpdate>{{5, 6, 40}}), 4u);
+  overlay.DiscardUpTo(pending.last_seq);
+  pending = overlay.Snapshot();
+  ASSERT_EQ(pending.updates.size(), 1u);
+  EXPECT_EQ(pending.updates[0].tail, 5u);
+  EXPECT_EQ(pending.last_seq, 4u);
+}
+
+// The stale-cache regression: before the epoch went into the cache key, a
+// source queried under the old metric could be answered from the cache
+// after a swap, silently serving pre-swap distances.
+TEST(SnapshotManager, SwapNeverServesPreSwapCachedTree) {
+  MetricsRegistry metrics;
+  SnapshotManager manager(MakeCustomizableSnapshot(), metrics);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 4;
+  OracleService service(manager, options, metrics);
+
+  const Graph& base = CustomizablePrepared().graph;
+  Request request;
+  request.source = 5;
+
+  const Response before = service.Call(request);
+  EXPECT_EQ(before.epoch, 1u);
+  const Response cached = service.Call(request);
+  EXPECT_TRUE(cached.from_cache);  // the tree is definitely in the cache
+
+  const std::vector<WeightUpdate> updates = DoubleEveryWeight(base);
+  const Graph updated = ApplyUpdates(base, updates);
+  manager.UpdateWeights(updates);
+  EXPECT_EQ(manager.PendingUpdates(), updates.size());
+  EXPECT_EQ(manager.CustomizeAndSwap(/*customize_threads=*/1), 2u);
+  EXPECT_EQ(manager.Epoch(), 2u);
+  EXPECT_EQ(manager.PendingUpdates(), 0u);
+
+  const Response after = service.Call(request);
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_FALSE(after.from_cache);  // the old tree must be unreachable
+  EXPECT_NE(after.distances, before.distances);
+  const SsspResult ref = Dijkstra<BinaryHeap>(updated, request.source);
+  EXPECT_EQ(after.distances, ref.dist);
+
+  // The new metric's tree is cached under the new epoch.
+  const Response cached_after = service.Call(request);
+  EXPECT_TRUE(cached_after.from_cache);
+  EXPECT_EQ(cached_after.epoch, 2u);
+  EXPECT_EQ(cached_after.distances, after.distances);
+  EXPECT_GE(service.Counters().cache_swap_flushes, 1u);
+}
+
+TEST(SnapshotManager, SwapsUnderLoadDropNothingAndEveryEpochIsConsistent) {
+  MetricsRegistry metrics;
+  SnapshotManager manager(MakeCustomizableSnapshot(), metrics);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_batch = 8;
+  options.cache_capacity = 4;
+  options.queue_capacity = 1024;
+  OracleService service(manager, options, metrics);
+
+  // Precompute the metric of every epoch: epoch e serves graphs[e - 1].
+  constexpr int kSwaps = 3;
+  const Graph& base = CustomizablePrepared().graph;
+  std::vector<std::vector<WeightUpdate>> rounds;
+  std::vector<Graph> graphs = {base};
+  Rng setup_rng(77);
+  for (int i = 0; i < kSwaps; ++i) {
+    std::vector<WeightUpdate> updates;
+    for (int u = 0; u < 48; ++u) {
+      VertexId tail;
+      do {
+        tail = static_cast<VertexId>(setup_rng.NextBounded(base.NumVertices()));
+      } while (base.Degree(tail) == 0);
+      const Arc& arc = base.ArcsOf(
+          tail)[setup_rng.NextBounded(static_cast<uint32_t>(base.Degree(tail)))];
+      updates.push_back(
+          {tail, arc.other,
+           static_cast<Weight>(setup_rng.NextInRange(1, 100'000))});
+    }
+    graphs.push_back(ApplyUpdates(graphs.back(), updates));
+    rounds.push_back(std::move(updates));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(500 + static_cast<uint64_t>(t));
+      while (!done.load(std::memory_order_relaxed)) {
+        Request request;
+        request.source =
+            static_cast<VertexId>(rng.NextBounded(base.NumVertices()));
+        const Response response = service.Call(request);
+        if (response.status != ResponseStatus::kOk ||
+            response.epoch < 1 || response.epoch > kSwaps + 1) {
+          ++failures;
+          continue;
+        }
+        // Whatever epoch answered, it must be internally consistent: the
+        // distances are exactly that epoch's metric, never a mixture.
+        const SsspResult ref = Dijkstra<BinaryHeap>(
+            graphs[response.epoch - 1], request.source);
+        if (response.distances != ref.dist) ++failures;
+      }
+    });
+  }
+
+  for (int i = 0; i < kSwaps; ++i) {
+    manager.UpdateWeights(rounds[i]);
+    EXPECT_EQ(manager.CustomizeAndSwap(/*customize_threads=*/1),
+              static_cast<uint64_t>(i + 2));
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& c : clients) c.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.Shed(), 0u);  // zero dropped requests across all swaps
+  EXPECT_EQ(c.admitted, c.completed);
+}
+
+TEST(SnapshotManager, RequiresGraphAndHierarchySections) {
+  MetricsRegistry metrics;
+  Snapshot no_graph = MakeCustomizableSnapshot();
+  no_graph.has_graph = false;
+  EXPECT_THROW(SnapshotManager(std::move(no_graph), metrics), InputError);
+
+  Snapshot no_ch = MakeCustomizableSnapshot();
+  no_ch.has_ch = false;
+  EXPECT_THROW(SnapshotManager(std::move(no_ch), metrics), InputError);
+}
+
+TEST(SnapshotManager, RejectsUpdateForMissingArcAtSwapTime) {
+  MetricsRegistry metrics;
+  SnapshotManager manager(MakeCustomizableSnapshot(), metrics);
+  manager.UpdateWeights(
+      std::vector<WeightUpdate>{{0, 0, 1}});  // no self-loop in the graph
+  EXPECT_THROW((void)manager.CustomizeAndSwap(1), InputError);
+}
+
 // --- bounded queue ----------------------------------------------------------
 
 TEST(BoundedQueue, TryPushRejectsWhenFull) {
@@ -454,12 +669,32 @@ TEST(Protocol, ResponseFrameRoundTrip) {
   response.status = ResponseStatus::kOk;
   response.from_cache = true;
   response.latency_ms = 1.25;
+  response.epoch = 42;
   response.distances = {0, 7, kInfWeight};
   const ResponseFrame decoded = DecodeResponse(EncodeResponse(3, response));
   EXPECT_EQ(decoded.id, 3u);
   EXPECT_EQ(decoded.response.status, ResponseStatus::kOk);
   EXPECT_TRUE(decoded.response.from_cache);
+  EXPECT_EQ(decoded.response.epoch, 42u);
   EXPECT_EQ(decoded.response.distances, response.distances);
+}
+
+TEST(Protocol, WeightUpdateFrameRoundTrip) {
+  const std::vector<WeightUpdate> updates = {{1, 2, 3}, {4, 5, kInfWeight}};
+  const std::vector<WeightUpdate> decoded =
+      DecodeWeightUpdates(EncodeWeightUpdates(9, updates));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].tail, 1u);
+  EXPECT_EQ(decoded[0].head, 2u);
+  EXPECT_EQ(decoded[0].weight, 3u);
+  EXPECT_EQ(decoded[1].weight, kInfWeight);
+}
+
+TEST(Protocol, ValueReplyRoundTripChecksItsType) {
+  const std::vector<uint8_t> bytes =
+      EncodeValueReply(MessageType::kSwap, 7, 12345);
+  EXPECT_EQ(DecodeValueReply(MessageType::kSwap, bytes), 12345u);
+  EXPECT_THROW((void)DecodeValueReply(MessageType::kEpoch, bytes), InputError);
 }
 
 TEST(Protocol, TruncatedPayloadIsRejected) {
@@ -530,6 +765,68 @@ TEST(Protocol, PipelinedQueriesComeBackInOrder) {
       ExpectMatchesDijkstra(requests[i], frame.response);
     }
     client.Shutdown();
+  }
+  server.join();
+}
+
+TEST(Protocol, ServeConnectionHandlesMetricMessages) {
+  MetricsRegistry metrics;
+  SnapshotManager manager(MakeCustomizableSnapshot(), metrics);
+  ServiceOptions options;
+  options.num_workers = 1;
+  OracleService service(manager, options, metrics);
+  ConnectionOptions conn_options;
+  conn_options.manager = &manager;
+  conn_options.customize_threads = 1;
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&, server_fd = fds[1]] {
+    (void)ServeConnection(server_fd, server_fd, service, metrics,
+                          conn_options);
+    ::close(server_fd);
+  });
+
+  {
+    Client client(fds[0]);
+    EXPECT_EQ(client.FetchEpoch(), 1u);
+    const Graph& base = CustomizablePrepared().graph;
+    const std::vector<WeightUpdate> updates = DoubleEveryWeight(base);
+    EXPECT_EQ(client.UpdateWeights(updates), updates.size());
+    EXPECT_EQ(client.TriggerSwap(), 2u);
+    EXPECT_EQ(client.FetchEpoch(), 2u);
+
+    Request request;
+    request.source = 3;
+    const Response response = client.Call(request);
+    EXPECT_EQ(response.epoch, 2u);
+    const SsspResult ref = Dijkstra<BinaryHeap>(
+        ApplyUpdates(base, updates), request.source);
+    EXPECT_EQ(response.distances, ref.dist);
+    client.Shutdown();
+  }
+  server.join();
+}
+
+TEST(Protocol, MetricMessagesWithoutManagerFailTheConnection) {
+  MetricsRegistry metrics;
+  OracleService service(Engine(), ServiceOptions{}, metrics);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&service, &metrics, server_fd = fds[1]] {
+    const bool got_shutdown =
+        ServeConnection(server_fd, server_fd, service, metrics);
+    EXPECT_FALSE(got_shutdown);  // protocol error, not a clean shutdown
+    ::close(server_fd);
+  });
+
+  {
+    Client client(fds[0]);
+    // A pinned-engine server answers kEpoch with 0 but treats mutation
+    // attempts as a protocol error and closes the connection.
+    EXPECT_EQ(client.FetchEpoch(), 0u);
+    EXPECT_THROW((void)client.TriggerSwap(), InputError);
   }
   server.join();
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "ch/ch_io.h"
 #include "dijkstra/dijkstra.h"
 #include "phast/phast.h"
 #include "pq/dary_heap.h"
@@ -85,6 +86,29 @@ TEST(Snapshot, GraphSectionIsOptional) {
   const Snapshot loaded = Deserialize(Serialize(MakeSnapshot(Engine())));
   EXPECT_FALSE(loaded.has_graph);
   EXPECT_EQ(loaded.graph.NumVertices(), 0u);
+  // A snapshot without the CH section (every pre-customization snapshot)
+  // decodes as non-customizable.
+  EXPECT_FALSE(loaded.has_ch);
+}
+
+TEST(Snapshot, HierarchySectionRoundTripsByteForByte) {
+  const CHData& ch = CachedCountryCH(kSide);
+  const Snapshot loaded = Deserialize(
+      Serialize(MakeSnapshot(Engine(), &CachedCountry(kSide), &ch)));
+  ASSERT_TRUE(loaded.has_ch);
+
+  const auto serialize_ch = [](const CHData& data) {
+    std::ostringstream out;
+    WriteCH(data, out);
+    return out.str();
+  };
+  EXPECT_EQ(serialize_ch(loaded.ch), serialize_ch(ch));
+}
+
+TEST(Snapshot, MismatchedHierarchyIsRejectedAtCapture) {
+  const CHData& other = CachedCountryCH(kSide + 2);
+  EXPECT_THROW((void)MakeSnapshot(Engine(), &CachedCountry(kSide), &other),
+               InputError);
 }
 
 TEST(Snapshot, FileRoundTrip) {

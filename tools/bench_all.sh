@@ -12,10 +12,12 @@
 #   BENCH_REQUESTS               bench_server load    (default 2000)
 #   BENCH_THREADS_LIST           ch_preprocessing     (default 1,2,4,8)
 #   BENCH_KERNELS_FILTER         --benchmark_filter   (default all)
+#   BENCH_CUSTOMIZE_ROUNDS       customization rounds (default 2)
 #
 # Aggregated benches: tab1_single_tree, fig1_levels (with a profiled-sweep
 # section), server, ch_preprocessing (build-time scaling with a per-round
-# contraction profile), and the google-benchmark kernels microbenches.
+# contraction profile), customization (metric swap vs witness-free rebuild,
+# byte-identity asserted), and the google-benchmark kernels microbenches.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -26,10 +28,11 @@ SOURCES="${BENCH_SOURCES:-4}"
 REQUESTS="${BENCH_REQUESTS:-2000}"
 THREADS_LIST="${BENCH_THREADS_LIST:-1,2,4,8}"
 KERNELS_FILTER="${BENCH_KERNELS_FILTER:-.*}"
+CUSTOMIZE_ROUNDS="${BENCH_CUSTOMIZE_ROUNDS:-2}"
 
 for binary in bench/bench_tab1_single_tree bench/bench_fig1_levels \
               bench/bench_server bench/bench_ch_preprocessing \
-              bench/bench_kernels; do
+              bench/bench_customization bench/bench_kernels; do
   if [[ ! -x "$BUILD_DIR/$binary" ]]; then
     echo "bench_all: $BUILD_DIR/$binary not built" >&2
     exit 2
@@ -59,6 +62,11 @@ echo "=== bench_all: ch_preprocessing ===" >&2
   --width="$WIDTH" --height="$HEIGHT" --threads-list="$THREADS_LIST" \
   --json-out="$TMP/ch_preprocessing.json"
 
+echo "=== bench_all: customization ===" >&2
+"$BUILD_DIR/bench/bench_customization" \
+  --width="$WIDTH" --height="$HEIGHT" --rounds="$CUSTOMIZE_ROUNDS" \
+  --json-out="$TMP/customization.json"
+
 echo "=== bench_all: kernels ===" >&2
 "$BUILD_DIR/bench/bench_kernels" \
   --benchmark_filter="$KERNELS_FILTER" \
@@ -71,7 +79,7 @@ import sys
 tmp, output = sys.argv[1], sys.argv[2]
 doc = {"schema": "phast-bench-v1", "benches": {}}
 for name in ("tab1_single_tree", "fig1_levels", "server", "ch_preprocessing",
-              "kernels"):
+              "customization", "kernels"):
     with open(f"{tmp}/{name}.json", encoding="utf-8") as f:
         doc["benches"][name] = json.load(f)
 with open(output, "w", encoding="utf-8") as f:

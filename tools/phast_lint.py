@@ -39,6 +39,11 @@ cannot express:
                         answering"; contraction at request time would stall
                         the daemon for minutes. phast_prepare.cpp, the
                         offline snapshot builder, is the single exemption.
+  broken-doc-comment    a `///` doc run must not degrade mid-run: a line
+                        that lost slashes (`/ text` next to a comment, or a
+                        plain `//` sandwiched between `///` lines) silently
+                        drops out of the rendered documentation — or worse,
+                        `/ text` is parsed as a division expression.
 
 Suppression: append `// phast-lint: allow(<rule>)` to the offending line.
 
@@ -409,6 +414,65 @@ def check_server_no_prepare(path, code, raw_lines, findings):
         )
 
 
+# --- rule: broken-doc-comment -----------------------------------------------
+
+# A `///` doc line (not `////` banners); a plain `//` comment line; a lone
+# `/` followed by prose (the classic lost-slashes typo).
+DOC_LINE_RE = re.compile(r"^\s*///(?:$|[^/])")
+PLAIN_COMMENT_RE = re.compile(r"^\s*//(?:$|[^/])")
+LOST_SLASHES_RE = re.compile(r"^/\s+\S")
+
+
+def check_broken_doc_comment(path, code, raw_lines, findings):
+    def is_doc(idx: int) -> bool:
+        return 0 <= idx < len(raw_lines) and bool(
+            DOC_LINE_RE.match(raw_lines[idx])
+        )
+
+    def is_comment(idx: int) -> bool:
+        return 0 <= idx < len(raw_lines) and bool(
+            DOC_LINE_RE.match(raw_lines[idx])
+            or PLAIN_COMMENT_RE.match(raw_lines[idx])
+        )
+
+    for idx, line in enumerate(raw_lines):
+        lineno = idx + 1
+        if line_allows(raw_lines, lineno, "broken-doc-comment"):
+            continue
+        stripped = line.strip()
+        if stripped.startswith(("///", "/*", "*")):
+            continue
+        if stripped.startswith("//"):
+            # A two-slash line sandwiched between `///` lines is a doc line
+            # that lost its third slash (an adjacent plain `//` note is
+            # legitimate, so both neighbors must be doc lines).
+            if is_doc(idx - 1) and is_doc(idx + 1):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "broken-doc-comment",
+                        "`//` line inside a `///` doc run; restore the third "
+                        "slash or move the note out of the run",
+                    )
+                )
+        elif stripped.startswith("/"):
+            # `/ text` next to a comment line: a comment that lost slashes
+            # and now parses as a division expression (or not at all).
+            if LOST_SLASHES_RE.match(stripped) and (
+                is_comment(idx - 1) or is_comment(idx + 1)
+            ):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "broken-doc-comment",
+                        "line starts with a single `/` next to a comment; "
+                        "a comment line lost its slashes",
+                    )
+                )
+
+
 RULES = (
     check_omp_default_none,
     check_stale_parent,
@@ -417,6 +481,7 @@ RULES = (
     check_raw_now,
     check_intrinsics,
     check_server_no_prepare,
+    check_broken_doc_comment,
 )
 
 
@@ -680,6 +745,51 @@ SELF_TEST_CASES = [
         "src/x/a.cpp",
         "// throw rand() time(0) #pragma omp parallel\n"
         '/* std::random_device; parents_[i] */\nconst char* s = "throw";\n',
+        None,
+    ),
+    # The protocol.cpp-style typo: one line of a /// run lost two slashes.
+    (
+        "broken-doc-comment/bad-lost-slashes",
+        "src/x/a.cpp",
+        "/ Reads exactly `size` bytes. Returns bytes read: `size` on\n"
+        "/// success, 0 on EOF before the first byte.\n"
+        "size_t ReadFull(int fd, void* data, size_t size);\n",
+        "broken-doc-comment",
+    ),
+    (
+        "broken-doc-comment/bad-two-slash-mid-run",
+        "src/x/a.cpp",
+        "/// Reads exactly `size` bytes.\n"
+        "// Returns bytes read: `size` on success,\n"
+        "/// 0 on EOF before the first byte.\n"
+        "size_t ReadFull(int fd, void* data, size_t size);\n",
+        "broken-doc-comment",
+    ),
+    (
+        "broken-doc-comment/plain-note-after-doc-ok",
+        "src/x/a.cpp",
+        "/// Reads exactly `size` bytes.\n"
+        "// TODO: retry on EAGAIN too.\n"
+        "size_t ReadFull(int fd, void* data, size_t size);\n",
+        None,
+    ),
+    (
+        "broken-doc-comment/wrapped-division-ok",
+        "src/x/a.cpp",
+        "int f(int a, int b) {\n  return (a + b)\n/ b;\n}\n",
+        None,
+    ),
+    (
+        "broken-doc-comment/block-comment-ok",
+        "src/x/a.cpp",
+        "/* A block comment\n * with a starred body\n */\nvoid f();\n",
+        None,
+    ),
+    (
+        "broken-doc-comment/suppressed",
+        "src/x/a.cpp",
+        "/// Divides the accumulators:\n"
+        "/ 2  // phast-lint: allow(broken-doc-comment)\n",
         None,
     ),
 ]
