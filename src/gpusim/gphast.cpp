@@ -1,6 +1,7 @@
 #include "gpusim/gphast.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "obs/trace.h"
 #include "util/error.h"

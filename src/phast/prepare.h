@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ch/ch_data.h"
 #include "ch/contraction.h"

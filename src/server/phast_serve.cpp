@@ -23,6 +23,7 @@
 //
 // Runs until a client sends a shutdown frame (or SIGINT/SIGTERM, or EOF in
 // --stdio mode). Exit code 0 = clean shutdown, 2 = usage error.
+#include <atomic>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>

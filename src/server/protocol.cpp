@@ -1,5 +1,8 @@
 #include "server/protocol.h"
 
+#include <atomic>
+#include <future>
+#include <optional>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>

@@ -238,9 +238,12 @@ void OracleService::WorkerLoop() {
 namespace {
 
 /// Gathers the response for one job from a full tree indexed by original id.
+/// Takes the serving epoch so every distance-bearing response is stamped at
+/// construction; callers must not hand out an unstamped response.
 Response FromTree(const std::vector<Weight>& tree, const Request& request,
-                  bool from_cache) {
+                  uint64_t epoch, bool from_cache) {
   Response response;
+  response.epoch = epoch;
   response.from_cache = from_cache;
   if (request.targets.empty()) {
     response.distances = tree;
@@ -300,8 +303,7 @@ void OracleService::ProcessBatch(std::vector<Job>& jobs, WorkspacePool& pool) {
       if (const auto tree = cache_.Lookup(epoch, job->request.source)) {
         cache_hits_.Inc();
         Response response =
-            FromTree(*tree, job->request, /*from_cache=*/true);
-        response.epoch = epoch;
+            FromTree(*tree, job->request, epoch, /*from_cache=*/true);
         Fulfill(*job, std::move(response));
       } else {
         cache_misses_.Inc();
@@ -444,8 +446,7 @@ void OracleService::RunFullBatch(const Phast& engine, uint64_t epoch,
     const uint32_t lane = lane_of[job->request.source];
     if (trees[lane]) {
       Response response =
-          FromTree(*trees[lane], job->request, /*from_cache=*/false);
-      response.epoch = epoch;
+          FromTree(*trees[lane], job->request, epoch, /*from_cache=*/false);
       Fulfill(*job, std::move(response));
       continue;
     }

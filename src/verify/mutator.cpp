@@ -1,6 +1,7 @@
 #include "verify/mutator.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "graph/generators.h"
 #include "util/rng.h"

@@ -1,0 +1,2206 @@
+#!/usr/bin/env python3
+"""phast_analyze.py -- semantic whole-program analyzer for the PHAST tree.
+
+Division of labour with tools/phast_lint.py (documented in both tools):
+  * phast_lint.py owns TOKEN-LOCAL rules: anything decidable from a single
+    logical line after comment/string stripping (omp-default-none spelling,
+    naked throw, wall-clock reads, intrinsics includes, doc comments, ...).
+  * phast_analyze.py (this tool) owns SEMANTIC rules: anything that needs
+    scopes, whole-function context, or whole-program context spanning
+    translation units.  It is driven by the exported compile_commands.json
+    and a real C++ lexer + brace/scope tracker -- no regexes over raw text.
+
+Passes (rule ids):
+  PA-LOCK-ORDER    MutexLock/AnnotatedMutex acquisition nesting per function,
+                   merged into a global acquired-while-held graph (with
+                   transitive acquisition summaries through the call graph);
+                   cycles and recursive self-acquisitions are reported as
+                   potential deadlocks.
+  PA-GUARDED      fields declared GUARDED_BY(m) accessed in functions that
+                   neither hold a MutexLock(m) scope nor declare REQUIRES(m).
+                   This covers GCC builds where Clang's -Wthread-safety is
+                   silent.  Constructors/destructors of the owning class are
+                   exempt (no concurrent access before/after lifetime).
+  PA-LAYERING     include-graph enforcement of the module order
+                   util < graph/pq < dijkstra < ch < phast < obs < gpusim
+                   < apps < verify < server, plus include-cycle detection.
+                   A small allowlist of obs interface headers (std-only
+                   include closure, verified by the pass itself) may be
+                   included from lower layers.
+  PA-INCLUDE      include hygiene: std:: symbols used without a direct
+                   include of their canonical header (curated symbol map;
+                   a foo.cpp may rely on its primary header foo.h).
+  PA-OMP-SHARING  identifiers referenced inside an `omp ... default(none)`
+                   region body that are alive locals/params of the enclosing
+                   function but absent from the region's
+                   shared/firstprivate/private/reduction/lastprivate lists.
+  PA-EPOCH        protocol invariant (PR 6): any src/server/ function that
+                   writes a `.distances` payload must stamp `.epoch` on the
+                   same response object in the same function.
+  PA-HEADER       (only under --check-headers) header self-sufficiency:
+                   every src/ header must compile standalone.
+
+Suppression: append `// phast-analyze: allow(PA-RULE)` on (or on the line
+directly above) the offending line.  Persistent exceptions go into the
+checked-in baseline (tools/phast_analyze_baseline.json, regenerate with
+--write-baseline and justify entries by hand).
+
+Exit codes: 0 clean, 1 findings (after baseline), 2 usage/internal error.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL_NAME = "phast_analyze"
+TOOL_VERSION = "1.0.0"
+
+RULES = {
+    "PA-LOCK-ORDER": "lock-order cycle / recursive acquisition (potential deadlock)",
+    "PA-GUARDED": "GUARDED_BY field accessed without holding its mutex",
+    "PA-LAYERING": "module layering violation or include cycle",
+    "PA-INCLUDE": "std symbol used without direct include",
+    "PA-OMP-SHARING": "identifier missing from default(none) sharing clauses",
+    "PA-EPOCH": "distance-bearing response built without stamping snapshot epoch",
+    "PA-HEADER": "header is not self-sufficient (fails standalone compile)",
+}
+
+# Module layering ranks: an includer may only depend on strictly-lower or
+# equal-rank modules.  graph and pq share a rank (both sit just above util).
+MODULE_RANK = {
+    "util": 0,
+    "graph": 1,
+    "pq": 1,
+    "dijkstra": 2,
+    "ch": 3,
+    "phast": 4,
+    "obs": 5,
+    "gpusim": 6,
+    "apps": 7,
+    "verify": 8,
+    "server": 9,
+}
+
+# obs interface headers that lower layers (graph/ch/phast/...) may include.
+# The exemption is only valid while their include closure is std-only; the
+# layering pass re-verifies that on every run.
+LAYERING_INTERFACE_ALLOWLIST = {
+    "obs/trace.h",
+    "obs/sweep_profile.h",
+    "obs/contraction_profile.h",
+    "obs/customize_profile.h",
+}
+
+# Curated std symbol -> canonical header map for PA-INCLUDE.  Deliberately
+# small: entries are added only for symbols whose transitive availability has
+# actually bitten us (keeps the pass high-precision).
+STD_SYMBOL_HEADER = {
+    "vector": "vector",
+    "string": "string",
+    "atomic": "atomic",
+    "optional": "optional",
+    "future": "future",
+    "promise": "future",
+    "shared_future": "future",
+}
+
+THREAD_ANNOTATIONS = {
+    "CAPABILITY", "SCOPED_CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY",
+    "REQUIRES", "REQUIRES_SHARED", "ACQUIRE", "ACQUIRE_SHARED", "RELEASE",
+    "RELEASE_SHARED", "EXCLUDES", "RETURN_CAPABILITY",
+    "NO_THREAD_SAFETY_ANALYSIS", "ASSERT_CAPABILITY",
+}
+
+CPP_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default", "break",
+    "continue", "return", "goto", "try", "catch", "throw", "new", "delete",
+    "sizeof", "alignof", "alignas", "static_assert", "using", "typedef",
+    "template", "typename", "class", "struct", "union", "enum", "namespace",
+    "public", "private", "protected", "friend", "virtual", "override",
+    "final", "const", "constexpr", "consteval", "constinit", "mutable",
+    "static", "inline", "extern", "explicit", "noexcept", "operator", "this",
+    "nullptr", "true", "false", "auto", "void", "bool", "char", "int",
+    "short", "long", "float", "double", "signed", "unsigned", "wchar_t",
+    "decltype", "co_return", "co_await", "co_yield", "requires", "concept",
+    "volatile", "thread_local", "and", "or", "not", "reinterpret_cast",
+    "static_cast", "dynamic_cast", "const_cast",
+}
+
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "return", "case", "catch",
+    "try", "throw", "goto", "delete", "new",
+}
+
+
+class Finding:
+    __slots__ = ("rule", "path", "line", "message", "fp_extra")
+
+    def __init__(self, rule, path, line, message, fp_extra=""):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+        # Line-independent context for the fingerprint so baselines survive
+        # unrelated edits above the finding.
+        self.fp_extra = fp_extra or message
+
+    def fingerprint(self, occurrence=0):
+        blob = "|".join([self.rule, self.path, self.fp_extra, str(occurrence)])
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+    def text(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return "Tok(%s,%r,%d)" % (self.kind, self.text, self.line)
+
+
+def _scan_allow(comment, line, allow):
+    """Record `phast-analyze: allow(RULE[, RULE])` suppressions in a comment."""
+    key = "phast-analyze:"
+    pos = comment.find(key)
+    if pos < 0:
+        return
+    rest = comment[pos + len(key):]
+    apos = rest.find("allow(")
+    if apos < 0:
+        return
+    end = rest.find(")", apos)
+    if end < 0:
+        return
+    rules = [r.strip() for r in rest[apos + len("allow("):end].split(",")]
+    allow.setdefault(line, set()).update(r for r in rules if r)
+
+
+def lex(text):
+    """Hand-written C++ lexer.  Returns (tokens, allow_map).
+
+    Token kinds: 'id', 'num', 'str', 'chr', 'punct', 'pp' (whole preprocessor
+    directive with continuations folded, text excludes the leading '#').
+    Comments are consumed (scanned for allow() suppressions); '->' and '::'
+    are single punct tokens.
+    """
+    toks = []
+    allow = {}
+    i, n, line = 0, len(text), 1
+    bol = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            bol = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and bol:
+            start = line
+            buf = []
+            i += 1
+            while i < n:
+                c = text[i]
+                if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    buf.append(" ")
+                    i += 2
+                    line += 1
+                    continue
+                if c == "\n":
+                    break
+                if c == "/" and i + 1 < n and text[i + 1] == "/":
+                    j = text.find("\n", i)
+                    j = n if j < 0 else j
+                    _scan_allow(text[i:j], line, allow)
+                    i = j
+                    break
+                if c == "/" and i + 1 < n and text[i + 1] == "*":
+                    j = text.find("*/", i + 2)
+                    if j < 0:
+                        i = n
+                        break
+                    seg = text[i:j + 2]
+                    _scan_allow(seg, line, allow)
+                    line += seg.count("\n")
+                    buf.append(" ")
+                    i = j + 2
+                    continue
+                buf.append(c)
+                i += 1
+            toks.append(Tok("pp", "".join(buf).strip(), start))
+            continue
+        bol = False
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            _scan_allow(text[i:j], line, allow)
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                break
+            seg = text[i:j + 2]
+            _scan_allow(seg, line, allow)
+            line += seg.count("\n")
+            i = j + 2
+            continue
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            toks.append(Tok("str", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            toks.append(Tok("chr", text[i:j + 1], line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word == "R" and j < n and text[j] == '"':
+                k = text.find("(", j)
+                if k >= 0:
+                    delim = text[j + 1:k]
+                    close = ")" + delim + '"'
+                    e = text.find(close, k)
+                    e = n if e < 0 else e + len(close)
+                    seg = text[i:e]
+                    toks.append(Tok("str", seg, line))
+                    line += seg.count("\n")
+                    i = e
+                    continue
+            toks.append(Tok("id", word, line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._'"):
+                if text[j] in "eEpP" and j + 1 < n and text[j + 1] in "+-":
+                    j += 1
+                j += 1
+            toks.append(Tok("num", text[i:j], line))
+            i = j
+            continue
+        if c == "-" and i + 1 < n and text[i + 1] == ">":
+            toks.append(Tok("punct", "->", line))
+            i += 2
+            continue
+        if c == ":" and i + 1 < n and text[i + 1] == ":":
+            toks.append(Tok("punct", "::", line))
+            i += 2
+            continue
+        toks.append(Tok("punct", c, line))
+        i += 1
+    return toks, allow
+
+
+# ---------------------------------------------------------------------------
+# Phase A: per-file structural parse (namespaces, classes, function bodies).
+# ---------------------------------------------------------------------------
+
+class ClassInfo:
+    __slots__ = ("name", "file", "line", "fields", "guards", "mutex_fields",
+                 "method_requires")
+
+    def __init__(self, name, file, line):
+        self.name = name
+        self.file = file
+        self.line = line
+        self.fields = {}          # field name -> type text
+        self.guards = {}          # field name -> guard expression text
+        self.mutex_fields = set() # fields whose type is AnnotatedMutex
+        self.method_requires = {} # method name -> [mutex expr text, ...]
+
+
+class FuncInfo:
+    __slots__ = ("name", "cls", "file", "line", "requires", "params", "body",
+                 "is_ctor_dtor")
+
+    def __init__(self, name, cls, file, line, requires, params, body,
+                 is_ctor_dtor):
+        self.name = name
+        self.cls = cls            # owning class name or None
+        self.file = file
+        self.line = line
+        self.requires = requires  # mutex expr texts from REQUIRES(...)
+        self.params = params      # param name -> type text
+        self.body = body          # (first body token index, closing '}' index)
+        self.is_ctor_dtor = is_ctor_dtor
+
+    @property
+    def qual(self):
+        return (self.cls + "::" + self.name) if self.cls else self.name
+
+
+class FileModel:
+    __slots__ = ("path", "toks", "allow", "includes", "classes", "funcs",
+                 "pragmas")
+
+    def __init__(self, path):
+        self.path = path
+        self.toks = []
+        self.allow = {}
+        self.includes = []  # (header text, quoted bool, line)
+        self.classes = []
+        self.funcs = []
+        self.pragmas = []   # (directive text, line, next-token index)
+
+
+def _toks_text(toks, idxs):
+    return " ".join(toks[k].text for k in idxs)
+
+
+def _norm_expr(parts):
+    """Normalize a member chain: drop this->, '->' becomes '.'."""
+    out = []
+    for p in parts:
+        if p in ("->",):
+            out.append(".")
+        else:
+            out.append(p)
+    s = "".join(out)
+    if s.startswith("this."):
+        s = s[len("this."):]
+    return s
+
+
+def _split_top_level(toks, idxs, sep):
+    """Split token index list on `sep` at paren/angle/bracket depth 0."""
+    parts = []
+    cur = []
+    depth = 0
+    angle = 0
+    for k in idxs:
+        t = toks[k].text
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif t == "<":
+            angle += 1
+        elif t == ">" and angle > 0:
+            angle -= 1
+        if t == sep and depth == 0 and angle == 0:
+            parts.append(cur)
+            cur = []
+        else:
+            cur.append(k)
+    parts.append(cur)
+    return parts
+
+
+def _find_paren_group(toks, idxs):
+    """First top-level (...) group in `idxs` whose preceding token is an id.
+
+    Returns (name_idx, open_idx, close_idx) or None.  Used to recognize
+    function signatures and extract their parameter lists.
+    """
+    depth = 0
+    angle = 0
+    for pos, k in enumerate(idxs):
+        t = toks[k].text
+        if t == "<":
+            angle += 1
+        elif t == ">" and angle > 0:
+            angle -= 1
+        elif t == "(" and depth == 0 and angle == 0:
+            if pos == 0:
+                return None
+            prev = toks[idxs[pos - 1]]
+            if prev.kind != "id" or prev.text in CONTROL_KEYWORDS:
+                # keep scanning past this group
+                d = 1
+                pos2 = pos + 1
+                while pos2 < len(idxs) and d > 0:
+                    tt = toks[idxs[pos2]].text
+                    if tt == "(":
+                        d += 1
+                    elif tt == ")":
+                        d -= 1
+                    pos2 += 1
+                continue
+            if prev.text in THREAD_ANNOTATIONS:
+                continue
+            d = 1
+            pos2 = pos + 1
+            while pos2 < len(idxs) and d > 0:
+                tt = toks[idxs[pos2]].text
+                if tt == "(":
+                    d += 1
+                elif tt == ")":
+                    d -= 1
+                pos2 += 1
+            if d == 0:
+                return (pos - 1, pos, pos2 - 1)
+            return None
+        elif t in ("(", "["):
+            depth += 1
+        elif t in (")", "]"):
+            depth -= 1
+    return None
+
+
+def _top_level_has(toks, idxs, text, stop_at_paren=False):
+    depth = 0
+    angle = 0
+    for k in idxs:
+        t = toks[k].text
+        if t == "<":
+            angle += 1
+        elif t == ">" and angle > 0:
+            angle -= 1
+        elif t in ("(", "[", "{"):
+            if stop_at_paren and t == "(" and depth == 0 and angle == 0:
+                return False
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        if depth == 0 and angle == 0 and t == text:
+            return True
+    return False
+
+
+def _parse_annotation_args(toks, idxs, name):
+    """Extract expression texts from annotation calls NAME(a, b) in idxs."""
+    out = []
+    i = 0
+    while i < len(idxs):
+        if toks[idxs[i]].text == name and i + 1 < len(idxs) and \
+                toks[idxs[i + 1]].text == "(":
+            depth = 1
+            j = i + 2
+            group = []
+            while j < len(idxs) and depth > 0:
+                t = toks[idxs[j]].text
+                if t == "(":
+                    depth += 1
+                elif t == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                group.append(idxs[j])
+                j += 1
+            for part in _split_top_level(toks, group, ","):
+                if part:
+                    out.append(_norm_expr([toks[k].text for k in part]))
+            i = j
+        i += 1
+    return out
+
+
+def _parse_params(toks, idxs):
+    """Best-effort parameter extraction: name -> type text."""
+    params = {}
+    for part in _split_top_level(toks, idxs, ","):
+        if not part:
+            continue
+        texts = [toks[k].text for k in part]
+        if texts == ["void"]:
+            continue
+        # name = id before '=' (default arg) else last id token
+        stop = len(part)
+        for pos, k in enumerate(part):
+            if toks[k].text == "=":
+                stop = pos
+                break
+        name_pos = None
+        for pos in range(stop - 1, -1, -1):
+            tk = toks[part[pos]]
+            if tk.kind == "id" and tk.text not in CPP_KEYWORDS:
+                name_pos = pos
+                break
+            if tk.kind == "id" or tk.text in (")", ">"):
+                break
+        if name_pos is None or name_pos == 0:
+            continue
+        name = toks[part[name_pos]].text
+        type_text = " ".join(texts[:name_pos])
+        params[name] = type_text
+    return params
+
+
+def _skip_balanced(toks, i, n, open_t="{", close_t="}"):
+    """toks[i] is `open_t`; return index just past its matching close."""
+    depth = 0
+    while i < n:
+        t = toks[i].text if toks[i].kind != "pp" else ""
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def parse_file(path, text):
+    toks, allow = lex(text)
+    fm = FileModel(path)
+    fm.toks = toks
+    fm.allow = allow
+    n = len(toks)
+    # Record preprocessor directives up front: the structural loop skips
+    # function bodies wholesale, but omp pragmas live inside them.
+    for idx, t in enumerate(toks):
+        if t.kind == "pp":
+            _record_pp(fm, t, idx)
+    scope = []   # stack of ('ns', name) / ('class', ClassInfo)
+    head = []    # token indices of the current declaration head
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "pp":
+            i += 1
+            continue
+        txt = t.text
+        if txt == "{":
+            i = _classify_open_brace(fm, toks, i, n, scope, head)
+            head = []
+            continue
+        if txt == "}":
+            if scope:
+                scope.pop()
+            i += 1
+            # consume optional trailing ';'
+            if i < n and toks[i].kind == "punct" and toks[i].text == ";":
+                i += 1
+            head = []
+            continue
+        if txt == ";":
+            _process_decl_statement(fm, toks, head, scope)
+            head = []
+            i += 1
+            continue
+        if txt == ":" and len(head) == 1 and \
+                toks[head[0]].text in ("public", "private", "protected"):
+            head = []
+            i += 1
+            continue
+        head.append(i)
+        i += 1
+    return fm
+
+
+def _record_pp(fm, t, idx):
+    body = t.text
+    if body.startswith("include"):
+        rest = body[len("include"):].strip()
+        if rest.startswith('"'):
+            end = rest.find('"', 1)
+            if end > 0:
+                fm.includes.append((rest[1:end], True, t.line))
+        elif rest.startswith("<"):
+            end = rest.find(">", 1)
+            if end > 0:
+                fm.includes.append((rest[1:end], False, t.line))
+    elif body.startswith("pragma"):
+        rest = body[len("pragma"):].strip()
+        if rest.startswith("omp"):
+            fm.pragmas.append((rest, t.line, idx + 1))
+
+
+def _enclosing_class(scope):
+    for e in reversed(scope):
+        if e[0] == "class":
+            return e[1]
+    return None
+
+
+def _classify_open_brace(fm, toks, i, n, scope, head):
+    """toks[i] == '{' at namespace/class level.  Push scope or skip body.
+
+    Returns the next token index to resume structural parsing at.
+    """
+    texts = [toks[k].text for k in head]
+    # namespace
+    if texts and texts[0] == "namespace" or \
+            (len(texts) >= 2 and texts[0] == "inline" and texts[1] == "namespace"):
+        name = ""
+        for k in head:
+            if toks[k].kind == "id" and toks[k].text not in ("namespace", "inline"):
+                name = toks[k].text
+                break
+        scope.append(("ns", name))
+        return i + 1
+    # enum (incl. enum class): skip enumerator list entirely
+    if "enum" in texts[:2]:
+        return _skip_balanced(toks, i, n)
+    # class/struct/union definition: class-key at top level (not in <> or ())
+    cls_kw_pos = None
+    depth = angle = 0
+    for pos, k in enumerate(head):
+        tt = toks[k].text
+        if tt == "<":
+            angle += 1
+        elif tt == ">" and angle > 0:
+            angle -= 1
+        elif tt in ("(", "["):
+            depth += 1
+        elif tt in (")", "]"):
+            depth -= 1
+        elif depth == 0 and angle == 0 and tt in ("class", "struct", "union"):
+            cls_kw_pos = pos
+            break
+    sig = _find_paren_group(toks, head)
+    if cls_kw_pos is not None and sig is None:
+        name = ""
+        for pos in range(cls_kw_pos + 1, len(head)):
+            tk = toks[head[pos]]
+            if tk.kind == "id" and tk.text not in CPP_KEYWORDS and \
+                    tk.text not in THREAD_ANNOTATIONS:
+                name = tk.text
+                break
+        ci = ClassInfo(name or "<anon>", fm.path, toks[i].line)
+        fm.classes.append(ci)
+        scope.append(("class", ci))
+        return i + 1
+    # function definition?
+    if sig is not None and texts and texts[0] not in CONTROL_KEYWORDS:
+        return _open_function(fm, toks, i, n, scope, head, sig)
+    # anything else (brace init at class scope, extern "C", ...): skip
+    return _skip_balanced(toks, i, n)
+
+
+def _open_function(fm, toks, i, n, scope, head, sig):
+    name_pos, open_pos, close_pos = sig
+    name_tok = toks[head[name_pos]]
+    name = name_tok.text
+    # qualified name Foo::Bar / dtor ~Foo
+    cls = None
+    p = name_pos - 1
+    if p >= 0 and toks[head[p]].text == "~":
+        name = "~" + name
+        p -= 1
+    if p >= 1 and toks[head[p]].text == "::" and toks[head[p - 1]].kind == "id":
+        cls = toks[head[p - 1]].text
+    if cls is None:
+        ci = _enclosing_class(scope)
+        if ci is not None:
+            cls = ci.name
+    is_ctor_dtor = name.lstrip("~") == (cls or "")
+    tail = head[close_pos + 1:]
+    requires = _parse_annotation_args(toks, tail, "REQUIRES")
+    params = _parse_params(toks, head[open_pos + 1:close_pos])
+    # Handle ctor init-list braces between ')' and the real body brace.
+    # We are at a '{'; it is an init brace iff the previous token is a plain
+    # identifier (member name / base) and the tail contains a top-level ':'.
+    j = i
+    if _top_level_has(toks, tail, ":"):
+        while j < n:
+            prev = toks[j - 1]
+            if prev.kind == "id" and prev.text not in CPP_KEYWORDS and \
+                    prev.text not in THREAD_ANNOTATIONS:
+                j = _skip_balanced(toks, j, n)
+                # advance to next '{'
+                while j < n and not (toks[j].kind == "punct" and toks[j].text == "{"):
+                    j += 1
+                continue
+            break
+    if j >= n:
+        return n
+    body_end = _skip_balanced(toks, j, n) - 1  # index of matching '}'
+    fn = FuncInfo(name, cls, fm.path, name_tok.line, requires, params,
+                  (j + 1, body_end), is_ctor_dtor)
+    fm.funcs.append(fn)
+    # Record REQUIRES from an out-of-line definition head onto the class too.
+    if cls and requires:
+        ci = _enclosing_class(scope)
+        if ci is not None and ci.name == cls:
+            ci.method_requires.setdefault(name, []).extend(requires)
+    return body_end + 1
+
+
+def _process_decl_statement(fm, toks, head, scope):
+    """Handle a ';'-terminated declaration at namespace/class level."""
+    if not head:
+        return
+    ci = _enclosing_class(scope)
+    texts = [toks[k].text for k in head]
+    sig = _find_paren_group(toks, head)
+    # '=' at top level before the paren group means a field with call init.
+    eq_first = False
+    if sig is not None:
+        depth = angle = 0
+        for pos, k in enumerate(head):
+            tt = toks[k].text
+            if tt == "<":
+                angle += 1
+            elif tt == ">" and angle > 0:
+                angle -= 1
+            elif tt in ("(", "["):
+                if pos == sig[1]:
+                    break
+                depth += 1
+            elif tt in (")", "]"):
+                depth -= 1
+            elif depth == 0 and angle == 0 and tt == "=":
+                eq_first = True
+                break
+    if sig is not None and not eq_first:
+        # method declaration (no body): record REQUIRES annotations
+        if ci is not None:
+            name = toks[head[sig[0]]].text
+            tail = head[sig[2] + 1:]
+            req = _parse_annotation_args(toks, tail, "REQUIRES")
+            if req:
+                ci.method_requires.setdefault(name, []).extend(req)
+        return
+    if ci is None:
+        return
+    # field declaration: name = last top-level id before '=', GUARDED_BY, '['
+    stop = len(head)
+    depth = angle = 0
+    for pos, k in enumerate(head):
+        tt = toks[k].text
+        if tt == "<":
+            angle += 1
+        elif tt == ">" and angle > 0:
+            angle -= 1
+        elif tt in ("(", "["):
+            depth += 1
+        elif tt in (")", "]"):
+            depth -= 1
+        elif depth == 0 and angle == 0 and tt in ("=", "GUARDED_BY", "PT_GUARDED_BY"):
+            stop = pos
+            break
+    name_pos = None
+    for pos in range(stop - 1, -1, -1):
+        tk = toks[head[pos]]
+        if tk.kind == "id" and tk.text not in CPP_KEYWORDS and \
+                tk.text not in THREAD_ANNOTATIONS:
+            name_pos = pos
+            break
+        if tk.text in (">", "]", ")"):
+            break
+    if name_pos is None or name_pos == 0:
+        return
+    fname = toks[head[name_pos]].text
+    type_text = " ".join(texts[:name_pos])
+    ci.fields[fname] = type_text
+    if "AnnotatedMutex" in type_text.split():
+        ci.mutex_fields.add(fname)
+    guards = _parse_annotation_args(toks, head[stop:], "GUARDED_BY")
+    if guards:
+        ci.guards[fname] = guards[0]
+
+
+# ---------------------------------------------------------------------------
+# Whole-program registry + Phase B: semantic walk of function bodies.
+# ---------------------------------------------------------------------------
+
+class Registry:
+    def __init__(self, files):
+        self.files = files                  # path -> FileModel
+        self.classes = {}                   # name -> ClassInfo (merged)
+        self.funcs_by_name = {}             # name -> [FuncInfo]
+        self.mutex_owner = {}               # mutex field name -> set(cls)
+        for fm in files.values():
+            for ci in fm.classes:
+                have = self.classes.get(ci.name)
+                if have is None:
+                    self.classes[ci.name] = ci
+                else:
+                    have.fields.update(ci.fields)
+                    have.guards.update(ci.guards)
+                    have.mutex_fields.update(ci.mutex_fields)
+                    for m, req in ci.method_requires.items():
+                        have.method_requires.setdefault(m, []).extend(req)
+            for fn in fm.funcs:
+                self.funcs_by_name.setdefault(fn.name, []).append(fn)
+        for ci in self.classes.values():
+            for f in ci.mutex_fields:
+                self.mutex_owner.setdefault(f, set()).add(ci.name)
+
+    def class_of_type(self, type_text):
+        if not type_text:
+            return None
+        for word in type_text.replace("<", " ").replace(">", " ").split():
+            if word in self.classes:
+                return word
+        return None
+
+    def resolve_mutex_key(self, expr, fn, locals_map):
+        """Canonical global identity for a mutex expression inside `fn`."""
+        parts = [p for p in expr.split(".") if p and p[0].isalpha() or
+                 (p and p[0] == "_")]
+        if not parts:
+            return fn.qual + "$" + expr
+        if len(parts) == 1:
+            name = parts[0]
+            if fn.cls and fn.cls in self.classes and \
+                    name in self.classes[fn.cls].fields:
+                return fn.cls + "::" + name
+            ltype = locals_map.get(name) or fn.params.get(name)
+            if ltype is not None:
+                if "AnnotatedMutex" in ltype:
+                    return fn.qual + "$" + name
+                # reference to a mutex passed in: unique-owner fallback below
+            owners = self.mutex_owner.get(name)
+            if owners and len(owners) == 1:
+                return next(iter(owners)) + "::" + name
+            return fn.qual + "$" + name
+        field = parts[-1]
+        cls = self._resolve_chain_class(parts[:-1], fn, locals_map)
+        if cls and cls in self.classes and field in self.classes[cls].fields:
+            return cls + "::" + field
+        owners = self.mutex_owner.get(field)
+        if owners and len(owners) == 1:
+            return next(iter(owners)) + "::" + field
+        return fn.qual + "$" + expr
+
+    def _resolve_chain_class(self, chain, fn, locals_map):
+        """Resolve the class of a member chain a.b.c (without final field)."""
+        base = chain[0]
+        type_text = locals_map.get(base) or fn.params.get(base)
+        if type_text is None and fn.cls and fn.cls in self.classes:
+            type_text = self.classes[fn.cls].fields.get(base)
+        cls = self.class_of_type(type_text) if type_text else None
+        for mid in chain[1:]:
+            if cls is None or cls not in self.classes:
+                return None
+            cls = self.class_of_type(self.classes[cls].fields.get(mid, ""))
+        return cls
+
+
+class FuncEvents:
+    __slots__ = ("fn", "acquisitions", "requires_keys", "calls",
+                 "guard_events", "omp_regions", "dist_writes", "epoch_stamps",
+                 "order_edges")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.acquisitions = []   # (key, line)
+        self.requires_keys = []  # [key]
+        self.calls = []          # (name, cls_hint, [held keys], line)
+        self.guard_events = []   # (field, required_expr, line) -- violations
+        self.omp_regions = []    # (pragma, line, alive set, (start, end))
+        self.dist_writes = {}    # recv text -> first line
+        self.epoch_stamps = set()
+        self.order_edges = []    # (held key, acquired key, line)
+
+
+def _chain_before(toks, i, lo):
+    """Member chain ending at toks[i] (an id): returns list of part texts."""
+    parts = [toks[i].text]
+    j = i - 1
+    while j > lo:
+        if toks[j].kind == "punct" and toks[j].text in (".", "->"):
+            k = j - 1
+            # skip a close-paren group: foo().bar -- give up (can't type it)
+            if k > lo and toks[k].kind == "id":
+                parts.append(toks[k].text)
+                j = k - 1
+                continue
+        break
+    parts.reverse()
+    return parts
+
+
+def _stmt_decls(toks, idxs, reg):
+    """Best-effort local declarations in one statement: name -> type text."""
+    out = {}
+    if not idxs:
+        return out
+    first = toks[idxs[0]].text
+    if first in CONTROL_KEYWORDS and first not in ("if", "for", "while", "switch"):
+        return out
+    if first in ("if", "for", "while", "switch", "catch"):
+        # declarations live in the header paren group
+        depth = 0
+        group = []
+        for k in idxs:
+            t = toks[k].text
+            if t == "(":
+                depth += 1
+                if depth == 1:
+                    continue
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            if depth >= 1:
+                group.append(k)
+        for seg in _split_top_level(toks, group, ";"):
+            for part in [p for s in _split_top_level(toks, seg, ":")
+                         for p in _split_top_level(toks, s, ",")[:1]]:
+                out.update(_plain_decl(toks, part, reg))
+        return out
+    lhs = []
+    depth = angle = 0
+    for k in idxs:
+        t = toks[k].text
+        if t == "<":
+            angle += 1
+        elif t == ">" and angle > 0:
+            angle -= 1
+        elif t in ("(", "[", "{"):
+            if depth == 0 and angle == 0:
+                break
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif depth == 0 and angle == 0 and t == "=":
+            break
+        lhs.append(k)
+    # reject obvious non-declarations (member chains on the left-hand side)
+    for k in lhs:
+        if toks[k].kind == "punct" and toks[k].text in (".", "->"):
+            return out
+    out.update(_plain_decl(toks, lhs, reg))
+    return out
+
+
+def _plain_decl(toks, lhs, reg):
+    """`type-seq name` declaration pattern over token indices `lhs`."""
+    if len(lhs) < 2:
+        return {}
+    # structured binding: auto [a, b] = ...
+    if toks[lhs[0]].text == "auto":
+        for pos, k in enumerate(lhs):
+            if toks[k].text == "[":
+                names = {}
+                for kk in lhs[pos + 1:]:
+                    if toks[kk].text == "]":
+                        break
+                    if toks[kk].kind == "id":
+                        names[toks[kk].text] = "auto"
+                if names:
+                    return names
+                break
+    name_pos = None
+    for pos in range(len(lhs) - 1, -1, -1):
+        tk = toks[lhs[pos]]
+        if tk.kind == "id" and tk.text not in CPP_KEYWORDS and \
+                tk.text not in THREAD_ANNOTATIONS:
+            name_pos = pos
+            break
+        if tk.kind != "punct" or tk.text not in ("&", "*", "]", "["):
+            if tk.kind == "id":
+                break
+    if name_pos is None or name_pos == 0:
+        return {}
+    has_type_word = False
+    for k in lhs[:name_pos]:
+        if toks[k].kind == "id":
+            has_type_word = True
+            break
+    if not has_type_word:
+        return {}
+    name = toks[lhs[name_pos]].text
+    type_text = " ".join(toks[k].text for k in lhs[:name_pos])
+    return {name: type_text}
+
+
+def _skip_stmt(toks, i, hi):
+    """Skip one statement starting at toks[i]; returns index past it."""
+    if i >= hi:
+        return hi
+    t = toks[i].text if toks[i].kind != "pp" else ""
+    if t == "{":
+        return _skip_balanced(toks, i, hi)
+    if t in ("for", "while", "if", "switch"):
+        j = i + 1
+        while j < hi and toks[j].text != "(":
+            j += 1
+        j = _skip_balanced(toks, j, hi, "(", ")")
+        return _skip_stmt(toks, j, hi)
+    if t == "do":
+        j = _skip_stmt(toks, i + 1, hi)
+        while j < hi and toks[j].text != ";":
+            j += 1
+        return j + 1
+    depth = 0
+    j = i
+    while j < hi:
+        tt = toks[j].text if toks[j].kind != "pp" else ""
+        if tt in ("(", "[", "{"):
+            depth += 1
+        elif tt in (")", "]", "}"):
+            depth -= 1
+        elif tt == ";" and depth == 0:
+            return j + 1
+        j += 1
+    return hi
+
+
+def walk_function(fm, fn, reg):
+    toks = fm.toks
+    lo, hi = fn.body
+    ev = FuncEvents(fn)
+    pragma_at = {idx: (text, line) for (text, line, idx) in fm.pragmas}
+    # REQUIRES from the definition head plus any in-class declaration.
+    req_exprs = list(fn.requires)
+    if fn.cls and fn.cls in reg.classes:
+        req_exprs += reg.classes[fn.cls].method_requires.get(fn.name, [])
+    frames = [{"locals": dict(fn.params), "locks": []}]
+
+    def all_locals():
+        d = {}
+        for fr in frames:
+            d.update(fr["locals"])
+        return d
+
+    def held():
+        out = []
+        for fr in frames:
+            out.extend(fr["locks"])
+        return out  # list of (expr, key, line)
+
+    req_keys = [reg.resolve_mutex_key(e, fn, {}) for e in req_exprs]
+    ev.requires_keys = req_keys
+
+    def held_exprs_keys():
+        h = held()
+        exprs = set(req_exprs) | {e for (e, _k, _l) in h}
+        keys = set(req_keys) | {k for (_e, k, _l) in h}
+        return exprs, keys
+
+    def process_stmt(idxs):
+        decls = _stmt_decls(toks, idxs, reg)
+        frames[-1]["locals"].update(decls)
+        for name, type_text in decls.items():
+            if "MutexLock" not in type_text.split():
+                continue
+            # mutex expr = tokens in the ( ... ) group right after the name
+            pos = None
+            for p, k in enumerate(idxs):
+                if toks[k].kind == "id" and toks[k].text == name:
+                    pos = p
+            if pos is None or pos + 1 >= len(idxs) or \
+                    toks[idxs[pos + 1]].text != "(":
+                continue
+            depth = 1
+            group = []
+            p = pos + 2
+            while p < len(idxs) and depth > 0:
+                t = toks[idxs[p]].text
+                if t == "(":
+                    depth += 1
+                elif t == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                group.append(idxs[p])
+                p += 1
+            expr = _norm_expr([toks[k].text for k in group])
+            key = reg.resolve_mutex_key(expr, fn, all_locals())
+            line = toks[idxs[pos]].line
+            _exprs, hkeys = held_exprs_keys()
+            for hk in hkeys:
+                ev.order_edges.append((hk, key, line))
+            ev.acquisitions.append((key, line))
+            frames[-1]["locks"].append((expr, key, line))
+
+    pend = []
+    pdepth = 0
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.kind == "pp":
+            hit = pragma_at.get(i + 1)
+            if hit is not None and "default" in hit[0] and "none" in hit[0]:
+                span_end = _skip_stmt(toks, i + 1, hi)
+                ev.omp_regions.append(
+                    (hit[0], hit[1], set(all_locals().keys()),
+                     (i + 1, span_end)))
+            i += 1
+            continue
+        txt = t.text
+        if t.kind == "punct":
+            if txt == "(":
+                pdepth += 1
+            elif txt == ")":
+                pdepth = max(0, pdepth - 1)
+            elif txt == "{" and pdepth == 0:
+                process_stmt(pend)
+                new_frame = {"locals": {}, "locks": []}
+                if pend and toks[pend[0]].text in ("for", "while", "if",
+                                                   "switch", "catch"):
+                    new_frame["locals"].update(_stmt_decls(toks, pend, reg))
+                frames.append(new_frame)
+                pend = []
+                i += 1
+                continue
+            elif txt == "}" and pdepth == 0:
+                if len(frames) > 1:
+                    frames.pop()
+                pend = []
+                i += 1
+                continue
+            elif txt == ";" and pdepth == 0:
+                process_stmt(pend)
+                pend = []
+                i += 1
+                continue
+        pend.append(i)
+        if t.kind == "id":
+            _check_id_token(fm, fn, reg, ev, toks, i, lo,
+                            all_locals, held_exprs_keys)
+        i += 1
+    return ev
+
+
+DIST_WRITERS = {"push_back", "emplace_back", "resize", "assign", "reserve"}
+
+
+def _check_id_token(fm, fn, reg, ev, toks, i, lo, all_locals, held_exprs_keys):
+    t = toks[i]
+    name = t.text
+    prev = toks[i - 1] if i - 1 >= 0 else None
+    nxt = toks[i + 1] if i + 1 < len(toks) else None
+    prev_is_member = prev is not None and prev.kind == "punct" and \
+        prev.text in (".", "->")
+    # -- call events (for the lock-order transitive closure) --
+    if nxt is not None and nxt.text == "(" and name not in CPP_KEYWORDS and \
+            name not in THREAD_ANNOTATIONS:
+        cls_hint = None
+        if prev_is_member:
+            chain = _chain_before(toks, i, lo - 1)
+            if len(chain) > 1:
+                cls_hint = reg._resolve_chain_class(chain[:-1], fn,
+                                                    all_locals())
+        elif fn.cls:
+            cls_hint = fn.cls
+        _exprs, hkeys = held_exprs_keys()
+        ev.calls.append((name, cls_hint, sorted(hkeys), t.line))
+    # -- epoch-propagation events --
+    if prev_is_member and name == "distances":
+        chain = _chain_before(toks, i, lo - 1)
+        recv = ".".join(chain[:-1])
+        if recv:
+            is_write = False
+            if nxt is not None and nxt.text == "=" and \
+                    (i + 2 >= len(toks) or toks[i + 2].text != "="):
+                is_write = True
+            elif nxt is not None and nxt.text in (".", "->") and \
+                    i + 3 < len(toks) and toks[i + 2].kind == "id" and \
+                    toks[i + 2].text in DIST_WRITERS and \
+                    toks[i + 3].text == "(":
+                is_write = True
+            if is_write:
+                ev.dist_writes.setdefault(recv, t.line)
+    if prev_is_member and name == "epoch":
+        if nxt is not None and nxt.text == "=" and \
+                (i + 2 >= len(toks) or toks[i + 2].text != "="):
+            chain = _chain_before(toks, i, lo - 1)
+            recv = ".".join(chain[:-1])
+            if recv:
+                ev.epoch_stamps.add(recv)
+    # -- guarded-state events --
+    if fn.is_ctor_dtor:
+        return
+    locals_map = all_locals()
+    if prev_is_member:
+        chain = _chain_before(toks, i, lo - 1)
+        if len(chain) > 1 and chain[0] != "this":
+            cls = reg._resolve_chain_class(chain[:-1], fn, locals_map)
+            if cls and cls in reg.classes and name in reg.classes[cls].guards:
+                guard = reg.classes[cls].guards[name]
+                required = ".".join(chain[:-1] + [guard])
+                exprs, keys = held_exprs_keys()
+                ok = required in exprs
+                if not ok:
+                    rkey = reg.resolve_mutex_key(required, fn, locals_map)
+                    ok = rkey in keys
+                if not ok:
+                    ev.guard_events.append((name, required, t.line))
+            return
+        if chain[0] != "this":
+            return
+        # this->field falls through to the bare-member check
+    else:
+        if (prev is not None and prev.text == "::") or \
+                (nxt is not None and nxt.text == "::"):
+            return
+        if name in locals_map:
+            return
+    if fn.cls and fn.cls in reg.classes and \
+            name in reg.classes[fn.cls].guards:
+        guard = reg.classes[fn.cls].guards[name]
+        exprs, keys = held_exprs_keys()
+        ok = guard in exprs or ("this." + guard) in exprs
+        if not ok:
+            gkey = reg.resolve_mutex_key(guard, fn, locals_map)
+            ok = gkey in keys
+        if not ok:
+            ev.guard_events.append((name, guard, t.line))
+
+
+# ---------------------------------------------------------------------------
+# Whole-program passes.
+# ---------------------------------------------------------------------------
+
+def _emit(findings, files, rule, path, line, msg, fp_extra=None):
+    fm = files.get(path)
+    if fm is not None:
+        for l in (line, line - 1):
+            rules = fm.allow.get(l)
+            if rules and (rule in rules or "*" in rules):
+                return
+    findings.append(Finding(rule, path, line, msg, fp_extra))
+
+
+def _tarjan_sccs(adj):
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+    for root in sorted(adj):
+        if root in index:
+            continue
+        work = [(root, iter(adj.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adj.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                pv = work[-1][0]
+                low[pv] = min(low[pv], low[v])
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def pass_lock_order(prog, findings):
+    events = prog.events
+    by_name = {}
+    for ev in events:
+        by_name.setdefault(ev.fn.name, []).append(ev)
+
+    def resolve_call(name, cls_hint):
+        cands = by_name.get(name)
+        if not cands:
+            return None
+        if cls_hint is not None:
+            same = [c for c in cands if c.fn.cls == cls_hint]
+            if len(same) == 1:
+                return same[0]
+            if same:
+                return None
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+    closure = {id(ev): set(k for k, _l in ev.acquisitions) for ev in events}
+    changed = True
+    while changed:
+        changed = False
+        for ev in events:
+            mine = closure[id(ev)]
+            for (name, cls_hint, _hk, _line) in ev.calls:
+                cal = resolve_call(name, cls_hint)
+                if cal is None:
+                    continue
+                extra = closure[id(cal)] - mine
+                if extra:
+                    mine |= extra
+                    changed = True
+
+    edges = {}
+    for ev in events:
+        for (a, b, line) in ev.order_edges:
+            edges.setdefault((a, b), (ev.fn.file, line,
+                             "%s acquires '%s' while holding '%s'"
+                             % (ev.fn.qual, b, a)))
+        for (name, cls_hint, hks, line) in ev.calls:
+            cal = resolve_call(name, cls_hint)
+            if cal is None:
+                continue
+            for b in closure[id(cal)]:
+                for a in hks:
+                    edges.setdefault((a, b), (ev.fn.file, line,
+                                     "%s calls %s (which acquires '%s') "
+                                     "while holding '%s'"
+                                     % (ev.fn.qual, cal.fn.qual, b, a)))
+    for (a, b), (path, line, desc) in sorted(edges.items()):
+        if a == b:
+            _emit(findings, prog.files, "PA-LOCK-ORDER", path, line,
+                  "recursive acquisition of '%s': %s (AnnotatedMutex is "
+                  "non-reentrant)" % (a, desc),
+                  fp_extra="self:" + a)
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, [])
+    for scc in _tarjan_sccs(adj):
+        if len(scc) < 2:
+            continue
+        nodes = sorted(scc)
+        examples = []
+        loc = None
+        for (a, b), (path, line, desc) in sorted(edges.items()):
+            if a in scc and b in scc and a != b:
+                examples.append(desc)
+                if loc is None:
+                    loc = (path, line)
+        _emit(findings, prog.files, "PA-LOCK-ORDER", loc[0], loc[1],
+              "lock-order cycle between {%s}: %s"
+              % (", ".join(nodes), "; ".join(examples[:4])),
+              fp_extra="cycle:" + ",".join(nodes))
+
+
+def pass_guarded(prog, findings):
+    for ev in prog.events:
+        for (field, required, line) in ev.guard_events:
+            _emit(findings, prog.files, "PA-GUARDED", ev.fn.file, line,
+                  "field '%s' is GUARDED_BY('%s') but %s accesses it without "
+                  "a MutexLock scope on it or REQUIRES(%s)"
+                  % (field, required, ev.fn.qual, required),
+                  fp_extra="guard:%s:%s" % (ev.fn.qual, field))
+
+
+def _module_of(path):
+    parts = path.replace("\\", "/").split("/")
+    if "src" in parts:
+        k = parts.index("src")
+        if k + 1 < len(parts) - 1:
+            return parts[k + 1]
+    return None
+
+
+def _resolve_include(prog, inc):
+    for p in prog.files:
+        if p == inc or p.endswith("/" + inc):
+            return p
+    return None
+
+
+def pass_layering(prog, findings):
+    # Verify the interface allowlist first: those headers must stay std-only.
+    valid_allow = set()
+    for inc in sorted(LAYERING_INTERFACE_ALLOWLIST):
+        target = _resolve_include(prog, inc)
+        if target is None:
+            continue
+        quoted = [(h, l) for (h, q, l) in prog.files[target].includes if q]
+        if quoted:
+            _emit(findings, prog.files, "PA-LAYERING", target, quoted[0][1],
+                  "'%s' is on the layering interface allowlist (lower layers "
+                  "may include it) but includes project header \"%s\" -- its "
+                  "include closure must stay std-only" % (inc, quoted[0][0]),
+                  fp_extra="allowlist:" + inc)
+        else:
+            valid_allow.add(inc)
+    resolved_edges = {}
+    for path, fm in sorted(prog.files.items()):
+        mod = _module_of(path)
+        for (inc, q, line) in fm.includes:
+            if not q:
+                continue
+            target = _resolve_include(prog, inc)
+            if target is not None:
+                resolved_edges.setdefault(path, []).append((target, line))
+            imod = inc.split("/")[0] if "/" in inc else _module_of(target or "")
+            if mod in MODULE_RANK and imod in MODULE_RANK and \
+                    MODULE_RANK[imod] > MODULE_RANK[mod]:
+                if inc in valid_allow:
+                    continue
+                _emit(findings, prog.files, "PA-LAYERING", path, line,
+                      "module '%s' (rank %d) must not include '%s' from "
+                      "higher-ranked module '%s' (rank %d); layering order is "
+                      "util < graph/pq < dijkstra < ch < phast < obs < gpusim "
+                      "< apps < verify < server"
+                      % (mod, MODULE_RANK[mod], inc, imod, MODULE_RANK[imod]),
+                      fp_extra="layer:%s->%s" % (path, inc))
+    # include cycles
+    color = {}
+    onpath = []
+
+    def dfs(p):
+        color[p] = 1
+        onpath.append(p)
+        for (q, line) in resolved_edges.get(p, ()):
+            if color.get(q, 0) == 0:
+                dfs(q)
+            elif color.get(q) == 1:
+                cyc = onpath[onpath.index(q):] + [q]
+                _emit(findings, prog.files, "PA-LAYERING", p, line,
+                      "include cycle: %s" % " -> ".join(cyc),
+                      fp_extra="cycle:" + ",".join(sorted(set(cyc))))
+        onpath.pop()
+        color[p] = 2
+
+    for p in sorted(prog.files):
+        if color.get(p, 0) == 0:
+            dfs(p)
+
+
+def _primary_header(prog, path):
+    stem = os.path.splitext(os.path.basename(path))[0]
+    fm = prog.files[path]
+    for (inc, q, _line) in fm.includes:
+        if q and os.path.splitext(os.path.basename(inc))[0] == stem:
+            return _resolve_include(prog, inc)
+    return None
+
+
+def _std_uses(fm):
+    """(symbol, line) pairs for `std::<symbol>` uses with a curated header."""
+    toks = fm.toks
+    out = []
+    for i in range(len(toks) - 2):
+        if toks[i].kind == "id" and toks[i].text == "std" and \
+                toks[i + 1].text == "::" and toks[i + 2].kind == "id":
+            sym = toks[i + 2].text
+            if sym in STD_SYMBOL_HEADER:
+                out.append((sym, toks[i + 2].line))
+    return out
+
+
+def pass_include_hygiene(prog, findings):
+    for path, fm in sorted(prog.files.items()):
+        if _module_of(path) is None:
+            continue
+        direct = {inc for (inc, q, _l) in fm.includes if not q}
+        if path.endswith(".cpp"):
+            ph = _primary_header(prog, path)
+            if ph is not None:
+                phm = prog.files[ph]
+                direct |= {inc for (inc, q, _l) in phm.includes if not q}
+                # the primary header will itself be made self-sufficient, so
+                # symbols it uses are covered for the .cpp as well
+                direct |= {STD_SYMBOL_HEADER[s] for (s, _l) in _std_uses(phm)}
+        needed = {}
+        for (sym, line) in _std_uses(fm):
+            hdr = STD_SYMBOL_HEADER[sym]
+            if hdr not in direct and hdr not in needed:
+                needed[hdr] = (sym, line)
+        for hdr in sorted(needed):
+            sym, line = needed[hdr]
+            _emit(findings, prog.files, "PA-INCLUDE", path, line,
+                  "std::%s used but <%s> is not included directly (transitive "
+                  "includes are not a contract)" % (sym, hdr),
+                  fp_extra="inc:%s:%s" % (path, hdr))
+
+
+OMP_LIST_CLAUSES = {"shared", "firstprivate", "private", "lastprivate",
+                    "reduction", "linear", "copyin", "copyprivate"}
+OMP_SKIP_CLAUSES = {"num_threads", "schedule", "if", "default", "collapse",
+                    "proc_bind", "ordered", "aligned", "safelen", "simdlen"}
+
+
+def _omp_clause_names(pragma_text):
+    """Identifiers listed in the sharing clauses of an omp directive."""
+    toks, _allow = lex(pragma_text)
+    listed = set()
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "id" and i + 1 < len(toks) and toks[i + 1].text == "(":
+            depth = 1
+            j = i + 2
+            group = []
+            while j < len(toks) and depth > 0:
+                tt = toks[j].text
+                if tt == "(":
+                    depth += 1
+                elif tt == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                group.append(toks[j])
+                j += 1
+            if t.text in OMP_LIST_CLAUSES:
+                names = group
+                if t.text == "reduction":
+                    for pos, g in enumerate(group):
+                        if g.text == ":":
+                            names = group[pos + 1:]
+                            break
+                for g in names:
+                    if g.kind == "id":
+                        listed.add(g.text)
+            i = j
+        i += 1
+    return listed
+
+
+def _region_decls(toks, lo, hi):
+    """Identifiers declared anywhere inside the region token span."""
+    declared = set()
+    for k in range(lo, hi):
+        t = toks[k]
+        if t.kind != "id" or t.text in CPP_KEYWORDS:
+            continue
+        nxt = toks[k + 1] if k + 1 < hi else None
+        prv = toks[k - 1] if k - 1 >= lo else None
+        if nxt is None or prv is None:
+            continue
+        if nxt.kind == "punct" and nxt.text in ("=", ";", ":", ")", ",") and \
+                (prv.kind == "id" and prv.text not in CONTROL_KEYWORDS or
+                 prv.kind == "punct" and prv.text in ("&", "*", ">")):
+            if nxt.text == "=" and k + 2 < hi and toks[k + 2].text == "=":
+                continue
+            declared.add(t.text)
+    return declared
+
+
+def pass_omp_sharing(prog, findings):
+    for ev in prog.events:
+        fm = prog.files[ev.fn.file]
+        toks = fm.toks
+        for (pragma, line, alive, (lo, hi)) in ev.omp_regions:
+            listed = _omp_clause_names(pragma)
+            declared = _region_decls(toks, lo, hi)
+            flagged = set()
+            for k in range(lo, hi):
+                t = toks[k]
+                if t.kind != "id" or t.text in CPP_KEYWORDS:
+                    continue
+                prv = toks[k - 1] if k > 0 else None
+                nxt = toks[k + 1] if k + 1 < len(toks) else None
+                if prv is not None and prv.kind == "punct" and \
+                        prv.text in (".", "->", "::"):
+                    continue
+                if nxt is not None and nxt.text == "::":
+                    continue
+                name = t.text
+                if name in listed or name in declared or name in flagged:
+                    continue
+                if name not in alive:
+                    continue
+                flagged.add(name)
+                _emit(findings, prog.files, "PA-OMP-SHARING", ev.fn.file,
+                      t.line,
+                      "'%s' is referenced inside this default(none) region "
+                      "but missing from its shared/firstprivate/private/"
+                      "reduction lists (omp region at line %d in %s)"
+                      % (name, line, ev.fn.qual),
+                      fp_extra="omp:%s:%d:%s" % (ev.fn.qual,
+                                                 line - ev.fn.line, name))
+
+
+def pass_epoch(prog, findings):
+    for ev in prog.events:
+        if not ev.fn.file.replace("\\", "/").startswith("src/server/"):
+            continue
+        for recv, line in sorted(ev.dist_writes.items()):
+            if recv in ev.epoch_stamps:
+                continue
+            _emit(findings, prog.files, "PA-EPOCH", ev.fn.file, line,
+                  "%s fills '%s.distances' but never stamps '%s.epoch' -- "
+                  "every distance-bearing response must carry the snapshot "
+                  "epoch (PR 6 protocol invariant)"
+                  % (ev.fn.qual, recv, recv),
+                  fp_extra="epoch:%s:%s" % (ev.fn.qual, recv))
+
+
+# ---------------------------------------------------------------------------
+# Program loading & driver.
+# ---------------------------------------------------------------------------
+
+class Program:
+    def __init__(self, files_text):
+        self.files = {}
+        for path, text in sorted(files_text.items()):
+            self.files[path] = parse_file(path, text)
+        self.reg = Registry(self.files)
+        self.events = []
+        for path in sorted(self.files):
+            fm = self.files[path]
+            for fn in fm.funcs:
+                self.events.append(walk_function(fm, fn, self.reg))
+
+
+def run_passes(prog):
+    findings = []
+    pass_lock_order(prog, findings)
+    pass_guarded(prog, findings)
+    pass_layering(prog, findings)
+    pass_include_hygiene(prog, findings)
+    pass_omp_sharing(prog, findings)
+    pass_epoch(prog, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def load_tree(root, compile_commands):
+    """File set = src/ TUs from compile_commands + all src/ headers."""
+    files = {}
+    src_root = os.path.join(root, "src")
+    tu_paths = []
+    if compile_commands and os.path.exists(compile_commands):
+        try:
+            with open(compile_commands) as f:
+                for entry in json.load(f):
+                    p = entry.get("file", "")
+                    if not os.path.isabs(p):
+                        p = os.path.join(entry.get("directory", root), p)
+                    p = os.path.realpath(p)
+                    if p.startswith(os.path.realpath(src_root) + os.sep):
+                        tu_paths.append(p)
+        except (OSError, ValueError) as e:
+            raise SystemExit("phast_analyze: bad compile_commands.json: %s" % e)
+    for dirpath, _dirs, names in os.walk(src_root):
+        for nm in names:
+            if nm.endswith((".h", ".hpp", ".cpp", ".cc")):
+                tu_paths.append(os.path.join(dirpath, nm))
+    for p in tu_paths:
+        rel = os.path.relpath(os.path.realpath(p), os.path.realpath(root))
+        rel = rel.replace(os.sep, "/")
+        if rel in files:
+            continue
+        try:
+            with open(p, encoding="utf-8", errors="replace") as f:
+                files[rel] = f.read()
+        except OSError:
+            continue
+    return Program(files)
+
+
+def check_headers(root, findings):
+    """PA-HEADER: every src/ header must compile standalone."""
+    src_root = os.path.join(root, "src")
+    headers = []
+    for dirpath, _dirs, names in os.walk(src_root):
+        for nm in sorted(names):
+            if nm.endswith((".h", ".hpp")):
+                rel = os.path.relpath(os.path.join(dirpath, nm), root)
+                headers.append(rel.replace(os.sep, "/"))
+    compiler = os.environ.get("CXX", "g++")
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel in sorted(headers):
+            inc = rel[len("src/"):]
+            tu = os.path.join(tmp, "standalone.cpp")
+            with open(tu, "w") as f:
+                f.write('#include "%s"\n' % inc)
+            cmd = [compiler, "-std=c++20", "-fsyntax-only", "-I", src_root,
+                   "-march=x86-64-v3", "-fopenmp", tu]
+            try:
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+            except OSError as e:
+                raise SystemExit("phast_analyze: cannot run %s: %s"
+                                 % (compiler, e))
+            if proc.returncode != 0:
+                first = ""
+                for ln in proc.stderr.splitlines():
+                    if ": error:" in ln:
+                        first = ln.strip()
+                        break
+                findings.append(Finding(
+                    "PA-HEADER", rel, 1,
+                    "header does not compile standalone: %s"
+                    % (first or "see compiler output"),
+                    fp_extra="hdr:" + rel))
+    return findings
+
+
+def assign_fingerprints(findings):
+    """Stable per-finding fingerprints (dedup repeated identical contexts)."""
+    seen = {}
+    out = []
+    for f in findings:
+        k = (f.rule, f.path, f.fp_extra)
+        occ = seen.get(k, 0)
+        seen[k] = occ + 1
+        out.append((f, f.fingerprint(occ)))
+    return out
+
+
+def load_baseline(path):
+    if not path or not os.path.exists(path):
+        return {}
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit("phast_analyze: bad baseline %s: %s" % (path, e))
+    return {s["fingerprint"]: s for s in data.get("suppressions", [])}
+
+
+def write_baseline(path, fps):
+    data = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "comment": "Regenerate with --write-baseline; every entry needs a "
+                   "hand-written justification or it should be fixed instead.",
+        "suppressions": [
+            {"fingerprint": fp, "rule": f.rule, "path": f.path,
+             "message": f.message, "justification": "TODO: justify or fix"}
+            for (f, fp) in fps
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def write_sarif(path, fps):
+    results = []
+    for (f, fp) in fps:
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "partialFingerprints": {"phastAnalyze/v1": fp},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        })
+    sarif = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "informationUri": "tools/phast_analyze.py",
+                "rules": [{"id": rid,
+                           "shortDescription": {"text": desc}}
+                          for rid, desc in sorted(RULES.items())],
+            }},
+            "results": results,
+        }],
+    }
+    with open(path, "w") as f:
+        json.dump(sarif, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def changed_files(root, base):
+    cmd = ["git", "-C", root, "diff", "--name-only", base, "--"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return {ln.strip().replace(os.sep, "/")
+            for ln in proc.stdout.splitlines() if ln.strip()}
+
+
+# ---------------------------------------------------------------------------
+# Self-test corpus.  Each case: (name, {virtual path: source}, expected rule
+# set, optional expected finding count).
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # ---- PA-LOCK-ORDER ----
+    ("lock_order_good_consistent", {"src/util/a.h": """
+struct S {
+  AnnotatedMutex a_;
+  AnnotatedMutex b_;
+  void F() { MutexLock la(a_); MutexLock lb(b_); }
+  void G() { MutexLock la(a_); { MutexLock lb(b_); } }
+};
+"""}, [], None),
+    ("lock_order_bad_cycle", {"src/util/a.h": """
+struct S {
+  AnnotatedMutex a_;
+  AnnotatedMutex b_;
+  void F() { MutexLock la(a_); MutexLock lb(b_); }
+  void G() { MutexLock lb(b_); MutexLock la(a_); }
+};
+"""}, ["PA-LOCK-ORDER"], None),
+    ("lock_order_bad_recursive_via_requires", {"src/util/a.h": """
+struct S {
+  AnnotatedMutex m_;
+  void F() REQUIRES(m_);
+};
+void S::F() { MutexLock l(m_); }
+"""}, ["PA-LOCK-ORDER"], 1),
+    ("lock_order_bad_transitive_call", {"src/util/a.h": """
+struct S {
+  AnnotatedMutex a_;
+  AnnotatedMutex b_;
+  void LockB() { MutexLock l(b_); }
+  void LockA() { MutexLock l(a_); }
+  void F() { MutexLock l(a_); LockB(); }
+  void G() { MutexLock l(b_); LockA(); }
+};
+"""}, ["PA-LOCK-ORDER"], None),
+    ("lock_order_good_scoped_release", {"src/util/a.h": """
+struct S {
+  AnnotatedMutex a_;
+  AnnotatedMutex b_;
+  void F() { { MutexLock l(a_); } MutexLock l2(b_); }
+  void G() { { MutexLock l(b_); } MutexLock l2(a_); }
+};
+"""}, [], None),
+    ("lock_order_good_requires_not_transitive", {"src/util/a.h": """
+struct S {
+  AnnotatedMutex a_;
+  AnnotatedMutex b_;
+  void H() REQUIRES(a_) { }
+  void F() { MutexLock l(b_); H(); }
+  void G() { MutexLock la(a_); MutexLock lb(b_); }
+};
+"""}, [], None),
+    # ---- PA-GUARDED ----
+    ("guarded_bad_unlocked", {"src/pq/q.h": """
+struct Q {
+  AnnotatedMutex mu_;
+  int items_ GUARDED_BY(mu_);
+  int Peek() { return items_; }
+};
+"""}, ["PA-GUARDED"], 1),
+    ("guarded_good_mutexlock", {"src/pq/q.h": """
+struct Q {
+  AnnotatedMutex mu_;
+  int items_ GUARDED_BY(mu_);
+  int Peek() { MutexLock l(mu_); return items_; }
+};
+"""}, [], None),
+    ("guarded_good_requires", {"src/pq/q.h": """
+struct Q {
+  AnnotatedMutex mu_;
+  int items_ GUARDED_BY(mu_);
+  int Peek() REQUIRES(mu_) { return items_; }
+};
+"""}, [], None),
+    ("guarded_good_ctor_dtor", {"src/pq/q.h": """
+struct Q {
+  AnnotatedMutex mu_;
+  int items_ GUARDED_BY(mu_);
+  Q() { items_ = 0; }
+  ~Q() { items_ = -1; }
+};
+"""}, [], None),
+    ("guarded_bad_after_scope_release", {"src/pq/q.h": """
+struct Q {
+  AnnotatedMutex mu_;
+  int items_ GUARDED_BY(mu_);
+  void Set() {
+    { MutexLock l(mu_); items_ = 1; }
+    items_ = 2;
+  }
+};
+"""}, ["PA-GUARDED"], 1),
+    ("guarded_good_receiver_chain", {"src/obs/r.cpp": """
+struct Registry {
+  AnnotatedMutex mu;
+  int count GUARDED_BY(mu);
+};
+Registry& GlobalRegistry();
+void Bump() {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mu);
+  registry.count = registry.count + 1;
+}
+"""}, [], None),
+    ("guarded_bad_receiver_chain", {"src/obs/r.cpp": """
+struct Registry {
+  AnnotatedMutex mu;
+  int count GUARDED_BY(mu);
+};
+Registry& GlobalRegistry();
+void Bump() {
+  Registry& registry = GlobalRegistry();
+  registry.count = registry.count + 1;
+}
+"""}, ["PA-GUARDED"], None),
+    ("guarded_good_out_of_line_requires", {"src/gpusim/f.h": """
+struct Fleet {
+  AnnotatedMutex mu_;
+  int cache_ GUARDED_BY(mu_);
+  void CalibrateLocked() REQUIRES(mu_);
+  void Use() { MutexLock l(mu_); CalibrateLocked(); }
+};
+void Fleet::CalibrateLocked() { cache_ = 1; }
+"""}, [], None),
+    ("guarded_bad_through_this", {"src/pq/q.h": """
+struct Q {
+  AnnotatedMutex mu_;
+  int items_ GUARDED_BY(mu_);
+  void Set() { this->items_ = 3; }
+};
+"""}, ["PA-GUARDED"], 1),
+    # ---- PA-LAYERING ----
+    ("layering_good_downward", {
+        "src/server/x.h": "#include \"phast/engine.h\"\nstruct X {};\n",
+        "src/phast/engine.h": "struct Engine {};\n",
+    }, [], None),
+    ("layering_bad_back_edge", {
+        "src/util/x.h": "#include \"ch/foo.h\"\nstruct X {};\n",
+        "src/ch/foo.h": "struct Foo {};\n",
+    }, ["PA-LAYERING"], 1),
+    ("layering_good_obs_interface_allowlist", {
+        "src/phast/x.cpp": "#include \"obs/trace.h\"\nvoid F() {}\n",
+        "src/obs/trace.h": "#include <cstdint>\nstruct Span {};\n",
+    }, [], None),
+    ("layering_bad_allowlist_poisoned", {
+        "src/phast/x.cpp": "#include \"obs/trace.h\"\nvoid F() {}\n",
+        "src/obs/trace.h": "#include \"server/service.h\"\nstruct Span {};\n",
+        "src/server/service.h": "struct Service {};\n",
+    }, ["PA-LAYERING"], None),
+    ("layering_bad_include_cycle", {
+        "src/ch/a.h": "#include \"ch/b.h\"\nstruct A {};\n",
+        "src/ch/b.h": "#include \"ch/a.h\"\nstruct B {};\n",
+    }, ["PA-LAYERING"], None),
+    # ---- PA-INCLUDE ----
+    ("include_bad_vector", {"src/ch/x.cpp": """
+std::vector<int> Make() { return std::vector<int>(); }
+"""}, ["PA-INCLUDE"], 1),
+    ("include_good_vector", {"src/ch/x.cpp": """
+#include <vector>
+std::vector<int> Make() { return std::vector<int>(); }
+"""}, [], None),
+    ("include_good_primary_header_cover", {
+        "src/ch/y.cpp": "#include \"ch/y.h\"\n"
+                        "std::vector<int> Make() { return {}; }\n",
+        "src/ch/y.h": "#include <vector>\nstruct Y {};\n",
+    }, [], None),
+    ("include_bad_charged_to_header_not_cpp", {
+        "src/ch/y.cpp": "#include \"ch/y.h\"\n"
+                        "std::vector<int> Make() { return {}; }\n",
+        "src/ch/y.h": "struct Y { std::vector<int> v; };\n",
+    }, ["PA-INCLUDE"], 1),
+    # ---- PA-OMP-SHARING ----
+    ("omp_good_all_listed", {"src/phast/k.cpp": """
+void F(int n) {
+  int acc = 0;
+#pragma omp parallel for default(none) shared(acc) firstprivate(n)
+  for (int i = 0; i < n; ++i) { acc = acc + i; }
+}
+"""}, [], None),
+    ("omp_bad_missing_local", {"src/phast/k.cpp": """
+void F(int n) {
+  int k = 3;
+#pragma omp parallel for default(none) firstprivate(n)
+  for (int i = 0; i < n; ++i) { int x = k + i; (void)x; }
+}
+"""}, ["PA-OMP-SHARING"], 1),
+    ("omp_good_member_via_this", {"src/phast/k.h": """
+struct S {
+  int total_;
+  void F(int n) {
+#pragma omp parallel default(none) firstprivate(n)
+    { int x = total_ + n; (void)x; }
+  }
+};
+"""}, [], None),
+    ("omp_bad_functor_call_position", {"src/phast/k.cpp": """
+int Id(int v);
+void F(int n) {
+  auto work = Id;
+#pragma omp parallel for default(none) firstprivate(n)
+  for (int i = 0; i < n; ++i) { int y = work(i); (void)y; }
+}
+"""}, ["PA-OMP-SHARING"], 1),
+    ("omp_good_reduction_and_bare_loop", {"src/phast/k.cpp": """
+void F(int n) {
+  long sum = 0;
+#pragma omp parallel for default(none) reduction(+ : sum) firstprivate(n)
+  for (int i = 0; i < n; ++i) sum = sum + i;
+}
+"""}, [], None),
+    # ---- PA-EPOCH ----
+    ("epoch_bad_unstamped_response", {"src/server/h.cpp": """
+struct Response { unsigned long epoch; int distances; };
+int ComputeTree();
+Response Build() {
+  Response r;
+  r.distances = ComputeTree();
+  return r;
+}
+"""}, ["PA-EPOCH"], 1),
+    ("epoch_good_stamped", {"src/server/h.cpp": """
+struct Response { unsigned long epoch; int distances; };
+int ComputeTree();
+Response Build(unsigned long e) {
+  Response r;
+  r.distances = ComputeTree();
+  r.epoch = e;
+  return r;
+}
+"""}, [], None),
+    ("epoch_good_outside_server", {"src/phast/h.cpp": """
+struct Response { unsigned long epoch; int distances; };
+int ComputeTree();
+Response Build() {
+  Response r;
+  r.distances = ComputeTree();
+  return r;
+}
+"""}, [], None),
+    ("epoch_good_suppressed", {"src/server/h.cpp": """
+struct Response { unsigned long epoch; int distances; };
+int ComputeTree();
+Response Build() {
+  Response r;
+  r.distances = ComputeTree();  // phast-analyze: allow(PA-EPOCH)
+  return r;
+}
+"""}, [], None),
+    ("epoch_bad_push_back_writer", {"src/server/h.cpp": """
+#include <vector>
+struct Response { unsigned long epoch; std::vector<int> distances; };
+Response Build() {
+  Response r;
+  r.distances.push_back(1);
+  return r;
+}
+"""}, ["PA-EPOCH"], 1),
+]
+
+
+def run_self_test():
+    failures = 0
+    for (name, files, expected_rules, expected_count) in SELF_TEST_CASES:
+        prog = Program(files)
+        findings = run_passes(prog)
+        got = sorted({f.rule for f in findings})
+        ok = got == sorted(expected_rules)
+        if ok and expected_count is not None:
+            ok = len(findings) == expected_count
+        if ok:
+            print("PASS %s" % name)
+        else:
+            failures += 1
+            print("FAIL %s: expected rules %s (count %s), got %s"
+                  % (name, sorted(expected_rules), expected_count, got))
+            for f in findings:
+                print("    " + f.text())
+    total = len(SELF_TEST_CASES)
+    print("%d/%d self-test cases passed" % (total - failures, total))
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+def main(argv):
+    import argparse
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(
+        prog="phast_analyze.py",
+        description="Semantic whole-program analyzer for the PHAST tree.")
+    ap.add_argument("--root", default=default_root,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="path to compile_commands.json "
+                         "(default: <root>/build/compile_commands.json)")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON "
+                         "(default: <root>/tools/phast_analyze_baseline.json)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write current findings as the baseline and exit")
+    ap.add_argument("--sarif", default=None,
+                    help="write non-baselined findings as SARIF 2.1.0")
+    ap.add_argument("--strict", action="store_true",
+                    help="also fail on stale baseline entries")
+    ap.add_argument("--diff", nargs="?", const="HEAD", default=None,
+                    metavar="BASE",
+                    help="only report findings in files changed vs BASE")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded good/bad corpus")
+    ap.add_argument("--check-headers", action="store_true",
+                    help="run ONLY the header self-sufficiency check "
+                         "(compiles every src/ header standalone)")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print("phast_analyze: no src/ under --root %s" % root, file=sys.stderr)
+        return 2
+
+    if args.check_headers:
+        findings = check_headers(root, [])
+    else:
+        cc = args.compile_commands or os.path.join(root, "build",
+                                                   "compile_commands.json")
+        prog = load_tree(root, cc)
+        findings = run_passes(prog)
+
+    if args.diff is not None:
+        changed = changed_files(root, args.diff)
+        if changed is None:
+            print("phast_analyze: git diff vs %s failed; analyzing all files"
+                  % args.diff, file=sys.stderr)
+        else:
+            findings = [f for f in findings if f.path in changed]
+
+    fps = assign_fingerprints(findings)
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "phast_analyze_baseline.json")
+
+    if args.write_baseline:
+        write_baseline(baseline_path, fps)
+        print("phast_analyze: wrote %d suppression(s) to %s"
+              % (len(fps), baseline_path))
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new = [(f, fp) for (f, fp) in fps if fp not in baseline]
+    current_fps = {fp for (_f, fp) in fps}
+    stale = sorted(fp for fp in baseline if fp not in current_fps)
+
+    if args.sarif:
+        write_sarif(args.sarif, new)
+
+    for (f, _fp) in new:
+        print(f.text())
+    suppressed = len(fps) - len(new)
+    summary = "phast_analyze: %d finding(s)" % len(new)
+    if suppressed:
+        summary += ", %d baselined" % suppressed
+    if stale:
+        summary += ", %d stale baseline entrie(s)" % len(stale)
+    print(summary)
+    if new:
+        return 1
+    if args.strict and stale:
+        print("phast_analyze: --strict: remove stale baseline entries: %s"
+              % ", ".join(stale), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,6 +1,19 @@
 #!/usr/bin/env python3
 """phast_lint: PHAST-specific invariant linter (layer 3 of the static gate).
 
+Division of labour with tools/phast_analyze.py (documented in both tools):
+  * phast_lint.py (this tool) owns TOKEN-LOCAL rules: anything decidable
+    from a single logical line after comment/string stripping. It never
+    tracks scopes or crosses translation units.
+  * phast_analyze.py owns SEMANTIC rules: lock-order cycles, GUARDED_BY
+    access auditing, module layering, default(none) sharing-clause
+    completeness, and the response-epoch protocol invariant — anything that
+    needs a scope tracker or whole-program context.
+  Concretely at the omp boundary: this linter checks that `default(none)`
+  is *spelled* on every parallel pragma; whether the sharing lists are
+  *complete* is PA-OMP-SHARING's job in the analyzer. The self-test corpus
+  pins that split with boundary cases on both sides.
+
 Enforces project rules that generic tools (clang-tidy, -Wthread-safety)
 cannot express:
 
@@ -543,6 +556,47 @@ SELF_TEST_CASES = [
         "void f() {\n"
         "#pragma omp parallel  // phast-lint: allow(omp-default-none)\n"
         "  { work(); }\n}\n",
+        None,
+    ),
+    # --- lint/analyzer boundary regressions (see the module docstring) ---
+    # The linter checks that default(none) is SPELLED; an incomplete sharing
+    # list is phast_analyze's PA-OMP-SHARING finding, not a lint finding.
+    (
+        "omp-default-none/boundary-incomplete-list-is-analyzer-turf",
+        "src/x/a.cpp",
+        "void f(int n) {\n  int k = 3;\n"
+        "#pragma omp parallel for default(none) firstprivate(n)\n"
+        "  for (int i = 0; i < n; ++i) use(k + i);\n}\n",
+        None,
+    ),
+    # A GUARDED_BY field accessed without its mutex is phast_analyze's
+    # PA-GUARDED finding (needs a scope tracker); the linter must stay quiet.
+    (
+        "boundary/guarded-access-is-analyzer-turf",
+        "src/x/a.h",
+        "struct Q {\n  AnnotatedMutex mu_;\n  int items_ GUARDED_BY(mu_);\n"
+        "  int Peek() { return items_; }\n};\n",
+        None,
+    ),
+    # A server response filled without an epoch stamp is phast_analyze's
+    # PA-EPOCH finding (whole-function dataflow); server-no-prepare and the
+    # other token-local server rules must not fire on it.
+    (
+        "boundary/unstamped-response-is-analyzer-turf",
+        "src/server/a.cpp",
+        "Response Build(const std::vector<Weight>& tree) {\n"
+        "  Response response;\n  response.distances = tree;\n"
+        "  return response;\n}\n",
+        None,
+    ),
+    # Inconsistent MutexLock nesting across functions is phast_analyze's
+    # PA-LOCK-ORDER finding (whole-program graph); no token-local rule fires.
+    (
+        "boundary/lock-order-is-analyzer-turf",
+        "src/x/a.h",
+        "struct S {\n  AnnotatedMutex a_;\n  AnnotatedMutex b_;\n"
+        "  void F() { MutexLock la(a_); MutexLock lb(b_); }\n"
+        "  void G() { MutexLock lb(b_); MutexLock la(a_); }\n};\n",
         None,
     ),
     # The batched contraction engine's region shape: num_threads + a

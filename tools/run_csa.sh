@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# run_csa.sh — Clang Static Analyzer leg of the static-analysis gate.
+#
+# Replays every src/ translation unit from the exported compile_commands.json
+# through `clang++ --analyze` (path-sensitive checks: null derefs, use-after-
+# move/free, uninitialized reads, leaks) and fails on any warning that is not
+# matched by the justified suppression baseline tools/csa_baseline.txt.
+#
+#   tools/run_csa.sh                  full src/ tree
+#   tools/run_csa.sh --build DIR      build dir with compile_commands.json
+#                                     (default: ./build; configured on the
+#                                     fly if missing)
+#   tools/run_csa.sh --strict         missing clang is an error instead of a
+#                                     skip (CI sets this)
+#
+# Baseline format (tools/csa_baseline.txt): one substring pattern per line,
+# '#' starts a comment; a warning line is suppressed when it contains any
+# pattern. Every pattern must carry a justification comment.
+#
+# Exit codes: 0 clean (or clang missing without --strict), 1 findings,
+# 2 environment error.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.." || exit 2
+ROOT=$(pwd)
+
+BUILD_DIR="$ROOT/build"
+STRICT=0
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build)
+      BUILD_DIR="$2"; shift
+      ;;
+    --strict)
+      STRICT=1
+      ;;
+    -h|--help)
+      sed -n '2,20p' "$0"; exit 0
+      ;;
+    *)
+      echo "run_csa.sh: unknown argument '$1'" >&2; exit 2
+      ;;
+  esac
+  shift
+done
+
+CLANG=""
+for candidate in clang++ clang++-18 clang++-17 clang++-16 clang++-15; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    CLANG=$candidate
+    break
+  fi
+done
+
+if [ -z "$CLANG" ]; then
+  if [ "$STRICT" = 1 ]; then
+    echo "run_csa.sh: clang++ not found and --strict given" >&2
+    exit 2
+  fi
+  echo "run_csa.sh: SKIPPED — clang++ not installed on this machine." >&2
+  echo "run_csa.sh: the static-analysis CI job runs the gate with --strict." >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_csa.sh: configuring $BUILD_DIR to export compile commands" >&2
+  cmake -B "$BUILD_DIR" -S "$ROOT" > /dev/null || exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_csa.sh: no compile_commands.json in $BUILD_DIR" >&2
+  exit 2
+fi
+
+CLANG_BIN="$CLANG" BUILD_DIR="$BUILD_DIR" ROOT="$ROOT" python3 - <<'PY'
+import concurrent.futures
+import json
+import os
+import shlex
+import subprocess
+import sys
+
+root = os.environ["ROOT"]
+clang = os.environ["CLANG_BIN"]
+build = os.environ["BUILD_DIR"]
+
+with open(os.path.join(build, "compile_commands.json")) as f:
+    entries = json.load(f)
+
+src_root = os.path.realpath(os.path.join(root, "src")) + os.sep
+tus = []
+for e in entries:
+    path = e.get("file", "")
+    if not os.path.isabs(path):
+        path = os.path.join(e.get("directory", root), path)
+    path = os.path.realpath(path)
+    if not path.startswith(src_root):
+        continue
+    args = e.get("arguments") or shlex.split(e.get("command", ""))
+    kept = []
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-c", path) or a == e.get("file"):
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        if a.startswith("-o") and len(a) > 2 and not a.startswith("-openmp"):
+            continue
+        kept.append(a)
+    tus.append((path, kept, e.get("directory", root)))
+
+patterns = []
+baseline_path = os.path.join(root, "tools", "csa_baseline.txt")
+if os.path.exists(baseline_path):
+    with open(baseline_path) as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                patterns.append(line)
+
+def analyze(tu):
+    path, kept, cwd = tu
+    cmd = [clang, "--analyze", "-Xclang", "-analyzer-output=text"] + kept + [path]
+    proc = subprocess.run(cmd, capture_output=True, text=True, cwd=cwd)
+    out = []
+    for line in proc.stderr.splitlines():
+        if ": warning:" not in line:
+            continue
+        if any(p in line for p in patterns):
+            continue
+        out.append(line)
+    if proc.returncode != 0 and not out:
+        out.append("%s: clang --analyze failed rc=%d: %s"
+                   % (path, proc.returncode,
+                      proc.stderr.strip().splitlines()[-1]
+                      if proc.stderr.strip() else ""))
+    return out
+
+workers = os.cpu_count() or 2
+findings = []
+with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as ex:
+    for out in ex.map(analyze, tus):
+        findings.extend(out)
+
+print("run_csa.sh: %s over %d translation unit(s), %d suppression pattern(s)"
+      % (clang, len(tus), len(patterns)), file=sys.stderr)
+for line in findings:
+    print(line)
+if findings:
+    print("run_csa.sh: %d finding(s) — fix them or add a justified pattern "
+          "to tools/csa_baseline.txt" % len(findings), file=sys.stderr)
+    sys.exit(1)
+print("run_csa.sh: clean", file=sys.stderr)
+PY
+exit $?
