@@ -11,18 +11,33 @@
 // (coalescing width), and cache capacity under a skewed source
 // distribution.
 //
+// A fourth axis models the scale-out fabric in-process: N replica engines
+// built as zero-copy views over one mapped PHSNAP02 snapshot, requests
+// fanned out by the router's consistent-hash ring. The snapshot rows also
+// record cold-start time (mmap + shallow-validated engine vs stream
+// copy-load) so the O(TOC) start claim has a tracked number.
+//
 //   bench_server [--width=160 --height=160 --seed=1]
 //                [--requests=4000] [--clients=8] [--zipf-skew=0.99]
+//                [--replicas-list=1,2,4]
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common.h"
+#include "fabric/mapping.h"
+#include "fabric/router.h"
 #include "phast/phast.h"
 #include "server/metrics.h"
 #include "server/service.h"
+#include "server/snapshot.h"
 #include "server/workload.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -137,6 +152,63 @@ void RunConfig(const char* label, BenchReport& report, const Phast& engine,
       .Add("shed", c.Shed());
 }
 
+/// Parses "1,2,4" into replica counts.
+std::vector<uint32_t> ParseReplicasList(const std::string& list) {
+  std::vector<uint32_t> replicas;
+  std::stringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    replicas.push_back(static_cast<uint32_t>(std::stoul(item)));
+  }
+  Require(!replicas.empty(), "--replicas-list must name at least one count");
+  return replicas;
+}
+
+/// The replica axis: requests fan out over `services` by the same
+/// consistent-hash-by-source placement phast_router uses, so the numbers
+/// capture the fabric's partitioning (per-replica cache locality) without
+/// socket noise.
+RunResult DriveReplicas(std::vector<std::unique_ptr<OracleService>>& services,
+                        const fabric::ConsistentHashRing& ring,
+                        uint32_t clients, uint64_t requests_per_client,
+                        uint32_t window, const WorkloadOptions& wl,
+                        const std::vector<VertexId>& rank_to_vertex) {
+  std::vector<std::vector<double>> latencies(clients);
+  const Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(wl.seed * 0x9E3779B9ULL + c + 1);
+      const ZipfSampler zipf(
+          static_cast<uint32_t>(rank_to_vertex.size()), wl.zipf_skew);
+      std::vector<std::future<Response>> in_flight;
+      for (uint64_t i = 0; i < requests_per_client; ++i) {
+        const Request request = DrawRequest(wl, zipf, rank_to_vertex, rng);
+        OracleService& replica = *services[ring.Pick(request.source)];
+        in_flight.push_back(replica.Submit(request));
+        if (in_flight.size() >= window) {
+          latencies[c].push_back(in_flight.front().get().latency_ms);
+          in_flight.erase(in_flight.begin());
+        }
+      }
+      for (auto& f : in_flight) latencies[c].push_back(f.get().latency_ms);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RunResult result;
+  result.elapsed_sec = wall.ElapsedSec();
+  for (auto& per_thread : latencies) {
+    result.answered += per_thread.size();
+    result.latencies_ms.insert(result.latencies_ms.end(), per_thread.begin(),
+                               per_thread.end());
+  }
+  std::sort(result.latencies_ms.begin(), result.latencies_ms.end());
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +268,85 @@ int main(int argc, char** argv) {
     options.queue_capacity = 4096;
     RunConfig("cache", report, engine, options, clients, requests, window, wl, ranks);
   }
+
+  // Axis 4: the scale-out fabric. One PHSNAP02 snapshot, mapped once;
+  // each replica is a zero-copy view engine over the shared mapping.
+  const std::vector<uint32_t> replicas_list =
+      ParseReplicasList(cli.GetString("replicas-list", "1,2,4"));
+  const std::string snap_path = cli.GetString(
+      "snapshot-path", "/tmp/bench_server_" + std::to_string(::getpid()) +
+                           ".snap");
+  server::WriteSnapshotFile(server::MakeSnapshot(engine, &instance.graph),
+                            snap_path, server::SnapshotFormat::kPhsnap02);
+
+  // Cold start: mmap + O(TOC) header check + shallow-validated engine,
+  // versus the stream loader's read-everything copy-load.
+  const Timer cold_timer;
+  std::optional<fabric::MappedSnapshot> mapped;
+  mapped.emplace(snap_path, fabric::VerifyMode::kOff);
+  std::optional<Phast> cold_engine;
+  cold_engine.emplace(mapped->LayoutView(), mapped->Validation());
+  const double cold_start_ms = cold_timer.ElapsedMs();
+  cold_engine.reset();
+
+  const Timer copy_timer;
+  {
+    server::Snapshot loaded = server::ReadSnapshotFile(snap_path);
+    const Phast copy_engine(std::move(loaded.layout));
+    (void)copy_engine;
+  }
+  const double copy_load_ms = copy_timer.ElapsedMs();
+  std::printf(
+      "{\"config\": \"cold_start\", \"cold_start_ms\": %.3f, "
+      "\"copy_load_ms\": %.3f, \"mapped_bytes\": %zu}\n",
+      cold_start_ms, copy_load_ms, mapped->MappedBytes());
+  std::fflush(stdout);
+  report.AddRow("cold_start")
+      .Add("cold_start_ms", cold_start_ms)
+      .Add("copy_load_ms", copy_load_ms)
+      .Add("mapped_bytes", mapped->MappedBytes());
+
+  for (const uint32_t num_replicas : replicas_list) {
+    std::vector<Phast> view_engines;
+    view_engines.reserve(num_replicas);
+    std::vector<std::unique_ptr<OracleService>> services;
+    std::vector<std::unique_ptr<MetricsRegistry>> registries;
+    for (uint32_t r = 0; r < num_replicas; ++r) {
+      view_engines.emplace_back(mapped->LayoutView(), mapped->Validation());
+      ServiceOptions options;
+      options.num_workers = 1;  // one worker per replica, like phast_serve
+      options.max_batch = 8;
+      options.cache_capacity = 32;
+      options.queue_capacity = 4096;
+      registries.push_back(std::make_unique<MetricsRegistry>());
+      services.push_back(std::make_unique<OracleService>(
+          view_engines.back(), options, *registries.back()));
+    }
+    const fabric::ConsistentHashRing ring(num_replicas);
+    const RunResult run = DriveReplicas(
+        services, ring, clients, std::max<uint64_t>(1, requests / clients),
+        window, wl, ranks);
+    for (auto& service : services) service->Stop();
+
+    const double throughput =
+        static_cast<double>(run.answered) / run.elapsed_sec;
+    const double p50 = Percentile(run.latencies_ms, 0.50);
+    const double p99 = Percentile(run.latencies_ms, 0.99);
+    std::printf(
+        "{\"config\": \"replicas\", \"replicas\": %u, \"requests\": %llu, "
+        "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}\n",
+        num_replicas, static_cast<unsigned long long>(run.answered),
+        throughput, p50, p99);
+    std::fflush(stdout);
+    report.AddRow("replicas")
+        .Add("replicas", num_replicas)
+        .Add("requests", run.answered)
+        .Add("throughput_rps", throughput)
+        .Add("p50_ms", p50)
+        .Add("p99_ms", p99);
+  }
+  std::remove(snap_path.c_str());
+
   report.WriteJsonIfRequested(cli);
   return 0;
 }

@@ -1,0 +1,111 @@
+#include "fabric/mapping.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace phast::fabric {
+
+VerifyMode ParseVerifyMode(const std::string& text) {
+  if (text == "full") return VerifyMode::kFull;
+  if (text == "sections") return VerifyMode::kSections;
+  if (text == "off") return VerifyMode::kOff;
+  Require(false, "unknown --verify mode '" + text +
+                     "' (expected full|sections|off)");
+  __builtin_unreachable();
+}
+
+namespace {
+
+server::SnapshotVerify ToImageVerify(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kFull: return server::SnapshotVerify::kFull;
+    case VerifyMode::kSections: return server::SnapshotVerify::kSections;
+    case VerifyMode::kOff: return server::SnapshotVerify::kOff;
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+MappedSnapshot::MappedSnapshot(const std::string& path, VerifyMode mode)
+    : mode_(mode) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  Require(fd_ >= 0, "cannot open snapshot " + path + ": " +
+                        std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    Require(false, "fstat(" + path + ") failed: " + err);
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  // MAP_SHARED + PROT_READ: replicas of one snapshot share physical pages,
+  // and writes through the mapping fault (read-only enforcement is the
+  // kernel's, not a convention).
+  map_ = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd_, 0);
+  if (map_ == MAP_FAILED) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    map_ = nullptr;
+    Require(false, "mmap(" + path + ") failed: " + err);
+  }
+
+  const auto* data = static_cast<const char*>(map_);
+  try {
+    image_ = std::make_unique<server::SnapshotImage>(data, size_,
+                                                     ToImageVerify(mode));
+  } catch (...) {
+    ::munmap(map_, size_);
+    ::close(fd_);
+    map_ = nullptr;
+    fd_ = -1;
+    throw;
+  }
+
+  // Payload bytes hashed at open: the cold-start witness. kOff hashes only
+  // header+TOC (which are not payload), so this is 0 and stays 0 until a
+  // query faults pages in.
+  if (mode != VerifyMode::kOff) {
+    if (image_->Version() == server::kSnapshotVersion &&
+        mode == VerifyMode::kFull) {
+      payload_bytes_verified_ = size_;  // v1 whole-file hash touched it all
+    } else {
+      for (const server::SnapshotSection& s : image_->Sections()) {
+        payload_bytes_verified_ += s.size;
+      }
+    }
+  }
+  PHAST_SPAN_ARG("fabric.map", payload_bytes_verified_);
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool MappedSnapshot::IsZeroCopy() const {
+  return image_->Version() == server::kSnapshotVersion2;
+}
+
+PhastLayoutView MappedSnapshot::LayoutView() const {
+  Require(IsZeroCopy(),
+          "zero-copy views need a PHSNAP02 snapshot (convert with "
+          "phast_snap --convert); PHSNAP01 loads via the copy path");
+  return server::MakeLayoutView(*image_);
+}
+
+server::Snapshot MappedSnapshot::CopyDecode() const {
+  return server::DecodeSnapshot(*image_);
+}
+
+}  // namespace phast::fabric

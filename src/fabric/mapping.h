@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "phast/phast.h"
+#include "server/snapshot.h"
+
+namespace phast::fabric {
+
+/// Zero-copy snapshot mapping (DESIGN.md §12): the on-disk PHSNAP02 layout
+/// *is* the in-memory layout, so serving N replica processes from one
+/// snapshot costs one page-cache copy of the arrays and cold start costs
+/// O(TOC), not O(file). This file is the only place in the tree allowed to
+/// call mmap/munmap (tools/phast_lint.py, fabric-mmap-only rule).
+
+/// How much of the file is authenticated at open, mirroring the
+/// phast_serve/phast_router --verify knob:
+///   kFull     every section checksum, plus full structural validation
+///             when an engine is built from the view (reads every array
+///             once — faults the whole file in).
+///   kSections every section checksum; engines then validate shallowly.
+///   kOff      header/TOC checksum only (O(TOC)); no payload byte is read
+///             until a query faults it in. Integrity rests on the
+///             producer; this is the instant-start mode.
+enum class VerifyMode { kFull, kSections, kOff };
+
+/// Parses "full" | "sections" | "off" (the --verify flag); throws
+/// InputError otherwise.
+[[nodiscard]] VerifyMode ParseVerifyMode(const std::string& text);
+
+/// A snapshot file mapped read-only (PROT_READ, MAP_SHARED): replicas
+/// mapping the same file share physical pages, and any write through the
+/// mapping faults — the kernel enforces the engine's immutability. Emits a
+/// "fabric.map" span whose arg is the number of payload bytes hashed at
+/// open (0 under kOff — the span-verified witness that cold start read no
+/// array bytes).
+///
+/// Both formats map; only v2's page-aligned sections support zero-copy
+/// views (IsZeroCopy). For v1 the mapping still avoids the read()-copy of
+/// the stream loader: CopyDecode() parses straight out of the mapping.
+class MappedSnapshot {
+ public:
+  MappedSnapshot(const std::string& path, VerifyMode mode);
+  ~MappedSnapshot();
+
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  [[nodiscard]] const server::SnapshotImage& Image() const { return *image_; }
+  [[nodiscard]] VerifyMode Mode() const { return mode_; }
+  [[nodiscard]] size_t MappedBytes() const { return size_; }
+  /// Payload bytes hashed at open (the fabric.map span arg).
+  [[nodiscard]] uint64_t PayloadBytesVerified() const {
+    return payload_bytes_verified_;
+  }
+
+  /// True for PHSNAP02: page-aligned sections, LayoutView() available.
+  [[nodiscard]] bool IsZeroCopy() const;
+
+  /// Spans straight into the mapping (v2 only; throws for v1). The
+  /// returned view — and every engine built from it — is valid only while
+  /// this object lives.
+  [[nodiscard]] PhastLayoutView LayoutView() const;
+
+  /// Structural validation depth matching the verify mode: kFull re-checks
+  /// array contents, anything else trusts the checksummed (or vouched-for)
+  /// bytes and checks only sizes.
+  [[nodiscard]] LayoutValidation Validation() const {
+    return mode_ == VerifyMode::kFull ? LayoutValidation::kFull
+                                      : LayoutValidation::kShallow;
+  }
+
+  /// Copying decode out of the mapping — the v1 fallback load path (also
+  /// legal on v2).
+  [[nodiscard]] server::Snapshot CopyDecode() const;
+
+ private:
+  VerifyMode mode_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  size_t size_ = 0;
+  uint64_t payload_bytes_verified_ = 0;
+  /// Parsed header/TOC over the mapping (indirect so the class stays
+  /// movable-free and the image can be built after the map succeeds).
+  std::unique_ptr<server::SnapshotImage> image_;
+};
+
+}  // namespace phast::fabric

@@ -1,6 +1,6 @@
-// phast_serve — the distance-oracle daemon.
+// phast_serve — the distance-oracle replica daemon.
 //
-// Loads a snapshot artifact (see phast_prepare), rebuilds the PHAST engine
+// Maps a snapshot artifact (see phast_prepare), rebuilds the PHAST engine
 // with zero preprocessing, and serves the length-prefixed protocol
 // (server/protocol.h) either over a Unix-domain socket or over the
 // stdin/stdout pipe. All scheduling — batching, deadlines, shedding, the
@@ -9,38 +9,49 @@
 //   phast_serve --snapshot=country.snap --socket=/tmp/phast.sock
 //   phast_serve --snapshot=country.snap --stdio   # single pipe connection
 //
+// A PHSNAP02 snapshot is mmap-ed and served zero-copy: the engine's arrays
+// are read-only views straight into the page cache, so N replicas over one
+// file share one physical copy and cold start costs O(TOC). --verify picks
+// the integrity/start-time tradeoff (full | sections | off; see
+// fabric/mapping.h). A PHSNAP01 snapshot falls back to a copy-load out of
+// the same mapping.
+//
 // A customizable snapshot (phast_prepare --customizable) is served through a
 // SnapshotManager: clients may stream kUpdateWeights frames and trigger
-// kSwap, which customizes the hierarchy to the pending overlay in the
-// background of serving and hot-swaps the engine with zero dropped requests
-// (epoch-versioned reads, DESIGN.md §10). Other snapshots pin one engine.
+// kSwap, which customizes the hierarchy to the pending overlay and
+// hot-swaps the engine with zero dropped requests (epoch-versioned reads,
+// DESIGN.md §10). Epoch 1 still serves zero-copy from the mapping; every
+// customized epoch owns its arrays. Other snapshots pin one engine.
+//
+// Socket connections are multiplexed by one level-triggered epoll loop
+// (fabric/serve_loop.h): pipelined requests, ordered responses, write
+// backpressure — no thread per connection. --stdio keeps the synchronous
+// single-pipe loop for harnesses that drive the daemon over a pipe pair.
 //
 // Observability (DESIGN.md §8): --trace-out=FILE enables scoped-span
-// tracing for the process lifetime and writes a Chrome trace at shutdown;
-// --slow-ms=D logs completed requests at or above D ms to stderr with
-// their trace id; --startup-profile runs every batch with the per-level
-// sweep profiler and logs one profiled sweep's summary at startup.
+// tracing for the process lifetime and writes a Chrome trace at shutdown
+// (including the fabric.map cold-start span); --slow-ms=D logs completed
+// requests at or above D ms to stderr; --startup-profile runs one profiled
+// sweep and logs its summary at startup.
 //
 // Runs until a client sends a shutdown frame (or SIGINT/SIGTERM, or EOF in
 // --stdio mode). Exit code 0 = clean shutdown, 2 = usage error.
-#include <atomic>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
 #include <optional>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "fabric/mapping.h"
+#include "fabric/serve_loop.h"
 #include "obs/sweep_profile.h"
 #include "obs/trace.h"
 #include "phast/phast.h"
 #include "server/protocol.h"
 #include "server/service.h"
 #include "server/snapshot.h"
+#include "server/snapshot_manager.h"
 #include "util/cli.h"
 #include "util/timer.h"
 
@@ -59,6 +70,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s --snapshot=PATH (--socket=SOCKPATH | --stdio)\n"
+        "          [--verify=full|sections|off]  integrity work at startup\n"
         "          [--workers=N] [--max-batch=K] [--queue-capacity=N]\n"
         "          [--cache-capacity=N] [--deadline-ms=D]\n"
         "          [--rphast-max-targets=N]\n"
@@ -77,31 +89,55 @@ int main(int argc, char** argv) {
   const bool startup_profile = cli.GetBool("startup-profile", false);
 
   const Timer load;
-  server::Snapshot snapshot =
-      server::ReadSnapshotFile(cli.GetString("snapshot", ""));
-  // collect_profile is runtime-only (never serialized); opting in makes
-  // every served batch carry a per-level profile in its workspace.
-  snapshot.layout.options.collect_profile = startup_profile;
+  // The mapping outlives everything below: a zero-copy engine's spans alias
+  // it for the whole process lifetime.
+  const fabric::MappedSnapshot mapped(
+      cli.GetString("snapshot", ""),
+      fabric::ParseVerifyMode(cli.GetString("verify", "sections")));
 
   // A customizable snapshot (hierarchy + graph sections) is served through
   // the hot-swap path; anything else pins a single engine for the process
   // lifetime. Metrics must outlive the manager (it registers gauges).
   server::MetricsRegistry metrics;
-  const bool customizable = snapshot.has_ch && snapshot.has_graph;
   std::optional<server::SnapshotManager> manager;
   std::optional<Phast> pinned;
-  if (customizable) {
-    manager.emplace(std::move(snapshot), metrics);
+  if (mapped.IsZeroCopy()) {
+    PhastLayoutView view = mapped.LayoutView();
+    // collect_profile is runtime-only (never serialized); opting in makes
+    // every served batch carry a per-level profile in its workspace.
+    view.options.collect_profile = startup_profile;
+    const server::SnapshotMeta meta = mapped.Image().Meta();
+    if (meta.has_graph != 0 && meta.has_ch != 0) {
+      // Graph and hierarchy are mutated per-metric, so they are copied out
+      // of the mapping; the epoch-1 engine itself stays a view.
+      manager.emplace(Phast(view, mapped.Validation()),
+                      server::DecodeSnapshotGraph(mapped.Image()),
+                      server::DecodeSnapshotCH(mapped.Image()), metrics);
+    } else {
+      pinned.emplace(view, mapped.Validation());
+    }
   } else {
-    pinned.emplace(std::move(snapshot.layout));
+    server::Snapshot snapshot = mapped.CopyDecode();
+    snapshot.layout.options.collect_profile = startup_profile;
+    if (snapshot.has_graph && snapshot.has_ch) {
+      manager.emplace(std::move(snapshot), metrics);
+    } else {
+      pinned.emplace(std::move(snapshot.layout));
+    }
   }
-  // Valid for the startup log and profile only: after the accept loop
-  // starts, a swap may retire this engine.
+  const bool customizable = manager.has_value();
+  // Valid for the startup log and profile only: after serving starts, a
+  // swap may retire this engine.
   const Phast& engine = customizable ? manager->Current()->engine : *pinned;
-  std::fprintf(stderr,
-               "phast_serve: %u vertices, %u levels, loaded in %.1f ms%s\n",
-               engine.NumVertices(), engine.NumLevels(), load.ElapsedMs(),
-               customizable ? " (customizable)" : "");
+  std::fprintf(
+      stderr,
+      "phast_serve: %u vertices, %u levels, %s in %.1f ms "
+      "(%llu payload bytes verified)%s\n",
+      engine.NumVertices(), engine.NumLevels(),
+      mapped.IsZeroCopy() ? "mapped zero-copy" : "copy-loaded",
+      load.ElapsedMs(),
+      static_cast<unsigned long long>(mapped.PayloadBytesVerified()),
+      customizable ? " (customizable)" : "");
 
   if (startup_profile) {
     // One profiled sweep up front: logs the level structure (Figure 1
@@ -136,10 +172,10 @@ int main(int argc, char** argv) {
   } else {
     service.emplace(*pinned, options, metrics);
   }
-  server::ConnectionOptions conn_options;
-  conn_options.slow_ms = cli.GetDouble("slow-ms", 0.0);
-  conn_options.manager = customizable ? &*manager : nullptr;
-  conn_options.customize_threads =
+  fabric::FrontEndOptions fe_options;
+  fe_options.conn.slow_ms = cli.GetDouble("slow-ms", 0.0);
+  fe_options.conn.manager = customizable ? &*manager : nullptr;
+  fe_options.conn.customize_threads =
       static_cast<uint32_t>(cli.GetInt("customize-threads", 0));
 
   const auto dump_trace = [&trace_out] {
@@ -153,7 +189,7 @@ int main(int argc, char** argv) {
 
   if (cli.GetBool("stdio", false)) {
     server::ServeConnection(STDIN_FILENO, STDOUT_FILENO, *service, metrics,
-                            conn_options);
+                            fe_options.conn);
     service->Stop();
     dump_trace();
     std::fprintf(stderr, "phast_serve: pipe closed, exiting\n");
@@ -164,23 +200,7 @@ int main(int argc, char** argv) {
   const int listen_fd = server::ListenUnix(socket_path);
   std::fprintf(stderr, "phast_serve: listening on %s\n", socket_path.c_str());
 
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> connections;
-  while (!stop.load(std::memory_order_relaxed) && g_signaled == 0) {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flags
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) continue;
-    connections.emplace_back([conn_fd, &service, &metrics, &conn_options,
-                              &stop] {
-      const bool shutdown_requested = server::ServeConnection(
-          conn_fd, conn_fd, *service, metrics, conn_options);
-      ::close(conn_fd);
-      if (shutdown_requested) stop.store(true, std::memory_order_relaxed);
-    });
-  }
-  for (std::thread& t : connections) t.join();
+  fabric::RunFrontEnd(listen_fd, *service, metrics, fe_options, &g_signaled);
   ::close(listen_fd);
   ::unlink(socket_path.c_str());
   service->Stop();

@@ -1,0 +1,60 @@
+#include "fabric/router.h"
+
+#include <algorithm>
+
+namespace phast::fabric {
+
+ConsistentHashRing::ConsistentHashRing(size_t num_replicas, uint32_t vnodes)
+    : alive_(num_replicas, true), num_alive_(num_replicas) {
+  Require(num_replicas > 0, "hash ring needs at least one replica");
+  Require(vnodes > 0, "hash ring needs at least one virtual node");
+  ring_.reserve(num_replicas * vnodes);
+  for (uint32_t replica = 0; replica < num_replicas; ++replica) {
+    for (uint32_t v = 0; v < vnodes; ++v) {
+      // Derive each point from (replica, vnode) so the placement is stable
+      // under any replica count: adding replica N never moves the points of
+      // replicas 0..N-1.
+      const uint64_t hash =
+          HashKey((static_cast<uint64_t>(replica) << 32) | v);
+      ring_.push_back(Point{hash, replica});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.replica < b.replica);
+  });
+}
+
+void ConsistentHashRing::SetAlive(size_t replica, bool alive) {
+  Require(replica < alive_.size(), "replica index out of range");
+  if (alive_[replica] == alive) return;
+  alive_[replica] = alive;
+  num_alive_ += alive ? 1 : -1;
+}
+
+size_t ConsistentHashRing::Pick(uint64_t key) const {
+  return PickFrom(key, alive_.size());  // no exclusion
+}
+
+size_t ConsistentHashRing::PickExcluding(uint64_t key, size_t excluded) const {
+  return PickFrom(key, excluded);
+}
+
+size_t ConsistentHashRing::PickFrom(uint64_t key, size_t excluded) const {
+  Require(num_alive_ > (excluded < alive_.size() && alive_[excluded] ? 1u : 0u),
+          "no alive replica to route to");
+  const uint64_t h = HashKey(key);
+  // First ring point at or after h, wrapping; skip dead/excluded owners.
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  const size_t begin = static_cast<size_t>(start - ring_.begin());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[(begin + i) % ring_.size()];
+    if (p.replica == excluded || !alive_[p.replica]) continue;
+    return p.replica;
+  }
+  Require(false, "no alive replica to route to");
+  return 0;  // unreachable
+}
+
+}  // namespace phast::fabric

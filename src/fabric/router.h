@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace phast::fabric {
+
+/// Replica selection for phast_router (DESIGN.md §12).
+///
+/// Queries fan out by a consistent hash of their *source* vertex: the same
+/// source always lands on the same replica, which keeps each replica's
+/// epoch-keyed tree cache hot (a source's full tree is cached exactly
+/// where its repeats arrive). Consistent hashing — virtual nodes on a ring
+/// rather than source % N — matters on replica death: only the dead
+/// replica's arc of the ring moves, so the other replicas keep their cache
+/// working sets instead of reshuffling every source.
+class ConsistentHashRing {
+ public:
+  /// `vnodes` virtual nodes per replica smooth the load split.
+  explicit ConsistentHashRing(size_t num_replicas, uint32_t vnodes = 64);
+
+  [[nodiscard]] size_t NumReplicas() const { return alive_.size(); }
+  [[nodiscard]] size_t NumAlive() const { return num_alive_; }
+  [[nodiscard]] bool IsAlive(size_t replica) const {
+    return alive_[replica];
+  }
+
+  /// Marks a replica dead (its ring arcs fall through to the next alive
+  /// replica) or alive again.
+  void SetAlive(size_t replica, bool alive);
+
+  /// The alive replica owning `key` (e.g. a source vertex id). Throws
+  /// InputError when no replica is alive.
+  [[nodiscard]] size_t Pick(uint64_t key) const;
+
+  /// The alive replica owning `key` with `excluded` treated as dead — the
+  /// retry-once target after a send to the owner failed. Throws when no
+  /// other replica is alive.
+  [[nodiscard]] size_t PickExcluding(uint64_t key, size_t excluded) const;
+
+ private:
+  [[nodiscard]] size_t PickFrom(uint64_t key, size_t excluded) const;
+
+  struct Point {
+    uint64_t hash = 0;
+    uint32_t replica = 0;
+  };
+  std::vector<Point> ring_;  // sorted by hash
+  std::vector<bool> alive_;
+  size_t num_alive_ = 0;
+};
+
+/// SplitMix64 — the ring's point/key hash. Public so tests and the bench
+/// can reproduce placements.
+[[nodiscard]] constexpr uint64_t HashKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace phast::fabric

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/service.h"
+
+namespace phast::fabric {
+
+/// The async front end of phast_serve (DESIGN.md §12): one event-loop
+/// thread multiplexes every connection with level-triggered epoll, replacing
+/// the thread-per-connection accept loop. Requests pipeline freely — a
+/// client may have any number of queries in flight on one connection — and
+/// responses still go out in per-connection request order: each connection
+/// keeps an ordered slot queue, a slot resolving out of order waits for the
+/// head. Sweep completions (worker threads) signal the loop through the
+/// OracleService Submit on_done hook + an eventfd, so the loop thread never
+/// blocks on a future.
+///
+/// Write backpressure: when a connection's outbound buffer exceeds
+/// max_outbound_bytes, the loop stops *reading* from that connection (drops
+/// its EPOLLIN interest) until the buffer drains below the cap — a slow
+/// reader throttles itself, not the process.
+///
+/// Control frames (kMetrics/kUpdateWeights/kSwap/kEpoch) run inline on the
+/// loop thread. kSwap blocks the loop for the customization build —
+/// milliseconds on the test graphs this repo serves; a truly concurrent
+/// swap path stays on the snapshot-manager side (the build could move off
+/// the loop with the same completion plumbing as queries if it ever grows).
+struct FrontEndOptions {
+  server::ConnectionOptions conn;
+  /// Per-connection cap on buffered outbound bytes before reads pause.
+  size_t max_outbound_bytes = 4u << 20;
+};
+
+/// Serves until a client sends kShutdown or `*stop_signal` becomes nonzero
+/// (flip it from a signal handler, then Wake/Stop the loop — or rely on any
+/// event to notice it). Owns the accepted connections; does not close or
+/// unlink `listen_fd`. Returns true if a shutdown frame was received.
+bool RunFrontEnd(int listen_fd, server::OracleService& service,
+                 server::MetricsRegistry& metrics,
+                 const FrontEndOptions& options,
+                 const volatile std::sig_atomic_t* stop_signal);
+
+}  // namespace phast::fabric

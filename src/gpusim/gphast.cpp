@@ -56,7 +56,7 @@ Gphast::Result Gphast::ComputeTrees(std::span<const VertexId> sources,
   // One kernel per level, highest level first (§VI).
   PHAST_SPAN("gphast.device_sweep");
   const SweepArgs args = engine_.MakeSweepArgs(ws);
-  const std::vector<VertexId>& levels = engine_.LevelBoundaries();
+  const std::span<const VertexId> levels = engine_.LevelBoundaries();
   for (size_t group = 0; group + 1 < levels.size(); ++group) {
     if (levels[group] == levels[group + 1]) continue;  // empty level
     device_.BeginKernel();

@@ -9,7 +9,7 @@
 
 namespace phast {
 
-bool IsPermutation(const Permutation& perm) {
+bool IsPermutation(std::span<const VertexId> perm) {
   std::vector<bool> seen(perm.size(), false);
   for (const VertexId v : perm) {
     if (v >= perm.size() || seen[v]) return false;

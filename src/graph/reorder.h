@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/csr.h"
@@ -15,8 +16,9 @@ namespace phast {
 /// sequential.
 using Permutation = std::vector<VertexId>;
 
-/// True iff perm is a bijection on [0, perm.size()).
-[[nodiscard]] bool IsPermutation(const Permutation& perm);
+/// True iff perm is a bijection on [0, perm.size()). Takes a span so both
+/// owned permutations and zero-copy snapshot views can be checked.
+[[nodiscard]] bool IsPermutation(std::span<const VertexId> perm);
 
 /// inverse[new_id] == old_id.
 [[nodiscard]] Permutation InvertPermutation(const Permutation& perm);

@@ -63,15 +63,16 @@ Phast::Phast(const CHData& ch, const Options& options)
 
   if (options_.order == SweepOrder::kLevelReordered) {
     // Physically relabel: label space == sweep position space.
-    perm_.assign(n_, 0);
-    for (VertexId pos = 0; pos < n_; ++pos) perm_[sequence[pos]] = pos;
-    inv_perm_ = sequence;
-    order_.clear();  // identity
+    storage_.perm.assign(n_, 0);
+    for (VertexId pos = 0; pos < n_; ++pos) storage_.perm[sequence[pos]] = pos;
+    storage_.inv_perm = sequence;
+    storage_.order.clear();  // identity
   } else {
-    perm_ = IdentityPermutation(n_);
-    inv_perm_ = perm_;
-    order_ = sequence;
+    storage_.perm = IdentityPermutation(n_);
+    storage_.inv_perm = storage_.perm;
+    storage_.order = sequence;
   }
+  const Permutation& perm = storage_.perm;
 
   // position_of[original id] — needed to group downward arcs by the sweep
   // position of their head.
@@ -80,49 +81,63 @@ Phast::Phast(const CHData& ch, const Options& options)
 
   // Downward graph: incoming arcs of each head, grouped by sweep position,
   // tails stored in label space (§IV-A data layout).
-  down_first_.assign(static_cast<size_t>(n_) + 1, 0);
-  for (const CHArc& a : ch.down_arcs) ++down_first_[position_of[a.head] + 1];
-  for (size_t i = 1; i <= n_; ++i) down_first_[i] += down_first_[i - 1];
-  down_arcs_.resize(ch.down_arcs.size());
+  std::vector<ArcId>& down_first = storage_.down_first;
+  down_first.assign(static_cast<size_t>(n_) + 1, 0);
+  for (const CHArc& a : ch.down_arcs) ++down_first[position_of[a.head] + 1];
+  for (size_t i = 1; i <= n_; ++i) down_first[i] += down_first[i - 1];
+  storage_.down_arcs.resize(ch.down_arcs.size());
   {
-    std::vector<ArcId> cursor(down_first_.begin(), down_first_.end() - 1);
+    std::vector<ArcId> cursor(down_first.begin(), down_first.end() - 1);
     for (const CHArc& a : ch.down_arcs) {
-      down_arcs_[cursor[position_of[a.head]]++] =
-          DownArc{perm_[a.tail], a.weight};
+      storage_.down_arcs[cursor[position_of[a.head]]++] =
+          DownArc{perm[a.tail], a.weight};
     }
   }
 
   // Upward graph in label space, for the forward CH search.
-  up_first_.assign(static_cast<size_t>(n_) + 1, 0);
-  for (const CHArc& a : ch.up_arcs) ++up_first_[perm_[a.tail] + 1];
-  for (size_t i = 1; i <= n_; ++i) up_first_[i] += up_first_[i - 1];
-  up_arcs_.resize(ch.up_arcs.size());
+  std::vector<ArcId>& up_first = storage_.up_first;
+  up_first.assign(static_cast<size_t>(n_) + 1, 0);
+  for (const CHArc& a : ch.up_arcs) ++up_first[perm[a.tail] + 1];
+  for (size_t i = 1; i <= n_; ++i) up_first[i] += up_first[i - 1];
+  storage_.up_arcs.resize(ch.up_arcs.size());
   {
-    std::vector<ArcId> cursor(up_first_.begin(), up_first_.end() - 1);
+    std::vector<ArcId> cursor(up_first.begin(), up_first.end() - 1);
     for (const CHArc& a : ch.up_arcs) {
-      up_arcs_[cursor[perm_[a.tail]]++] = Arc{perm_[a.head], a.weight};
+      storage_.up_arcs[cursor[perm[a.tail]]++] = Arc{perm[a.head], a.weight};
     }
   }
 
   // Level group boundaries in sweep positions (levels descending).
   if (options_.order != SweepOrder::kRankDescending) {
-    level_begin_.assign(static_cast<size_t>(num_levels_) + 1, 0);
+    storage_.level_begin.assign(static_cast<size_t>(num_levels_) + 1, 0);
     for (VertexId pos = 0; pos < n_; ++pos) {
       // Group index of level L is (num_levels_ - 1 - L).
       const uint32_t group = num_levels_ - 1 - ch.level[sequence[pos]];
-      ++level_begin_[group + 1];
+      ++storage_.level_begin[group + 1];
     }
     for (size_t i = 1; i <= num_levels_; ++i) {
-      level_begin_[i] += level_begin_[i - 1];
+      storage_.level_begin[i] += storage_.level_begin[i - 1];
     }
   }
+  BindToStorage();
+}
+
+void Phast::BindToStorage() {
+  perm_ = storage_.perm;
+  inv_perm_ = storage_.inv_perm;
+  order_ = storage_.order;
+  down_first_ = storage_.down_first;
+  down_arcs_ = storage_.down_arcs;
+  up_first_ = storage_.up_first;
+  up_arcs_ = storage_.up_arcs;
+  level_begin_ = storage_.level_begin;
 }
 
 namespace {
 
 /// Shared validation for a CSR offset array: size n+1, monotone, sentinel
 /// equal to the arc count.
-void RequireCsrOffsets(const std::vector<ArcId>& first, VertexId n,
+void RequireCsrOffsets(std::span<const ArcId> first, VertexId n,
                        size_t num_arcs, const char* what) {
   Require(first.size() == static_cast<size_t>(n) + 1,
           std::string(what) + " offset array must have n+1 entries");
@@ -141,28 +156,61 @@ Phast::Phast(PhastLayout layout)
     : options_(layout.options),
       n_(layout.num_vertices),
       num_levels_(layout.num_levels),
-      perm_(std::move(layout.perm)),
-      inv_perm_(std::move(layout.inv_perm)),
-      order_(std::move(layout.order)),
-      down_first_(std::move(layout.down_first)),
-      down_arcs_(std::move(layout.down_arcs)),
-      up_first_(std::move(layout.up_first)),
-      up_arcs_(std::move(layout.up_arcs)),
-      level_begin_(std::move(layout.level_begin)) {
+      storage_(std::move(layout)) {
+  BindToStorage();
+  ValidateShallow();
+  ValidateFull();
+}
+
+Phast::Phast(const PhastLayoutView& view, LayoutValidation validation)
+    : options_(view.options),
+      n_(view.num_vertices),
+      num_levels_(view.num_levels),
+      perm_(view.perm),
+      inv_perm_(view.inv_perm),
+      order_(view.order),
+      down_first_(view.down_first),
+      down_arcs_(view.down_arcs),
+      up_first_(view.up_first),
+      up_arcs_(view.up_arcs),
+      level_begin_(view.level_begin) {
+  ValidateShallow();
+  if (validation == LayoutValidation::kFull) ValidateFull();
+}
+
+void Phast::ValidateShallow() const {
   Require(n_ > 0, "PHAST layout needs at least one vertex");
-  Require(perm_.size() == n_ && IsPermutation(perm_),
-          "PHAST layout perm is not a permutation of [0, n)");
+  Require(perm_.size() == n_, "PHAST layout perm has wrong size");
   Require(inv_perm_.size() == n_, "PHAST layout inv_perm has wrong size");
-  for (VertexId v = 0; v < n_; ++v) {
-    Require(inv_perm_[perm_[v]] == v,
-            "PHAST layout perm/inv_perm are not mutual inverses");
-  }
   if (options_.order == SweepOrder::kLevelReordered) {
     Require(order_.empty(),
             "PHAST layout: reordered engines sweep in label order and must "
             "not carry an order array");
   } else {
-    Require(order_.size() == n_ && IsPermutation(order_),
+    Require(order_.size() == n_, "PHAST layout order has wrong size");
+  }
+  Require(down_first_.size() == static_cast<size_t>(n_) + 1,
+          "PHAST layout G-down offset array must have n+1 entries");
+  Require(up_first_.size() == static_cast<size_t>(n_) + 1,
+          "PHAST layout G-up offset array must have n+1 entries");
+  if (options_.order == SweepOrder::kRankDescending) {
+    Require(level_begin_.empty(),
+            "PHAST layout: rank-descending engines have no level groups");
+  } else {
+    Require(level_begin_.size() == static_cast<size_t>(num_levels_) + 1,
+            "PHAST layout level boundaries must have num_levels+1 entries");
+  }
+}
+
+void Phast::ValidateFull() const {
+  Require(IsPermutation(perm_),
+          "PHAST layout perm is not a permutation of [0, n)");
+  for (VertexId v = 0; v < n_; ++v) {
+    Require(inv_perm_[perm_[v]] == v,
+            "PHAST layout perm/inv_perm are not mutual inverses");
+  }
+  if (options_.order != SweepOrder::kLevelReordered) {
+    Require(IsPermutation(order_),
             "PHAST layout order is not a permutation of [0, n)");
   }
   RequireCsrOffsets(down_first_, n_, down_arcs_.size(), "PHAST layout G-down");
@@ -173,14 +221,8 @@ Phast::Phast(PhastLayout layout)
   for (const Arc& a : up_arcs_) {
     Require(a.other < n_, "PHAST layout upward arc head out of range");
   }
-  if (options_.order == SweepOrder::kRankDescending) {
-    Require(level_begin_.empty(),
-            "PHAST layout: rank-descending engines have no level groups");
-  } else {
-    Require(level_begin_.size() == static_cast<size_t>(num_levels_) + 1,
-            "PHAST layout level boundaries must have num_levels+1 entries");
-    Require(!level_begin_.empty() && level_begin_.front() == 0 &&
-                level_begin_.back() == n_,
+  if (options_.order != SweepOrder::kRankDescending) {
+    Require(level_begin_.front() == 0 && level_begin_.back() == n_,
             "PHAST layout level boundaries must span [0, n)");
     for (size_t i = 0; i + 1 < level_begin_.size(); ++i) {
       Require(level_begin_[i] <= level_begin_[i + 1],
@@ -194,14 +236,14 @@ PhastLayout Phast::ExportLayout() const {
   layout.options = options_;
   layout.num_vertices = n_;
   layout.num_levels = num_levels_;
-  layout.perm = perm_;
-  layout.inv_perm = inv_perm_;
-  layout.order = order_;
-  layout.down_first = down_first_;
-  layout.down_arcs = down_arcs_;
-  layout.up_first = up_first_;
-  layout.up_arcs = up_arcs_;
-  layout.level_begin = level_begin_;
+  layout.perm.assign(perm_.begin(), perm_.end());
+  layout.inv_perm.assign(inv_perm_.begin(), inv_perm_.end());
+  layout.order.assign(order_.begin(), order_.end());
+  layout.down_first.assign(down_first_.begin(), down_first_.end());
+  layout.down_arcs.assign(down_arcs_.begin(), down_arcs_.end());
+  layout.up_first.assign(up_first_.begin(), up_first_.end());
+  layout.up_arcs.assign(up_arcs_.begin(), up_arcs_.end());
+  layout.level_begin.assign(level_begin_.begin(), level_begin_.end());
   return layout;
 }
 
@@ -219,11 +261,11 @@ PhastLayout Phast::ExportReweightedLayout(const CHData& customized) const {
   // sweep sequence: for the reordered layout it *is* perm_, otherwise the
   // inverse of order_ (label space there is the identity).
   std::vector<VertexId> position_of;
-  const std::vector<VertexId>* positions = &perm_;
+  std::span<const VertexId> positions = perm_;
   if (options_.order != SweepOrder::kLevelReordered) {
     position_of.assign(n_, 0);
     for (VertexId pos = 0; pos < n_; ++pos) position_of[order_[pos]] = pos;
-    positions = &position_of;
+    positions = position_of;
   }
 
   // Replay the constructor's cursor fills over the customized arc lists,
@@ -235,7 +277,7 @@ PhastLayout Phast::ExportReweightedLayout(const CHData& customized) const {
     for (const CHArc& a : customized.down_arcs) {
       Require(a.head < n_ && a.tail < n_,
               "reweighted export: downward arc endpoint out of range");
-      const ArcId slot = cursor[(*positions)[a.head]]++;
+      const ArcId slot = cursor[positions[a.head]]++;
       Require(layout.down_arcs[slot].tail == perm_[a.tail],
               "reweighted export: downward arc topology differs from the "
               "engine");

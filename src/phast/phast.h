@@ -39,6 +39,37 @@ struct PhastLayout {
   std::vector<VertexId> level_begin;
 };
 
+/// Non-owning view of a prepared layout: the same arrays as PhastLayout but
+/// as read-only spans over memory the caller keeps alive (typically a
+/// PHSNAP02 file mapped by fabric::MappedSnapshot). Adopting a view copies
+/// nothing — the engine serves straight out of the mapping, so N server
+/// processes over one snapshot share one page-cache copy of the arrays.
+struct PhastLayoutView {
+  PhastOptions options;
+  VertexId num_vertices = 0;
+  uint32_t num_levels = 0;
+  std::span<const VertexId> perm;      // original id -> label space
+  std::span<const VertexId> inv_perm;  // label space -> original id
+  /// Sweep position -> label-space id; empty for kLevelReordered.
+  std::span<const VertexId> order;
+  std::span<const ArcId> down_first;   // n+1, keyed by sweep position
+  std::span<const DownArc> down_arcs;  // grouped by sweep position
+  std::span<const ArcId> up_first;     // n+1, label space
+  std::span<const Arc> up_arcs;
+  std::span<const VertexId> level_begin;
+};
+
+/// How much of an adopted layout the Phast constructor re-checks.
+///
+/// kFull reads every array once (permutation bijectivity, CSR monotonicity,
+/// arc endpoint ranges, level partition) — the right choice when the bytes
+/// came from an unauthenticated stream. kShallow checks only sizes and
+/// counts, touching no array *content*: it exists for the mmap cold-start
+/// path, where reading the arrays would fault the whole file in and defeat
+/// the O(TOC) start (integrity is then the snapshot checksums' job, on
+/// whatever schedule the --verify knob chose).
+enum class LayoutValidation { kFull, kShallow };
+
 /// The PHAST engine (paper §III–§V): answers non-negative single-source
 /// shortest path queries with one upward CH search plus one linear sweep
 /// over the downward graph.
@@ -103,9 +134,28 @@ class Phast {
   /// engine.
   explicit Phast(PhastLayout layout);
 
+  /// Adopts a layout *by reference*: the engine's arrays alias `view`'s
+  /// spans, whose backing memory (typically an mmap-ed PHSNAP02 snapshot)
+  /// must stay mapped and unmodified for the engine's lifetime. kFull runs
+  /// the same structural validation as the owning constructor; kShallow
+  /// checks only sizes, reading no array content — the O(TOC) cold-start
+  /// path (see LayoutValidation).
+  Phast(const PhastLayoutView& view, LayoutValidation validation);
+
   /// Copies the engine's arrays into a serializable bundle (the inverse of
   /// the PhastLayout constructor).
   [[nodiscard]] PhastLayout ExportLayout() const;
+
+  /// The engine's arrays may alias external memory (view constructor) or
+  /// live in storage_ with span members pointing into it (owning
+  /// constructors) — copying would silently leave the copy's spans dangling
+  /// into the original, so copies are deleted. Moves are safe: moving the
+  /// storage vectors preserves their heap allocations, so spans bound to
+  /// them stay valid.
+  Phast(const Phast&) = delete;
+  Phast& operator=(const Phast&) = delete;
+  Phast(Phast&&) = default;
+  Phast& operator=(Phast&&) = default;
 
   /// ExportLayout with the arc weights replaced by those of `customized` —
   /// the weight re-export half of metric customization (ch::CustomizeWeights
@@ -165,7 +215,7 @@ class Phast {
 
   /// Sweep positions where each level group starts; size NumLevels()+1,
   /// groups ordered by descending level. Empty for kRankDescending.
-  [[nodiscard]] const std::vector<VertexId>& LevelBoundaries() const {
+  [[nodiscard]] std::span<const VertexId> LevelBoundaries() const {
     return level_begin_;
   }
 
@@ -213,26 +263,41 @@ class Phast {
   /// ws.profile_ (the Options::collect_profile path).
   void ProfiledSweep(SweepKernelFn kernel, Workspace& ws) const;
 
+  /// Points the span members at storage_'s vectors. Must be re-run after
+  /// any move of storage_ (the constructors' job; Phast itself is movable
+  /// afterwards because vector moves keep the heap allocations alive).
+  void BindToStorage();
+  /// Checks the structural invariants of whatever the spans currently
+  /// reference (shared by the owning and kFull-view constructors).
+  void ValidateFull() const;
+  /// Size/count consistency only; reads no array content.
+  void ValidateShallow() const;
+
   Options options_;
   VertexId n_ = 0;
   uint32_t num_levels_ = 0;
 
-  Permutation perm_;      // original id -> label space
-  Permutation inv_perm_;  // label space -> original id
+  /// Owned backing for the span members below. The view constructor leaves
+  /// it empty and the spans alias caller-owned memory (an mmap-ed
+  /// snapshot); the owning constructors fill it and bind the spans to it.
+  PhastLayout storage_;
+
+  std::span<const VertexId> perm_;      // original id -> label space
+  std::span<const VertexId> inv_perm_;  // label space -> original id
 
   /// Sweep position -> label-space id; empty when they coincide (the
   /// reordered layout, where the sweep is a pure ascending scan).
-  std::vector<VertexId> order_;
+  std::span<const VertexId> order_;
 
   // Downward graph: incoming arcs grouped by sweep position (§IV-A).
-  std::vector<ArcId> down_first_;
-  std::vector<DownArc> down_arcs_;
+  std::span<const ArcId> down_first_;
+  std::span<const DownArc> down_arcs_;
 
   // Upward graph: outgoing arcs in label space, for phase one.
-  std::vector<ArcId> up_first_;
-  std::vector<Arc> up_arcs_;
+  std::span<const ArcId> up_first_;
+  std::span<const Arc> up_arcs_;
 
-  std::vector<VertexId> level_begin_;
+  std::span<const VertexId> level_begin_;
 };
 
 }  // namespace phast

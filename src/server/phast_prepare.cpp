@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
         "          [--batch-neighborhood=H]  independence rule, 1 or 2 hops\n"
         "          [--no-graph]  (omit the verification graph section)\n"
         "          [--customizable]  build a witness-free CH and embed it so\n"
-        "                            phast_serve can re-customize and hot-swap\n",
+        "                            phast_serve can re-customize and hot-swap\n"
+        "          [--format=phsnap01|phsnap02]  on-disk format (default\n"
+        "                            phsnap02: page-aligned, mmap-able)\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
   }
@@ -88,9 +90,21 @@ int main(int argc, char** argv) {
       engine, cli.GetBool("no-graph", false) ? nullptr : &prepared.graph,
       customizable ? &prepared.ch : nullptr);
 
+  const std::string format_name = cli.GetString("format", "phsnap02");
+  server::SnapshotFormat format;
+  if (format_name == "phsnap01") {
+    format = server::SnapshotFormat::kPhsnap01;
+  } else if (format_name == "phsnap02") {
+    format = server::SnapshotFormat::kPhsnap02;
+  } else {
+    std::fprintf(stderr, "unknown --format=%s (phsnap01 | phsnap02)\n",
+                 format_name.c_str());
+    return 2;
+  }
+
   const std::string out = cli.GetString("out", "");
-  server::WriteSnapshotFile(snapshot, out);
-  std::printf("snapshot written to %s in %.1f ms\n", out.c_str(),
-              total.ElapsedMs());
+  server::WriteSnapshotFile(snapshot, out, format);
+  std::printf("%s snapshot written to %s in %.1f ms\n", format_name.c_str(),
+              out.c_str(), total.ElapsedMs());
   return 0;
 }

@@ -161,9 +161,11 @@ OracleService::OracleService(const Phast* engine, SnapshotManager* manager,
 
 OracleService::~OracleService() { Stop(); }
 
-std::future<Response> OracleService::Submit(Request request) {
+std::future<Response> OracleService::Submit(Request request,
+                                            std::function<void()> on_done) {
   admitted_.Inc();
   Job job;
+  job.on_done = std::move(on_done);
   job.deadline_ms = request.deadline_ms < 0.0 ? options_.default_deadline_ms
                                               : request.deadline_ms;
   job.request = std::move(request);
@@ -466,6 +468,7 @@ void OracleService::Fulfill(Job& job, Response response) {
   latency_ms_.Observe(response.latency_ms);
   completed_.Inc();
   job.promise.set_value(std::move(response));
+  if (job.on_done) job.on_done();
 }
 
 void OracleService::Shed(Job& job, ResponseStatus status, Counter& reason) {
@@ -475,6 +478,7 @@ void OracleService::Shed(Job& job, ResponseStatus status, Counter& reason) {
   response.status = status;
   response.latency_ms = job.admitted.ElapsedMs();
   job.promise.set_value(std::move(response));
+  if (job.on_done) job.on_done();
 }
 
 }  // namespace phast::server

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -137,7 +138,17 @@ class OracleService {
 
   /// Never blocks: either admits into the queue or immediately resolves the
   /// future with a shed/invalid status.
-  [[nodiscard]] std::future<Response> Submit(Request request);
+  [[nodiscard]] std::future<Response> Submit(Request request) {
+    return Submit(std::move(request), nullptr);
+  }
+
+  /// Submit with a completion hook: `on_done` runs on whatever thread
+  /// resolves the promise (a worker, or this thread for immediate sheds),
+  /// strictly *after* the future is ready. The async front end
+  /// (src/fabric/) uses it to wake its event loop instead of blocking a
+  /// writer thread per connection; the hook must be cheap and non-throwing.
+  [[nodiscard]] std::future<Response> Submit(Request request,
+                                             std::function<void()> on_done);
 
   /// Synchronous convenience wrapper.
   [[nodiscard]] Response Call(Request request) {
@@ -159,6 +170,8 @@ class OracleService {
   struct Job {
     Request request;
     std::promise<Response> promise;
+    /// Completion hook (may be empty); runs after the promise resolves.
+    std::function<void()> on_done;
     double deadline_ms = 0.0;  // resolved; 0 = none
     Timer admitted;
   };

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "ch/ch_data.h"
 #include "graph/csr.h"
@@ -10,7 +12,7 @@
 
 namespace phast::server {
 
-/// Snapshot artifacts (DESIGN.md §7): a versioned, checksummed binary
+/// Snapshot artifacts (DESIGN.md §7, §12): a versioned, checksummed binary
 /// serialization of a *fully prepared* PHAST engine — CH-derived
 /// permutations, the reordered G↓/G↑ CSR arrays, level boundaries — plus
 /// (optionally) the prepared source graph for oracle verification. Loading
@@ -18,26 +20,35 @@ namespace phast::server {
 /// the serving path never runs contraction (tools/phast_lint.py enforces
 /// this with the server-no-prepare rule).
 ///
-/// File layout (little-endian, like the CH format in ch/ch_io.h):
+/// Two on-disk formats share one header/TOC shape (little-endian):
 ///
-///   [0..8)    magic "PHSNAP01"
-///   [8..12)   u32 format version (kSnapshotVersion)
+///   [0..8)    magic "PHSNAP01" or "PHSNAP02"
+///   [8..12)   u32 format version (1 or 2)
 ///   [12..16)  u32 section count
 ///   [16..24)  u64 total file size
-///   [24..32)  u64 FNV-1a checksum of the whole file (this field zeroed)
+///   [24..32)  u64 FNV-1a checksum (this field zeroed while hashing):
+///             v1 hashes the WHOLE FILE; v2 hashes only header+TOC, so a
+///             reader can authenticate the file's structure in O(TOC)
+///             without touching a single payload byte.
 ///   [32..48)  reserved (zero)
 ///   [48..)    table of contents: per section
 ///             {u32 id, u32 reserved, u64 offset, u64 size, u64 FNV-1a}
-///   then the section payloads, each at an 8-byte-aligned offset
-///   (zero-padded gaps), so a loader may mmap the file and bind spans
-///   directly to the aligned u32/u64 payloads.
+///   then the section payloads at aligned offsets (zero-padded gaps):
+///   8-byte-aligned in v1, PAGE-aligned (4096) in v2.
 ///
-/// Every load verifies the magic, version, declared size, the whole-file
-/// checksum, and each section's bounds, alignment, and checksum before a
-/// single value is interpreted; structural validation (permutation and CSR
-/// invariants) then runs in the Phast/Graph adopting constructors. Any
-/// violation throws InputError with a message naming the failing check.
+/// v2 is the mmap format of the serving fabric (src/fabric/): page-aligned
+/// payloads mean a mapped file's arrays are directly usable as typed spans
+/// (PhastLayoutView), so N server processes over one snapshot share one
+/// page-cache copy and cold start costs O(TOC), with per-section checksums
+/// verified on whatever schedule the --verify knob chose. v1 remains fully
+/// readable via the copy-load path.
 inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion2 = 2;
+
+/// v2 payload alignment: one page, the unit of mmap sharing and protection.
+inline constexpr size_t kSnapshotPageAlign = 4096;
+
+enum class SnapshotFormat : uint32_t { kPhsnap01 = 1, kPhsnap02 = 2 };
 
 /// Everything a snapshot holds, decoded.
 struct Snapshot {
@@ -62,14 +73,153 @@ struct Snapshot {
                                     const Graph* graph = nullptr,
                                     const CHData* ch = nullptr);
 
-void WriteSnapshot(const Snapshot& snapshot, std::ostream& out);
-void WriteSnapshotFile(const Snapshot& snapshot, const std::string& path);
+void WriteSnapshot(const Snapshot& snapshot, std::ostream& out,
+                   SnapshotFormat format = SnapshotFormat::kPhsnap01);
+void WriteSnapshotFile(const Snapshot& snapshot, const std::string& path,
+                       SnapshotFormat format = SnapshotFormat::kPhsnap01);
 
-/// Throws InputError on any integrity or structural violation.
+/// Throws InputError on any integrity or structural violation. Reads both
+/// formats (copy-load).
 [[nodiscard]] Snapshot ReadSnapshot(std::istream& in);
 [[nodiscard]] Snapshot ReadSnapshotFile(const std::string& path);
 
 /// FNV-1a 64-bit (the integrity hash of the snapshot format).
 [[nodiscard]] uint64_t Fnv1a64(const void* data, size_t size);
+/// Incremental FNV-1a: feed chunks with Fnv1a64Continue starting from
+/// kFnv1a64Seed. Hashing is byte-sequential, so a region with a hole (the
+/// checksum field itself) hashes as chunks + zeros without copying the
+/// input — the fix for the v1 whole-file verify, which used to duplicate
+/// the entire file just to zero 8 bytes.
+inline constexpr uint64_t kFnv1a64Seed = 14695981039346656037ULL;
+[[nodiscard]] uint64_t Fnv1a64Continue(uint64_t hash, const void* data,
+                                       size_t size);
+
+// --- shared image-parsing layer (used by the fabric's mmap path) ------------
+
+/// One TOC entry, as stored on disk.
+struct SnapshotSection {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+static_assert(sizeof(SnapshotSection) == 32, "TOC entries are 32 bytes");
+
+/// Well-known section ids (unknown ids are skipped by readers).
+enum SnapshotSectionId : uint32_t {
+  kSecMeta = 1,
+  kSecPerm = 2,
+  kSecInvPerm = 3,
+  kSecOrder = 4,
+  kSecDownFirst = 5,
+  kSecDownArcs = 6,
+  kSecUpFirst = 7,
+  kSecUpArcs = 8,
+  kSecLevelBegin = 9,
+  kSecGraphFirst = 10,
+  kSecGraphArcs = 11,
+  /// Embedded ch_io stream ("PHASTCH1" bytes). Optional; readers that do
+  /// not know it skip unknown sections, so adding it kept the version at 1.
+  kSecCh = 12,
+};
+
+[[nodiscard]] const char* SnapshotSectionName(uint32_t id);
+
+/// Fixed-size metadata section: everything that is not a bulk array.
+struct SnapshotMeta {
+  uint32_t num_vertices = 0;
+  uint32_t num_levels = 0;
+  uint8_t sweep_order = 0;
+  uint8_t simd_mode = 0;
+  uint8_t implicit_init = 0;
+  uint8_t has_graph = 0;
+  /// Was `reserved` (always written 0) until the CH section was added, so
+  /// pre-CH snapshots decode as has_ch == 0.
+  uint32_t has_ch = 0;
+  uint64_t num_down_arcs = 0;
+  uint64_t num_up_arcs = 0;
+};
+static_assert(sizeof(SnapshotMeta) == 32 &&
+                  std::is_trivially_copyable_v<SnapshotMeta>,
+              "META is a fixed 32-byte record");
+
+/// How much hashing SnapshotImage does at parse time. Bounds, alignment,
+/// and size checks always run — the knob only controls checksum work:
+///   kFull     v1: whole-file + per-section. v2: header/TOC + per-section.
+///   kSections per-section only (plus the v2 header/TOC hash, which is
+///             O(TOC) and always cheap).
+///   kOff      v2 header/TOC hash only; no payload byte is ever read.
+enum class SnapshotVerify { kFull, kSections, kOff };
+
+/// Parsed, bounds-checked header + TOC over a snapshot byte image the
+/// caller owns (a slurped file or an mmap-ed region, which must outlive the
+/// image). Understands both formats; this is the shared substrate of the
+/// stream loader (ReadSnapshot) and the fabric's zero-copy mapping.
+class SnapshotImage {
+ public:
+  SnapshotImage(const char* data, size_t size, SnapshotVerify verify);
+
+  [[nodiscard]] uint32_t Version() const { return version_; }
+  [[nodiscard]] const char* Data() const { return data_; }
+  [[nodiscard]] size_t Size() const { return size_; }
+  [[nodiscard]] std::span<const SnapshotSection> Sections() const {
+    return toc_;
+  }
+
+  [[nodiscard]] bool HasSection(uint32_t id) const;
+  /// Throws InputError when absent.
+  [[nodiscard]] const SnapshotSection& Section(uint32_t id) const;
+  [[nodiscard]] std::span<const char> SectionBytes(
+      const SnapshotSection& section) const {
+    return {data_ + section.offset, section.size};
+  }
+
+  /// Recomputes one section's FNV against its TOC entry (the lazy-verify
+  /// primitive behind --verify and phast_snap).
+  [[nodiscard]] bool SectionChecksumOk(const SnapshotSection& section) const;
+
+  /// The section payload as a typed read-only span, without copying.
+  /// Requires the payload to be element-aligned in memory — guaranteed for
+  /// v2 images mapped at page granularity, checked here for everything
+  /// else.
+  template <typename T>
+  [[nodiscard]] std::span<const T> TypedSection(uint32_t id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const SnapshotSection& section = Section(id);
+    RequireTyped(section, sizeof(T), alignof(T));
+    return {reinterpret_cast<const T*>(data_ + section.offset),
+            section.size / sizeof(T)};
+  }
+
+  /// Decoded, range-checked META section.
+  [[nodiscard]] SnapshotMeta Meta() const;
+
+ private:
+  void RequireTyped(const SnapshotSection& section, size_t elem_size,
+                    size_t elem_align) const;
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t version_ = 0;
+  std::vector<SnapshotSection> toc_;
+};
+
+/// Zero-copy layout view whose spans alias the image's payload bytes — the
+/// image's backing memory must outlive every engine built from the view.
+/// Works on any image whose arrays happen to be element-aligned (always
+/// true for v2); size/count consistency against META is checked here,
+/// array *content* is not read.
+[[nodiscard]] PhastLayoutView MakeLayoutView(const SnapshotImage& image);
+
+/// Copying decode of the full snapshot (either format) — the fallback load
+/// path, and the only one for v1.
+[[nodiscard]] Snapshot DecodeSnapshot(const SnapshotImage& image);
+
+/// Copying decode of just the graph / CH sections (for zero-copy servers
+/// that still need the verification graph or the customization hierarchy —
+/// both are mutated per-metric, so they cannot stay mapped read-only).
+[[nodiscard]] Graph DecodeSnapshotGraph(const SnapshotImage& image);
+[[nodiscard]] CHData DecodeSnapshotCH(const SnapshotImage& image);
 
 }  // namespace phast::server

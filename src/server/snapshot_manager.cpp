@@ -90,7 +90,30 @@ Graph ApplyOverlay(const Graph& base,
 
 }  // namespace
 
+namespace {
+
+/// Checks the sections a manager needs, then builds the owning engine (the
+/// copy-load path; the fabric passes a view engine to the other
+/// constructor instead).
+Phast EngineFromSnapshot(Snapshot& snapshot) {
+  Require(snapshot.has_graph,
+          "snapshot manager needs the graph section (run phast_prepare "
+          "without --no-graph)");
+  Require(snapshot.has_ch,
+          "snapshot manager needs the hierarchy section (run phast_prepare "
+          "--customizable)");
+  return Phast(std::move(snapshot.layout));
+}
+
+}  // namespace
+
 SnapshotManager::SnapshotManager(Snapshot snapshot, MetricsRegistry& metrics)
+    : SnapshotManager(EngineFromSnapshot(snapshot),
+                      std::move(snapshot.graph), std::move(snapshot.ch),
+                      metrics) {}
+
+SnapshotManager::SnapshotManager(Phast engine, Graph graph, CHData ch,
+                                 MetricsRegistry& metrics)
     : swaps_(metrics.GetCounter("phast_server_snapshot_swaps_total",
                                 "Customized snapshots published")),
       updates_applied_(
@@ -108,17 +131,14 @@ SnapshotManager::SnapshotManager(Snapshot snapshot, MetricsRegistry& metrics)
           "phast_server_customize_ms",
           "Customize-and-swap build duration in milliseconds",
           DefaultLatencyBucketsMs())) {
-  Require(snapshot.has_graph,
-          "snapshot manager needs the graph section (run phast_prepare "
-          "without --no-graph)");
-  Require(snapshot.has_ch,
-          "snapshot manager needs the hierarchy section (run phast_prepare "
-          "--customizable)");
-  Phast engine(std::move(snapshot.layout));
+  Require(graph.NumVertices() == engine.NumVertices(),
+          "snapshot manager graph does not match the engine's vertex count");
+  Require(ch.num_vertices == engine.NumVertices(),
+          "snapshot manager hierarchy does not match the engine's vertex "
+          "count");
   const MutexLock lock(publish_mu_);
   current_ = std::make_shared<const ServingSnapshot>(
-      /*epoch=*/1, std::move(engine), std::move(snapshot.graph),
-      std::move(snapshot.ch));
+      /*epoch=*/1, std::move(engine), std::move(graph), std::move(ch));
   epoch_gauge_.Set(1);
   age_.Reset();
 }

@@ -91,6 +91,14 @@ class SnapshotManager {
   /// fixed topology; throws InputError otherwise.
   SnapshotManager(Snapshot snapshot, MetricsRegistry& metrics);
 
+  /// Adopts a pre-built epoch-1 engine with its graph and hierarchy — the
+  /// fabric's zero-copy path, where the engine is a view over an mmap-ed
+  /// snapshot. The view's backing memory must outlive the manager (epoch 1
+  /// serves straight from the mapping; every customized epoch ≥ 2 owns its
+  /// arrays via ExportReweightedLayout).
+  SnapshotManager(Phast engine, Graph graph, CHData ch,
+                  MetricsRegistry& metrics);
+
   SnapshotManager(const SnapshotManager&) = delete;
   SnapshotManager& operator=(const SnapshotManager&) = delete;
 

@@ -159,7 +159,7 @@ std::string CheckEngineTopology(const Phast& engine, const CHData* ch) {
   }
 
   // Level-group boundaries: a monotone partition of [0, n).
-  const std::vector<VertexId>& groups = engine.LevelBoundaries();
+  const std::span<const VertexId> groups = engine.LevelBoundaries();
   if (!groups.empty()) {
     if (groups.size() != static_cast<size_t>(engine.NumLevels()) + 1) {
       return "engine: level boundary count != NumLevels()+1";

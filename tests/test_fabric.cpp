@@ -1,0 +1,311 @@
+// Serving-fabric tests (DESIGN.md §12): the PHSNAP02 mmap path serves
+// bit-identical distances to the PHSNAP01 copy-load, integrity violations
+// (truncation, bit flips, misaligned sections) are rejected, the kernel
+// enforces the mapping's read-only protection, cold start under
+// --verify=off reads zero payload bytes (span-verified), and the
+// consistent-hash ring moves only the dead replica's keys.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "dijkstra/dijkstra.h"
+#include "fabric/mapping.h"
+#include "fabric/router.h"
+#include "obs/trace.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "server/snapshot.h"
+#include "test_support.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast::fabric {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+constexpr uint32_t kSide = 20;
+
+const Phast& Engine() {
+  static const Phast engine(CachedCountryCH(kSide));
+  return engine;
+}
+
+std::string SnapshotBytes(server::SnapshotFormat format) {
+  std::ostringstream out;
+  server::WriteSnapshot(
+      server::MakeSnapshot(Engine(), &CachedCountry(kSide)), out, format);
+  return out.str();
+}
+
+/// Writes `bytes` to a fresh temp file and returns its path.
+std::string WriteTemp(const std::string& bytes, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "phast_fabric_" + tag +
+                           "_" + std::to_string(::getpid()) + ".snap";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+/// The v2 header checksum covers header + TOC with the checksum field
+/// zeroed; tests that tamper with the TOC re-derive it so only the
+/// tampered property (not the hash) trips the reader.
+void RestampHeaderChecksum(std::string& bytes) {
+  uint32_t sections = 0;
+  std::memcpy(&sections, bytes.data() + 12, sizeof(sections));
+  const size_t toc_end = 48 + size_t{sections} * sizeof(server::SnapshotSection);
+  uint64_t hash = server::kFnv1a64Seed;
+  hash = server::Fnv1a64Continue(hash, bytes.data(), 24);
+  const char zeros[8] = {};
+  hash = server::Fnv1a64Continue(hash, zeros, sizeof(zeros));
+  hash = server::Fnv1a64Continue(hash, bytes.data() + 32, toc_end - 32);
+  std::memcpy(bytes.data() + 24, &hash, sizeof(hash));
+}
+
+class TempSnapshot {
+ public:
+  TempSnapshot(const std::string& bytes, const std::string& tag)
+      : path_(WriteTemp(bytes, tag)) {}
+  ~TempSnapshot() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& Path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- zero-copy fidelity -----------------------------------------------------
+
+TEST(Mapping, V2ViewServesBitIdenticalDistancesToV1CopyLoad) {
+  const TempSnapshot v2(SnapshotBytes(server::SnapshotFormat::kPhsnap02),
+                        "fidelity");
+  const MappedSnapshot mapped(v2.Path(), VerifyMode::kSections);
+  ASSERT_TRUE(mapped.IsZeroCopy());
+  const Phast view_engine(mapped.LayoutView(), mapped.Validation());
+
+  std::istringstream v1(SnapshotBytes(server::SnapshotFormat::kPhsnap01));
+  server::Snapshot copy_loaded = server::ReadSnapshot(v1);
+  const Phast copy_engine(std::move(copy_loaded.layout));
+
+  ASSERT_EQ(view_engine.NumVertices(), copy_engine.NumVertices());
+  Phast::Workspace ws_a = view_engine.MakeWorkspace();
+  Phast::Workspace ws_b = copy_engine.MakeWorkspace();
+  Rng rng(11);
+  const Graph& graph = CachedCountry(kSide);
+  for (int trial = 0; trial < 5; ++trial) {
+    const VertexId source =
+        static_cast<VertexId>(rng.NextBounded(view_engine.NumVertices()));
+    view_engine.ComputeTree(source, ws_a);
+    copy_engine.ComputeTree(source, ws_b);
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph, source);
+    for (VertexId v = 0; v < view_engine.NumVertices(); ++v) {
+      ASSERT_EQ(view_engine.Distance(ws_a, v), copy_engine.Distance(ws_b, v))
+          << "source " << source << " vertex " << v;
+      ASSERT_EQ(view_engine.Distance(ws_a, v), ref.dist[v]);
+    }
+  }
+}
+
+TEST(Mapping, V1MapsButIsNotZeroCopy) {
+  const TempSnapshot v1(SnapshotBytes(server::SnapshotFormat::kPhsnap01),
+                        "v1fallback");
+  const MappedSnapshot mapped(v1.Path(), VerifyMode::kFull);
+  EXPECT_FALSE(mapped.IsZeroCopy());
+  EXPECT_THROW((void)mapped.LayoutView(), InputError);
+  // The copy-decode fallback still works straight out of the mapping.
+  const server::Snapshot snapshot = mapped.CopyDecode();
+  EXPECT_EQ(snapshot.layout.num_vertices, Engine().NumVertices());
+}
+
+// --- integrity rejection ----------------------------------------------------
+
+TEST(Mapping, TruncatedFileIsRejectedInEveryVerifyMode) {
+  const std::string bytes = SnapshotBytes(server::SnapshotFormat::kPhsnap02);
+  const TempSnapshot cut(bytes.substr(0, bytes.size() - 1), "truncated");
+  for (const VerifyMode mode :
+       {VerifyMode::kFull, VerifyMode::kSections, VerifyMode::kOff}) {
+    EXPECT_THROW((void)MappedSnapshot(cut.Path(), mode), InputError);
+  }
+}
+
+TEST(Mapping, HeaderBitFlipIsRejectedEvenUnderVerifyOff) {
+  std::string bytes = SnapshotBytes(server::SnapshotFormat::kPhsnap02);
+  bytes[50] ^= 0x01;  // inside the first TOC entry
+  const TempSnapshot bad(bytes, "tocflip");
+  // The header/TOC hash is O(TOC) and unconditionally verified — structure
+  // is authenticated even in the instant-start mode.
+  EXPECT_THROW((void)MappedSnapshot(bad.Path(), VerifyMode::kOff),
+               InputError);
+}
+
+TEST(Mapping, PayloadBitFlipIsCaughtByCheckingModesAndDeferredByOff) {
+  std::string bytes = SnapshotBytes(server::SnapshotFormat::kPhsnap02);
+  // Flip one bit in the PERM payload (first page-aligned section).
+  const server::SnapshotImage clean(bytes.data(), bytes.size(),
+                                    server::SnapshotVerify::kOff);
+  const server::SnapshotSection perm = clean.Section(server::kSecPerm);
+  bytes[perm.offset + perm.size / 2] ^= 0x40;
+  const TempSnapshot bad(bytes, "payloadflip");
+
+  EXPECT_THROW((void)MappedSnapshot(bad.Path(), VerifyMode::kFull),
+               InputError);
+  EXPECT_THROW((void)MappedSnapshot(bad.Path(), VerifyMode::kSections),
+               InputError);
+  // kOff opens (no payload byte is read)…
+  const MappedSnapshot lazy(bad.Path(), VerifyMode::kOff);
+  // …and the lazy per-section primitive still localizes the damage.
+  EXPECT_FALSE(lazy.Image().SectionChecksumOk(
+      lazy.Image().Section(server::kSecPerm)));
+  EXPECT_TRUE(lazy.Image().SectionChecksumOk(
+      lazy.Image().Section(server::kSecMeta)));
+}
+
+TEST(Mapping, MisalignedSectionIsRejected) {
+  std::string bytes = SnapshotBytes(server::SnapshotFormat::kPhsnap02);
+  // Nudge the PERM section off its page boundary (keeping it in bounds)
+  // and restamp the header hash so alignment is the only violation.
+  const server::SnapshotImage clean(bytes.data(), bytes.size(),
+                                    server::SnapshotVerify::kOff);
+  for (size_t i = 0; i < clean.Sections().size(); ++i) {
+    if (clean.Sections()[i].id != server::kSecPerm) continue;
+    const size_t entry = 48 + i * sizeof(server::SnapshotSection);
+    uint64_t offset = 0;
+    std::memcpy(&offset, bytes.data() + entry + 8, sizeof(offset));
+    offset += 4;
+    std::memcpy(bytes.data() + entry + 8, &offset, sizeof(offset));
+  }
+  RestampHeaderChecksum(bytes);
+  const TempSnapshot bad(bytes, "misaligned");
+  EXPECT_THROW((void)MappedSnapshot(bad.Path(), VerifyMode::kOff),
+               InputError);
+}
+
+// --- read-only enforcement --------------------------------------------------
+
+TEST(MappingDeathTest, WritingThroughTheViewFaults) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const TempSnapshot v2(SnapshotBytes(server::SnapshotFormat::kPhsnap02),
+                        "readonly");
+  const MappedSnapshot mapped(v2.Path(), VerifyMode::kOff);
+  const PhastLayoutView view = mapped.LayoutView();
+  ASSERT_FALSE(view.perm.empty());
+  // PROT_READ means engine immutability is a kernel guarantee, not a
+  // convention: the write must die, not corrupt a shared page.
+  EXPECT_DEATH(
+      { const_cast<VertexId*>(view.perm.data())[0] = 1; }, "");
+}
+
+// --- cold start reads no payload --------------------------------------------
+
+TEST(Mapping, ColdStartUnderVerifyOffHashesZeroPayloadBytes) {
+  const TempSnapshot v2(SnapshotBytes(server::SnapshotFormat::kPhsnap02),
+                        "coldstart");
+  obs::ClearSpans();
+  obs::EnableTracing(true);
+  const MappedSnapshot mapped(v2.Path(), VerifyMode::kOff);
+  obs::EnableTracing(false);
+
+  EXPECT_EQ(mapped.PayloadBytesVerified(), 0u);
+  // The span stream is the externally visible witness (phast_serve's
+  // --trace-out shows the same record): a fabric.map span with arg 0.
+  bool found = false;
+  for (const obs::SpanRecord& span : obs::CollectSpans()) {
+    if (std::strcmp(span.name, "fabric.map") == 0) {
+      found = true;
+      EXPECT_EQ(span.arg, 0u);
+    }
+  }
+  EXPECT_TRUE(found) << "no fabric.map span recorded";
+
+  // Shallow validation builds a serving engine without touching array
+  // content either; the answers are still right.
+  const Phast engine(mapped.LayoutView(), mapped.Validation());
+  Phast::Workspace ws = engine.MakeWorkspace();
+  engine.ComputeTree(0, ws);
+  const SsspResult ref = Dijkstra<BinaryHeap>(CachedCountry(kSide), 0);
+  for (VertexId v = 0; v < engine.NumVertices(); ++v) {
+    ASSERT_EQ(engine.Distance(ws, v), ref.dist[v]);
+  }
+}
+
+TEST(Mapping, CheckingModesReportVerifiedPayloadBytes) {
+  const TempSnapshot v2(SnapshotBytes(server::SnapshotFormat::kPhsnap02),
+                        "verifiedbytes");
+  const MappedSnapshot sections(v2.Path(), VerifyMode::kSections);
+  uint64_t payload_total = 0;
+  for (const server::SnapshotSection& s : sections.Image().Sections()) {
+    payload_total += s.size;
+  }
+  EXPECT_EQ(sections.PayloadBytesVerified(), payload_total);
+  EXPECT_GT(payload_total, 0u);
+}
+
+// --- consistent-hash ring ---------------------------------------------------
+
+TEST(HashRing, PickIsDeterministicAndInRange) {
+  const ConsistentHashRing ring(4);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const size_t a = ring.Pick(key);
+    EXPECT_LT(a, 4u);
+    EXPECT_EQ(a, ring.Pick(key));
+  }
+}
+
+TEST(HashRing, EveryReplicaOwnsSomeKeys) {
+  const ConsistentHashRing ring(4);
+  std::set<size_t> owners;
+  for (uint64_t key = 0; key < 4096; ++key) owners.insert(ring.Pick(key));
+  EXPECT_EQ(owners.size(), 4u);
+}
+
+TEST(HashRing, DeathMovesOnlyTheDeadReplicasKeys) {
+  ConsistentHashRing ring(4);
+  std::vector<size_t> before;
+  for (uint64_t key = 0; key < 4096; ++key) before.push_back(ring.Pick(key));
+  ring.SetAlive(2, false);
+  for (uint64_t key = 0; key < 4096; ++key) {
+    const size_t now = ring.Pick(key);
+    EXPECT_NE(now, 2u);
+    if (before[key] != 2) {
+      // The cache-locality contract: survivors keep their working sets.
+      EXPECT_EQ(now, before[key]) << "key " << key;
+    }
+  }
+  ring.SetAlive(2, true);
+  for (uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(ring.Pick(key), before[key]) << "key " << key;
+  }
+}
+
+TEST(HashRing, PickExcludingAvoidsTheOwner) {
+  const ConsistentHashRing ring(3);
+  for (uint64_t key = 0; key < 512; ++key) {
+    const size_t owner = ring.Pick(key);
+    const size_t fallback = ring.PickExcluding(key, owner);
+    EXPECT_NE(fallback, owner);
+    EXPECT_LT(fallback, 3u);
+  }
+}
+
+TEST(HashRing, NoAliveReplicaThrows) {
+  ConsistentHashRing ring(2);
+  ring.SetAlive(0, false);
+  ring.SetAlive(1, false);
+  EXPECT_EQ(ring.NumAlive(), 0u);
+  EXPECT_THROW((void)ring.Pick(7), InputError);
+  ring.SetAlive(0, true);
+  EXPECT_THROW((void)ring.PickExcluding(7, 0), InputError);
+  EXPECT_EQ(ring.Pick(7), 0u);
+}
+
+}  // namespace
+}  // namespace phast::fabric

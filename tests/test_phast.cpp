@@ -157,7 +157,7 @@ TEST(Phast, LevelBoundariesPartitionTheSweep) {
   const Graph g = CountryGraph(12);
   const CHData ch = BuildContractionHierarchy(g);
   const Phast engine(ch);
-  const std::vector<VertexId>& bounds = engine.LevelBoundaries();
+  const std::span<const VertexId> bounds = engine.LevelBoundaries();
   ASSERT_EQ(bounds.size(), engine.NumLevels() + 1);
   EXPECT_EQ(bounds.front(), 0u);
   EXPECT_EQ(bounds.back(), engine.NumVertices());

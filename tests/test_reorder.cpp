@@ -28,10 +28,10 @@ TEST(Permutation, RandomDeterministicBySeed) {
 }
 
 TEST(Permutation, DetectsNonPermutations) {
-  EXPECT_FALSE(IsPermutation({0, 0, 1}));
-  EXPECT_FALSE(IsPermutation({0, 3, 1}));
-  EXPECT_TRUE(IsPermutation({}));
-  EXPECT_TRUE(IsPermutation({2, 0, 1}));
+  EXPECT_FALSE(IsPermutation(Permutation{0, 0, 1}));
+  EXPECT_FALSE(IsPermutation(Permutation{0, 3, 1}));
+  EXPECT_TRUE(IsPermutation(Permutation{}));
+  EXPECT_TRUE(IsPermutation(Permutation{2, 0, 1}));
 }
 
 TEST(Permutation, InverseComposesToIdentity) {

@@ -10,14 +10,17 @@
 #   BENCH_WIDTH / BENCH_HEIGHT   instance size        (default 96x96)
 #   BENCH_SOURCES                sources per average  (default 4)
 #   BENCH_REQUESTS               bench_server load    (default 2000)
+#   BENCH_REPLICAS_LIST          bench_server fabric  (default 1,2,4)
 #   BENCH_THREADS_LIST           ch_preprocessing     (default 1,2,4,8)
 #   BENCH_KERNELS_FILTER         --benchmark_filter   (default all)
 #   BENCH_CUSTOMIZE_ROUNDS       customization rounds (default 2)
 #
 # Aggregated benches: tab1_single_tree, fig1_levels (with a profiled-sweep
-# section), server, ch_preprocessing (build-time scaling with a per-round
-# contraction profile), customization (metric swap vs witness-free rebuild,
-# byte-identity asserted), and the google-benchmark kernels microbenches.
+# section), server (including the fabric replica sweep and the
+# cold-start-vs-copy-load row), ch_preprocessing (build-time scaling with a
+# per-round contraction profile), customization (metric swap vs witness-free
+# rebuild, byte-identity asserted), and the google-benchmark kernels
+# microbenches.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -26,6 +29,7 @@ WIDTH="${BENCH_WIDTH:-96}"
 HEIGHT="${BENCH_HEIGHT:-96}"
 SOURCES="${BENCH_SOURCES:-4}"
 REQUESTS="${BENCH_REQUESTS:-2000}"
+REPLICAS_LIST="${BENCH_REPLICAS_LIST:-1,2,4}"
 THREADS_LIST="${BENCH_THREADS_LIST:-1,2,4,8}"
 KERNELS_FILTER="${BENCH_KERNELS_FILTER:-.*}"
 CUSTOMIZE_ROUNDS="${BENCH_CUSTOMIZE_ROUNDS:-2}"
@@ -55,6 +59,7 @@ echo "=== bench_all: fig1_levels ===" >&2
 echo "=== bench_all: server ===" >&2
 "$BUILD_DIR/bench/bench_server" \
   --width="$WIDTH" --height="$HEIGHT" --requests="$REQUESTS" \
+  --replicas-list="$REPLICAS_LIST" \
   --json-out="$TMP/server.json"
 
 echo "=== bench_all: ch_preprocessing ===" >&2

@@ -23,7 +23,10 @@ Passes (rule ids):
                    exempt (no concurrent access before/after lifetime).
   PA-LAYERING     include-graph enforcement of the module order
                    util < graph/pq < dijkstra < ch < phast < obs < gpusim
-                   < apps < verify < server, plus include-cycle detection.
+                   < apps < verify < server < fabric, plus include-cycle
+                   detection and explicit forbidden edges (the serving
+                   fabric may depend on server but never on verify — the
+                   offline harness must not ride into the daemon).
                    A small allowlist of obs interface headers (std-only
                    include closure, verified by the pass itself) may be
                    included from lower layers.
@@ -82,6 +85,16 @@ MODULE_RANK = {
     "apps": 7,
     "verify": 8,
     "server": 9,
+    "fabric": 10,
+}
+
+# Rank order alone allows any downward edge; these specific edges are
+# forbidden regardless.  fabric -> verify would link the offline
+# verification harness (and its Dijkstra re-runs) into the serving daemon;
+# fabric sees ground truth only through the wire-level checkers
+# (phast_loadgen, phast_reweight), which live in server as tools.
+FORBIDDEN_EDGES = {
+    ("fabric", "verify"),
 }
 
 # obs interface headers that lower layers (graph/ch/phast/...) may include.
@@ -1448,9 +1461,15 @@ def pass_layering(prog, findings):
                       "module '%s' (rank %d) must not include '%s' from "
                       "higher-ranked module '%s' (rank %d); layering order is "
                       "util < graph/pq < dijkstra < ch < phast < obs < gpusim "
-                      "< apps < verify < server"
+                      "< apps < verify < server < fabric"
                       % (mod, MODULE_RANK[mod], inc, imod, MODULE_RANK[imod]),
                       fp_extra="layer:%s->%s" % (path, inc))
+            if (mod, imod) in FORBIDDEN_EDGES:
+                _emit(findings, prog.files, "PA-LAYERING", path, line,
+                      "module '%s' must not include '%s': the %s -> %s edge "
+                      "is forbidden (the offline verification harness stays "
+                      "out of the serving daemon)" % (mod, inc, mod, imod),
+                      fp_extra="forbidden:%s->%s" % (mod, imod))
     # include cycles
     color = {}
     onpath = []
@@ -1979,6 +1998,19 @@ struct Q {
         "src/ch/a.h": "#include \"ch/b.h\"\nstruct A {};\n",
         "src/ch/b.h": "#include \"ch/a.h\"\nstruct B {};\n",
     }, ["PA-LAYERING"], None),
+    ("layering_good_fabric_over_server", {
+        "src/fabric/mapping.cpp": "#include \"server/snapshot.h\"\nvoid F() {}\n",
+        "src/server/snapshot.h": "struct Snapshot {};\n",
+    }, [], None),
+    ("layering_bad_server_includes_fabric", {
+        "src/server/service.cpp": "#include \"fabric/mapping.h\"\nvoid F() {}\n",
+        "src/fabric/mapping.h": "struct MappedSnapshot {};\n",
+    }, ["PA-LAYERING"], 1),
+    ("layering_bad_fabric_includes_verify", {
+        "src/fabric/phast_serve.cpp":
+            "#include \"verify/harness.h\"\nvoid F() {}\n",
+        "src/verify/harness.h": "struct Harness {};\n",
+    }, ["PA-LAYERING"], 1),
     # ---- PA-INCLUDE ----
     ("include_bad_vector", {"src/ch/x.cpp": """
 std::vector<int> Make() { return std::vector<int>(); }

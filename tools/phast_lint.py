@@ -45,13 +45,18 @@ cannot express:
                         util/timer.h and src/obs/ — all timing flows through
                         Timer/StopWatch or scoped spans, so there is exactly
                         one clock discipline to audit (DESIGN.md §8).
-  server-no-prepare     serving-path code (src/server/) never runs
-                        preprocessing — PrepareNetwork() and
+  server-no-prepare     serving-path code (src/server/ and src/fabric/)
+                        never runs preprocessing — PrepareNetwork() and
                         BuildContractionHierarchy() are offline-only. The
                         serving contract is "load a snapshot, start
                         answering"; contraction at request time would stall
                         the daemon for minutes. phast_prepare.cpp, the
                         offline snapshot builder, is the single exemption.
+  fabric-mmap-only      raw mmap/munmap/mremap calls appear only in
+                        src/fabric/mapping.* — every mapping flows through
+                        fabric::MappedSnapshot, so there is exactly one
+                        place that owns PROT_READ enforcement, unmap
+                        lifetimes, and the fabric.map cold-start span.
   broken-doc-comment    a `///` doc run must not degrade mid-run: a line
                         that lost slashes (`/ text` next to a comment, or a
                         plain `//` sandwiched between `///` lines) silently
@@ -408,7 +413,12 @@ PREPARE_CALL_RE = re.compile(
 
 def check_server_no_prepare(path, code, raw_lines, findings):
     normalized = path.replace("\\", "/")
-    if "src/server/" not in normalized and not normalized.startswith("server/"):
+    serving = (
+        "src/server/" in normalized
+        or "src/fabric/" in normalized
+        or normalized.startswith(("server/", "fabric/"))
+    )
+    if not serving:
         return
     if normalized.endswith("phast_prepare.cpp"):
         return  # the offline snapshot builder is the one sanctioned caller
@@ -423,6 +433,36 @@ def check_server_no_prepare(path, code, raw_lines, findings):
                 "server-no-prepare",
                 f"{m.group(1)}() in serving-path code; preprocessing is "
                 "offline-only (phast_prepare) — servers load snapshots",
+            )
+        )
+
+
+# --- rule: fabric-mmap-only -------------------------------------------------
+
+MMAP_CALL_RE = re.compile(r"(?<![\w.])(?:::\s*)?(mmap|munmap|mremap)\s*\(")
+
+
+def check_fabric_mmap_only(path, code, raw_lines, findings):
+    normalized = path.replace("\\", "/")
+    stem = normalized.rsplit("/", 1)[-1]
+    in_mapping = (
+        "src/fabric/" in normalized or normalized.startswith("fabric/")
+    ) and stem.split(".")[0] == "mapping"
+    if in_mapping:
+        return
+    for m in MMAP_CALL_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        if line_allows(raw_lines, lineno, "fabric-mmap-only"):
+            continue
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "fabric-mmap-only",
+                f"raw {m.group(1)}() outside src/fabric/mapping.*; map "
+                "snapshots through fabric::MappedSnapshot so read-only "
+                "protection, unmap lifetime, and the cold-start span live "
+                "in one place",
             )
         )
 
@@ -494,6 +534,7 @@ RULES = (
     check_raw_now,
     check_intrinsics,
     check_server_no_prepare,
+    check_fabric_mmap_only,
     check_broken_doc_comment,
 )
 
@@ -791,6 +832,39 @@ SELF_TEST_CASES = [
         "src/server/service.cpp",
         "void f(const EdgeList& e) {\n"
         "  auto p = PrepareNetwork(e);  // phast-lint: allow(server-no-prepare)\n"
+        "}\n",
+        None,
+    ),
+    (
+        "server-no-prepare/fabric-is-serving-path",
+        "src/fabric/phast_serve.cpp",
+        "void f(const Graph& g) { auto ch = BuildContractionHierarchy(g); }\n",
+        "server-no-prepare",
+    ),
+    (
+        "fabric-mmap-only/bad-raw-mmap",
+        "src/server/snapshot.cpp",
+        "void f(int fd, size_t n) { void* p = ::mmap(nullptr, n, 1, 1, fd, 0); }\n",
+        "fabric-mmap-only",
+    ),
+    (
+        "fabric-mmap-only/bad-munmap-in-fabric",
+        "src/fabric/phast_router.cpp",
+        "void f(void* p, size_t n) { ::munmap(p, n); }\n",
+        "fabric-mmap-only",
+    ),
+    (
+        "fabric-mmap-only/mapping-exempt",
+        "src/fabric/mapping.cpp",
+        "void f(int fd, size_t n) { void* p = ::mmap(nullptr, n, 1, 1, fd, 0); }\n"
+        "void g(void* p, size_t n) { ::munmap(p, n); }\n",
+        None,
+    ),
+    (
+        "fabric-mmap-only/suppressed",
+        "bench/bench_server.cpp",
+        "void f(void* p, size_t n) {\n"
+        "  ::munmap(p, n);  // phast-lint: allow(fabric-mmap-only)\n"
         "}\n",
         None,
     ),
