@@ -1,0 +1,142 @@
+// Batch workloads: the M x N one-to-many distance table through every
+// MatrixMode, and k-nearest-POI queries with and without the level-cutoff
+// sweep. Emits a "matrix" phast-bench-v1 JSON report for bench_all.sh.
+//
+// Expected shape: the restricted modes win once N << n (the RPHAST
+// restriction amortizes over all M rows), batching adds the usual k-wide
+// SIMD win on top, and the POI cutoff sweeps only the level prefix that
+// can contain a bucket vertex. Table shapes are capped at 160 x 160 — the
+// point is mode comparison, not scale.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/poi.h"
+#include "common.h"
+#include "dijkstra/dijkstra.h"
+#include "phast/matrix.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace phast;
+using namespace phast::bench;
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const BenchConfig config = BenchConfig::FromCommandLine(cli);
+  BenchReport report("matrix");
+
+  std::printf("=== batch workloads: distance tables & k-nearest POI ===\n");
+  const Instance instance = MakeCountryInstance(
+      "country-time", config.width, config.height, Metric::kTravelTime,
+      config.seed, config.ChParams());
+  const Graph& g = instance.graph;
+  const VertexId n = g.NumVertices();
+  const Phast engine(instance.ch);
+  std::printf("instance: synthetic country, n=%u m=%zu\n\n", n, g.NumArcs());
+  report.AddConfig("width", config.width);
+  report.AddConfig("height", config.height);
+  report.AddConfig("seed", config.seed);
+  report.AddConfig("n", n);
+  report.AddConfig("m", g.NumArcs());
+
+  constexpr MatrixMode kModes[] = {
+      MatrixMode::kSingleTree, MatrixMode::kBatched, MatrixMode::kRestricted,
+      MatrixMode::kRestrictedBatched};
+  // Square table shapes, capped at 160 x 160.
+  const uint32_t kShapes[] = {16, 64, 160};
+
+  Rng rng(config.seed + 5);
+  const std::vector<int> widths = {22, 10, 12, 14, 14};
+  PrintRow({"mode", "MxN", "table [ms]", "ms/row", "Dijkstra/row"}, widths);
+  for (const uint32_t dim : kShapes) {
+    const uint32_t m = std::min<uint32_t>(dim, n);
+    std::vector<VertexId> sources, targets;
+    for (uint32_t i = 0; i < m; ++i) {
+      sources.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+      targets.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+    }
+
+    // Per-row Dijkstra baseline (full tree per row; the table reads off
+    // its target cells).
+    double dijkstra_row_ms;
+    {
+      Timer timer;
+      for (const VertexId s : sources) {
+        (void)Dijkstra<BinaryHeap>(g, s);
+      }
+      dijkstra_row_ms = timer.ElapsedMs() / static_cast<double>(m);
+    }
+
+    for (const MatrixMode mode : kModes) {
+      MatrixOptions options;
+      options.mode = mode;
+      Timer timer;
+      const std::vector<Weight> table =
+          ComputeDistanceTable(engine, sources, targets, options);
+      const double table_ms = timer.ElapsedMs();
+      const double row_ms = table_ms / static_cast<double>(m);
+      char shape[24], total[24], per_row[24], base[24];
+      std::snprintf(shape, sizeof(shape), "%ux%u", m, m);
+      std::snprintf(total, sizeof(total), "%.2f", table_ms);
+      std::snprintf(per_row, sizeof(per_row), "%.3f", row_ms);
+      std::snprintf(base, sizeof(base), "%.3f", dijkstra_row_ms);
+      PrintRow({ToString(mode), shape, total, per_row, base}, widths);
+
+      report.AddRow(std::string(ToString(mode)) + " " + shape)
+          .Add("mode", ToString(mode))
+          .Add("rows", m)
+          .Add("cols", m)
+          .Add("table_ms", table_ms)
+          .Add("ms_per_row", row_ms)
+          .Add("dijkstra_ms_per_row", dijkstra_row_ms)
+          .Add("cells", table.size());
+    }
+  }
+
+  // k-nearest POI: cutoff vs full sweep over the same bucket index.
+  std::printf("\nk-nearest POI (k=8, 64 POIs/category)\n");
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(n, /*categories=*/4, /*per_category=*/64,
+                               config.seed + 11);
+  const std::vector<VertexId> poi_sources =
+      SampleSources(n, std::max<size_t>(config.num_sources * 8, 32),
+                    config.seed + 13);
+  const std::vector<int> poi_widths = {14, 10, 16, 14};
+  PrintRow({"sweep", "category", "sweep length", "ms/query"}, poi_widths);
+  for (const bool use_cutoff : {false, true}) {
+    for (uint32_t category = 0; category < index.NumCategories();
+         ++category) {
+      const KnnSweeper sweeper(engine, index, category, use_cutoff);
+      Phast::Workspace ws = engine.MakeWorkspace();
+      Timer timer;
+      for (const VertexId s : poi_sources) {
+        (void)sweeper.Query(s, /*k=*/8, ws);
+      }
+      const double query_ms =
+          timer.ElapsedMs() / static_cast<double>(poi_sources.size());
+      char len[24], per_query[24];
+      std::snprintf(len, sizeof(len), "%u", sweeper.SweepLength());
+      std::snprintf(per_query, sizeof(per_query), "%.3f", query_ms);
+      PrintRow({use_cutoff ? "cutoff" : "full",
+                std::to_string(category), len, per_query},
+               poi_widths);
+      report
+          .AddRow(std::string(use_cutoff ? "poi_cutoff" : "poi_full") +
+                  " cat" + std::to_string(category))
+          .Add("cutoff", use_cutoff)
+          .Add("category", category)
+          .Add("sweep_length", sweeper.SweepLength())
+          .Add("ms_per_query", query_ms)
+          .Add("bucket_size", sweeper.BucketSize());
+    }
+  }
+  std::printf(
+      "\nexpected: restricted+batched fastest per row for N << n; the POI "
+      "cutoff sweeping a fraction of the %u positions.\n", n);
+  report.WriteJsonIfRequested(cli);
+  return 0;
+}

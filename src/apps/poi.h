@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// Per-category POI buckets over a graph's vertex set — the target-side
+/// index the k-nearest-POI workload sweeps against. Built once at prepare
+/// time (or from explicit buckets in tests), stored CSR-style with each
+/// bucket sorted ascending, and shipped as a PHPOI01 sidecar next to the
+/// snapshot.
+class PoiIndex {
+ public:
+  PoiIndex() = default;
+
+  /// Builds from explicit buckets: buckets[c] lists category c's vertices
+  /// (original ids, duplicates rejected). Buckets may be empty.
+  PoiIndex(VertexId num_vertices, std::vector<std::vector<VertexId>> buckets);
+
+  /// Seeded random index: each of `categories` buckets draws up to
+  /// `per_category` distinct vertices. Deterministic in (seed, sizes).
+  static PoiIndex GenerateRandom(VertexId num_vertices, uint32_t categories,
+                                 uint32_t per_category, uint64_t seed);
+
+  [[nodiscard]] VertexId NumVertices() const { return num_vertices_; }
+  [[nodiscard]] uint32_t NumCategories() const {
+    return first_.empty() ? 0 : static_cast<uint32_t>(first_.size() - 1);
+  }
+  /// Category c's vertices, sorted ascending by original id.
+  [[nodiscard]] std::span<const VertexId> Bucket(uint32_t category) const {
+    return {vertices_.data() + first_[category],
+            vertices_.data() + first_[category + 1]};
+  }
+  [[nodiscard]] size_t TotalPois() const { return vertices_.size(); }
+
+ private:
+  friend void WritePoiFile(const std::string& path, const PoiIndex& index);
+  friend PoiIndex ReadPoiFile(const std::string& path);
+
+  VertexId num_vertices_ = 0;
+  std::vector<uint32_t> first_;     // CSR: category -> begin in vertices_
+  std::vector<VertexId> vertices_;  // concatenated buckets
+};
+
+/// One k-nearest hit. Result sets are ordered by (dist, vertex id) — the
+/// deterministic tie-break every engine and the oracle agree on.
+struct PoiResult {
+  Weight dist = kInfWeight;
+  VertexId vertex = 0;
+
+  friend bool operator==(const PoiResult&, const PoiResult&) = default;
+};
+
+/// k-nearest-POI queries for one (engine, category) pair. The sweep stops
+/// at a *structural* prefix: labels at sweep positions < P depend only on
+/// positions < P (arc tails strictly precede their heads), so sweeping up
+/// to the end of the deepest level group containing a bucket vertex yields
+/// labels bit-identical to the full sweep at every bucket vertex.
+/// (Distance-based early termination is unsound here — a vertex swept
+/// later can still be closer — so the cutoff is topology-only.)
+class KnnSweeper {
+ public:
+  /// `use_cutoff=false` sweeps the full graph; tests assert both modes
+  /// return bit-identical result sets.
+  KnnSweeper(const Phast& engine, const PoiIndex& index, uint32_t category,
+             bool use_cutoff = true);
+
+  /// The k POIs of the category nearest to `source`, ordered by
+  /// (dist, vertex id). Unreachable POIs are dropped; if the category has
+  /// fewer than k reachable POIs the whole reachable set is returned.
+  /// `ws` must be a plain single-tree workspace (no parents).
+  std::vector<PoiResult> Query(VertexId source, uint32_t k,
+                               Phast::Workspace& ws) const;
+
+  /// Sweep positions the cutoff keeps — the quantity the early exit
+  /// shrinks (== NumVertices() without a cutoff).
+  [[nodiscard]] VertexId SweepLength() const { return cutoff_; }
+  [[nodiscard]] size_t BucketSize() const { return bucket_.size(); }
+
+ private:
+  const Phast& engine_;
+  std::vector<VertexId> bucket_;  // original ids, ascending
+  VertexId cutoff_ = 0;           // sweep [0, cutoff_)
+};
+
+// --- PHPOI01 sidecar ---------------------------------------------------------
+// Layout (little-endian): magic "PHPOI01\0", u32 num_vertices,
+// u32 num_categories, u64 total_pois, u32 first[num_categories + 1],
+// u32 vertices[total_pois], u64 FNV-1a over every preceding byte.
+
+void WritePoiFile(const std::string& path, const PoiIndex& index);
+PoiIndex ReadPoiFile(const std::string& path);
+
+}  // namespace phast

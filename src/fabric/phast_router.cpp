@@ -6,9 +6,15 @@
 // Clients speak the ordinary serving protocol (server/protocol.h) to the
 // router's socket; the router:
 //
-//   - routes each kQuery to a replica by consistent hash of its *source*
-//     (fabric/router.h), keeping every replica's epoch-keyed tree cache hot
-//     for the sources it owns;
+//   - routes each kQuery (and kNearestPoi) to a replica by consistent hash
+//     of its *source* (fabric/router.h), keeping every replica's epoch-keyed
+//     tree cache hot for the sources it owns;
+//   - fans each kMatrix table out by row: the source list is partitioned
+//     across replicas by the same source hash
+//     (PartitionMatrixSources), the per-replica sub-tables are merged back
+//     into the client's row order (MergeMatrixRows), and the response epoch
+//     is the max across sub-responses. A sub-table shed by any replica
+//     sheds the whole table;
 //   - rewrites frame ids to router-scoped ids on the way down and back, and
 //     merges responses back in per-client request order;
 //   - on replica death (EOF on its connection): marks the ring arc dead,
@@ -44,6 +50,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -80,6 +87,10 @@ constexpr size_t kMaxOutboundBytes = 4u << 20;
 /// Byte offset of the u32 source field inside a kQuery payload
 /// (u8 type, u64 id, f64 deadline, then the source).
 constexpr size_t kQuerySourceOffset = 1 + 8 + 8;
+
+/// Same for a kNearestPoi payload, whose v2 version byte sits between the
+/// id and the deadline (u8 type, u64 id, u8 version, f64 deadline).
+constexpr size_t kPoiSourceOffset = 1 + 8 + 1 + 8;
 
 void PutFrameId(std::vector<uint8_t>& payload, uint64_t id) {
   Require(payload.size() >= 9, "frame too short for an id rewrite");
@@ -125,6 +136,32 @@ struct PendingQuery {
   ClientSlot* slot = nullptr;    // stable (deque) while client is alive
   uint64_t client_id = 0;
   uint32_t source = 0;
+  size_t replica = 0;
+  bool retried = false;
+  /// Wire type of the routed frame (kQuery or kNearestPoi) — a shed must
+  /// answer in the same dialect the client spoke.
+  MessageType type = MessageType::kQuery;
+  std::vector<uint8_t> frame;
+};
+
+/// One client kMatrix table being assembled from per-replica sub-tables.
+struct MatrixOp {
+  ClientConn* client = nullptr;
+  ClientSlot* slot = nullptr;
+  uint64_t client_id = 0;
+  size_t cols = 0;
+  size_t outstanding = 0;  // sub-requests still unanswered
+  std::vector<uint32_t> table;  // rows x cols, scattered into as subs land
+  uint64_t epoch = 0;           // max across sub-responses
+  double latency_ms = 0.0;      // max across sub-responses
+  server::ResponseStatus status = server::ResponseStatus::kOk;
+};
+
+/// One per-replica slice of a MatrixOp, replayable once on replica death.
+struct PendingSub {
+  std::shared_ptr<MatrixOp> op;
+  std::vector<uint32_t> rows;  // partition row indices into the client table
+  std::vector<VertexId> sub_sources;  // row sources, for the retry re-pick
   size_t replica = 0;
   bool retried = false;
   std::vector<uint8_t> frame;
@@ -269,15 +306,17 @@ class Router {
     client.slots.emplace_back();
     ClientSlot* slot = &client.slots.back();
 
-    if (type == MessageType::kQuery) {
+    if (type == MessageType::kQuery || type == MessageType::kNearestPoi) {
       admitted_.Inc();
-      Require(payload.size() >= kQuerySourceOffset + sizeof(uint32_t),
+      const size_t source_offset = type == MessageType::kQuery
+                                       ? kQuerySourceOffset
+                                       : kPoiSourceOffset;
+      Require(payload.size() >= source_offset + sizeof(uint32_t),
               "short query frame");
       uint32_t source = 0;
-      std::memcpy(&source, payload.data() + kQuerySourceOffset,
-                  sizeof(source));
+      std::memcpy(&source, payload.data() + source_offset, sizeof(source));
       if (ring_.NumAlive() == 0) {
-        ShedInto(*slot, client_id);
+        ShedInto(*slot, client_id, type);
         return;
       }
       PendingQuery pending;
@@ -286,11 +325,49 @@ class Router {
       pending.client_id = client_id;
       pending.source = source;
       pending.replica = ring_.Pick(source);
+      pending.type = type;
       pending.frame.assign(payload.begin(), payload.end());
       const uint64_t iid = next_internal_id_++;
       PutFrameId(pending.frame, iid);
       SendToReplica(pending.replica, pending.frame);
       pending_.emplace(iid, std::move(pending));
+    } else if (type == MessageType::kMatrix) {
+      admitted_.Inc();
+      // Decode (validating version and size limits) so the source list can
+      // be partitioned into per-replica sub-tables.
+      server::QueryFrame query = server::DecodeMatrixQuery(payload);
+      if (ring_.NumAlive() == 0) {
+        ShedInto(*slot, client_id, type);
+        return;
+      }
+      auto op = std::make_shared<MatrixOp>();
+      op->client = &client;
+      op->slot = slot;
+      op->client_id = client_id;
+      op->cols = query.request.targets.size();
+      op->table.assign(query.request.sources.size() * op->cols, 0);
+      const std::vector<MatrixPartition> partitions =
+          PartitionMatrixSources(ring_, query.request.sources);
+      for (const MatrixPartition& part : partitions) {
+        PendingSub sub;
+        sub.op = op;
+        sub.rows = part.rows;
+        sub.replica = part.replica;
+        server::Request sub_request;
+        sub_request.kind = server::RequestKind::kMatrix;
+        sub_request.deadline_ms = query.request.deadline_ms;
+        sub_request.targets = query.request.targets;
+        sub_request.sources.reserve(part.rows.size());
+        for (const uint32_t row : part.rows) {
+          sub_request.sources.push_back(query.request.sources[row]);
+        }
+        sub.sub_sources = sub_request.sources;
+        const uint64_t iid = next_internal_id_++;
+        sub.frame = server::EncodeMatrixQuery(iid, sub_request);
+        ++op->outstanding;
+        SendToReplica(sub.replica, sub.frame);
+        matrix_waits_.emplace(iid, std::move(sub));
+      }
     } else if (type == MessageType::kMetrics) {
       slot->payload =
           server::EncodeMetricsText(client_id, metrics_.RenderPrometheus());
@@ -355,12 +432,36 @@ class Router {
     op.slot->ready = true;
   }
 
-  void ShedInto(ClientSlot& slot, uint64_t client_id) {
+  void ShedInto(ClientSlot& slot, uint64_t client_id,
+                MessageType type = MessageType::kQuery) {
     server::Response response;
     response.status = server::ResponseStatus::kShedShutdown;
-    slot.payload = server::EncodeResponse(client_id, response);
+    slot.payload = server::EncodeResponseFor(type, client_id, response);
     slot.ready = true;
     shed_.Inc();
+  }
+
+  /// Resolves a fully-answered (or shed) matrix fan-out into its client
+  /// slot. The merged table leaves only when every sub-table answered ok.
+  void CompleteMatrix(MatrixOp& op) {
+    const bool ok = op.status == server::ResponseStatus::kOk;
+    if (ok) {
+      completed_.Inc();
+    } else {
+      shed_.Inc();
+    }
+    if (op.client == nullptr) return;
+    server::Response response;
+    response.status = op.status;
+    response.epoch = op.epoch;
+    response.latency_ms = op.latency_ms;
+    response.rows = static_cast<uint32_t>(op.cols == 0
+                                              ? 0
+                                              : op.table.size() / op.cols);
+    response.cols = static_cast<uint32_t>(op.cols);
+    if (ok) response.distances = std::move(op.table);
+    op.slot->payload = server::EncodeMatrixResponse(op.client_id, response);
+    op.slot->ready = true;
   }
 
   /// Drains ready head slots, flushes, refreshes epoll interest. True =
@@ -392,6 +493,12 @@ class Router {
       if (pending.client == client) {
         pending.client = nullptr;
         pending.slot = nullptr;
+      }
+    }
+    for (auto& [iid, sub] : matrix_waits_) {
+      if (sub.op->client == client) {
+        sub.op->client = nullptr;
+        sub.op->slot = nullptr;
       }
     }
     for (auto& [iid, wait] : broadcast_waits_) {
@@ -468,7 +575,7 @@ class Router {
   void HandleReplicaFrame(std::span<const uint8_t> payload) {
     const MessageType type = server::PeekType(payload);
     const uint64_t iid = server::PeekId(payload);
-    if (type == MessageType::kQuery) {
+    if (type == MessageType::kQuery || type == MessageType::kNearestPoi) {
       const auto it = pending_.find(iid);
       if (it == pending_.end()) return;  // answer for a client that left
       PendingQuery pending = std::move(it->second);
@@ -479,6 +586,30 @@ class Router {
         PutFrameId(pending.slot->payload, pending.client_id);
         pending.slot->ready = true;
         if (PumpClient(*pending.client)) CloseClient(pending.client->fd);
+      }
+      return;
+    }
+    if (type == MessageType::kMatrix) {
+      const auto it = matrix_waits_.find(iid);
+      if (it == matrix_waits_.end()) return;
+      PendingSub sub = std::move(it->second);
+      matrix_waits_.erase(it);
+      const server::ResponseFrame frame =
+          server::DecodeMatrixResponse(payload);
+      MatrixOp& op = *sub.op;
+      if (frame.response.status == server::ResponseStatus::kOk) {
+        MergeMatrixRows(sub.rows, op.cols, frame.response.distances,
+                        op.table);
+      } else if (op.status == server::ResponseStatus::kOk) {
+        op.status = frame.response.status;
+      }
+      op.epoch = std::max(op.epoch, frame.response.epoch);
+      op.latency_ms = std::max(op.latency_ms, frame.response.latency_ms);
+      if (--op.outstanding == 0) {
+        CompleteMatrix(op);
+        if (op.client != nullptr && PumpClient(*op.client)) {
+          CloseClient(op.client->fd);
+        }
       }
       return;
     }
@@ -551,6 +682,33 @@ class Router {
           shed_.Inc();  // client already left; keep the identity honest
         }
         pending_.erase(iid);
+      }
+    }
+
+    // Matrix sub-tables in flight to the dead replica: replay each slice
+    // once, whole, on the surviving owner of its first row source; a slice
+    // out of retries sheds the whole table (partial tables never leave).
+    std::vector<uint64_t> matrix_affected;
+    for (const auto& [iid, sub] : matrix_waits_) {
+      if (sub.replica == idx) matrix_affected.push_back(iid);
+    }
+    for (const uint64_t iid : matrix_affected) {
+      PendingSub& sub = matrix_waits_.at(iid);
+      if (!sub.retried && ring_.NumAlive() > 0) {
+        sub.retried = true;
+        sub.replica = ring_.Pick(sub.sub_sources.front());
+        retries_.Inc();
+        SendToReplica(sub.replica, sub.frame);
+      } else {
+        const std::shared_ptr<MatrixOp> op = sub.op;
+        if (op->status == server::ResponseStatus::kOk) {
+          op->status = server::ResponseStatus::kShedShutdown;
+        }
+        matrix_waits_.erase(iid);
+        if (--op->outstanding == 0) {
+          CompleteMatrix(*op);
+          if (op->client != nullptr) to_pump.push_back(op->client);
+        }
       }
     }
 
@@ -632,7 +790,10 @@ class Router {
   /// buffered bytes left the building.
   void MaybeStop() {
     if (!got_shutdown_pending_) return;
-    if (!pending_.empty() || !broadcast_waits_.empty()) return;
+    if (!pending_.empty() || !matrix_waits_.empty() ||
+        !broadcast_waits_.empty()) {
+      return;
+    }
     for (const auto& [fd, client] : clients_) {
       if (!client->slots.empty() || client->OutboundBytes() != 0) return;
     }
@@ -654,6 +815,8 @@ class Router {
   EventLoop loop_;
   std::unordered_map<int, std::unique_ptr<ClientConn>> clients_;
   std::unordered_map<uint64_t, PendingQuery> pending_;
+  /// internal id -> matrix sub-request awaiting its replica's sub-table.
+  std::unordered_map<uint64_t, PendingSub> matrix_waits_;
   /// internal id -> (operation, replica whose ack it awaits).
   std::unordered_map<uint64_t,
                      std::pair<std::shared_ptr<Broadcast>, size_t>>
@@ -730,6 +893,7 @@ int RouterMain(int argc, char** argv) {
         "          [--verify=full|sections|off] [--workers=N] [--max-batch=K]\n"
         "          [--queue-capacity=N] [--cache-capacity=N] [--deadline-ms=D]\n"
         "          [--rphast-max-targets=N] [--customize-threads=N]\n"
+        "          [--poi=PATH]               POI index for kNearestPoi\n"
         "          (per-replica flags are forwarded to spawned replicas)\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
@@ -751,7 +915,7 @@ int RouterMain(int argc, char** argv) {
     for (const char* flag :
          {"verify", "workers", "max-batch", "queue-capacity",
           "cache-capacity", "deadline-ms", "rphast-max-targets",
-          "customize-threads", "slow-ms"}) {
+          "customize-threads", "slow-ms", "poi"}) {
       if (cli.Has(flag)) {
         forwarded.push_back("--" + std::string(flag) + "=" +
                             cli.GetString(flag, ""));

@@ -43,6 +43,7 @@
 #include <optional>
 #include <string>
 
+#include "apps/poi.h"
 #include "fabric/mapping.h"
 #include "fabric/serve_loop.h"
 #include "obs/sweep_profile.h"
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
         "          [--workers=N] [--max-batch=K] [--queue-capacity=N]\n"
         "          [--cache-capacity=N] [--deadline-ms=D]\n"
         "          [--rphast-max-targets=N]\n"
+        "          [--poi=PATH]  PHPOI01 bucket index enabling kNearestPoi\n"
         "          [--customize-threads=N]  threads per kSwap customization\n"
         "          [--trace-out=FILE] [--slow-ms=D] [--startup-profile]\n",
         cli.ProgramName().c_str());
@@ -165,6 +167,18 @@ int main(int argc, char** argv) {
   options.default_deadline_ms = cli.GetDouble("deadline-ms", 0.0);
   options.rphast_max_targets =
       static_cast<size_t>(cli.GetInt("rphast-max-targets", 0));
+
+  // Without an index kNearestPoi requests are rejected as invalid; the
+  // kMatrix workload needs no sidecar.
+  std::optional<PoiIndex> poi;
+  if (cli.Has("poi")) {
+    poi.emplace(ReadPoiFile(cli.GetString("poi", "")));
+    Require(poi->NumVertices() == engine.NumVertices(),
+            "POI index was built for a different snapshot");
+    options.poi = &*poi;
+    std::fprintf(stderr, "phast_serve: poi index: %u categories, %zu pois\n",
+                 poi->NumCategories(), poi->TotalPois());
+  }
 
   std::optional<server::OracleService> service;
   if (customizable) {

@@ -39,6 +39,36 @@ size_t ConsistentHashRing::PickExcluding(uint64_t key, size_t excluded) const {
   return PickFrom(key, excluded);
 }
 
+std::vector<MatrixPartition> PartitionMatrixSources(
+    const ConsistentHashRing& ring, const std::vector<uint32_t>& sources) {
+  std::vector<MatrixPartition> partitions;
+  std::vector<size_t> slot_of(ring.NumReplicas(), SIZE_MAX);
+  for (uint32_t row = 0; row < sources.size(); ++row) {
+    const size_t replica = ring.Pick(sources[row]);
+    if (slot_of[replica] == SIZE_MAX) {
+      slot_of[replica] = partitions.size();
+      partitions.push_back(MatrixPartition{replica, {}});
+    }
+    partitions[slot_of[replica]].rows.push_back(row);
+  }
+  return partitions;
+}
+
+void MergeMatrixRows(const std::vector<uint32_t>& rows, size_t cols,
+                     const std::vector<uint32_t>& sub_table,
+                     std::vector<uint32_t>& table) {
+  Require(sub_table.size() == rows.size() * cols,
+          "matrix sub-table does not match its row partition");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t dst = static_cast<size_t>(rows[i]) * cols;
+    Require(dst + cols <= table.size(),
+            "matrix row partition exceeds the client table");
+    std::copy(sub_table.begin() + static_cast<ptrdiff_t>(i * cols),
+              sub_table.begin() + static_cast<ptrdiff_t>((i + 1) * cols),
+              table.begin() + static_cast<ptrdiff_t>(dst));
+  }
+}
+
 size_t ConsistentHashRing::PickFrom(uint64_t key, size_t excluded) const {
   Require(num_alive_ > (excluded < alive_.size() && alive_[excluded] ? 1u : 0u),
           "no alive replica to route to");

@@ -52,6 +52,27 @@ class ConsistentHashRing {
   size_t num_alive_ = 0;
 };
 
+/// Row partition of a kMatrix request: the table rows (indices into the
+/// request's source list) owned by one replica, in ascending row order so
+/// the sub-request preserves the client's row order within the replica.
+struct MatrixPartition {
+  size_t replica = 0;
+  std::vector<uint32_t> rows;
+};
+
+/// Splits a matrix request's source rows across the ring by the same
+/// source-hash rule single queries use (each row lands where its source's
+/// tree cache is hot). Partitions come back ordered by first appearance;
+/// duplicate sources share a replica, not a row.
+[[nodiscard]] std::vector<MatrixPartition> PartitionMatrixSources(
+    const ConsistentHashRing& ring, const std::vector<uint32_t>& sources);
+
+/// Scatters one replica's sub-table (rows.size() x cols, row-major) back
+/// into the client's full table at the partition's row positions.
+void MergeMatrixRows(const std::vector<uint32_t>& rows, size_t cols,
+                     const std::vector<uint32_t>& sub_table,
+                     std::vector<uint32_t>& table);
+
 /// SplitMix64 — the ring's point/key hash. Public so tests and the bench
 /// can reproduce placements.
 [[nodiscard]] constexpr uint64_t HashKey(uint64_t x) {

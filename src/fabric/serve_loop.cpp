@@ -32,6 +32,9 @@ struct Slot {
   std::future<Response> future;
   uint64_t id = 0;
   VertexId source = 0;
+  /// Wire type of the request, so the response re-encodes as its match
+  /// (kQuery / kMatrix / kNearestPoi frames differ).
+  MessageType type = MessageType::kQuery;
 };
 
 struct Connection {
@@ -180,12 +183,17 @@ class FrontEnd {
     const MessageType type = server::PeekType(payload);
     Slot slot;
     slot.id = server::PeekId(payload);
-    if (type == MessageType::kQuery) {
-      server::QueryFrame query = server::DecodeQuery(payload);
+    if (type == MessageType::kQuery || type == MessageType::kMatrix ||
+        type == MessageType::kNearestPoi) {
+      server::QueryFrame query =
+          type == MessageType::kQuery     ? server::DecodeQuery(payload)
+          : type == MessageType::kMatrix  ? server::DecodeMatrixQuery(payload)
+                                          : server::DecodePoiQuery(payload);
       // The wire frame id is the request-scoped trace id, as in the
       // synchronous front end.
       query.request.trace_id = query.id;
       slot.source = query.request.source;
+      slot.type = type;
       slot.future = service_.Submit(std::move(query.request),
                                     [this] { loop_.Wake(); });
     } else if (type == MessageType::kMetrics) {
@@ -243,7 +251,8 @@ class FrontEnd {
                        server::ToString(response.status),
                        response.latency_ms);
         }
-        AppendFrame(conn, server::EncodeResponse(head.id, response));
+        AppendFrame(conn,
+                    server::EncodeResponseFor(head.type, head.id, response));
       } else {
         break;  // head still computing; later slots must wait their turn
       }

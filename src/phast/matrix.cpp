@@ -1,0 +1,107 @@
+// One-to-many distance tables — the batched application the paper's §VI
+// gestures at (arc flags, POI search) and the RPHAST follow-up makes fast:
+// M upward searches share one target-side restriction, and the batched
+// modes sweep k trees per pass so the (restricted) arc stream is read once
+// per k sources instead of once per source.
+#include "phast/matrix.h"
+
+#include <algorithm>
+
+#include "phast/batch.h"
+#include "phast/rphast.h"
+#include "util/error.h"
+
+namespace phast {
+
+const char* ToString(MatrixMode mode) {
+  switch (mode) {
+    case MatrixMode::kSingleTree: return "single-tree";
+    case MatrixMode::kBatched: return "batched";
+    case MatrixMode::kRestricted: return "restricted";
+    case MatrixMode::kRestrictedBatched: return "restricted-batched";
+  }
+  return "?";
+}
+
+std::vector<Weight> ComputeDistanceTable(const Phast& engine,
+                                         std::span<const VertexId> sources,
+                                         std::span<const VertexId> targets,
+                                         const MatrixOptions& options) {
+  if (sources.empty() || targets.empty()) return {};
+  const VertexId n = engine.NumVertices();
+  for (const VertexId s : sources) Require(s < n, "matrix source out of range");
+  for (const VertexId t : targets) Require(t < n, "matrix target out of range");
+  Require(options.trees_per_sweep >= 1,
+          "matrix trees_per_sweep must be at least 1");
+
+  const size_t rows = sources.size();
+  const size_t cols = targets.size();
+  std::vector<Weight> table(rows * cols);
+
+  switch (options.mode) {
+    case MatrixMode::kSingleTree: {
+      Phast::Workspace ws = engine.MakeWorkspace(1);
+      for (size_t i = 0; i < rows; ++i) {
+        engine.ComputeTree(sources[i], ws);
+        for (size_t j = 0; j < cols; ++j) {
+          table[i * cols + j] = engine.Distance(ws, targets[j], 0);
+        }
+      }
+      break;
+    }
+    case MatrixMode::kBatched: {
+      BatchOptions batch;
+      batch.trees_per_sweep = options.trees_per_sweep;
+      // Rows are disjoint, so the parallel visitor writes race-free.
+      ComputeManyTrees(engine, sources, batch,
+                       [&](size_t i, const Phast::Workspace& ws,
+                           uint32_t lane) {
+                         for (size_t j = 0; j < cols; ++j) {
+                           table[i * cols + j] =
+                               engine.Distance(ws, targets[j], lane);
+                         }
+                       });
+      break;
+    }
+    case MatrixMode::kRestricted: {
+      const RPhast rphast(engine, targets);
+      RPhast::Workspace ws = rphast.MakeWorkspace();
+      for (size_t i = 0; i < rows; ++i) {
+        rphast.ComputeTree(sources[i], ws);
+        for (size_t j = 0; j < cols; ++j) {
+          table[i * cols + j] = rphast.DistanceToTarget(ws, j);
+        }
+      }
+      break;
+    }
+    case MatrixMode::kRestrictedBatched: {
+      const RPhast rphast(engine, targets);
+      const uint32_t k = options.trees_per_sweep;
+      RPhast::BatchWorkspace ws = rphast.MakeBatchWorkspace(k);
+      std::vector<VertexId> lane_sources(k);
+      for (size_t base = 0; base < rows; base += k) {
+        const size_t lanes = std::min<size_t>(k, rows - base);
+        for (size_t l = 0; l < lanes; ++l) {
+          lane_sources[l] = sources[base + l];
+        }
+        // Pad the tail chunk with its last source; padded lanes are
+        // computed and discarded — k stays fixed so the kernel choice
+        // (and therefore the arithmetic) never changes mid-table.
+        for (size_t l = lanes; l < k; ++l) {
+          lane_sources[l] = lane_sources[lanes - 1];
+        }
+        rphast.ComputeTrees(lane_sources, ws);
+        for (size_t l = 0; l < lanes; ++l) {
+          for (size_t j = 0; j < cols; ++j) {
+            table[(base + l) * cols + j] =
+                rphast.DistanceToTarget(ws, j, static_cast<uint32_t>(l));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return table;
+}
+
+}  // namespace phast

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "phast/phast.h"
+
+namespace phast {
+
+/// How ComputeDistanceTable runs its M source trees. All modes produce
+/// bit-identical tables; they trade restriction cost against sweep width.
+enum class MatrixMode : uint8_t {
+  kSingleTree,         // one full sweep per source
+  kBatched,            // k-strided full sweeps (ComputeManyTrees)
+  kRestricted,         // RPHAST restriction, one restricted sweep per source
+  kRestrictedBatched,  // RPHAST restriction, k-strided restricted sweeps
+};
+
+const char* ToString(MatrixMode mode);
+
+struct MatrixOptions {
+  MatrixMode mode = MatrixMode::kRestrictedBatched;
+  /// Trees per sweep for the batched modes (multiples of 8 keep AVX2
+  /// eligible, multiples of 4 SSE; anything else sweeps scalar).
+  uint32_t trees_per_sweep = 8;
+};
+
+/// Computes the M x N one-to-many distance table, row-major:
+/// table[i * targets.size() + j] = dist(sources[i], targets[j]).
+/// Returns an empty vector when either side is empty. Duplicate sources
+/// and targets are allowed and simply repeat their rows/columns. The
+/// restricted modes require a level-ordered engine with implicit
+/// initialization (the defaults) — the same precondition as RPhast.
+std::vector<Weight> ComputeDistanceTable(const Phast& engine,
+                                         std::span<const VertexId> sources,
+                                         std::span<const VertexId> targets,
+                                         const MatrixOptions& options = {});
+
+}  // namespace phast

@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "phast/kernels.h"
 #include "util/bit_vector.h"
 #include "util/error.h"
 
 namespace phast {
+
+// The k-wide path reinterprets the restricted arc array as DownArc[] so the
+// engine's sweep kernels can stream it; the layouts must stay in lockstep.
+static_assert(sizeof(RPhast::RestrictedArc) == sizeof(DownArc) &&
+                  std::is_trivially_copyable_v<RPhast::RestrictedArc>,
+              "RestrictedArc must mirror DownArc's layout for kernel reuse");
 
 RPhast::RPhast(const Phast& engine, std::span<const VertexId> targets)
     : engine_(engine) {
@@ -94,6 +101,47 @@ void RPhast::ComputeTree(VertexId source, Workspace& ws) const {
     }
     ws.labels[slot] = d;
   }
+}
+
+void RPhast::ComputeTrees(std::span<const VertexId> sources,
+                          BatchWorkspace& ws) const {
+  const uint32_t k = ws.k_;
+  Require(sources.size() == k, "ComputeTrees: sources must match workspace k");
+
+  // Phase one: one batched upward search over the full graph.
+  engine_.RunUpwardPhase(sources, ws.full);
+
+  // Scatter upward labels into the k-strided restricted array. Explicit
+  // initialization keeps the kernel invocation mark-free.
+  std::fill(ws.labels.begin(), ws.labels.end(), kInfWeight);
+  const std::span<const Weight> full_labels = engine_.RawLabels(ws.full);
+  for (const VertexId v : engine_.VisitedLabelVertices(ws.full)) {
+    const uint32_t slot = position_of_[v];
+    if (slot == kNotRestricted) continue;
+    const size_t src = static_cast<size_t>(v) * k;
+    const size_t dst = static_cast<size_t>(slot) * k;
+    for (uint32_t tree = 0; tree < k; ++tree) {
+      ws.labels[dst + tree] = full_labels[src + tree];
+    }
+  }
+  engine_.FinishExternalSweep(ws.full);
+
+  // Phase two: the restricted arrays already form a sweep topology (arc
+  // tails at strictly earlier slots, order == identity), so hand them to
+  // the same kernel the full engine would use at this k.
+  SweepArgs args;
+  args.down_first = first_.data();
+  args.down_arcs = reinterpret_cast<const DownArc*>(arcs_.data());
+  args.order = nullptr;
+  args.num_vertices = static_cast<VertexId>(order_.size());
+  args.k = k;
+  args.labels = ws.labels.data();
+  args.marks = nullptr;
+  args.parents = nullptr;
+  const SweepKernelFn kernel = SelectSweepKernel(
+      engine_.GetOptions().simd, k, /*want_parents=*/false,
+      /*use_marks=*/false);
+  kernel(args, 0, args.num_vertices);
 }
 
 }  // namespace phast

@@ -44,14 +44,54 @@ class RPhast {
     return Workspace(engine_, order_.size());
   }
 
+  /// Per-batch state for k-wide restricted sweeps: a k-tree full workspace
+  /// for the upward searches plus k-strided restricted labels
+  /// (labels[slot * k + tree], same stride convention as the full engine).
+  class BatchWorkspace {
+   public:
+    BatchWorkspace(const Phast& engine, size_t restricted_size, uint32_t k)
+        : k_(k),
+          full(engine.MakeWorkspace(k)),
+          labels(restricted_size * k, kInfWeight) {}
+
+    [[nodiscard]] uint32_t NumTrees() const { return k_; }
+
+   private:
+    friend class RPhast;
+    uint32_t k_;
+    Phast::Workspace full;
+    AlignedVector<Weight> labels;  // restricted position * k + tree
+  };
+
+  [[nodiscard]] BatchWorkspace MakeBatchWorkspace(uint32_t k) const {
+    return BatchWorkspace(engine_, order_.size(), k);
+  }
+
   /// Computes distances from `source` to every vertex of the restricted
   /// subgraph (in particular to all targets).
   void ComputeTree(VertexId source, Workspace& ws) const;
+
+  /// Computes sources.size() trees in one pass: a batched upward search
+  /// followed by a single k-strided sweep over the restricted arrays. The
+  /// restricted topology is a valid SweepArgs graph of its own, so the
+  /// engine's SIMD kernels run unchanged here (SSE for k % 4 == 0, AVX2
+  /// for k % 8 == 0); results are bit-identical to per-source ComputeTree.
+  /// sources.size() must equal ws.NumTrees().
+  void ComputeTrees(std::span<const VertexId> sources,
+                    BatchWorkspace& ws) const;
 
   /// Distance to targets[target_index] after ComputeTree.
   [[nodiscard]] Weight DistanceToTarget(const Workspace& ws,
                                         size_t target_index) const {
     return ws.labels[target_slot_[target_index]];
+  }
+
+  /// Distance from sources[tree] to targets[target_index] after ComputeTrees.
+  [[nodiscard]] Weight DistanceToTarget(const BatchWorkspace& ws,
+                                        size_t target_index,
+                                        uint32_t tree) const {
+    return ws.labels[static_cast<size_t>(target_slot_[target_index]) * ws.k_ +
+                     tree];
   }
 
   [[nodiscard]] size_t NumTargets() const { return target_slot_.size(); }
@@ -60,12 +100,15 @@ class RPhast {
   [[nodiscard]] size_t RestrictedVertices() const { return order_.size(); }
   [[nodiscard]] size_t RestrictedArcs() const { return arcs_.size(); }
 
- private:
+  /// One compacted downward arc of the restricted subgraph. Public only so
+  /// the implementation can static_assert layout compatibility with DownArc
+  /// (the k-wide sweep feeds these arrays to the shared SIMD kernels).
   struct RestrictedArc {
     uint32_t tail;  // restricted position of the tail
     Weight weight;
   };
 
+ private:
   const Phast& engine_;
   /// Restricted position -> label-space vertex id (ascending sweep order).
   std::vector<VertexId> order_;

@@ -1,18 +1,29 @@
 // phast_loadgen — seeded workload driver for phast_serve.
 //
 // Connects C client threads to a running daemon, fires a Zipf-or-uniform
-// mix of full-tree and target-list queries with bounded pipelining, and
-// reports achieved throughput plus client-side latency percentiles as a
-// JSON summary on stdout. Optionally:
+// request stream with bounded pipelining, and reports achieved throughput
+// plus client-side latency percentiles as a JSON summary on stdout.
+// --scenario picks the workload mix: a comma-separated subset of
+//   tree    single-source queries (full tree or target list; the default)
+//   matrix  kMatrix M x N distance tables (protocol v2)
+//   knn     kNearestPoi queries (protocol v2; needs --poi=PATH so the
+//           client knows the category domain and can verify)
+// Each request draws its kind uniformly from the listed scenarios.
+// Optionally:
 //
 //   --verify-sample=K   re-check K responses per thread against Dijkstra on
-//                       the graph embedded in the snapshot (--snapshot=...)
+//                       the graph embedded in the snapshot (--snapshot=...).
+//                       Matrix tables are checked cell-by-cell (one Dijkstra
+//                       per row), k-nearest-POI result sets against a
+//                       brute-force scan of the category bucket.
 //   --check-metrics     fetch /metrics afterwards and assert the accounting
 //                       identity admitted == completed + shed
 //   --shutdown          send a shutdown frame when done
 //
 //   phast_loadgen --socket=/tmp/phast.sock --requests=1000 --clients=4
 //                 --snapshot=country.snap --verify-sample=32 --check-metrics
+//   phast_loadgen --socket=... --scenario=matrix,knn --poi=country.poi
+//                 --snapshot=country.snap --verify-sample=64
 //
 // Exit code 0 = all requests answered and all checks passed, 1 = a
 // verification or metrics check failed, 2 = usage error.
@@ -24,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/poi.h"
 #include "dijkstra/dijkstra.h"
 #include "pq/dary_heap.h"
 #include "server/metrics.h"
@@ -150,9 +162,9 @@ HistogramSnapshot ParseHistogram(const std::string& text,
   return snap;
 }
 
-/// Checks one response against a fresh Dijkstra tree on the oracle graph.
-bool VerifyResponse(const Graph& graph, const Request& request,
-                    const Response& response) {
+/// Checks one kTree response against a fresh Dijkstra tree.
+bool VerifyTreeResponse(const Graph& graph, const Request& request,
+                        const Response& response) {
   const SsspResult ref = Dijkstra<BinaryHeap>(graph, request.source);
   if (request.targets.empty()) {
     if (response.distances.size() != ref.dist.size()) return false;
@@ -166,11 +178,74 @@ bool VerifyResponse(const Graph& graph, const Request& request,
   return true;
 }
 
+/// Checks one kMatrix table cell-by-cell: one Dijkstra per row source.
+bool VerifyMatrixResponse(const Graph& graph, const Request& request,
+                          const Response& response) {
+  const size_t rows = request.sources.size();
+  const size_t cols = request.targets.size();
+  if (response.rows != rows || response.cols != cols) return false;
+  if (response.distances.size() != rows * cols) return false;
+  for (size_t r = 0; r < rows; ++r) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph, request.sources[r]);
+    for (size_t c = 0; c < cols; ++c) {
+      if (response.distances[r * cols + c] !=
+          ref.dist[request.targets[c]]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Checks one kNearestPoi result set against a brute-force scan of the
+/// category bucket under a fresh Dijkstra tree: same (dist, vertex id)
+/// order, unreachable POIs dropped, at most k results.
+bool VerifyPoiResponse(const Graph& graph, const PoiIndex& poi,
+                       const Request& request, const Response& response) {
+  const SsspResult ref = Dijkstra<BinaryHeap>(graph, request.source);
+  std::vector<PoiResult> expected;
+  for (const VertexId v : poi.Bucket(request.poi_category)) {
+    if (ref.dist[v] == kInfWeight) continue;
+    expected.push_back(PoiResult{ref.dist[v], v});
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const PoiResult& a, const PoiResult& b) {
+              return a.dist != b.dist ? a.dist < b.dist : a.vertex < b.vertex;
+            });
+  if (expected.size() > request.poi_k) expected.resize(request.poi_k);
+  if (response.poi_vertices.size() != expected.size() ||
+      response.distances.size() != expected.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (response.poi_vertices[i] != expected[i].vertex ||
+        response.distances[i] != expected[i].dist) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VerifyResponse(const Graph& graph, const PoiIndex* poi,
+                    const Request& request, const Response& response) {
+  switch (request.kind) {
+    case RequestKind::kMatrix:
+      return VerifyMatrixResponse(graph, request, response);
+    case RequestKind::kNearestPoi:
+      return poi != nullptr &&
+             VerifyPoiResponse(graph, *poi, request, response);
+    case RequestKind::kTree:
+      break;
+  }
+  return VerifyTreeResponse(graph, request, response);
+}
+
 void RunClient(const std::string& socket_path, uint64_t requests,
-               uint32_t window, const WorkloadOptions& wl, uint32_t n,
+               uint32_t window, const WorkloadOptions& wl,
+               const std::vector<RequestKind>& scenario, uint32_t n,
                const std::vector<VertexId>& rank_to_vertex,
-               const Graph* oracle_graph, uint64_t verify_sample,
-               ThreadReport& report) {
+               const Graph* oracle_graph, const PoiIndex* poi,
+               uint64_t verify_sample, ThreadReport& report) {
   Client client(ConnectUnix(socket_path));
   Rng rng(wl.seed);
   const ZipfSampler zipf(n, wl.zipf_skew);
@@ -185,7 +260,15 @@ void RunClient(const std::string& socket_path, uint64_t requests,
   uint64_t received = 0;
   while (received < requests) {
     while (sent < requests && sent - received < window) {
-      Request request = DrawRequest(wl, zipf, rank_to_vertex, rng);
+      const RequestKind kind =
+          scenario[rng.NextBounded(static_cast<uint32_t>(scenario.size()))];
+      Request request =
+          kind == RequestKind::kMatrix
+              ? DrawMatrixRequest(wl, zipf, rank_to_vertex, rng)
+          : kind == RequestKind::kNearestPoi
+              ? DrawPoiRequest(wl, zipf, rank_to_vertex,
+                               poi->NumCategories(), rng)
+              : DrawRequest(wl, zipf, rank_to_vertex, rng);
       client.SendQuery(request);
       in_flight.push_back(std::move(request));
       ++sent;
@@ -203,7 +286,7 @@ void RunClient(const std::string& socket_path, uint64_t requests,
         if (oracle_graph != nullptr && verify_every > 0 &&
             received % verify_every == 0) {
           ++report.verified;
-          if (!VerifyResponse(*oracle_graph, request, response)) {
+          if (!VerifyResponse(*oracle_graph, poi, request, response)) {
             ++report.mismatches;
           }
         }
@@ -229,7 +312,9 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s --socket=SOCKPATH [--requests=N] [--clients=C]\n"
         "          [--window=W] [--seed=S] [--zipf-skew=Z]\n"
+        "          [--scenario=tree,matrix,knn]  workload mix (default tree)\n"
         "          [--full-tree-fraction=F] [--max-targets=T]\n"
+        "          [--matrix-max-dim=M] [--poi=PATH] [--poi-max-k=K]\n"
         "          [--snapshot=PATH --verify-sample=K] [--check-metrics]\n"
         "          [--shutdown]\n",
         cli.ProgramName().c_str());
@@ -249,6 +334,45 @@ int main(int argc, char** argv) {
   wl.zipf_skew = cli.GetDouble("zipf-skew", 0.99);
   wl.full_tree_fraction = cli.GetDouble("full-tree-fraction", 0.1);
   wl.max_targets = static_cast<uint32_t>(cli.GetInt("max-targets", 16));
+  wl.matrix_max_dim = static_cast<uint32_t>(cli.GetInt("matrix-max-dim", 8));
+  wl.poi_max_k = static_cast<uint32_t>(cli.GetInt("poi-max-k", 8));
+
+  std::vector<RequestKind> scenario;
+  {
+    std::string spec = cli.GetString("scenario", "tree");
+    size_t start = 0;
+    while (start <= spec.size()) {
+      size_t comma = spec.find(',', start);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string name = spec.substr(start, comma - start);
+      if (name == "tree") {
+        scenario.push_back(RequestKind::kTree);
+      } else if (name == "matrix") {
+        scenario.push_back(RequestKind::kMatrix);
+      } else if (name == "knn") {
+        scenario.push_back(RequestKind::kNearestPoi);
+      } else if (!name.empty()) {
+        std::fprintf(stderr, "unknown --scenario part: %s\n", name.c_str());
+        return 2;
+      }
+      start = comma + 1;
+    }
+    if (scenario.empty()) {
+      std::fprintf(stderr, "--scenario lists no workloads\n");
+      return 2;
+    }
+  }
+  const bool wants_knn =
+      std::find(scenario.begin(), scenario.end(), RequestKind::kNearestPoi) !=
+      scenario.end();
+  std::unique_ptr<PoiIndex> poi;
+  if (wants_knn) {
+    if (!cli.Has("poi")) {
+      std::fprintf(stderr, "--scenario=knn needs --poi=PATH\n");
+      return 2;
+    }
+    poi = std::make_unique<PoiIndex>(ReadPoiFile(cli.GetString("poi", "")));
+  }
 
   // The oracle graph (for --verify-sample) rides inside the snapshot, so
   // the loadgen checks the very artifact the server is serving from.
@@ -287,9 +411,9 @@ int main(int argc, char** argv) {
       WorkloadOptions thread_wl = wl;
       thread_wl.seed = wl.seed * 0x9E3779B9ULL + c + 1;  // per-thread stream
       threads.emplace_back([&, c, thread_wl] {
-        RunClient(socket_path, per_client, window, thread_wl, domain,
-                  rank_to_vertex,
-                  snapshot ? &snapshot->graph : nullptr,
+        RunClient(socket_path, per_client, window, thread_wl, scenario,
+                  domain, rank_to_vertex,
+                  snapshot ? &snapshot->graph : nullptr, poi.get(),
                   verify_sample, reports[c]);
       });
     }

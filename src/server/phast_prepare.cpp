@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "apps/poi.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "phast/phast.h"
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
         "          [--customizable]  build a witness-free CH and embed it so\n"
         "                            phast_serve can re-customize and hot-swap\n"
         "          [--format=phsnap01|phsnap02]  on-disk format (default\n"
-        "                            phsnap02: page-aligned, mmap-able)\n",
+        "                            phsnap02: page-aligned, mmap-able)\n"
+        "          [--poi=PATH]  also write a PHPOI01 POI bucket sidecar\n"
+        "          [--poi-categories=C --poi-per-category=P --poi-seed=S]\n",
         cli.ProgramName().c_str());
     return cli.Has("help") ? 0 : 2;
   }
@@ -106,5 +109,22 @@ int main(int argc, char** argv) {
   server::WriteSnapshotFile(snapshot, out, format);
   std::printf("%s snapshot written to %s in %.1f ms\n", format_name.c_str(),
               out.c_str(), total.ElapsedMs());
+
+  // The POI sidecar indexes *snapshot* vertex ids, so it is generated after
+  // preparation (the prepared network relabels the input graph).
+  if (cli.Has("poi")) {
+    const uint32_t categories =
+        static_cast<uint32_t>(cli.GetInt("poi-categories", 4));
+    const uint32_t per_category =
+        static_cast<uint32_t>(cli.GetInt("poi-per-category", 32));
+    const uint64_t poi_seed =
+        static_cast<uint64_t>(cli.GetInt("poi-seed", 1));
+    const PoiIndex poi = PoiIndex::GenerateRandom(
+        prepared.NumVertices(), categories, per_category, poi_seed);
+    const std::string poi_path = cli.GetString("poi", "");
+    WritePoiFile(poi_path, poi);
+    std::printf("poi index written to %s (%u categories, %zu pois)\n",
+                poi_path.c_str(), poi.NumCategories(), poi.TotalPois());
+  }
   return 0;
 }

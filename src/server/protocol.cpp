@@ -141,7 +141,7 @@ MessageType PeekType(std::span<const uint8_t> payload) {
   Require(!payload.empty(), "empty protocol payload");
   const uint8_t type = payload[0];
   Require(type >= static_cast<uint8_t>(MessageType::kQuery) &&
-              type <= static_cast<uint8_t>(MessageType::kEpoch),
+              type <= static_cast<uint8_t>(MessageType::kNearestPoi),
           "unknown protocol message type");
   return static_cast<MessageType>(type);
 }
@@ -222,6 +222,200 @@ ResponseFrame DecodeResponse(std::span<const uint8_t> payload) {
   }
   r.ExpectEnd();
   return frame;
+}
+
+namespace {
+
+void RequireVersion(uint8_t version) {
+  Require(version == kProtocolVersion,
+          "unsupported workload-frame protocol version");
+}
+
+/// Reads a u32 array whose length was already validated against
+/// Remaining() by the caller's arithmetic.
+void ReadU32Array(ByteReader& r, std::vector<uint32_t>& out, size_t count) {
+  out.resize(count);
+  if (count > 0) {
+    std::memcpy(out.data(), r.Raw(count * sizeof(uint32_t)),
+                count * sizeof(uint32_t));
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMatrixQuery(uint64_t id, const Request& request) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kMatrix));
+  w.U64(id);
+  w.U8(kProtocolVersion);
+  w.F64(request.deadline_ms);
+  w.U32(static_cast<uint32_t>(request.sources.size()));
+  w.U32(static_cast<uint32_t>(request.targets.size()));
+  w.Bytes(request.sources.data(), request.sources.size() * sizeof(VertexId));
+  w.Bytes(request.targets.data(), request.targets.size() * sizeof(VertexId));
+  return w.Take();
+}
+
+QueryFrame DecodeMatrixQuery(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kMatrix),
+          "expected a matrix query payload");
+  QueryFrame frame;
+  frame.request.kind = RequestKind::kMatrix;
+  frame.id = r.U64();
+  RequireVersion(r.U8());
+  frame.request.deadline_ms = r.F64();
+  const uint32_t num_sources = r.U32();
+  const uint32_t num_targets = r.U32();
+  Require(num_sources > 0 && num_sources <= kMaxMatrixDim &&
+              num_targets > 0 && num_targets <= kMaxMatrixDim,
+          "matrix dimension out of range");
+  Require(static_cast<uint64_t>(num_sources) * num_targets <= kMaxMatrixCells,
+          "matrix cell count exceeds the protocol limit");
+  Require(r.Remaining() == (static_cast<size_t>(num_sources) + num_targets) *
+                               sizeof(VertexId),
+          "matrix dimensions disagree with payload size");
+  ReadU32Array(r, frame.request.sources, num_sources);
+  ReadU32Array(r, frame.request.targets, num_targets);
+  r.ExpectEnd();
+  return frame;
+}
+
+std::vector<uint8_t> EncodeMatrixResponse(uint64_t id,
+                                          const Response& response) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kMatrix));
+  w.U64(id);
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(response.status));
+  w.F64(response.latency_ms);
+  w.U64(response.epoch);
+  w.U32(response.rows);
+  w.U32(response.cols);
+  w.Bytes(response.distances.data(),
+          response.distances.size() * sizeof(Weight));
+  return w.Take();
+}
+
+ResponseFrame DecodeMatrixResponse(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kMatrix),
+          "expected a matrix response payload");
+  ResponseFrame frame;
+  frame.id = r.U64();
+  RequireVersion(r.U8());
+  const uint8_t status = r.U8();
+  Require(status <= static_cast<uint8_t>(ResponseStatus::kInvalidRequest),
+          "unknown response status");
+  frame.response.status = static_cast<ResponseStatus>(status);
+  frame.response.latency_ms = r.F64();
+  frame.response.epoch = r.U64();
+  frame.response.rows = r.U32();
+  frame.response.cols = r.U32();
+  const uint64_t cells =
+      static_cast<uint64_t>(frame.response.rows) * frame.response.cols;
+  Require(cells <= kMaxMatrixCells,
+          "matrix cell count exceeds the protocol limit");
+  // Sheds answer with an empty table; otherwise the shape must match.
+  Require(r.Remaining() == cells * sizeof(Weight) || r.Remaining() == 0,
+          "matrix shape disagrees with payload size");
+  ReadU32Array(r, frame.response.distances,
+               r.Remaining() / sizeof(Weight));
+  r.ExpectEnd();
+  return frame;
+}
+
+std::vector<uint8_t> EncodePoiQuery(uint64_t id, const Request& request) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kNearestPoi));
+  w.U64(id);
+  w.U8(kProtocolVersion);
+  w.F64(request.deadline_ms);
+  w.U32(request.source);
+  w.U32(request.poi_category);
+  w.U32(request.poi_k);
+  return w.Take();
+}
+
+QueryFrame DecodePoiQuery(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kNearestPoi),
+          "expected a k-nearest-POI query payload");
+  QueryFrame frame;
+  frame.request.kind = RequestKind::kNearestPoi;
+  frame.id = r.U64();
+  RequireVersion(r.U8());
+  frame.request.deadline_ms = r.F64();
+  frame.request.source = r.U32();
+  frame.request.poi_category = r.U32();
+  frame.request.poi_k = r.U32();
+  r.ExpectEnd();
+  return frame;
+}
+
+std::vector<uint8_t> EncodePoiResponse(uint64_t id, const Response& response) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(MessageType::kNearestPoi));
+  w.U64(id);
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(response.status));
+  w.F64(response.latency_ms);
+  w.U64(response.epoch);
+  w.U32(static_cast<uint32_t>(response.poi_vertices.size()));
+  for (size_t i = 0; i < response.poi_vertices.size(); ++i) {
+    w.U32(response.poi_vertices[i]);
+    w.U32(response.distances[i]);
+  }
+  return w.Take();
+}
+
+ResponseFrame DecodePoiResponse(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  Require(r.U8() == static_cast<uint8_t>(MessageType::kNearestPoi),
+          "expected a k-nearest-POI response payload");
+  ResponseFrame frame;
+  frame.id = r.U64();
+  RequireVersion(r.U8());
+  const uint8_t status = r.U8();
+  Require(status <= static_cast<uint8_t>(ResponseStatus::kInvalidRequest),
+          "unknown response status");
+  frame.response.status = static_cast<ResponseStatus>(status);
+  frame.response.latency_ms = r.F64();
+  frame.response.epoch = r.U64();
+  const uint32_t count = r.U32();
+  Require(r.Remaining() == static_cast<size_t>(count) * 2 * sizeof(uint32_t),
+          "POI result count disagrees with payload size");
+  frame.response.poi_vertices.resize(count);
+  frame.response.distances.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    frame.response.poi_vertices[i] = r.U32();
+    frame.response.distances[i] = r.U32();
+  }
+  r.ExpectEnd();
+  return frame;
+}
+
+std::vector<uint8_t> EncodeResponseFor(MessageType type, uint64_t id,
+                                       const Response& response) {
+  switch (type) {
+    case MessageType::kMatrix:
+      return EncodeMatrixResponse(id, response);
+    case MessageType::kNearestPoi:
+      return EncodePoiResponse(id, response);
+    default:
+      return EncodeResponse(id, response);
+  }
+}
+
+ResponseFrame DecodeAnyResponse(std::span<const uint8_t> payload) {
+  switch (PeekType(payload)) {
+    case MessageType::kMatrix:
+      return DecodeMatrixResponse(payload);
+    case MessageType::kNearestPoi:
+      return DecodePoiResponse(payload);
+    default:
+      return DecodeResponse(payload);
+  }
 }
 
 std::vector<uint8_t> EncodeControl(MessageType type, uint64_t id) {
@@ -353,12 +547,14 @@ namespace {
 
 /// One frame awaiting the writer: either pre-encoded bytes (control
 /// responses) or a pending query future to resolve and encode. `source` is
-/// kept for the slow-request log (the response does not echo it).
+/// kept for the slow-request log (the response does not echo it); `type`
+/// picks the response encoding (kQuery/kMatrix/kNearestPoi).
 struct Outgoing {
   std::vector<uint8_t> ready;
   std::future<Response> future;
   uint64_t id = 0;
   VertexId source = 0;
+  MessageType type = MessageType::kQuery;
 };
 
 }  // namespace
@@ -390,7 +586,7 @@ bool ServeConnection(int in_fd, int out_fd, OracleService& service,
                          item->source, ToString(response.status),
                          response.latency_ms);
           }
-          WriteFrame(out_fd, EncodeResponse(item->id, response));
+          WriteFrame(out_fd, EncodeResponseFor(item->type, item->id, response));
         } else {
           WriteFrame(out_fd, item->ready);
         }
@@ -410,12 +606,17 @@ bool ServeConnection(int in_fd, int out_fd, OracleService& service,
       const MessageType type = PeekType(payload);
       Outgoing out;
       out.id = PeekId(payload);
-      if (type == MessageType::kQuery) {
-        QueryFrame query = DecodeQuery(payload);
+      if (type == MessageType::kQuery || type == MessageType::kMatrix ||
+          type == MessageType::kNearestPoi) {
+        QueryFrame query = type == MessageType::kQuery ? DecodeQuery(payload)
+                           : type == MessageType::kMatrix
+                               ? DecodeMatrixQuery(payload)
+                               : DecodePoiQuery(payload);
         // The wire frame id is the request-scoped trace id — no extra wire
         // field, and the client already correlates by it.
         query.request.trace_id = query.id;
         out.source = query.request.source;
+        out.type = type;
         out.future = service.Submit(std::move(query.request));
       } else if (type == MessageType::kMetrics) {
         out.ready = EncodeMetricsText(out.id, metrics.RenderPrometheus());
@@ -460,13 +661,23 @@ Client::~Client() {
 
 uint64_t Client::SendQuery(const Request& request) {
   const uint64_t id = next_id_++;
-  WriteFrame(fd_, EncodeQuery(id, request));
+  switch (request.kind) {
+    case RequestKind::kMatrix:
+      WriteFrame(fd_, EncodeMatrixQuery(id, request));
+      break;
+    case RequestKind::kNearestPoi:
+      WriteFrame(fd_, EncodePoiQuery(id, request));
+      break;
+    case RequestKind::kTree:
+      WriteFrame(fd_, EncodeQuery(id, request));
+      break;
+  }
   return id;
 }
 
 ResponseFrame Client::ReceiveResponse() {
   Require(ReadFrame(fd_, scratch_), "server closed the connection");
-  return DecodeResponse(scratch_);
+  return DecodeAnyResponse(scratch_);
 }
 
 Response Client::Call(const Request& request) {

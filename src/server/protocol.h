@@ -30,6 +30,15 @@ namespace phast::server {
 ///   kSwap:     u8 type, u64 request id — customize the hierarchy to the
 ///              pending overlay and hot-swap the serving snapshot.
 ///   kEpoch:    u8 type, u64 request id — asks for the serving epoch.
+///   kMatrix:   u8 type, u64 request id, u8 version (kProtocolVersion),
+///              f64 deadline_ms, u32 num_sources, u32 num_targets,
+///              u32 sources[num_sources], u32 targets[num_targets] — the
+///              M x N one-to-many distance table. Both dimensions must be
+///              in (0, kMaxMatrixDim] and their product at most
+///              kMaxMatrixCells.
+///   kNearestPoi: u8 type, u64 request id, u8 version, f64 deadline_ms,
+///              u32 source, u32 category, u32 k — the k POIs of `category`
+///              nearest to `source`.
 ///
 /// Server -> client payloads:
 ///   kQuery:    u8 type, u64 request id, u8 status (ResponseStatus),
@@ -42,6 +51,17 @@ namespace phast::server {
 ///              queued update.
 ///   kSwap:     u8 type, u64 request id, u64 new epoch.
 ///   kEpoch:    u8 type, u64 request id, u64 current epoch.
+///   kMatrix:   u8 type, u64 request id, u8 version, u8 status,
+///              f64 latency_ms, u64 epoch, u32 rows, u32 cols,
+///              u32 distances[rows * cols] (row-major; empty on shed).
+///   kNearestPoi: u8 type, u64 request id, u8 version, u8 status,
+///              f64 latency_ms, u64 epoch, u32 count, then count x
+///              {u32 vertex, u32 dist} ordered by (dist, vertex id).
+///
+/// Versioning: the v2 workload frames (kMatrix, kNearestPoi) carry an
+/// explicit version byte *after* the request id — every frame keeps the id
+/// at byte offset 1, which the router's id-rewrite relies on — and both
+/// sides reject a version they do not speak. The v1 frames are unchanged.
 ///
 /// The metric-mutation messages require the server to run with a snapshot
 /// manager (phast_serve on a --customizable snapshot); otherwise they are
@@ -57,9 +77,18 @@ enum class MessageType : uint8_t {
   kUpdateWeights = 4,
   kSwap = 5,
   kEpoch = 6,
+  kMatrix = 7,
+  kNearestPoi = 8,
 };
 
 inline constexpr uint32_t kMaxFrameBytes = 1u << 30;
+/// Version stamped into (and required of) the v2 workload frames.
+inline constexpr uint8_t kProtocolVersion = 2;
+/// Caps a kMatrix request's source/target list lengths and the response
+/// table's cell count (16 MiB of distances) — oversized requests are
+/// rejected at decode, before any allocation.
+inline constexpr uint32_t kMaxMatrixDim = 4096;
+inline constexpr uint64_t kMaxMatrixCells = 1ull << 22;
 
 // --- framing over a POSIX fd ----------------------------------------------
 
@@ -90,6 +119,34 @@ struct ResponseFrame {
 [[nodiscard]] std::vector<uint8_t> EncodeResponse(uint64_t id,
                                                   const Response& response);
 [[nodiscard]] ResponseFrame DecodeResponse(std::span<const uint8_t> payload);
+
+// v2 workload frames. The decoders validate the version byte and the
+// kMaxMatrixDim/kMaxMatrixCells limits and set Request/Response kind
+// context implicitly (DecodeMatrixQuery yields RequestKind::kMatrix, ...).
+[[nodiscard]] std::vector<uint8_t> EncodeMatrixQuery(uint64_t id,
+                                                     const Request& request);
+[[nodiscard]] QueryFrame DecodeMatrixQuery(std::span<const uint8_t> payload);
+[[nodiscard]] std::vector<uint8_t> EncodeMatrixResponse(
+    uint64_t id, const Response& response);
+[[nodiscard]] ResponseFrame DecodeMatrixResponse(
+    std::span<const uint8_t> payload);
+
+[[nodiscard]] std::vector<uint8_t> EncodePoiQuery(uint64_t id,
+                                                  const Request& request);
+[[nodiscard]] QueryFrame DecodePoiQuery(std::span<const uint8_t> payload);
+[[nodiscard]] std::vector<uint8_t> EncodePoiResponse(uint64_t id,
+                                                     const Response& response);
+[[nodiscard]] ResponseFrame DecodePoiResponse(std::span<const uint8_t> payload);
+
+/// Encodes `response` as the response frame matching a request of wire
+/// type `type` (kQuery/kMatrix/kNearestPoi) — the dispatch every response
+/// writer (ServeConnection, the epoll front end) shares.
+[[nodiscard]] std::vector<uint8_t> EncodeResponseFor(MessageType type,
+                                                     uint64_t id,
+                                                     const Response& response);
+
+/// Decodes a response frame of any query kind (dispatches on PeekType).
+[[nodiscard]] ResponseFrame DecodeAnyResponse(std::span<const uint8_t> payload);
 
 [[nodiscard]] std::vector<uint8_t> EncodeControl(MessageType type,
                                                  uint64_t id);
@@ -158,11 +215,12 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Sends a query; returns its request id.
+  /// Sends a query, encoding the frame matching request.kind (kQuery,
+  /// kMatrix, or kNearestPoi); returns its request id.
   uint64_t SendQuery(const Request& request);
-  /// Receives the next response frame of any query.
+  /// Receives the next response frame of any query kind.
   [[nodiscard]] ResponseFrame ReceiveResponse();
-  /// Round-trip convenience: one query, one response.
+  /// Round-trip convenience: one query, one response (any kind).
   [[nodiscard]] Response Call(const Request& request);
 
   [[nodiscard]] std::string FetchMetrics();

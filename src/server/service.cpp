@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "phast/matrix.h"
 #include "phast/rphast.h"
 #include "util/error.h"
 
@@ -133,6 +134,12 @@ OracleService::OracleService(const Phast* engine, SnapshotManager* manager,
       rphast_batches_(
           metrics.GetCounter("phast_server_rphast_batches_total",
                              "Batches run with the restricted (RPHAST) sweep")),
+      matrix_requests_(
+          metrics.GetCounter("phast_server_matrix_requests_total",
+                             "kMatrix distance-table requests admitted")),
+      poi_requests_(
+          metrics.GetCounter("phast_server_poi_requests_total",
+                             "kNearestPoi requests admitted")),
       queue_depth_(metrics.GetGauge("phast_server_queue_depth",
                                     "Requests waiting in the admission queue")),
       cached_trees_(metrics.GetGauge("phast_server_cached_trees",
@@ -164,6 +171,11 @@ OracleService::~OracleService() { Stop(); }
 std::future<Response> OracleService::Submit(Request request,
                                             std::function<void()> on_done) {
   admitted_.Inc();
+  if (request.kind == RequestKind::kMatrix) {
+    matrix_requests_.Inc();
+  } else if (request.kind == RequestKind::kNearestPoi) {
+    poi_requests_.Inc();
+  }
   Job job;
   job.on_done = std::move(on_done);
   job.deadline_ms = request.deadline_ms < 0.0 ? options_.default_deadline_ms
@@ -172,12 +184,30 @@ std::future<Response> OracleService::Submit(Request request,
   std::future<Response> future = job.promise.get_future();
 
   const VertexId n = num_vertices_;
-  const bool valid =
-      job.request.source < n &&
-      std::all_of(job.request.targets.begin(), job.request.targets.end(),
-                  [n](VertexId t) { return t < n; });
+  const auto in_range = [n](const std::vector<VertexId>& ids) {
+    return std::all_of(ids.begin(), ids.end(),
+                       [n](VertexId v) { return v < n; });
+  };
+  bool valid = false;
+  switch (job.request.kind) {
+    case RequestKind::kTree:
+      valid = job.request.source < n && in_range(job.request.targets);
+      break;
+    case RequestKind::kMatrix:
+      valid = !job.request.sources.empty() && !job.request.targets.empty() &&
+              in_range(job.request.sources) && in_range(job.request.targets);
+      break;
+    case RequestKind::kNearestPoi:
+      // A server without a POI index rejects rather than sheds: the client
+      // asked for a workload this deployment cannot answer.
+      valid = job.request.source < n && options_.poi != nullptr &&
+              job.request.poi_category < options_.poi->NumCategories();
+      break;
+  }
   if (!valid) {
-    Fulfill(job, Response{ResponseStatus::kInvalidRequest, {}, false, 0.0});
+    Response rejected;
+    rejected.status = ResponseStatus::kInvalidRequest;
+    Fulfill(job, std::move(rejected));
     return future;
   }
   if (stopped_.load(std::memory_order_acquire)) {
@@ -224,6 +254,8 @@ ServiceCounters OracleService::Counters() const {
   c.cache_swap_flushes = cache_swap_flushes_.Value();
   c.batches = batches_.Value();
   c.rphast_batches = rphast_batches_.Value();
+  c.matrix_requests = matrix_requests_.Value();
+  c.poi_requests = poi_requests_.Value();
   return c;
 }
 
@@ -284,6 +316,7 @@ void OracleService::ProcessBatch(std::vector<Job>& jobs, WorkspacePool& pool) {
   if (pool.engine != &engine) {
     pool.engine = &engine;
     pool.by_k.clear();
+    pool.knn_by_category.clear();
   }
 
   std::vector<Job*> live;
@@ -295,6 +328,26 @@ void OracleService::ProcessBatch(std::vector<Job>& jobs, WorkspacePool& pool) {
       live.push_back(&job);
     }
   }
+  if (live.empty()) return;
+
+  // Matrix and POI jobs run on their own paths; the tree cache, duplicate
+  // coalescing, and restricted-batch machinery below apply to kTree only.
+  std::vector<Job*> tree_jobs;
+  tree_jobs.reserve(live.size());
+  for (Job* job : live) {
+    switch (job->request.kind) {
+      case RequestKind::kMatrix:
+        RunMatrixJob(engine, epoch, *job);
+        break;
+      case RequestKind::kNearestPoi:
+        RunPoiJob(engine, epoch, *job, pool);
+        break;
+      case RequestKind::kTree:
+        tree_jobs.push_back(job);
+        break;
+    }
+  }
+  live = std::move(tree_jobs);
   if (live.empty()) return;
 
   // Serve repeated sources from the LRU cache before forming the sweep.
@@ -336,6 +389,56 @@ void OracleService::ProcessBatch(std::vector<Job>& jobs, WorkspacePool& pool) {
     }
   }
   RunFullBatch(engine, epoch, live, pool);
+}
+
+void OracleService::RunMatrixJob(const Phast& engine, uint64_t epoch,
+                                 Job& job) {
+  PHAST_SPAN_ARG("server.matrix", job.request.trace_id);
+  MatrixOptions options;
+  options.trees_per_sweep = std::max(1u, options_.matrix_trees_per_sweep);
+  options.mode = !engine.LevelBoundaries().empty() &&
+                         engine.GetOptions().implicit_init
+                     ? MatrixMode::kRestrictedBatched
+                     : MatrixMode::kBatched;
+  const Timer sweep;
+  std::vector<Weight> table = ComputeDistanceTable(
+      engine, job.request.sources, job.request.targets, options);
+  sweep_ms_.Observe(sweep.ElapsedMs());
+  Response response;
+  response.epoch = epoch;
+  response.rows = static_cast<uint32_t>(job.request.sources.size());
+  response.cols = static_cast<uint32_t>(job.request.targets.size());
+  response.distances = std::move(table);
+  Fulfill(job, std::move(response));
+}
+
+void OracleService::RunPoiJob(const Phast& engine, uint64_t epoch, Job& job,
+                              WorkspacePool& pool) {
+  PHAST_SPAN_ARG("server.poi", job.request.trace_id);
+  const uint32_t category = job.request.poi_category;
+  auto it = pool.knn_by_category.find(category);
+  if (it == pool.knn_by_category.end()) {
+    it = pool.knn_by_category
+             .try_emplace(category, engine, *options_.poi, category)
+             .first;
+  }
+  auto ws_it = pool.by_k.find(1);
+  if (ws_it == pool.by_k.end()) {
+    ws_it = pool.by_k.emplace(1, engine.MakeWorkspace(1)).first;
+  }
+  const Timer sweep;
+  const std::vector<PoiResult> nearest =
+      it->second.Query(job.request.source, job.request.poi_k, ws_it->second);
+  sweep_ms_.Observe(sweep.ElapsedMs());
+  Response response;
+  response.epoch = epoch;
+  response.poi_vertices.reserve(nearest.size());
+  response.distances.reserve(nearest.size());
+  for (const PoiResult& poi : nearest) {
+    response.poi_vertices.push_back(poi.vertex);
+    response.distances.push_back(poi.dist);
+  }
+  Fulfill(job, std::move(response));
 }
 
 void OracleService::RunRestrictedBatch(const Phast& engine, uint64_t epoch,

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apps/poi.h"
 #include "graph/types.h"
 #include "phast/phast.h"
 #include "server/metrics.h"
@@ -45,12 +46,27 @@ enum class ResponseStatus : uint8_t {
 
 [[nodiscard]] const char* ToString(ResponseStatus status);
 
+/// What a request asks for. kTree is the original single-source query;
+/// kMatrix and kNearestPoi are the batch workloads behind protocol v2.
+enum class RequestKind : uint8_t {
+  kTree = 0,
+  kMatrix = 1,
+  kNearestPoi = 2,
+};
+
 struct Request {
+  RequestKind kind = RequestKind::kTree;
+  /// kTree / kNearestPoi source vertex (kMatrix ignores it).
   VertexId source = 0;
-  /// Empty: the response carries the full distance tree (indexed by
-  /// original vertex id). Non-empty: distances to exactly these vertices,
-  /// in order.
+  /// kMatrix row sources, in response row order (other kinds ignore it).
+  std::vector<VertexId> sources;
+  /// kTree — empty: the response carries the full distance tree (indexed
+  /// by original vertex id); non-empty: distances to exactly these
+  /// vertices, in order. kMatrix: the table columns, in order.
   std::vector<VertexId> targets;
+  /// kNearestPoi: POI category and result-set size.
+  uint32_t poi_category = 0;
+  uint32_t poi_k = 0;
   /// Per-request deadline; < 0 uses ServiceOptions::default_deadline_ms,
   /// 0 disables.
   double deadline_ms = -1.0;
@@ -62,9 +78,17 @@ struct Request {
 
 struct Response {
   ResponseStatus status = ResponseStatus::kOk;
-  /// Per target, or the full tree for target-less requests. kInfWeight for
-  /// unreachable vertices. Empty on shed.
+  /// kTree: per target, or the full tree for target-less requests
+  /// (kInfWeight for unreachable vertices). kMatrix: the row-major
+  /// rows x cols table. kNearestPoi: the result distances, parallel to
+  /// poi_vertices. Empty on shed.
   std::vector<Weight> distances;
+  /// kMatrix: response shape (distances.size() == rows * cols).
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  /// kNearestPoi: result vertices ordered by (dist, vertex id); at most
+  /// poi_k entries, unreachable POIs dropped.
+  std::vector<VertexId> poi_vertices;
   bool from_cache = false;
   /// Admission-to-completion latency as measured by the service.
   double latency_ms = 0.0;
@@ -93,6 +117,11 @@ struct ServiceOptions {
   /// their targets is at most this, the batch runs restricted (RPHAST)
   /// sweeps instead of full ones. 0 disables the restricted path.
   size_t rphast_max_targets = 0;
+  /// POI bucket index backing kNearestPoi requests (must outlive the
+  /// service). Null rejects them as kInvalidRequest.
+  const PoiIndex* poi = nullptr;
+  /// Trees per sweep for kMatrix tables (the k of the batched modes).
+  uint32_t matrix_trees_per_sweep = 8;
 };
 
 /// Monotonic totals for the accounting identity the smoke test asserts:
@@ -109,6 +138,8 @@ struct ServiceCounters {
   uint64_t cache_swap_flushes = 0;
   uint64_t batches = 0;
   uint64_t rphast_batches = 0;
+  uint64_t matrix_requests = 0;
+  uint64_t poi_requests = 0;
 
   [[nodiscard]] uint64_t Shed() const {
     return shed_queue_full + shed_deadline + shed_shutdown;
@@ -217,9 +248,12 @@ class OracleService {
   /// Per-worker workspaces are keyed by k *and* engine identity: a swap
   /// retires the old engine's workspaces (their label arrays are sized for
   /// it, and sharing across engines would leak marks between metrics).
+  /// KnnSweeper restrictions are engine-bound the same way, so the pool
+  /// retires them together with the workspaces.
   struct WorkspacePool {
     const Phast* engine = nullptr;
     std::unordered_map<uint32_t, Phast::Workspace> by_k;
+    std::unordered_map<uint32_t, KnnSweeper> knn_by_category;
   };
 
   void WorkerLoop();
@@ -228,6 +262,9 @@ class OracleService {
                           std::vector<Job*>& jobs);
   void RunFullBatch(const Phast& engine, uint64_t epoch,
                     std::vector<Job*>& jobs, WorkspacePool& pool);
+  void RunMatrixJob(const Phast& engine, uint64_t epoch, Job& job);
+  void RunPoiJob(const Phast& engine, uint64_t epoch, Job& job,
+                 WorkspacePool& pool);
   void Fulfill(Job& job, Response response);
   void Shed(Job& job, ResponseStatus status, Counter& reason);
 
@@ -256,6 +293,8 @@ class OracleService {
   Counter& cache_swap_flushes_;
   Counter& batches_;
   Counter& rphast_batches_;
+  Counter& matrix_requests_;
+  Counter& poi_requests_;
   Gauge& queue_depth_;
   Gauge& cached_trees_;
   Histogram& batch_width_;

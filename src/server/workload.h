@@ -53,6 +53,10 @@ struct WorkloadOptions {
   double full_tree_fraction = 0.1;
   /// Targets per target-list request, in [1, max].
   uint32_t max_targets = 16;
+  /// kMatrix requests: sources and targets per table, each in [1, max].
+  uint32_t matrix_max_dim = 8;
+  /// kNearestPoi requests: k in [1, max].
+  uint32_t poi_max_k = 8;
 };
 
 /// Draws one request. `rank_to_vertex` maps Zipf rank -> vertex id (shuffled
@@ -73,6 +77,46 @@ inline Request DrawRequest(const WorkloadOptions& options,
           static_cast<VertexId>(rng.NextBounded(n)));
     }
   }
+  return request;
+}
+
+/// Draws one kMatrix request: Zipf-hot row sources (so replicated runs
+/// exercise the router's row partitioning with realistic repeats) and
+/// uniform columns. Dimensions are uniform in [1, matrix_max_dim];
+/// duplicate sources and targets are allowed on purpose.
+inline Request DrawMatrixRequest(const WorkloadOptions& options,
+                                 const ZipfSampler& zipf,
+                                 const std::vector<VertexId>& rank_to_vertex,
+                                 Rng& rng) {
+  Request request;
+  request.kind = RequestKind::kMatrix;
+  const uint32_t n = static_cast<uint32_t>(rank_to_vertex.size());
+  const int64_t max_dim = static_cast<int64_t>(options.matrix_max_dim);
+  const uint32_t rows = static_cast<uint32_t>(rng.NextInRange(1, max_dim));
+  const uint32_t cols = static_cast<uint32_t>(rng.NextInRange(1, max_dim));
+  request.sources.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    request.sources.push_back(rank_to_vertex[zipf.Sample(rng)]);
+  }
+  request.targets.reserve(cols);
+  for (uint32_t i = 0; i < cols; ++i) {
+    request.targets.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  return request;
+}
+
+/// Draws one kNearestPoi request over `num_categories` POI categories.
+inline Request DrawPoiRequest(const WorkloadOptions& options,
+                              const ZipfSampler& zipf,
+                              const std::vector<VertexId>& rank_to_vertex,
+                              uint32_t num_categories, Rng& rng) {
+  Require(num_categories > 0, "POI workload needs at least one category");
+  Request request;
+  request.kind = RequestKind::kNearestPoi;
+  request.source = rank_to_vertex[zipf.Sample(rng)];
+  request.poi_category = rng.NextBounded(num_categories);
+  request.poi_k = static_cast<uint32_t>(
+      rng.NextInRange(1, static_cast<int64_t>(options.poi_max_k)));
   return request;
 }
 

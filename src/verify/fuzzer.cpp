@@ -116,7 +116,8 @@ bool ReplayCase(uint64_t seed, uint32_t mutations, const std::string& config,
       err = std::string("exception escaped the pipeline: ") + e.what();
     }
   } else {
-    // "invariants", "batch-driver", "pipeline", or empty: run everything.
+    // Non-config names ("invariants", "batch-driver", "ch-determinism",
+    // "customize", "matrix", "poi", "pipeline", or empty): run everything.
     err = CheckCase(seed, mutations, nullptr);
   }
   if (message != nullptr) *message = err;

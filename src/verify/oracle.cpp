@@ -4,12 +4,14 @@
 #include <mutex>
 #include <sstream>
 
+#include "apps/poi.h"
 #include "ch/ch_io.h"
 #include "ch/contraction.h"
 #include "ch/customize.h"
 #include "dijkstra/dijkstra.h"
 #include "phast/batch.h"
 #include "phast/kernels.h"
+#include "phast/matrix.h"
 #include "pq/dary_heap.h"
 #include "util/rng.h"
 #include "verify/invariants.h"
@@ -395,6 +397,141 @@ std::string Oracle::RunAll(uint64_t seed, std::string* failing_config) const {
   {
     std::string err = CheckCustomization(seed);
     if (!err.empty()) return fail("customize", std::move(err));
+  }
+
+  {
+    std::string err = CheckMatrix(seed);
+    if (!err.empty()) return fail("matrix", std::move(err));
+  }
+
+  {
+    std::string err = CheckPoi(seed);
+    if (!err.empty()) return fail("poi", std::move(err));
+  }
+  return "";
+}
+
+std::string Oracle::CheckMatrix(uint64_t seed) const {
+  const VertexId n = graph_.NumVertices();
+  Rng rng(seed ^ 0x51AB64FE821D03C7ULL);
+  // Seeded rows and columns, each with a deliberate duplicate: duplicate
+  // sources must share a lane without corrupting either row, duplicate
+  // targets must repeat their column.
+  std::vector<VertexId> sources;
+  for (int i = 0; i < 5; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  sources.push_back(sources.front());
+  std::vector<VertexId> targets;
+  for (int i = 0; i < 7; ++i) {
+    targets.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  targets.push_back(targets.back());
+
+  std::vector<std::vector<Weight>> row_refs;
+  row_refs.reserve(sources.size());
+  for (const VertexId s : sources) {
+    row_refs.push_back(Dijkstra<BinaryHeap>(graph_, s).dist);
+  }
+
+  for (const SimdMode simd : {SimdMode::kScalar, SimdMode::kAuto}) {
+    PhastOptions options;
+    options.simd = simd;
+    const Phast engine(ch_, options);
+    for (const MatrixMode mode :
+         {MatrixMode::kSingleTree, MatrixMode::kBatched,
+          MatrixMode::kRestricted, MatrixMode::kRestrictedBatched}) {
+      MatrixOptions matrix_options;
+      matrix_options.mode = mode;
+      // 4 forces a padded tail chunk for the 6 rows above.
+      matrix_options.trees_per_sweep = 4;
+      const std::string name = std::string("matrix mode=") + ToString(mode) +
+                               " simd=" + SimdName(simd);
+      const std::vector<Weight> table =
+          ComputeDistanceTable(engine, sources, targets, matrix_options);
+      if (table.size() != sources.size() * targets.size()) {
+        return name + ": table has " + std::to_string(table.size()) +
+               " cells, expected " +
+               std::to_string(sources.size() * targets.size());
+      }
+      for (size_t r = 0; r < sources.size(); ++r) {
+        for (size_t c = 0; c < targets.size(); ++c) {
+          const Weight got = table[r * targets.size() + c];
+          const Weight want = row_refs[r][targets[c]];
+          if (got != want) {
+            return name + ": cell (" + std::to_string(r) + "," +
+                   std::to_string(c) + ") = " + std::to_string(got) +
+                   ", Dijkstra says " + std::to_string(want);
+          }
+        }
+      }
+      // The empty-side edge cases: either dimension empty is an empty
+      // table, never a throw or a 0 x N allocation.
+      if (!ComputeDistanceTable(engine, std::span<const VertexId>(), targets,
+                                matrix_options)
+               .empty() ||
+          !ComputeDistanceTable(engine, sources, std::span<const VertexId>(),
+                                matrix_options)
+               .empty()) {
+        return name + ": empty source/target list produced a non-empty table";
+      }
+    }
+  }
+  return "";
+}
+
+std::string Oracle::CheckPoi(uint64_t seed) const {
+  const VertexId n = graph_.NumVertices();
+  Rng rng(seed ^ 0x7C3A1E5B9D2F4680ULL);
+  const uint32_t categories = 3;
+  const uint32_t per_category = std::min<uint32_t>(6, n);
+  const PoiIndex poi = PoiIndex::GenerateRandom(n, categories, per_category,
+                                                seed);
+
+  for (const SimdMode simd : {SimdMode::kScalar, SimdMode::kAuto}) {
+    PhastOptions options;
+    options.simd = simd;
+    const Phast engine(ch_, options);
+    Phast::Workspace ws = engine.MakeWorkspace(1);
+    for (uint32_t category = 0; category < categories; ++category) {
+      const KnnSweeper cutoff(engine, poi, category, /*use_cutoff=*/true);
+      const KnnSweeper full(engine, poi, category, /*use_cutoff=*/false);
+      const std::span<const VertexId> bucket = poi.Bucket(category);
+      for (int i = 0; i < 4; ++i) {
+        const VertexId source = static_cast<VertexId>(rng.NextBounded(n));
+        // Sometimes ask for more than the bucket holds: the full reachable
+        // set must come back, never a pad.
+        const uint32_t k = 1 + rng.NextBounded(per_category + 2);
+        const std::string name = std::string("poi simd=") + SimdName(simd) +
+                                 " category=" + std::to_string(category) +
+                                 " source=" + std::to_string(source) +
+                                 " k=" + std::to_string(k);
+        const std::vector<PoiResult> got = cutoff.Query(source, k, ws);
+        const std::vector<PoiResult> via_full = full.Query(source, k, ws);
+        if (got != via_full) {
+          return name + ": level-cutoff result set differs from the full "
+                 "sweep (cutoff " + std::to_string(cutoff.SweepLength()) +
+                 " of " + std::to_string(full.SweepLength()) + ")";
+        }
+        const std::vector<Weight> ref =
+            Dijkstra<BinaryHeap>(graph_, source).dist;
+        std::vector<PoiResult> expected;
+        for (const VertexId v : bucket) {
+          if (ref[v] != kInfWeight) expected.push_back(PoiResult{ref[v], v});
+        }
+        std::sort(expected.begin(), expected.end(),
+                  [](const PoiResult& a, const PoiResult& b) {
+                    return a.dist != b.dist ? a.dist < b.dist
+                                            : a.vertex < b.vertex;
+                  });
+        if (expected.size() > k) expected.resize(k);
+        if (got != expected) {
+          return name + ": result set disagrees with the brute-force bucket "
+                 "scan (got " + std::to_string(got.size()) + " results, "
+                 "expected " + std::to_string(expected.size()) + ")";
+        }
+      }
+    }
   }
   return "";
 }

@@ -75,14 +75,17 @@ class Oracle {
   /// configuration cross-product, the ComputeManyTrees batch driver, the
   /// invariant checkers, the CH determinism cross-check (the hierarchy
   /// rebuilt with a different thread count must serialize to identical
-  /// bytes, DESIGN.md §9), and a metric-mutation round (customize a
+  /// bytes, DESIGN.md §9), a metric-mutation round (customize a
   /// witness-free hierarchy to seeded fresh weights, byte-diff it against a
   /// from-scratch rebuild, and re-run the configuration cross-product on
-  /// the customized hierarchy against Dijkstra on the reweighted graph).
-  /// On failure returns the diagnosis and stores the canonical name of the
-  /// failing configuration in *failing_config ("batch-driver" /
-  /// "invariants" / "ch-determinism" / "customize" for the non-config
-  /// checks).
+  /// the customized hierarchy against Dijkstra on the reweighted graph),
+  /// a distance-table round (every MatrixMode, with duplicate rows and
+  /// columns, diffed cell-by-cell against Dijkstra), and a k-nearest-POI
+  /// round (level-cutoff sweeps must be bit-identical to full sweeps and to
+  /// a brute-force bucket scan). On failure returns the diagnosis and
+  /// stores the canonical name of the failing configuration in
+  /// *failing_config ("batch-driver" / "invariants" / "ch-determinism" /
+  /// "customize" / "matrix" / "poi" for the non-config checks).
   [[nodiscard]] std::string RunAll(uint64_t seed,
                                    std::string* failing_config = nullptr) const;
 
@@ -113,6 +116,13 @@ class Oracle {
   [[nodiscard]] std::string CheckChDeterminism() const;
   /// The metric-mutation round of RunAll (see its doc comment).
   [[nodiscard]] std::string CheckCustomization(uint64_t seed) const;
+  /// The distance-table round: seeded sources x targets (duplicates
+  /// included) through every MatrixMode on scalar and auto-SIMD engines,
+  /// plus the empty-side edge cases.
+  [[nodiscard]] std::string CheckMatrix(uint64_t seed) const;
+  /// The k-nearest-POI round: seeded bucket index, cutoff vs full sweep vs
+  /// brute force, k larger than the bucket included.
+  [[nodiscard]] std::string CheckPoi(uint64_t seed) const;
 
   Graph graph_;
   CHParams ch_params_;

@@ -9,12 +9,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dijkstra/dijkstra.h"
 #include "fabric/mapping.h"
@@ -305,6 +307,95 @@ TEST(HashRing, NoAliveReplicaThrows) {
   ring.SetAlive(0, true);
   EXPECT_THROW((void)ring.PickExcluding(7, 0), InputError);
   EXPECT_EQ(ring.Pick(7), 0u);
+}
+
+// --- matrix row partitioning and merge --------------------------------------
+
+TEST(MatrixPartition, EveryRowAppearsExactlyOnceOnItsOwner) {
+  const ConsistentHashRing ring(3);
+  Rng rng(41);
+  std::vector<uint32_t> sources;
+  for (int i = 0; i < 40; ++i) {
+    sources.push_back(rng.NextBounded(500));
+  }
+  sources.push_back(sources.front());  // duplicate source, two rows
+
+  const std::vector<MatrixPartition> partitions =
+      PartitionMatrixSources(ring, sources);
+  std::vector<int> seen(sources.size(), 0);
+  std::set<size_t> replicas;
+  for (const MatrixPartition& p : partitions) {
+    EXPECT_TRUE(replicas.insert(p.replica).second)
+        << "replica " << p.replica << " owns two partitions";
+    EXPECT_FALSE(p.rows.empty());
+    EXPECT_TRUE(std::is_sorted(p.rows.begin(), p.rows.end()));
+    for (const uint32_t row : p.rows) {
+      ASSERT_LT(row, sources.size());
+      ++seen[row];
+      // Row placement is exactly the ring's single-query routing, so a
+      // matrix row and a kQuery for the same source hit the same cache.
+      EXPECT_EQ(p.replica, ring.Pick(sources[row])) << "row " << row;
+    }
+  }
+  for (size_t row = 0; row < sources.size(); ++row) {
+    EXPECT_EQ(seen[row], 1) << "row " << row;
+  }
+}
+
+TEST(MatrixPartition, SingleReplicaGetsOnePartitionInRowOrder) {
+  const ConsistentHashRing ring(1);
+  const std::vector<uint32_t> sources = {9, 3, 9, 7};
+  const std::vector<MatrixPartition> partitions =
+      PartitionMatrixSources(ring, sources);
+  ASSERT_EQ(partitions.size(), 1u);
+  EXPECT_EQ(partitions[0].replica, 0u);
+  EXPECT_EQ(partitions[0].rows, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(MatrixPartition, MergeScattersSubTablesIntoClientRowOrder) {
+  // 4 x 2 client table assembled from two sub-tables with interleaved rows.
+  const size_t cols = 2;
+  std::vector<uint32_t> table(4 * cols, 0);
+  MergeMatrixRows({0, 2}, cols, {10, 11, 30, 31}, table);
+  MergeMatrixRows({3, 1}, cols, {40, 41, 20, 21}, table);
+  EXPECT_EQ(table,
+            (std::vector<uint32_t>{10, 11, 20, 21, 30, 31, 40, 41}));
+}
+
+TEST(MatrixPartition, MergeRejectsMismatchedSubTableOrOverflow) {
+  std::vector<uint32_t> table(4, 0);
+  std::vector<uint32_t> sub = {1, 2};
+  EXPECT_THROW(MergeMatrixRows({0, 1}, 2, sub, table), InputError);
+  EXPECT_THROW(MergeMatrixRows({2}, 2, sub, table), InputError);  // past end
+  MergeMatrixRows({1}, 2, sub, table);  // last row fits exactly
+  EXPECT_EQ(table, (std::vector<uint32_t>{0, 0, 1, 2}));
+}
+
+TEST(MatrixPartition, PartitionRoundTripsThroughMerge) {
+  // Partition, compute each sub-table from a reference function, merge, and
+  // require the merged table to equal the direct computation.
+  const ConsistentHashRing ring(4);
+  Rng rng(53);
+  std::vector<uint32_t> sources;
+  for (int i = 0; i < 23; ++i) sources.push_back(rng.NextBounded(100));
+  const size_t cols = 3;
+  const auto cell = [](uint32_t source, size_t j) {
+    return source * 10 + static_cast<uint32_t>(j);
+  };
+
+  std::vector<uint32_t> merged(sources.size() * cols, 0xdead);
+  for (const MatrixPartition& p : PartitionMatrixSources(ring, sources)) {
+    std::vector<uint32_t> sub;
+    for (const uint32_t row : p.rows) {
+      for (size_t j = 0; j < cols; ++j) sub.push_back(cell(sources[row], j));
+    }
+    MergeMatrixRows(p.rows, cols, sub, merged);
+  }
+  for (size_t row = 0; row < sources.size(); ++row) {
+    for (size_t j = 0; j < cols; ++j) {
+      EXPECT_EQ(merged[row * cols + j], cell(sources[row], j));
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+// k-nearest-POI property tests: KnnSweeper against a brute-force bucket
+// scan under reference Dijkstra, the (dist, vertex id) tie-break, k larger
+// than the category, level-cutoff sweeps bit-identical to full sweeps, and
+// the PHPOI01 sidecar round-trip with integrity checking.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/poi.h"
+#include "ch/contraction.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "test_support.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+constexpr uint32_t kSide = 20;
+
+const Phast& Engine() {
+  static const Phast engine(CachedCountryCH(kSide));
+  return engine;
+}
+
+/// What Query must return: scan the whole bucket under Dijkstra distances,
+/// drop unreachable, sort by (dist, vertex id), keep the first k.
+std::vector<PoiResult> BruteForce(const Graph& graph, const PoiIndex& index,
+                                  uint32_t category, VertexId source,
+                                  uint32_t k) {
+  const SsspResult ref = Dijkstra<BinaryHeap>(graph, source);
+  std::vector<PoiResult> all;
+  for (const VertexId v : index.Bucket(category)) {
+    if (ref.dist[v] == kInfWeight) continue;
+    all.push_back(PoiResult{ref.dist[v], v});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const PoiResult& a, const PoiResult& b) {
+              return a.dist < b.dist ||
+                     (a.dist == b.dist && a.vertex < b.vertex);
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+// --- correctness vs brute force ---------------------------------------------
+
+TEST(KnnPoi, QueriesMatchBruteForceAcrossCategoriesAndK) {
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(Engine().NumVertices(), 3, 12, 99);
+  Phast::Workspace ws = Engine().MakeWorkspace();
+  Rng rng(5);
+  for (uint32_t category = 0; category < index.NumCategories(); ++category) {
+    const KnnSweeper sweeper(Engine(), index, category);
+    for (int trial = 0; trial < 4; ++trial) {
+      const VertexId source =
+          static_cast<VertexId>(rng.NextBounded(Engine().NumVertices()));
+      const uint32_t k = 1 + rng.NextBounded(6);
+      EXPECT_EQ(sweeper.Query(source, k, ws),
+                BruteForce(CachedCountry(kSide), index, category, source, k))
+          << "category " << category << " source " << source << " k " << k;
+    }
+  }
+}
+
+TEST(KnnPoi, CutoffSweepIsBitIdenticalToFullSweep) {
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(Engine().NumVertices(), 2, 8, 17);
+  Phast::Workspace ws_cut = Engine().MakeWorkspace();
+  Phast::Workspace ws_full = Engine().MakeWorkspace();
+  Rng rng(23);
+  for (uint32_t category = 0; category < index.NumCategories(); ++category) {
+    const KnnSweeper cutoff(Engine(), index, category, /*use_cutoff=*/true);
+    const KnnSweeper full(Engine(), index, category, /*use_cutoff=*/false);
+    EXPECT_LE(cutoff.SweepLength(), full.SweepLength());
+    EXPECT_EQ(full.SweepLength(), Engine().NumVertices());
+    for (int trial = 0; trial < 6; ++trial) {
+      const VertexId source =
+          static_cast<VertexId>(rng.NextBounded(Engine().NumVertices()));
+      const uint32_t k = 1 + rng.NextBounded(8);
+      EXPECT_EQ(cutoff.Query(source, k, ws_cut),
+                full.Query(source, k, ws_full))
+          << "category " << category << " source " << source << " k " << k;
+    }
+  }
+}
+
+TEST(KnnPoi, KLargerThanCategoryReturnsTheWholeReachableBucket) {
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(Engine().NumVertices(), 1, 5, 7);
+  const KnnSweeper sweeper(Engine(), index, 0);
+  Phast::Workspace ws = Engine().MakeWorkspace();
+  const std::vector<PoiResult> got = sweeper.Query(0, 1000, ws);
+  // The test country is strongly connected, so all 5 POIs are reachable.
+  EXPECT_EQ(got.size(), index.Bucket(0).size());
+  EXPECT_EQ(got, BruteForce(CachedCountry(kSide), index, 0, 0, 1000));
+}
+
+TEST(KnnPoi, EquidistantPoisTieBreakByVertexId) {
+  // A star: center 0, spokes 1..6 all at distance 5. Ties must come back
+  // ordered by vertex id regardless of bucket order.
+  EdgeList edges(7);
+  for (VertexId v = 1; v < 7; ++v) edges.AddBidirectional(0, v, 5);
+  const Graph graph = Graph::FromEdgeList(edges);
+  const CHData ch = BuildContractionHierarchy(graph);
+  const Phast engine(ch);
+
+  const PoiIndex index(7, {{5, 2, 6, 3}});
+  const KnnSweeper sweeper(engine, index, 0);
+  Phast::Workspace ws = engine.MakeWorkspace();
+
+  const std::vector<PoiResult> top2 = sweeper.Query(0, 2, ws);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], (PoiResult{5, 2}));
+  EXPECT_EQ(top2[1], (PoiResult{5, 3}));
+
+  const std::vector<PoiResult> all = sweeper.Query(0, 10, ws);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].vertex, 2u);
+  EXPECT_EQ(all[1].vertex, 3u);
+  EXPECT_EQ(all[2].vertex, 5u);
+  EXPECT_EQ(all[3].vertex, 6u);
+}
+
+TEST(KnnPoi, UnreachablePoisAreDropped) {
+  // Components {0,1} and {2,3}: from source 0 only POI 1 is reachable.
+  EdgeList edges(4);
+  edges.AddBidirectional(0, 1, 3);
+  edges.AddBidirectional(2, 3, 4);
+  const Graph graph = Graph::FromEdgeList(edges);
+  const CHData ch = BuildContractionHierarchy(graph);
+  const Phast engine(ch);
+
+  const PoiIndex index(4, {{1, 3}});
+  Phast::Workspace ws = engine.MakeWorkspace();
+  for (const bool use_cutoff : {true, false}) {
+    const KnnSweeper sweeper(engine, index, 0, use_cutoff);
+    const std::vector<PoiResult> got = sweeper.Query(0, 8, ws);
+    ASSERT_EQ(got.size(), 1u) << "use_cutoff " << use_cutoff;
+    EXPECT_EQ(got[0], (PoiResult{3, 1}));
+  }
+}
+
+TEST(KnnPoi, EmptyBucketAndZeroKReturnNothing) {
+  const PoiIndex index(Engine().NumVertices(), {{}, {1, 2}});
+  Phast::Workspace ws = Engine().MakeWorkspace();
+  const KnnSweeper empty_bucket(Engine(), index, 0);
+  EXPECT_TRUE(empty_bucket.Query(0, 4, ws).empty());
+  const KnnSweeper zero_k(Engine(), index, 1);
+  EXPECT_TRUE(zero_k.Query(0, 0, ws).empty());
+}
+
+// --- index construction -----------------------------------------------------
+
+TEST(PoiIndex, GenerateRandomIsDeterministicAndInRange) {
+  const PoiIndex a = PoiIndex::GenerateRandom(100, 4, 16, 42);
+  const PoiIndex b = PoiIndex::GenerateRandom(100, 4, 16, 42);
+  ASSERT_EQ(a.NumCategories(), 4u);
+  ASSERT_EQ(a.TotalPois(), b.TotalPois());
+  for (uint32_t c = 0; c < 4; ++c) {
+    const std::span<const VertexId> bucket = a.Bucket(c);
+    EXPECT_EQ(bucket.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(bucket.begin(), bucket.end()));
+    EXPECT_EQ(std::adjacent_find(bucket.begin(), bucket.end()), bucket.end());
+    for (const VertexId v : bucket) EXPECT_LT(v, 100u);
+    const std::span<const VertexId> other = b.Bucket(c);
+    EXPECT_TRUE(std::equal(bucket.begin(), bucket.end(), other.begin(),
+                           other.end()));
+  }
+}
+
+TEST(PoiIndex, PerCategoryLargerThanVertexSetSaturates) {
+  const PoiIndex index = PoiIndex::GenerateRandom(6, 2, 50, 1);
+  EXPECT_EQ(index.Bucket(0).size(), 6u);  // every vertex, no duplicates
+  EXPECT_EQ(index.Bucket(1).size(), 6u);
+}
+
+TEST(PoiIndex, RejectsDuplicatesAndOutOfRangeVertices) {
+  EXPECT_THROW((void)PoiIndex(10, {{3, 3}}), InputError);
+  EXPECT_THROW((void)PoiIndex(10, {{10}}), InputError);
+  EXPECT_THROW((void)PoiIndex::GenerateRandom(0, 2, 4, 1), InputError);
+}
+
+// --- PHPOI01 sidecar --------------------------------------------------------
+
+std::string TempPoiPath(const char* tag) {
+  return ::testing::TempDir() + "phast_poi_" + tag + "_" +
+         std::to_string(::getpid()) + ".poi";
+}
+
+TEST(PoiIndex, SidecarRoundTripPreservesEveryBucket) {
+  const PoiIndex index(50, {{1, 4, 9}, {}, {0, 49}});
+  const std::string path = TempPoiPath("roundtrip");
+  WritePoiFile(path, index);
+  const PoiIndex loaded = ReadPoiFile(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.NumVertices(), 50u);
+  ASSERT_EQ(loaded.NumCategories(), 3u);
+  EXPECT_EQ(loaded.TotalPois(), 5u);
+  for (uint32_t c = 0; c < 3; ++c) {
+    const std::span<const VertexId> a = index.Bucket(c);
+    const std::span<const VertexId> b = loaded.Bucket(c);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(PoiIndex, SidecarRejectsCorruptionAndBadMagic) {
+  const PoiIndex index(20, {{2, 7}});
+  const std::string path = TempPoiPath("corrupt");
+  WritePoiFile(path, index);
+
+  // Flip one payload byte: the FNV-1a trailer must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(12);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW((void)ReadPoiFile(path), InputError);
+
+  // Wrong magic is rejected before any hash work.
+  WritePoiFile(path, index);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("XX", 2);
+  }
+  EXPECT_THROW((void)ReadPoiFile(path), InputError);
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)ReadPoiFile(path + ".does-not-exist"), InputError);
+}
+
+}  // namespace
+}  // namespace phast

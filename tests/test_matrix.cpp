@@ -1,0 +1,219 @@
+// One-to-many distance-table tests: ComputeDistanceTable against
+// per-source Dijkstra over the full engine cross-product — every
+// MatrixMode on scalar and SIMD engines, single-tree vs k-batched, with
+// duplicate sources/targets, padded tail chunks, empty sides, and a
+// disconnected instance whose cross-component cells must stay +inf.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ch/contraction.h"
+#include "dijkstra/dijkstra.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "phast/matrix.h"
+#include "phast/phast.h"
+#include "pq/dary_heap.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace phast {
+namespace {
+
+using phast::testing::CachedCountry;
+using phast::testing::CachedCountryCH;
+
+constexpr uint32_t kSide = 20;
+
+const Phast& ScalarEngine() {
+  static const Phast engine = [] {
+    Phast::Options options;
+    options.simd = SimdMode::kScalar;
+    return Phast(CachedCountryCH(kSide), options);
+  }();
+  return engine;
+}
+
+const Phast& SimdEngine() {
+  static const Phast engine(CachedCountryCH(kSide));  // simd = kAuto
+  return engine;
+}
+
+constexpr MatrixMode kAllModes[] = {
+    MatrixMode::kSingleTree, MatrixMode::kBatched, MatrixMode::kRestricted,
+    MatrixMode::kRestrictedBatched};
+
+std::vector<VertexId> RandomVertices(Rng& rng, size_t count) {
+  const VertexId n = SimdEngine().NumVertices();
+  std::vector<VertexId> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  return out;
+}
+
+/// The ground truth: one Dijkstra per distinct row source.
+std::vector<Weight> ReferenceTable(const Graph& graph,
+                                   const std::vector<VertexId>& sources,
+                                   const std::vector<VertexId>& targets) {
+  std::vector<Weight> table;
+  table.reserve(sources.size() * targets.size());
+  for (const VertexId s : sources) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph, s);
+    for (const VertexId t : targets) table.push_back(ref.dist[t]);
+  }
+  return table;
+}
+
+void ExpectTableMatches(const std::vector<Weight>& got,
+                        const std::vector<Weight>& want, size_t cols,
+                        const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << label << " cell (" << i / cols << ", "
+                               << i % cols << ")";
+  }
+}
+
+// --- full cross-product vs Dijkstra -----------------------------------------
+
+TEST(Matrix, EveryModeMatchesDijkstraOnScalarAndSimdEngines) {
+  Rng rng(31);
+  std::vector<VertexId> sources = RandomVertices(rng, 6);
+  sources.push_back(sources.front());  // duplicate row
+  std::vector<VertexId> targets = RandomVertices(rng, 9);
+  targets.push_back(targets.back());  // duplicate column
+
+  const std::vector<Weight> want =
+      ReferenceTable(CachedCountry(kSide), sources, targets);
+
+  for (const Phast* engine : {&ScalarEngine(), &SimdEngine()}) {
+    for (const MatrixMode mode : kAllModes) {
+      for (const uint32_t k : {1u, 3u, 8u}) {
+        MatrixOptions options;
+        options.mode = mode;
+        options.trees_per_sweep = k;
+        const std::vector<Weight> got =
+            ComputeDistanceTable(*engine, sources, targets, options);
+        ExpectTableMatches(
+            got, want, targets.size(),
+            (std::string(ToString(mode)) + " k=" + std::to_string(k)).c_str());
+      }
+    }
+  }
+}
+
+TEST(Matrix, AllModesAreBitIdenticalToEachOther) {
+  Rng rng(57);
+  const std::vector<VertexId> sources = RandomVertices(rng, 5);
+  const std::vector<VertexId> targets = RandomVertices(rng, 7);
+
+  MatrixOptions base;
+  base.mode = MatrixMode::kSingleTree;
+  const std::vector<Weight> reference =
+      ComputeDistanceTable(ScalarEngine(), sources, targets, base);
+
+  for (const Phast* engine : {&ScalarEngine(), &SimdEngine()}) {
+    for (const MatrixMode mode : kAllModes) {
+      MatrixOptions options;
+      options.mode = mode;
+      EXPECT_EQ(ComputeDistanceTable(*engine, sources, targets, options),
+                reference)
+          << ToString(mode);
+    }
+  }
+}
+
+// --- edge cases -------------------------------------------------------------
+
+TEST(Matrix, EmptySourcesOrTargetsYieldEmptyTable) {
+  Rng rng(3);
+  const std::vector<VertexId> some = RandomVertices(rng, 4);
+  const std::vector<VertexId> none;
+  for (const MatrixMode mode : kAllModes) {
+    MatrixOptions options;
+    options.mode = mode;
+    EXPECT_TRUE(
+        ComputeDistanceTable(SimdEngine(), none, some, options).empty())
+        << ToString(mode);
+    EXPECT_TRUE(
+        ComputeDistanceTable(SimdEngine(), some, none, options).empty())
+        << ToString(mode);
+    EXPECT_TRUE(
+        ComputeDistanceTable(SimdEngine(), none, none, options).empty())
+        << ToString(mode);
+  }
+}
+
+TEST(Matrix, DuplicateSourcesRepeatTheirRowsExactly) {
+  Rng rng(19);
+  const std::vector<VertexId> base = RandomVertices(rng, 3);
+  const std::vector<VertexId> targets = RandomVertices(rng, 5);
+  // Every row twice: [s0, s0, s1, s1, s2, s2].
+  std::vector<VertexId> doubled;
+  for (const VertexId s : base) {
+    doubled.push_back(s);
+    doubled.push_back(s);
+  }
+  const std::vector<Weight> table =
+      ComputeDistanceTable(SimdEngine(), doubled, targets);
+  const size_t cols = targets.size();
+  ASSERT_EQ(table.size(), doubled.size() * cols);
+  for (size_t pair = 0; pair < base.size(); ++pair) {
+    for (size_t j = 0; j < cols; ++j) {
+      EXPECT_EQ(table[(2 * pair) * cols + j], table[(2 * pair + 1) * cols + j])
+          << "row pair " << pair << " col " << j;
+    }
+  }
+}
+
+TEST(Matrix, BatchedTailNarrowerThanSweepWidthIsCorrect) {
+  Rng rng(83);
+  // 5 rows with trees_per_sweep=8: the only chunk is a padded tail.
+  const std::vector<VertexId> sources = RandomVertices(rng, 5);
+  const std::vector<VertexId> targets = RandomVertices(rng, 6);
+  const std::vector<Weight> want =
+      ReferenceTable(CachedCountry(kSide), sources, targets);
+  for (const MatrixMode mode :
+       {MatrixMode::kBatched, MatrixMode::kRestrictedBatched}) {
+    MatrixOptions options;
+    options.mode = mode;
+    options.trees_per_sweep = 8;
+    ExpectTableMatches(
+        ComputeDistanceTable(SimdEngine(), sources, targets, options), want,
+        targets.size(), ToString(mode));
+  }
+}
+
+TEST(Matrix, DisconnectedPairsStayAtInfinity) {
+  // Two components: {0,1,2} cyclic and {3,4} back-and-forth. Cells that
+  // cross between them must be kInfWeight in every mode.
+  EdgeList edges(5);
+  edges.AddArc(0, 1, 10);
+  edges.AddArc(1, 2, 20);
+  edges.AddArc(2, 0, 30);
+  edges.AddBidirectional(3, 4, 7);
+  const Graph graph = Graph::FromEdgeList(edges);
+  const CHData ch = BuildContractionHierarchy(graph);
+  const Phast engine(ch);
+
+  const std::vector<VertexId> sources = {0, 3, 2};
+  const std::vector<VertexId> targets = {4, 1, 0, 3};
+  const std::vector<Weight> want = ReferenceTable(graph, sources, targets);
+  for (const MatrixMode mode : kAllModes) {
+    MatrixOptions options;
+    options.mode = mode;
+    options.trees_per_sweep = 4;
+    const std::vector<Weight> got =
+        ComputeDistanceTable(engine, sources, targets, options);
+    ExpectTableMatches(got, want, targets.size(), ToString(mode));
+  }
+  // Spot-check the cross-component cells really are +inf.
+  EXPECT_EQ(want[0], kInfWeight);  // 0 -> 4
+  EXPECT_EQ(want[1 * targets.size() + 1], kInfWeight);  // 3 -> 1
+}
+
+}  // namespace
+}  // namespace phast

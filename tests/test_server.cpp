@@ -8,12 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "apps/poi.h"
 
 #include "dijkstra/dijkstra.h"
 #include "graph/generators.h"
@@ -829,6 +832,377 @@ TEST(Protocol, MetricMessagesWithoutManagerFailTheConnection) {
     EXPECT_THROW((void)client.TriggerSwap(), InputError);
   }
   server.join();
+}
+
+// --- v2 workload frames and the batch workloads -----------------------------
+
+/// Brute-force k-nearest reference: scan the bucket under Dijkstra
+/// distances, drop unreachable, order by (dist, vertex id), keep k.
+std::vector<std::pair<Weight, VertexId>> PoiBruteForce(
+    const Graph& graph, const PoiIndex& index, uint32_t category,
+    VertexId source, uint32_t k) {
+  const SsspResult ref = Dijkstra<BinaryHeap>(graph, source);
+  std::vector<std::pair<Weight, VertexId>> all;
+  for (const VertexId v : index.Bucket(category)) {
+    if (ref.dist[v] != kInfWeight) all.emplace_back(ref.dist[v], v);
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void ExpectMatrixMatchesDijkstra(const Graph& graph, const Request& request,
+                                 const Response& response) {
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_EQ(response.rows, request.sources.size());
+  ASSERT_EQ(response.cols, request.targets.size());
+  ASSERT_EQ(response.distances.size(),
+            static_cast<size_t>(response.rows) * response.cols);
+  for (uint32_t i = 0; i < response.rows; ++i) {
+    const SsspResult ref = Dijkstra<BinaryHeap>(graph, request.sources[i]);
+    for (uint32_t j = 0; j < response.cols; ++j) {
+      ASSERT_EQ(response.distances[size_t{i} * response.cols + j],
+                ref.dist[request.targets[j]])
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+void ExpectPoiMatchesBruteForce(const Graph& graph, const PoiIndex& index,
+                                const Request& request,
+                                const Response& response) {
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  const std::vector<std::pair<Weight, VertexId>> want = PoiBruteForce(
+      graph, index, request.poi_category, request.source, request.poi_k);
+  ASSERT_EQ(response.poi_vertices.size(), want.size());
+  ASSERT_EQ(response.distances.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(response.distances[i], want[i].first) << "rank " << i;
+    EXPECT_EQ(response.poi_vertices[i], want[i].second) << "rank " << i;
+  }
+}
+
+Request RandomMatrixRequest(Rng& rng, uint32_t max_dim = 5) {
+  const VertexId n = Engine().NumVertices();
+  Request request;
+  request.kind = RequestKind::kMatrix;
+  const uint32_t rows = 1 + rng.NextBounded(max_dim);
+  const uint32_t cols = 1 + rng.NextBounded(max_dim);
+  for (uint32_t i = 0; i < rows; ++i) {
+    request.sources.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  for (uint32_t j = 0; j < cols; ++j) {
+    request.targets.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  return request;
+}
+
+TEST(Protocol, MatrixFrameRoundTrip) {
+  Request request;
+  request.kind = RequestKind::kMatrix;
+  request.sources = {4, 4, 9};
+  request.targets = {1, 0};
+  request.deadline_ms = 7.5;
+  const QueryFrame q = DecodeMatrixQuery(EncodeMatrixQuery(21, request));
+  EXPECT_EQ(q.id, 21u);
+  EXPECT_EQ(q.request.kind, RequestKind::kMatrix);
+  EXPECT_EQ(q.request.sources, request.sources);
+  EXPECT_EQ(q.request.targets, request.targets);
+  EXPECT_DOUBLE_EQ(q.request.deadline_ms, 7.5);
+
+  Response response;
+  response.status = ResponseStatus::kOk;
+  response.rows = 3;
+  response.cols = 2;
+  response.distances = {0, 1, 2, kInfWeight, 4, 5};
+  response.epoch = 9;
+  response.latency_ms = 0.5;
+  const ResponseFrame r =
+      DecodeMatrixResponse(EncodeMatrixResponse(21, response));
+  EXPECT_EQ(r.id, 21u);
+  EXPECT_EQ(r.response.rows, 3u);
+  EXPECT_EQ(r.response.cols, 2u);
+  EXPECT_EQ(r.response.distances, response.distances);
+  EXPECT_EQ(r.response.epoch, 9u);
+}
+
+TEST(Protocol, PoiFrameRoundTrip) {
+  Request request;
+  request.kind = RequestKind::kNearestPoi;
+  request.source = 33;
+  request.poi_category = 2;
+  request.poi_k = 4;
+  request.deadline_ms = 1.25;
+  const QueryFrame q = DecodePoiQuery(EncodePoiQuery(5, request));
+  EXPECT_EQ(q.id, 5u);
+  EXPECT_EQ(q.request.kind, RequestKind::kNearestPoi);
+  EXPECT_EQ(q.request.source, 33u);
+  EXPECT_EQ(q.request.poi_category, 2u);
+  EXPECT_EQ(q.request.poi_k, 4u);
+
+  Response response;
+  response.status = ResponseStatus::kOk;
+  response.poi_vertices = {7, 2};
+  response.distances = {10, 10};
+  response.epoch = 3;
+  const ResponseFrame r = DecodePoiResponse(EncodePoiResponse(5, response));
+  EXPECT_EQ(r.id, 5u);
+  EXPECT_EQ(r.response.poi_vertices, response.poi_vertices);
+  EXPECT_EQ(r.response.distances, response.distances);
+  EXPECT_EQ(r.response.epoch, 3u);
+}
+
+TEST(Protocol, WorkloadFramesKeepIdAtByteOffsetOne) {
+  // The router rewrites bytes [1, 9) of every frame in place; the v2
+  // version byte must come after, never before.
+  Request matrix;
+  matrix.kind = RequestKind::kMatrix;
+  matrix.sources = {1};
+  matrix.targets = {2};
+  Request poi;
+  poi.kind = RequestKind::kNearestPoi;
+  for (std::vector<uint8_t> bytes :
+       {EncodeMatrixQuery(0x1122334455667788ull, matrix),
+        EncodePoiQuery(0x1122334455667788ull, poi),
+        EncodeMatrixResponse(0x1122334455667788ull, Response{}),
+        EncodePoiResponse(0x1122334455667788ull, Response{})}) {
+    EXPECT_EQ(PeekId(bytes), 0x1122334455667788ull);
+    EXPECT_EQ(bytes[9], kProtocolVersion);
+  }
+}
+
+TEST(Protocol, WorkloadFramesRejectBadVersionAndTruncation) {
+  Request matrix;
+  matrix.kind = RequestKind::kMatrix;
+  matrix.sources = {1, 2};
+  matrix.targets = {3};
+  Request poi;
+  poi.kind = RequestKind::kNearestPoi;
+  poi.poi_k = 1;
+
+  std::vector<uint8_t> bad_version = EncodeMatrixQuery(1, matrix);
+  bad_version[9] = kProtocolVersion + 1;  // version sits after the u64 id
+  EXPECT_THROW((void)DecodeMatrixQuery(bad_version), InputError);
+  bad_version = EncodePoiQuery(1, poi);
+  bad_version[9] = 0;
+  EXPECT_THROW((void)DecodePoiQuery(bad_version), InputError);
+
+  std::vector<uint8_t> truncated = EncodeMatrixQuery(1, matrix);
+  truncated.pop_back();
+  EXPECT_THROW((void)DecodeMatrixQuery(truncated), InputError);
+  truncated = EncodePoiQuery(1, poi);
+  truncated.pop_back();
+  EXPECT_THROW((void)DecodePoiQuery(truncated), InputError);
+  Response response;
+  response.rows = 1;
+  response.cols = 1;
+  response.distances = {4};
+  truncated = EncodeMatrixResponse(1, response);
+  truncated.pop_back();
+  EXPECT_THROW((void)DecodeMatrixResponse(truncated), InputError);
+}
+
+TEST(Protocol, OversizedOrEmptyMatrixIsRejectedAtDecode) {
+  Request request;
+  request.kind = RequestKind::kMatrix;
+  request.targets = {1};
+  request.sources.assign(kMaxMatrixDim + 1, 0);  // one over the dim cap
+  EXPECT_THROW((void)DecodeMatrixQuery(EncodeMatrixQuery(1, request)),
+               InputError);
+
+  // Both dims legal but the product exceeds the cell cap.
+  request.sources.assign(2048, 0);
+  request.targets.assign(2049, 0);
+  EXPECT_THROW((void)DecodeMatrixQuery(EncodeMatrixQuery(1, request)),
+               InputError);
+
+  // Zero-dimension tables are rejected rather than answered empty.
+  request.sources.clear();
+  request.targets.assign(1, 0);
+  EXPECT_THROW((void)DecodeMatrixQuery(EncodeMatrixQuery(1, request)),
+               InputError);
+}
+
+TEST(OracleService, MatrixRequestsMatchDijkstra) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 2;
+  OracleService service(Engine(), options, metrics);
+
+  Rng rng(61);
+  for (int i = 0; i < 8; ++i) {
+    const Request request = RandomMatrixRequest(rng);
+    const Response response = service.Call(request);
+    ExpectMatrixMatchesDijkstra(CachedCountry(kSide), request, response);
+    EXPECT_EQ(response.epoch, 0u);  // pinned engine
+  }
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.matrix_requests, 8u);
+  EXPECT_EQ(c.admitted, c.completed);
+}
+
+TEST(OracleService, PoiRequestsMatchBruteForce) {
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(Engine().NumVertices(), 3, 10, 13);
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.poi = &index;
+  OracleService service(Engine(), options, metrics);
+
+  Rng rng(29);
+  for (int i = 0; i < 12; ++i) {
+    Request request;
+    request.kind = RequestKind::kNearestPoi;
+    request.source =
+        static_cast<VertexId>(rng.NextBounded(Engine().NumVertices()));
+    request.poi_category = rng.NextBounded(index.NumCategories());
+    request.poi_k = 1 + rng.NextBounded(12);  // sometimes > bucket size
+    const Response response = service.Call(request);
+    ExpectPoiMatchesBruteForce(CachedCountry(kSide), index, request, response);
+  }
+  EXPECT_EQ(service.Counters().poi_requests, 12u);
+}
+
+TEST(OracleService, WorkloadValidationRejectsBadRequests) {
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(Engine().NumVertices(), 2, 4, 3);
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.poi = &index;
+  OracleService service(Engine(), options, metrics);
+
+  Request empty_rows;
+  empty_rows.kind = RequestKind::kMatrix;
+  empty_rows.targets = {1};
+  EXPECT_EQ(service.Call(empty_rows).status, ResponseStatus::kInvalidRequest);
+
+  Request bad_source;
+  bad_source.kind = RequestKind::kMatrix;
+  bad_source.sources = {Engine().NumVertices()};
+  bad_source.targets = {1};
+  EXPECT_EQ(service.Call(bad_source).status, ResponseStatus::kInvalidRequest);
+
+  Request bad_category;
+  bad_category.kind = RequestKind::kNearestPoi;
+  bad_category.poi_category = index.NumCategories();
+  bad_category.poi_k = 1;
+  EXPECT_EQ(service.Call(bad_category).status,
+            ResponseStatus::kInvalidRequest);
+
+  // A service without a POI index rejects every kNearestPoi request.
+  MetricsRegistry no_poi_metrics;
+  OracleService no_poi(Engine(), ServiceOptions{}, no_poi_metrics);
+  Request poi;
+  poi.kind = RequestKind::kNearestPoi;
+  poi.poi_k = 1;
+  EXPECT_EQ(no_poi.Call(poi).status, ResponseStatus::kInvalidRequest);
+}
+
+TEST(SnapshotManager, WorkloadResponsesAreEpochStampedAcrossSwap) {
+  const Graph& base = CustomizablePrepared().graph;
+  const PoiIndex index = PoiIndex::GenerateRandom(base.NumVertices(), 2, 6, 9);
+  MetricsRegistry metrics;
+  SnapshotManager manager(MakeCustomizableSnapshot(), metrics);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.poi = &index;
+  OracleService service(manager, options, metrics);
+
+  Rng rng(71);
+  const Request matrix = RandomMatrixRequest(rng, 3);
+  Request poi;
+  poi.kind = RequestKind::kNearestPoi;
+  poi.source = 4;
+  poi.poi_category = 1;
+  poi.poi_k = 3;
+
+  const Response matrix_before = service.Call(matrix);
+  EXPECT_EQ(matrix_before.epoch, 1u);
+  ExpectMatrixMatchesDijkstra(base, matrix, matrix_before);
+  const Response poi_before = service.Call(poi);
+  EXPECT_EQ(poi_before.epoch, 1u);
+  ExpectPoiMatchesBruteForce(base, index, poi, poi_before);
+
+  const std::vector<WeightUpdate> updates = DoubleEveryWeight(base);
+  manager.UpdateWeights(updates);
+  ASSERT_EQ(manager.CustomizeAndSwap(/*customize_threads=*/1), 2u);
+  const Graph updated = ApplyUpdates(base, updates);
+
+  const Response matrix_after = service.Call(matrix);
+  EXPECT_EQ(matrix_after.epoch, 2u);
+  ExpectMatrixMatchesDijkstra(updated, matrix, matrix_after);
+  EXPECT_NE(matrix_after.distances, matrix_before.distances);
+  const Response poi_after = service.Call(poi);
+  EXPECT_EQ(poi_after.epoch, 2u);
+  ExpectPoiMatchesBruteForce(updated, index, poi, poi_after);
+}
+
+TEST(Protocol, ServeConnectionAnswersMixedV1AndV2Frames) {
+  const PoiIndex index =
+      PoiIndex::GenerateRandom(Engine().NumVertices(), 2, 8, 19);
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.poi = &index;
+  OracleService service(Engine(), options, metrics);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&service, &metrics, server_fd = fds[1]] {
+    (void)ServeConnection(server_fd, server_fd, service, metrics);
+    ::close(server_fd);
+  });
+
+  {
+    Client client(fds[0]);
+    Rng rng(37);
+    std::vector<Request> requests;
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 12; ++i) {
+      Request request;
+      switch (i % 3) {
+        case 0:
+          request = RandomRequest(rng);
+          break;
+        case 1:
+          request = RandomMatrixRequest(rng);
+          break;
+        default:
+          request.kind = RequestKind::kNearestPoi;
+          request.source =
+              static_cast<VertexId>(rng.NextBounded(Engine().NumVertices()));
+          request.poi_category = rng.NextBounded(index.NumCategories());
+          request.poi_k = 1 + rng.NextBounded(6);
+      }
+      requests.push_back(request);
+      ids.push_back(client.SendQuery(request));
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const ResponseFrame frame = client.ReceiveResponse();
+      EXPECT_EQ(frame.id, ids[i]);  // responses in request order
+      switch (requests[i].kind) {
+        case RequestKind::kTree:
+          ExpectMatchesDijkstra(requests[i], frame.response);
+          break;
+        case RequestKind::kMatrix:
+          ExpectMatrixMatchesDijkstra(CachedCountry(kSide), requests[i],
+                                      frame.response);
+          break;
+        case RequestKind::kNearestPoi:
+          ExpectPoiMatchesBruteForce(CachedCountry(kSide), index, requests[i],
+                                     frame.response);
+          break;
+      }
+    }
+    client.Shutdown();
+  }
+  server.join();
+
+  const ServiceCounters c = service.Counters();
+  EXPECT_EQ(c.admitted, 12u);
+  EXPECT_EQ(c.matrix_requests, 4u);
+  EXPECT_EQ(c.poi_requests, 4u);
 }
 
 }  // namespace

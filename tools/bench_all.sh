@@ -19,8 +19,9 @@
 # section), server (including the fabric replica sweep and the
 # cold-start-vs-copy-load row), ch_preprocessing (build-time scaling with a
 # per-round contraction profile), customization (metric swap vs witness-free
-# rebuild, byte-identity asserted), and the google-benchmark kernels
-# microbenches.
+# rebuild, byte-identity asserted), matrix (distance tables through every
+# MatrixMode plus k-nearest-POI cutoff sweeps), and the google-benchmark
+# kernels microbenches.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -36,7 +37,8 @@ CUSTOMIZE_ROUNDS="${BENCH_CUSTOMIZE_ROUNDS:-2}"
 
 for binary in bench/bench_tab1_single_tree bench/bench_fig1_levels \
               bench/bench_server bench/bench_ch_preprocessing \
-              bench/bench_customization bench/bench_kernels; do
+              bench/bench_customization bench/bench_kernels \
+              bench/bench_matrix; do
   if [[ ! -x "$BUILD_DIR/$binary" ]]; then
     echo "bench_all: $BUILD_DIR/$binary not built" >&2
     exit 2
@@ -72,6 +74,11 @@ echo "=== bench_all: customization ===" >&2
   --width="$WIDTH" --height="$HEIGHT" --rounds="$CUSTOMIZE_ROUNDS" \
   --json-out="$TMP/customization.json"
 
+echo "=== bench_all: matrix ===" >&2
+"$BUILD_DIR/bench/bench_matrix" \
+  --width="$WIDTH" --height="$HEIGHT" --sources="$SOURCES" \
+  --json-out="$TMP/matrix.json"
+
 echo "=== bench_all: kernels ===" >&2
 "$BUILD_DIR/bench/bench_kernels" \
   --benchmark_filter="$KERNELS_FILTER" \
@@ -84,7 +91,7 @@ import sys
 tmp, output = sys.argv[1], sys.argv[2]
 doc = {"schema": "phast-bench-v1", "benches": {}}
 for name in ("tab1_single_tree", "fig1_levels", "server", "ch_preprocessing",
-              "customization", "kernels"):
+              "customization", "matrix", "kernels"):
     with open(f"{tmp}/{name}.json", encoding="utf-8") as f:
         doc["benches"][name] = json.load(f)
 with open(output, "w", encoding="utf-8") as f:
